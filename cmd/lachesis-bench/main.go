@@ -1,0 +1,89 @@
+// Command lachesis-bench regenerates the tables and figures of the
+// paper's evaluation (§6) on the simulated testbed.
+//
+// Usage:
+//
+//	lachesis-bench -list
+//	lachesis-bench -experiment fig9
+//	lachesis-bench -experiment all -scale full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"lachesis/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "lachesis-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lachesis-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		experiment = fs.String("experiment", "", "experiment id (fig1..fig18, table1, or 'all')")
+		scaleName  = fs.String("scale", "quick", "quick or full")
+		list       = fs.Bool("list", false, "list experiments")
+		verbose    = fs.Bool("v", false, "print progress")
+		csvDir     = fs.String("csv", "", "also write aggregated series as CSV files into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	if *experiment == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -experiment (or -list)")
+	}
+	var sc harness.Scale
+	switch *scaleName {
+	case "quick":
+		sc = harness.QuickScale
+	case "full":
+		sc = harness.FullScale
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+	if *verbose {
+		sc.Progress = func(msg string) { fmt.Fprintln(stderr, "  ...", msg) }
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		sc.CSVDir = *csvDir
+	}
+
+	var exps []harness.Experiment
+	if *experiment == "all" {
+		exps = harness.All()
+	} else {
+		e, ok := harness.ByID(*experiment)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", *experiment)
+		}
+		exps = []harness.Experiment{e}
+	}
+	for _, e := range exps {
+		start := time.Now()
+		fmt.Fprintf(stderr, "== %s: %s\n", e.ID, e.Title)
+		if err := e.Run(stdout, sc); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintf(stderr, "== %s done in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig1", "fig9", "fig18", "table1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestArgValidation(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{}, &out, &errOut); err == nil {
+		t.Error("missing experiment should fail")
+	}
+	if err := run([]string{"-experiment", "nope"}, &out, &errOut); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+	if err := run([]string{"-experiment", "fig1", "-scale", "nope"}, &out, &errOut); err == nil {
+		t.Error("unknown scale should fail")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	// fig1 at a reduced scale would still take a while; use the smallest
+	// figure-producing path by running fig1 with quick scale but verify
+	// only the flag plumbing via a bad directory first.
+	if err := run([]string{"-experiment", "fig1", "-csv", "/dev/null/notadir"}, &out, &errOut); err == nil {
+		t.Error("uncreatable csv dir should fail")
+	}
+	_ = dir
+}

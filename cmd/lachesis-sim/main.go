@@ -1,0 +1,85 @@
+// Command lachesis-sim runs one streaming deployment on the simulated
+// node and prints live per-second metrics, with or without Lachesis.
+//
+// Usage:
+//
+//	lachesis-sim -query lr -flavor storm -rate 5500 -scheduler lachesis-qs -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"lachesis/internal/harness"
+	"lachesis/internal/simos"
+	"lachesis/internal/spe"
+	"lachesis/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lachesis-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("lachesis-sim", flag.ContinueOnError)
+	var (
+		queryName = fs.String("query", "lr", "query: etl, stats, lr, vs")
+		flavor    = fs.String("flavor", "storm", "engine flavor: storm, flink, liebre")
+		rate      = fs.Float64("rate", 5000, "input rate (tuples/s)")
+		scheduler = fs.String("scheduler", "os", "os, lachesis-qs, lachesis-fcfs, lachesis-hr, lachesis-random, edgewise, haren-qs")
+		duration  = fs.Duration("duration", 30*time.Second, "virtual run duration")
+		machine   = fs.String("machine", "odroid", "odroid or xeon")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var build func() *spe.LogicalQuery
+	var source func(float64, int64) spe.Source
+	switch *queryName {
+	case "etl":
+		build, source = workloads.ETL, workloads.IoTSource
+	case "stats":
+		build, source = workloads.STATS, workloads.IoTSource
+	case "lr":
+		build = func() *spe.LogicalQuery { return workloads.LinearRoad(1) }
+		source = workloads.LRSource
+	case "vs":
+		build, source = workloads.VoipStream, workloads.VSSource
+	default:
+		return fmt.Errorf("unknown query %q", *queryName)
+	}
+	var fl spe.Flavor
+	switch *flavor {
+	case "storm":
+		fl = spe.FlavorStorm
+	case "flink":
+		fl = spe.FlavorFlink
+	case "liebre":
+		fl = spe.FlavorLiebre
+	default:
+		return fmt.Errorf("unknown flavor %q", *flavor)
+	}
+	mach := simos.OdroidXU4()
+	if *machine == "xeon" {
+		mach = simos.XeonServer()
+	}
+
+	setup := harness.Setup{
+		Name:      *scheduler,
+		Machine:   mach,
+		Engines:   []harness.EngineSpec{{Flavor: fl}},
+		Queries:   []harness.QuerySpec{{Build: build, Source: source}},
+		Scheduler: harness.Scheduler(*scheduler),
+		Seed:      1,
+	}
+	fmt.Fprintf(stdout, "running %s on %s (%s), rate %.0f t/s, scheduler %s, %v virtual\n",
+		*queryName, *flavor, *machine, *rate, *scheduler, *duration)
+	return harness.RunLive(setup, *rate, *duration, stdout)
+}

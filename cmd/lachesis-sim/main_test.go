@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSimRunsQuickDeployment(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-query", "lr", "-flavor", "storm", "-rate", "1000",
+		"-scheduler", "lachesis-qs", "-duration", "3s",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"running lr on storm", "ingested/s", "query lr"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSimFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	cases := [][]string{
+		{"-query", "nope"},
+		{"-flavor", "nope"},
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestSimAllQueriesAndFlavors(t *testing.T) {
+	for _, q := range []string{"etl", "stats", "vs"} {
+		var out bytes.Buffer
+		err := run([]string{"-query", q, "-rate", "100", "-duration", "2s", "-machine", "xeon"}, &out)
+		if err != nil {
+			t.Errorf("query %s: %v", q, err)
+		}
+	}
+}

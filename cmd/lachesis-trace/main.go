@@ -1,0 +1,77 @@
+// Command lachesis-trace captures benchmark input traces to CSV files so
+// experiment inputs are durable, inspectable artifacts (the paper's data
+// sources replay recorded traces). Traces written here can be replayed
+// with internal/trace.Trace.Source.
+//
+// Usage:
+//
+//	lachesis-trace -workload lr -rate 5000 -tuples 100000 -out lr.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lachesis/internal/spe"
+	"lachesis/internal/trace"
+	"lachesis/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "lachesis-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lachesis-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		workload = fs.String("workload", "lr", "source to capture: iot, lr, vs, syn")
+		rate     = fs.Float64("rate", 1000, "production rate (tuples/s)")
+		tuples   = fs.Int("tuples", 10000, "number of tuples to capture")
+		seed     = fs.Int64("seed", 1, "generator seed")
+		out      = fs.String("out", "", "output CSV path (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var src spe.Source
+	switch *workload {
+	case "iot":
+		src = workloads.IoTSource(*rate, *seed)
+	case "lr":
+		src = workloads.LRSource(*rate, *seed)
+	case "vs":
+		src = workloads.VSSource(*rate, *seed)
+	case "syn":
+		src = workloads.SynSource(*rate, *seed)
+	default:
+		return fmt.Errorf("unknown workload %q", *workload)
+	}
+	tr, err := trace.Capture(src, *tuples)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		w = f
+	}
+	if err := tr.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "captured %d %s tuples spanning %v\n", tr.Len(), *workload, tr.Duration())
+	return nil
+}

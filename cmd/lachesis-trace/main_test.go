@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lachesis/internal/trace"
+)
+
+func TestCaptureToFileAndReload(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "lr.csv")
+	var errBuf bytes.Buffer
+	err := run([]string{
+		"-workload", "lr", "-rate", "2000", "-tuples", "500", "-out", out,
+	}, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf.String(), "captured 500 lr tuples") {
+		t.Errorf("stderr = %q", errBuf.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 500 {
+		t.Errorf("reloaded %d tuples", tr.Len())
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	var errBuf bytes.Buffer
+	if err := run([]string{"-workload", "nope"}, &errBuf); err == nil {
+		t.Error("unknown workload should fail")
+	}
+	if err := run([]string{"-tuples", "0"}, &errBuf); err == nil {
+		t.Error("zero tuples should fail")
+	}
+}

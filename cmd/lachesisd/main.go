@@ -1,0 +1,176 @@
+// Command lachesisd runs the Lachesis middleware against a real Linux
+// host: it periodically enforces user-defined priorities on the threads of
+// running stream processing queries through nice and cgroup cpu.shares,
+// exactly as the simulated experiments do through internal/simctl.
+//
+// The daemon reads a JSON config describing the deployed entities
+// (operator name -> thread id, per the SPE's monitoring API) and a static
+// priority assignment per logical operator (the §5.1 "high-level policy" +
+// transformation rule path). It defaults to -dry-run, printing the control
+// operations it would perform.
+//
+// Example config:
+//
+//	{
+//	  "periodMillis": 1000,
+//	  "cgroupRoot": "/sys/fs/cgroup/cpu/lachesis",
+//	  "cgroupVersion": 1,
+//	  "translator": "nice",
+//	  "entities": [
+//	    {"name": "q.count.0", "query": "q", "tid": 4242, "logical": ["count"]},
+//	    {"name": "q.toll.0",  "query": "q", "tid": 4243, "logical": ["toll"]}
+//	  ],
+//	  "priorities": {"count": 10, "toll": 1}
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/oslinux"
+)
+
+// entityConfig is one physical operator in the config file.
+type entityConfig struct {
+	Name       string   `json:"name"`
+	Query      string   `json:"query"`
+	TID        int      `json:"tid"`
+	Logical    []string `json:"logical"`
+	Downstream []string `json:"downstream"`
+}
+
+// daemonConfig is the lachesisd config file format.
+type daemonConfig struct {
+	PeriodMillis  int                `json:"periodMillis"`
+	CgroupRoot    string             `json:"cgroupRoot"`
+	CgroupVersion int                `json:"cgroupVersion"`
+	Translator    string             `json:"translator"`
+	Entities      []entityConfig     `json:"entities"`
+	Priorities    map[string]float64 `json:"priorities"`
+}
+
+// staticDriver exposes the configured entities; it provides no metrics
+// (the static policy needs none).
+type staticDriver struct {
+	entities []core.Entity
+}
+
+var _ core.Driver = (*staticDriver)(nil)
+
+func (d *staticDriver) Name() string            { return "static" }
+func (d *staticDriver) Entities() []core.Entity { return d.entities }
+func (d *staticDriver) Provides(string) bool    { return false }
+func (d *staticDriver) Fetch(metric string, _ time.Duration) (core.EntityValues, error) {
+	return nil, &core.UnknownMetricError{Metric: metric, Driver: "static"}
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "lachesisd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lachesisd", flag.ContinueOnError)
+	var (
+		configPath = fs.String("config", "", "path to JSON config (required)")
+		dryRun     = fs.Bool("dry-run", true, "print control operations instead of performing them")
+		iterations = fs.Int("iterations", 1, "scheduling iterations to run (0 = forever)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *configPath == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -config")
+	}
+	raw, err := os.ReadFile(*configPath)
+	if err != nil {
+		return err
+	}
+	var cfg daemonConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return fmt.Errorf("parse config: %w", err)
+	}
+	if cfg.PeriodMillis <= 0 {
+		cfg.PeriodMillis = 1000
+	}
+	if cfg.CgroupRoot == "" {
+		cfg.CgroupRoot = "/sys/fs/cgroup/cpu/lachesis"
+	}
+
+	osCfg := oslinux.Config{
+		Root:    cfg.CgroupRoot,
+		Version: oslinux.CgroupVersion(cfg.CgroupVersion),
+	}
+	if *dryRun {
+		osCfg.System = oslinux.DryRunSystem{W: stdout}
+	}
+	ctl, err := oslinux.New(osCfg)
+	if err != nil {
+		return err
+	}
+
+	drv := &staticDriver{}
+	for _, e := range cfg.Entities {
+		drv.entities = append(drv.entities, core.Entity{
+			Name:       e.Name,
+			Driver:     "static",
+			Query:      e.Query,
+			Thread:     e.TID,
+			Logical:    e.Logical,
+			Downstream: e.Downstream,
+		})
+	}
+
+	var tr core.Translator
+	switch cfg.Translator {
+	case "", "nice":
+		tr = core.NewNiceTranslator(ctl)
+	case "cpu.shares":
+		tr = core.NewSharesTranslator(ctl, 0, 0)
+	case "nice+cpu.shares":
+		tr = core.NewCombinedTranslator(ctl, 0, 0)
+	default:
+		return fmt.Errorf("unknown translator %q", cfg.Translator)
+	}
+
+	policy := core.Transformed(&core.StaticLogicalPolicy{
+		PolicyName: "configured",
+		Priorities: core.LogicalSchedule(cfg.Priorities),
+		Default:    0,
+	}, core.MaxPriorityRule)
+
+	mw := core.NewMiddleware(nil)
+	period := time.Duration(cfg.PeriodMillis) * time.Millisecond
+	if err := mw.Bind(core.Binding{
+		Policy:     policy,
+		Translator: tr,
+		Drivers:    []core.Driver{drv},
+		Period:     period,
+	}); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stderr, "lachesisd: %d entities, translator %s, period %v, dry-run=%v\n",
+		len(drv.entities), tr.Name(), period, *dryRun)
+	start := time.Now()
+	for i := 0; *iterations == 0 || i < *iterations; i++ {
+		stats, err := mw.Step(time.Since(start))
+		if err != nil {
+			fmt.Fprintln(stderr, "lachesisd: step:", err)
+		}
+		if *iterations != 0 && i == *iterations-1 {
+			break
+		}
+		time.Sleep(time.Until(start.Add(stats.Next)))
+	}
+	return nil
+}

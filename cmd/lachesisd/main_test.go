@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeConfig(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "config.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const validConfig = `{
+  "periodMillis": 100,
+  "cgroupRoot": "/cg/lachesis",
+  "translator": "nice",
+  "entities": [
+    {"name": "q.count.0", "query": "q", "tid": 4242, "logical": ["count"]},
+    {"name": "q.toll.0",  "query": "q", "tid": 4243, "logical": ["toll"]}
+  ],
+  "priorities": {"count": 10, "toll": 1}
+}`
+
+func TestDryRunRenicesConfiguredThreads(t *testing.T) {
+	cfg := writeConfig(t, validConfig)
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-config", cfg, "-iterations", "1"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	// count (priority 10) gets the strong nice, toll the weak one.
+	if !strings.Contains(s, "renice tid=4242 nice=-20") {
+		t.Errorf("missing strong renice:\n%s", s)
+	}
+	if !strings.Contains(s, "renice tid=4243 nice=19") {
+		t.Errorf("missing weak renice:\n%s", s)
+	}
+	if !strings.Contains(errOut.String(), "2 entities") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}
+
+func TestSharesTranslatorConfig(t *testing.T) {
+	cfg := writeConfig(t, strings.Replace(validConfig, `"nice"`, `"cpu.shares"`, 1))
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-config", cfg, "-iterations", "1"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "mkdir -p /cg/lachesis/") {
+		t.Errorf("missing cgroup creation:\n%s", s)
+	}
+	if !strings.Contains(s, "cpu.shares") {
+		t.Errorf("missing shares write:\n%s", s)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{}, &out, &errOut); err == nil {
+		t.Error("missing -config should fail")
+	}
+	if err := run([]string{"-config", "/no/such/file"}, &out, &errOut); err == nil {
+		t.Error("unreadable config should fail")
+	}
+	bad := writeConfig(t, "{not json")
+	if err := run([]string{"-config", bad}, &out, &errOut); err == nil {
+		t.Error("malformed config should fail")
+	}
+	badTr := writeConfig(t, strings.Replace(validConfig, `"nice"`, `"bogus"`, 1))
+	if err := run([]string{"-config", badTr}, &out, &errOut); err == nil {
+		t.Error("unknown translator should fail")
+	}
+}

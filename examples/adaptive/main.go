@@ -1,0 +1,144 @@
+// Adaptive scheduling: runtime policy switching (paper §4: Lachesis "can
+// switch scheduling policies at runtime, with the conditions of this
+// switch programmed by the user"). While the system is calm, an FCFS
+// policy minimizes worst-case waiting; when total queueing crosses a
+// threshold — here driven by a source whose rate doubles mid-run — the
+// condition flips to Queue-Size, which is better at digging out of
+// backlog. The active policy is chosen fresh every scheduling period.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/driver"
+	"lachesis/internal/metrics"
+	"lachesis/internal/simctl"
+	"lachesis/internal/simos"
+	"lachesis/internal/spe"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "adaptive:", err)
+		os.Exit(1)
+	}
+}
+
+// burstySource doubles its rate after the burst time.
+type burstySource struct {
+	base, burst float64
+	burstAt     time.Duration
+}
+
+var _ spe.Source = (*burstySource)(nil)
+
+func (s *burstySource) Arrived(now time.Duration) int64 {
+	if now <= s.burstAt {
+		return int64(now.Seconds() * s.base)
+	}
+	return int64(s.burstAt.Seconds()*s.base + (now-s.burstAt).Seconds()*s.burst)
+}
+
+func (s *burstySource) ArrivalTime(i int64) time.Duration {
+	baseCount := int64(s.burstAt.Seconds() * s.base)
+	var t time.Duration
+	if i < baseCount {
+		t = time.Duration(float64(i+1) / s.base * float64(time.Second))
+	} else {
+		t = s.burstAt + time.Duration(float64(i+1-baseCount)/s.burst*float64(time.Second))
+	}
+	for s.Arrived(t) <= i {
+		t++
+	}
+	return t
+}
+
+func (s *burstySource) Make(i int64) spe.Tuple { return spe.Tuple{Key: uint64(i)} }
+
+func buildQuery() *spe.LogicalQuery {
+	q := spe.NewQuery("adaptive")
+	q.MustAddOp(&spe.LogicalOp{Name: "src", Kind: spe.KindIngress, Cost: 20 * time.Microsecond, Selectivity: 1})
+	costs := map[string]time.Duration{"a": 400, "b": 900, "c": 300, "d": 500}
+	for _, name := range []string{"a", "b", "c", "d"} {
+		q.MustAddOp(&spe.LogicalOp{Name: name, Cost: costs[name] * time.Microsecond, Selectivity: 1})
+	}
+	q.MustAddOp(&spe.LogicalOp{Name: "sink", Kind: spe.KindEgress, Cost: 50 * time.Microsecond})
+	if err := q.Pipeline("src", "a", "b", "c", "d", "sink"); err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func run() error {
+	k := simos.New(simos.OdroidXU4())
+	engine, err := spe.New(k, spe.Config{Name: "storm", Flavor: spe.FlavorStorm, Seed: 8})
+	if err != nil {
+		return err
+	}
+	src := &burstySource{base: 500, burst: 1102, burstAt: 30 * time.Second}
+	dep, err := engine.Deploy(buildQuery(), src)
+	if err != nil {
+		return err
+	}
+
+	store := metrics.NewStore(time.Second)
+	if err := engine.StartReporter(store, time.Second); err != nil {
+		return err
+	}
+	drv, err := driver.New(engine, store)
+	if err != nil {
+		return err
+	}
+	osAdapter, err := simctl.NewOSAdapter(k)
+	if err != nil {
+		return err
+	}
+
+	// Switch condition: total queued tuples above 50 => backlog mode (QS).
+	switched, err := core.NewSwitchedPolicy(func(view *core.View) int {
+		total := 0.0
+		for _, v := range view.Metric(core.MetricQueueSize) {
+			total += v
+		}
+		if total > 50 {
+			return 1
+		}
+		return 0
+	}, core.NewFCFSPolicy(), core.NewQSPolicy())
+	if err != nil {
+		return err
+	}
+
+	mw := core.NewMiddleware(nil)
+	if err := mw.Bind(core.Binding{
+		Policy:     switched,
+		Translator: core.NewNiceTranslator(osAdapter),
+		Drivers:    []core.Driver{drv},
+		Period:     time.Second,
+	}); err != nil {
+		return err
+	}
+	if _, err := simctl.StartMiddleware(k, mw); err != nil {
+		return err
+	}
+
+	fmt.Println("adaptive policy switching: rate 500 t/s, bursting to 1102 t/s at t=30s")
+	fmt.Printf("%8s %10s %12s %8s\n", "t", "egress/s", "latency", "policy")
+	policyNames := []string{"fcfs", "qs"}
+	var lastEgress int64
+	for t := 5 * time.Second; t <= 60*time.Second; t += 5 * time.Second {
+		k.RunUntil(t)
+		eg := dep.EgressCount()
+		lat := dep.Latencies().MeanProc
+		fmt.Printf("%8v %10d %12v %8s\n",
+			t, (eg-lastEgress)/5, lat.Round(10*time.Microsecond), policyNames[switched.Active()])
+		lastEgress = eg
+	}
+	fmt.Printf("\npolicy switches during the run: %d\n", switched.Switches())
+	return nil
+}

@@ -1,0 +1,148 @@
+// Branch priority: the paper's Fig. 2 scenario. A Linear-Road-style query
+// has two branches — branch 1 delivers urgent variable tolls, branch 2
+// computes routine fixed tolls. A high-level policy expressed over
+// *logical* operators prioritizes branch 1; the transformation rule
+// (Algorithm 2) maps it onto the physical operators regardless of how the
+// engine fused or replicated them.
+//
+//	go run ./examples/branchpriority
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/driver"
+	"lachesis/internal/metrics"
+	"lachesis/internal/simctl"
+	"lachesis/internal/simos"
+	"lachesis/internal/spe"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "branchpriority:", err)
+		os.Exit(1)
+	}
+}
+
+// buildQuery is a two-branch tolling query with separate sinks per branch
+// so each branch's latency is observable.
+func buildQuery() *spe.LogicalQuery {
+	q := spe.NewQuery("tolls")
+	q.MustAddOp(&spe.LogicalOp{Name: "source", Kind: spe.KindIngress, Cost: 20 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "dispatch", Cost: 150 * time.Microsecond, Selectivity: 1})
+	// Branch 1: urgent variable tolls (congestion).
+	q.MustAddOp(&spe.LogicalOp{Name: "count", Cost: 280 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "var-toll", Cost: 250 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "urgent-sink", Kind: spe.KindEgress, Cost: 50 * time.Microsecond})
+	// Branch 2: routine fixed tolls, replicated: together the two branches
+	// demand more than the machine has, so scheduling decides who waits.
+	q.MustAddOp(&spe.LogicalOp{Name: "fixed-toll", Cost: 500 * time.Microsecond, Selectivity: 1, Parallelism: 2})
+	q.MustAddOp(&spe.LogicalOp{Name: "routine-sink", Kind: spe.KindEgress, Cost: 50 * time.Microsecond})
+	for _, edge := range [][2]string{
+		{"source", "dispatch"},
+		{"dispatch", "count"}, {"count", "var-toll"}, {"var-toll", "urgent-sink"},
+		{"dispatch", "fixed-toll"}, {"fixed-toll", "routine-sink"},
+	} {
+		q.MustConnect(edge[0], edge[1])
+	}
+	return q
+}
+
+// branchLatency returns each sink's mean processing latency.
+func branchLatency(dep *spe.Deployment, now time.Duration) (urgent, routine time.Duration) {
+	for _, op := range dep.Egresses() {
+		snap := op.Snapshot(now)
+		switch snap.Logical[len(snap.Logical)-1] {
+		case "urgent-sink":
+			urgent = snap.MeanProcLatency
+		case "routine-sink":
+			routine = snap.MeanProcLatency
+		}
+	}
+	return urgent, routine
+}
+
+func runOnce(prioritize bool, rate float64) (urgent, routine time.Duration, err error) {
+	k := simos.New(simos.OdroidXU4())
+	engine, err := spe.New(k, spe.Config{Name: "storm", Flavor: spe.FlavorStorm, Seed: 2})
+	if err != nil {
+		return 0, 0, err
+	}
+	// Just below aggregate capacity: queues form, scheduling decides who waits.
+	dep, err := engine.Deploy(buildQuery(), spe.NewRateSource(rate, nil))
+	if err != nil {
+		return 0, 0, err
+	}
+
+	if prioritize {
+		store := metrics.NewStore(time.Second)
+		if err := engine.StartReporter(store, time.Second); err != nil {
+			return 0, 0, err
+		}
+		drv, err := driver.New(engine, store)
+		if err != nil {
+			return 0, 0, err
+		}
+		osAdapter, err := simctl.NewOSAdapter(k)
+		if err != nil {
+			return 0, 0, err
+		}
+		// High-level policy over logical operators: branch 1 outranks
+		// everything else. MaxPriorityRule (Algorithm 2) converts it to a
+		// physical schedule.
+		policy := core.Transformed(&core.StaticLogicalPolicy{
+			PolicyName: "branch1-first",
+			Priorities: core.LogicalSchedule{
+				// Branch 1 first; the shared upstream feeding it next, so
+				// urgent tuples are not starved before the fork.
+				"count": 10, "var-toll": 10, "urgent-sink": 10,
+				"source": 6, "dispatch": 6,
+			},
+			Default: 1,
+		}, core.MaxPriorityRule)
+		mw := core.NewMiddleware(nil)
+		if err := mw.Bind(core.Binding{
+			Policy:     policy,
+			Translator: core.NewNiceTranslator(osAdapter),
+			Drivers:    []core.Driver{drv},
+			Period:     time.Second,
+		}); err != nil {
+			return 0, 0, err
+		}
+		if _, err := simctl.StartMiddleware(k, mw); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	k.RunUntil(10 * time.Second)
+	dep.ResetStats()
+	k.RunUntil(70 * time.Second)
+	urgent, routine = branchLatency(dep, k.Now())
+	return urgent, routine, nil
+}
+
+func run() error {
+	const rate = 3400.0
+	fmt.Printf("branch priority (paper Fig. 2): urgent vs routine tolls at %.0f t/s\n", rate)
+	fmt.Printf("\n%-16s %16s %16s\n", "scheduler", "urgent branch", "routine branch")
+	for _, prioritize := range []bool{false, true} {
+		name := "os"
+		if prioritize {
+			name = "lachesis-static"
+		}
+		urgent, routine, err := runOnce(prioritize, rate)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s %16v %16v\n", name,
+			urgent.Round(10*time.Microsecond), routine.Round(10*time.Microsecond))
+	}
+	fmt.Println("\nWith the static high-level policy, the urgent branch's latency drops")
+	fmt.Println("while the routine branch absorbs the queueing — without touching the")
+	fmt.Println("query or the engine.")
+	return nil
+}

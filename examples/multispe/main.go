@@ -1,0 +1,129 @@
+// Multi-SPE scheduling (goal G5): queries running in two *different*
+// engines — a Storm-flavor process and a Liebre-flavor process — are
+// cross-scheduled by one Lachesis instance. Each query gets a cgroup with
+// equal cpu.shares; inside each query, Queue-Size priorities are applied
+// by nice. No UL-SS can do this: they are compiled into a single engine.
+//
+//	go run ./examples/multispe
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/driver"
+	"lachesis/internal/metrics"
+	"lachesis/internal/simctl"
+	"lachesis/internal/simos"
+	"lachesis/internal/spe"
+	"lachesis/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "multispe:", err)
+		os.Exit(1)
+	}
+}
+
+func runOnce(withLachesis bool) (map[string]time.Duration, error) {
+	k := simos.New(simos.XeonServer())
+
+	storm, err := spe.New(k, spe.Config{Name: "storm", Flavor: spe.FlavorStorm, Seed: 4})
+	if err != nil {
+		return nil, err
+	}
+	liebre, err := spe.New(k, spe.Config{Name: "liebre", Flavor: spe.FlavorLiebre, Seed: 5})
+	if err != nil {
+		return nil, err
+	}
+
+	deps := map[string]*spe.Deployment{}
+	// VoipStream on the Storm-flavor engine.
+	d, err := storm.Deploy(workloads.VoipStream(), workloads.VSSource(3600, 7))
+	if err != nil {
+		return nil, err
+	}
+	deps["vs"] = d
+	// Four synthetic pipelines on the Liebre-flavor engine.
+	for i, q := range workloads.SYN(workloads.SynConfig{Queries: 4, OpsPerQuery: 5, Seed: 9}) {
+		d, err := liebre.Deploy(q, workloads.SynSource(900, int64(10+i)))
+		if err != nil {
+			return nil, err
+		}
+		deps[q.Name] = d
+	}
+
+	if withLachesis {
+		store := metrics.NewStore(time.Second)
+		var drivers []core.Driver
+		for _, eng := range []*spe.Engine{storm, liebre} {
+			if err := eng.StartReporter(store, time.Second); err != nil {
+				return nil, err
+			}
+			drv, err := driver.New(eng, store)
+			if err != nil {
+				return nil, err
+			}
+			drivers = append(drivers, drv)
+		}
+		osAdapter, err := simctl.NewOSAdapter(k)
+		if err != nil {
+			return nil, err
+		}
+		mw := core.NewMiddleware(nil)
+		if err := mw.Bind(core.Binding{
+			// Equal cgroup shares per query + QS by nice within: the same
+			// multi-dimensional schedule as the paper's §6.6.
+			Policy:     core.GroupPerQuery(core.NewQSPolicy()),
+			Translator: core.NewCombinedTranslator(osAdapter, 0, 0),
+			Drivers:    drivers,
+			Period:     time.Second,
+		}); err != nil {
+			return nil, err
+		}
+		if _, err := simctl.StartMiddleware(k, mw); err != nil {
+			return nil, err
+		}
+	}
+
+	k.RunUntil(10 * time.Second)
+	for _, d := range deps {
+		d.ResetStats()
+	}
+	k.RunUntil(70 * time.Second)
+	out := make(map[string]time.Duration, len(deps))
+	for name, d := range deps {
+		out[name] = d.Latencies().MeanProc
+	}
+	return out, nil
+}
+
+func run() error {
+	fmt.Println("multi-SPE scheduling: VoipStream (Storm flavor) + 4 SYN pipelines (Liebre")
+	fmt.Println("flavor) on one server, cross-scheduled by a single Lachesis instance")
+	fmt.Printf("\n%-12s", "scheduler")
+	queryNames := []string{"vs", "syn00", "syn01", "syn02", "syn03"}
+	for _, q := range queryNames {
+		fmt.Printf(" %12s", q)
+	}
+	fmt.Println()
+	for _, lachesis := range []bool{false, true} {
+		name := "os"
+		if lachesis {
+			name = "lachesis"
+		}
+		lats, err := runOnce(lachesis)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s", name)
+		for _, q := range queryNames {
+			fmt.Printf(" %12v", lats[q].Round(10*time.Microsecond))
+		}
+		fmt.Println()
+	}
+	return nil
+}

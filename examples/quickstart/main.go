@@ -1,0 +1,118 @@
+// Quickstart: deploy a small streaming query on the simulated node and
+// compare default OS scheduling against Lachesis with the Queue-Size
+// policy enforced through nice.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/driver"
+	"lachesis/internal/metrics"
+	"lachesis/internal/simctl"
+	"lachesis/internal/simos"
+	"lachesis/internal/spe"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+// buildQuery defines an 8-operator pipeline with a skewed cost profile:
+// "enrich" is the bottleneck.
+func buildQuery() *spe.LogicalQuery {
+	q := spe.NewQuery("quickstart")
+	q.MustAddOp(&spe.LogicalOp{Name: "source", Kind: spe.KindIngress, Cost: 20 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "parse", Cost: 200 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "filter", Cost: 500 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "join", Cost: 150 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "enrich", Cost: 800 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "aggregate", Cost: 300 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "format", Cost: 400 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "sink", Kind: spe.KindEgress, Cost: 100 * time.Microsecond})
+	if err := q.Pipeline("source", "parse", "filter", "join", "enrich", "aggregate", "format", "sink"); err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// runOnce runs the query for 60 virtual seconds at the given rate,
+// optionally under Lachesis QS+nice, and reports sustained throughput and
+// mean processing latency.
+func runOnce(rate float64, withLachesis bool) (float64, time.Duration, error) {
+	k := simos.New(simos.OdroidXU4())
+	engine, err := spe.New(k, spe.Config{Name: "storm", Flavor: spe.FlavorStorm, Seed: 1})
+	if err != nil {
+		return 0, 0, err
+	}
+	dep, err := engine.Deploy(buildQuery(), spe.NewRateSource(rate, nil))
+	if err != nil {
+		return 0, 0, err
+	}
+
+	if withLachesis {
+		// The full middleware pipeline: engine reporter -> metric store ->
+		// driver -> provider -> QS policy -> nice translator -> kernel.
+		store := metrics.NewStore(time.Second)
+		if err := engine.StartReporter(store, time.Second); err != nil {
+			return 0, 0, err
+		}
+		drv, err := driver.New(engine, store)
+		if err != nil {
+			return 0, 0, err
+		}
+		osAdapter, err := simctl.NewOSAdapter(k)
+		if err != nil {
+			return 0, 0, err
+		}
+		mw := core.NewMiddleware(nil)
+		if err := mw.Bind(core.Binding{
+			Policy:     core.NewQSPolicy(),
+			Translator: core.NewNiceTranslator(osAdapter),
+			Drivers:    []core.Driver{drv},
+			Period:     time.Second,
+		}); err != nil {
+			return 0, 0, err
+		}
+		if _, err := simctl.StartMiddleware(k, mw); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	k.RunUntil(10 * time.Second) // warmup
+	dep.ResetStats()
+	egressBase := dep.EgressCount()
+	k.RunUntil(70 * time.Second)
+	throughput := float64(dep.EgressCount()-egressBase) / 60
+	return throughput, dep.Latencies().MeanProc, nil
+}
+
+func run() error {
+	// The enrich operator caps the pipeline at 1250 t/s on one core; just
+	// below that point scheduling decisions dominate performance.
+	const rate = 1230
+	fmt.Printf("quickstart: 8-operator pipeline at %d t/s on a simulated 4-core edge device\n\n", int(rate))
+	fmt.Printf("%-12s %12s %14s\n", "scheduler", "tput (t/s)", "mean latency")
+	for _, lachesis := range []bool{false, true} {
+		name := "os"
+		if lachesis {
+			name = "lachesis-qs"
+		}
+		tput, lat, err := runOnce(rate, lachesis)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %12.1f %14v\n", name, tput, lat.Round(10*time.Microsecond))
+	}
+	fmt.Println("\nLachesis boosts the bottleneck operator's thread priority from its")
+	fmt.Println("queue size, so the same hardware sustains the load with far smaller")
+	fmt.Println("queues — no engine or query changes required.")
+	return nil
+}

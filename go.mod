@@ -1,0 +1,3 @@
+module lachesis
+
+go 1.22

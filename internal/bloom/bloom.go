@@ -1,0 +1,116 @@
+// Package bloom implements the Bloom filters used by the VoipStream query
+// (the paper's VS workload from DSPBench "analyzes call detail records to
+// detect telemarketing users using Bloom filters").
+package bloom
+
+import "math"
+
+// Filter is a Bloom filter over uint64 keys.
+type Filter struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    int    // hash functions
+	n    uint64 // elements added
+}
+
+// New creates a filter with m bits (rounded up to a multiple of 64) and k
+// hash functions. Invalid arguments are clamped to minimum viable values.
+func New(m uint64, k int) *Filter {
+	if m < 64 {
+		m = 64
+	}
+	if k < 1 {
+		k = 1
+	}
+	words := (m + 63) / 64
+	return &Filter{bits: make([]uint64, words), m: words * 64, k: k}
+}
+
+// NewWithEstimates sizes a filter for n expected elements at target false
+// positive rate fp, using the standard optimal formulas.
+func NewWithEstimates(n uint64, fp float64) *Filter {
+	if n == 0 {
+		n = 1
+	}
+	if fp <= 0 || fp >= 1 {
+		fp = 0.01
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(fp) / (math.Ln2 * math.Ln2)))
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return New(m, k)
+}
+
+// splitmix64 is a strong 64-bit mixer used to derive the k hash values.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// indexes derives the k bit positions for a key (Kirsch-Mitzenmacher
+// double hashing).
+func (f *Filter) index(key uint64, i int) uint64 {
+	h1 := splitmix64(key)
+	h2 := splitmix64(h1) | 1
+	return (h1 + uint64(i)*h2) % f.m
+}
+
+// Add inserts a key.
+func (f *Filter) Add(key uint64) {
+	for i := 0; i < f.k; i++ {
+		idx := f.index(key, i)
+		f.bits[idx/64] |= 1 << (idx % 64)
+	}
+	f.n++
+}
+
+// Contains reports whether the key may have been added (false positives
+// possible, false negatives not).
+func (f *Filter) Contains(key uint64) bool {
+	for i := 0; i < f.k; i++ {
+		idx := f.index(key, i)
+		if f.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AddIfNew inserts the key and reports whether it was (probably) new.
+func (f *Filter) AddIfNew(key uint64) bool {
+	if f.Contains(key) {
+		return false
+	}
+	f.Add(key)
+	return true
+}
+
+// Count returns the number of Add calls.
+func (f *Filter) Count() uint64 { return f.n }
+
+// Bits returns the filter size in bits.
+func (f *Filter) Bits() uint64 { return f.m }
+
+// Hashes returns the number of hash functions.
+func (f *Filter) Hashes() int { return f.k }
+
+// EstimatedFPRate returns the expected false positive probability given
+// the number of inserted elements.
+func (f *Filter) EstimatedFPRate() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	return math.Pow(1-math.Exp(-float64(f.k)*float64(f.n)/float64(f.m)), float64(f.k))
+}
+
+// Reset clears the filter.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.n = 0
+}

@@ -1,0 +1,99 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := NewWithEstimates(10000, 0.01)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 10000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		f.Add(keys[i])
+	}
+	for _, k := range keys {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for %d", k)
+		}
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	const n = 20000
+	f := NewWithEstimates(n, 0.01)
+	rng := rand.New(rand.NewSource(2))
+	seen := make(map[uint64]bool, n)
+	for i := 0; i < n; i++ {
+		k := rng.Uint64()
+		seen[k] = true
+		f.Add(k)
+	}
+	fp := 0
+	const probes = 100000
+	for i := 0; i < probes; i++ {
+		k := rng.Uint64()
+		if seen[k] {
+			continue
+		}
+		if f.Contains(k) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Errorf("false positive rate %.4f, want <= 0.03 (target 0.01)", rate)
+	}
+	if est := f.EstimatedFPRate(); est > 0.03 {
+		t.Errorf("estimated FP rate %.4f, want near 0.01", est)
+	}
+}
+
+func TestAddIfNew(t *testing.T) {
+	f := New(1<<16, 4)
+	if !f.AddIfNew(42) {
+		t.Error("first AddIfNew should report new")
+	}
+	if f.AddIfNew(42) {
+		t.Error("second AddIfNew should report duplicate")
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(1024, 3)
+	f.Add(7)
+	f.Reset()
+	if f.Contains(7) {
+		t.Error("reset filter should not contain anything")
+	}
+	if f.Count() != 0 {
+		t.Error("reset should zero the count")
+	}
+}
+
+func TestDegenerateArguments(t *testing.T) {
+	f := New(0, 0)
+	f.Add(1)
+	if !f.Contains(1) {
+		t.Error("clamped filter should still work")
+	}
+	g := NewWithEstimates(0, 2.0)
+	g.Add(5)
+	if !g.Contains(5) {
+		t.Error("clamped estimate filter should still work")
+	}
+}
+
+func TestQuickMembershipInvariant(t *testing.T) {
+	// Property: any added key is always contained.
+	f := NewWithEstimates(5000, 0.01)
+	err := quick.Check(func(key uint64) bool {
+		f.Add(key)
+		return f.Contains(key)
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file implements the paper's future-work directions (§8): additional
+// OS mechanisms — CPU quotas and real-time threads, both listed as
+// available in Lachesis' repository — and runtime policy switching (§4:
+// "it allows Lachesis to switch scheduling policies at runtime, with the
+// conditions of this switch programmed by the user").
+
+// QuotaController is the optional OS capability behind the quota
+// translator (CFS bandwidth control / cpu.max).
+type QuotaController interface {
+	// SetQuota limits a cgroup to quota CPU time per period; quota <= 0
+	// removes the limit.
+	SetQuota(cgroupName string, quota, period time.Duration) error
+}
+
+// RTController is the optional OS capability behind the real-time
+// translator (SCHED_FIFO).
+type RTController interface {
+	// SetRealtime puts a thread in the RT class at the given priority.
+	SetRealtime(tid, prio int) error
+	// SetNormal returns a thread to the fair class.
+	SetNormal(tid int) error
+}
+
+// --- CPU quota translator ---
+
+// QuotaTranslator enforces grouping schedules by CPU bandwidth quotas
+// instead of relative shares: each group's priority maps onto a fraction
+// of total CPU in [LoFrac, HiFrac]. Unlike shares, quotas are hard limits:
+// unused allowance is not redistributed, trading work conservation for
+// isolation.
+type QuotaTranslator struct {
+	os       OSInterface
+	quotas   QuotaController
+	period   time.Duration
+	loFrac   float64
+	hiFrac   float64
+	totalCPU float64
+}
+
+var _ Translator = (*QuotaTranslator)(nil)
+
+// NewQuotaTranslator builds a quota translator. The OS binding must also
+// implement QuotaController. totalCPUs scales fractions to machine
+// capacity; loFrac/hiFrac bound the per-group allowance (defaults 0.05 and
+// 0.95 of one CPU's worth times totalCPUs).
+func NewQuotaTranslator(os OSInterface, totalCPUs int, loFrac, hiFrac float64) (*QuotaTranslator, error) {
+	qc, ok := os.(QuotaController)
+	if !ok {
+		return nil, errors.New("core: OS binding does not support CPU quotas")
+	}
+	if totalCPUs < 1 {
+		totalCPUs = 1
+	}
+	if loFrac <= 0 {
+		loFrac = 0.05
+	}
+	if hiFrac <= loFrac {
+		hiFrac = 0.95
+	}
+	return &QuotaTranslator{
+		os:       os,
+		quotas:   qc,
+		period:   100 * time.Millisecond,
+		loFrac:   loFrac,
+		hiFrac:   hiFrac,
+		totalCPU: float64(totalCPUs),
+	}, nil
+}
+
+// Name implements Translator.
+func (t *QuotaTranslator) Name() string { return "cpu.quota" }
+
+// Apply implements Translator.
+func (t *QuotaTranslator) Apply(sched Schedule, entities map[string]Entity) error {
+	groups := sched.Groups
+	if len(groups) == 0 {
+		if len(sched.Single) == 0 {
+			return errors.New("core: quota translator needs groups or single priorities")
+		}
+		groups = perOpGroups(sched.Single)
+	}
+	prios := make(map[string]float64, len(groups))
+	for gid, g := range groups {
+		prios[gid] = g.Priority
+	}
+	// Reuse shares normalization over an integer grid, then map the grid
+	// onto quota fractions.
+	const grid = 10000
+	lo := int(t.loFrac * grid)
+	hi := int(t.hiFrac * grid)
+	norm := NormalizeToShares(prios, sched.Scale, lo, hi)
+	var errs []error
+	for _, gid := range sortedKeys(norm) {
+		if err := t.os.EnsureCgroup(gid); err != nil {
+			errs = append(errs, fmt.Errorf("cgroup %s: %w", gid, err))
+			continue
+		}
+		frac := float64(norm[gid]) / grid * t.totalCPU
+		quota := time.Duration(frac * float64(t.period))
+		if err := t.quotas.SetQuota(gid, quota, t.period); err != nil {
+			errs = append(errs, fmt.Errorf("quota %s: %w", gid, err))
+		}
+		for _, opName := range groups[gid].Ops {
+			ent, ok := entities[opName]
+			if !ok || ent.Thread == 0 {
+				continue
+			}
+			if err := t.os.MoveThread(ent.Thread, gid); err != nil {
+				errs = append(errs, fmt.Errorf("move %s to %s: %w", opName, gid, err))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// --- real-time translator ---
+
+// RTTranslator lifts the highest-priority operators into the real-time
+// scheduling class (SCHED_FIFO) and returns the rest to the fair class.
+// TopFraction bounds how much of the operator set may become real-time:
+// RT threads preempt everything, so this mechanism must be used sparingly.
+type RTTranslator struct {
+	os          OSInterface
+	rt          RTController
+	topFraction float64
+}
+
+var _ Translator = (*RTTranslator)(nil)
+
+// NewRTTranslator builds a real-time translator. The OS binding must also
+// implement RTController. topFraction defaults to 0.2.
+func NewRTTranslator(os OSInterface, topFraction float64) (*RTTranslator, error) {
+	rc, ok := os.(RTController)
+	if !ok {
+		return nil, errors.New("core: OS binding does not support real-time scheduling")
+	}
+	if topFraction <= 0 || topFraction > 1 {
+		topFraction = 0.2
+	}
+	return &RTTranslator{os: os, rt: rc, topFraction: topFraction}, nil
+}
+
+// Name implements Translator.
+func (t *RTTranslator) Name() string { return "sched_fifo" }
+
+// Apply implements Translator.
+func (t *RTTranslator) Apply(sched Schedule, entities map[string]Entity) error {
+	if len(sched.Single) == 0 {
+		return errors.New("core: RT translator needs a single-priority schedule")
+	}
+	// Rank operators by priority; the top fraction becomes RT with
+	// priorities spread over [1, 99], the rest returns to the fair class.
+	names := sortedKeys(sched.Single)
+	n := len(names)
+	k := int(float64(n)*t.topFraction + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	// Selection by threshold on normalized rank.
+	type ranked struct {
+		name string
+		prio float64
+	}
+	rs := make([]ranked, 0, n)
+	for _, name := range names {
+		rs = append(rs, ranked{name, sched.Single[name]})
+	}
+	// Insertion sort by priority descending (n is small).
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].prio > rs[j-1].prio; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+	var errs []error
+	for i, r := range rs {
+		ent, ok := entities[r.name]
+		if !ok || ent.Thread == 0 {
+			continue
+		}
+		if i < k {
+			prio := 99 - i
+			if prio < 1 {
+				prio = 1
+			}
+			if err := t.rt.SetRealtime(ent.Thread, prio); err != nil {
+				errs = append(errs, fmt.Errorf("rt %s: %w", r.name, err))
+			}
+		} else {
+			if err := t.rt.SetNormal(ent.Thread); err != nil {
+				errs = append(errs, fmt.Errorf("normal %s: %w", r.name, err))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// --- runtime policy switching ---
+
+// SwitchCondition selects which policy a SwitchedPolicy runs for the
+// current period, based on the metric view.
+type SwitchCondition func(view *View) int
+
+// SwitchedPolicy runs one of several policies each period, chosen by a
+// user-programmed condition (§4). Its metric requirements are the union of
+// all candidate policies' requirements, so the provider always has every
+// candidate's inputs ready.
+type SwitchedPolicy struct {
+	policies []Policy
+	cond     SwitchCondition
+	last     int
+	switches int64
+}
+
+var _ Policy = (*SwitchedPolicy)(nil)
+
+// NewSwitchedPolicy builds a switched policy. cond returns the index of
+// the policy to run (out-of-range values keep the previous selection).
+func NewSwitchedPolicy(cond SwitchCondition, policies ...Policy) (*SwitchedPolicy, error) {
+	if len(policies) == 0 {
+		return nil, errors.New("core: switched policy needs at least one policy")
+	}
+	if cond == nil {
+		return nil, errors.New("core: switched policy needs a condition")
+	}
+	return &SwitchedPolicy{policies: policies, cond: cond}, nil
+}
+
+// Name implements Policy.
+func (p *SwitchedPolicy) Name() string {
+	name := "switched("
+	for i, inner := range p.policies {
+		if i > 0 {
+			name += ","
+		}
+		name += inner.Name()
+	}
+	return name + ")"
+}
+
+// Metrics implements Policy.
+func (p *SwitchedPolicy) Metrics() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, inner := range p.policies {
+		for _, m := range inner.Metrics() {
+			if !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// Schedule implements Policy.
+func (p *SwitchedPolicy) Schedule(view *View) (Schedule, error) {
+	idx := p.cond(view)
+	if idx < 0 || idx >= len(p.policies) {
+		idx = p.last
+	}
+	if idx != p.last {
+		p.switches++
+		p.last = idx
+	}
+	return p.policies[idx].Schedule(view)
+}
+
+// Switches returns how many times the active policy changed.
+func (p *SwitchedPolicy) Switches() int64 { return p.switches }
+
+// Active returns the index of the currently selected policy.
+func (p *SwitchedPolicy) Active() int { return p.last }

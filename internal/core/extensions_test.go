@@ -1,0 +1,180 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// extFakeOS extends the fake OS with the optional capabilities.
+type extFakeOS struct {
+	*fakeOS
+	quotas map[string]time.Duration
+	rt     map[int]int // tid -> prio (0 = normal)
+}
+
+var (
+	_ OSInterface     = (*extFakeOS)(nil)
+	_ QuotaController = (*extFakeOS)(nil)
+	_ RTController    = (*extFakeOS)(nil)
+)
+
+func newExtFakeOS() *extFakeOS {
+	return &extFakeOS{
+		fakeOS: newFakeOS(),
+		quotas: make(map[string]time.Duration),
+		rt:     make(map[int]int),
+	}
+}
+
+func (f *extFakeOS) SetQuota(name string, quota, period time.Duration) error {
+	f.quotas[name] = quota
+	return nil
+}
+func (f *extFakeOS) SetRealtime(tid, prio int) error {
+	f.rt[tid] = prio
+	return nil
+}
+func (f *extFakeOS) SetNormal(tid int) error {
+	f.rt[tid] = 0
+	return nil
+}
+
+func TestQuotaTranslatorMapsPrioritiesToQuotas(t *testing.T) {
+	os := newExtFakeOS()
+	tr, err := NewQuotaTranslator(os, 4, 0.1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := Schedule{
+		Scale: ScaleLinear,
+		Groups: map[string]Group{
+			"hot-group":  {Priority: 10, Ops: []string{"hot"}},
+			"cold-group": {Priority: 0, Ops: []string{"cold"}},
+		},
+	}
+	if err := tr.Apply(sched, threadedEntities()); err != nil {
+		t.Fatal(err)
+	}
+	// hi = 0.9 of 4 CPUs over a 100ms period = 360ms; lo = 0.1*4*100 = 40ms.
+	if got := os.quotas["hot-group"]; got != 360*time.Millisecond {
+		t.Errorf("hot quota = %v, want 360ms", got)
+	}
+	if got := os.quotas["cold-group"]; got != 40*time.Millisecond {
+		t.Errorf("cold quota = %v, want 40ms", got)
+	}
+	if os.placed[11] != "hot-group" || os.placed[13] != "cold-group" {
+		t.Errorf("placements = %v", os.placed)
+	}
+}
+
+func TestQuotaTranslatorPerOpFallbackAndErrors(t *testing.T) {
+	os := newExtFakeOS()
+	tr, err := NewQuotaTranslator(os, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Apply(Schedule{Scale: ScaleLinear}, nil); err == nil {
+		t.Error("empty schedule should fail")
+	}
+	sched := Schedule{Scale: ScaleLinear, Single: map[string]float64{"hot": 2, "cold": 1}}
+	if err := tr.Apply(sched, threadedEntities()); err != nil {
+		t.Fatal(err)
+	}
+	if len(os.quotas) != 2 {
+		t.Errorf("quotas = %v", os.quotas)
+	}
+	// A plain fakeOS lacks the capability.
+	if _, err := NewQuotaTranslator(newFakeOS(), 1, 0, 0); err == nil {
+		t.Error("OS without QuotaController should be rejected")
+	}
+}
+
+func TestRTTranslatorLiftsTopFraction(t *testing.T) {
+	os := newExtFakeOS()
+	tr, err := NewRTTranslator(os, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := Schedule{
+		Scale:  ScaleLinear,
+		Single: map[string]float64{"hot": 9, "warm": 5, "cold": 1, "pooled": 7},
+	}
+	if err := tr.Apply(sched, threadedEntities()); err != nil {
+		t.Fatal(err)
+	}
+	// 4 entities, top 50% = hot and pooled (7); pooled has no thread, so
+	// effective RT set among threaded entities is hot (99).
+	if os.rt[11] != 99 {
+		t.Errorf("hot rt prio = %d, want 99", os.rt[11])
+	}
+	if os.rt[12] != 0 || os.rt[13] != 0 {
+		t.Errorf("warm/cold should be normal: %v", os.rt)
+	}
+	if _, err := NewRTTranslator(newFakeOS(), 0.2); err == nil {
+		t.Error("OS without RTController should be rejected")
+	}
+	if err := tr.Apply(Schedule{}, nil); err == nil {
+		t.Error("empty schedule should fail")
+	}
+}
+
+func TestSwitchedPolicy(t *testing.T) {
+	// Below a queue threshold run FCFS (latency); above it run QS
+	// (throughput) — the §4 runtime-switch scenario.
+	cond := func(view *View) int {
+		total := 0.0
+		for _, v := range view.Metric(MetricQueueSize) {
+			total += v
+		}
+		if total > 100 {
+			return 1 // QS
+		}
+		return 0 // FCFS
+	}
+	sp, err := NewSwitchedPolicy(cond, NewFCFSPolicy(), NewQSPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Union of metric requirements.
+	metricSet := map[string]bool{}
+	for _, m := range sp.Metrics() {
+		metricSet[m] = true
+	}
+	if !metricSet[MetricQueueSize] || !metricSet[MetricHeadWaitMs] {
+		t.Errorf("metrics union = %v", sp.Metrics())
+	}
+
+	ents := linearEntities("a", "b")
+	calm := viewWith(ents, map[string]EntityValues{
+		MetricQueueSize:  {"a": 5, "b": 5},
+		MetricHeadWaitMs: {"a": 100, "b": 1},
+	})
+	busy := viewWith(ents, map[string]EntityValues{
+		MetricQueueSize:  {"a": 500, "b": 5},
+		MetricHeadWaitMs: {"a": 1, "b": 100},
+	})
+
+	s1, err := sp.Schedule(calm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Active() != 0 || s1.Single["a"] != 100 { // FCFS uses head wait
+		t.Errorf("calm: active=%d schedule=%v", sp.Active(), s1.Single)
+	}
+	s2, err := sp.Schedule(busy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Active() != 1 || s2.Single["a"] != 500 { // QS uses queue size
+		t.Errorf("busy: active=%d schedule=%v", sp.Active(), s2.Single)
+	}
+	if sp.Switches() != 1 {
+		t.Errorf("switches = %d, want 1", sp.Switches())
+	}
+	if _, err := NewSwitchedPolicy(nil, NewQSPolicy()); err == nil {
+		t.Error("nil condition should fail")
+	}
+	if _, err := NewSwitchedPolicy(cond); err == nil {
+		t.Error("no policies should fail")
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// flakyDriver fails Fetch on a configurable schedule, modeling an SPE
+// metrics endpoint that times out intermittently.
+type flakyDriver struct {
+	fakeDriver
+	failEvery int
+	calls     int
+}
+
+func (d *flakyDriver) Fetch(metric string, now time.Duration) (EntityValues, error) {
+	d.calls++
+	if d.failEvery > 0 && d.calls%d.failEvery == 0 {
+		return nil, errors.New("metrics endpoint timeout")
+	}
+	return d.fakeDriver.Fetch(metric, now)
+}
+
+func TestMiddlewareSurvivesFlakyDriver(t *testing.T) {
+	d := &flakyDriver{
+		fakeDriver: fakeDriver{
+			name:     "flaky",
+			provided: map[string]EntityValues{MetricQueueSize: {"a": 5, "b": 1}},
+			entities: []Entity{
+				{Name: "a", Driver: "flaky", Query: "q", Thread: 1},
+				{Name: "b", Driver: "flaky", Query: "q", Thread: 2},
+			},
+		},
+		failEvery: 3,
+	}
+	os := newFakeOS()
+	mw := NewMiddleware(nil)
+	if err := mw.Bind(Binding{
+		Policy:     NewQSPolicy(),
+		Translator: NewNiceTranslator(os),
+		Drivers:    []Driver{d},
+		Period:     time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var stepErrs int
+	for i := 0; i < 9; i++ {
+		if _, err := mw.Step(time.Duration(i) * time.Second); err != nil {
+			stepErrs++
+		}
+	}
+	if stepErrs == 0 {
+		t.Error("flaky driver should surface some step errors")
+	}
+	if stepErrs == 9 {
+		t.Error("every step failing means no recovery")
+	}
+	// Successful periods must have applied schedules.
+	if len(os.nices) == 0 {
+		t.Error("no schedules applied despite successful periods")
+	}
+	if mw.PolicyRuns() == 0 {
+		t.Error("no successful policy runs recorded")
+	}
+}
+
+// failingTranslator always fails Apply.
+type failingTranslator struct{}
+
+func (failingTranslator) Name() string { return "failing" }
+func (failingTranslator) Apply(Schedule, map[string]Entity) error {
+	return errors.New("permission denied")
+}
+
+func TestMiddlewareIsolatesFailingBinding(t *testing.T) {
+	// One binding's translator failure must not prevent the other binding
+	// from applying.
+	d := &fakeDriver{
+		name:     "ok",
+		provided: map[string]EntityValues{MetricQueueSize: {"a": 5}},
+		entities: []Entity{{Name: "a", Driver: "ok", Query: "q", Thread: 1}},
+	}
+	os := newFakeOS()
+	mw := NewMiddleware(nil)
+	if err := mw.Bind(Binding{
+		Policy:     NewQSPolicy(),
+		Translator: failingTranslator{},
+		Drivers:    []Driver{d},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.Bind(Binding{
+		Policy:     NewQSPolicy(),
+		Translator: NewNiceTranslator(os),
+		Drivers:    []Driver{d},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := mw.Step(0)
+	if err == nil {
+		t.Error("failing binding should surface an error")
+	}
+	if _, applied := os.nices[1]; !applied {
+		t.Error("healthy binding should still apply")
+	}
+	if mw.ApplyErrors() != 1 {
+		t.Errorf("apply errors = %d, want 1", mw.ApplyErrors())
+	}
+}
+
+// erroringPolicy always fails Schedule.
+type erroringPolicy struct{}
+
+func (erroringPolicy) Name() string      { return "error" }
+func (erroringPolicy) Metrics() []string { return nil }
+func (erroringPolicy) Schedule(*View) (Schedule, error) {
+	return Schedule{}, errors.New("policy bug")
+}
+
+func TestMiddlewareCountsPolicyErrors(t *testing.T) {
+	d := &fakeDriver{name: "d", provided: map[string]EntityValues{},
+		entities: []Entity{{Name: "a", Driver: "d", Thread: 1}}}
+	mw := NewMiddleware(nil)
+	if err := mw.Bind(Binding{
+		Policy:     erroringPolicy{},
+		Translator: NewNiceTranslator(newFakeOS()),
+		Drivers:    []Driver{d},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mw.Step(0); err == nil {
+		t.Error("policy error should surface")
+	}
+	if mw.ApplyErrors() != 1 || mw.PolicyRuns() != 0 {
+		t.Errorf("errors=%d runs=%d", mw.ApplyErrors(), mw.PolicyRuns())
+	}
+}

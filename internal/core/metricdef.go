@@ -1,0 +1,149 @@
+package core
+
+import (
+	"time"
+)
+
+// Canonical metric names. A driver provides a subset directly; the rest
+// are derived through the dependency graph below (paper Fig. 4: different
+// SPEs expose different parts of the graph).
+const (
+	// MetricQueueSize is the operator input queue length (for ingress
+	// operators: the source backlog).
+	MetricQueueSize = "queue_size"
+	// MetricInCount / MetricOutCount are cumulative tuple counters.
+	MetricInCount  = "in_count"
+	MetricOutCount = "out_count"
+	// MetricInRate / MetricOutRate are tuples per second.
+	MetricInRate  = "in_rate"
+	MetricOutRate = "out_rate"
+	// MetricBusyMsPerS is CPU busy milliseconds per wall second.
+	MetricBusyMsPerS = "busy_ms_per_s"
+	// MetricCostMs is the average per-tuple processing cost in ms.
+	MetricCostMs = "cost_ms"
+	// MetricSelectivity is output tuples per input tuple.
+	MetricSelectivity = "selectivity"
+	// MetricHeadWaitMs is the age of the head tuple of the input queue in
+	// ms.
+	MetricHeadWaitMs = "head_wait_ms"
+)
+
+// ComputeCtx gives derived-metric computations access to period timing and
+// the previous period's values (needed to derive rates from cumulative
+// counters).
+type ComputeCtx struct {
+	// Now is the current update time.
+	Now time.Duration
+	// Elapsed is the time since the previous provider update (0 on the
+	// first update).
+	Elapsed time.Duration
+	// Prev holds the previous update's value of each dependency.
+	Prev map[string]EntityValues
+}
+
+// MetricDef declares a metric: either primitive (no deps, must come from a
+// driver) or derived (computed from dependencies).
+type MetricDef struct {
+	Name string
+	// Deps are the metrics this one is computed from (empty = primitive).
+	Deps []string
+	// Compute derives the metric from its dependencies' values.
+	Compute func(ctx *ComputeCtx, deps map[string]EntityValues) EntityValues
+}
+
+// Registry holds metric definitions by name.
+type Registry map[string]MetricDef
+
+// DefaultRegistry returns the metric definitions used in the evaluation.
+// The derivation chains mirror the paper's Fig. 4: e.g. a Flink-like
+// driver provides rates directly, a Storm-like driver provides cumulative
+// counts from which rates — and then selectivity — are derived.
+func DefaultRegistry() Registry {
+	r := Registry{}
+	for _, name := range []string{
+		MetricQueueSize, MetricInCount, MetricOutCount, MetricBusyMsPerS,
+	} {
+		r[name] = MetricDef{Name: name}
+	}
+	r[MetricInRate] = MetricDef{
+		Name:    MetricInRate,
+		Deps:    []string{MetricInCount},
+		Compute: rateOf(MetricInCount),
+	}
+	r[MetricOutRate] = MetricDef{
+		Name:    MetricOutRate,
+		Deps:    []string{MetricOutCount},
+		Compute: rateOf(MetricOutCount),
+	}
+	r[MetricSelectivity] = MetricDef{
+		Name: MetricSelectivity,
+		Deps: []string{MetricInRate, MetricOutRate},
+		Compute: func(_ *ComputeCtx, deps map[string]EntityValues) EntityValues {
+			return ratio(deps[MetricOutRate], deps[MetricInRate])
+		},
+	}
+	r[MetricCostMs] = MetricDef{
+		Name: MetricCostMs,
+		Deps: []string{MetricBusyMsPerS, MetricInRate},
+		Compute: func(_ *ComputeCtx, deps map[string]EntityValues) EntityValues {
+			return ratio(deps[MetricBusyMsPerS], deps[MetricInRate])
+		},
+	}
+	r[MetricHeadWaitMs] = MetricDef{
+		Name: MetricHeadWaitMs,
+		Deps: []string{MetricQueueSize, MetricInRate},
+		Compute: func(_ *ComputeCtx, deps map[string]EntityValues) EntityValues {
+			// Little's law estimate: wait = queue / service rate.
+			out := make(EntityValues, len(deps[MetricQueueSize]))
+			rates := deps[MetricInRate]
+			for e, q := range deps[MetricQueueSize] {
+				if rate := rates[e]; rate > 0 {
+					out[e] = q / rate * 1e3
+				} else {
+					out[e] = 0
+				}
+			}
+			return out
+		},
+	}
+	return r
+}
+
+// rateOf derives a per-second rate from a cumulative counter using the
+// previous period's value.
+func rateOf(counter string) func(*ComputeCtx, map[string]EntityValues) EntityValues {
+	return func(ctx *ComputeCtx, deps map[string]EntityValues) EntityValues {
+		cur := deps[counter]
+		out := make(EntityValues, len(cur))
+		prev := ctx.Prev[counter]
+		if ctx.Elapsed <= 0 || prev == nil {
+			for e := range cur {
+				out[e] = 0
+			}
+			return out
+		}
+		secs := ctx.Elapsed.Seconds()
+		for e, v := range cur {
+			d := v - prev[e]
+			if d < 0 {
+				d = 0
+			}
+			out[e] = d / secs
+		}
+		return out
+	}
+}
+
+// ratio divides two metrics entity-wise, yielding 0 where the denominator
+// is not positive.
+func ratio(num, den EntityValues) EntityValues {
+	out := make(EntityValues, len(num))
+	for e, n := range num {
+		if d := den[e]; d > 0 {
+			out[e] = n / d
+		} else {
+			out[e] = 0
+		}
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Binding attaches one scheduling policy to a translator and a driver
+// scope, with its own period — the user-facing configuration unit of
+// Algorithm 1 (K policies, K translators).
+type Binding struct {
+	// Policy computes the schedule.
+	Policy Policy
+	// Translator enforces it through an OS mechanism.
+	Translator Translator
+	// Drivers is the scope: the SPE processes whose operators this policy
+	// schedules. Multiple bindings may share drivers (e.g. one policy per
+	// query filtered by Queries below).
+	Drivers []Driver
+	// Queries optionally restricts the scope to specific query names
+	// (empty = all queries of the bound drivers).
+	Queries []string
+	// Period is the scheduling period (default one second, the paper's
+	// Graphite-bound resolution).
+	Period time.Duration
+}
+
+// Middleware is Lachesis' main loop state (Algorithm 1): it periodically
+// pulls metrics through the provider, runs each due policy, and applies
+// the resulting schedules through the policies' translators.
+type Middleware struct {
+	provider *Provider
+	bindings []*boundPolicy
+
+	policyRuns  int64
+	applyErrors int64
+}
+
+type boundPolicy struct {
+	Binding
+	ticker  *Ticker
+	queries map[string]bool
+}
+
+// NewMiddleware creates a middleware over a metric provider (nil selects a
+// provider with the default registry).
+func NewMiddleware(provider *Provider) *Middleware {
+	if provider == nil {
+		provider = NewProvider(nil)
+	}
+	return &Middleware{provider: provider}
+}
+
+// Provider returns the middleware's metric provider.
+func (m *Middleware) Provider() *Provider { return m.provider }
+
+// Bind registers a policy binding and the metrics it requires
+// (Algorithm 1, line 1).
+func (m *Middleware) Bind(b Binding) error {
+	if b.Policy == nil {
+		return errors.New("core: binding needs a policy")
+	}
+	if b.Translator == nil {
+		return errors.New("core: binding needs a translator")
+	}
+	if len(b.Drivers) == 0 {
+		return errors.New("core: binding needs at least one driver")
+	}
+	if err := m.provider.Register(b.Policy.Metrics()...); err != nil {
+		return fmt.Errorf("bind %s: %w", b.Policy.Name(), err)
+	}
+	bp := &boundPolicy{Binding: b, ticker: NewTicker(b.Period)}
+	if len(b.Queries) > 0 {
+		bp.queries = make(map[string]bool, len(b.Queries))
+		for _, q := range b.Queries {
+			bp.queries[q] = true
+		}
+	}
+	m.bindings = append(m.bindings, bp)
+	return nil
+}
+
+// PolicyRuns returns how many policy executions have completed.
+func (m *Middleware) PolicyRuns() int64 { return m.policyRuns }
+
+// ApplyErrors returns how many policy/translator executions failed.
+func (m *Middleware) ApplyErrors() int64 { return m.applyErrors }
+
+// StepStats reports what one Step did, letting callers model the
+// middleware's (small) CPU footprint.
+type StepStats struct {
+	// PoliciesRun is the number of due policies executed.
+	PoliciesRun int
+	// Entities is the total entity count across executed policies.
+	Entities int
+	// Next is the earliest time any policy is due again.
+	Next time.Duration
+}
+
+// Step runs one iteration of Algorithm 1 at virtual (or wall) time now:
+// update metrics if any policy is due, run due policies, apply their
+// schedules, and report when to wake next. Errors from individual
+// policies/translators are joined but do not stop other bindings.
+func (m *Middleware) Step(now time.Duration) (StepStats, error) {
+	stats := StepStats{}
+	if len(m.bindings) == 0 {
+		stats.Next = now + time.Second
+		return stats, nil
+	}
+	anyDue := false
+	for _, bp := range m.bindings {
+		if bp.ticker.Due(now) {
+			anyDue = true
+			break
+		}
+	}
+	var errs []error
+	if anyDue {
+		drivers := m.dueDrivers(now)
+		values, err := m.provider.Update(now, drivers)
+		if err != nil {
+			errs = append(errs, err)
+		} else {
+			for _, bp := range m.bindings {
+				if !bp.ticker.Due(now) {
+					continue
+				}
+				bp.ticker.Advance(now)
+				view := m.buildView(now, bp, values)
+				stats.PoliciesRun++
+				stats.Entities += len(view.Entities)
+				sched, err := bp.Policy.Schedule(view)
+				if err != nil {
+					m.applyErrors++
+					errs = append(errs, fmt.Errorf("policy %s: %w", bp.Policy.Name(), err))
+					continue
+				}
+				if err := bp.Translator.Apply(sched, view.Entities); err != nil {
+					m.applyErrors++
+					errs = append(errs, fmt.Errorf("translate %s/%s: %w", bp.Policy.Name(), bp.Translator.Name(), err))
+					continue
+				}
+				m.policyRuns++
+			}
+		}
+	}
+	stats.Next = m.nextDue()
+	return stats, errors.Join(errs...)
+}
+
+// dueDrivers returns the distinct drivers across bindings due at now.
+func (m *Middleware) dueDrivers(now time.Duration) []Driver {
+	seen := make(map[string]bool)
+	var out []Driver
+	for _, bp := range m.bindings {
+		if !bp.ticker.Due(now) {
+			continue
+		}
+		for _, d := range bp.Drivers {
+			if !seen[d.Name()] {
+				seen[d.Name()] = true
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// buildView assembles the policy's view: entities of its drivers (filtered
+// by query scope) and the merged metric values.
+func (m *Middleware) buildView(now time.Duration, bp *boundPolicy, values Values) *View {
+	entities := make(map[string]Entity)
+	merged := make(map[string]EntityValues)
+	for _, d := range bp.Drivers {
+		for _, ent := range d.Entities() {
+			if bp.queries != nil && !bp.queries[ent.Query] {
+				continue
+			}
+			entities[ent.Name] = ent
+		}
+		for metric, vals := range values[d.Name()] {
+			dst := merged[metric]
+			if dst == nil {
+				dst = make(EntityValues, len(vals))
+				merged[metric] = dst
+			}
+			for e, v := range vals {
+				if _, keep := entities[e]; keep {
+					dst[e] = v
+				}
+			}
+		}
+	}
+	return NewView(now, entities, merged)
+}
+
+// nextDue returns the earliest next fire time across bindings.
+func (m *Middleware) nextDue() time.Duration {
+	next := m.bindings[0].ticker.Next()
+	for _, bp := range m.bindings[1:] {
+		if t := bp.ticker.Next(); t < next {
+			next = t
+		}
+	}
+	return next
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestViewAccessors(t *testing.T) {
+	ents := map[string]Entity{"a": {Name: "a"}}
+	v := NewView(time.Second, ents, map[string]EntityValues{
+		MetricQueueSize: {"a": 7},
+	})
+	if v.Now != time.Second {
+		t.Errorf("Now = %v", v.Now)
+	}
+	got, ok := v.Value(MetricQueueSize, "a")
+	if !ok || got != 7 {
+		t.Errorf("Value = (%v,%v)", got, ok)
+	}
+	if _, ok := v.Value(MetricQueueSize, "nope"); ok {
+		t.Error("unknown entity should miss")
+	}
+	if _, ok := v.Value("nope", "a"); ok {
+		t.Error("unknown metric should miss")
+	}
+	if m := v.Metric("nope"); m != nil {
+		t.Error("unknown metric map should be nil")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	tk := NewTicker(2 * time.Second)
+	if !tk.Due(0) {
+		t.Error("new ticker should fire immediately")
+	}
+	tk.Advance(0)
+	if tk.Due(time.Second) {
+		t.Error("not due before period")
+	}
+	if !tk.Due(2 * time.Second) {
+		t.Error("due at period")
+	}
+	if tk.Next() != 2*time.Second || tk.Period() != 2*time.Second {
+		t.Errorf("next=%v period=%v", tk.Next(), tk.Period())
+	}
+	// Advancing from a late wake re-anchors (no catch-up storm).
+	tk.Advance(10 * time.Second)
+	if tk.Due(11 * time.Second) {
+		t.Error("re-anchored ticker should not be due 1s after a late run")
+	}
+	def := NewTicker(0)
+	if def.Period() != time.Second {
+		t.Errorf("default period = %v", def.Period())
+	}
+}
+
+func TestUnknownMetricErrorMessage(t *testing.T) {
+	err := &UnknownMetricError{Metric: "queue_size", Driver: "storm0"}
+	msg := err.Error()
+	if !strings.Contains(msg, "queue_size") || !strings.Contains(msg, "storm0") {
+		t.Errorf("message = %q", msg)
+	}
+}
+
+func TestPolicyAndTranslatorNames(t *testing.T) {
+	os := newFakeOS()
+	names := map[string]string{
+		NewQSPolicy().Name():                            "qs",
+		NewFCFSPolicy().Name():                          "fcfs",
+		NewHRPolicy().Name():                            "hr",
+		NewRandomPolicy(1).Name():                       "random",
+		NewNiceTranslator(os).Name():                    "nice",
+		NewSharesTranslator(os, 0, 0).Name():            "cpu.shares",
+		NewCombinedTranslator(os, 0, 0).Name():          "nice+cpu.shares",
+		GroupPerQuery(NewQSPolicy()).Name():             "qs+query-groups",
+		Transformed(&StaticLogicalPolicy{}, nil).Name(): "static+transform",
+	}
+	for got, want := range names {
+		if got != want {
+			t.Errorf("name = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestHRPolicyHandlesDanglingDownstream(t *testing.T) {
+	// A downstream reference to an entity outside the view (e.g. filtered
+	// by query scope) must not panic or distort ordering fatally.
+	ents := map[string]Entity{
+		"a": {Name: "a", Downstream: []string{"ghost"}},
+	}
+	view := viewWith(ents, map[string]EntityValues{
+		MetricCostMs:      {"a": 1},
+		MetricSelectivity: {"a": 1},
+	})
+	sched, err := HRPolicy{}.Schedule(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sched.Single["a"]; !ok {
+		t.Error("entity with dangling downstream missing from schedule")
+	}
+}

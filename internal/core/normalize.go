@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+)
+
+// Nice range constants (duplicated from the OS layer so core stays
+// independent of any particular OS binding).
+const (
+	niceMin = -20
+	niceMax = 19
+)
+
+// log125 is ln(1.25), the base of the kernel's nice weight law
+// w(n) = 1024/1.25^n (§2).
+var log125 = math.Log(1.25)
+
+// NormalizeToNice converts policy priorities (higher = more CPU) into nice
+// values in [-20, 19] (lower = more CPU), implementing the priority
+// normalization of §5.3.
+//
+// For logarithmically-spaced priorities it uses the paper's exact nice
+// formula F(x) = n_max + (log(p_max) - log(x)) / log(1.25), falling back
+// to min-max on the logs when the relative spread does not fit the 40
+// distinct nice values. For linear priorities it min-max-normalizes and
+// discretizes into the nice range.
+func NormalizeToNice(priorities map[string]float64, scale Scale) map[string]int {
+	out := make(map[string]int, len(priorities))
+	if len(priorities) == 0 {
+		return out
+	}
+	switch scale {
+	case ScaleLog:
+		shifted := shiftPositive(priorities)
+		pmax := math.Inf(-1)
+		for _, v := range shifted {
+			pmax = math.Max(pmax, v)
+		}
+		logPmax := math.Log(pmax)
+		raw := make(map[string]float64, len(shifted))
+		fits := true
+		for e, v := range shifted {
+			f := float64(niceMin) + (logPmax-math.Log(v))/log125
+			raw[e] = f
+			if f > float64(niceMax) {
+				fits = false
+			}
+		}
+		if fits {
+			for e, f := range raw {
+				out[e] = clampNice(int(math.Round(f)))
+			}
+			return out
+		}
+		// Spread too large for 40 nice values: min-max the log-domain
+		// values into the range (the paper's "additional min-max
+		// normalization might still be required").
+		return minMaxToRange(raw, float64(niceMin), float64(niceMax), false)
+	default: // ScaleLinear
+		// Higher priority -> lower nice: invert during min-max.
+		return minMaxToRange(priorities, float64(niceMin), float64(niceMax), true)
+	}
+}
+
+// NormalizeToShares converts group priorities into cgroup cpu.shares in
+// [lo, hi], min-max (optionally on logarithms) with higher priority
+// getting more shares.
+func NormalizeToShares(priorities map[string]float64, scale Scale, lo, hi int) map[string]int {
+	if len(priorities) == 0 {
+		return map[string]int{}
+	}
+	vals := priorities
+	if scale == ScaleLog {
+		shifted := shiftPositive(priorities)
+		vals = make(map[string]float64, len(shifted))
+		for e, v := range shifted {
+			vals[e] = math.Log(v)
+		}
+	}
+	return minMaxToRange(vals, float64(lo), float64(hi), false)
+}
+
+// shiftPositive returns values shifted so the minimum is strictly
+// positive, preserving order (log normalization needs positive inputs).
+func shiftPositive(in map[string]float64) map[string]float64 {
+	min := math.Inf(1)
+	for _, v := range in {
+		min = math.Min(min, v)
+	}
+	if min > 0 {
+		return in
+	}
+	out := make(map[string]float64, len(in))
+	shift := -min + 1e-9
+	for e, v := range in {
+		out[e] = v + shift
+	}
+	return out
+}
+
+// minMaxToRange maps values onto integer [lo, hi]. With invert=true the
+// largest input maps to lo (used for nice, where small means strong).
+// Equal inputs map to the middle of the range.
+func minMaxToRange(in map[string]float64, lo, hi float64, invert bool) map[string]int {
+	out := make(map[string]int, len(in))
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range in {
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	span := max - min
+	for e, v := range in {
+		var frac float64 // 0 = weakest, 1 = strongest
+		if span > 0 {
+			frac = (v - min) / span
+		} else {
+			frac = 0.5
+		}
+		var val float64
+		if invert {
+			val = hi - frac*(hi-lo)
+		} else {
+			val = lo + frac*(hi-lo)
+		}
+		out[e] = int(math.Round(val))
+	}
+	return out
+}
+
+func clampNice(n int) int {
+	if n < niceMin {
+		return niceMin
+	}
+	if n > niceMax {
+		return niceMax
+	}
+	return n
+}

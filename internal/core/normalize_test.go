@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormalizeToNiceLinear(t *testing.T) {
+	prios := map[string]float64{"a": 0, "b": 50, "c": 100}
+	got := NormalizeToNice(prios, ScaleLinear)
+	if got["c"] != -20 {
+		t.Errorf("highest priority should map to nice -20, got %d", got["c"])
+	}
+	if got["a"] != 19 {
+		t.Errorf("lowest priority should map to nice 19, got %d", got["a"])
+	}
+	if got["b"] < -2 || got["b"] > 2 {
+		t.Errorf("middle priority should map near nice 0, got %d", got["b"])
+	}
+}
+
+func TestNormalizeToNiceEqualPriorities(t *testing.T) {
+	prios := map[string]float64{"a": 5, "b": 5, "c": 5}
+	got := NormalizeToNice(prios, ScaleLinear)
+	for e, n := range got {
+		if n != got["a"] {
+			t.Fatalf("equal priorities should get equal nice, %s got %d", e, n)
+		}
+	}
+	if got["a"] < -1 || got["a"] > 1 {
+		t.Errorf("equal priorities should map near the middle, got %d", got["a"])
+	}
+}
+
+func TestNormalizeToNiceLogFormula(t *testing.T) {
+	// Paper §5.3: F(x) = n_max + (log(p_max) - log(x)) / log(1.25).
+	// Priorities within a 1.25^k spread should land exactly k nice levels
+	// apart.
+	pmax := 100.0
+	prios := map[string]float64{
+		"top": pmax,
+		"mid": pmax / math.Pow(1.25, 10),
+		"low": pmax / math.Pow(1.25, 39),
+	}
+	got := NormalizeToNice(prios, ScaleLog)
+	if got["top"] != -20 {
+		t.Errorf("p_max should map to nice -20, got %d", got["top"])
+	}
+	if got["mid"] != -10 {
+		t.Errorf("p_max/1.25^10 should map to nice -10, got %d", got["mid"])
+	}
+	if got["low"] != 19 {
+		t.Errorf("p_max/1.25^39 should map to nice 19, got %d", got["low"])
+	}
+}
+
+func TestNormalizeToNiceLogOverflowFallsBackToMinMax(t *testing.T) {
+	// Spread of 1.25^200: cannot fit in 40 nice values; min-max on logs.
+	prios := map[string]float64{
+		"top": 1,
+		"mid": math.Pow(1.25, -100),
+		"low": math.Pow(1.25, -200),
+	}
+	got := NormalizeToNice(prios, ScaleLog)
+	if got["top"] != -20 || got["low"] != 19 {
+		t.Errorf("fallback min-max should span full range, got %v", got)
+	}
+	if got["mid"] < -2 || got["mid"] > 2 {
+		t.Errorf("log-middle value should land near nice 0, got %d", got["mid"])
+	}
+}
+
+func TestNormalizeToNiceNonPositiveLogInputs(t *testing.T) {
+	prios := map[string]float64{"a": -5, "b": 0, "c": 5}
+	got := NormalizeToNice(prios, ScaleLog)
+	if got["c"] >= got["a"] {
+		t.Errorf("higher priority should get lower nice: %v", got)
+	}
+	for e, n := range got {
+		if n < -20 || n > 19 {
+			t.Errorf("nice out of range for %s: %d", e, n)
+		}
+	}
+}
+
+func TestNormalizeToShares(t *testing.T) {
+	prios := map[string]float64{"a": 0, "b": 10}
+	got := NormalizeToShares(prios, ScaleLinear, 8, 8192)
+	if got["a"] != 8 {
+		t.Errorf("lowest priority shares = %d, want 8", got["a"])
+	}
+	if got["b"] != 8192 {
+		t.Errorf("highest priority shares = %d, want 8192", got["b"])
+	}
+	one := NormalizeToShares(map[string]float64{"only": 3}, ScaleLinear, 8, 8192)
+	if one["only"] < 8 || one["only"] > 8192 {
+		t.Errorf("single group shares out of range: %d", one["only"])
+	}
+}
+
+func TestNormalizeEmpty(t *testing.T) {
+	if got := NormalizeToNice(nil, ScaleLinear); len(got) != 0 {
+		t.Errorf("empty input should give empty output, got %v", got)
+	}
+	if got := NormalizeToShares(nil, ScaleLog, 2, 100); len(got) != 0 {
+		t.Errorf("empty input should give empty output, got %v", got)
+	}
+}

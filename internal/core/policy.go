@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// View is what a policy sees at scheduling time: the entities of the
+// drivers in its scope and the metric values the provider computed for the
+// current period.
+type View struct {
+	// Now is the current virtual (or wall) time.
+	Now time.Duration
+	// Entities maps entity names to entity descriptions, across all
+	// drivers in the policy's scope.
+	Entities map[string]Entity
+	// values: metric -> entity -> value.
+	values map[string]EntityValues
+}
+
+// NewView assembles a view. It is exported for tests and custom loops; the
+// Middleware builds views internally.
+func NewView(now time.Duration, entities map[string]Entity, values map[string]EntityValues) *View {
+	return &View{Now: now, Entities: entities, values: values}
+}
+
+// Value returns one metric value for one entity.
+func (v *View) Value(metric, entity string) (float64, bool) {
+	m, ok := v.values[metric]
+	if !ok {
+		return 0, false
+	}
+	val, ok := m[entity]
+	return val, ok
+}
+
+// Metric returns all entities' values for one metric (may be nil).
+func (v *View) Metric(metric string) EntityValues { return v.values[metric] }
+
+// Policy is a scheduling policy (Definition 3.2): it turns a metric view
+// into priorities for physical operators. Policies are OS-agnostic (they
+// output real-valued priorities; translators handle OS units) and
+// SPE-agnostic (they read canonical metrics resolved by the provider).
+type Policy interface {
+	// Name identifies the policy in logs and experiment output.
+	Name() string
+	// Metrics lists the canonical metrics the policy requires.
+	Metrics() []string
+	// Schedule computes priorities for the entities in view.
+	Schedule(view *View) (Schedule, error)
+}
+
+// --- Queue Size (QS) ---
+
+// QSPolicy prioritizes operators with longer input queues, balancing queue
+// sizes to raise egress throughput and lower latency (EdgeWise's policy
+// [18], §5.1).
+type QSPolicy struct{}
+
+var _ Policy = QSPolicy{}
+
+// NewQSPolicy returns the QS policy.
+func NewQSPolicy() QSPolicy { return QSPolicy{} }
+
+// Name implements Policy.
+func (QSPolicy) Name() string { return "qs" }
+
+// Metrics implements Policy.
+func (QSPolicy) Metrics() []string { return []string{MetricQueueSize} }
+
+// Schedule implements Policy.
+func (QSPolicy) Schedule(view *View) (Schedule, error) {
+	qs := view.Metric(MetricQueueSize)
+	single := make(map[string]float64, len(view.Entities))
+	for name := range view.Entities {
+		single[name] = qs[name]
+	}
+	return Schedule{Scale: ScaleLinear, Single: single}, nil
+}
+
+// --- First-Come-First-Serve (FCFS) ---
+
+// FCFSPolicy prioritizes operators whose head input tuple has waited
+// longest, minimizing maximum latency ([7], §5.1).
+type FCFSPolicy struct{}
+
+var _ Policy = FCFSPolicy{}
+
+// NewFCFSPolicy returns the FCFS policy.
+func NewFCFSPolicy() FCFSPolicy { return FCFSPolicy{} }
+
+// Name implements Policy.
+func (FCFSPolicy) Name() string { return "fcfs" }
+
+// Metrics implements Policy.
+func (FCFSPolicy) Metrics() []string { return []string{MetricHeadWaitMs} }
+
+// Schedule implements Policy.
+func (FCFSPolicy) Schedule(view *View) (Schedule, error) {
+	waits := view.Metric(MetricHeadWaitMs)
+	single := make(map[string]float64, len(view.Entities))
+	for name := range view.Entities {
+		single[name] = waits[name]
+	}
+	return Schedule{Scale: ScaleLinear, Single: single}, nil
+}
+
+// --- Highest Rate (HR) ---
+
+// HRPolicy prioritizes operators on "productive and inexpensive" paths to
+// the sinks, minimizing average tuple latency (Sharaf et al. [50], §5.1).
+// An operator's priority is the best output rate of any downstream path:
+// max over paths of (product of selectivities) / (sum of costs).
+type HRPolicy struct{}
+
+var _ Policy = HRPolicy{}
+
+// NewHRPolicy returns the HR policy.
+func NewHRPolicy() HRPolicy { return HRPolicy{} }
+
+// Name implements Policy.
+func (HRPolicy) Name() string { return "hr" }
+
+// Metrics implements Policy.
+func (HRPolicy) Metrics() []string { return []string{MetricCostMs, MetricSelectivity} }
+
+// Schedule implements Policy.
+func (HRPolicy) Schedule(view *View) (Schedule, error) {
+	costs := view.Metric(MetricCostMs)
+	sels := view.Metric(MetricSelectivity)
+	memo := make(map[string][2]float64, len(view.Entities)) // name -> {pathSel, pathCost}
+	single := make(map[string]float64, len(view.Entities))
+	for name := range view.Entities {
+		sel, cost := hrPath(name, view, costs, sels, memo, 0)
+		if cost <= 0 {
+			cost = 1e-6
+		}
+		single[name] = sel / cost
+	}
+	return Schedule{Scale: ScaleLog, Single: single}, nil
+}
+
+// hrPath returns the (selectivity product, cost sum) of the best path from
+// entity `name` to any sink. depth caps traversal against malformed graphs.
+func hrPath(name string, view *View, costs, sels EntityValues, memo map[string][2]float64, depth int) (float64, float64) {
+	if v, ok := memo[name]; ok {
+		return v[0], v[1]
+	}
+	const maxDepth = 1000
+	ent, ok := view.Entities[name]
+	cost := math.Max(costs[name], 1e-6)
+	sel := sels[name]
+	if sel <= 0 {
+		sel = 1e-6
+	}
+	if !ok || len(ent.Downstream) == 0 || depth > maxDepth {
+		memo[name] = [2]float64{sel, cost}
+		return sel, cost
+	}
+	bestRate := math.Inf(-1)
+	bestSel, bestCost := sel, cost
+	for _, ds := range ent.Downstream {
+		dSel, dCost := hrPath(ds, view, costs, sels, memo, depth+1)
+		pSel := sel * dSel
+		pCost := cost + dCost
+		if rate := pSel / pCost; rate > bestRate {
+			bestRate = rate
+			bestSel, bestCost = pSel, pCost
+		}
+	}
+	memo[name] = [2]float64{bestSel, bestCost}
+	return bestSel, bestCost
+}
+
+// --- RANDOM ---
+
+// RandomPolicy assigns uniformly random priorities; the paper uses it to
+// show that Lachesis' gains are not an artifact of merely perturbing
+// thread priorities (§6.3).
+type RandomPolicy struct {
+	rng *rand.Rand
+}
+
+var _ Policy = (*RandomPolicy)(nil)
+
+// NewRandomPolicy returns a seeded RANDOM policy.
+func NewRandomPolicy(seed int64) *RandomPolicy {
+	return &RandomPolicy{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Policy.
+func (*RandomPolicy) Name() string { return "random" }
+
+// Metrics implements Policy.
+func (*RandomPolicy) Metrics() []string { return nil }
+
+// Schedule implements Policy.
+func (p *RandomPolicy) Schedule(view *View) (Schedule, error) {
+	single := make(map[string]float64, len(view.Entities))
+	// Iterate in sorted order so a seed reproduces the same priorities
+	// regardless of map iteration order.
+	for _, name := range sortedKeys(view.Entities) {
+		single[name] = p.rng.Float64()
+	}
+	return Schedule{Scale: ScaleLinear, Single: single}, nil
+}

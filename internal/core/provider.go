@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Provider computes registered metrics for every driver, resolving each
+// metric either directly from the driver or recursively through its
+// dependency graph with per-driver caching — Algorithm 3 of the paper.
+type Provider struct {
+	registry   Registry
+	registered map[string]bool
+
+	// prev retains the previous update's values per driver, so derived
+	// metrics can compute rates from cumulative counters.
+	prev       map[string]map[string]EntityValues
+	lastUpdate time.Duration
+	hasUpdated bool
+}
+
+// NewProvider creates a provider over a metric registry (nil selects
+// DefaultRegistry).
+func NewProvider(registry Registry) *Provider {
+	if registry == nil {
+		registry = DefaultRegistry()
+	}
+	return &Provider{
+		registry:   registry,
+		registered: make(map[string]bool),
+		prev:       make(map[string]map[string]EntityValues),
+	}
+}
+
+// Register declares metrics that policies require (Algorithm 1, line 1).
+// Registering an undefined metric is an error.
+func (p *Provider) Register(metricNames ...string) error {
+	for _, m := range metricNames {
+		if _, ok := p.registry[m]; !ok {
+			return fmt.Errorf("core: metric %q not in registry", m)
+		}
+		p.registered[m] = true
+	}
+	return nil
+}
+
+// Registered returns the registered metric names.
+func (p *Provider) Registered() []string {
+	out := make([]string, 0, len(p.registered))
+	for m := range p.registered {
+		out = append(out, m)
+	}
+	return out
+}
+
+// Values holds one update's computed metrics: driver -> metric -> entity
+// -> value.
+type Values map[string]map[string]EntityValues
+
+// Update computes all registered metrics for every driver (Algorithm 3,
+// update): each driver gets a fresh computation cache so shared
+// dependencies are computed once per driver per period.
+func (p *Provider) Update(now time.Duration, drivers []Driver) (Values, error) {
+	out := make(Values, len(drivers))
+	var elapsed time.Duration
+	if p.hasUpdated {
+		elapsed = now - p.lastUpdate
+	}
+	for _, d := range drivers {
+		ctx := &ComputeCtx{Now: now, Elapsed: elapsed, Prev: p.prev[d.Name()]}
+		if ctx.Prev == nil {
+			ctx.Prev = make(map[string]EntityValues)
+		}
+		cache := make(map[string]EntityValues)
+		for m := range p.registered {
+			if _, err := p.compute(m, d, ctx, cache, nil); err != nil {
+				return nil, err
+			}
+		}
+		out[d.Name()] = cache
+		p.prev[d.Name()] = cache
+	}
+	p.lastUpdate = now
+	p.hasUpdated = true
+	return out, nil
+}
+
+// compute resolves one metric for one driver (Algorithm 3, compute):
+// cache hit, then direct fetch, then recursive derivation.
+func (p *Provider) compute(metric string, d Driver, ctx *ComputeCtx, cache map[string]EntityValues, stack []string) (EntityValues, error) {
+	if v, ok := cache[metric]; ok {
+		return v, nil
+	}
+	for _, s := range stack {
+		if s == metric {
+			return nil, fmt.Errorf("core: metric dependency cycle at %q", metric)
+		}
+	}
+	if d.Provides(metric) {
+		v, err := d.Fetch(metric, ctx.Now)
+		if err != nil {
+			return nil, fmt.Errorf("fetch %q from %q: %w", metric, d.Name(), err)
+		}
+		cache[metric] = v
+		return v, nil
+	}
+	def, ok := p.registry[metric]
+	if !ok || len(def.Deps) == 0 {
+		// Primitive metric the driver cannot provide: misconfiguration.
+		return nil, &UnknownMetricError{Metric: metric, Driver: d.Name()}
+	}
+	deps := make(map[string]EntityValues, len(def.Deps))
+	stack = append(stack, metric)
+	for _, dep := range def.Deps {
+		v, err := p.compute(dep, d, ctx, cache, stack)
+		if err != nil {
+			return nil, err
+		}
+		deps[dep] = v
+	}
+	v := def.Compute(ctx, deps)
+	cache[metric] = v
+	return v, nil
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeDriver provides a configurable set of metrics to the provider.
+type fakeDriver struct {
+	name     string
+	provided map[string]EntityValues
+	entities []Entity
+	fetches  map[string]int
+}
+
+var _ Driver = (*fakeDriver)(nil)
+
+func (d *fakeDriver) Name() string       { return d.name }
+func (d *fakeDriver) Entities() []Entity { return d.entities }
+func (d *fakeDriver) Provides(metric string) bool {
+	_, ok := d.provided[metric]
+	return ok
+}
+func (d *fakeDriver) Fetch(metric string, _ time.Duration) (EntityValues, error) {
+	if d.fetches == nil {
+		d.fetches = make(map[string]int)
+	}
+	d.fetches[metric]++
+	v, ok := d.provided[metric]
+	if !ok {
+		return nil, &UnknownMetricError{Metric: metric, Driver: d.name}
+	}
+	out := make(EntityValues, len(v))
+	for k, x := range v {
+		out[k] = x
+	}
+	return out, nil
+}
+
+func TestProviderDirectFetch(t *testing.T) {
+	d := &fakeDriver{
+		name:     "liebre",
+		provided: map[string]EntityValues{MetricQueueSize: {"op1": 5, "op2": 9}},
+	}
+	p := NewProvider(nil)
+	if err := p.Register(MetricQueueSize); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := p.Update(time.Second, []Driver{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vals["liebre"][MetricQueueSize]["op2"]; got != 9 {
+		t.Errorf("queue_size[op2] = %v, want 9", got)
+	}
+}
+
+func TestProviderDerivesRatesFromCounts(t *testing.T) {
+	// Storm-like driver: only cumulative counts. Rates need two periods.
+	d := &fakeDriver{
+		name: "storm",
+		provided: map[string]EntityValues{
+			MetricInCount:  {"op": 1000},
+			MetricOutCount: {"op": 500},
+		},
+	}
+	p := NewProvider(nil)
+	if err := p.Register(MetricSelectivity); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Update(1*time.Second, []Driver{d}); err != nil {
+		t.Fatal(err)
+	}
+	d.provided[MetricInCount] = EntityValues{"op": 3000}
+	d.provided[MetricOutCount] = EntityValues{"op": 1500}
+	vals, err := p.Update(2*time.Second, []Driver{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// in_rate = 2000/s, out_rate = 1000/s, selectivity = 0.5.
+	if got := vals["storm"][MetricSelectivity]["op"]; got != 0.5 {
+		t.Errorf("derived selectivity = %v, want 0.5", got)
+	}
+	if got := vals["storm"][MetricInRate]["op"]; got != 2000 {
+		t.Errorf("derived in_rate = %v, want 2000", got)
+	}
+}
+
+func TestProviderDerivesCostFromBusyAndRate(t *testing.T) {
+	// Flink-like driver: rates + busy time, no direct cost.
+	d := &fakeDriver{
+		name: "flink",
+		provided: map[string]EntityValues{
+			MetricInRate:     {"op": 100},
+			MetricBusyMsPerS: {"op": 400},
+		},
+	}
+	p := NewProvider(nil)
+	if err := p.Register(MetricCostMs); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := p.Update(time.Second, []Driver{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vals["flink"][MetricCostMs]["op"]; got != 4 {
+		t.Errorf("derived cost = %v ms, want 4", got)
+	}
+}
+
+func TestProviderCachesPerDriverPerPeriod(t *testing.T) {
+	// selectivity and cost_ms share the in_rate dependency; in_rate's
+	// in_count fetch must happen once per update (Algorithm 3's cache).
+	d := &fakeDriver{
+		name: "storm",
+		provided: map[string]EntityValues{
+			MetricInCount:    {"op": 100},
+			MetricOutCount:   {"op": 100},
+			MetricBusyMsPerS: {"op": 10},
+		},
+	}
+	p := NewProvider(nil)
+	if err := p.Register(MetricSelectivity, MetricCostMs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Update(time.Second, []Driver{d}); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.fetches[MetricInCount]; got != 1 {
+		t.Errorf("in_count fetched %d times in one period, want 1", got)
+	}
+}
+
+func TestProviderMissingPrimitiveMetric(t *testing.T) {
+	d := &fakeDriver{name: "bare", provided: map[string]EntityValues{}}
+	p := NewProvider(nil)
+	if err := p.Register(MetricQueueSize); err != nil {
+		t.Fatal(err)
+	}
+	_, err := p.Update(time.Second, []Driver{d})
+	var unknown *UnknownMetricError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("want UnknownMetricError, got %v", err)
+	}
+	if unknown.Metric != MetricQueueSize || unknown.Driver != "bare" {
+		t.Errorf("error fields = %+v", unknown)
+	}
+}
+
+func TestProviderRejectsUnknownRegistration(t *testing.T) {
+	p := NewProvider(nil)
+	if err := p.Register("no_such_metric"); err == nil {
+		t.Error("registering an undefined metric should fail")
+	}
+}
+
+func TestProviderDetectsDependencyCycle(t *testing.T) {
+	reg := Registry{
+		"a": {Name: "a", Deps: []string{"b"}, Compute: passthrough("b")},
+		"b": {Name: "b", Deps: []string{"a"}, Compute: passthrough("a")},
+	}
+	p := NewProvider(reg)
+	if err := p.Register("a"); err != nil {
+		t.Fatal(err)
+	}
+	d := &fakeDriver{name: "x", provided: map[string]EntityValues{}}
+	if _, err := p.Update(time.Second, []Driver{d}); err == nil {
+		t.Error("cycle should be detected")
+	}
+}
+
+func passthrough(dep string) func(*ComputeCtx, map[string]EntityValues) EntityValues {
+	return func(_ *ComputeCtx, deps map[string]EntityValues) EntityValues { return deps[dep] }
+}

@@ -1,0 +1,37 @@
+package core
+
+// Scale declares how a policy's priorities are spaced, which selects the
+// normalization a translator applies (§5.3: min-max for linear priorities,
+// min-max on logarithms for logarithmically-spaced ones like HR).
+type Scale int
+
+const (
+	// ScaleLinear priorities are normalized with plain min-max.
+	ScaleLinear Scale = iota + 1
+	// ScaleLog priorities are normalized on their logarithms.
+	ScaleLog
+)
+
+// Group is one entry of a grouping schedule: a priority for a set of
+// physical operators that should share an OS-level group (cgroup).
+type Group struct {
+	Priority float64
+	// Ops are the entity names in the group.
+	Ops []string
+}
+
+// Schedule is a scheduling policy's output (Definition 3.2): priorities
+// for physical operators, in one or both of the paper's two formats
+// (§5.3): a single-priority schedule ({operator} -> R) and a grouping
+// schedule ({gid} -> (R, {operator})). Higher priority always means more
+// CPU; translators convert to mechanism-specific units (where e.g. lower
+// nice means more CPU).
+type Schedule struct {
+	// Scale declares the spacing of all priorities in this schedule.
+	Scale Scale
+	// Single maps entity names to priorities (nice translation).
+	Single map[string]float64
+	// Groups maps group IDs to group priorities and members (cpu.shares
+	// translation).
+	Groups map[string]Group
+}

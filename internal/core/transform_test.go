@@ -1,0 +1,70 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// failingLogicalPolicy always errors.
+type failingLogicalPolicy struct{}
+
+func (failingLogicalPolicy) Name() string      { return "boom" }
+func (failingLogicalPolicy) Metrics() []string { return []string{MetricQueueSize} }
+func (failingLogicalPolicy) ScheduleLogical(*View) (LogicalSchedule, Scale, error) {
+	return nil, 0, errors.New("boom")
+}
+
+func TestTransformedPropagatesErrors(t *testing.T) {
+	p := Transformed(failingLogicalPolicy{}, nil)
+	if _, err := p.Schedule(viewWith(nil, nil)); err == nil {
+		t.Error("logical policy error must propagate")
+	}
+	if got := p.Metrics(); len(got) != 1 || got[0] != MetricQueueSize {
+		t.Errorf("metrics passthrough = %v", got)
+	}
+}
+
+func TestGroupPerQueryPropagatesErrors(t *testing.T) {
+	p := GroupPerQuery(erroringPolicy{})
+	if _, err := p.Schedule(viewWith(nil, nil)); err == nil {
+		t.Error("inner policy error must propagate")
+	}
+}
+
+func TestMaxPriorityRuleSkipsUnknownLogical(t *testing.T) {
+	ents := map[string]Entity{
+		"known":   {Name: "known", Logical: []string{"a"}},
+		"unknown": {Name: "unknown", Logical: []string{"zzz"}},
+		"empty":   {Name: "empty"},
+	}
+	out := MaxPriorityRule(LogicalSchedule{"a": 5}, ents)
+	if out["known"] != 5 {
+		t.Errorf("known = %v", out["known"])
+	}
+	if _, ok := out["unknown"]; ok {
+		t.Error("entity with no scheduled logical ops must be omitted")
+	}
+	if _, ok := out["empty"]; ok {
+		t.Error("entity without logical ops must be omitted")
+	}
+}
+
+func TestStaticLogicalPolicyDefaults(t *testing.T) {
+	lp := &StaticLogicalPolicy{Priorities: LogicalSchedule{"a": 9}, Default: 2}
+	if lp.Name() != "static" {
+		t.Errorf("default name = %q", lp.Name())
+	}
+	ents := map[string]Entity{
+		"x": {Name: "x", Logical: []string{"a", "b"}},
+	}
+	sched, scale, err := lp.ScheduleLogical(viewWith(ents, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != ScaleLinear {
+		t.Errorf("scale = %v", scale)
+	}
+	if sched["a"] != 9 || sched["b"] != 2 {
+		t.Errorf("schedule = %v", sched)
+	}
+}

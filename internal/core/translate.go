@@ -1,0 +1,223 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// OSInterface abstracts the OS scheduling mechanisms a translator drives
+// (Definition 3.3). internal/simctl adapts the simulated kernel;
+// internal/oslinux adapts a real Linux host.
+type OSInterface interface {
+	// SetNice sets a thread's nice value.
+	SetNice(tid int, nice int) error
+	// EnsureCgroup creates the named cgroup if needed (idempotent).
+	EnsureCgroup(name string) error
+	// SetShares sets a cgroup's cpu.shares.
+	SetShares(cgroupName string, shares int) error
+	// MoveThread places a thread into a cgroup (idempotent).
+	MoveThread(tid int, cgroupName string) error
+}
+
+// Translator applies a schedule through an OS mechanism (Definition 3.3).
+// Translators are orthogonal to policies: the same policy can be enforced
+// via nice, via cgroup cpu.shares, or both (§5.3).
+type Translator interface {
+	Name() string
+	Apply(sched Schedule, entities map[string]Entity) error
+}
+
+// Default cpu.shares normalization range. The 1024x spread roughly matches
+// the useful dynamic range of nice (1.25^39 ~ 6000x) while staying well
+// inside the kernel's [2, 262144] bounds.
+const (
+	DefaultSharesLo = 8
+	DefaultSharesHi = 8192
+)
+
+// --- nice translator ---
+
+// NiceTranslator enforces single-priority schedules by renicing operator
+// threads.
+type NiceTranslator struct {
+	os OSInterface
+}
+
+var _ Translator = (*NiceTranslator)(nil)
+
+// NewNiceTranslator returns a nice translator over an OS binding.
+func NewNiceTranslator(os OSInterface) *NiceTranslator {
+	return &NiceTranslator{os: os}
+}
+
+// Name implements Translator.
+func (*NiceTranslator) Name() string { return "nice" }
+
+// Apply implements Translator.
+func (t *NiceTranslator) Apply(sched Schedule, entities map[string]Entity) error {
+	if len(sched.Single) == 0 {
+		return errors.New("core: nice translator needs a single-priority schedule")
+	}
+	nices := NormalizeToNice(sched.Single, sched.Scale)
+	var errs []error
+	for _, name := range sortedKeys(nices) {
+		ent, ok := entities[name]
+		if !ok || ent.Thread == 0 {
+			continue // no dedicated thread (e.g. worker-pool engines)
+		}
+		if err := t.os.SetNice(ent.Thread, nices[name]); err != nil {
+			errs = append(errs, fmt.Errorf("renice %s: %w", name, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// --- cpu.shares translator ---
+
+// CgroupRemover is the optional OS capability to garbage-collect cgroups
+// the shares translator created for entities that no longer exist (e.g. a
+// torn-down query).
+type CgroupRemover interface {
+	RemoveCgroup(name string) error
+}
+
+// SharesTranslator enforces grouping schedules through the cgroup CPU
+// controller. When a schedule has no explicit groups, each operator gets
+// its own cgroup (how the paper schedules 100 operators despite nice
+// having only 40 distinct values, §6.4). Groups that disappear from the
+// schedule are removed when the OS binding supports it.
+type SharesTranslator struct {
+	os     OSInterface
+	lo, hi int
+	prev   map[string]bool
+}
+
+var _ Translator = (*SharesTranslator)(nil)
+
+// NewSharesTranslator returns a cpu.shares translator; lo/hi bound the
+// shares range (0 selects defaults).
+func NewSharesTranslator(os OSInterface, lo, hi int) *SharesTranslator {
+	if lo <= 0 {
+		lo = DefaultSharesLo
+	}
+	if hi <= 0 {
+		hi = DefaultSharesHi
+	}
+	return &SharesTranslator{os: os, lo: lo, hi: hi, prev: make(map[string]bool)}
+}
+
+// Name implements Translator.
+func (*SharesTranslator) Name() string { return "cpu.shares" }
+
+// Apply implements Translator.
+func (t *SharesTranslator) Apply(sched Schedule, entities map[string]Entity) error {
+	groups := sched.Groups
+	if len(groups) == 0 {
+		if len(sched.Single) == 0 {
+			return errors.New("core: shares translator needs groups or single priorities")
+		}
+		groups = perOpGroups(sched.Single)
+	}
+	prios := make(map[string]float64, len(groups))
+	for gid, g := range groups {
+		prios[gid] = g.Priority
+	}
+	shares := NormalizeToShares(prios, sched.Scale, t.lo, t.hi)
+	var errs []error
+	for _, gid := range sortedKeys(shares) {
+		if err := t.os.EnsureCgroup(gid); err != nil {
+			errs = append(errs, fmt.Errorf("cgroup %s: %w", gid, err))
+			continue
+		}
+		if err := t.os.SetShares(gid, shares[gid]); err != nil {
+			errs = append(errs, fmt.Errorf("shares %s: %w", gid, err))
+		}
+		for _, opName := range groups[gid].Ops {
+			ent, ok := entities[opName]
+			if !ok || ent.Thread == 0 {
+				continue
+			}
+			if err := t.os.MoveThread(ent.Thread, gid); err != nil {
+				errs = append(errs, fmt.Errorf("move %s to %s: %w", opName, gid, err))
+			}
+		}
+	}
+
+	// Garbage-collect cgroups whose group vanished from the schedule.
+	if remover, ok := t.os.(CgroupRemover); ok {
+		for gid := range t.prev {
+			if _, still := groups[gid]; still {
+				continue
+			}
+			if err := remover.RemoveCgroup(gid); err != nil {
+				errs = append(errs, fmt.Errorf("remove stale cgroup %s: %w", gid, err))
+			}
+		}
+	}
+	cur := make(map[string]bool, len(groups))
+	for gid := range groups {
+		cur[gid] = true
+	}
+	t.prev = cur
+	return errors.Join(errs...)
+}
+
+// perOpGroups puts every operator in its own group.
+func perOpGroups(single map[string]float64) map[string]Group {
+	out := make(map[string]Group, len(single))
+	for name, prio := range single {
+		out[name] = Group{Priority: prio, Ops: []string{name}}
+	}
+	return out
+}
+
+// --- combined translator ---
+
+// CombinedTranslator enforces multi-dimensional schedules: cpu.shares for
+// the grouping part and nice for operators within their groups (the Fig. 18
+// configuration: one cgroup per query with equal shares, QS by nice
+// inside).
+type CombinedTranslator struct {
+	shares *SharesTranslator
+	nice   *NiceTranslator
+}
+
+var _ Translator = (*CombinedTranslator)(nil)
+
+// NewCombinedTranslator returns a combined nice + cpu.shares translator.
+func NewCombinedTranslator(os OSInterface, lo, hi int) *CombinedTranslator {
+	return &CombinedTranslator{
+		shares: NewSharesTranslator(os, lo, hi),
+		nice:   NewNiceTranslator(os),
+	}
+}
+
+// Name implements Translator.
+func (*CombinedTranslator) Name() string { return "nice+cpu.shares" }
+
+// Apply implements Translator.
+func (t *CombinedTranslator) Apply(sched Schedule, entities map[string]Entity) error {
+	if len(sched.Groups) == 0 {
+		return errors.New("core: combined translator needs an explicit grouping schedule")
+	}
+	var errs []error
+	if err := t.shares.Apply(Schedule{Scale: sched.Scale, Groups: sched.Groups}, entities); err != nil {
+		errs = append(errs, err)
+	}
+	if len(sched.Single) > 0 {
+		if err := t.nice.Apply(Schedule{Scale: sched.Scale, Single: sched.Single}, entities); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeOS records the control operations translators perform.
+type fakeOS struct {
+	nices   map[int]int
+	cgroups map[string]int   // name -> shares
+	placed  map[int]string   // tid -> cgroup
+	failOn  map[string]error // op name -> error to inject
+}
+
+var _ OSInterface = (*fakeOS)(nil)
+
+func newFakeOS() *fakeOS {
+	return &fakeOS{
+		nices:   make(map[int]int),
+		cgroups: make(map[string]int),
+		placed:  make(map[int]string),
+	}
+}
+
+func (f *fakeOS) SetNice(tid, nice int) error {
+	if err := f.failOn["SetNice"]; err != nil {
+		return err
+	}
+	f.nices[tid] = nice
+	return nil
+}
+func (f *fakeOS) EnsureCgroup(name string) error {
+	if _, ok := f.cgroups[name]; !ok {
+		f.cgroups[name] = 1024
+	}
+	return nil
+}
+func (f *fakeOS) SetShares(name string, shares int) error {
+	if _, ok := f.cgroups[name]; !ok {
+		return errors.New("no such cgroup")
+	}
+	f.cgroups[name] = shares
+	return nil
+}
+func (f *fakeOS) MoveThread(tid int, name string) error {
+	if _, ok := f.cgroups[name]; !ok {
+		return errors.New("no such cgroup")
+	}
+	f.placed[tid] = name
+	return nil
+}
+
+func threadedEntities() map[string]Entity {
+	return map[string]Entity{
+		"hot":    {Name: "hot", Query: "q1", Thread: 11},
+		"warm":   {Name: "warm", Query: "q1", Thread: 12},
+		"cold":   {Name: "cold", Query: "q2", Thread: 13},
+		"pooled": {Name: "pooled", Query: "q2", Thread: 0}, // no thread
+	}
+}
+
+func TestNiceTranslator(t *testing.T) {
+	os := newFakeOS()
+	tr := NewNiceTranslator(os)
+	sched := Schedule{
+		Scale:  ScaleLinear,
+		Single: map[string]float64{"hot": 100, "warm": 50, "cold": 0, "pooled": 70},
+	}
+	if err := tr.Apply(sched, threadedEntities()); err != nil {
+		t.Fatal(err)
+	}
+	if os.nices[11] != -20 {
+		t.Errorf("hot thread nice = %d, want -20", os.nices[11])
+	}
+	if os.nices[13] != 19 {
+		t.Errorf("cold thread nice = %d, want 19", os.nices[13])
+	}
+	if _, touched := os.nices[0]; touched {
+		t.Error("threadless entity must be skipped")
+	}
+}
+
+func TestNiceTranslatorRequiresSingle(t *testing.T) {
+	tr := NewNiceTranslator(newFakeOS())
+	if err := tr.Apply(Schedule{Scale: ScaleLinear}, nil); err == nil {
+		t.Error("empty single schedule should fail")
+	}
+}
+
+func TestSharesTranslatorExplicitGroups(t *testing.T) {
+	os := newFakeOS()
+	tr := NewSharesTranslator(os, 8, 8192)
+	sched := Schedule{
+		Scale: ScaleLinear,
+		Groups: map[string]Group{
+			"g-hi": {Priority: 10, Ops: []string{"hot", "warm"}},
+			"g-lo": {Priority: 0, Ops: []string{"cold", "pooled"}},
+		},
+	}
+	if err := tr.Apply(sched, threadedEntities()); err != nil {
+		t.Fatal(err)
+	}
+	if os.cgroups["g-hi"] != 8192 || os.cgroups["g-lo"] != 8 {
+		t.Errorf("shares = %v", os.cgroups)
+	}
+	if os.placed[11] != "g-hi" || os.placed[12] != "g-hi" || os.placed[13] != "g-lo" {
+		t.Errorf("placements = %v", os.placed)
+	}
+	if _, moved := os.placed[0]; moved {
+		t.Error("threadless entity must not be moved")
+	}
+}
+
+func TestSharesTranslatorPerOpFallback(t *testing.T) {
+	// With only a single-priority schedule, every op gets its own cgroup —
+	// how the paper schedules 100 SYN operators beyond nice's 40 values.
+	os := newFakeOS()
+	tr := NewSharesTranslator(os, 0, 0)
+	sched := Schedule{
+		Scale:  ScaleLinear,
+		Single: map[string]float64{"hot": 9, "warm": 5, "cold": 1},
+	}
+	if err := tr.Apply(sched, threadedEntities()); err != nil {
+		t.Fatal(err)
+	}
+	if len(os.cgroups) != 3 {
+		t.Fatalf("want 3 per-op cgroups, got %v", os.cgroups)
+	}
+	if !(os.cgroups["hot"] > os.cgroups["warm"] && os.cgroups["warm"] > os.cgroups["cold"]) {
+		t.Errorf("shares should order by priority: %v", os.cgroups)
+	}
+	if os.placed[11] != "hot" {
+		t.Errorf("hot thread should be in its own group, placements=%v", os.placed)
+	}
+}
+
+func TestCombinedTranslator(t *testing.T) {
+	os := newFakeOS()
+	tr := NewCombinedTranslator(os, 8, 8192)
+	sched := Schedule{
+		Scale:  ScaleLinear,
+		Single: map[string]float64{"hot": 10, "warm": 0, "cold": 5},
+		Groups: map[string]Group{
+			"query-q1": {Priority: 1, Ops: []string{"hot", "warm"}},
+			"query-q2": {Priority: 1, Ops: []string{"cold"}},
+		},
+	}
+	if err := tr.Apply(sched, threadedEntities()); err != nil {
+		t.Fatal(err)
+	}
+	// Equal-priority groups get equal shares.
+	if os.cgroups["query-q1"] != os.cgroups["query-q2"] {
+		t.Errorf("equal groups should get equal shares: %v", os.cgroups)
+	}
+	// Nice ordering inside.
+	if !(os.nices[11] < os.nices[13] && os.nices[13] < os.nices[12]) {
+		t.Errorf("nice ordering wrong: %v", os.nices)
+	}
+	if err := tr.Apply(Schedule{Scale: ScaleLinear, Single: map[string]float64{"a": 1}}, nil); err == nil {
+		t.Error("combined translator should require groups")
+	}
+}
+
+func TestMiddlewareLoop(t *testing.T) {
+	// Two policies with different periods over one driver; check firing
+	// cadence and translation effects (Algorithm 1).
+	d := &fakeDriver{
+		name: "liebre",
+		provided: map[string]EntityValues{
+			MetricQueueSize:  {"a": 5, "b": 1},
+			MetricHeadWaitMs: {"a": 1, "b": 70},
+		},
+		entities: []Entity{
+			{Name: "a", Driver: "liebre", Query: "q1", Thread: 1},
+			{Name: "b", Driver: "liebre", Query: "q1", Thread: 2},
+		},
+	}
+	os := newFakeOS()
+	mw := NewMiddleware(nil)
+	if err := mw.Bind(Binding{
+		Policy:     NewQSPolicy(),
+		Translator: NewNiceTranslator(os),
+		Drivers:    []Driver{d},
+		Period:     time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.Bind(Binding{
+		Policy:     NewFCFSPolicy(),
+		Translator: NewSharesTranslator(os, 8, 8192),
+		Drivers:    []Driver{d},
+		Period:     2 * time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// t=0: both due.
+	stats, err := mw.Step(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PoliciesRun != 2 {
+		t.Errorf("t=0: ran %d policies, want 2", stats.PoliciesRun)
+	}
+	if stats.Next != time.Second {
+		t.Errorf("next wake = %v, want 1s", stats.Next)
+	}
+	// QS by nice: a (bigger queue) stronger.
+	if !(os.nices[1] < os.nices[2]) {
+		t.Errorf("QS nice ordering wrong: %v", os.nices)
+	}
+	// FCFS by shares: b (older head) more shares.
+	if !(os.cgroups["b"] > os.cgroups["a"]) {
+		t.Errorf("FCFS shares ordering wrong: %v", os.cgroups)
+	}
+
+	// t=1s: only QS due.
+	stats, err = mw.Step(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PoliciesRun != 1 {
+		t.Errorf("t=1s: ran %d policies, want 1", stats.PoliciesRun)
+	}
+	// t=1.5s: nothing due.
+	stats, err = mw.Step(1500 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PoliciesRun != 0 {
+		t.Errorf("t=1.5s: ran %d policies, want 0", stats.PoliciesRun)
+	}
+	if mw.PolicyRuns() != 3 {
+		t.Errorf("total policy runs = %d, want 3", mw.PolicyRuns())
+	}
+}
+
+func TestMiddlewareQueryScope(t *testing.T) {
+	d := &fakeDriver{
+		name: "liebre",
+		provided: map[string]EntityValues{
+			MetricQueueSize: {"q1.a": 5, "q2.b": 50},
+		},
+		entities: []Entity{
+			{Name: "q1.a", Driver: "liebre", Query: "q1", Thread: 1},
+			{Name: "q2.b", Driver: "liebre", Query: "q2", Thread: 2},
+		},
+	}
+	os := newFakeOS()
+	mw := NewMiddleware(nil)
+	if err := mw.Bind(Binding{
+		Policy:     NewQSPolicy(),
+		Translator: NewNiceTranslator(os),
+		Drivers:    []Driver{d},
+		Queries:    []string{"q1"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mw.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, touched := os.nices[2]; touched {
+		t.Error("out-of-scope query's thread must not be touched")
+	}
+	if _, touched := os.nices[1]; !touched {
+		t.Error("in-scope thread should be reniced")
+	}
+}
+
+func TestMiddlewareBindValidation(t *testing.T) {
+	mw := NewMiddleware(nil)
+	d := &fakeDriver{name: "d"}
+	os := newFakeOS()
+	cases := []Binding{
+		{Translator: NewNiceTranslator(os), Drivers: []Driver{d}},
+		{Policy: NewQSPolicy(), Drivers: []Driver{d}},
+		{Policy: NewQSPolicy(), Translator: NewNiceTranslator(os)},
+	}
+	for i, b := range cases {
+		if err := mw.Bind(b); err == nil {
+			t.Errorf("case %d: invalid binding accepted", i)
+		}
+	}
+}
+
+// removerFakeOS extends fakeOS with cgroup removal.
+type removerFakeOS struct {
+	*fakeOS
+	removed []string
+}
+
+func (f *removerFakeOS) RemoveCgroup(name string) error {
+	delete(f.cgroups, name)
+	f.removed = append(f.removed, name)
+	return nil
+}
+
+func TestSharesTranslatorGarbageCollectsStaleGroups(t *testing.T) {
+	os := &removerFakeOS{fakeOS: newFakeOS()}
+	tr := NewSharesTranslator(os, 0, 0)
+	ents := threadedEntities()
+	s1 := Schedule{Scale: ScaleLinear, Single: map[string]float64{"hot": 2, "warm": 1}}
+	if err := tr.Apply(s1, ents); err != nil {
+		t.Fatal(err)
+	}
+	if len(os.cgroups) != 2 {
+		t.Fatalf("cgroups = %v", os.cgroups)
+	}
+	// "warm" disappears (query torn down); its group must be removed.
+	s2 := Schedule{Scale: ScaleLinear, Single: map[string]float64{"hot": 2, "cold": 1}}
+	if err := tr.Apply(s2, ents); err != nil {
+		t.Fatal(err)
+	}
+	if len(os.removed) != 1 || os.removed[0] != "warm" {
+		t.Errorf("removed = %v, want [warm]", os.removed)
+	}
+	if _, ok := os.cgroups["cold"]; !ok {
+		t.Error("new group missing")
+	}
+}

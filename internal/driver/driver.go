@@ -1,0 +1,120 @@
+// Package driver implements the Lachesis SPE drivers for the three engine
+// flavors (Storm, Flink, Liebre). A driver bridges one SPE process to the
+// middleware using only public interfaces: the engine's deployment
+// topology (as a real driver would read Storm's REST API) and the raw
+// metric series the engine publishes to the Graphite-like store. Each
+// flavor provides a different subset of canonical metrics — the metric
+// provider derives the rest through its dependency graph (paper Fig. 4).
+package driver
+
+import (
+	"fmt"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/metrics"
+	"lachesis/internal/spe"
+)
+
+// maxStaleness is how far back a driver accepts a sample; older series
+// (e.g. from a removed operator) are dropped.
+const maxStaleness = 10 * time.Second
+
+// Driver exposes one engine to Lachesis.
+type Driver struct {
+	engine *spe.Engine
+	store  *metrics.Store
+	// provided maps canonical metric names to the raw series suffix they
+	// are read from.
+	provided map[string]string
+}
+
+var _ core.Driver = (*Driver)(nil)
+
+// New creates a driver for an engine whose reporter publishes into store.
+// The flavor determines which canonical metrics the driver can provide
+// directly:
+//
+//   - Storm: queue_size, in_count, out_count, cost_ms (execute latency)
+//   - Flink: queue_size, in_rate, out_rate, busy_ms_per_s
+//   - Liebre: queue_size, in_count, out_count, cost_ms, selectivity,
+//     head_wait_ms
+func New(engine *spe.Engine, store *metrics.Store) (*Driver, error) {
+	var provided map[string]string
+	switch engine.Flavor() {
+	case spe.FlavorStorm:
+		provided = map[string]string{
+			core.MetricQueueSize: spe.SeriesQueue,
+			core.MetricInCount:   spe.SeriesIn,
+			core.MetricOutCount:  spe.SeriesOut,
+			core.MetricCostMs:    spe.SeriesExecMs,
+		}
+	case spe.FlavorFlink:
+		provided = map[string]string{
+			core.MetricQueueSize:  spe.SeriesQueue,
+			core.MetricInRate:     spe.SeriesInRate,
+			core.MetricOutRate:    spe.SeriesOutRate,
+			core.MetricBusyMsPerS: spe.SeriesBusyMsPerS,
+		}
+	case spe.FlavorLiebre:
+		provided = map[string]string{
+			core.MetricQueueSize:   spe.SeriesQueue,
+			core.MetricInCount:     spe.SeriesIn,
+			core.MetricOutCount:    spe.SeriesOut,
+			core.MetricCostMs:      spe.SeriesCostMs,
+			core.MetricSelectivity: spe.SeriesSelectivity,
+			core.MetricHeadWaitMs:  spe.SeriesHeadMs,
+		}
+	default:
+		return nil, fmt.Errorf("driver: unsupported flavor %v", engine.Flavor())
+	}
+	return &Driver{engine: engine, store: store, provided: provided}, nil
+}
+
+// Name implements core.Driver.
+func (d *Driver) Name() string { return d.engine.Name() }
+
+// Entities implements core.Driver: it converts the engine's physical
+// operators to SPE-agnostic entities.
+func (d *Driver) Entities() []core.Entity {
+	ops := d.engine.Ops()
+	out := make([]core.Entity, 0, len(ops))
+	for _, p := range ops {
+		out = append(out, core.Entity{
+			Name:       p.Name(),
+			Driver:     d.engine.Name(),
+			Query:      p.Deployment().Query.Name,
+			Logical:    p.LogicalNames(),
+			Thread:     int(p.ThreadID()),
+			Downstream: p.DownstreamNames(),
+			Ingress:    p.Kind() == spe.KindIngress,
+			Egress:     p.Kind() == spe.KindEgress,
+		})
+	}
+	return out
+}
+
+// Provides implements core.Driver.
+func (d *Driver) Provides(metric string) bool {
+	_, ok := d.provided[metric]
+	return ok
+}
+
+// Fetch implements core.Driver: it reads the newest sample of the metric's
+// raw series for every operator.
+func (d *Driver) Fetch(metric string, now time.Duration) (core.EntityValues, error) {
+	suffix, ok := d.provided[metric]
+	if !ok {
+		return nil, &core.UnknownMetricError{Metric: metric, Driver: d.Name()}
+	}
+	out := make(core.EntityValues)
+	for _, p := range d.engine.Ops() {
+		series := d.engine.Name() + "." + p.Name() + "." + suffix
+		pt, ok := d.store.Latest(series)
+		if !ok || now-pt.At > maxStaleness {
+			continue // not reported yet; the operator simply has no sample
+		}
+		out[p.Name()] = pt.Value
+	}
+	return out, nil
+}

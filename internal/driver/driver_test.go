@@ -1,0 +1,165 @@
+package driver
+
+import (
+	"testing"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/metrics"
+	"lachesis/internal/simos"
+	"lachesis/internal/spe"
+)
+
+// deploy builds an engine of the given flavor with a 3-op pipeline and a
+// reporter into a fresh store.
+func deploy(t *testing.T, flavor spe.Flavor) (*simos.Kernel, *Driver, *metrics.Store) {
+	t.Helper()
+	k := simos.New(simos.Config{CPUs: 2})
+	e, err := spe.New(k, spe.Config{Name: "eng", Flavor: flavor, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := spe.NewQuery("q")
+	q.MustAddOp(&spe.LogicalOp{Name: "src", Kind: spe.KindIngress, Cost: 10 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "work", Cost: 200 * time.Microsecond, Selectivity: 2})
+	q.MustAddOp(&spe.LogicalOp{Name: "sink", Kind: spe.KindEgress, Cost: 20 * time.Microsecond})
+	if err := q.Pipeline("src", "work", "sink"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Deploy(q, spe.NewRateSource(500, nil)); err != nil {
+		t.Fatal(err)
+	}
+	store := metrics.NewStore(time.Second)
+	if err := e.StartReporter(store, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	drv, err := New(e, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, drv, store
+}
+
+func TestEntitiesExposeTopology(t *testing.T) {
+	k, drv, _ := deploy(t, spe.FlavorStorm)
+	k.RunUntil(2 * time.Second)
+	ents := drv.Entities()
+	if len(ents) != 3 {
+		t.Fatalf("entities = %d, want 3", len(ents))
+	}
+	byName := make(map[string]core.Entity)
+	for _, e := range ents {
+		byName[e.Name] = e
+		if e.Thread == 0 {
+			t.Errorf("%s has no thread", e.Name)
+		}
+		if e.Query != "q" || e.Driver != "eng" {
+			t.Errorf("entity fields wrong: %+v", e)
+		}
+	}
+	src := byName["q.src.0"]
+	if !src.Ingress || len(src.Downstream) != 1 || src.Downstream[0] != "q.work.0" {
+		t.Errorf("src entity wrong: %+v", src)
+	}
+	if !byName["q.sink.0"].Egress {
+		t.Error("sink entity should be egress")
+	}
+}
+
+func TestFlavorMetricSurface(t *testing.T) {
+	tests := []struct {
+		flavor   spe.Flavor
+		provides []string
+		lacks    []string
+	}{
+		{spe.FlavorStorm,
+			[]string{core.MetricQueueSize, core.MetricInCount, core.MetricOutCount, core.MetricCostMs},
+			[]string{core.MetricSelectivity, core.MetricInRate, core.MetricHeadWaitMs}},
+		{spe.FlavorFlink,
+			[]string{core.MetricQueueSize, core.MetricInRate, core.MetricOutRate, core.MetricBusyMsPerS},
+			[]string{core.MetricInCount, core.MetricCostMs, core.MetricSelectivity}},
+		{spe.FlavorLiebre,
+			[]string{core.MetricQueueSize, core.MetricCostMs, core.MetricSelectivity, core.MetricHeadWaitMs},
+			[]string{core.MetricInRate, core.MetricBusyMsPerS}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.flavor.String(), func(t *testing.T) {
+			_, drv, _ := deploy(t, tt.flavor)
+			for _, m := range tt.provides {
+				if !drv.Provides(m) {
+					t.Errorf("%v should provide %s", tt.flavor, m)
+				}
+			}
+			for _, m := range tt.lacks {
+				if drv.Provides(m) {
+					t.Errorf("%v should NOT provide %s directly", tt.flavor, m)
+				}
+			}
+		})
+	}
+}
+
+func TestFetchReadsStore(t *testing.T) {
+	k, drv, _ := deploy(t, spe.FlavorStorm)
+	k.RunUntil(3 * time.Second)
+	vals, err := drv.Fetch(core.MetricInCount, k.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["q.work.0"] <= 0 {
+		t.Errorf("work in_count = %v, want > 0", vals["q.work.0"])
+	}
+	// Ingress queue metric excludes the external backlog.
+	qs, err := drv.Fetch(core.MetricQueueSize, k.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs["q.src.0"] != 0 {
+		t.Errorf("ingress queue_size = %v, want 0 (source backlog is external)", qs["q.src.0"])
+	}
+}
+
+func TestFetchUnknownMetric(t *testing.T) {
+	_, drv, _ := deploy(t, spe.FlavorStorm)
+	if _, err := drv.Fetch("no_such", 0); err == nil {
+		t.Error("unknown metric should fail")
+	}
+}
+
+func TestFetchBeforeFirstReportIsEmpty(t *testing.T) {
+	_, drv, _ := deploy(t, spe.FlavorStorm)
+	vals, err := drv.Fetch(core.MetricQueueSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 0 {
+		t.Errorf("no reports yet, got %v", vals)
+	}
+}
+
+func TestEndToEndWithProvider(t *testing.T) {
+	// The Fig. 4 scenario: the provider derives selectivity for a
+	// Storm-like driver (counts only) and for a Flink-like driver (rates).
+	for _, flavor := range []spe.Flavor{spe.FlavorStorm, spe.FlavorFlink} {
+		t.Run(flavor.String(), func(t *testing.T) {
+			k, drv, _ := deploy(t, flavor)
+			p := core.NewProvider(nil)
+			if err := p.Register(core.MetricSelectivity); err != nil {
+				t.Fatal(err)
+			}
+			k.RunUntil(2 * time.Second)
+			if _, err := p.Update(k.Now(), []core.Driver{drv}); err != nil {
+				t.Fatal(err)
+			}
+			k.RunUntil(4 * time.Second)
+			vals, err := p.Update(k.Now(), []core.Driver{drv})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sel := vals["eng"][core.MetricSelectivity]["q.work.0"]
+			if sel < 1.8 || sel > 2.2 {
+				t.Errorf("derived selectivity = %v, want ~2", sel)
+			}
+		})
+	}
+}

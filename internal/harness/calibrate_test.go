@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"lachesis/internal/simos"
+	"lachesis/internal/spe"
+	"lachesis/internal/workloads"
+)
+
+// TestCalibrate sweeps each workload coarsely to locate saturation points.
+// It only runs when LACHESIS_CALIBRATE=1; it is a tool, not a regression
+// test.
+func TestCalibrate(t *testing.T) {
+	if os.Getenv("LACHESIS_CALIBRATE") != "1" {
+		t.Skip("set LACHESIS_CALIBRATE=1 to run")
+	}
+	quick := Setup{
+		Machine: simos.OdroidXU4(),
+		Warmup:  10 * time.Second,
+		Measure: 30 * time.Second,
+		Seed:    1,
+	}
+	cases := []struct {
+		name   string
+		flavor spe.Flavor
+		build  func() *spe.LogicalQuery
+		source func(rate float64, seed int64) spe.Source
+		rates  []float64
+	}{
+		{"etl-storm", spe.FlavorStorm, workloads.ETL, workloads.IoTSource,
+			[]float64{1000, 1200, 1400, 1500, 1600, 1700}},
+		{"stats-storm", spe.FlavorStorm, workloads.STATS, workloads.IoTSource,
+			[]float64{200, 280, 320, 340, 360, 400}},
+		{"lr-storm", spe.FlavorStorm, func() *spe.LogicalQuery { return workloads.LinearRoad(1) }, workloads.LRSource,
+			[]float64{3000, 4500, 5500, 6000, 6500, 7000}},
+		{"vs-storm", spe.FlavorStorm, workloads.VoipStream, workloads.VSSource,
+			[]float64{1500, 2000, 2500, 3000, 3300, 3600}},
+		{"lr-flink", spe.FlavorFlink, func() *spe.LogicalQuery { return workloads.LinearRoad(1) }, workloads.LRSource,
+			[]float64{3000, 4500, 5500, 6000, 6500, 7000}},
+		{"vs-flink", spe.FlavorFlink, workloads.VoipStream, workloads.VSSource,
+			[]float64{1500, 2000, 2500, 3000, 3300, 3600}},
+	}
+	for _, c := range cases {
+		for _, sched := range []Scheduler{SchedOS, SchedLachesisQS} {
+			s := quick
+			s.Name = string(sched)
+			s.Engines = []EngineSpec{{Flavor: c.flavor}}
+			s.Scheduler = sched
+			s.Queries = []QuerySpec{{Build: c.build, Source: c.source}}
+			for _, rate := range c.rates {
+				r, err := Run(s, rate, 0)
+				if err != nil {
+					t.Fatalf("%s %s: %v", c.name, sched, err)
+				}
+				fmt.Printf("%-12s %-14s rate=%6.0f tput=%8.1f proc=%10.1fms e2e=%10.1fms util=%.2f\n",
+					c.name, sched, rate, r.Throughput,
+					r.MeanProc.Seconds()*1e3, r.MeanE2E.Seconds()*1e3, r.CPUUtil)
+			}
+		}
+	}
+}
+
+// TestCalibrateSyn locates the SYN multi-query saturation (Fig. 14 grid).
+func TestCalibrateSyn(t *testing.T) {
+	if os.Getenv("LACHESIS_CALIBRATE") != "1" {
+		t.Skip("set LACHESIS_CALIBRATE=1 to run")
+	}
+	sc := Scale{Warmup: 10 * time.Second, Measure: 30 * time.Second, Reps: 1}
+	setups := synSetups(sc, false, []Scheduler{SchedOS, SchedLachesisQS, SchedHarenQS}, 0)
+	for _, s := range setups {
+		for _, rate := range []float64{150, 250, 350, 450, 550} {
+			r, err := Run(s, rate, 0)
+			if err != nil {
+				t.Fatalf("%s: %v", s.Name, err)
+			}
+			fmt.Printf("syn %-14s rate=%5.0f tput=%8.1f proc=%10.1fms e2e=%10.1fms util=%.2f\n",
+				s.Name, rate, r.Throughput, r.MeanProc.Seconds()*1e3, r.MeanE2E.Seconds()*1e3, r.CPUUtil)
+		}
+	}
+}
+
+// TestCalibrateFig18 locates per-query max rates for the Xeon mix.
+func TestCalibrateFig18(t *testing.T) {
+	if os.Getenv("LACHESIS_CALIBRATE") != "1" {
+		t.Skip("set LACHESIS_CALIBRATE=1 to run")
+	}
+	sc := Scale{Warmup: 10 * time.Second, Measure: 30 * time.Second, Reps: 1}
+	_ = sc
+	var buf = os.Stdout
+	if err := fig18(buf, sc); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits a sweep's aggregated points as machine-readable CSV (for
+// external plotting), one row per (rate, scheduler) with the same columns
+// the performance tables print.
+func WriteCSV(w io.Writer, series []Series) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"rate", "scheduler", "throughput_tps", "throughput_ci95",
+		"latency_ms", "e2e_ms", "qs_goal", "fcfs_goal_ms",
+		"cpu_util", "mw_cpu_frac",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("harness: csv header: %w", err)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	for _, rate := range ratesOf(series) {
+		for _, s := range series {
+			p, ok := pointAt(s, rate)
+			if !ok {
+				continue
+			}
+			row := []string{
+				f(rate), s.Setup.Name,
+				f(p.Throughput.Mean), f(p.Throughput.CI95),
+				f(p.ProcMs.Mean), f(p.E2EMs.Mean),
+				f(p.QSGoal.Mean), f(p.FCFSGoal.Mean),
+				f(p.CPUUtil), f(p.MWCPUFrac),
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("harness: csv row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteLatencySamplesCSV emits raw latency reservoir samples (seconds), one
+// row per sample, for external distribution plots (Fig. 13 style).
+func WriteLatencySamplesCSV(w io.Writer, series []Series, rate float64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"scheduler", "latency_s"}); err != nil {
+		return fmt.Errorf("harness: csv header: %w", err)
+	}
+	for _, s := range series {
+		p, ok := pointAt(s, rate)
+		if !ok {
+			continue
+		}
+		for _, r := range p.Reps {
+			for _, v := range r.ProcSamples {
+				if err := cw.Write([]string{s.Setup.Name, strconv.FormatFloat(v, 'g', 8, 64)}); err != nil {
+					return fmt.Errorf("harness: csv row: %w", err)
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sweepForCSV(t *testing.T) []Series {
+	t.Helper()
+	series, err := Sweep(
+		[]Setup{tinySetup(SchedOS), tinySetup(SchedLachesisQS)},
+		[]float64{300, 600}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return series
+}
+
+func TestWriteCSV(t *testing.T) {
+	series := sweepForCSV(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 2 rates x 2 schedulers.
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	if rows[0][0] != "rate" || rows[0][2] != "throughput_tps" {
+		t.Errorf("header = %v", rows[0])
+	}
+	seen := map[string]bool{}
+	for _, r := range rows[1:] {
+		seen[r[0]+"/"+r[1]] = true
+	}
+	for _, want := range []string{"300/os", "300/lachesis-qs", "600/os", "600/lachesis-qs"} {
+		if !seen[want] {
+			t.Errorf("missing row %s", want)
+		}
+	}
+}
+
+func TestWriteLatencySamplesCSV(t *testing.T) {
+	series := sweepForCSV(t)
+	var buf bytes.Buffer
+	if err := WriteLatencySamplesCSV(&buf, series, 600); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines < 100 {
+		t.Errorf("sample rows = %d, want many", lines)
+	}
+	if !strings.HasPrefix(buf.String(), "scheduler,latency_s") {
+		t.Errorf("header wrong: %q", buf.String()[:40])
+	}
+}
+
+func TestMaybeCSVWritesFile(t *testing.T) {
+	series := sweepForCSV(t)
+	dir := t.TempDir()
+	sc := Scale{CSVDir: dir}
+	if err := maybeCSV(sc, "figX", series); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figX.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "rate,scheduler") {
+		t.Errorf("csv content = %q", string(data)[:40])
+	}
+	// Disabled when no directory configured.
+	if err := maybeCSV(Scale{}, "figY", series); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// RunLive runs one deployment for the given virtual duration, printing
+// per-second metrics as the simulation advances (the cmd/lachesis-sim
+// front-end).
+func RunLive(s Setup, rate float64, duration time.Duration, w io.Writer) error {
+	s = s.withDefaults()
+	st, err := build(s, rate, 0)
+	if err != nil {
+		return err
+	}
+	k := st.kernel
+	fmt.Fprintf(w, "%8s %12s %12s %12s %10s %8s\n",
+		"t", "ingested/s", "egress/s", "lat", "maxqueue", "util")
+	var lastIngested, lastEgress int64
+	lastBusy := time.Duration(0)
+	for t := time.Second; t <= duration; t += time.Second {
+		k.RunUntil(t)
+		var ingested, egress int64
+		for _, d := range st.deployments {
+			ingested += d.Ingested()
+			egress += d.EgressCount()
+		}
+		maxQ := 0
+		for _, eng := range st.engines {
+			for _, op := range eng.Ops() {
+				if op.Kind().String() == "ingress" {
+					continue
+				}
+				if q := op.QueueLen(k.Now()); q > maxQ {
+					maxQ = q
+				}
+			}
+		}
+		var lat time.Duration
+		if len(st.deployments) > 0 {
+			lat = st.deployments[0].Latencies().MeanProc
+		}
+		busy := k.TotalBusyTime()
+		util := (busy - lastBusy).Seconds() / float64(k.CPUCount())
+		fmt.Fprintf(w, "%8v %12d %12d %12v %10d %8.2f\n",
+			t, ingested-lastIngested, egress-lastEgress,
+			lat.Round(10*time.Microsecond), maxQ, util)
+		lastIngested, lastEgress = ingested, egress
+		lastBusy = busy
+	}
+	// Final summary.
+	for _, d := range st.deployments {
+		lat := d.Latencies()
+		fmt.Fprintf(w, "query %-10s ingested=%d egress=%d mean-lat=%v mean-e2e=%v\n",
+			d.Query.Name, d.Ingested(), d.EgressCount(),
+			lat.MeanProc.Round(10*time.Microsecond), lat.MeanE2E.Round(10*time.Microsecond))
+	}
+	if st.mwRunner != nil && st.mwRunner.Errs > 0 {
+		fmt.Fprintf(w, "middleware errors: %d (last: %v)\n", st.mwRunner.Errs, st.mwRunner.LastErr)
+	}
+	return nil
+}

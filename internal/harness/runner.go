@@ -1,0 +1,191 @@
+package harness
+
+import (
+	"math"
+	"time"
+
+	"lachesis/internal/simos"
+	"lachesis/internal/spe"
+	"lachesis/internal/stats"
+)
+
+// Result is one run's measurements over the measure window (after warmup,
+// matching the paper's warmup/cooldown trimming).
+type Result struct {
+	Setup string
+	Rate  float64
+	Rep   int
+
+	// Throughput is the sustained processing rate in ingress-equivalent
+	// tuples/s: the egress rate divided by the query's expected egress
+	// tuples per ingress tuple. It plateaus at the saturation point like
+	// the paper's throughput curves.
+	Throughput float64
+	// IngestRate is the raw ingestion rate at the ingress operators.
+	IngestRate float64
+	// MeanProc and MeanE2E are average processing / end-to-end latencies
+	// over all egress tuples.
+	MeanProc time.Duration
+	MeanE2E  time.Duration
+	// ProcSamples / E2ESamples are reservoir samples in seconds, for the
+	// distribution plots (Fig. 13).
+	ProcSamples []float64
+	E2ESamples  []float64
+
+	// QSGoal is the mean over time of the standard deviation of operator
+	// queue sizes (the QS policy goal plotted in Figs. 5-12).
+	QSGoal float64
+	// FCFSGoal is the mean over time of the maximum head-tuple wait (s).
+	FCFSGoal float64
+	// QueueSamples are per-operator queue-size samples over time (for the
+	// distribution Figs. 6 and 8).
+	QueueSamples map[string][]float64
+
+	// PerQuery breaks throughput/latency down by query (Fig. 18).
+	PerQuery map[string]QueryResult
+
+	// CPUUtil is overall node utilization in [0,1]; MWCPUFrac is the
+	// fraction of total CPU consumed by the Lachesis thread (§6.7).
+	CPUUtil   float64
+	MWCPUFrac float64
+	// Switches is the node's context-switch count during measurement.
+	Switches int64
+}
+
+// QueryResult is one query's share of a multi-query run.
+type QueryResult struct {
+	Engine     string
+	Throughput float64
+	MeanProc   time.Duration
+	MeanE2E    time.Duration
+}
+
+// Run executes one (setup, rate, repetition) and returns measurements.
+func Run(s Setup, rate float64, rep int) (Result, error) {
+	s = s.withDefaults()
+	st, err := build(s, rate, rep)
+	if err != nil {
+		return Result{}, err
+	}
+	k := st.kernel
+
+	// Warmup, then reset latency recorders and counters baselines.
+	k.RunUntil(s.Warmup)
+	type base struct{ ingested, egress int64 }
+	bases := make([]base, len(st.deployments))
+	for i, d := range st.deployments {
+		d.ResetStats()
+		bases[i] = base{ingested: d.Ingested(), egress: d.EgressCount()}
+	}
+	busyBase := k.TotalBusyTime()
+	switchBase := k.ContextSwitches()
+	var mwBase time.Duration
+	mwTID := 0
+	for _, tid := range k.Threads() {
+		info, err := k.ThreadInfo(tid)
+		if err == nil && info.Name == "lachesis" {
+			mwTID = int(tid)
+			mwBase = info.CPUTime
+		}
+	}
+
+	// Measure with 1s goal sampling.
+	res := Result{
+		Setup:        s.Name,
+		Rate:         rate,
+		Rep:          rep,
+		QueueSamples: make(map[string][]float64),
+	}
+	var qsGoals, fcfsGoals []float64
+	end := s.Warmup + s.Measure
+	for t := s.Warmup + time.Second; t <= end; t += time.Second {
+		k.RunUntil(t)
+		var sizes []float64
+		maxWait := 0.0
+		for _, eng := range st.engines {
+			for _, op := range eng.Ops() {
+				if op.Kind() == spe.KindIngress {
+					// The source backlog is external to the SPE; the QS
+					// goal is over operator input queues only.
+					continue
+				}
+				q := float64(op.QueueLen(k.Now()))
+				sizes = append(sizes, q)
+				res.QueueSamples[op.Name()] = append(res.QueueSamples[op.Name()], q)
+				if w := op.OldestWait(k.Now()).Seconds(); w > maxWait {
+					maxWait = w
+				}
+			}
+		}
+		qsGoals = append(qsGoals, stats.StdDev(sizes))
+		fcfsGoals = append(fcfsGoals, maxWait)
+	}
+	k.RunUntil(end)
+
+	// Aggregate measurements.
+	elapsed := s.Measure.Seconds()
+	var totalIngested int64
+	var procSum, e2eSum float64
+	var procN int64
+	res.PerQuery = make(map[string]QueryResult, len(st.deployments))
+	var totalProcessed float64
+	for i, d := range st.deployments {
+		ing := d.Ingested() - bases[i].ingested
+		totalIngested += ing
+		// Sustained throughput: the egress rate converted back into
+		// ingress-equivalent tuples. Unlike the raw ingestion rate, this
+		// plateaus at the saturation point (the ingress thread itself is
+		// cheap and keeps accepting tuples into growing queues).
+		eg := float64(d.EgressCount()-bases[i].egress) / elapsed
+		processed := eg
+		if exp := d.Query.ExpectedEgressPerIngress(); exp > 0 {
+			processed = eg / exp
+		}
+		totalProcessed += processed
+		lat := d.Latencies()
+		res.ProcSamples = append(res.ProcSamples, lat.ProcSamples...)
+		res.E2ESamples = append(res.E2ESamples, lat.E2ESamples...)
+		procSum += lat.MeanProc.Seconds() * float64(lat.Count)
+		e2eSum += lat.MeanE2E.Seconds() * float64(lat.Count)
+		procN += lat.Count
+		res.PerQuery[d.Query.Name] = QueryResult{
+			Engine:     engineOf(st, i),
+			Throughput: processed,
+			MeanProc:   lat.MeanProc,
+			MeanE2E:    lat.MeanE2E,
+		}
+	}
+	res.IngestRate = float64(totalIngested) / elapsed
+	res.Throughput = totalProcessed
+	if procN > 0 {
+		res.MeanProc = time.Duration(procSum / float64(procN) * float64(time.Second))
+		res.MeanE2E = time.Duration(e2eSum / float64(procN) * float64(time.Second))
+	}
+	res.QSGoal = stats.Mean(qsGoals)
+	res.FCFSGoal = stats.Mean(fcfsGoals)
+	res.CPUUtil = (k.TotalBusyTime() - busyBase).Seconds() /
+		(elapsed * float64(k.CPUCount()))
+	res.Switches = k.ContextSwitches() - switchBase
+	if mwTID != 0 {
+		info, err := k.ThreadInfo(simos.ThreadID(mwTID))
+		if err == nil {
+			res.MWCPUFrac = (info.CPUTime - mwBase).Seconds() / (elapsed * float64(k.CPUCount()))
+		}
+	}
+	if math.IsNaN(res.CPUUtil) {
+		res.CPUUtil = 0
+	}
+	return res, nil
+}
+
+func engineOf(st *stack, depIdx int) string {
+	d := st.deployments[depIdx]
+	for _, eng := range st.engines {
+		for _, ed := range eng.Deployments() {
+			if ed == d {
+				return eng.Name()
+			}
+		}
+	}
+	return ""
+}

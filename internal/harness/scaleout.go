@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+)
+
+// RunScaleOut executes one scale-out run (§6.5): the workload is fission-
+// partitioned over `nodes` identical Odroids, each running its own engine
+// and — when Lachesis is enabled — its own independent middleware instance
+// with no cross-node coordination. The paper's Linear Road partitions by
+// key (segment/vehicle), so the partitions are independent: each node
+// processes 1/nodes of the total rate. Cross-partition shuffle traffic is
+// not modeled (see DESIGN.md).
+func RunScaleOut(s Setup, totalRate float64, nodes, rep int) (Result, error) {
+	if nodes < 1 {
+		nodes = 1
+	}
+	perNode := totalRate / float64(nodes)
+	merged := Result{
+		Setup:        s.Name,
+		Rate:         totalRate,
+		Rep:          rep,
+		QueueSamples: make(map[string][]float64),
+		PerQuery:     make(map[string]QueryResult),
+	}
+	var procW, e2eW, count float64
+	var qsGoal, fcfsGoal, util, mw float64
+	for n := 0; n < nodes; n++ {
+		ns := s
+		ns.Seed = s.Seed + int64(n)*7919
+		r, err := Run(ns, perNode, rep)
+		if err != nil {
+			return Result{}, fmt.Errorf("node %d: %w", n, err)
+		}
+		merged.Throughput += r.Throughput
+		merged.IngestRate += r.IngestRate
+		w := float64(len(r.ProcSamples)) + 1
+		procW += r.MeanProc.Seconds() * w
+		e2eW += r.MeanE2E.Seconds() * w
+		count += w
+		merged.ProcSamples = append(merged.ProcSamples, r.ProcSamples...)
+		merged.E2ESamples = append(merged.E2ESamples, r.E2ESamples...)
+		qsGoal += r.QSGoal
+		fcfsGoal += r.FCFSGoal
+		util += r.CPUUtil
+		mw += r.MWCPUFrac
+		merged.Switches += r.Switches
+		for op, samples := range r.QueueSamples {
+			key := fmt.Sprintf("node%d.%s", n, op)
+			merged.QueueSamples[key] = samples
+		}
+		for q, qr := range r.PerQuery {
+			key := q
+			if nodes > 1 {
+				key = fmt.Sprintf("node%d.%s", n, q)
+			}
+			merged.PerQuery[key] = qr
+		}
+	}
+	if count > 0 {
+		merged.MeanProc = time.Duration(procW / count * float64(time.Second))
+		merged.MeanE2E = time.Duration(e2eW / count * float64(time.Second))
+	}
+	merged.QSGoal = qsGoal / float64(nodes)
+	merged.FCFSGoal = fcfsGoal / float64(nodes)
+	merged.CPUUtil = util / float64(nodes)
+	merged.MWCPUFrac = mw / float64(nodes)
+	return merged, nil
+}
+
+// SweepScaleOut is Sweep over RunScaleOut: rates are total rates across
+// all nodes.
+func SweepScaleOut(setups []Setup, totalRates []float64, nodes, reps int, progress func(string)) ([]Series, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	out := make([]Series, 0, len(setups))
+	for _, s := range setups {
+		series := Series{Setup: s}
+		for _, rate := range totalRates {
+			if progress != nil {
+				progress(fmt.Sprintf("%s @ %.0f t/s over %d nodes", s.Name, rate, nodes))
+			}
+			p := Point{Rate: rate}
+			for rep := 0; rep < reps; rep++ {
+				r, err := RunScaleOut(s, rate, nodes, rep)
+				if err != nil {
+					return nil, err
+				}
+				p.Reps = append(p.Reps, r)
+			}
+			aggregate(&p)
+			series.Points = append(series.Points, p)
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}

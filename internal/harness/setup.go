@@ -1,0 +1,298 @@
+// Package harness runs the paper's experiments: it assembles full stacks
+// (simulated node(s), engines, queries, optional Lachesis middleware or
+// UL-SS baseline), sweeps input rates with warmup/cooldown handling and
+// repetitions, and prints the table/series behind every figure of the
+// evaluation (§6).
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/driver"
+	"lachesis/internal/metrics"
+	"lachesis/internal/simctl"
+	"lachesis/internal/simos"
+	"lachesis/internal/spe"
+	"lachesis/internal/ulss"
+)
+
+// Scheduler identifies which scheduling approach a run uses.
+type Scheduler string
+
+// The schedulers of the evaluation.
+const (
+	// SchedOS is the default OS (CFS) scheduling baseline.
+	SchedOS Scheduler = "os"
+	// Lachesis with one of the four policies of §5.1.
+	SchedLachesisQS     Scheduler = "lachesis-qs"
+	SchedLachesisFCFS   Scheduler = "lachesis-fcfs"
+	SchedLachesisHR     Scheduler = "lachesis-hr"
+	SchedLachesisRandom Scheduler = "lachesis-random"
+	// UL-SS baselines.
+	SchedEdgeWise  Scheduler = "edgewise"
+	SchedHarenQS   Scheduler = "haren-qs"
+	SchedHarenFCFS Scheduler = "haren-fcfs"
+	SchedHarenHR   Scheduler = "haren-hr"
+)
+
+// lachesisPolicy returns the core policy for a Lachesis scheduler kind.
+func lachesisPolicy(s Scheduler, seed int64) (core.Policy, bool) {
+	switch s {
+	case SchedLachesisQS:
+		return core.NewQSPolicy(), true
+	case SchedLachesisFCFS:
+		return core.NewFCFSPolicy(), true
+	case SchedLachesisHR:
+		return core.NewHRPolicy(), true
+	case SchedLachesisRandom:
+		return core.NewRandomPolicy(seed), true
+	default:
+		return nil, false
+	}
+}
+
+// harenPolicy returns the UL-SS policy for a Haren scheduler kind.
+func harenPolicy(s Scheduler) (ulss.Policy, bool) {
+	switch s {
+	case SchedHarenQS:
+		return ulss.QS{}, true
+	case SchedHarenFCFS:
+		return ulss.FCFS{}, true
+	case SchedHarenHR:
+		return ulss.HR{}, true
+	default:
+		return nil, false
+	}
+}
+
+// Translator selects the OS mechanism Lachesis uses.
+type Translator string
+
+// The translators of §5.3 plus the future-work mechanisms of §8.
+const (
+	TranslateNice     Translator = "nice"
+	TranslateShares   Translator = "cpu.shares"
+	TranslateCombined Translator = "nice+cpu.shares"
+	TranslateQuota    Translator = "cpu.quota"
+	TranslateRT       Translator = "sched_fifo"
+)
+
+// QuerySpec is one query of a setup.
+type QuerySpec struct {
+	// Build constructs the logical query (fresh per run).
+	Build func() *spe.LogicalQuery
+	// Source constructs the query's data source for a rate.
+	Source func(rate float64, seed int64) spe.Source
+	// RateScale scales the setup-level rate for this query (default 1).
+	RateScale float64
+	// Engine index (multi-SPE setups deploy queries on different engines;
+	// default 0).
+	Engine int
+}
+
+// EngineSpec is one SPE process of a setup.
+type EngineSpec struct {
+	Flavor   spe.Flavor
+	Chaining bool
+}
+
+// Setup describes one experiment configuration (one line style of a
+// figure).
+type Setup struct {
+	// Name labels the configuration in tables.
+	Name string
+	// Machine is the simulated node (OdroidXU4 or XeonServer).
+	Machine simos.Config
+	// Engines lists the SPE processes (usually one).
+	Engines []EngineSpec
+	// Queries are deployed in order.
+	Queries []QuerySpec
+	// Scheduler picks OS / Lachesis / UL-SS.
+	Scheduler Scheduler
+	// Translator picks the Lachesis OS mechanism (default nice).
+	Translator Translator
+	// GroupQueries wraps the Lachesis policy with per-query cgroups (the
+	// Fig. 18 multi-dimensional schedule). Requires TranslateCombined.
+	GroupQueries bool
+	// Period is Lachesis' scheduling period (default 1s, as bound by the
+	// Graphite resolution in §6.1).
+	Period time.Duration
+	// HarenPeriod is the UL-SS refresh period (default 50ms; Fig. 15
+	// uses 1s).
+	HarenPeriod time.Duration
+	// Workers is the UL-SS pool size (default: CPU count).
+	Workers int
+	// Warmup and Measure bound each run (defaults 10s / 40s).
+	Warmup  time.Duration
+	Measure time.Duration
+	// Seed drives all randomness; repetitions perturb it.
+	Seed int64
+}
+
+func (s Setup) withDefaults() Setup {
+	if s.Machine.CPUs == 0 {
+		s.Machine = simos.OdroidXU4()
+	}
+	if len(s.Engines) == 0 {
+		s.Engines = []EngineSpec{{Flavor: spe.FlavorStorm}}
+	}
+	if s.Translator == "" {
+		s.Translator = TranslateNice
+	}
+	if s.Period <= 0 {
+		s.Period = time.Second
+	}
+	if s.HarenPeriod <= 0 {
+		s.HarenPeriod = 50 * time.Millisecond
+	}
+	if s.Warmup <= 0 {
+		s.Warmup = 10 * time.Second
+	}
+	if s.Measure <= 0 {
+		s.Measure = 40 * time.Second
+	}
+	return s
+}
+
+func (s Setup) validate() error {
+	if len(s.Queries) == 0 {
+		return errors.New("harness: setup has no queries")
+	}
+	for i, q := range s.Queries {
+		if q.Build == nil || q.Source == nil {
+			return fmt.Errorf("harness: query %d needs Build and Source", i)
+		}
+		if q.Engine < 0 || q.Engine >= len(s.Engines) {
+			return fmt.Errorf("harness: query %d references engine %d of %d", i, q.Engine, len(s.Engines))
+		}
+	}
+	if _, isUL := harenPolicy(s.Scheduler); (isUL || s.Scheduler == SchedEdgeWise) && len(s.Engines) > 1 {
+		return errors.New("harness: UL-SS baselines are coupled to a single engine")
+	}
+	return nil
+}
+
+// stack is one assembled run.
+type stack struct {
+	kernel      *simos.Kernel
+	engines     []*spe.Engine
+	deployments []*spe.Deployment
+	mwRunner    *simctl.Runner
+	store       *metrics.Store
+}
+
+// build assembles the full system for one (setup, rate, repetition).
+func build(s Setup, rate float64, rep int) (*stack, error) {
+	s = s.withDefaults()
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	seed := s.Seed + int64(rep)*104729
+	k := simos.New(s.Machine)
+	st := &stack{kernel: k}
+
+	// UL-SS scheduler shared by the single engine, if any.
+	var taskSched spe.TaskScheduler
+	switch {
+	case s.Scheduler == SchedEdgeWise:
+		taskSched = ulss.NewEdgeWise()
+	default:
+		if pol, ok := harenPolicy(s.Scheduler); ok {
+			taskSched = ulss.NewHaren(pol, s.HarenPeriod)
+		}
+	}
+
+	for i, es := range s.Engines {
+		cfg := spe.Config{
+			Name:     fmt.Sprintf("%s%d", es.Flavor, i),
+			Flavor:   es.Flavor,
+			Chaining: es.Chaining,
+			Seed:     seed + int64(i),
+		}
+		if taskSched != nil {
+			cfg.Mode = spe.ModeWorkerPool
+			cfg.Scheduler = taskSched
+			cfg.Workers = s.Workers
+		}
+		eng, err := spe.New(k, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("engine %d: %w", i, err)
+		}
+		st.engines = append(st.engines, eng)
+	}
+
+	for qi, qs := range s.Queries {
+		scale := qs.RateScale
+		if scale <= 0 {
+			scale = 1
+		}
+		src := qs.Source(rate*scale, seed+int64(qi)*31)
+		d, err := st.engines[qs.Engine].Deploy(qs.Build(), src)
+		if err != nil {
+			return nil, fmt.Errorf("deploy query %d: %w", qi, err)
+		}
+		st.deployments = append(st.deployments, d)
+	}
+
+	// Lachesis middleware, when requested.
+	if pol, ok := lachesisPolicy(s.Scheduler, seed); ok {
+		st.store = metrics.NewStore(time.Second)
+		var drivers []core.Driver
+		for _, eng := range st.engines {
+			if err := eng.StartReporter(st.store, time.Second); err != nil {
+				return nil, fmt.Errorf("reporter: %w", err)
+			}
+			drv, err := driver.New(eng, st.store)
+			if err != nil {
+				return nil, fmt.Errorf("driver: %w", err)
+			}
+			drivers = append(drivers, drv)
+		}
+		osa, err := simctl.NewOSAdapter(k)
+		if err != nil {
+			return nil, err
+		}
+		var tr core.Translator
+		switch s.Translator {
+		case TranslateNice:
+			tr = core.NewNiceTranslator(osa)
+		case TranslateShares:
+			tr = core.NewSharesTranslator(osa, 0, 0)
+		case TranslateCombined:
+			tr = core.NewCombinedTranslator(osa, 0, 0)
+		case TranslateQuota:
+			tr, err = core.NewQuotaTranslator(osa, k.CPUCount(), 0, 0)
+			if err != nil {
+				return nil, err
+			}
+		case TranslateRT:
+			tr, err = core.NewRTTranslator(osa, 0)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("harness: unknown translator %q", s.Translator)
+		}
+		if s.GroupQueries {
+			pol = core.GroupPerQuery(pol)
+		}
+		mw := core.NewMiddleware(nil)
+		if err := mw.Bind(core.Binding{
+			Policy:     pol,
+			Translator: tr,
+			Drivers:    drivers,
+			Period:     s.Period,
+		}); err != nil {
+			return nil, fmt.Errorf("bind: %w", err)
+		}
+		runner, err := simctl.StartMiddleware(k, mw)
+		if err != nil {
+			return nil, err
+		}
+		st.mwRunner = runner
+	}
+	return st, nil
+}

@@ -1,0 +1,35 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExperimentsSmoke executes a representative subset of the paper's
+// experiments end-to-end at a tiny scale, covering every harness code path
+// (performance sweeps with UL-SS baselines, latency distributions,
+// blocking multi-query pools, the multi-SPE grouping run, and the
+// highlights table). Skipped under -short.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test skipped in -short mode")
+	}
+	sc := Scale{Warmup: time.Second, Measure: 3 * time.Second, Reps: 1}
+	for _, id := range []string{"fig7", "fig13", "fig16", "fig18", "table1"} {
+		t.Run(id, func(t *testing.T) {
+			exp, ok := ByID(id)
+			if !ok {
+				t.Fatalf("unknown experiment %s", id)
+			}
+			var buf bytes.Buffer
+			if err := exp.Run(&buf, sc); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), "#") {
+				t.Errorf("no table emitted:\n%.200s", buf.String())
+			}
+		})
+	}
+}

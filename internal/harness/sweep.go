@@ -1,0 +1,344 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"lachesis/internal/plot"
+	"lachesis/internal/stats"
+)
+
+// Point aggregates repetitions of one (setup, rate).
+type Point struct {
+	Rate float64
+	Reps []Result
+
+	Throughput stats.Summary
+	ProcMs     stats.Summary
+	E2EMs      stats.Summary
+	QSGoal     stats.Summary
+	FCFSGoal   stats.Summary
+	CPUUtil    float64
+	MWCPUFrac  float64
+}
+
+// Series is one setup swept over rates.
+type Series struct {
+	Setup  Setup
+	Points []Point
+}
+
+// Sweep runs every setup at every rate for reps repetitions.
+func Sweep(setups []Setup, rates []float64, reps int, progress func(string)) ([]Series, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	out := make([]Series, 0, len(setups))
+	for _, s := range setups {
+		series := Series{Setup: s}
+		for _, rate := range rates {
+			if progress != nil {
+				progress(fmt.Sprintf("%s @ %.0f t/s", s.Name, rate))
+			}
+			p := Point{Rate: rate}
+			for rep := 0; rep < reps; rep++ {
+				r, err := Run(s, rate, rep)
+				if err != nil {
+					return nil, fmt.Errorf("run %s@%.0f rep %d: %w", s.Name, rate, rep, err)
+				}
+				p.Reps = append(p.Reps, r)
+			}
+			aggregate(&p)
+			series.Points = append(series.Points, p)
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+func aggregate(p *Point) {
+	var tput, proc, e2e, qs, fcfs, util, mw []float64
+	for _, r := range p.Reps {
+		tput = append(tput, r.Throughput)
+		proc = append(proc, r.MeanProc.Seconds()*1e3)
+		e2e = append(e2e, r.MeanE2E.Seconds()*1e3)
+		qs = append(qs, r.QSGoal)
+		fcfs = append(fcfs, r.FCFSGoal*1e3)
+		util = append(util, r.CPUUtil)
+		mw = append(mw, r.MWCPUFrac)
+	}
+	p.Throughput, _ = stats.Summarize(tput)
+	p.ProcMs, _ = stats.Summarize(proc)
+	p.E2EMs, _ = stats.Summarize(e2e)
+	p.QSGoal, _ = stats.Summarize(qs)
+	p.FCFSGoal, _ = stats.Summarize(fcfs)
+	p.CPUUtil = stats.Mean(util)
+	p.MWCPUFrac = stats.Mean(mw)
+}
+
+// PrintPerformance prints the standard four-panel figure data (throughput,
+// processing latency, end-to-end latency, QS goal) as one table, matching
+// the panels of Figs. 5, 7, 9-12, 14, 16, 17.
+func PrintPerformance(w io.Writer, title string, series []Series) {
+	fmt.Fprintf(w, "# %s\n", title)
+	fmt.Fprintf(w, "%-10s %-22s %10s %8s %12s %12s %10s %6s\n",
+		"rate", "scheduler", "tput(t/s)", "ci95", "lat(ms)", "e2e(ms)", "qs-goal", "cpu")
+	rates := ratesOf(series)
+	for _, rate := range rates {
+		for _, s := range series {
+			p, ok := pointAt(s, rate)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "%-10.0f %-22s %10.1f %8.1f %12.2f %12.2f %10.2f %6.2f\n",
+				rate, s.Setup.Name,
+				p.Throughput.Mean, p.Throughput.CI95,
+				p.ProcMs.Mean, p.E2EMs.Mean, p.QSGoal.Mean, p.CPUUtil)
+		}
+	}
+	fmt.Fprintln(w)
+	printCharts(w, series)
+}
+
+// printCharts renders the two headline panels (throughput; processing
+// latency on a log axis) as ASCII charts, making saturation points and
+// crossovers visible directly in the terminal.
+func printCharts(w io.Writer, series []Series) {
+	if len(series) == 0 || len(series[0].Points) < 2 {
+		return // a single rate has no curve to draw
+	}
+	var tput, lat []plot.Series
+	for _, s := range series {
+		var xs, ys, ls []float64
+		for _, p := range s.Points {
+			xs = append(xs, p.Rate)
+			ys = append(ys, p.Throughput.Mean)
+			ls = append(ls, p.ProcMs.Mean)
+		}
+		tput = append(tput, plot.Series{Name: s.Setup.Name, X: xs, Y: ys})
+		lat = append(lat, plot.Series{Name: s.Setup.Name, X: xs, Y: ls})
+	}
+	if err := plot.Render(w, plot.Config{
+		Title: "throughput vs input rate", Width: 64, Height: 12,
+		YLabel: "t/s", XLabel: "rate (t/s)",
+	}, tput...); err == nil {
+		fmt.Fprintln(w)
+	}
+	if err := plot.Render(w, plot.Config{
+		Title: "processing latency vs input rate", Width: 64, Height: 12,
+		YLabel: "ms", XLabel: "rate (t/s)", LogY: true,
+	}, lat...); err == nil {
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintLatencyDistributions prints letter-value (boxen) summaries of the
+// processing-latency distributions, the data behind Fig. 13, plus the p99
+// and p99.9 the paper quotes.
+func PrintLatencyDistributions(w io.Writer, title string, series []Series, rate float64) {
+	fmt.Fprintf(w, "# %s (rate %.0f t/s)\n", title, rate)
+	fmt.Fprintf(w, "%-22s %10s %10s %10s %10s %10s %10s\n",
+		"scheduler", "p50(ms)", "p75(ms)", "p99(ms)", "p99.9(ms)", "max(ms)", "samples")
+	for _, s := range series {
+		p, ok := pointAt(s, rate)
+		if !ok {
+			continue
+		}
+		var all []float64
+		for _, r := range p.Reps {
+			all = append(all, r.ProcSamples...)
+		}
+		if len(all) == 0 {
+			fmt.Fprintf(w, "%-22s %10s\n", s.Setup.Name, "(no samples)")
+			continue
+		}
+		q := func(v float64) float64 {
+			x, err := stats.Quantile(all, v)
+			if err != nil {
+				return 0
+			}
+			return x * 1e3
+		}
+		fmt.Fprintf(w, "%-22s %10.2f %10.2f %10.2f %10.2f %10.2f %10d\n",
+			s.Setup.Name, q(0.5), q(0.75), q(0.99), q(0.999), q(1), len(all))
+	}
+	// Letter values per scheduler.
+	for _, s := range series {
+		p, ok := pointAt(s, rate)
+		if !ok {
+			continue
+		}
+		var all []float64
+		for _, r := range p.Reps {
+			all = append(all, r.ProcSamples...)
+		}
+		lvs, err := stats.LetterValues(all, 8)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "letter-values %s:", s.Setup.Name)
+		for _, lv := range lvs {
+			fmt.Fprintf(w, " %s[%.2f,%.2f]ms", lv.Label, lv.Lower*1e3, lv.Upper*1e3)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintQueueDistributions prints per-rate letter-value summaries of
+// operator queue sizes pooled over operators and time — the data behind
+// Figs. 6 and 8 — plus the largest single-operator mean (the bottleneck
+// "diamond" of Fig. 8).
+func PrintQueueDistributions(w io.Writer, title string, series []Series) {
+	fmt.Fprintf(w, "# %s\n", title)
+	fmt.Fprintf(w, "%-10s %-22s %10s %10s %10s %10s %14s\n",
+		"rate", "scheduler", "p50", "p75", "p99", "max", "worst-op-mean")
+	for _, rate := range ratesOf(series) {
+		for _, s := range series {
+			p, ok := pointAt(s, rate)
+			if !ok {
+				continue
+			}
+			var pooled []float64
+			worst := 0.0
+			for _, r := range p.Reps {
+				for _, qs := range r.QueueSamples {
+					pooled = append(pooled, qs...)
+					if m := stats.Mean(qs); m > worst {
+						worst = m
+					}
+				}
+			}
+			if len(pooled) == 0 {
+				continue
+			}
+			q := func(v float64) float64 {
+				x, err := stats.Quantile(pooled, v)
+				if err != nil {
+					return 0
+				}
+				return x
+			}
+			fmt.Fprintf(w, "%-10.0f %-22s %10.1f %10.1f %10.1f %10.1f %14.1f\n",
+				rate, s.Setup.Name, q(0.5), q(0.75), q(0.99), q(1), worst)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintPerQuery prints per-query throughput and latency (Fig. 18).
+func PrintPerQuery(w io.Writer, title string, series []Series) {
+	fmt.Fprintf(w, "# %s\n", title)
+	fmt.Fprintf(w, "%-10s %-22s %-10s %-10s %12s %12s %12s\n",
+		"rate", "scheduler", "engine", "query", "tput(t/s)", "lat(ms)", "e2e(ms)")
+	for _, rate := range ratesOf(series) {
+		for _, s := range series {
+			p, ok := pointAt(s, rate)
+			if !ok || len(p.Reps) == 0 {
+				continue
+			}
+			// Average per-query results across reps.
+			agg := make(map[string][]QueryResult)
+			for _, r := range p.Reps {
+				for q, qr := range r.PerQuery {
+					agg[q] = append(agg[q], qr)
+				}
+			}
+			names := make([]string, 0, len(agg))
+			for q := range agg {
+				names = append(names, q)
+			}
+			sort.Strings(names)
+			for _, q := range names {
+				var tput, proc, e2e float64
+				for _, qr := range agg[q] {
+					tput += qr.Throughput
+					proc += qr.MeanProc.Seconds() * 1e3
+					e2e += qr.MeanE2E.Seconds() * 1e3
+				}
+				n := float64(len(agg[q]))
+				fmt.Fprintf(w, "%-10.2f %-22s %-10s %-10s %12.1f %12.2f %12.2f\n",
+					rate, s.Setup.Name, agg[q][0].Engine, q, tput/n, proc/n, e2e/n)
+			}
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+func ratesOf(series []Series) []float64 {
+	seen := make(map[float64]bool)
+	var out []float64
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !seen[p.Rate] {
+				seen[p.Rate] = true
+				out = append(out, p.Rate)
+			}
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func pointAt(s Series, rate float64) (Point, bool) {
+	for _, p := range s.Points {
+		if p.Rate == rate {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+// Highlights computes the paper-style comparison highlights between a
+// baseline series and a Lachesis series: max throughput gain and max
+// latency factors across common rates (the "Highlights" column of
+// Table 1).
+type HighlightsResult struct {
+	ThroughputGain float64 // best (lachesis/baseline - 1)
+	LatencyFactor  float64 // best baseline/lachesis processing latency
+	E2EFactor      float64 // best baseline/lachesis e2e latency
+	AtRate         float64
+}
+
+// Highlights compares two series.
+func Highlights(baseline, lachesis Series) HighlightsResult {
+	var out HighlightsResult
+	for _, rate := range ratesOf([]Series{baseline, lachesis}) {
+		b, okB := pointAt(baseline, rate)
+		l, okL := pointAt(lachesis, rate)
+		if !okB || !okL {
+			continue
+		}
+		if b.Throughput.Mean > 0 {
+			if g := l.Throughput.Mean/b.Throughput.Mean - 1; g > out.ThroughputGain {
+				out.ThroughputGain = g
+			}
+		}
+		if l.ProcMs.Mean > 0 {
+			if f := b.ProcMs.Mean / l.ProcMs.Mean; f > out.LatencyFactor {
+				out.LatencyFactor = f
+				out.AtRate = rate
+			}
+		}
+		if l.E2EMs.Mean > 0 {
+			if f := b.E2EMs.Mean / l.E2EMs.Mean; f > out.E2EFactor {
+				out.E2EFactor = f
+			}
+		}
+	}
+	return out
+}
+
+// FormatDuration renders a duration rounded for tables.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", d.Seconds()*1e3)
+	default:
+		return fmt.Sprintf("%.0fus", d.Seconds()*1e6)
+	}
+}

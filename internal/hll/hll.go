@@ -1,0 +1,106 @@
+// Package hll implements HyperLogLog approximate distinct counting, the
+// sketch behind the RIoTBench STATS query's "approximate distinct count"
+// operator (§6.1).
+package hll
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+)
+
+// Sketch is a HyperLogLog cardinality estimator.
+type Sketch struct {
+	p         uint8 // precision: m = 2^p registers
+	m         uint32
+	registers []uint8
+}
+
+// New creates a sketch with precision p in [4, 16] (standard error is
+// about 1.04/sqrt(2^p); p=14 gives ~0.8%).
+func New(p uint8) (*Sketch, error) {
+	if p < 4 || p > 16 {
+		return nil, errors.New("hll: precision must be in [4, 16]")
+	}
+	m := uint32(1) << p
+	return &Sketch{p: p, m: m, registers: make([]uint8, m)}, nil
+}
+
+// splitmix64 mixes a key into a 64-bit hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Add inserts a key.
+func (s *Sketch) Add(key uint64) {
+	h := splitmix64(key)
+	idx := h >> (64 - s.p)
+	rest := h<<s.p | 1<<(s.p-1) // ensure termination
+	rank := uint8(bits.LeadingZeros64(rest)) + 1
+	if rank > s.registers[idx] {
+		s.registers[idx] = rank
+	}
+}
+
+// alpha returns the bias-correction constant for m registers.
+func (s *Sketch) alpha() float64 {
+	switch s.m {
+	case 16:
+		return 0.673
+	case 32:
+		return 0.697
+	case 64:
+		return 0.709
+	default:
+		return 0.7213 / (1 + 1.079/float64(s.m))
+	}
+}
+
+// Estimate returns the approximate number of distinct keys added.
+func (s *Sketch) Estimate() float64 {
+	sum := 0.0
+	zeros := 0
+	for _, r := range s.registers {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	m := float64(s.m)
+	e := s.alpha() * m * m / sum
+	// Small-range correction: linear counting.
+	if e <= 2.5*m && zeros > 0 {
+		return m * math.Log(m/float64(zeros))
+	}
+	return e
+}
+
+// Merge folds another sketch (same precision) into this one, so the union
+// cardinality can be estimated. It returns an error on precision mismatch.
+func (s *Sketch) Merge(other *Sketch) error {
+	if other == nil || other.p != s.p {
+		return errors.New("hll: precision mismatch")
+	}
+	for i, r := range other.registers {
+		if r > s.registers[i] {
+			s.registers[i] = r
+		}
+	}
+	return nil
+}
+
+// Reset clears the sketch.
+func (s *Sketch) Reset() {
+	for i := range s.registers {
+		s.registers[i] = 0
+	}
+}
+
+// Precision returns the sketch precision p.
+func (s *Sketch) Precision() uint8 { return s.p }
+
+// StdError returns the theoretical relative standard error.
+func (s *Sketch) StdError() float64 { return 1.04 / math.Sqrt(float64(s.m)) }

@@ -1,0 +1,112 @@
+package hll
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrecisionValidation(t *testing.T) {
+	for _, p := range []uint8{0, 3, 17, 255} {
+		if _, err := New(p); err == nil {
+			t.Errorf("precision %d should be rejected", p)
+		}
+	}
+	s, err := New(14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Precision() != 14 {
+		t.Errorf("precision = %d", s.Precision())
+	}
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	for _, n := range []int{100, 1000, 100000} {
+		s, err := New(14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := 0; i < n; i++ {
+			s.Add(rng.Uint64())
+		}
+		est := s.Estimate()
+		relErr := math.Abs(est-float64(n)) / float64(n)
+		// 1.04/sqrt(16384) ~ 0.8%; allow 4 sigma.
+		if relErr > 4*s.StdError() {
+			t.Errorf("n=%d: estimate %.0f, rel err %.3f > %.3f", n, est, relErr, 4*s.StdError())
+		}
+	}
+}
+
+func TestDuplicatesDoNotInflate(t *testing.T) {
+	s, err := New(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000; i++ {
+		s.Add(uint64(i % 50)) // only 50 distinct
+	}
+	est := s.Estimate()
+	if est < 40 || est > 60 {
+		t.Errorf("estimate = %.1f, want ~50", est)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, _ := New(12)
+	b, _ := New(12)
+	for i := 0; i < 5000; i++ {
+		a.Add(uint64(i))
+		b.Add(uint64(i + 2500)) // half overlap
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	est := a.Estimate()
+	if est < 6900 || est > 8100 {
+		t.Errorf("union estimate = %.0f, want ~7500", est)
+	}
+	c, _ := New(10)
+	if err := a.Merge(c); err == nil {
+		t.Error("precision mismatch should fail")
+	}
+	if err := a.Merge(nil); err == nil {
+		t.Error("nil merge should fail")
+	}
+}
+
+func TestReset(t *testing.T) {
+	s, _ := New(10)
+	s.Add(1)
+	s.Reset()
+	if est := s.Estimate(); est != 0 {
+		t.Errorf("estimate after reset = %v", est)
+	}
+}
+
+func TestQuickEstimateWithinBounds(t *testing.T) {
+	// Property: for random distinct sets, the estimate stays within 5
+	// standard errors.
+	err := quick.Check(func(seed int64, size uint16) bool {
+		n := int(size%5000) + 10
+		s, err := New(12)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		seen := make(map[uint64]bool, n)
+		for len(seen) < n {
+			k := rng.Uint64()
+			seen[k] = true
+			s.Add(k)
+		}
+		relErr := math.Abs(s.Estimate()-float64(n)) / float64(n)
+		return relErr < 5*s.StdError()+0.02
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+// Package metrics provides the Graphite-like time-series store through
+// which Lachesis observes the SPEs. Engines publish raw metric samples into
+// the store; the Lachesis drivers read them back. The store quantizes
+// samples to a fixed resolution (one second in the paper's evaluation), so
+// the middleware always works with metrics that are up to one resolution
+// interval stale — a deliberately modeled disadvantage versus user-level
+// schedulers that read fresh in-engine state (§6.4, Fig. 15).
+package metrics
+
+import (
+	"sort"
+	"time"
+)
+
+// DefaultResolution matches the paper's Graphite deployment: one second.
+const DefaultResolution = time.Second
+
+// defaultRetention is how many buckets each series keeps.
+const defaultRetention = 240
+
+// Point is one quantized sample.
+type Point struct {
+	At    time.Duration
+	Value float64
+}
+
+// Store is an in-memory time-series database with fixed resolution.
+type Store struct {
+	resolution time.Duration
+	retention  int
+	series     map[string][]Point
+
+	records int64
+}
+
+// NewStore creates a store. resolution <= 0 selects DefaultResolution.
+func NewStore(resolution time.Duration) *Store {
+	if resolution <= 0 {
+		resolution = DefaultResolution
+	}
+	return &Store{
+		resolution: resolution,
+		retention:  defaultRetention,
+		series:     make(map[string][]Point),
+	}
+}
+
+// Resolution returns the store's time quantum.
+func (s *Store) Resolution() time.Duration { return s.resolution }
+
+// Records returns the number of samples recorded over the store's
+// lifetime.
+func (s *Store) Records() int64 { return s.records }
+
+// Record stores a sample, quantized down to the containing bucket. A
+// second sample in the same bucket overwrites the first. Record implements
+// the engine MetricSink interface.
+func (s *Store) Record(now time.Duration, series string, value float64) {
+	at := now / s.resolution * s.resolution
+	buf := s.series[series]
+	s.records++
+	if n := len(buf); n > 0 && buf[n-1].At == at {
+		buf[n-1].Value = value
+		return
+	}
+	buf = append(buf, Point{At: at, Value: value})
+	if len(buf) > s.retention {
+		buf = buf[len(buf)-s.retention:]
+	}
+	s.series[series] = buf
+}
+
+// Latest returns the most recent sample of a series.
+func (s *Store) Latest(series string) (Point, bool) {
+	buf := s.series[series]
+	if len(buf) == 0 {
+		return Point{}, false
+	}
+	return buf[len(buf)-1], true
+}
+
+// At returns the sample in the bucket containing t, or the nearest earlier
+// sample (how Graphite answers point queries for sparse series).
+func (s *Store) At(series string, t time.Duration) (Point, bool) {
+	buf := s.series[series]
+	if len(buf) == 0 {
+		return Point{}, false
+	}
+	bucket := t / s.resolution * s.resolution
+	idx := sort.Search(len(buf), func(i int) bool { return buf[i].At > bucket })
+	if idx == 0 {
+		return Point{}, false
+	}
+	return buf[idx-1], true
+}
+
+// Range returns all samples with from <= At <= to, in time order.
+func (s *Store) Range(series string, from, to time.Duration) []Point {
+	buf := s.series[series]
+	var out []Point
+	for _, p := range buf {
+		if p.At >= from && p.At <= to {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SeriesNames returns all series names, sorted.
+func (s *Store) SeriesNames() []string {
+	out := make([]string, 0, len(s.series))
+	for name := range s.series {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasSeries reports whether a series has at least one sample.
+func (s *Store) HasSeries(series string) bool { return len(s.series[series]) > 0 }

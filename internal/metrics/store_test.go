@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRecordAndLatest(t *testing.T) {
+	s := NewStore(time.Second)
+	s.Record(1500*time.Millisecond, "a.queue", 5)
+	p, ok := s.Latest("a.queue")
+	if !ok {
+		t.Fatal("series missing")
+	}
+	if p.At != time.Second {
+		t.Errorf("sample quantized to %v, want 1s", p.At)
+	}
+	if p.Value != 5 {
+		t.Errorf("value = %v", p.Value)
+	}
+	if _, ok := s.Latest("nope"); ok {
+		t.Error("unknown series should not exist")
+	}
+}
+
+func TestSameBucketOverwrites(t *testing.T) {
+	s := NewStore(time.Second)
+	s.Record(1100*time.Millisecond, "x", 1)
+	s.Record(1900*time.Millisecond, "x", 2)
+	p, _ := s.Latest("x")
+	if p.Value != 2 {
+		t.Errorf("second sample in bucket should win, got %v", p.Value)
+	}
+	if got := len(s.Range("x", 0, time.Minute)); got != 1 {
+		t.Errorf("one bucket expected, got %d", got)
+	}
+}
+
+func TestAtReturnsNearestEarlier(t *testing.T) {
+	s := NewStore(time.Second)
+	s.Record(2*time.Second, "x", 10)
+	s.Record(5*time.Second, "x", 50)
+	tests := []struct {
+		at   time.Duration
+		want float64
+		ok   bool
+	}{
+		{time.Second, 0, false},
+		{2 * time.Second, 10, true},
+		{3500 * time.Millisecond, 10, true},
+		{5 * time.Second, 50, true},
+		{time.Minute, 50, true},
+	}
+	for _, tt := range tests {
+		p, ok := s.At("x", tt.at)
+		if ok != tt.ok || (ok && p.Value != tt.want) {
+			t.Errorf("At(%v) = (%v,%v), want (%v,%v)", tt.at, p.Value, ok, tt.want, tt.ok)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := NewStore(time.Second)
+	for i := 1; i <= 5; i++ {
+		s.Record(time.Duration(i)*time.Second, "x", float64(i))
+	}
+	pts := s.Range("x", 2*time.Second, 4*time.Second)
+	if len(pts) != 3 {
+		t.Fatalf("range length = %d, want 3", len(pts))
+	}
+	if pts[0].Value != 2 || pts[2].Value != 4 {
+		t.Errorf("range = %v", pts)
+	}
+}
+
+func TestRetentionBounded(t *testing.T) {
+	s := NewStore(time.Second)
+	for i := 0; i < 1000; i++ {
+		s.Record(time.Duration(i)*time.Second, "x", float64(i))
+	}
+	pts := s.Range("x", 0, 2000*time.Second)
+	if len(pts) > defaultRetention {
+		t.Errorf("retention not enforced: %d points", len(pts))
+	}
+	// Newest data survives.
+	p, _ := s.Latest("x")
+	if p.Value != 999 {
+		t.Errorf("latest = %v, want 999", p.Value)
+	}
+}
+
+func TestSeriesNamesSorted(t *testing.T) {
+	s := NewStore(0)
+	s.Record(0, "b", 1)
+	s.Record(0, "a", 1)
+	names := s.SeriesNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("names = %v", names)
+	}
+	if !s.HasSeries("a") || s.HasSeries("zzz") {
+		t.Error("HasSeries wrong")
+	}
+	if s.Resolution() != DefaultResolution {
+		t.Errorf("default resolution = %v", s.Resolution())
+	}
+	if s.Records() != 2 {
+		t.Errorf("records = %d", s.Records())
+	}
+}

@@ -1,0 +1,92 @@
+package oslinux
+
+import (
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"lachesis/internal/core"
+)
+
+// Optional capability implementations for the future-work translators
+// (§8) on a real Linux host. These extend the System interface through
+// the narrower ExtendedSystem; the default host binding and the dry-run
+// binding both implement it.
+
+// ExtendedSystem adds the host operations needed by the quota and
+// real-time translators.
+type ExtendedSystem interface {
+	System
+	// SetScheduler sets a thread's scheduling policy (SCHED_FIFO with
+	// prio > 0, SCHED_OTHER with prio == 0).
+	SetScheduler(tid, prio int) error
+}
+
+var (
+	_ core.QuotaController = (*Control)(nil)
+	_ core.RTController    = (*Control)(nil)
+)
+
+// SetQuota implements core.QuotaController through cgroup bandwidth
+// control: cpu.cfs_quota_us/cpu.cfs_period_us (v1) or cpu.max (v2).
+func (c *Control) SetQuota(name string, quota, period time.Duration) error {
+	dir := filepath.Join(c.cfg.Root, sanitize(name))
+	if period <= 0 {
+		period = 100 * time.Millisecond
+	}
+	periodUs := strconv.FormatInt(period.Microseconds(), 10)
+	switch c.cfg.Version {
+	case V2:
+		val := "max " + periodUs
+		if quota > 0 {
+			val = strconv.FormatInt(quota.Microseconds(), 10) + " " + periodUs
+		}
+		if err := c.cfg.System.WriteFile(filepath.Join(dir, "cpu.max"), []byte(val)); err != nil {
+			return fmt.Errorf("write cpu.max for %q: %w", name, err)
+		}
+		return nil
+	default:
+		quotaUs := "-1"
+		if quota > 0 {
+			quotaUs = strconv.FormatInt(quota.Microseconds(), 10)
+		}
+		if err := c.cfg.System.WriteFile(filepath.Join(dir, "cpu.cfs_period_us"), []byte(periodUs)); err != nil {
+			return fmt.Errorf("write cfs_period_us for %q: %w", name, err)
+		}
+		if err := c.cfg.System.WriteFile(filepath.Join(dir, "cpu.cfs_quota_us"), []byte(quotaUs)); err != nil {
+			return fmt.Errorf("write cfs_quota_us for %q: %w", name, err)
+		}
+		return nil
+	}
+}
+
+// SetRealtime implements core.RTController.
+func (c *Control) SetRealtime(tid, prio int) error {
+	es, ok := c.cfg.System.(ExtendedSystem)
+	if !ok {
+		return fmt.Errorf("oslinux: system binding does not support sched_setscheduler")
+	}
+	if prio < 1 {
+		prio = 1
+	}
+	if prio > 99 {
+		prio = 99
+	}
+	if err := es.SetScheduler(tid, prio); err != nil {
+		return fmt.Errorf("sched_setscheduler tid %d: %w", tid, err)
+	}
+	return nil
+}
+
+// SetNormal implements core.RTController.
+func (c *Control) SetNormal(tid int) error {
+	es, ok := c.cfg.System.(ExtendedSystem)
+	if !ok {
+		return fmt.Errorf("oslinux: system binding does not support sched_setscheduler")
+	}
+	if err := es.SetScheduler(tid, 0); err != nil {
+		return fmt.Errorf("sched_setscheduler tid %d: %w", tid, err)
+	}
+	return nil
+}

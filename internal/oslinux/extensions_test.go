@@ -1,0 +1,122 @@
+package oslinux
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeExtSystem adds scheduler control to the fake.
+type fakeExtSystem struct {
+	*fakeSystem
+	sched map[int]int
+}
+
+var _ ExtendedSystem = (*fakeExtSystem)(nil)
+
+func newFakeExtSystem() *fakeExtSystem {
+	return &fakeExtSystem{fakeSystem: newFakeSystem(), sched: make(map[int]int)}
+}
+
+func (f *fakeExtSystem) SetScheduler(tid, prio int) error {
+	if f.fail != nil {
+		return f.fail
+	}
+	f.sched[tid] = prio
+	return nil
+}
+
+func TestSetQuotaV1(t *testing.T) {
+	sys := newFakeSystem()
+	c := newControl(t, sys, V1)
+	if err := c.EnsureCgroup("g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetQuota("g", 30*time.Millisecond, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.writes["/sys/fs/cgroup/cpu/lachesis/g/cpu.cfs_quota_us"]; got != "30000" {
+		t.Errorf("quota = %q", got)
+	}
+	if got := sys.writes["/sys/fs/cgroup/cpu/lachesis/g/cpu.cfs_period_us"]; got != "100000" {
+		t.Errorf("period = %q", got)
+	}
+	// Removing the quota writes -1.
+	if err := c.SetQuota("g", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.writes["/sys/fs/cgroup/cpu/lachesis/g/cpu.cfs_quota_us"]; got != "-1" {
+		t.Errorf("removed quota = %q", got)
+	}
+}
+
+func TestSetQuotaV2(t *testing.T) {
+	sys := newFakeSystem()
+	c := newControl(t, sys, V2)
+	if err := c.SetQuota("g", 25*time.Millisecond, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.writes["/sys/fs/cgroup/cpu/lachesis/g/cpu.max"]; got != "25000 100000" {
+		t.Errorf("cpu.max = %q", got)
+	}
+	if err := c.SetQuota("g", 0, 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.writes["/sys/fs/cgroup/cpu/lachesis/g/cpu.max"]; got != "max 50000" {
+		t.Errorf("unlimited cpu.max = %q", got)
+	}
+}
+
+func TestSetRealtimeAndNormal(t *testing.T) {
+	sys := newFakeExtSystem()
+	c, err := New(Config{Root: "/cg", System: sys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetRealtime(42, 200); err != nil {
+		t.Fatal(err)
+	}
+	if sys.sched[42] != 99 {
+		t.Errorf("rt prio = %d, want clamped 99", sys.sched[42])
+	}
+	if err := c.SetNormal(42); err != nil {
+		t.Fatal(err)
+	}
+	if sys.sched[42] != 0 {
+		t.Errorf("normal prio = %d", sys.sched[42])
+	}
+}
+
+func TestRealtimeRequiresExtendedSystem(t *testing.T) {
+	c := newControl(t, newFakeSystem(), V1) // plain System, no SetScheduler
+	if err := c.SetRealtime(1, 10); err == nil {
+		t.Error("plain system should not support RT")
+	}
+	if err := c.SetNormal(1); err == nil {
+		t.Error("plain system should not support RT")
+	}
+}
+
+func TestDryRunSupportsExtensions(t *testing.T) {
+	var buf bytes.Buffer
+	c, err := New(Config{Root: "/cg", System: DryRunSystem{W: &buf}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetQuota("g", 10*time.Millisecond, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetRealtime(7, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetNormal(7); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cfs_quota_us", "chrt -f -p 50 7", "chrt -o -p 0 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dry-run missing %q:\n%s", want, out)
+		}
+	}
+}

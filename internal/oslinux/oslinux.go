@@ -1,0 +1,156 @@
+// Package oslinux implements core.OSInterface on a real Linux host: nice
+// via setpriority(2) and CPU shares via the cgroup filesystem (v1
+// cpu.shares or v2 cpu.weight). This is the backend a production
+// deployment of the middleware uses (cmd/lachesisd); the simulator uses
+// internal/simctl instead. All OS access goes through the System
+// interface so the package is fully unit-testable and supports dry runs.
+package oslinux
+
+import (
+	"fmt"
+	"path/filepath"
+	"strconv"
+
+	"lachesis/internal/core"
+)
+
+// CgroupVersion selects the cgroup filesystem dialect.
+type CgroupVersion int
+
+const (
+	// V1 uses cpu.shares and the tasks file (what the paper's evaluation
+	// used on Ubuntu 18.04).
+	V1 CgroupVersion = iota + 1
+	// V2 uses cpu.weight and cgroup.threads (unified hierarchy).
+	V2
+)
+
+// System abstracts the host interfaces the controller touches.
+type System interface {
+	// Setpriority sets a thread's nice value (setpriority(2) with
+	// PRIO_PROCESS semantics on the tid).
+	Setpriority(tid, nice int) error
+	// MkdirAll creates a cgroup directory.
+	MkdirAll(path string) error
+	// WriteFile writes a cgroup control file.
+	WriteFile(path string, data []byte) error
+}
+
+// Config configures the Linux control backend.
+type Config struct {
+	// Root is the directory Lachesis-managed cgroups live under, e.g.
+	// "/sys/fs/cgroup/cpu/lachesis" (v1) or "/sys/fs/cgroup/lachesis"
+	// (v2).
+	Root string
+	// Version selects v1/v2 (default V1).
+	Version CgroupVersion
+	// System is the host binding (default: the real host; tests inject a
+	// fake; DryRunSystem logs without touching anything).
+	System System
+}
+
+// Control drives the real OS mechanisms.
+type Control struct {
+	cfg    Config
+	groups map[string]bool
+}
+
+var _ core.OSInterface = (*Control)(nil)
+
+// New creates a Control.
+func New(cfg Config) (*Control, error) {
+	if cfg.Root == "" {
+		return nil, fmt.Errorf("oslinux: cgroup root required")
+	}
+	if cfg.Version == 0 {
+		cfg.Version = V1
+	}
+	if cfg.System == nil {
+		cfg.System = hostSystem{}
+	}
+	return &Control{cfg: cfg, groups: make(map[string]bool)}, nil
+}
+
+// SetNice implements core.OSInterface.
+func (c *Control) SetNice(tid, nice int) error {
+	if nice < -20 {
+		nice = -20
+	}
+	if nice > 19 {
+		nice = 19
+	}
+	if err := c.cfg.System.Setpriority(tid, nice); err != nil {
+		return fmt.Errorf("setpriority tid %d: %w", tid, err)
+	}
+	return nil
+}
+
+// EnsureCgroup implements core.OSInterface.
+func (c *Control) EnsureCgroup(name string) error {
+	if c.groups[name] {
+		return nil
+	}
+	dir := filepath.Join(c.cfg.Root, sanitize(name))
+	if err := c.cfg.System.MkdirAll(dir); err != nil {
+		return fmt.Errorf("mkdir cgroup %q: %w", name, err)
+	}
+	c.groups[name] = true
+	return nil
+}
+
+// SetShares implements core.OSInterface. With cgroup v2 the v1-style
+// shares value is converted to cpu.weight using the kernel's mapping
+// weight = 1 + ((shares - 2) * 9999) / 262142.
+func (c *Control) SetShares(name string, shares int) error {
+	if shares < 2 {
+		shares = 2
+	}
+	if shares > 262144 {
+		shares = 262144
+	}
+	dir := filepath.Join(c.cfg.Root, sanitize(name))
+	var file, val string
+	switch c.cfg.Version {
+	case V2:
+		weight := 1 + ((shares-2)*9999)/262142
+		file, val = "cpu.weight", strconv.Itoa(weight)
+	default:
+		file, val = "cpu.shares", strconv.Itoa(shares)
+	}
+	if err := c.cfg.System.WriteFile(filepath.Join(dir, file), []byte(val)); err != nil {
+		return fmt.Errorf("write %s for %q: %w", file, name, err)
+	}
+	return nil
+}
+
+// MoveThread implements core.OSInterface.
+func (c *Control) MoveThread(tid int, name string) error {
+	dir := filepath.Join(c.cfg.Root, sanitize(name))
+	file := "tasks"
+	if c.cfg.Version == V2 {
+		file = "cgroup.threads"
+	}
+	data := []byte(strconv.Itoa(tid))
+	if err := c.cfg.System.WriteFile(filepath.Join(dir, file), data); err != nil {
+		return fmt.Errorf("move tid %d to %q: %w", tid, name, err)
+	}
+	return nil
+}
+
+// sanitize keeps cgroup directory names safe.
+func sanitize(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "_"
+	}
+	return string(out)
+}

@@ -1,0 +1,196 @@
+package oslinux
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// fakeSystem records operations.
+type fakeSystem struct {
+	nices  map[int]int
+	dirs   []string
+	writes map[string]string
+	fail   error
+}
+
+var _ System = (*fakeSystem)(nil)
+
+func newFakeSystem() *fakeSystem {
+	return &fakeSystem{nices: make(map[int]int), writes: make(map[string]string)}
+}
+
+func (f *fakeSystem) Setpriority(tid, nice int) error {
+	if f.fail != nil {
+		return f.fail
+	}
+	f.nices[tid] = nice
+	return nil
+}
+func (f *fakeSystem) MkdirAll(path string) error {
+	if f.fail != nil {
+		return f.fail
+	}
+	f.dirs = append(f.dirs, path)
+	return nil
+}
+func (f *fakeSystem) WriteFile(path string, data []byte) error {
+	if f.fail != nil {
+		return f.fail
+	}
+	f.writes[path] = string(data)
+	return nil
+}
+
+func newControl(t *testing.T, sys System, v CgroupVersion) *Control {
+	t.Helper()
+	c, err := New(Config{Root: "/sys/fs/cgroup/cpu/lachesis", Version: v, System: sys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSetNiceClampsAndDelegates(t *testing.T) {
+	sys := newFakeSystem()
+	c := newControl(t, sys, V1)
+	if err := c.SetNice(42, -100); err != nil {
+		t.Fatal(err)
+	}
+	if sys.nices[42] != -20 {
+		t.Errorf("nice = %d, want clamped -20", sys.nices[42])
+	}
+	if err := c.SetNice(43, 100); err != nil {
+		t.Fatal(err)
+	}
+	if sys.nices[43] != 19 {
+		t.Errorf("nice = %d, want clamped 19", sys.nices[43])
+	}
+}
+
+func TestCgroupV1Flow(t *testing.T) {
+	sys := newFakeSystem()
+	c := newControl(t, sys, V1)
+	if err := c.EnsureCgroup("query-q1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.dirs) != 1 || !strings.HasSuffix(sys.dirs[0], "/query-q1") {
+		t.Errorf("dirs = %v", sys.dirs)
+	}
+	// Idempotent: second ensure does not re-mkdir.
+	if err := c.EnsureCgroup("query-q1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.dirs) != 1 {
+		t.Errorf("EnsureCgroup not cached: %v", sys.dirs)
+	}
+	if err := c.SetShares("query-q1", 2048); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.writes["/sys/fs/cgroup/cpu/lachesis/query-q1/cpu.shares"]; got != "2048" {
+		t.Errorf("cpu.shares write = %q", got)
+	}
+	if err := c.MoveThread(1234, "query-q1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.writes["/sys/fs/cgroup/cpu/lachesis/query-q1/tasks"]; got != "1234" {
+		t.Errorf("tasks write = %q", got)
+	}
+}
+
+func TestCgroupV2WeightConversion(t *testing.T) {
+	sys := newFakeSystem()
+	c := newControl(t, sys, V2)
+	if err := c.EnsureCgroup("g"); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		shares int
+		weight string
+	}{
+		{2, "1"},
+		{1024, "39"}, // kernel default shares -> near default weight region
+		{262144, "10000"},
+	}
+	for _, tt := range tests {
+		if err := c.SetShares("g", tt.shares); err != nil {
+			t.Fatal(err)
+		}
+		if got := sys.writes["/sys/fs/cgroup/cpu/lachesis/g/cpu.weight"]; got != tt.weight {
+			t.Errorf("shares %d -> weight %q, want %q", tt.shares, got, tt.weight)
+		}
+	}
+	if err := c.MoveThread(7, "g"); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.writes["/sys/fs/cgroup/cpu/lachesis/g/cgroup.threads"]; got != "7" {
+		t.Errorf("cgroup.threads write = %q", got)
+	}
+}
+
+func TestSharesClamping(t *testing.T) {
+	sys := newFakeSystem()
+	c := newControl(t, sys, V1)
+	if err := c.EnsureCgroup("g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetShares("g", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.writes["/sys/fs/cgroup/cpu/lachesis/g/cpu.shares"]; got != "2" {
+		t.Errorf("shares clamped to %q, want 2", got)
+	}
+}
+
+func TestSanitizeCgroupNames(t *testing.T) {
+	sys := newFakeSystem()
+	c := newControl(t, sys, V1)
+	if err := c.EnsureCgroup("storm/lr toll#1"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(sys.dirs[0], "/storm_lr_toll_1") {
+		t.Errorf("sanitized dir = %v", sys.dirs)
+	}
+}
+
+func TestErrorsAreWrapped(t *testing.T) {
+	sys := newFakeSystem()
+	sys.fail = errors.New("EPERM")
+	c := newControl(t, sys, V1)
+	if err := c.SetNice(1, 0); err == nil || !strings.Contains(err.Error(), "EPERM") {
+		t.Errorf("SetNice error = %v", err)
+	}
+	if err := c.EnsureCgroup("g"); err == nil {
+		t.Error("EnsureCgroup should propagate failure")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing root should fail")
+	}
+}
+
+func TestDryRunSystemLogs(t *testing.T) {
+	var buf bytes.Buffer
+	c, err := New(Config{Root: "/cg", System: DryRunSystem{W: &buf}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetNice(5, -3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EnsureCgroup("g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetShares("g", 100); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"renice tid=5 nice=-3", "mkdir -p /cg/g", "cpu.shares"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dry-run output missing %q:\n%s", want, out)
+		}
+	}
+}

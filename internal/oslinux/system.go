@@ -1,0 +1,101 @@
+package oslinux
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// hostSystem is the real host binding.
+type hostSystem struct{}
+
+var _ System = hostSystem{}
+
+// Setpriority implements System via setpriority(2). On Linux,
+// PRIO_PROCESS with a tid addresses a single thread.
+func (hostSystem) Setpriority(tid, nice int) error {
+	return syscall.Setpriority(syscall.PRIO_PROCESS, tid, nice)
+}
+
+// MkdirAll implements System.
+func (hostSystem) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+// WriteFile implements System. Cgroup control files must be opened
+// write-only without truncation semantics mattering.
+func (hostSystem) WriteFile(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// schedParam mirrors struct sched_param for sched_setscheduler(2).
+type schedParam struct {
+	priority int32
+}
+
+// Scheduling policy constants from <sched.h>.
+const (
+	schedOther = 0
+	schedFIFO  = 1
+)
+
+// SetScheduler implements ExtendedSystem via sched_setscheduler(2).
+func (hostSystem) SetScheduler(tid, prio int) error {
+	policy := schedOther
+	if prio > 0 {
+		policy = schedFIFO
+	}
+	param := schedParam{priority: int32(prio)}
+	_, _, errno := syscall.Syscall(syscall.SYS_SCHED_SETSCHEDULER,
+		uintptr(tid), uintptr(policy), uintptr(unsafe.Pointer(&param)))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+// DryRunSystem logs every operation instead of performing it, for
+// inspecting what the middleware would do on a host (cmd/lachesisd
+// -dry-run).
+type DryRunSystem struct {
+	W io.Writer
+}
+
+var _ System = DryRunSystem{}
+
+// Setpriority implements System.
+func (d DryRunSystem) Setpriority(tid, nice int) error {
+	fmt.Fprintf(d.W, "dry-run: renice tid=%d nice=%d\n", tid, nice)
+	return nil
+}
+
+// MkdirAll implements System.
+func (d DryRunSystem) MkdirAll(path string) error {
+	fmt.Fprintf(d.W, "dry-run: mkdir -p %s\n", path)
+	return nil
+}
+
+// WriteFile implements System.
+func (d DryRunSystem) WriteFile(path string, data []byte) error {
+	fmt.Fprintf(d.W, "dry-run: echo %q > %s\n", string(data), path)
+	return nil
+}
+
+// SetScheduler implements ExtendedSystem.
+func (d DryRunSystem) SetScheduler(tid, prio int) error {
+	if prio > 0 {
+		fmt.Fprintf(d.W, "dry-run: chrt -f -p %d %d\n", prio, tid)
+	} else {
+		fmt.Fprintf(d.W, "dry-run: chrt -o -p 0 %d\n", tid)
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+// Package plot renders small ASCII charts for the experiment CLI: the
+// paper's figures are rate-vs-metric line plots, and a terminal rendering
+// makes saturation points and crossovers visible without leaving the
+// shell.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one line of a chart.
+type Series struct {
+	Name string
+	// X and Y are parallel; points with NaN Y are skipped.
+	X []float64
+	Y []float64
+}
+
+// Config sizes and labels a chart.
+type Config struct {
+	Title  string
+	Width  int // plot area columns (default 60)
+	Height int // plot area rows (default 16)
+	YLabel string
+	XLabel string
+	// LogY plots log10(Y) (for latency panels spanning decades).
+	LogY bool
+}
+
+// glyphs mark successive series.
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the series as an ASCII chart.
+func Render(w io.Writer, cfg Config, series ...Series) error {
+	if len(series) == 0 {
+		return errors.New("plot: no series")
+	}
+	width, height := cfg.Width, cfg.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+
+	// Transform and bound the data.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	type pt struct{ x, y float64 }
+	pts := make([][]pt, len(series))
+	for i, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for j := range s.X {
+			y := s.Y[j]
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			if cfg.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			x := s.X[j]
+			pts[i] = append(pts[i], pt{x, y})
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return errors.New("plot: no plottable points")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	// Paint the grid.
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i, ps := range pts {
+		g := glyphs[i%len(glyphs)]
+		for _, p := range ps {
+			col := int((p.x - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((p.y-ymin)/(ymax-ymin)*float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = g
+			}
+		}
+	}
+
+	// Emit: title, y-axis with min/max labels, grid, x-axis.
+	if cfg.Title != "" {
+		fmt.Fprintf(w, "%s\n", cfg.Title)
+	}
+	yTop, yBot := ymax, ymin
+	suffix := ""
+	if cfg.LogY {
+		suffix = " (log10)"
+	}
+	for r, line := range grid {
+		label := "          "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%9.3g", yTop)
+		case height - 1:
+			label = fmt.Sprintf("%9.3g", yBot)
+		case height / 2:
+			label = fmt.Sprintf("%9.3g", (yTop+yBot)/2)
+		default:
+			label = strings.Repeat(" ", 9)
+		}
+		fmt.Fprintf(w, "%9.9s |%s|\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%9s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(w, "%9s  %-*.6g%*.6g\n", "", width/2, xmin, width-width/2, xmax)
+	if cfg.YLabel != "" || cfg.XLabel != "" {
+		fmt.Fprintf(w, "%9s  y: %s%s   x: %s\n", "", cfg.YLabel, suffix, cfg.XLabel)
+	}
+	var legend []string
+	for i, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", glyphs[i%len(glyphs)], s.Name))
+	}
+	fmt.Fprintf(w, "%9s  %s\n", "", strings.Join(legend, "   "))
+	return nil
+}

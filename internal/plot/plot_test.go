@@ -1,0 +1,111 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicChart(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, Config{
+		Title: "throughput", Width: 40, Height: 10,
+		YLabel: "t/s", XLabel: "rate",
+	},
+		Series{Name: "os", X: []float64{1, 2, 3, 4}, Y: []float64{10, 20, 25, 25}},
+		Series{Name: "lachesis", X: []float64{1, 2, 3, 4}, Y: []float64{10, 20, 30, 35}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"throughput", "* os", "o lachesis", "y: t/s", "x: rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Both glyphs must appear in the plot area.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("series glyphs missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+10+2+1+1 { // title + grid + axis + labels + legend
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderPlacesExtremes(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, Config{Width: 21, Height: 5},
+		Series{Name: "s", X: []float64{0, 10}, Y: []float64{0, 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	// Max value on the top row at the right edge, min at bottom-left.
+	top, bottom := lines[0], lines[4]
+	if top[len(top)-2] != '*' {
+		t.Errorf("top-right glyph missing: %q", top)
+	}
+	if !strings.Contains(bottom, "|*") {
+		t.Errorf("bottom-left glyph missing: %q", bottom)
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, Config{Width: 30, Height: 8, LogY: true, YLabel: "lat"},
+		Series{Name: "s", X: []float64{1, 2, 3}, Y: []float64{1, 100, 10000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(log10)") {
+		t.Error("log marker missing")
+	}
+	// log10 range 0..4: mid value 100 -> log 2 lands on the middle row.
+	lines := strings.Split(buf.String(), "\n")
+	mid := lines[4] // height 8: middle-ish row
+	if !strings.Contains(mid, "*") {
+		t.Errorf("mid point not on middle row: %q", mid)
+	}
+}
+
+func TestRenderSkipsBadPoints(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, Config{Width: 20, Height: 5, LogY: true},
+		Series{Name: "s", X: []float64{1, 2, 3, 4}, Y: []float64{math.NaN(), -5, 0, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One plotted point plus the legend glyph.
+	if strings.Count(buf.String(), "*") != 2 {
+		t.Errorf("only the positive finite point should plot:\n%s", buf.String())
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, Config{}); err == nil {
+		t.Error("no series should fail")
+	}
+	if err := Render(&buf, Config{}, Series{Name: "s", X: []float64{1}, Y: nil}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if err := Render(&buf, Config{LogY: true},
+		Series{Name: "s", X: []float64{1}, Y: []float64{-1}}); err == nil {
+		t.Error("no plottable points should fail")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, Config{Width: 10, Height: 4},
+		Series{Name: "s", X: []float64{5, 5}, Y: []float64{3, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("degenerate series should still plot")
+	}
+}

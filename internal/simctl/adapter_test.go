@@ -1,0 +1,104 @@
+package simctl
+
+import (
+	"testing"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/simos"
+)
+
+func TestOSAdapterCachesControlOps(t *testing.T) {
+	k := simos.New(simos.Config{CPUs: 1})
+	tid, err := k.Spawn("w", simos.RootCgroup, simos.RunnerFunc(
+		func(ctx *simos.RunContext, granted time.Duration) simos.Decision {
+			return simos.Decision{Used: granted, Action: simos.ActionYield}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewOSAdapter(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeated identical renices collapse into one control op.
+	for i := 0; i < 5; i++ {
+		if err := a.SetNice(int(tid), -7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.ControlOps != 1 {
+		t.Errorf("control ops = %d, want 1 (cached)", a.ControlOps)
+	}
+	if n, _ := k.Nice(tid); n != -7 {
+		t.Errorf("nice = %d", n)
+	}
+
+	// Cgroup creation is idempotent; shares and moves cache too.
+	for i := 0; i < 3; i++ {
+		if err := a.EnsureCgroup("g"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := a.ControlOps
+	if err := a.SetShares("g", 2048); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetShares("g", 2048); err != nil {
+		t.Fatal(err)
+	}
+	if a.ControlOps != before+1 {
+		t.Errorf("duplicate SetShares should be cached")
+	}
+	if err := a.MoveThread(int(tid), "g"); err != nil {
+		t.Fatal(err)
+	}
+	moveOps := a.ControlOps
+	if err := a.MoveThread(int(tid), "g"); err != nil {
+		t.Fatal(err)
+	}
+	if a.ControlOps != moveOps {
+		t.Errorf("duplicate MoveThread should be cached")
+	}
+}
+
+func TestOSAdapterErrors(t *testing.T) {
+	k := simos.New(simos.Config{CPUs: 1})
+	a, err := NewOSAdapter(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetNice(99, 0); err == nil {
+		t.Error("unknown tid should fail")
+	}
+	if err := a.SetShares("nope", 100); err == nil {
+		t.Error("unknown cgroup should fail")
+	}
+	if err := a.MoveThread(1, "nope"); err == nil {
+		t.Error("unknown cgroup should fail")
+	}
+	if err := a.SetRealtime(99, 10); err == nil {
+		t.Error("unknown tid should fail")
+	}
+	if err := a.SetNormal(99); err == nil {
+		t.Error("unknown tid should fail")
+	}
+}
+
+func TestMiddlewareThreadFootprint(t *testing.T) {
+	// §6.7: a middleware with nothing bound still wakes and sleeps without
+	// measurable load.
+	k := simos.New(simos.Config{CPUs: 1})
+	mw := core.NewMiddleware(nil)
+	r, err := StartMiddleware(k, mw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(30 * time.Second)
+	if r.Errs != 0 {
+		t.Errorf("middleware errors: %d (%v)", r.Errs, r.LastErr)
+	}
+	if u := k.Utilization(); u > 0.01 {
+		t.Errorf("idle middleware utilization = %v, want < 1%%", u)
+	}
+}

@@ -1,0 +1,71 @@
+package simctl
+
+import (
+	"fmt"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/simos"
+)
+
+// Optional capability implementations for the future-work translators
+// (§8): CPU bandwidth quotas and real-time scheduling on the simulated
+// kernel.
+
+var (
+	_ core.QuotaController = (*OSAdapter)(nil)
+	_ core.RTController    = (*OSAdapter)(nil)
+	_ core.CgroupRemover   = (*OSAdapter)(nil)
+)
+
+// RemoveCgroup implements core.CgroupRemover. Threads still placed in the
+// group would make removal fail, so their placements are evicted from the
+// cache only on success.
+func (a *OSAdapter) RemoveCgroup(name string) error {
+	id, ok := a.groups[name]
+	if !ok {
+		return nil // never created (or already removed): nothing to do
+	}
+	if err := a.kernel.RemoveCgroup(id); err != nil {
+		return err
+	}
+	delete(a.groups, name)
+	for tid, placed := range a.placed {
+		if placed == name {
+			delete(a.placed, tid)
+		}
+	}
+	a.ControlOps++
+	return nil
+}
+
+// SetQuota implements core.QuotaController.
+func (a *OSAdapter) SetQuota(cgroupName string, quota, period time.Duration) error {
+	id, ok := a.groups[cgroupName]
+	if !ok {
+		return fmt.Errorf("simctl: unknown cgroup %q", cgroupName)
+	}
+	if err := a.kernel.SetQuota(id, quota, period); err != nil {
+		return err
+	}
+	a.ControlOps++
+	return nil
+}
+
+// SetRealtime implements core.RTController.
+func (a *OSAdapter) SetRealtime(tid, prio int) error {
+	if err := a.kernel.SetRealtime(simos.ThreadID(tid), prio); err != nil {
+		return err
+	}
+	a.ControlOps++
+	return nil
+}
+
+// SetNormal implements core.RTController.
+func (a *OSAdapter) SetNormal(tid int) error {
+	if err := a.kernel.SetNormal(simos.ThreadID(tid)); err != nil {
+		return err
+	}
+	a.ControlOps++
+	return nil
+}

@@ -1,0 +1,131 @@
+package simctl
+
+import (
+	"testing"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/driver"
+	"lachesis/internal/metrics"
+	"lachesis/internal/simos"
+	"lachesis/internal/spe"
+)
+
+// buildWithTranslator assembles a full stack with a given translator
+// factory and runs the probe pipeline at the given rate.
+func runWithTranslator(t *testing.T, rate float64,
+	mkTranslator func(*OSAdapter, *simos.Kernel) (core.Translator, error)) (float64, time.Duration) {
+	t.Helper()
+	k := simos.New(simos.OdroidXU4())
+	eng, err := spe.New(k, spe.Config{Name: "storm", Flavor: spe.FlavorStorm, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := eng.Deploy(buildPipeline(t), spe.NewRateSource(rate, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := metrics.NewStore(time.Second)
+	if err := eng.StartReporter(store, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	drv, err := driver.New(eng, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	osa, err := NewOSAdapter(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := mkTranslator(osa, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw := core.NewMiddleware(nil)
+	if err := mw.Bind(core.Binding{
+		Policy:     core.NewQSPolicy(),
+		Translator: tr,
+		Drivers:    []core.Driver{drv},
+		Period:     time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	runner, err := StartMiddleware(k, mw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(20 * time.Second)
+	d.ResetStats()
+	base := d.EgressCount()
+	k.RunUntil(60 * time.Second)
+	if runner.Errs > 0 {
+		t.Fatalf("middleware errors: %d (%v)", runner.Errs, runner.LastErr)
+	}
+	return float64(d.EgressCount()-base) / 40, d.Latencies().MeanProc
+}
+
+func TestSharesTranslatorEndToEnd(t *testing.T) {
+	// QS through per-operator cgroup cpu.shares instead of nice must also
+	// beat the OS baseline at saturation.
+	tput, proc := runWithTranslator(t, 1500, func(osa *OSAdapter, k *simos.Kernel) (core.Translator, error) {
+		return core.NewSharesTranslator(osa, 0, 0), nil
+	})
+	tputOS, procOS, _, _ := runProbe(t, "os", 1500)
+	if tput < tputOS*1.04 {
+		t.Errorf("shares-translated QS tput %v should beat OS %v", tput, tputOS)
+	}
+	if proc >= procOS {
+		t.Errorf("shares-translated QS latency %v should beat OS %v", proc, procOS)
+	}
+}
+
+func TestQuotaTranslatorEndToEnd(t *testing.T) {
+	// Quotas are hard caps without work conservation, so the floor must
+	// cover every operator's demand or starved operators oscillate; with
+	// an adequate floor the pipeline runs cleanly below saturation.
+	tput, proc := runWithTranslator(t, 1000, func(osa *OSAdapter, k *simos.Kernel) (core.Translator, error) {
+		return core.NewQuotaTranslator(osa, k.CPUCount(), 0.25, 0.95)
+	})
+	if tput < 950 {
+		t.Errorf("quota-translated pipeline throughput %v, want ~1000", tput)
+	}
+	if proc > 100*time.Millisecond {
+		t.Errorf("quota-translated latency %v too high", proc)
+	}
+
+	// The hazard itself, demonstrated: a too-low floor (5% of the machine)
+	// cannot cover mid-pipeline operators and latency degrades badly even
+	// though the machine has spare capacity.
+	_, procStarved := runWithTranslator(t, 1000, func(osa *OSAdapter, k *simos.Kernel) (core.Translator, error) {
+		return core.NewQuotaTranslator(osa, k.CPUCount(), 0.05, 0.95)
+	})
+	if procStarved < 10*proc {
+		t.Errorf("starved-floor latency %v should be far above %v (no work conservation)", procStarved, proc)
+	}
+}
+
+func TestRTTranslatorEndToEnd(t *testing.T) {
+	// Lifting the most backlogged operators into SCHED_FIFO should also
+	// sustain the near-saturation rate.
+	tput, proc := runWithTranslator(t, 1230, func(osa *OSAdapter, k *simos.Kernel) (core.Translator, error) {
+		return core.NewRTTranslator(osa, 0.3)
+	})
+	if tput < 1200 {
+		t.Errorf("RT-translated throughput %v, want ~1230", tput)
+	}
+	_, procOS, _, _ := runProbe(t, "os", 1230)
+	if proc >= procOS {
+		t.Errorf("RT-translated latency %v should beat OS %v", proc, procOS)
+	}
+}
+
+func TestQuotaAdapterRejectsUnknownCgroup(t *testing.T) {
+	k := simos.New(simos.Config{CPUs: 1})
+	osa, err := NewOSAdapter(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := osa.SetQuota("nope", time.Millisecond, time.Second); err == nil {
+		t.Error("unknown cgroup should fail")
+	}
+}

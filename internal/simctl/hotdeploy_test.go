@@ -1,0 +1,90 @@
+package simctl
+
+import (
+	"testing"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/driver"
+	"lachesis/internal/metrics"
+	"lachesis/internal/simos"
+	"lachesis/internal/spe"
+)
+
+// TestHotDeployedQueryGetsScheduled: a query deployed while the middleware
+// is already running must be picked up on the next period — drivers
+// re-enumerate entities every scheduling period, so no restart or
+// reconfiguration is needed (the paper's "without requiring query
+// redeployment" applies in the other direction too).
+func TestHotDeployedQueryGetsScheduled(t *testing.T) {
+	k := simos.New(simos.OdroidXU4())
+	eng, err := spe.New(k, spe.Config{Name: "storm", Flavor: spe.FlavorStorm, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := metrics.NewStore(time.Second)
+	if err := eng.StartReporter(store, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	drv, err := driver.New(eng, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	osa, err := NewOSAdapter(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw := core.NewMiddleware(nil)
+	if err := mw.Bind(core.Binding{
+		Policy:     core.NewQSPolicy(),
+		Translator: core.NewNiceTranslator(osa),
+		Drivers:    []core.Driver{drv},
+		Period:     time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StartMiddleware(k, mw); err != nil {
+		t.Fatal(err)
+	}
+
+	mkQuery := func(name string) *spe.LogicalQuery {
+		q := spe.NewQuery(name)
+		q.MustAddOp(&spe.LogicalOp{Name: "src", Kind: spe.KindIngress, Cost: 10 * time.Microsecond, Selectivity: 1})
+		q.MustAddOp(&spe.LogicalOp{Name: "work", Cost: 2 * time.Millisecond, Selectivity: 1})
+		q.MustAddOp(&spe.LogicalOp{Name: "sink", Kind: spe.KindEgress, Cost: 10 * time.Microsecond})
+		if err := q.Pipeline("src", "work", "sink"); err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+
+	if _, err := eng.Deploy(mkQuery("first"), spe.NewRateSource(300, nil)); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(10 * time.Second)
+	opsBefore := osa.ControlOps
+
+	// Deploy a second, overloaded query mid-run.
+	d2, err := eng.Deploy(mkQuery("second"), spe.NewRateSource(600, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(30 * time.Second)
+
+	if osa.ControlOps == opsBefore {
+		t.Error("middleware applied no new control operations after hot deploy")
+	}
+	// The overloaded new query's work thread must have been boosted: with
+	// QS its queue dominates, so its nice should be the strongest.
+	work := d2.PhysicalFor("work")[0]
+	nice, err := k.Nice(work.ThreadID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nice != -20 {
+		t.Errorf("hot-deployed bottleneck nice = %d, want -20", nice)
+	}
+	if d2.EgressCount() == 0 {
+		t.Error("hot-deployed query produced nothing")
+	}
+}

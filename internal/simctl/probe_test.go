@@ -1,0 +1,115 @@
+package simctl
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/driver"
+	"lachesis/internal/metrics"
+	"lachesis/internal/simos"
+	"lachesis/internal/spe"
+)
+
+// buildPipeline returns a skewed 8-operator pipeline.
+func buildPipeline(t testing.TB) *spe.LogicalQuery {
+	t.Helper()
+	q := spe.NewQuery("probe")
+	q.MustAddOp(&spe.LogicalOp{Name: "src", Kind: spe.KindIngress, Cost: 20 * time.Microsecond, Selectivity: 1})
+	costs := []time.Duration{200, 500, 150, 800, 300, 400} // microseconds
+	names := []string{"src"}
+	for i, c := range costs {
+		name := fmt.Sprintf("op%d", i+1)
+		q.MustAddOp(&spe.LogicalOp{Name: name, Cost: c * time.Microsecond, Selectivity: 1})
+		names = append(names, name)
+	}
+	q.MustAddOp(&spe.LogicalOp{Name: "sink", Kind: spe.KindEgress, Cost: 100 * time.Microsecond})
+	names = append(names, "sink")
+	if err := q.Pipeline(names...); err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// runProbe runs the pipeline for measure duration after warmup, optionally
+// under Lachesis QS+nice, and returns (throughput t/s, mean proc latency,
+// mean e2e latency, middleware CPU fraction).
+func runProbe(t testing.TB, scheduler string, rate float64) (float64, time.Duration, time.Duration, float64) {
+	t.Helper()
+	k := simos.New(simos.OdroidXU4())
+	eng, err := spe.New(k, spe.Config{Name: "storm", Flavor: spe.FlavorStorm, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := eng.Deploy(buildPipeline(t), spe.NewRateSource(rate, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mwThread time.Duration
+	if scheduler != "os" {
+		store := metrics.NewStore(time.Second)
+		if err := eng.StartReporter(store, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		drv, err := driver.New(eng, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		osa, err := NewOSAdapter(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mw := core.NewMiddleware(nil)
+		var pol core.Policy
+		switch scheduler {
+		case "qs":
+			pol = core.NewQSPolicy()
+		case "random":
+			pol = core.NewRandomPolicy(99)
+		}
+		if err := mw.Bind(core.Binding{
+			Policy:     pol,
+			Translator: core.NewNiceTranslator(osa),
+			Drivers:    []core.Driver{drv},
+			Period:     time.Second,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := StartMiddleware(k, mw); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const warmup = 20 * time.Second
+	const measure = 60 * time.Second
+	k.RunUntil(warmup)
+	d.ResetStats()
+	startEgress := d.EgressCount()
+	k.RunUntil(warmup + measure)
+	throughput := float64(d.EgressCount()-startEgress) / measure.Seconds()
+	lat := d.Latencies()
+
+	for _, tid := range k.Threads() {
+		info, _ := k.ThreadInfo(tid)
+		if info.Name == "lachesis" {
+			mwThread = info.CPUTime
+		}
+	}
+	mwFrac := mwThread.Seconds() / (k.Now().Seconds() * float64(k.CPUCount()))
+	return throughput, lat.MeanProc, lat.MeanE2E, mwFrac
+}
+
+func TestProbeQSvsOS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	for _, rate := range []float64{1200, 1400, 1500, 1550, 1600} {
+		for _, sched := range []string{"os", "qs"} {
+			tp, proc, e2e, mw := runProbe(t, sched, rate)
+			fmt.Printf("rate=%5.0f sched=%-6s tput=%7.1f proc=%12v e2e=%12v mw=%.4f\n",
+				rate, sched, tp, proc, e2e, mw)
+		}
+	}
+}

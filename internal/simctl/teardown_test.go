@@ -1,0 +1,101 @@
+package simctl
+
+import (
+	"testing"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/driver"
+	"lachesis/internal/metrics"
+	"lachesis/internal/simos"
+	"lachesis/internal/spe"
+)
+
+// TestQueryTeardownGarbageCollectsCgroups: stopping a query removes its
+// entities from the driver, and the shares translator garbage-collects the
+// per-operator cgroups it had created — the full lifecycle loop.
+func TestQueryTeardownGarbageCollectsCgroups(t *testing.T) {
+	k := simos.New(simos.OdroidXU4())
+	eng, err := spe.New(k, spe.Config{Name: "liebre", Flavor: spe.FlavorLiebre, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string) *spe.LogicalQuery {
+		q := spe.NewQuery(name)
+		q.MustAddOp(&spe.LogicalOp{Name: "src", Kind: spe.KindIngress, Cost: 10 * time.Microsecond, Selectivity: 1})
+		q.MustAddOp(&spe.LogicalOp{Name: "work", Cost: 300 * time.Microsecond, Selectivity: 1})
+		q.MustAddOp(&spe.LogicalOp{Name: "sink", Kind: spe.KindEgress, Cost: 10 * time.Microsecond})
+		if err := q.Pipeline("src", "work", "sink"); err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	d1, err := eng.Deploy(mk("keep"), spe.NewRateSource(400, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := eng.Deploy(mk("gone"), spe.NewRateSource(400, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := metrics.NewStore(time.Second)
+	if err := eng.StartReporter(store, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	drv, err := driver.New(eng, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	osa, err := NewOSAdapter(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw := core.NewMiddleware(nil)
+	if err := mw.Bind(core.Binding{
+		Policy:     core.NewQSPolicy(),
+		Translator: core.NewSharesTranslator(osa, 0, 0),
+		Drivers:    []core.Driver{drv},
+		Period:     time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	runner, err := StartMiddleware(k, mw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k.RunUntil(5 * time.Second)
+	if got := len(drv.Entities()); got != 6 {
+		t.Fatalf("entities = %d, want 6", got)
+	}
+
+	d2.Stop()
+	if !d2.Stopped() {
+		t.Error("Stopped() should be true after Stop")
+	}
+	stoppedEgress := d2.EgressCount()
+	k.RunUntil(15 * time.Second)
+
+	// Entities shrink; the stopped query no longer processes.
+	if got := len(drv.Entities()); got != 3 {
+		t.Errorf("entities after stop = %d, want 3", got)
+	}
+	if d2.EgressCount() > stoppedEgress+5 {
+		t.Errorf("stopped query kept processing: %d -> %d", stoppedEgress, d2.EgressCount())
+	}
+	// The survivor keeps flowing.
+	if d1.EgressCount() < 5000 {
+		t.Errorf("survivor egress = %d", d1.EgressCount())
+	}
+	if runner.Errs != 0 {
+		t.Fatalf("middleware errors: %d (%v)", runner.Errs, runner.LastErr)
+	}
+	// The per-op cgroups of the stopped query were garbage-collected: the
+	// nice/cgroup adapter no longer knows them.
+	for _, name := range []string{"gone.src.0", "gone.work.0", "gone.sink.0"} {
+		if err := osa.SetShares(name, 100); err == nil {
+			t.Errorf("cgroup %s should have been removed", name)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package simos
+
+import "time"
+
+// ThreadInfo is a snapshot of a thread's scheduling state.
+type ThreadInfo struct {
+	ID         ThreadID
+	Name       string
+	Nice       int
+	Cgroup     CgroupID
+	CPUTime    time.Duration
+	Vruntime   time.Duration
+	Wakeups    int64
+	Dispatches int64
+	Alive      bool
+}
+
+// ThreadInfo returns a snapshot for thread id.
+func (k *Kernel) ThreadInfo(id ThreadID) (ThreadInfo, error) {
+	t, ok := k.threads[id]
+	if !ok {
+		return ThreadInfo{}, &NotFoundError{Kind: "thread", ID: int(id)}
+	}
+	return ThreadInfo{
+		ID:         t.id,
+		Name:       t.name,
+		Nice:       t.nice,
+		Cgroup:     t.group.id,
+		CPUTime:    t.cpuTime,
+		Vruntime:   t.vruntime,
+		Wakeups:    t.wakeups,
+		Dispatches: t.dispatches,
+		Alive:      t.state != stateExited,
+	}, nil
+}
+
+// Threads returns the IDs of all threads ever spawned, in creation order.
+func (k *Kernel) Threads() []ThreadID {
+	out := make([]ThreadID, 0, len(k.threads))
+	for id := ThreadID(1); id < k.nextTID; id++ {
+		if _, ok := k.threads[id]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// CgroupInfo is a snapshot of a cgroup's state.
+type CgroupInfo struct {
+	ID      CgroupID
+	Name    string
+	Parent  CgroupID // 0 for the root
+	Shares  int
+	CPUTime time.Duration
+	Threads int
+}
+
+// CgroupInfo returns a snapshot for cgroup id.
+func (k *Kernel) CgroupInfo(id CgroupID) (CgroupInfo, error) {
+	g, ok := k.cgroups[id]
+	if !ok {
+		return CgroupInfo{}, &NotFoundError{Kind: "cgroup", ID: int(id)}
+	}
+	info := CgroupInfo{
+		ID:      g.id,
+		Name:    g.name,
+		Shares:  g.shares,
+		CPUTime: g.cpuTime,
+		Threads: len(g.threads),
+	}
+	if g.parent != nil {
+		info.Parent = g.parent.id
+	}
+	return info, nil
+}
+
+// TotalBusyTime returns the cumulative busy wall time summed over all CPUs.
+func (k *Kernel) TotalBusyTime() time.Duration {
+	var sum time.Duration
+	for _, c := range k.cpus {
+		sum += c.busyTime
+	}
+	return sum
+}
+
+// ContextSwitches returns the total number of charged thread switches
+// across all CPUs.
+func (k *Kernel) ContextSwitches() int64 {
+	var sum int64
+	for _, c := range k.cpus {
+		sum += c.switches
+	}
+	return sum
+}
+
+// Utilization returns overall CPU utilization in [0, 1] over the whole run.
+func (k *Kernel) Utilization() float64 {
+	if k.now <= 0 {
+		return 0
+	}
+	return float64(k.TotalBusyTime()) / (float64(k.now) * float64(len(k.cpus)))
+}

@@ -1,0 +1,38 @@
+package simos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHeterogeneousCapacity(t *testing.T) {
+	// A 0.5-capacity CPU (LITTLE core) delivers half the work per wall
+	// second: two busy threads pinned by having exactly two CPUs.
+	k := New(Config{CPUs: 2, Capacities: []float64{1.0, 0.5}})
+	a := mustSpawn(t, k, "a", RootCgroup, busyRunner())
+	b := mustSpawn(t, k, "b", RootCgroup, busyRunner())
+	k.RunUntil(10 * time.Second)
+
+	// Total charged CPU work = 1.0*10s + 0.5*10s = 15s.
+	total := cpuTime(t, k, a) + cpuTime(t, k, b)
+	if total < 14800*time.Millisecond || total > 15200*time.Millisecond {
+		t.Errorf("total work = %v, want ~15s on 1.0+0.5 capacity", total)
+	}
+}
+
+func TestCapacityDefaultsToOne(t *testing.T) {
+	k := New(Config{CPUs: 3, Capacities: []float64{2.0}})
+	ids := make([]ThreadID, 3)
+	for i := range ids {
+		ids[i] = mustSpawn(t, k, "w", RootCgroup, busyRunner())
+	}
+	k.RunUntil(4 * time.Second)
+	var total time.Duration
+	for _, id := range ids {
+		total += cpuTime(t, k, id)
+	}
+	// 2.0 + 1.0 + 1.0 capacities over 4s = 16s of work.
+	if total < 15700*time.Millisecond || total > 16300*time.Millisecond {
+		t.Errorf("total work = %v, want ~16s", total)
+	}
+}

@@ -1,0 +1,50 @@
+package simos_test
+
+import (
+	"fmt"
+	"time"
+
+	"lachesis/internal/simos"
+)
+
+// Example shows the kernel's nice semantics: a boosted thread receives a
+// weight-proportional CPU share (w(n) = 1024/1.25^n).
+func Example() {
+	k := simos.New(simos.Config{CPUs: 1})
+	busy := simos.RunnerFunc(func(ctx *simos.RunContext, granted time.Duration) simos.Decision {
+		return simos.Decision{Used: granted, Action: simos.ActionYield}
+	})
+	hot, _ := k.Spawn("hot", simos.RootCgroup, busy)
+	cold, _ := k.Spawn("cold", simos.RootCgroup, busy)
+	_ = k.SetNice(hot, -5) // weight ratio 1.25^5 ~ 3.05
+
+	k.RunUntil(10 * time.Second)
+	hi, _ := k.ThreadInfo(hot)
+	ci, _ := k.ThreadInfo(cold)
+	ratio := float64(hi.CPUTime) / float64(ci.CPUTime)
+	fmt.Printf("nice -5 vs 0 CPU ratio: %.1f\n", ratio)
+	// Output:
+	// nice -5 vs 0 CPU ratio: 3.1
+}
+
+// Example_cgroups shows cpu.shares controlling the split between groups
+// regardless of thread counts.
+func Example_cgroups() {
+	k := simos.New(simos.Config{CPUs: 1})
+	busy := simos.RunnerFunc(func(ctx *simos.RunContext, granted time.Duration) simos.Decision {
+		return simos.Decision{Used: granted, Action: simos.ActionYield}
+	})
+	gold, _ := k.CreateCgroup(simos.RootCgroup, "gold")
+	bronze, _ := k.CreateCgroup(simos.RootCgroup, "bronze")
+	_ = k.SetShares(gold, 3072)
+	_ = k.SetShares(bronze, 1024)
+	a, _ := k.Spawn("a", gold, busy)
+	b, _ := k.Spawn("b", bronze, busy)
+
+	k.RunUntil(20 * time.Second)
+	ai, _ := k.ThreadInfo(a)
+	bi, _ := k.ThreadInfo(b)
+	fmt.Printf("shares 3072 vs 1024 CPU ratio: %.1f\n", float64(ai.CPUTime)/float64(bi.CPUTime))
+	// Output:
+	// shares 3072 vs 1024 CPU ratio: 3.0
+}

@@ -1,0 +1,255 @@
+package simos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQuotaLimitsGroupCPU(t *testing.T) {
+	// A group limited to 25ms per 100ms gets ~25% of one CPU even with no
+	// competition.
+	k := New(Config{CPUs: 1})
+	g, err := k.CreateCgroup(RootCgroup, "limited")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetQuota(g, 25*time.Millisecond, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	a := mustSpawn(t, k, "a", g, busyRunner())
+	k.RunUntil(10 * time.Second)
+
+	got := cpuTime(t, k, a)
+	if got < 2300*time.Millisecond || got > 2700*time.Millisecond {
+		t.Errorf("quota-limited thread got %v, want ~2.5s", got)
+	}
+	if ev, _ := k.ThrottleEvents(g); ev < 90 {
+		t.Errorf("throttle events = %d, want ~100", ev)
+	}
+	// The CPU must be idle the rest of the time.
+	if u := k.Utilization(); u < 0.23 || u > 0.28 {
+		t.Errorf("utilization = %v, want ~0.25", u)
+	}
+}
+
+func TestQuotaUnlimitedByDefaultAndRemovable(t *testing.T) {
+	k := New(Config{CPUs: 1})
+	g, _ := k.CreateCgroup(RootCgroup, "g")
+	a := mustSpawn(t, k, "a", g, busyRunner())
+	k.RunUntil(time.Second)
+	if got := cpuTime(t, k, a); got < 990*time.Millisecond {
+		t.Fatalf("unlimited group should own the CPU, got %v", got)
+	}
+	if err := k.SetQuota(g, 10*time.Millisecond, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(2 * time.Second)
+	mid := cpuTime(t, k, a)
+	if d := mid - 1000*time.Millisecond; d < 80*time.Millisecond || d > 130*time.Millisecond {
+		t.Errorf("10%% quota second consumed %v, want ~100ms", d)
+	}
+	if err := k.SetQuota(g, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(3 * time.Second)
+	if d := cpuTime(t, k, a) - mid; d < 950*time.Millisecond {
+		t.Errorf("after quota removal thread got %v of 1s", d)
+	}
+}
+
+func TestQuotaSharesRemainingCapacity(t *testing.T) {
+	// Limited group + unlimited competitor: competitor gets the rest.
+	k := New(Config{CPUs: 1})
+	g, _ := k.CreateCgroup(RootCgroup, "limited")
+	if err := k.SetQuota(g, 20*time.Millisecond, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	a := mustSpawn(t, k, "a", g, busyRunner())
+	b := mustSpawn(t, k, "b", RootCgroup, busyRunner())
+	k.RunUntil(10 * time.Second)
+	ta, tb := cpuTime(t, k, a), cpuTime(t, k, b)
+	if ta < 1800*time.Millisecond || ta > 2200*time.Millisecond {
+		t.Errorf("limited thread got %v, want ~2s", ta)
+	}
+	if tb < 7600*time.Millisecond {
+		t.Errorf("competitor got %v, want ~8s", tb)
+	}
+}
+
+func TestQuotaErrors(t *testing.T) {
+	k := New(Config{CPUs: 1})
+	if err := k.SetQuota(99, time.Millisecond, time.Second); err == nil {
+		t.Error("unknown cgroup should fail")
+	}
+	if err := k.SetQuota(RootCgroup, time.Millisecond, time.Second); err == nil {
+		t.Error("root quota should fail")
+	}
+	if _, _, err := k.Quota(99); err == nil {
+		t.Error("unknown cgroup should fail")
+	}
+}
+
+func TestRealtimePreemptsFairClass(t *testing.T) {
+	k := New(Config{CPUs: 1})
+	rt := mustSpawn(t, k, "rt", RootCgroup, busyRunner())
+	fair := mustSpawn(t, k, "fair", RootCgroup, busyRunner())
+	if err := k.SetRealtime(rt, 50); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(time.Second)
+	if got := cpuTime(t, k, rt); got < 990*time.Millisecond {
+		t.Errorf("RT thread got %v, want the whole CPU", got)
+	}
+	if got := cpuTime(t, k, fair); got > 10*time.Millisecond {
+		t.Errorf("fair thread got %v under an always-busy RT thread", got)
+	}
+	// Back to normal: fair sharing resumes.
+	if err := k.SetNormal(rt); err != nil {
+		t.Fatal(err)
+	}
+	base := cpuTime(t, k, fair)
+	k.RunUntil(3 * time.Second)
+	if d := cpuTime(t, k, fair) - base; d < 900*time.Millisecond {
+		t.Errorf("after SetNormal fair thread got %v of 2s", d)
+	}
+}
+
+func TestRealtimePriorityOrdersRTThreads(t *testing.T) {
+	// A blocking high-prio RT thread leaves room for the lower one.
+	k := New(Config{CPUs: 1})
+	hi := mustSpawn(t, k, "hi", RootCgroup, RunnerFunc(func(ctx *RunContext, granted time.Duration) Decision {
+		// 30% duty cycle: run 300us, sleep 700us.
+		return Decision{Used: 300 * time.Microsecond, Action: ActionSleep, WakeAt: ctx.Now() + time.Millisecond}
+	}))
+	lo := mustSpawn(t, k, "lo", RootCgroup, busyRunner())
+	if err := k.SetRealtime(hi, 90); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetRealtime(lo, 10); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(2 * time.Second)
+	thi, tlo := cpuTime(t, k, hi), cpuTime(t, k, lo)
+	// Without mid-slice preemption the high thread's wake waits for the
+	// low thread's in-flight quantum, stretching its period: expect a duty
+	// cycle between 0.3/1.5ms and 0.3/1.0ms.
+	if thi < 380*time.Millisecond || thi > 650*time.Millisecond {
+		t.Errorf("high RT got %v, want 400-600ms", thi)
+	}
+	if tlo < 1200*time.Millisecond {
+		t.Errorf("low RT should get the remainder, got %v", tlo)
+	}
+	if ok, prio, _ := k.IsRealtime(hi); !ok || prio != 90 {
+		t.Errorf("IsRealtime(hi) = %v,%v", ok, prio)
+	}
+}
+
+func TestRealtimeClamps(t *testing.T) {
+	k := New(Config{CPUs: 1})
+	id := mustSpawn(t, k, "x", RootCgroup, busyRunner())
+	if err := k.SetRealtime(id, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, prio, _ := k.IsRealtime(id); prio != RTPrioMax {
+		t.Errorf("prio = %d, want clamped %d", prio, RTPrioMax)
+	}
+	if err := k.SetRealtime(99, 1); err == nil {
+		t.Error("unknown thread should fail")
+	}
+	if err := k.SetNormal(99); err == nil {
+		t.Error("unknown thread should fail")
+	}
+}
+
+func TestPSITracksStall(t *testing.T) {
+	// Two busy threads in one group on one CPU: at any instant one of them
+	// is runnable-but-not-running, so "some" stall ~= wall time.
+	k := New(Config{CPUs: 1})
+	g, _ := k.CreateCgroup(RootCgroup, "g")
+	mustSpawn(t, k, "a", g, busyRunner())
+	mustSpawn(t, k, "b", g, busyRunner())
+	k.RunUntil(2 * time.Second)
+	stall, err := k.PSI(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stall < 1900*time.Millisecond || stall > 2100*time.Millisecond {
+		t.Errorf("stall = %v, want ~2s", stall)
+	}
+}
+
+func TestPSIZeroWhenUncontended(t *testing.T) {
+	k := New(Config{CPUs: 2})
+	g, _ := k.CreateCgroup(RootCgroup, "g")
+	mustSpawn(t, k, "a", g, busyRunner())
+	k.RunUntil(2 * time.Second)
+	stall, err := k.PSI(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single thread with a dedicated CPU never waits beyond dispatch
+	// instants.
+	if stall > 20*time.Millisecond {
+		t.Errorf("uncontended stall = %v, want ~0", stall)
+	}
+	if _, err := k.PSI(99); err == nil {
+		t.Error("unknown cgroup should fail")
+	}
+}
+
+func TestQuotaWithSharesInteraction(t *testing.T) {
+	// Quota caps a group even when its shares would entitle it to more.
+	k := New(Config{CPUs: 1})
+	g1, _ := k.CreateCgroup(RootCgroup, "capped")
+	g2, _ := k.CreateCgroup(RootCgroup, "free")
+	if err := k.SetShares(g1, 8192); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetQuota(g1, 30*time.Millisecond, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	a := mustSpawn(t, k, "a", g1, busyRunner())
+	b := mustSpawn(t, k, "b", g2, busyRunner())
+	k.RunUntil(10 * time.Second)
+	ta, tb := cpuTime(t, k, a), cpuTime(t, k, b)
+	if ta < 2700*time.Millisecond || ta > 3300*time.Millisecond {
+		t.Errorf("capped group got %v, want ~3s despite high shares", ta)
+	}
+	if tb < 6500*time.Millisecond {
+		t.Errorf("free group got %v, want ~7s", tb)
+	}
+}
+
+func TestRemoveCgroup(t *testing.T) {
+	k := New(Config{CPUs: 1})
+	g, _ := k.CreateCgroup(RootCgroup, "g")
+	id := mustSpawn(t, k, "w", g, RunnerFunc(func(ctx *RunContext, granted time.Duration) Decision {
+		return Decision{Used: time.Millisecond, Action: ActionExit}
+	}))
+	if err := k.RemoveCgroup(g); err == nil {
+		t.Error("removal with a live thread should fail")
+	}
+	k.RunUntil(time.Second) // thread exits
+	if info, _ := k.ThreadInfo(id); info.Alive {
+		t.Fatal("thread should have exited")
+	}
+	if err := k.RemoveCgroup(g); err != nil {
+		t.Fatalf("removal after exit: %v", err)
+	}
+	if _, err := k.CgroupInfo(g); err == nil {
+		t.Error("removed cgroup should be unknown")
+	}
+	if err := k.RemoveCgroup(RootCgroup); err == nil {
+		t.Error("root removal should fail")
+	}
+	if err := k.RemoveCgroup(99); err == nil {
+		t.Error("unknown removal should fail")
+	}
+	parent, _ := k.CreateCgroup(RootCgroup, "p")
+	if _, err := k.CreateCgroup(parent, "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RemoveCgroup(parent); err == nil {
+		t.Error("removal with children should fail")
+	}
+}

@@ -1,0 +1,371 @@
+package simos
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// busyRunner consumes every granted timeslice fully.
+func busyRunner() Runner {
+	return RunnerFunc(func(ctx *RunContext, granted time.Duration) Decision {
+		return Decision{Used: granted, Action: ActionYield}
+	})
+}
+
+func mustSpawn(t *testing.T, k *Kernel, name string, cg CgroupID, r Runner) ThreadID {
+	t.Helper()
+	id, err := k.Spawn(name, cg, r)
+	if err != nil {
+		t.Fatalf("Spawn(%s): %v", name, err)
+	}
+	return id
+}
+
+func cpuTime(t *testing.T, k *Kernel, id ThreadID) time.Duration {
+	t.Helper()
+	info, err := k.ThreadInfo(id)
+	if err != nil {
+		t.Fatalf("ThreadInfo(%d): %v", id, err)
+	}
+	return info.CPUTime
+}
+
+func TestNiceWeightLaw(t *testing.T) {
+	tests := []struct {
+		n1, n2 int
+	}{
+		{0, 1}, {0, 5}, {-20, 19}, {-5, 5}, {10, 11},
+	}
+	for _, tt := range tests {
+		got := NiceWeight(tt.n1) / NiceWeight(tt.n2)
+		want := math.Pow(1.25, float64(tt.n2-tt.n1))
+		if math.Abs(got-want)/want > 1e-9 {
+			t.Errorf("weight ratio nice(%d)/nice(%d) = %v, want %v", tt.n1, tt.n2, got, want)
+		}
+	}
+	if NiceWeight(0) != 1024 {
+		t.Errorf("NiceWeight(0) = %v, want 1024", NiceWeight(0))
+	}
+	if NiceWeight(-100) != NiceWeight(NiceMin) {
+		t.Errorf("NiceWeight should clamp below NiceMin")
+	}
+}
+
+func TestEqualThreadsShareCPUEqually(t *testing.T) {
+	k := New(Config{CPUs: 1})
+	a := mustSpawn(t, k, "a", RootCgroup, busyRunner())
+	b := mustSpawn(t, k, "b", RootCgroup, busyRunner())
+	k.RunUntil(10 * time.Second)
+
+	ta, tb := cpuTime(t, k, a), cpuTime(t, k, b)
+	total := ta + tb
+	if total < 9900*time.Millisecond {
+		t.Fatalf("CPU should be saturated, total busy %v", total)
+	}
+	ratio := float64(ta) / float64(tb)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("equal threads got CPU ratio %v (a=%v b=%v), want ~1", ratio, ta, tb)
+	}
+}
+
+func TestNiceControlsShareRatio(t *testing.T) {
+	// nice -5 vs nice 0: weight ratio 1.25^5 ~= 3.05.
+	k := New(Config{CPUs: 1})
+	hi := mustSpawn(t, k, "hi", RootCgroup, busyRunner())
+	lo := mustSpawn(t, k, "lo", RootCgroup, busyRunner())
+	if err := k.SetNice(hi, -5); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(20 * time.Second)
+
+	ratio := float64(cpuTime(t, k, hi)) / float64(cpuTime(t, k, lo))
+	want := math.Pow(1.25, 5)
+	if math.Abs(ratio-want)/want > 0.10 {
+		t.Errorf("nice -5 vs 0 CPU ratio = %.3f, want ~%.3f", ratio, want)
+	}
+}
+
+func TestCgroupSharesControlGroupRatio(t *testing.T) {
+	k := New(Config{CPUs: 1})
+	g1, err := k.CreateCgroup(RootCgroup, "g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := k.CreateCgroup(RootCgroup, "g2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetShares(g1, 2048); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetShares(g2, 1024); err != nil {
+		t.Fatal(err)
+	}
+	a := mustSpawn(t, k, "a", g1, busyRunner())
+	b := mustSpawn(t, k, "b", g2, busyRunner())
+	k.RunUntil(20 * time.Second)
+
+	ratio := float64(cpuTime(t, k, a)) / float64(cpuTime(t, k, b))
+	if math.Abs(ratio-2)/2 > 0.10 {
+		t.Errorf("shares 2048 vs 1024 CPU ratio = %.3f, want ~2", ratio)
+	}
+}
+
+func TestNiceIsScopedToCgroup(t *testing.T) {
+	// A nice -20 thread in one cgroup must not starve an equal-shares
+	// sibling cgroup: nice only competes within the group (paper §2).
+	k := New(Config{CPUs: 1})
+	g1, _ := k.CreateCgroup(RootCgroup, "g1")
+	g2, _ := k.CreateCgroup(RootCgroup, "g2")
+	a := mustSpawn(t, k, "a", g1, busyRunner())
+	b := mustSpawn(t, k, "b", g2, busyRunner())
+	if err := k.SetNice(a, -20); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(20 * time.Second)
+
+	ratio := float64(cpuTime(t, k, a)) / float64(cpuTime(t, k, b))
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("equal-share cgroups should split CPU evenly despite nice, ratio = %.3f", ratio)
+	}
+}
+
+func TestNiceWithinCgroup(t *testing.T) {
+	k := New(Config{CPUs: 1})
+	g, _ := k.CreateCgroup(RootCgroup, "g")
+	a := mustSpawn(t, k, "a", g, busyRunner())
+	b := mustSpawn(t, k, "b", g, busyRunner())
+	if err := k.SetNice(a, -3); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(20 * time.Second)
+
+	ratio := float64(cpuTime(t, k, a)) / float64(cpuTime(t, k, b))
+	want := math.Pow(1.25, 3)
+	if math.Abs(ratio-want)/want > 0.10 {
+		t.Errorf("nice -3 within cgroup: ratio = %.3f, want ~%.3f", ratio, want)
+	}
+}
+
+func TestSleepWakesAtDeadline(t *testing.T) {
+	k := New(Config{CPUs: 1})
+	var ranAt []time.Duration
+	mustSpawn(t, k, "sleeper", RootCgroup, RunnerFunc(func(ctx *RunContext, granted time.Duration) Decision {
+		ranAt = append(ranAt, ctx.Now())
+		return Decision{Used: 100 * time.Microsecond, Action: ActionSleep, WakeAt: ctx.Now() + 50*time.Millisecond}
+	}))
+	k.RunUntil(210 * time.Millisecond)
+
+	if len(ranAt) < 4 {
+		t.Fatalf("sleeper ran %d times, want >= 4", len(ranAt))
+	}
+	for i := 1; i < len(ranAt); i++ {
+		gap := ranAt[i] - ranAt[i-1]
+		if gap < 50*time.Millisecond || gap > 52*time.Millisecond {
+			t.Errorf("wake gap %d = %v, want ~50ms", i, gap)
+		}
+	}
+}
+
+func TestWaitAndWake(t *testing.T) {
+	k := New(Config{CPUs: 1})
+	wq := k.NewWaitQueue("q")
+	var consumerRuns int
+	pending := 0
+	mustSpawn(t, k, "consumer", RootCgroup, RunnerFunc(func(ctx *RunContext, granted time.Duration) Decision {
+		if pending == 0 {
+			return Decision{Action: ActionWait, WaitOn: wq}
+		}
+		pending--
+		consumerRuns++
+		return Decision{Used: time.Millisecond / 2, Action: ActionYield}
+	}))
+	produced := 0
+	mustSpawn(t, k, "producer", RootCgroup, RunnerFunc(func(ctx *RunContext, granted time.Duration) Decision {
+		if produced >= 10 {
+			return Decision{Action: ActionExit}
+		}
+		produced++
+		pending++
+		ctx.Wake(wq)
+		return Decision{Used: time.Millisecond / 2, Action: ActionSleep, WakeAt: ctx.Now() + 10*time.Millisecond}
+	}))
+	k.RunUntil(time.Second)
+
+	if consumerRuns != 10 {
+		t.Errorf("consumer processed %d items, want 10", consumerRuns)
+	}
+	if k.ContractViolations() != 0 {
+		t.Errorf("contract violations: %d", k.ContractViolations())
+	}
+}
+
+func TestExitRemovesThread(t *testing.T) {
+	k := New(Config{CPUs: 1})
+	id := mustSpawn(t, k, "oneshot", RootCgroup, RunnerFunc(func(ctx *RunContext, granted time.Duration) Decision {
+		return Decision{Used: time.Millisecond, Action: ActionExit}
+	}))
+	other := mustSpawn(t, k, "busy", RootCgroup, busyRunner())
+	k.RunUntil(time.Second)
+
+	info, err := k.ThreadInfo(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Alive {
+		t.Error("exited thread reported alive")
+	}
+	if got := cpuTime(t, k, other); got < 990*time.Millisecond {
+		t.Errorf("survivor should own the CPU after exit, got %v", got)
+	}
+}
+
+func TestMultiCPUSaturation(t *testing.T) {
+	k := New(Config{CPUs: 4})
+	ids := make([]ThreadID, 8)
+	for i := range ids {
+		ids[i] = mustSpawn(t, k, "w", RootCgroup, busyRunner())
+	}
+	k.RunUntil(5 * time.Second)
+
+	var total time.Duration
+	for _, id := range ids {
+		tt := cpuTime(t, k, id)
+		// Each of 8 equal threads on 4 CPUs should get ~half a CPU.
+		if tt < 2200*time.Millisecond || tt > 2800*time.Millisecond {
+			t.Errorf("thread %d got %v, want ~2.5s", id, tt)
+		}
+		total += tt
+	}
+	if total < 19900*time.Millisecond {
+		t.Errorf("4 CPUs x 5s should be ~20s busy, got %v", total)
+	}
+	if u := k.Utilization(); u < 0.99 {
+		t.Errorf("utilization = %v, want ~1", u)
+	}
+}
+
+func TestIdleCPUTimeAdvances(t *testing.T) {
+	k := New(Config{CPUs: 2})
+	k.RunUntil(3 * time.Second)
+	if k.Now() != 3*time.Second {
+		t.Errorf("Now() = %v, want 3s", k.Now())
+	}
+	if u := k.Utilization(); u != 0 {
+		t.Errorf("idle utilization = %v, want 0", u)
+	}
+}
+
+func TestMoveThreadBetweenCgroups(t *testing.T) {
+	k := New(Config{CPUs: 1})
+	g1, _ := k.CreateCgroup(RootCgroup, "g1")
+	g2, _ := k.CreateCgroup(RootCgroup, "g2")
+	if err := k.SetShares(g2, 4096); err != nil {
+		t.Fatal(err)
+	}
+	a := mustSpawn(t, k, "a", g1, busyRunner())
+	b := mustSpawn(t, k, "b", g2, busyRunner())
+	k.RunUntil(2 * time.Second)
+
+	// Move a into the high-share group; from now on they compete by nice
+	// (both 0) inside g2 and should split evenly.
+	if err := k.MoveThread(a, g2); err != nil {
+		t.Fatal(err)
+	}
+	beforeA, beforeB := cpuTime(t, k, a), cpuTime(t, k, b)
+	k.RunUntil(12 * time.Second)
+	dA := cpuTime(t, k, a) - beforeA
+	dB := cpuTime(t, k, b) - beforeB
+	ratio := float64(dA) / float64(dB)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("after migration ratio = %.3f, want ~1", ratio)
+	}
+}
+
+func TestErrorsOnUnknownIDs(t *testing.T) {
+	k := New(Config{})
+	if err := k.SetNice(99, 0); err == nil {
+		t.Error("SetNice on unknown thread should fail")
+	}
+	if err := k.SetShares(99, 1024); err == nil {
+		t.Error("SetShares on unknown cgroup should fail")
+	}
+	if err := k.MoveThread(1, 99); err == nil {
+		t.Error("MoveThread to unknown cgroup should fail")
+	}
+	if _, err := k.Spawn("x", 99, busyRunner()); err == nil {
+		t.Error("Spawn in unknown cgroup should fail")
+	}
+	if _, err := k.CgroupInfo(99); err == nil {
+		t.Error("CgroupInfo on unknown cgroup should fail")
+	}
+}
+
+func TestClamping(t *testing.T) {
+	k := New(Config{})
+	id := mustSpawn(t, k, "a", RootCgroup, busyRunner())
+	if err := k.SetNice(id, 100); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := k.Nice(id); n != NiceMax {
+		t.Errorf("nice clamped to %d, want %d", n, NiceMax)
+	}
+	g, _ := k.CreateCgroup(RootCgroup, "g")
+	if err := k.SetShares(g, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := k.Shares(g); s != SharesMin {
+		t.Errorf("shares clamped to %d, want %d", s, SharesMin)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		k := New(Config{CPUs: 2})
+		var ids []ThreadID
+		for i := 0; i < 5; i++ {
+			id := mustSpawn(t, k, "w", RootCgroup, busyRunner())
+			ids = append(ids, id)
+		}
+		_ = k.SetNice(ids[0], -4)
+		_ = k.SetNice(ids[1], 7)
+		k.RunUntil(3 * time.Second)
+		out := make([]time.Duration, len(ids))
+		for i, id := range ids {
+			out[i] = cpuTime(t, k, id)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic CPU time at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNestedCgroupHierarchy(t *testing.T) {
+	// root -> parent(1024) -> {c1(3072), c2(1024)}; sibling s(1024).
+	// parent gets 1/2 of the CPU; inside, c1:c2 = 3:1.
+	k := New(Config{CPUs: 1})
+	parent, _ := k.CreateCgroup(RootCgroup, "parent")
+	c1, _ := k.CreateCgroup(parent, "c1")
+	c2, _ := k.CreateCgroup(parent, "c2")
+	if err := k.SetShares(c1, 3072); err != nil {
+		t.Fatal(err)
+	}
+	sib, _ := k.CreateCgroup(RootCgroup, "sib")
+	a := mustSpawn(t, k, "a", c1, busyRunner())
+	b := mustSpawn(t, k, "b", c2, busyRunner())
+	s := mustSpawn(t, k, "s", sib, busyRunner())
+	k.RunUntil(40 * time.Second)
+
+	ta, tb, ts := cpuTime(t, k, a), cpuTime(t, k, b), cpuTime(t, k, s)
+	if r := float64(ta+tb) / float64(ts); r < 0.9 || r > 1.1 {
+		t.Errorf("parent vs sibling ratio = %.3f, want ~1", r)
+	}
+	if r := float64(ta) / float64(tb); r < 2.6 || r > 3.4 {
+		t.Errorf("c1 vs c2 ratio = %.3f, want ~3", r)
+	}
+}

@@ -1,0 +1,28 @@
+package simos
+
+import "time"
+
+// OdroidXU4 returns the configuration modeling the paper's edge device: an
+// Odroid-XU4 with the SPE pinned to the four big (Cortex-A15) cores, as in
+// §6.1 of the paper.
+func OdroidXU4() Config {
+	return Config{
+		CPUs:         4,
+		Quantum:      time.Millisecond,
+		SchedLatency: 6 * time.Millisecond,
+		// In-order ARM cores with small caches pay dearly for thread
+		// churn; this models direct switch cost plus cache pollution.
+		SwitchCost: 40 * time.Microsecond,
+	}
+}
+
+// XeonServer returns the configuration modeling the paper's higher-end
+// server: an Intel Xeon E5-2637 v4 with 4 cores / 8 hardware threads.
+func XeonServer() Config {
+	return Config{
+		CPUs:         8,
+		Quantum:      time.Millisecond,
+		SchedLatency: 6 * time.Millisecond,
+		SwitchCost:   10 * time.Microsecond,
+	}
+}

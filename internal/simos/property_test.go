@@ -1,0 +1,159 @@
+package simos
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestQuickFairnessFollowsWeights: for random nice pairs, the CPU split of
+// two always-busy threads must match the kernel weight law within
+// tolerance. This is the invariant everything in Lachesis rests on.
+func TestQuickFairnessFollowsWeights(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 25,
+		Rand:     rand.New(rand.NewSource(7)),
+		Values: func(args []reflect.Value, rng *rand.Rand) {
+			args[0] = reflect.ValueOf(rng.Intn(21) - 10) // nice in [-10,10]
+			args[1] = reflect.ValueOf(rng.Intn(21) - 10)
+		},
+	}
+	err := quick.Check(func(n1, n2 int) bool {
+		// Keep the weight ratio measurable in a short run.
+		if d := n1 - n2; d > 8 || d < -8 {
+			return true
+		}
+		k := New(Config{CPUs: 1})
+		a, err := k.Spawn("a", RootCgroup, busyRunner())
+		if err != nil {
+			return false
+		}
+		b, err := k.Spawn("b", RootCgroup, busyRunner())
+		if err != nil {
+			return false
+		}
+		if k.SetNice(a, n1) != nil || k.SetNice(b, n2) != nil {
+			return false
+		}
+		k.RunUntil(12 * time.Second)
+		ia, _ := k.ThreadInfo(a)
+		ib, _ := k.ThreadInfo(b)
+		if ia.CPUTime == 0 || ib.CPUTime == 0 {
+			return false
+		}
+		got := float64(ia.CPUTime) / float64(ib.CPUTime)
+		want := NiceWeight(n1) / NiceWeight(n2)
+		return math.Abs(got-want)/want < 0.15
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCPUConservation: charged thread time never exceeds available
+// CPU capacity, and equals busy wall time on unit-capacity CPUs.
+func TestQuickCPUConservation(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(8))}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cpus := 1 + rng.Intn(4)
+		k := New(Config{CPUs: cpus, SwitchCost: time.Duration(rng.Intn(50)) * time.Microsecond})
+		n := 1 + rng.Intn(6)
+		ids := make([]ThreadID, n)
+		for i := range ids {
+			id, err := k.Spawn("w", RootCgroup, busyRunner())
+			if err != nil {
+				return false
+			}
+			ids[i] = id
+			if err := k.SetNice(id, rng.Intn(40)-20); err != nil {
+				return false
+			}
+		}
+		horizon := 3 * time.Second
+		k.RunUntil(horizon)
+		var total time.Duration
+		for _, id := range ids {
+			info, err := k.ThreadInfo(id)
+			if err != nil {
+				return false
+			}
+			total += info.CPUTime
+		}
+		// Each CPU may have one slice in flight past the horizon
+		// (charge-ahead at dispatch), so allow one quantum per CPU.
+		capacity := time.Duration(cpus) * (horizon + k.Quantum())
+		if total > capacity {
+			return false
+		}
+		// Unit capacities: busy wall time equals charged time.
+		busy := k.TotalBusyTime()
+		return total >= busy-time.Millisecond && total <= busy+time.Millisecond
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSharesRatios: two busy cgroups with random shares split the CPU
+// proportionally.
+func TestQuickSharesRatios(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(9))}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s1 := 128 << rng.Intn(5) // 128..2048
+		s2 := 128 << rng.Intn(5)
+		k := New(Config{CPUs: 1})
+		g1, err := k.CreateCgroup(RootCgroup, "g1")
+		if err != nil {
+			return false
+		}
+		g2, err := k.CreateCgroup(RootCgroup, "g2")
+		if err != nil {
+			return false
+		}
+		if k.SetShares(g1, s1) != nil || k.SetShares(g2, s2) != nil {
+			return false
+		}
+		a, err := k.Spawn("a", g1, busyRunner())
+		if err != nil {
+			return false
+		}
+		b, err := k.Spawn("b", g2, busyRunner())
+		if err != nil {
+			return false
+		}
+		k.RunUntil(15 * time.Second)
+		ia, _ := k.ThreadInfo(a)
+		ib, _ := k.ThreadInfo(b)
+		got := float64(ia.CPUTime) / float64(ib.CPUTime)
+		want := float64(s1) / float64(s2)
+		return math.Abs(got-want)/want < 0.15
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVirtualTimeMonotonic: Now never goes backwards across Step calls.
+func TestVirtualTimeMonotonic(t *testing.T) {
+	k := New(Config{CPUs: 2})
+	for i := 0; i < 3; i++ {
+		mustSpawn(t, k, "w", RootCgroup, RunnerFunc(func(ctx *RunContext, granted time.Duration) Decision {
+			if ctx.Now() > 100*time.Millisecond {
+				return Decision{Used: granted / 2, Action: ActionSleep, WakeAt: ctx.Now() + 3*time.Millisecond}
+			}
+			return Decision{Used: granted, Action: ActionYield}
+		}))
+	}
+	prev := k.Now()
+	for i := 0; i < 5000 && k.Step(); i++ {
+		if k.Now() < prev {
+			t.Fatalf("time went backwards: %v -> %v", prev, k.Now())
+		}
+		prev = k.Now()
+	}
+}

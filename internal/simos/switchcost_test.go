@@ -1,0 +1,68 @@
+package simos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSwitchCostChargedOnThreadChange(t *testing.T) {
+	k := New(Config{CPUs: 1, Quantum: time.Millisecond, SwitchCost: 100 * time.Microsecond})
+	a := mustSpawn(t, k, "a", RootCgroup, busyRunner())
+	b := mustSpawn(t, k, "b", RootCgroup, busyRunner())
+	k.RunUntil(time.Second)
+
+	// Equal threads alternate every quantum: every dispatch is a switch,
+	// so ~10% of CPU goes to switch overhead and useful work is ~90%.
+	var useful time.Duration
+	for _, id := range []ThreadID{a, b} {
+		info, err := k.ThreadInfo(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		useful += info.CPUTime
+	}
+	// CPUTime includes overhead; switches counted separately.
+	if sw := k.ContextSwitches(); sw < 900 || sw > 1100 {
+		t.Errorf("context switches = %d, want ~1000 (one per 1ms quantum)", sw)
+	}
+	if useful < 990*time.Millisecond {
+		t.Errorf("charged CPU = %v, want ~1s", useful)
+	}
+}
+
+func TestNoSwitchCostForConsecutiveRuns(t *testing.T) {
+	k := New(Config{CPUs: 1, Quantum: time.Millisecond, SwitchCost: 100 * time.Microsecond})
+	mustSpawn(t, k, "only", RootCgroup, busyRunner())
+	k.RunUntil(time.Second)
+	if sw := k.ContextSwitches(); sw > 1 {
+		t.Errorf("single thread should switch at most once, got %d", sw)
+	}
+}
+
+func TestBoostedThreadReducesSwitching(t *testing.T) {
+	// A nice -20 thread runs long consecutive stretches; total switches
+	// drop far below one-per-quantum.
+	run := func(boost bool) int64 {
+		k := New(Config{CPUs: 1, Quantum: time.Millisecond, SwitchCost: 50 * time.Microsecond})
+		hot := mustSpawn(t, k, "hot", RootCgroup, busyRunner())
+		mustSpawn(t, k, "cold", RootCgroup, busyRunner())
+		if boost {
+			if err := k.SetNice(hot, -20); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k.RunUntil(2 * time.Second)
+		return k.ContextSwitches()
+	}
+	fair, boosted := run(false), run(true)
+	if boosted*5 > fair {
+		t.Errorf("boosting should slash switches: fair=%d boosted=%d", fair, boosted)
+	}
+}
+
+func TestSwitchCostClampedBelowHalfQuantum(t *testing.T) {
+	k := New(Config{CPUs: 1, Quantum: time.Millisecond, SwitchCost: 10 * time.Millisecond})
+	if k.cfg.SwitchCost != 500*time.Microsecond {
+		t.Errorf("switch cost = %v, want clamped to 500us", k.cfg.SwitchCost)
+	}
+}

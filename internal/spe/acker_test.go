@@ -1,0 +1,74 @@
+package spe
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"lachesis/internal/simos"
+)
+
+func TestAckerThreadProcessesAcks(t *testing.T) {
+	k := simos.New(simos.Config{CPUs: 2})
+	e := newEngine(t, k, Config{Name: "storm", Flavor: FlavorStorm, AckerThreads: true})
+	d := deploy(t, e, pipelineQuery(t, "q", 100*time.Microsecond, 1.0), NewRateSource(500, nil))
+	k.RunUntil(5 * time.Second)
+
+	var acker *PhysicalOp
+	for _, op := range d.Ops() {
+		if strings.Contains(op.Name(), ackerOpName) {
+			acker = op
+		}
+	}
+	if acker == nil {
+		t.Fatal("acker operator missing")
+	}
+	if acker.ThreadID() == 0 {
+		t.Fatal("acker has no dedicated thread")
+	}
+	snap := acker.Snapshot(k.Now())
+	// ~500 t/s, each tuple moves through ingress + 2 pushes: ~1500 acks/s.
+	if snap.Ingested < 6500 || snap.Ingested > 8500 {
+		t.Errorf("acker processed %d acks in 5s, want ~7500", snap.Ingested)
+	}
+	// The query itself is unaffected.
+	if got := d.EgressCount(); got < 2400 {
+		t.Errorf("egress = %d, want ~2500", got)
+	}
+	if k.ContractViolations() != 0 {
+		t.Errorf("contract violations: %d", k.ContractViolations())
+	}
+}
+
+func TestAckerOnlyForStormWhenEnabled(t *testing.T) {
+	k := simos.New(simos.Config{CPUs: 2})
+	// Flink flavor: no acker even when requested.
+	e := newEngine(t, k, Config{Name: "flink", Flavor: FlavorFlink, AckerThreads: true})
+	d := deploy(t, e, pipelineQuery(t, "q", 100*time.Microsecond, 1.0), NewRateSource(100, nil))
+	for _, op := range d.Ops() {
+		if strings.Contains(op.Name(), ackerOpName) {
+			t.Fatal("flink deployment must not get an acker")
+		}
+	}
+	// Storm without the flag: no acker either.
+	e2 := newEngine(t, k, Config{Name: "storm", Flavor: FlavorStorm})
+	d2 := deploy(t, e2, pipelineQuery(t, "q2", 100*time.Microsecond, 1.0), NewRateSource(100, nil))
+	if got := len(d2.Ops()); got != 3 {
+		t.Errorf("ops = %d, want 3 without acker", got)
+	}
+}
+
+func TestAckerIsSchedulableEntity(t *testing.T) {
+	// The acker must be reniceable like any operator (footnote 3).
+	k := simos.New(simos.Config{CPUs: 2})
+	e := newEngine(t, k, Config{Name: "storm", Flavor: FlavorStorm, AckerThreads: true})
+	d := deploy(t, e, pipelineQuery(t, "q", 100*time.Microsecond, 1.0), NewRateSource(200, nil))
+	for _, op := range d.PhysicalFor(ackerOpName) {
+		if err := k.SetNice(op.ThreadID(), 15); err != nil {
+			t.Fatalf("renice acker: %v", err)
+		}
+		if n, _ := k.Nice(op.ThreadID()); n != 15 {
+			t.Errorf("acker nice = %d", n)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package spe
+
+import (
+	"testing"
+	"time"
+
+	"lachesis/internal/simos"
+)
+
+func TestFusedChainRunsProcessFuncs(t *testing.T) {
+	// Chain a filter (drops odd keys) with a doubler; under chaining both
+	// run inside one physical operator and the composition must hold.
+	k := newTestKernel(t)
+	e := newEngine(t, k, Config{Name: "flink", Flavor: FlavorFlink, Chaining: true})
+	q := NewQuery("q")
+	q.MustAddOp(&LogicalOp{Name: "src", Kind: KindIngress, Cost: 5 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&LogicalOp{
+		Name: "filter", Cost: 20 * time.Microsecond, Selectivity: 0.5,
+		Process: func(in Tuple, emit EmitFunc) {
+			if in.Key%2 == 0 {
+				emit(in)
+			}
+		},
+	})
+	q.MustAddOp(&LogicalOp{
+		Name: "double", Cost: 20 * time.Microsecond, Selectivity: 2,
+		Process: func(in Tuple, emit EmitFunc) {
+			emit(in)
+			emit(in)
+		},
+	})
+	q.MustAddOp(&LogicalOp{Name: "sink", Kind: KindEgress, Cost: 5 * time.Microsecond})
+	if err := q.Pipeline("src", "filter", "double", "sink"); err != nil {
+		t.Fatal(err)
+	}
+	src := NewRateSource(1000, func(i int64) Tuple { return Tuple{Key: uint64(i)} })
+	d := deploy(t, e, q, src)
+
+	if got := len(d.Ops()); got != 1 {
+		t.Fatalf("chaining should fuse everything into 1 physical op, got %d", got)
+	}
+	k.RunUntil(5 * time.Second)
+	ing := d.Ingested()
+	eg := d.EgressCount()
+	// Half the keys pass the filter, each doubled: egress ~= ingress.
+	ratio := float64(eg) / float64(ing)
+	if ratio < 0.97 || ratio > 1.03 {
+		t.Errorf("fused chain egress/ingress = %.3f, want ~1.0", ratio)
+	}
+}
+
+func TestCostJitterPreservesMean(t *testing.T) {
+	k := newTestKernel(t)
+	e := newEngine(t, k, Config{Name: "liebre", Flavor: FlavorLiebre, Seed: 11})
+	q := NewQuery("q")
+	q.MustAddOp(&LogicalOp{Name: "src", Kind: KindIngress, Cost: 10 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&LogicalOp{Name: "work", Cost: 500 * time.Microsecond, CostJitter: 0.5, Selectivity: 1})
+	q.MustAddOp(&LogicalOp{Name: "sink", Kind: KindEgress, Cost: 10 * time.Microsecond})
+	if err := q.Pipeline("src", "work", "sink"); err != nil {
+		t.Fatal(err)
+	}
+	d := deploy(t, e, q, NewRateSource(800, nil))
+	k.RunUntil(10 * time.Second)
+	snap := d.PhysicalFor("work")[0].Snapshot(k.Now())
+	meanCost := snap.Busy.Seconds() / float64(snap.InCount)
+	if meanCost < 0.00045 || meanCost > 0.00055 {
+		t.Errorf("jittered mean cost = %.6fs, want ~0.0005", meanCost)
+	}
+}
+
+func TestBackpressureChainDoesNotDeadlock(t *testing.T) {
+	// A deep bounded-queue pipeline overloaded at the tail: producers keep
+	// blocking and unblocking on queue space. The run must make continuous
+	// progress (no lost wakeups) and bound every internal queue.
+	k := simos.New(simos.Config{CPUs: 2})
+	e := newEngine(t, k, Config{Name: "flink", Flavor: FlavorFlink, QueueCapacity: 4, Seed: 2})
+	q := NewQuery("deep")
+	names := []string{"src"}
+	q.MustAddOp(&LogicalOp{Name: "src", Kind: KindIngress, Cost: 5 * time.Microsecond, Selectivity: 1})
+	for _, n := range []string{"a", "b", "c", "d", "e", "f"} {
+		q.MustAddOp(&LogicalOp{Name: n, Cost: 100 * time.Microsecond, Selectivity: 1})
+		names = append(names, n)
+	}
+	// The tail is the bottleneck.
+	q.MustAddOp(&LogicalOp{Name: "slow", Cost: 2 * time.Millisecond, Selectivity: 1})
+	q.MustAddOp(&LogicalOp{Name: "sink", Kind: KindEgress, Cost: 5 * time.Microsecond})
+	names = append(names, "slow", "sink")
+	if err := q.Pipeline(names...); err != nil {
+		t.Fatal(err)
+	}
+	d := deploy(t, e, q, NewRateSource(2000, nil))
+
+	var lastEgress int64
+	for s := 1; s <= 20; s++ {
+		k.RunUntil(time.Duration(s) * time.Second)
+		eg := d.EgressCount()
+		if eg <= lastEgress {
+			t.Fatalf("no progress in second %d (egress stuck at %d)", s, eg)
+		}
+		lastEgress = eg
+		for _, op := range d.Ops() {
+			if op.Kind() == KindIngress {
+				continue
+			}
+			if got := op.QueueLen(k.Now()); got > 4 {
+				t.Fatalf("queue %s over capacity: %d", op.Name(), got)
+			}
+		}
+	}
+	// Throughput pinned by the slow op: ~500/s.
+	rate := float64(lastEgress) / 20
+	if rate < 420 || rate > 520 {
+		t.Errorf("bottleneck-bound rate = %.1f, want ~480", rate)
+	}
+	if k.ContractViolations() != 0 {
+		t.Errorf("contract violations: %d", k.ContractViolations())
+	}
+}
+
+func TestFanOutDuplicatesToAllBranches(t *testing.T) {
+	k := newTestKernel(t)
+	e := newEngine(t, k, Config{Name: "storm", Flavor: FlavorStorm})
+	q := NewQuery("q")
+	q.MustAddOp(&LogicalOp{Name: "src", Kind: KindIngress, Cost: 5 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&LogicalOp{Name: "b1", Cost: 20 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&LogicalOp{Name: "b2", Cost: 20 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&LogicalOp{Name: "s1", Kind: KindEgress, Cost: 5 * time.Microsecond})
+	q.MustAddOp(&LogicalOp{Name: "s2", Kind: KindEgress, Cost: 5 * time.Microsecond})
+	q.MustConnect("src", "b1")
+	q.MustConnect("src", "b2")
+	q.MustConnect("b1", "s1")
+	q.MustConnect("b2", "s2")
+	d := deploy(t, e, q, NewRateSource(500, nil))
+	k.RunUntil(4 * time.Second)
+
+	in1 := d.PhysicalFor("b1")[0].Snapshot(k.Now()).InCount
+	in2 := d.PhysicalFor("b2")[0].Snapshot(k.Now()).InCount
+	ing := d.Ingested()
+	if in1 < ing-5 || in2 < ing-5 {
+		t.Errorf("fan-out should duplicate: ingress=%d b1=%d b2=%d", ing, in1, in2)
+	}
+	// Expected egress per ingress = 2 (two branches).
+	if exp := q.ExpectedEgressPerIngress(); exp != 2 {
+		t.Errorf("ExpectedEgressPerIngress = %v, want 2", exp)
+	}
+}
+
+func TestExpectedEgressPerIngress(t *testing.T) {
+	tests := []struct {
+		build func() *LogicalQuery
+		want  float64
+	}{
+		{func() *LogicalQuery {
+			q := NewQuery("lin")
+			q.MustAddOp(&LogicalOp{Name: "i", Kind: KindIngress, Selectivity: 1})
+			q.MustAddOp(&LogicalOp{Name: "a", Selectivity: 0.5})
+			q.MustAddOp(&LogicalOp{Name: "e", Kind: KindEgress})
+			if err := q.Pipeline("i", "a", "e"); err != nil {
+				panic(err)
+			}
+			return q
+		}, 0.5},
+		{func() *LogicalQuery {
+			q := NewQuery("amp")
+			q.MustAddOp(&LogicalOp{Name: "i", Kind: KindIngress, Selectivity: 1})
+			q.MustAddOp(&LogicalOp{Name: "a", Selectivity: 3})
+			q.MustAddOp(&LogicalOp{Name: "b", Selectivity: 5})
+			q.MustAddOp(&LogicalOp{Name: "e", Kind: KindEgress})
+			if err := q.Pipeline("i", "a", "b", "e"); err != nil {
+				panic(err)
+			}
+			return q
+		}, 15},
+	}
+	for _, tt := range tests {
+		q := tt.build()
+		if got := q.ExpectedEgressPerIngress(); got != tt.want {
+			t.Errorf("%s: expected egress = %v, want %v", q.Name, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package spe
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lachesis/internal/simos"
+)
+
+// Flavor selects which real-world SPE the engine models. Flavors differ in
+// queueing discipline and in the raw metrics they expose (see the flavor
+// drivers in internal/driver), matching §6.1 of the paper.
+type Flavor int
+
+const (
+	// FlavorStorm models Apache Storm: thread per operator, unbounded
+	// operator queues (queues grow without limit past saturation).
+	FlavorStorm Flavor = iota + 1
+	// FlavorFlink models Apache Flink: thread per operator (task), bounded
+	// queues with backpressure, optional operator chaining.
+	FlavorFlink
+	// FlavorLiebre models Liebre: lightweight thread-per-operator engine
+	// with unbounded queues and rich direct metrics.
+	FlavorLiebre
+)
+
+// String implements fmt.Stringer.
+func (f Flavor) String() string {
+	switch f {
+	case FlavorStorm:
+		return "storm"
+	case FlavorFlink:
+		return "flink"
+	case FlavorLiebre:
+		return "liebre"
+	default:
+		return fmt.Sprintf("Flavor(%d)", int(f))
+	}
+}
+
+// Mode selects how physical operators are executed.
+type Mode int
+
+const (
+	// ModeOSThreads runs each physical operator on a dedicated kernel
+	// thread scheduled by the (simulated) OS — the mainstream SPE runtime
+	// that Lachesis orchestrates.
+	ModeOSThreads Mode = iota + 1
+	// ModeWorkerPool runs operators as user-level tasks on a fixed worker
+	// pool driven by a TaskScheduler — the UL-SS baselines.
+	ModeWorkerPool
+)
+
+// flinkDefaultQueueCapacity is the per-operator input queue bound in the
+// Flink flavor (credit-based backpressure).
+const flinkDefaultQueueCapacity = 128
+
+// Config configures an engine (one SPE process on the node).
+type Config struct {
+	// Name identifies the engine process; it is also the engine cgroup
+	// name and the metric series prefix.
+	Name string
+	// Flavor selects the modeled SPE (required).
+	Flavor Flavor
+	// Mode selects OS-thread or worker-pool execution (default OS threads).
+	Mode Mode
+	// Scheduler drives worker-pool mode (required for ModeWorkerPool).
+	Scheduler TaskScheduler
+	// Workers is the pool size for ModeWorkerPool (default: CPU count).
+	Workers int
+	// Batch is the per-pick CPU budget in worker-pool mode (default 1ms).
+	Batch time.Duration
+	// QueueCapacity overrides the flavor's queue bound (0 keeps the flavor
+	// default; negative forces unbounded).
+	QueueCapacity int
+	// Chaining enables Flink-style operator fusion.
+	Chaining bool
+	// AckerThreads adds one acker helper thread per deployment (Storm
+	// flavor only): the paper's footnote 3 — helper threads are scheduled
+	// like physical operators.
+	AckerThreads bool
+	// Seed makes all engine randomness reproducible.
+	Seed int64
+}
+
+// Engine is one SPE process running on a simulated node. All its threads
+// live in the engine's cgroup, nested under the kernel root (the paper
+// nests SPE threads under a custom root cgroup so Lachesis can manage a
+// common resource pool).
+type Engine struct {
+	kernel      *simos.Kernel
+	cfg         Config
+	cgroup      simos.CgroupID
+	deployments []*Deployment
+	pool        *workerPool
+}
+
+// New creates an engine on kernel k.
+func New(k *simos.Kernel, cfg Config) (*Engine, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("spe: engine needs a name")
+	}
+	if cfg.Flavor == 0 {
+		return nil, errors.New("spe: engine needs a flavor")
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeOSThreads
+	}
+	cg, err := k.CreateCgroup(simos.RootCgroup, cfg.Name)
+	if err != nil {
+		return nil, fmt.Errorf("engine cgroup: %w", err)
+	}
+	e := &Engine{kernel: k, cfg: cfg, cgroup: cg}
+	if cfg.Mode == ModeWorkerPool {
+		if cfg.Scheduler == nil {
+			return nil, errors.New("spe: worker-pool mode needs a TaskScheduler")
+		}
+		workers := cfg.Workers
+		if workers <= 0 {
+			workers = k.CPUCount()
+		}
+		e.pool = newWorkerPool(e, cfg.Scheduler, workers, cfg.Batch)
+		if err := e.pool.spawnWorkers(workers); err != nil {
+			return nil, fmt.Errorf("spawn workers: %w", err)
+		}
+	}
+	return e, nil
+}
+
+// Kernel returns the simulated node the engine runs on.
+func (e *Engine) Kernel() *simos.Kernel { return e.kernel }
+
+// Name returns the engine process name.
+func (e *Engine) Name() string { return e.cfg.Name }
+
+// Flavor returns the modeled SPE flavor.
+func (e *Engine) Flavor() Flavor { return e.cfg.Flavor }
+
+// Cgroup returns the engine's cgroup.
+func (e *Engine) Cgroup() simos.CgroupID { return e.cgroup }
+
+// queueCapacity resolves the input queue bound from config and flavor.
+func (e *Engine) queueCapacity() int {
+	switch {
+	case e.cfg.QueueCapacity > 0:
+		return e.cfg.QueueCapacity
+	case e.cfg.QueueCapacity < 0:
+		return 0
+	case e.cfg.Flavor == FlavorFlink:
+		return flinkDefaultQueueCapacity
+	default:
+		return 0 // Storm and Liebre: unbounded
+	}
+}
+
+// Deploy instantiates a logical query on the engine, transforming it into
+// a physical DAG (fusion/fission per §2) and starting its execution.
+func (e *Engine) Deploy(q *LogicalQuery, src Source) (*Deployment, error) {
+	if src == nil {
+		return nil, errors.New("spe: deploy needs a source")
+	}
+	for _, d := range e.deployments {
+		if d.Query.Name == q.Name {
+			return nil, fmt.Errorf("spe: query %q already deployed", q.Name)
+		}
+	}
+	d := &Deployment{
+		Query:         q,
+		engine:        e,
+		physByLogical: make(map[string][]*PhysicalOp),
+	}
+	if err := e.buildPhysical(d, src); err != nil {
+		return nil, fmt.Errorf("deploy %q: %w", q.Name, err)
+	}
+	switch e.cfg.Mode {
+	case ModeOSThreads:
+		for _, p := range d.ops {
+			tid, err := e.kernel.Spawn(p.name, e.cgroup, p.osRunner())
+			if err != nil {
+				return nil, fmt.Errorf("spawn %q: %w", p.name, err)
+			}
+			p.thread = tid
+		}
+	case ModeWorkerPool:
+		// UL-SS schedule transform/egress operators on the worker pool;
+		// ingress operators keep dedicated threads, as Storm spouts do
+		// under EdgeWise — the UL-SS does not control admission.
+		var pooled []*PhysicalOp
+		for _, p := range d.ops {
+			if p.kind == KindIngress {
+				tid, err := e.kernel.Spawn(p.name, e.cgroup, p.osRunner())
+				if err != nil {
+					return nil, fmt.Errorf("spawn %q: %w", p.name, err)
+				}
+				p.thread = tid
+				continue
+			}
+			p.pooled = true
+			pooled = append(pooled, p)
+		}
+		e.cfg.Scheduler.Register(pooled)
+		e.kernel.Wake(e.pool.waitQ)
+	}
+	if e.cfg.AckerThreads && e.cfg.Flavor == FlavorStorm {
+		if err := e.attachAcker(d); err != nil {
+			return nil, fmt.Errorf("attach acker: %w", err)
+		}
+	}
+	e.deployments = append(e.deployments, d)
+	return d, nil
+}
+
+// Deployments returns the engine's deployments in deployment order.
+func (e *Engine) Deployments() []*Deployment {
+	out := make([]*Deployment, len(e.deployments))
+	copy(out, e.deployments)
+	return out
+}
+
+// Ops returns every physical operator across all live deployments.
+func (e *Engine) Ops() []*PhysicalOp {
+	var out []*PhysicalOp
+	for _, d := range e.deployments {
+		for _, p := range d.ops {
+			if !p.stopped {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// MetricSink receives the engine's periodic metric reports (the role
+// Graphite plays in the paper's deployment).
+type MetricSink interface {
+	Record(now time.Duration, series string, value float64)
+}
+
+// StartReporter spawns the engine's metrics reporter thread, which
+// publishes flavor-specific raw metrics to sink every period. This models
+// the SPEs' metric reporters feeding Graphite: Lachesis never reads engine
+// internals directly, only this exported metric surface, so scheduling
+// metrics are at least one period stale (§6.1: one-second resolution).
+func (e *Engine) StartReporter(sink MetricSink, period time.Duration) error {
+	if sink == nil {
+		return errors.New("spe: reporter needs a sink")
+	}
+	if period <= 0 {
+		period = time.Second
+	}
+	r := &reporter{engine: e, sink: sink, period: period, lastCounts: make(map[string]reportCounts)}
+	_, err := e.kernel.Spawn(e.cfg.Name+".metrics-reporter", e.cgroup, simos.RunnerFunc(r.run))
+	if err != nil {
+		return fmt.Errorf("spawn reporter: %w", err)
+	}
+	return nil
+}
+
+// Stop tears a deployment down: its operators stop processing, their
+// dedicated threads exit at their next dispatch, and they disappear from
+// the engine's operator set (and hence from drivers). In-flight tuples
+// are dropped, like killing a query's workers.
+func (d *Deployment) Stop() {
+	e := d.engine
+	for _, p := range d.ops {
+		p.stopped = true
+		if p.thread != 0 {
+			// A blocked thread would otherwise sleep/wait forever; waking
+			// it lets the runner observe the stop and exit.
+			e.kernel.Wake(p.waitQ)
+			e.kernel.Wake(p.spaceQ)
+		}
+	}
+	for i, dep := range e.deployments {
+		if dep == d {
+			e.deployments = append(e.deployments[:i], e.deployments[i+1:]...)
+			break
+		}
+	}
+}
+
+// Stopped reports whether the deployment has been torn down.
+func (d *Deployment) Stopped() bool {
+	return len(d.ops) > 0 && d.ops[0].stopped
+}

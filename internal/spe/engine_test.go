@@ -1,0 +1,543 @@
+package spe
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"lachesis/internal/simos"
+)
+
+// pipelineQuery builds ingress -> work -> egress with the given work cost
+// and selectivity.
+func pipelineQuery(t *testing.T, name string, cost time.Duration, sel float64) *LogicalQuery {
+	t.Helper()
+	q := NewQuery(name)
+	q.MustAddOp(&LogicalOp{Name: "src", Kind: KindIngress, Cost: 20 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&LogicalOp{Name: "work", Cost: cost, Selectivity: sel})
+	q.MustAddOp(&LogicalOp{Name: "sink", Kind: KindEgress, Cost: 10 * time.Microsecond})
+	if err := q.Pipeline("src", "work", "sink"); err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func newEngine(t *testing.T, k *simos.Kernel, cfg Config) *Engine {
+	t.Helper()
+	e, err := New(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func deploy(t *testing.T, e *Engine, q *LogicalQuery, src Source) *Deployment {
+	t.Helper()
+	d, err := e.Deploy(q, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestQueryValidation(t *testing.T) {
+	t.Run("cycle", func(t *testing.T) {
+		q := NewQuery("bad")
+		q.MustAddOp(&LogicalOp{Name: "i", Kind: KindIngress})
+		q.MustAddOp(&LogicalOp{Name: "a", Selectivity: 1})
+		q.MustAddOp(&LogicalOp{Name: "b", Selectivity: 1})
+		q.MustAddOp(&LogicalOp{Name: "e", Kind: KindEgress})
+		q.MustConnect("i", "a")
+		q.MustConnect("a", "b")
+		q.MustConnect("b", "a")
+		q.MustConnect("b", "e")
+		if err := q.Validate(); err == nil {
+			t.Error("cycle not detected")
+		}
+	})
+	t.Run("no ingress", func(t *testing.T) {
+		q := NewQuery("bad")
+		q.MustAddOp(&LogicalOp{Name: "e", Kind: KindEgress})
+		if err := q.Validate(); err == nil {
+			t.Error("missing ingress not detected")
+		}
+	})
+	t.Run("no egress", func(t *testing.T) {
+		q := NewQuery("bad")
+		q.MustAddOp(&LogicalOp{Name: "i", Kind: KindIngress})
+		if err := q.Validate(); err == nil {
+			t.Error("missing egress not detected")
+		}
+	})
+	t.Run("duplicate op", func(t *testing.T) {
+		q := NewQuery("bad")
+		q.MustAddOp(&LogicalOp{Name: "x"})
+		if err := q.AddOp(&LogicalOp{Name: "x"}); err == nil {
+			t.Error("duplicate op not detected")
+		}
+	})
+	t.Run("duplicate edge", func(t *testing.T) {
+		q := NewQuery("bad")
+		q.MustAddOp(&LogicalOp{Name: "a"})
+		q.MustAddOp(&LogicalOp{Name: "b"})
+		q.MustConnect("a", "b")
+		if err := q.Connect("a", "b"); err == nil {
+			t.Error("duplicate edge not detected")
+		}
+	})
+	t.Run("unknown edge endpoint", func(t *testing.T) {
+		q := NewQuery("bad")
+		q.MustAddOp(&LogicalOp{Name: "a"})
+		if err := q.Connect("a", "nope"); err == nil {
+			t.Error("unknown endpoint not detected")
+		}
+	})
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	k := simos.New(simos.Config{CPUs: 2})
+	e := newEngine(t, k, Config{Name: "storm", Flavor: FlavorStorm})
+	q := pipelineQuery(t, "q", 100*time.Microsecond, 1.0)
+	d := deploy(t, e, q, NewRateSource(1000, nil))
+
+	k.RunUntil(10 * time.Second)
+
+	ing := d.Ingested()
+	if ing < 9800 || ing > 10050 {
+		t.Errorf("ingested %d tuples in 10s at 1000/s, want ~10000", ing)
+	}
+	eg := d.EgressCount()
+	if float64(eg) < 0.97*float64(ing) {
+		t.Errorf("egress %d much less than ingested %d", eg, ing)
+	}
+	lat := d.Latencies()
+	if lat.Count == 0 {
+		t.Fatal("no latency samples")
+	}
+	// Underloaded pipeline: processing latency should be small (few ms).
+	if lat.MeanProc > 50*time.Millisecond {
+		t.Errorf("mean processing latency %v too high for underloaded query", lat.MeanProc)
+	}
+	if lat.MeanE2E < lat.MeanProc {
+		t.Errorf("e2e latency %v < processing latency %v", lat.MeanE2E, lat.MeanProc)
+	}
+}
+
+func TestSelectivityScalesEgress(t *testing.T) {
+	tests := []struct {
+		sel  float64
+		want float64 // egress per ingested
+	}{
+		{0.5, 0.5},
+		{1.0, 1.0},
+		{3.0, 3.0},
+	}
+	for _, tt := range tests {
+		k := simos.New(simos.Config{CPUs: 2})
+		e := newEngine(t, k, Config{Name: "storm", Flavor: FlavorStorm})
+		q := pipelineQuery(t, "q", 50*time.Microsecond, tt.sel)
+		d := deploy(t, e, q, NewRateSource(500, nil))
+		k.RunUntil(10 * time.Second)
+
+		ratio := float64(d.EgressCount()) / float64(d.Ingested())
+		if math.Abs(ratio-tt.want)/tt.want > 0.05 {
+			t.Errorf("sel=%v: egress/ingress = %.3f, want ~%.2f", tt.sel, ratio, tt.want)
+		}
+	}
+}
+
+func TestFissionSplitsLoad(t *testing.T) {
+	k := simos.New(simos.Config{CPUs: 4})
+	e := newEngine(t, k, Config{Name: "storm", Flavor: FlavorStorm})
+	q := NewQuery("q")
+	q.MustAddOp(&LogicalOp{Name: "src", Kind: KindIngress, Cost: 10 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&LogicalOp{Name: "work", Cost: 100 * time.Microsecond, Selectivity: 1, Parallelism: 2})
+	q.MustAddOp(&LogicalOp{Name: "sink", Kind: KindEgress})
+	if err := q.Pipeline("src", "work", "sink"); err != nil {
+		t.Fatal(err)
+	}
+	d := deploy(t, e, q, NewRateSource(1000, nil))
+	k.RunUntil(5 * time.Second)
+
+	reps := d.PhysicalFor("work")
+	if len(reps) != 2 {
+		t.Fatalf("got %d replicas, want 2", len(reps))
+	}
+	a := reps[0].Snapshot(k.Now()).InCount
+	b := reps[1].Snapshot(k.Now()).InCount
+	if a == 0 || b == 0 {
+		t.Fatalf("replica starved: %d vs %d", a, b)
+	}
+	ratio := float64(a) / float64(b)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("round-robin fission imbalance: %d vs %d", a, b)
+	}
+}
+
+func TestKeyByRoutesConsistently(t *testing.T) {
+	k := simos.New(simos.Config{CPUs: 2})
+	e := newEngine(t, k, Config{Name: "storm", Flavor: FlavorStorm})
+	q := NewQuery("q")
+	q.MustAddOp(&LogicalOp{Name: "src", Kind: KindIngress, Cost: 5 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&LogicalOp{Name: "work", Cost: 20 * time.Microsecond, Selectivity: 1, Parallelism: 2, KeyBy: true})
+	q.MustAddOp(&LogicalOp{Name: "sink", Kind: KindEgress})
+	if err := q.Pipeline("src", "work", "sink"); err != nil {
+		t.Fatal(err)
+	}
+	// All tuples share one key: everything must land on a single replica.
+	src := NewRateSource(500, func(i int64) Tuple { return Tuple{Key: 42} })
+	d := deploy(t, e, q, src)
+	k.RunUntil(4 * time.Second)
+
+	reps := d.PhysicalFor("work")
+	a := reps[0].Snapshot(k.Now()).InCount
+	b := reps[1].Snapshot(k.Now()).InCount
+	if a != 0 && b != 0 {
+		t.Errorf("key-by should route one key to one replica, got %d and %d", a, b)
+	}
+	if a+b < 1900 {
+		t.Errorf("processed %d tuples, want ~2000", a+b)
+	}
+}
+
+func TestChainingFusesLinearSegments(t *testing.T) {
+	q := NewQuery("q")
+	q.MustAddOp(&LogicalOp{Name: "src", Kind: KindIngress, Cost: time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&LogicalOp{Name: "a", Cost: 10 * time.Microsecond, Selectivity: 2})
+	q.MustAddOp(&LogicalOp{Name: "b", Cost: 20 * time.Microsecond, Selectivity: 0.5})
+	q.MustAddOp(&LogicalOp{Name: "sink", Kind: KindEgress})
+	if err := q.Pipeline("src", "a", "b", "sink"); err != nil {
+		t.Fatal(err)
+	}
+	chains, err := buildChains(q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) != 1 {
+		t.Fatalf("want 1 fused chain, got %d", len(chains))
+	}
+	// Chain cost: 1 + 1*10 + 1*2*20 = 51us.
+	cost := chainCost(chains[0])
+	if cost != 51*time.Microsecond {
+		t.Errorf("chain cost = %v, want 51us", cost)
+	}
+	// Chain selectivity: 1*2*0.5 = 1 (egress excluded).
+	if s := chainSelectivity(chains[0]); math.Abs(s-1.0) > 1e-9 {
+		t.Errorf("chain selectivity = %v, want 1", s)
+	}
+}
+
+func TestChainingBreaksAtFanOutAndKeyBy(t *testing.T) {
+	q := NewQuery("q")
+	q.MustAddOp(&LogicalOp{Name: "src", Kind: KindIngress, Cost: time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&LogicalOp{Name: "a", Cost: time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&LogicalOp{Name: "kb", Cost: time.Microsecond, Selectivity: 1, KeyBy: true})
+	q.MustAddOp(&LogicalOp{Name: "b1", Cost: time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&LogicalOp{Name: "b2", Cost: time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&LogicalOp{Name: "s1", Kind: KindEgress})
+	q.MustAddOp(&LogicalOp{Name: "s2", Kind: KindEgress})
+	q.MustConnect("src", "a")
+	q.MustConnect("a", "kb")
+	q.MustConnect("kb", "b1")
+	q.MustConnect("kb", "b2")
+	q.MustConnect("b1", "s1")
+	q.MustConnect("b2", "s2")
+	chains, err := buildChains(q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected: [src a] [kb] [b1 s1] [b2 s2] — key-by breaks the first
+	// chain, fan-out prevents kb from fusing downstream.
+	if len(chains) != 4 {
+		t.Fatalf("want 4 chains, got %d: %v", len(chains), chainNames(chains))
+	}
+}
+
+func chainNames(chains [][]*LogicalOp) []string {
+	var out []string
+	for _, c := range chains {
+		var names []string
+		for _, op := range c {
+			names = append(names, op.Name)
+		}
+		out = append(out, strings.Join(names, "+"))
+	}
+	return out
+}
+
+func TestBoundedQueueBackpressure(t *testing.T) {
+	// Flink flavor: a slow operator must bound its queue and push the
+	// waiting upstream (backpressure), unlike Storm.
+	k := simos.New(simos.Config{CPUs: 1})
+	e := newEngine(t, k, Config{Name: "flink", Flavor: FlavorFlink})
+	q := pipelineQuery(t, "q", 5*time.Millisecond, 1.0) // can do ~200/s, offered 1000/s
+	d := deploy(t, e, q, NewRateSource(1000, nil))
+	k.RunUntil(10 * time.Second)
+
+	work := d.PhysicalFor("work")[0]
+	if got := work.QueueLen(k.Now()); got > flinkDefaultQueueCapacity {
+		t.Errorf("bounded queue exceeded capacity: %d > %d", got, flinkDefaultQueueCapacity)
+	}
+	// The backlog accumulates at the source instead.
+	ing := d.Ingresses()[0]
+	if got := ing.QueueLen(k.Now()); got < 1000 {
+		t.Errorf("source backlog %d, want large (saturated query)", got)
+	}
+}
+
+func TestUnboundedQueueGrowsPastSaturation(t *testing.T) {
+	k := simos.New(simos.Config{CPUs: 4})
+	e := newEngine(t, k, Config{Name: "storm", Flavor: FlavorStorm})
+	q := pipelineQuery(t, "q", 5*time.Millisecond, 1.0) // ~200/s max on one thread
+	d := deploy(t, e, q, NewRateSource(1000, nil))
+	k.RunUntil(10 * time.Second)
+
+	// With spare CPUs, the ingress keeps up and the internal queue grows.
+	work := d.PhysicalFor("work")[0]
+	if got := work.QueueLen(k.Now()); got < 2000 {
+		t.Errorf("unbounded queue length %d, want thousands at 5x overload", got)
+	}
+	lat := d.Latencies()
+	if lat.MeanProc < 500*time.Millisecond {
+		t.Errorf("saturated processing latency %v, want to explode", lat.MeanProc)
+	}
+}
+
+func TestBlockingOperatorsStillProgressOnOSThreads(t *testing.T) {
+	k := simos.New(simos.Config{CPUs: 2})
+	e := newEngine(t, k, Config{Name: "liebre", Flavor: FlavorLiebre, Seed: 7})
+	q := NewQuery("q")
+	q.MustAddOp(&LogicalOp{Name: "src", Kind: KindIngress, Cost: 10 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&LogicalOp{
+		Name: "work", Cost: 100 * time.Microsecond, Selectivity: 1,
+		BlockProb: 0.05, BlockMax: 20 * time.Millisecond,
+	})
+	q.MustAddOp(&LogicalOp{Name: "sink", Kind: KindEgress})
+	if err := q.Pipeline("src", "work", "sink"); err != nil {
+		t.Fatal(err)
+	}
+	d := deploy(t, e, q, NewRateSource(500, nil))
+	k.RunUntil(10 * time.Second)
+
+	snap := d.PhysicalFor("work")[0].Snapshot(k.Now())
+	if snap.BlockEvents == 0 {
+		t.Fatal("no blocking events sampled")
+	}
+	// Expected block time: 500 t/s * 10s * 0.05 * 10ms = 2.5s; the OS keeps
+	// other threads running, so throughput should hold.
+	if got := d.EgressCount(); got < 4500 {
+		t.Errorf("egress %d, want ~5000 despite blocking", got)
+	}
+}
+
+// greedyScheduler is a trivial TaskScheduler: first ready operator wins.
+type greedyScheduler struct {
+	ops []*PhysicalOp
+}
+
+func (s *greedyScheduler) Register(ops []*PhysicalOp) { s.ops = append(s.ops, ops...) }
+func (s *greedyScheduler) Next(now time.Duration, canRun func(*PhysicalOp) bool) *PhysicalOp {
+	for _, op := range s.ops {
+		if canRun(op) {
+			return op
+		}
+	}
+	return nil
+}
+func (s *greedyScheduler) TaskDone(*PhysicalOp, time.Duration) {}
+
+func TestWorkerPoolModeProcessesTuples(t *testing.T) {
+	k := simos.New(simos.Config{CPUs: 2})
+	e := newEngine(t, k, Config{
+		Name:      "liebre",
+		Flavor:    FlavorLiebre,
+		Mode:      ModeWorkerPool,
+		Scheduler: &greedyScheduler{},
+		Workers:   2,
+	})
+	q := pipelineQuery(t, "q", 100*time.Microsecond, 1.0)
+	d := deploy(t, e, q, NewRateSource(1000, nil))
+	k.RunUntil(5 * time.Second)
+
+	if got := d.EgressCount(); got < 4700 {
+		t.Errorf("worker pool egress %d, want ~5000", got)
+	}
+	// Non-ingress operators have no dedicated threads in pool mode;
+	// ingress operators keep theirs (Storm spouts under EdgeWise).
+	for _, p := range d.Ops() {
+		if p.Kind() == KindIngress {
+			if p.ThreadID() == 0 {
+				t.Errorf("ingress %s should keep a dedicated thread", p.Name())
+			}
+			continue
+		}
+		if p.ThreadID() != 0 {
+			t.Errorf("op %s has a dedicated thread in pool mode", p.Name())
+		}
+	}
+	if k.ContractViolations() != 0 {
+		t.Errorf("contract violations: %d", k.ContractViolations())
+	}
+}
+
+func TestWorkerPoolBlockingStallsWorkers(t *testing.T) {
+	// One worker + a blocking operator: while the worker sleeps in
+	// simulated I/O, nothing else runs — the UL-SS drawback from §6.4.
+	mkQuery := func() *LogicalQuery {
+		q := NewQuery("q")
+		q.MustAddOp(&LogicalOp{Name: "src", Kind: KindIngress, Cost: 10 * time.Microsecond, Selectivity: 1})
+		q.MustAddOp(&LogicalOp{
+			Name: "work", Cost: 100 * time.Microsecond, Selectivity: 1,
+			BlockProb: 0.2, BlockMax: 50 * time.Millisecond,
+		})
+		q.MustAddOp(&LogicalOp{Name: "sink", Kind: KindEgress})
+		if err := q.Pipeline("src", "work", "sink"); err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+
+	kPool := simos.New(simos.Config{CPUs: 2})
+	ePool := newEngine(t, kPool, Config{
+		Name: "liebre", Flavor: FlavorLiebre, Mode: ModeWorkerPool,
+		Scheduler: &greedyScheduler{}, Workers: 1, Seed: 3,
+	})
+	dPool := deploy(t, ePool, mkQuery(), NewRateSource(400, nil))
+	kPool.RunUntil(10 * time.Second)
+
+	kOS := simos.New(simos.Config{CPUs: 2})
+	eOS := newEngine(t, kOS, Config{Name: "liebre", Flavor: FlavorLiebre, Seed: 3})
+	dOS := deploy(t, eOS, mkQuery(), NewRateSource(400, nil))
+	kOS.RunUntil(10 * time.Second)
+
+	// Expected blocking time ~ 400*10*0.2*25ms = 20s >> wall: the single
+	// worker saturates, while OS threads overlap blocking with work.
+	if float64(dPool.EgressCount()) > 0.7*float64(dOS.EgressCount()) {
+		t.Errorf("blocking should hurt the worker pool: pool=%d os=%d",
+			dPool.EgressCount(), dOS.EgressCount())
+	}
+}
+
+// captureSink records reporter series.
+type captureSink struct {
+	series map[string][]float64
+}
+
+func (c *captureSink) Record(now time.Duration, series string, value float64) {
+	if c.series == nil {
+		c.series = make(map[string][]float64)
+	}
+	c.series[series] = append(c.series[series], value)
+}
+
+func (c *captureSink) names() map[string]bool {
+	out := make(map[string]bool)
+	for k := range c.series {
+		// Strip "<engine>.<query>.<op>.<replica>." prefix: keep last field.
+		out[k[strings.LastIndex(k, ".")+1:]] = true
+	}
+	return out
+}
+
+func TestReporterFlavorSeries(t *testing.T) {
+	tests := []struct {
+		flavor Flavor
+		want   []string
+		absent []string
+	}{
+		{FlavorStorm, []string{SeriesQueue, SeriesIn, SeriesOut, SeriesExecMs}, []string{SeriesSelectivity, SeriesInRate}},
+		{FlavorFlink, []string{SeriesQueue, SeriesInRate, SeriesOutRate, SeriesBusyMsPerS}, []string{SeriesIn, SeriesCostMs}},
+		{FlavorLiebre, []string{SeriesQueue, SeriesIn, SeriesOut, SeriesCostMs, SeriesSelectivity, SeriesHeadMs}, []string{SeriesInRate}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.flavor.String(), func(t *testing.T) {
+			k := simos.New(simos.Config{CPUs: 2})
+			e := newEngine(t, k, Config{Name: tt.flavor.String(), Flavor: tt.flavor})
+			deploy(t, e, pipelineQuery(t, "q", 50*time.Microsecond, 1.0), NewRateSource(200, nil))
+			sink := &captureSink{}
+			if err := e.StartReporter(sink, time.Second); err != nil {
+				t.Fatal(err)
+			}
+			k.RunUntil(5 * time.Second)
+
+			got := sink.names()
+			for _, w := range tt.want {
+				if !got[w] {
+					t.Errorf("flavor %v missing series %q (got %v)", tt.flavor, w, got)
+				}
+			}
+			for _, a := range tt.absent {
+				if got[a] {
+					t.Errorf("flavor %v should not publish %q", tt.flavor, a)
+				}
+			}
+		})
+	}
+}
+
+func TestResetStatsClearsLatencies(t *testing.T) {
+	k := simos.New(simos.Config{CPUs: 2})
+	e := newEngine(t, k, Config{Name: "storm", Flavor: FlavorStorm})
+	d := deploy(t, e, pipelineQuery(t, "q", 50*time.Microsecond, 1.0), NewRateSource(500, nil))
+	k.RunUntil(2 * time.Second)
+	if d.Latencies().Count == 0 {
+		t.Fatal("expected latency samples before reset")
+	}
+	before := d.EgressCount()
+	d.ResetStats()
+	if d.Latencies().Count != 0 {
+		t.Error("latencies should be empty after reset")
+	}
+	if d.EgressCount() != before {
+		t.Error("monotonic counters must survive ResetStats")
+	}
+	k.RunUntil(4 * time.Second)
+	if d.Latencies().Count == 0 {
+		t.Error("expected fresh samples after reset")
+	}
+}
+
+func TestDeployErrors(t *testing.T) {
+	k := simos.New(simos.Config{CPUs: 1})
+	e := newEngine(t, k, Config{Name: "storm", Flavor: FlavorStorm})
+	q := pipelineQuery(t, "q", time.Microsecond, 1)
+	if _, err := e.Deploy(q, nil); err == nil {
+		t.Error("nil source should fail")
+	}
+	deploy(t, e, q, NewRateSource(1, nil))
+	if _, err := e.Deploy(q, NewRateSource(1, nil)); err == nil {
+		t.Error("duplicate query name should fail")
+	}
+	if _, err := New(k, Config{Flavor: FlavorStorm}); err == nil {
+		t.Error("engine without name should fail")
+	}
+	if _, err := New(k, Config{Name: "x"}); err == nil {
+		t.Error("engine without flavor should fail")
+	}
+	if _, err := New(k, Config{Name: "y", Flavor: FlavorStorm, Mode: ModeWorkerPool}); err == nil {
+		t.Error("pool mode without scheduler should fail")
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() (int64, time.Duration) {
+		k := simos.New(simos.Config{CPUs: 2})
+		e := newEngine(t, k, Config{Name: "storm", Flavor: FlavorStorm, Seed: 42})
+		q := NewQuery("q")
+		q.MustAddOp(&LogicalOp{Name: "src", Kind: KindIngress, Cost: 10 * time.Microsecond, Selectivity: 1})
+		q.MustAddOp(&LogicalOp{Name: "work", Cost: 300 * time.Microsecond, CostJitter: 0.5, Selectivity: 1.5})
+		q.MustAddOp(&LogicalOp{Name: "sink", Kind: KindEgress})
+		if err := q.Pipeline("src", "work", "sink"); err != nil {
+			t.Fatal(err)
+		}
+		d := deploy(t, e, q, NewRateSource(800, nil))
+		k.RunUntil(5 * time.Second)
+		return d.EgressCount(), d.Latencies().MeanProc
+	}
+	c1, l1 := run()
+	c2, l2 := run()
+	if c1 != c2 || l1 != l2 {
+		t.Errorf("nondeterministic run: (%d,%v) vs (%d,%v)", c1, l1, c2, l2)
+	}
+}

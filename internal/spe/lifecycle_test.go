@@ -1,0 +1,143 @@
+package spe
+
+import (
+	"testing"
+	"time"
+
+	"lachesis/internal/simos"
+)
+
+func TestStopQueryOSThreads(t *testing.T) {
+	k := newTestKernel(t)
+	e := newEngine(t, k, Config{Name: "storm", Flavor: FlavorStorm})
+	d1 := deploy(t, e, pipelineQuery(t, "keep", 100*time.Microsecond, 1), NewRateSource(300, nil))
+	d2 := deploy(t, e, pipelineQuery(t, "gone", 100*time.Microsecond, 1), NewRateSource(300, nil))
+	k.RunUntil(3 * time.Second)
+	if len(e.Ops()) != 6 {
+		t.Fatalf("ops = %d", len(e.Ops()))
+	}
+
+	d2.Stop()
+	frozen := d2.EgressCount()
+	k.RunUntil(10 * time.Second)
+
+	if got := len(e.Ops()); got != 3 {
+		t.Errorf("ops after stop = %d, want 3", got)
+	}
+	if d2.EgressCount() > frozen+2 {
+		t.Errorf("stopped query advanced: %d -> %d", frozen, d2.EgressCount())
+	}
+	// Stopped threads exit so their CPU time freezes.
+	for _, p := range d2.Ops() {
+		info, err := k.ThreadInfo(p.ThreadID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Alive {
+			t.Errorf("thread of %s still alive after stop", p.Name())
+		}
+	}
+	if d1.EgressCount() < 2800 {
+		t.Errorf("survivor egress = %d", d1.EgressCount())
+	}
+	if !d2.Stopped() || d1.Stopped() {
+		t.Error("Stopped flags wrong")
+	}
+}
+
+func TestStopQueryWorkerPool(t *testing.T) {
+	k := newTestKernel(t)
+	e := newEngine(t, k, Config{
+		Name: "liebre", Flavor: FlavorLiebre,
+		Mode: ModeWorkerPool, Scheduler: &greedyScheduler{}, Workers: 2,
+	})
+	d1 := deploy(t, e, pipelineQuery(t, "keep", 100*time.Microsecond, 1), NewRateSource(300, nil))
+	d2 := deploy(t, e, pipelineQuery(t, "gone", 100*time.Microsecond, 1), NewRateSource(300, nil))
+	k.RunUntil(3 * time.Second)
+	d2.Stop()
+	frozen := d2.EgressCount()
+	k.RunUntil(10 * time.Second)
+	if d2.EgressCount() > frozen+2 {
+		t.Errorf("stopped pooled query advanced: %d -> %d", frozen, d2.EgressCount())
+	}
+	if d1.EgressCount() < 2800 {
+		t.Errorf("survivor egress = %d", d1.EgressCount())
+	}
+	if k.ContractViolations() != 0 {
+		t.Errorf("contract violations: %d", k.ContractViolations())
+	}
+}
+
+func TestKindAndFlavorStrings(t *testing.T) {
+	tests := map[string]string{
+		KindTransform.String(): "transform",
+		KindIngress.String():   "ingress",
+		KindEgress.String():    "egress",
+		OpKind(99).String():    "OpKind(99)",
+		FlavorStorm.String():   "storm",
+		FlavorFlink.String():   "flink",
+		FlavorLiebre.String():  "liebre",
+		Flavor(99).String():    "Flavor(99)",
+	}
+	for got, want := range tests {
+		if got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestSnapshotFields(t *testing.T) {
+	k := newTestKernel(t)
+	e := newEngine(t, k, Config{Name: "liebre", Flavor: FlavorLiebre})
+	d := deploy(t, e, pipelineQuery(t, "q", 200*time.Microsecond, 2), NewRateSource(400, nil))
+	k.RunUntil(5 * time.Second)
+	work := d.PhysicalFor("work")[0]
+	snap := work.Snapshot(k.Now())
+	if snap.Query != "q" || snap.Kind != KindTransform || snap.Replica != 0 {
+		t.Errorf("identity fields: %+v", snap)
+	}
+	if snap.InCount == 0 || snap.OutCount < snap.InCount {
+		t.Errorf("counts: in=%d out=%d (sel 2)", snap.InCount, snap.OutCount)
+	}
+	if snap.Busy <= 0 {
+		t.Error("busy time missing")
+	}
+	if snap.CostHint != 200*time.Microsecond || snap.SelectivityHint != 2 {
+		t.Errorf("hints: %v %v", snap.CostHint, snap.SelectivityHint)
+	}
+	if len(snap.Downstream) != 1 {
+		t.Errorf("downstream: %v", snap.Downstream)
+	}
+	// The engine accessors.
+	if e.Name() != "liebre" || e.Flavor() != FlavorLiebre || e.Kernel() != k {
+		t.Error("engine accessors wrong")
+	}
+	if e.Cgroup() == simos.RootCgroup {
+		t.Error("engine must have its own cgroup")
+	}
+	if len(e.Deployments()) != 1 {
+		t.Errorf("deployments = %d", len(e.Deployments()))
+	}
+}
+
+func TestIngressSnapshotBacklog(t *testing.T) {
+	// An ingress that cannot keep up with the source accumulates external
+	// backlog, visible via QueueLen and OldestWait on the ingress itself.
+	k := simos.New(simos.Config{CPUs: 1})
+	e := newEngine(t, k, Config{Name: "storm", Flavor: FlavorStorm})
+	q := NewQuery("q")
+	q.MustAddOp(&LogicalOp{Name: "src", Kind: KindIngress, Cost: 2 * time.Millisecond, Selectivity: 1})
+	q.MustAddOp(&LogicalOp{Name: "sink", Kind: KindEgress, Cost: 10 * time.Microsecond})
+	if err := q.Pipeline("src", "sink"); err != nil {
+		t.Fatal(err)
+	}
+	d := deploy(t, e, q, NewRateSource(1000, nil))
+	k.RunUntil(2 * time.Second)
+	ing := d.Ingresses()[0]
+	if got := ing.QueueLen(k.Now()); got < 100 {
+		t.Errorf("ingress backlog = %d, want large", got)
+	}
+	if got := ing.OldestWait(k.Now()); got < 100*time.Millisecond {
+		t.Errorf("ingress oldest wait = %v, want large", got)
+	}
+}

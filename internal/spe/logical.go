@@ -1,0 +1,290 @@
+package spe
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// EmitFunc delivers an output tuple from a ProcessFunc.
+type EmitFunc func(Tuple)
+
+// ProcessFunc optionally implements an operator's real logic. It receives
+// an input tuple and emits any number of outputs. When nil, the operator is
+// synthetic: it emits copies of its input according to Selectivity. CPU
+// cost is charged from the operator's Cost either way.
+type ProcessFunc func(in Tuple, emit EmitFunc)
+
+// OpKind distinguishes the roles an operator can play in a query DAG.
+type OpKind int
+
+const (
+	// KindTransform is a regular operator.
+	KindTransform OpKind = iota + 1
+	// KindIngress ingests tuples from the external data source.
+	KindIngress
+	// KindEgress delivers results and records latency.
+	KindEgress
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case KindTransform:
+		return "transform"
+	case KindIngress:
+		return "ingress"
+	case KindEgress:
+		return "egress"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// LogicalOp is one operator of a logical query DAG (§2 of the paper).
+type LogicalOp struct {
+	// Name uniquely identifies the operator within its query.
+	Name string
+	// Kind marks ingress/egress roles.
+	Kind OpKind
+	// Cost is the average CPU time to process one input tuple.
+	Cost time.Duration
+	// CostJitter, in [0, 1), spreads per-tuple cost uniformly within
+	// Cost*(1±CostJitter).
+	CostJitter float64
+	// Selectivity is the average number of output tuples per input tuple
+	// (ignored when Process is set and for egress operators).
+	Selectivity float64
+	// Process optionally implements real operator logic (nil = synthetic).
+	Process ProcessFunc
+	// NewProcess optionally builds a per-replica Process (used for stateful
+	// operators so each fission replica owns its state). Takes the replica
+	// index.
+	NewProcess func(replica int) ProcessFunc
+	// Parallelism is the fission degree (default 1).
+	Parallelism int
+	// KeyBy routes tuples to replicas by Key hash instead of round-robin.
+	KeyBy bool
+	// BlockProb is the chance that processing one tuple is followed by a
+	// blocking operation (simulated I/O), as in §6.4 of the paper.
+	BlockProb float64
+	// BlockMax is the maximum duration of one blocking operation; actual
+	// durations are uniform in (0, BlockMax].
+	BlockMax time.Duration
+}
+
+// LogicalQuery is a DAG of logical operators connected by streams.
+type LogicalQuery struct {
+	Name   string
+	ops    []*LogicalOp
+	byName map[string]*LogicalOp
+	edges  map[string][]string // upstream name -> downstream names
+}
+
+// NewQuery creates an empty logical query.
+func NewQuery(name string) *LogicalQuery {
+	return &LogicalQuery{
+		Name:   name,
+		byName: make(map[string]*LogicalOp),
+		edges:  make(map[string][]string),
+	}
+}
+
+// AddOp adds an operator to the query. Adding a duplicate or empty name is
+// an error.
+func (q *LogicalQuery) AddOp(op *LogicalOp) error {
+	if op == nil || op.Name == "" {
+		return errors.New("spe: operator must have a name")
+	}
+	if _, dup := q.byName[op.Name]; dup {
+		return fmt.Errorf("spe: duplicate operator %q", op.Name)
+	}
+	if op.Parallelism <= 0 {
+		op.Parallelism = 1
+	}
+	if op.Kind == 0 {
+		op.Kind = KindTransform
+	}
+	q.ops = append(q.ops, op)
+	q.byName[op.Name] = op
+	return nil
+}
+
+// MustAddOp is AddOp for statically-known query definitions; it panics on
+// error (program-construction bug).
+func (q *LogicalQuery) MustAddOp(op *LogicalOp) *LogicalOp {
+	if err := q.AddOp(op); err != nil {
+		panic(err)
+	}
+	return op
+}
+
+// Connect adds a stream from operator `from` to operator `to`.
+func (q *LogicalQuery) Connect(from, to string) error {
+	if _, ok := q.byName[from]; !ok {
+		return fmt.Errorf("spe: unknown operator %q", from)
+	}
+	if _, ok := q.byName[to]; !ok {
+		return fmt.Errorf("spe: unknown operator %q", to)
+	}
+	for _, d := range q.edges[from] {
+		if d == to {
+			return fmt.Errorf("spe: duplicate edge %s->%s", from, to)
+		}
+	}
+	q.edges[from] = append(q.edges[from], to)
+	return nil
+}
+
+// MustConnect is Connect that panics on error.
+func (q *LogicalQuery) MustConnect(from, to string) {
+	if err := q.Connect(from, to); err != nil {
+		panic(err)
+	}
+}
+
+// Pipeline connects the named operators in a linear chain.
+func (q *LogicalQuery) Pipeline(names ...string) error {
+	for i := 0; i+1 < len(names); i++ {
+		if err := q.Connect(names[i], names[i+1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Ops returns the operators in insertion order.
+func (q *LogicalQuery) Ops() []*LogicalOp {
+	out := make([]*LogicalOp, len(q.ops))
+	copy(out, q.ops)
+	return out
+}
+
+// Op returns the operator with the given name, or nil.
+func (q *LogicalQuery) Op(name string) *LogicalOp { return q.byName[name] }
+
+// Downstream returns the downstream operator names of `from`.
+func (q *LogicalQuery) Downstream(from string) []string {
+	out := make([]string, len(q.edges[from]))
+	copy(out, q.edges[from])
+	return out
+}
+
+// Upstream returns the upstream operator names of `to`.
+func (q *LogicalQuery) Upstream(to string) []string {
+	var out []string
+	for _, op := range q.ops {
+		for _, d := range q.edges[op.Name] {
+			if d == to {
+				out = append(out, op.Name)
+			}
+		}
+	}
+	return out
+}
+
+// ExpectedEgressPerIngress returns the expected number of egress tuples
+// produced per ingress tuple, from the configured selectivities (averaged
+// over ingress operators). The harness uses it to convert measured egress
+// rates back into ingress-equivalent throughput.
+func (q *LogicalQuery) ExpectedEgressPerIngress() float64 {
+	memo := make(map[string]float64, len(q.ops))
+	var g func(name string, depth int) float64
+	g = func(name string, depth int) float64 {
+		if v, ok := memo[name]; ok {
+			return v
+		}
+		op := q.byName[name]
+		if op == nil || depth > len(q.ops)+1 {
+			return 0
+		}
+		var v float64
+		if op.Kind == KindEgress {
+			v = 1
+		} else {
+			for _, d := range q.edges[name] {
+				v += g(d, depth+1)
+			}
+			v *= op.Selectivity
+		}
+		memo[name] = v
+		return v
+	}
+	var sum float64
+	n := 0
+	for _, op := range q.ops {
+		if op.Kind == KindIngress {
+			sum += g(op.Name, 0)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Validate checks that the query is a well-formed DAG with at least one
+// ingress and one egress, no cycles, and kinds consistent with topology.
+func (q *LogicalQuery) Validate() error {
+	if len(q.ops) == 0 {
+		return errors.New("spe: query has no operators")
+	}
+	var nIngress, nEgress int
+	for _, op := range q.ops {
+		switch op.Kind {
+		case KindIngress:
+			nIngress++
+			if len(q.Upstream(op.Name)) != 0 {
+				return fmt.Errorf("spe: ingress %q has upstream operators", op.Name)
+			}
+		case KindEgress:
+			nEgress++
+			if len(q.edges[op.Name]) != 0 {
+				return fmt.Errorf("spe: egress %q has downstream operators", op.Name)
+			}
+		case KindTransform:
+			if op.Cost < 0 {
+				return fmt.Errorf("spe: operator %q has negative cost", op.Name)
+			}
+		}
+	}
+	if nIngress == 0 {
+		return errors.New("spe: query has no ingress operator")
+	}
+	if nEgress == 0 {
+		return errors.New("spe: query has no egress operator")
+	}
+	// Cycle check via Kahn's algorithm.
+	indeg := make(map[string]int, len(q.ops))
+	for _, op := range q.ops {
+		indeg[op.Name] = 0
+	}
+	for _, ds := range q.edges {
+		for _, d := range ds {
+			indeg[d]++
+		}
+	}
+	var ready []string
+	for _, op := range q.ops {
+		if indeg[op.Name] == 0 {
+			ready = append(ready, op.Name)
+		}
+	}
+	seen := 0
+	for len(ready) > 0 {
+		n := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		seen++
+		for _, d := range q.edges[n] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				ready = append(ready, d)
+			}
+		}
+	}
+	if seen != len(q.ops) {
+		return errors.New("spe: query DAG has a cycle")
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package spe
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"lachesis/internal/simos"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := newQueue("q", 0)
+	for i := 0; i < 100; i++ {
+		q.push(Tuple{Key: uint64(i)})
+	}
+	for i := 0; i < 100; i++ {
+		tp, ok := q.pop()
+		if !ok || tp.Key != uint64(i) {
+			t.Fatalf("pop %d = (%v,%v)", i, tp.Key, ok)
+		}
+	}
+	if _, ok := q.pop(); ok {
+		t.Error("empty queue pop should fail")
+	}
+}
+
+func TestQueueBounded(t *testing.T) {
+	q := newQueue("q", 3)
+	for i := 0; i < 3; i++ {
+		if q.full() {
+			t.Fatalf("full at %d", i)
+		}
+		q.push(Tuple{})
+	}
+	if !q.full() {
+		t.Error("queue should be full")
+	}
+	if _, ok := q.pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	if q.full() {
+		t.Error("queue should have space after pop")
+	}
+}
+
+func TestQueuePeek(t *testing.T) {
+	q := newQueue("q", 0)
+	if _, ok := q.peek(); ok {
+		t.Error("peek on empty should fail")
+	}
+	q.push(Tuple{Key: 7})
+	head, ok := q.peek()
+	if !ok || head.Key != 7 {
+		t.Errorf("peek = (%v,%v)", head.Key, ok)
+	}
+	if q.len() != 1 {
+		t.Error("peek must not consume")
+	}
+}
+
+// TestQuickQueueInvariants: for any random push/pop interleaving, the
+// queue preserves FIFO order, exact length accounting, and the high-water
+// mark; compaction never loses elements.
+func TestQuickQueueInvariants(t *testing.T) {
+	err := quick.Check(func(seed int64, opsCount uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := newQueue("q", 0)
+		var next, expect uint64
+		size := 0
+		maxSize := 0
+		for i := 0; i < int(opsCount%2000); i++ {
+			if rng.Float64() < 0.55 {
+				if q.full() {
+					continue
+				}
+				q.push(Tuple{Key: next})
+				next++
+				size++
+				if size > maxSize {
+					maxSize = size
+				}
+			} else {
+				tp, ok := q.pop()
+				if size == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || tp.Key != expect {
+					return false
+				}
+				expect++
+				size--
+			}
+			if q.len() != size {
+				return false
+			}
+		}
+		// Drain and verify the remaining order.
+		for size > 0 {
+			tp, ok := q.pop()
+			if !ok || tp.Key != expect {
+				return false
+			}
+			expect++
+			size--
+		}
+		return q.maxSeen == maxSize
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickChainMath: chainCost and chainSelectivity follow their closed
+// forms for random chains.
+func TestQuickChainMath(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		chain := make([]*LogicalOp, n)
+		for i := range chain {
+			chain[i] = &LogicalOp{
+				Name:        "op",
+				Cost:        time.Duration(rng.Intn(1000)) * time.Microsecond,
+				Selectivity: rng.Float64() * 2,
+			}
+		}
+		wantCost := 0.0
+		scale := 1.0
+		wantSel := 1.0
+		for _, op := range chain {
+			wantCost += scale * float64(op.Cost)
+			scale *= op.Selectivity
+			wantSel *= op.Selectivity
+		}
+		gotCost := float64(chainCost(chain))
+		gotSel := chainSelectivity(chain)
+		return abs(gotCost-wantCost) < 1 && abs(gotSel-wantSel) < 1e-9
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestTupleConservation: every ingested tuple is either still queued,
+// in flight, or accounted at the egress (selectivity 1 pipeline).
+func TestTupleConservation(t *testing.T) {
+	k := newTestKernel(t)
+	e := newEngine(t, k, Config{Name: "storm", Flavor: FlavorStorm})
+	q := pipelineQuery(t, "q", 300*time.Microsecond, 1.0)
+	d := deploy(t, e, q, NewRateSource(900, nil))
+	for _, horizon := range []time.Duration{500 * time.Millisecond, 2 * time.Second, 7 * time.Second} {
+		k.RunUntil(horizon)
+		var queued, inflight int64
+		for _, p := range d.Ops() {
+			if p.Kind() != KindIngress {
+				queued += int64(p.in.len())
+			}
+			if p.working {
+				inflight++
+			}
+			inflight += int64(len(p.pendingOut))
+		}
+		ingested := d.Ingested()
+		egressed := d.EgressCount()
+		if ingested != egressed+queued+inflight {
+			t.Fatalf("at %v: ingested %d != egressed %d + queued %d + inflight %d",
+				horizon, ingested, egressed, queued, inflight)
+		}
+	}
+}
+
+func newTestKernel(t *testing.T) *simos.Kernel {
+	t.Helper()
+	return simos.New(simos.Config{CPUs: 2})
+}

@@ -1,0 +1,122 @@
+package spe
+
+import (
+	"time"
+
+	"lachesis/internal/simos"
+)
+
+// Raw metric series names published by engine reporters. Series are
+// namespaced "<engine>.<operator>.<name>". Which names an engine publishes
+// depends on its flavor, mirroring the different metric surfaces of Storm,
+// Flink, and Liebre; the Lachesis metric provider derives whatever a policy
+// needs from the available subset (paper Fig. 4 and Algorithm 3).
+const (
+	// SeriesQueue is the operator input queue length (all flavors).
+	SeriesQueue = "queue"
+	// SeriesIn is the cumulative processed-tuple count (Storm, Liebre).
+	SeriesIn = "in"
+	// SeriesOut is the cumulative emitted-tuple count (Storm, Liebre).
+	SeriesOut = "out"
+	// SeriesExecMs is the mean per-tuple execute latency over the last
+	// period, in ms (Storm).
+	SeriesExecMs = "exec_ms"
+	// SeriesInRate is the input rate over the last period, tuples/s
+	// (Flink).
+	SeriesInRate = "in_rate"
+	// SeriesOutRate is the output rate over the last period, tuples/s
+	// (Flink).
+	SeriesOutRate = "out_rate"
+	// SeriesBusyMsPerS is busy CPU ms per wall second over the last period
+	// (Flink).
+	SeriesBusyMsPerS = "busy_ms_per_s"
+	// SeriesCostMs is the engine-reported average tuple cost in ms
+	// (Liebre).
+	SeriesCostMs = "cost_ms"
+	// SeriesSelectivity is the engine-reported selectivity (Liebre).
+	SeriesSelectivity = "selectivity"
+	// SeriesHeadMs is the age of the head tuple of the input queue in ms
+	// (Liebre).
+	SeriesHeadMs = "head_ms"
+)
+
+// reporter periodically publishes raw metrics for every operator of one
+// engine, consuming a small amount of simulated CPU like a real metrics
+// reporter would.
+type reporter struct {
+	engine     *Engine
+	sink       MetricSink
+	period     time.Duration
+	lastCounts map[string]reportCounts
+	lastAt     time.Duration
+}
+
+type reportCounts struct {
+	in, out int64
+	busy    time.Duration
+}
+
+const (
+	reportBaseCost  = 30 * time.Microsecond
+	reportPerOpCost = 3 * time.Microsecond
+)
+
+// run is the reporter thread body: publish, then sleep one period.
+func (r *reporter) run(ctx *simos.RunContext, granted time.Duration) simos.Decision {
+	now := ctx.Now()
+	cost := r.report(now)
+	if cost > granted {
+		cost = granted
+	}
+	return simos.Decision{Used: cost, Action: simos.ActionSleep, WakeAt: now + r.period}
+}
+
+// report publishes one sample per operator and returns the CPU cost.
+func (r *reporter) report(now time.Duration) time.Duration {
+	e := r.engine
+	ops := e.Ops()
+	elapsed := now - r.lastAt
+	for _, p := range ops {
+		prefix := e.cfg.Name + "." + p.name + "."
+		prev := r.lastCounts[p.name]
+		cur := reportCounts{in: p.stats.inCount, out: p.stats.outCount, busy: p.stats.busy}
+		r.lastCounts[p.name] = cur
+
+		// Ingress operators have no input queue in the engine's metric
+		// surface: the source backlog lives in the external system (Kafka
+		// consumer lag), which task metrics do not include.
+		queueLen := float64(p.QueueLen(now))
+		headMs := p.OldestWait(now).Seconds() * 1e3
+		if p.kind == KindIngress {
+			queueLen, headMs = 0, 0
+		}
+
+		switch e.cfg.Flavor {
+		case FlavorStorm:
+			r.sink.Record(now, prefix+SeriesQueue, queueLen)
+			r.sink.Record(now, prefix+SeriesIn, float64(cur.in))
+			r.sink.Record(now, prefix+SeriesOut, float64(cur.out))
+			if din := cur.in - prev.in; din > 0 {
+				dbusy := cur.busy - prev.busy
+				r.sink.Record(now, prefix+SeriesExecMs, dbusy.Seconds()*1e3/float64(din))
+			}
+		case FlavorFlink:
+			r.sink.Record(now, prefix+SeriesQueue, queueLen)
+			if elapsed > 0 {
+				r.sink.Record(now, prefix+SeriesInRate, float64(cur.in-prev.in)/elapsed.Seconds())
+				r.sink.Record(now, prefix+SeriesOutRate, float64(cur.out-prev.out)/elapsed.Seconds())
+				dbusy := cur.busy - prev.busy
+				r.sink.Record(now, prefix+SeriesBusyMsPerS, dbusy.Seconds()*1e3/elapsed.Seconds())
+			}
+		case FlavorLiebre:
+			r.sink.Record(now, prefix+SeriesQueue, queueLen)
+			r.sink.Record(now, prefix+SeriesIn, float64(cur.in))
+			r.sink.Record(now, prefix+SeriesOut, float64(cur.out))
+			r.sink.Record(now, prefix+SeriesCostMs, p.CostHint().Seconds()*1e3)
+			r.sink.Record(now, prefix+SeriesSelectivity, p.SelectivityHint())
+			r.sink.Record(now, prefix+SeriesHeadMs, headMs)
+		}
+	}
+	r.lastAt = now
+	return reportBaseCost + time.Duration(len(ops))*reportPerOpCost
+}

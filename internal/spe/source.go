@@ -1,0 +1,161 @@
+package spe
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Source models the external data source feeding a query's ingress
+// operators (the paper's Kafka producers replaying traces). Sources are
+// analytic: arrivals are a deterministic function of virtual time, so the
+// source consumes no simulated CPU on the node, like the paper's sources
+// running on a separate device. The unbounded source->ingress backlog is
+// what makes end-to-end latency explode past the saturation point (§6.1).
+type Source interface {
+	// Arrived returns how many tuples have been produced by time now.
+	Arrived(now time.Duration) int64
+	// ArrivalTime returns the production time of tuple i (0-based). It must
+	// be non-decreasing in i.
+	ArrivalTime(i int64) time.Duration
+	// Make builds tuple i. EventTime is set by the engine from ArrivalTime.
+	Make(i int64) Tuple
+}
+
+// TupleGen builds the payload of the i-th tuple of a RateSource.
+type TupleGen func(i int64) Tuple
+
+// RateSource produces tuples at a constant rate (tuples per second).
+type RateSource struct {
+	rate float64 // tuples per second
+	gen  TupleGen
+}
+
+var _ Source = (*RateSource)(nil)
+
+// NewRateSource creates a constant-rate source. gen may be nil, producing
+// zero-valued tuples with Key=i.
+func NewRateSource(tuplesPerSecond float64, gen TupleGen) *RateSource {
+	if tuplesPerSecond <= 0 {
+		tuplesPerSecond = 1
+	}
+	if gen == nil {
+		gen = func(i int64) Tuple { return Tuple{Key: uint64(i)} }
+	}
+	return &RateSource{rate: tuplesPerSecond, gen: gen}
+}
+
+// Rate returns the configured rate in tuples per second.
+func (s *RateSource) Rate() float64 { return s.rate }
+
+// Arrived implements Source.
+func (s *RateSource) Arrived(now time.Duration) int64 {
+	if now < 0 {
+		return 0
+	}
+	return int64(now.Seconds() * s.rate)
+}
+
+// ArrivalTime implements Source.
+func (s *RateSource) ArrivalTime(i int64) time.Duration {
+	t := time.Duration(float64(i+1) / s.rate * float64(time.Second))
+	// Guarantee Arrived(ArrivalTime(i)) > i despite float rounding, so a
+	// thread sleeping until this instant always finds the tuple.
+	for s.Arrived(t) <= i {
+		t++
+	}
+	return t
+}
+
+// Make implements Source.
+func (s *RateSource) Make(i int64) Tuple { return s.gen(i) }
+
+// TraceSource replays a recorded input trace: tuples with explicit
+// production timestamps, as the paper's data sources replay benchmark
+// traces (§6.1). Rate scaling compresses or stretches the trace timeline,
+// which is how experiments sweep input rates over a fixed trace. When the
+// trace is exhausted it loops, shifting timestamps by the trace duration.
+type TraceSource struct {
+	times  []time.Duration // ascending production times
+	tuples []Tuple
+	span   time.Duration // duration of one trace iteration
+}
+
+var _ Source = (*TraceSource)(nil)
+
+// NewTraceSource builds a trace source from parallel slices of timestamps
+// (ascending, relative to trace start) and tuples. speedup > 0 scales the
+// replay rate (2 = twice as fast). It returns an error for empty or
+// malformed traces.
+func NewTraceSource(times []time.Duration, tuples []Tuple, speedup float64) (*TraceSource, error) {
+	if len(times) == 0 || len(times) != len(tuples) {
+		return nil, errors.New("spe: trace needs equal, non-zero timestamps and tuples")
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			return nil, fmt.Errorf("spe: trace timestamps not ascending at %d", i)
+		}
+	}
+	if speedup <= 0 {
+		speedup = 1
+	}
+	// The span between loop iterations keeps the trace's mean inter-arrival
+	// gap after the last tuple.
+	span := times[len(times)-1]
+	if len(times) > 1 {
+		span += times[len(times)-1] / time.Duration(len(times)-1)
+	} else {
+		span += time.Second
+	}
+	ts := &TraceSource{
+		times:  make([]time.Duration, len(times)),
+		tuples: make([]Tuple, len(tuples)),
+		span:   time.Duration(float64(span) / speedup),
+	}
+	for i := range times {
+		ts.times[i] = time.Duration(float64(times[i]) / speedup)
+	}
+	copy(ts.tuples, tuples)
+	return ts, nil
+}
+
+// Arrived implements Source.
+func (s *TraceSource) Arrived(now time.Duration) int64 {
+	if now < 0 {
+		return 0
+	}
+	n := int64(len(s.times))
+	loops := int64(now / s.span)
+	rem := now % s.span
+	// Count tuples with time <= rem in one iteration (binary search).
+	lo, hi := 0, len(s.times)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.times[mid] <= rem {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return loops*n + int64(lo)
+}
+
+// ArrivalTime implements Source.
+func (s *TraceSource) ArrivalTime(i int64) time.Duration {
+	n := int64(len(s.times))
+	loop := i / n
+	idx := i % n
+	t := time.Duration(loop)*s.span + s.times[idx]
+	for s.Arrived(t) <= i {
+		t++
+	}
+	return t
+}
+
+// Make implements Source.
+func (s *TraceSource) Make(i int64) Tuple {
+	return s.tuples[i%int64(len(s.tuples))]
+}
+
+// Len returns the number of tuples in one trace iteration.
+func (s *TraceSource) Len() int { return len(s.tuples) }

@@ -1,0 +1,160 @@
+package spe
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRateSourceArrivals(t *testing.T) {
+	s := NewRateSource(1000, nil)
+	if got := s.Arrived(0); got != 0 {
+		t.Errorf("Arrived(0) = %d", got)
+	}
+	if got := s.Arrived(time.Second); got != 1000 {
+		t.Errorf("Arrived(1s) = %d, want 1000", got)
+	}
+	if got := s.Arrived(-time.Second); got != 0 {
+		t.Errorf("negative time should give 0, got %d", got)
+	}
+	if s.Rate() != 1000 {
+		t.Errorf("Rate = %v", s.Rate())
+	}
+	bad := NewRateSource(-5, nil)
+	if bad.Rate() != 1 {
+		t.Errorf("invalid rate should clamp to 1, got %v", bad.Rate())
+	}
+}
+
+// TestQuickRateSourceVisibility: for any rate and index, a tuple is always
+// visible at its own arrival time (the lost-wakeup guard).
+func TestQuickRateSourceVisibility(t *testing.T) {
+	err := quick.Check(func(rateSeed uint32, idx uint16) bool {
+		rate := 1 + float64(rateSeed%100000)/7
+		s := NewRateSource(rate, nil)
+		i := int64(idx)
+		at := s.ArrivalTime(i)
+		return s.Arrived(at) > i && (at <= 0 || s.Arrived(at-1) <= i+1)
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceSourceReplaysTimeline(t *testing.T) {
+	times := []time.Duration{0, 10 * time.Millisecond, 15 * time.Millisecond, 100 * time.Millisecond}
+	tuples := []Tuple{{Key: 1}, {Key: 2}, {Key: 3}, {Key: 4}}
+	ts, err := NewTraceSource(times, tuples, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Len() != 4 {
+		t.Errorf("Len = %d", ts.Len())
+	}
+	if got := ts.Arrived(12 * time.Millisecond); got != 2 {
+		t.Errorf("Arrived(12ms) = %d, want 2", got)
+	}
+	if got := ts.Arrived(100 * time.Millisecond); got != 4 {
+		t.Errorf("Arrived(100ms) = %d, want 4", got)
+	}
+	if got := ts.Make(1).Key; got != 2 {
+		t.Errorf("Make(1).Key = %d", got)
+	}
+	// Looping: tuple 5 is the second tuple of the second iteration.
+	if got := ts.Make(5).Key; got != 2 {
+		t.Errorf("Make(5).Key = %d (loop)", got)
+	}
+	if at := ts.ArrivalTime(4); at <= 100*time.Millisecond {
+		t.Errorf("second iteration must start after the first: %v", at)
+	}
+}
+
+func TestTraceSourceSpeedup(t *testing.T) {
+	times := []time.Duration{0, 100 * time.Millisecond}
+	tuples := []Tuple{{}, {}}
+	ts, err := NewTraceSource(times, tuples, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x speedup: the second tuple arrives at ~50ms.
+	at := ts.ArrivalTime(1)
+	if at < 45*time.Millisecond || at > 55*time.Millisecond {
+		t.Errorf("2x replay arrival = %v, want ~50ms", at)
+	}
+}
+
+func TestTraceSourceValidation(t *testing.T) {
+	if _, err := NewTraceSource(nil, nil, 1); err == nil {
+		t.Error("empty trace should fail")
+	}
+	if _, err := NewTraceSource([]time.Duration{0}, []Tuple{{}, {}}, 1); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if _, err := NewTraceSource(
+		[]time.Duration{time.Second, 0}, []Tuple{{}, {}}, 1); err == nil {
+		t.Error("non-ascending timestamps should fail")
+	}
+}
+
+// TestQuickTraceSourceConsistency: Arrived and ArrivalTime agree for any
+// generated trace.
+func TestQuickTraceSourceConsistency(t *testing.T) {
+	err := quick.Check(func(gaps []uint16, idx uint16) bool {
+		if len(gaps) == 0 {
+			return true
+		}
+		if len(gaps) > 200 {
+			gaps = gaps[:200]
+		}
+		times := make([]time.Duration, len(gaps))
+		tuples := make([]Tuple, len(gaps))
+		var acc time.Duration
+		for i, g := range gaps {
+			acc += time.Duration(g) * time.Microsecond
+			times[i] = acc
+		}
+		ts, err := NewTraceSource(times, tuples, 1)
+		if err != nil {
+			return false
+		}
+		i := int64(idx % 1000)
+		at := ts.ArrivalTime(i)
+		// Monotonicity + visibility.
+		if ts.Arrived(at) <= i {
+			return false
+		}
+		if i > 0 && ts.ArrivalTime(i-1) > at {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceSourceDrivesEngine(t *testing.T) {
+	// End-to-end: replay a bursty 50-tuple trace through a pipeline.
+	times := make([]time.Duration, 50)
+	tuples := make([]Tuple, 50)
+	for i := range times {
+		// Two bursts of 25 tuples at t=0ms and t=500ms.
+		times[i] = time.Duration(i/25) * 500 * time.Millisecond
+		tuples[i] = Tuple{Key: uint64(i)}
+	}
+	src, err := NewTraceSource(times, tuples, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := newTestKernel(t)
+	e := newEngine(t, k, Config{Name: "storm", Flavor: FlavorStorm})
+	d := deploy(t, e, pipelineQuery(t, "q", 100*time.Microsecond, 1.0), src)
+	k.RunUntil(2 * time.Second)
+	// Two full iterations (span ~520ms each): ~3.8 iterations in 2s.
+	if got := d.Ingested(); got < 150 || got > 200 {
+		t.Errorf("ingested %d, want ~190 across loop iterations", got)
+	}
+	if d.EgressCount() < 150 {
+		t.Errorf("egress %d", d.EgressCount())
+	}
+}

@@ -1,0 +1,101 @@
+package spe
+
+import (
+	"math/rand"
+	"time"
+)
+
+// reservoirCap bounds the memory of latency distributions; sampling is
+// uniform (Vitter's algorithm R) and deterministic per recorder.
+const reservoirCap = 16384
+
+// latencyRec records a latency distribution: exact count/sum plus a uniform
+// reservoir sample for quantiles.
+type latencyRec struct {
+	count     int64
+	sum       time.Duration
+	reservoir []time.Duration
+	rng       *rand.Rand
+}
+
+func newLatencyRec(seed int64) *latencyRec {
+	return &latencyRec{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (r *latencyRec) record(d time.Duration) {
+	r.count++
+	r.sum += d
+	if len(r.reservoir) < reservoirCap {
+		r.reservoir = append(r.reservoir, d)
+		return
+	}
+	if j := r.rng.Int63n(r.count); j < reservoirCap {
+		r.reservoir[j] = d
+	}
+}
+
+func (r *latencyRec) reset() {
+	r.count = 0
+	r.sum = 0
+	r.reservoir = r.reservoir[:0]
+}
+
+func (r *latencyRec) mean() time.Duration {
+	if r.count == 0 {
+		return 0
+	}
+	return r.sum / time.Duration(r.count)
+}
+
+// samples returns a copy of the reservoir in seconds, for quantile
+// computation by the harness.
+func (r *latencyRec) samples() []float64 {
+	out := make([]float64, len(r.reservoir))
+	for i, d := range r.reservoir {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+// opStats aggregates one physical operator's runtime counters. Counters are
+// monotonic; latency recorders can be reset at the warmup boundary.
+type opStats struct {
+	inCount     int64 // input tuples fully processed
+	outCount    int64 // tuples emitted downstream
+	ingested    int64 // tuples pulled from the external source (ingress)
+	egressCount int64 // tuples delivered at the egress
+	busy        time.Duration
+	blockEvents int64
+	blockTime   time.Duration
+
+	proc *latencyRec // processing latency (egress only)
+	e2e  *latencyRec // end-to-end latency (egress only)
+}
+
+// OpSnapshot is the public, SPE-agnostic view of one physical operator's
+// state, as exposed through the engine's monitoring API (the paper's
+// assumption in §3: SPEs expose quantitative information via public APIs).
+type OpSnapshot struct {
+	Name        string
+	Query       string
+	Logical     []string
+	Replica     int
+	Kind        OpKind
+	Thread      int // kernel thread ID; 0 in worker-pool mode
+	QueueLen    int
+	OldestWait  time.Duration // age of the head tuple in the input queue
+	InCount     int64
+	OutCount    int64
+	Ingested    int64
+	EgressCount int64
+	Busy        time.Duration
+	BlockEvents int64
+	BlockTime   time.Duration
+	// CostHint and SelectivityHint are the configured averages (what an
+	// engine like Liebre reports directly).
+	CostHint        time.Duration
+	SelectivityHint float64
+	MeanProcLatency time.Duration
+	MeanE2ELatency  time.Duration
+	Downstream      []string
+}

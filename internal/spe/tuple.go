@@ -1,0 +1,89 @@
+// Package spe implements a one-at-a-time Stream Processing Engine running
+// on the simulated node of internal/simos. It is the substrate replacing
+// Apache Storm, Apache Flink, and Liebre in the Lachesis paper: queries are
+// DAGs of operators with per-tuple cost and selectivity, each physical
+// operator executes on a dedicated kernel thread (or on a user-level
+// scheduler's worker pool, see internal/ulss), and engine "flavors"
+// reproduce the queueing discipline and metric surface of each real SPE.
+package spe
+
+import "time"
+
+// Tuple is one stream element. Times are virtual times of the simulated
+// node.
+type Tuple struct {
+	// EventTime is when the data source produced the tuple (basis of
+	// end-to-end latency).
+	EventTime time.Duration
+	// IngressTime is when the ingress operator ingested the tuple (basis of
+	// processing latency).
+	IngressTime time.Duration
+	// Key partitions tuples across fission replicas of key-by operators.
+	Key uint64
+	// Value is a small numeric payload.
+	Value float64
+	// Payload optionally carries workload-specific data (e.g. call detail
+	// records for VoipStream).
+	Payload interface{}
+}
+
+// queue is an operator input queue (a mailbox merging all upstream
+// streams). capacity 0 means unbounded (Storm-like); bounded queues give
+// Flink-like backpressure.
+type queue struct {
+	name     string
+	capacity int
+	buf      []Tuple
+	head     int
+
+	pushed int64
+	popped int64
+
+	// maxSeen tracks the high-water mark since the last stats reset.
+	maxSeen int
+}
+
+func newQueue(name string, capacity int) *queue {
+	return &queue{name: name, capacity: capacity}
+}
+
+func (q *queue) len() int { return len(q.buf) - q.head }
+
+func (q *queue) full() bool {
+	return q.capacity > 0 && q.len() >= q.capacity
+}
+
+// push appends t; the caller must have checked full().
+func (q *queue) push(t Tuple) {
+	q.buf = append(q.buf, t)
+	q.pushed++
+	if n := q.len(); n > q.maxSeen {
+		q.maxSeen = n
+	}
+}
+
+// pop removes and returns the head tuple; ok is false when empty.
+func (q *queue) pop() (Tuple, bool) {
+	if q.len() == 0 {
+		return Tuple{}, false
+	}
+	t := q.buf[q.head]
+	q.buf[q.head] = Tuple{} // release payload references
+	q.head++
+	q.popped++
+	// Compact once the dead prefix dominates, to bound memory.
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return t, true
+}
+
+// peek returns the head tuple without removing it.
+func (q *queue) peek() (Tuple, bool) {
+	if q.len() == 0 {
+		return Tuple{}, false
+	}
+	return q.buf[q.head], true
+}

@@ -1,0 +1,226 @@
+// Package stats provides the statistical summaries used by the experiment
+// harness: means with confidence intervals, quantiles, letter-value (boxen)
+// summaries, and simple histograms.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by summaries that require at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 if len < 2).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// CI95 returns the half-width of the 95% confidence interval for the mean of
+// xs, using the normal approximation (t-quantiles for small n are
+// approximated by a lookup table).
+func CI95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	return tQuantile975(n-1) * StdDev(xs) / math.Sqrt(float64(n))
+}
+
+// tQuantile975 returns the 0.975 quantile of Student's t distribution with
+// df degrees of freedom, from a small table falling back to the normal
+// quantile for large df.
+func tQuantile975(df int) float64 {
+	table := []float64{
+		0,                                                             // df=0 unused
+		12.706,                                                        // 1
+		4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, // 2..10
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, // 11..20
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042, // 21..30
+	}
+	if df <= 0 {
+		return 0
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.96
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It returns an error for empty
+// input.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q), nil
+}
+
+// quantileSorted computes the q-quantile of an already-sorted slice.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary holds the common aggregate statistics for one metric series.
+type Summary struct {
+	N      int
+	Mean   float64
+	CI95   float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P99    float64
+	P999   float64
+	StdDev float64
+}
+
+// Summarize computes a Summary over xs. It returns ErrEmpty for no samples.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		CI95:   CI95(xs),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P50:    quantileSorted(sorted, 0.5),
+		P99:    quantileSorted(sorted, 0.99),
+		P999:   quantileSorted(sorted, 0.999),
+		StdDev: StdDev(xs),
+	}, nil
+}
+
+// LetterValue is one letter-value pair of a boxen plot: the quantile depth
+// (F=0.25, E=0.125, ...) and the lower/upper values at that depth.
+type LetterValue struct {
+	// Label is the conventional letter (M, F, E, D, ...).
+	Label string
+	// Depth is the tail probability captured outside this pair (0.25 for F).
+	Depth float64
+	Lower float64
+	Upper float64
+}
+
+// LetterValues computes the letter-value summary used by boxen plots
+// (Hofmann, Wickham, Kafadar 2017): the median plus successive quantile
+// pairs each containing half the remaining tail, stopping when fewer than
+// minTail samples remain in a tail (the paper's plots adapt LV count to data
+// size the same way). It returns ErrEmpty for no samples.
+func LetterValues(xs []float64, minTail int) ([]LetterValue, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	if minTail < 1 {
+		minTail = 1
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	labels := []string{"M", "F", "E", "D", "C", "B", "A", "Z", "Y", "X"}
+	median := quantileSorted(sorted, 0.5)
+	lvs := []LetterValue{{Label: "M", Depth: 0.5, Lower: median, Upper: median}}
+	depth := 0.25
+	for i := 1; i < len(labels); i++ {
+		if float64(len(sorted))*depth < float64(minTail) {
+			break
+		}
+		lvs = append(lvs, LetterValue{
+			Label: labels[i],
+			Depth: depth,
+			Lower: quantileSorted(sorted, depth),
+			Upper: quantileSorted(sorted, 1-depth),
+		})
+		depth /= 2
+	}
+	return lvs, nil
+}
+
+// HistogramBin is one bin of a fixed-width histogram.
+type HistogramBin struct {
+	Low   float64
+	High  float64
+	Count int
+}
+
+// Histogram builds a fixed-width histogram with bins buckets over the range
+// of xs. It returns ErrEmpty for no samples and a single bin when all values
+// are equal.
+func Histogram(xs []float64, bins int) ([]HistogramBin, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	if bins < 1 {
+		bins = 1
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if lo == hi {
+		return []HistogramBin{{Low: lo, High: hi, Count: len(xs)}}, nil
+	}
+	width := (hi - lo) / float64(bins)
+	out := make([]HistogramBin, bins)
+	for i := range out {
+		out[i] = HistogramBin{Low: lo + float64(i)*width, High: lo + float64(i+1)*width}
+	}
+	for _, x := range xs {
+		idx := int((x - lo) / width)
+		if idx >= bins {
+			idx = bins - 1
+		}
+		out[idx].Count++
+	}
+	return out, nil
+}

@@ -1,0 +1,205 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if got := StdDev(xs); math.Abs(got-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("StdDev = %v", got)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Error("empty inputs should give 0")
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Error("single sample variance should be 0")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	if CI95([]float64{5}) != 0 {
+		t.Error("CI95 of one sample should be 0")
+	}
+	// Two samples {4, 6}: sd = sqrt(2), t(1) = 12.706.
+	got := CI95([]float64{4, 6})
+	want := 12.706 * math.Sqrt2 / math.Sqrt2
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("CI95 = %v, want %v", got, want)
+	}
+	// Large n approaches the normal quantile.
+	xs := make([]float64, 1000)
+	rng := rand.New(rand.NewSource(1))
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	ci := CI95(xs)
+	if ci < 0.04 || ci > 0.09 {
+		t.Errorf("CI95 of 1000 N(0,1) samples = %v, want ~0.062", ci)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {-1, 1}, {2, 5},
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Error("empty quantile should be ErrEmpty")
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	got, err := Quantile([]float64{0, 10}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Errorf("median of {0,10} = %v, want 5", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 || s.Min != 1 || s.Max != 3 || s.P50 != 2 {
+		t.Errorf("summary = %+v", s)
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("empty summarize should be ErrEmpty")
+	}
+}
+
+func TestLetterValues(t *testing.T) {
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	lvs, err := LetterValues(xs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvs[0].Label != "M" {
+		t.Fatalf("first LV must be the median, got %q", lvs[0].Label)
+	}
+	if math.Abs(lvs[0].Lower-511.5) > 1e-9 {
+		t.Errorf("median = %v, want 511.5", lvs[0].Lower)
+	}
+	// 1024 samples, minTail 8: depths 1/4 .. 1/128 => F..A = 6 more LVs.
+	if len(lvs) != 7 {
+		t.Errorf("letter value count = %d, want 7", len(lvs))
+	}
+	for i := 1; i < len(lvs); i++ {
+		if lvs[i].Lower > lvs[i].Upper {
+			t.Errorf("LV %s inverted", lvs[i].Label)
+		}
+		if lvs[i].Lower > lvs[i-1].Lower+1e-9 || lvs[i].Upper < lvs[i-1].Upper-1e-9 {
+			t.Errorf("LV %s not nested in %s", lvs[i].Label, lvs[i-1].Label)
+		}
+	}
+	if _, err := LetterValues(nil, 4); !errors.Is(err, ErrEmpty) {
+		t.Error("empty letter values should be ErrEmpty")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	bins, err := Histogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 5 {
+		t.Fatalf("bins = %d, want 5", len(bins))
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != 10 {
+		t.Errorf("histogram total = %d, want 10", total)
+	}
+	one, err := Histogram([]float64{7, 7, 7}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0].Count != 3 {
+		t.Errorf("degenerate histogram = %v", one)
+	}
+}
+
+func TestQuickQuantileMonotone(t *testing.T) {
+	// Property: quantile is monotone in q and bounded by min/max.
+	err := quick.Check(func(raw []float64, q1, q2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		q1 = math.Abs(math.Mod(q1, 1))
+		q2 = math.Abs(math.Mod(q2, 1))
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		a, err := Quantile(raw, q1)
+		if err != nil {
+			return false
+		}
+		b, err := Quantile(raw, q2)
+		if err != nil {
+			return false
+		}
+		sorted := append([]float64(nil), raw...)
+		sort.Float64s(sorted)
+		return a <= b && a >= sorted[0] && b <= sorted[len(sorted)-1]
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMeanWithinBounds(t *testing.T) {
+	err := quick.Check(func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		min, max := raw[0], raw[0]
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+		m := Mean(raw)
+		return m >= min-1e-6 && m <= max+1e-6
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

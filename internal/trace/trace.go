@@ -1,0 +1,157 @@
+// Package trace records and replays input traces as CSV files, making
+// experiment inputs durable artifacts: the paper's data sources replay
+// benchmark traces (Linear Road event files, VoipStream CDR logs, the
+// EdgeWise sensor dataset), and this package provides the equivalent
+// capture/replay loop for the simulated sources.
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"lachesis/internal/spe"
+)
+
+// Record is one trace row: a production timestamp plus the tuple fields.
+type Record struct {
+	At    time.Duration
+	Key   uint64
+	Value float64
+}
+
+// Trace is an ordered sequence of records.
+type Trace struct {
+	records []Record
+}
+
+// ErrEmptyTrace reports a trace without records.
+var ErrEmptyTrace = errors.New("trace: empty trace")
+
+// New builds a trace from records, validating timestamp order.
+func New(records []Record) (*Trace, error) {
+	if len(records) == 0 {
+		return nil, ErrEmptyTrace
+	}
+	for i := 1; i < len(records); i++ {
+		if records[i].At < records[i-1].At {
+			return nil, fmt.Errorf("trace: timestamps not ascending at row %d", i)
+		}
+	}
+	tr := &Trace{records: make([]Record, len(records))}
+	copy(tr.records, records)
+	return tr, nil
+}
+
+// Capture samples n tuples from a source, recording their production
+// times — how a live feed is turned into a replayable artifact.
+func Capture(src spe.Source, n int) (*Trace, error) {
+	if n <= 0 {
+		return nil, errors.New("trace: capture needs n > 0")
+	}
+	records := make([]Record, n)
+	for i := 0; i < n; i++ {
+		tup := src.Make(int64(i))
+		records[i] = Record{
+			At:    src.ArrivalTime(int64(i)),
+			Key:   tup.Key,
+			Value: tup.Value,
+		}
+	}
+	return New(records)
+}
+
+// Len returns the number of records.
+func (t *Trace) Len() int { return len(t.records) }
+
+// Duration returns the time span of the trace.
+func (t *Trace) Duration() time.Duration {
+	return t.records[len(t.records)-1].At - t.records[0].At
+}
+
+// Records returns a copy of the trace rows.
+func (t *Trace) Records() []Record {
+	out := make([]Record, len(t.records))
+	copy(out, t.records)
+	return out
+}
+
+// Source builds a replaying spe.Source from the trace. speedup scales the
+// replay rate; the trace loops when exhausted, like the paper's sources
+// replaying finite inputs over long runs.
+func (t *Trace) Source(speedup float64) (spe.Source, error) {
+	base := t.records[0].At
+	times := make([]time.Duration, len(t.records))
+	tuples := make([]spe.Tuple, len(t.records))
+	for i, r := range t.records {
+		times[i] = r.At - base
+		tuples[i] = spe.Tuple{Key: r.Key, Value: r.Value}
+	}
+	return spe.NewTraceSource(times, tuples, speedup)
+}
+
+// csvHeader is the first row of the on-disk format.
+var csvHeader = []string{"at_us", "key", "value"}
+
+// Write serializes the trace as CSV.
+func (t *Trace) Write(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	row := make([]string, 3)
+	for _, r := range t.records {
+		row[0] = strconv.FormatInt(r.At.Microseconds(), 10)
+		row[1] = strconv.FormatUint(r.Key, 10)
+		row[2] = strconv.FormatFloat(r.Value, 'g', -1, 64)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Read parses a CSV trace.
+func Read(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if header[0] != csvHeader[0] || header[1] != csvHeader[1] || header[2] != csvHeader[2] {
+		return nil, fmt.Errorf("trace: unexpected header %v", header)
+	}
+	var records []Record
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: read line %d: %w", line, err)
+		}
+		atUs, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d at_us: %w", line, err)
+		}
+		key, err := strconv.ParseUint(row[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d key: %w", line, err)
+		}
+		val, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d value: %w", line, err)
+		}
+		records = append(records, Record{
+			At:    time.Duration(atUs) * time.Microsecond,
+			Key:   key,
+			Value: val,
+		})
+	}
+	return New(records)
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"lachesis/internal/simos"
+	"lachesis/internal/spe"
+	"lachesis/internal/workloads"
+)
+
+func sample() []Record {
+	return []Record{
+		{At: 0, Key: 1, Value: 1.5},
+		{At: 10 * time.Millisecond, Key: 2, Value: -3},
+		{At: 10 * time.Millisecond, Key: 3, Value: 0.25},
+		{At: 50 * time.Millisecond, Key: 4, Value: 1e9},
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(nil); !errors.Is(err, ErrEmptyTrace) {
+		t.Error("empty trace should be ErrEmptyTrace")
+	}
+	bad := sample()
+	bad[2].At = time.Millisecond
+	if _, err := New(bad); err == nil {
+		t.Error("unordered trace should fail")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr, err := New(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("len = %d, want %d", back.Len(), tr.Len())
+	}
+	got := back.Records()
+	for i, want := range tr.Records() {
+		if got[i] != want {
+			t.Errorf("row %d = %+v, want %+v", i, got[i], want)
+		}
+	}
+	if back.Duration() != 50*time.Millisecond {
+		t.Errorf("duration = %v", back.Duration())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bad,header,row\n1,2,3\n",
+		"at_us,key,value\nx,2,3\n",
+		"at_us,key,value\n1,x,3\n",
+		"at_us,key,value\n1,2,x\n",
+		"at_us,key,value\n1,2\n",
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestCaptureFromWorkloadSource(t *testing.T) {
+	src := workloads.LRSource(1000, 7)
+	tr, err := Capture(src, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	// ~500 tuples at 1000/s span ~0.5s.
+	if d := tr.Duration(); d < 450*time.Millisecond || d > 550*time.Millisecond {
+		t.Errorf("duration = %v, want ~0.5s", d)
+	}
+	if _, err := Capture(src, 0); err == nil {
+		t.Error("capture of 0 should fail")
+	}
+}
+
+func TestReplayDrivesEngine(t *testing.T) {
+	// Capture a VS trace, persist it, reload it, and replay it through the
+	// engine at 2x speed.
+	tr, err := Capture(workloads.VSSource(500, 3), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := loaded.Source(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k := simos.New(simos.Config{CPUs: 2})
+	e, err := spe.New(k, spe.Config{Name: "storm", Flavor: spe.FlavorStorm, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := spe.NewQuery("q")
+	q.MustAddOp(&spe.LogicalOp{Name: "src", Kind: spe.KindIngress, Cost: 10 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "sink", Kind: spe.KindEgress, Cost: 10 * time.Microsecond})
+	if err := q.Pipeline("src", "sink"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := e.Deploy(q, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(3 * time.Second)
+	// 1000 tuples captured at 500/s = 2s of trace; replayed at 2x = 1s per
+	// iteration; 3 virtual seconds = ~3000 tuples.
+	if got := d.Ingested(); got < 2800 || got > 3200 {
+		t.Errorf("replayed %d tuples, want ~3000", got)
+	}
+}

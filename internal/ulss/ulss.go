@@ -1,0 +1,173 @@
+// Package ulss implements the user-level streaming schedulers (UL-SS) the
+// paper compares against: EdgeWise [18] and Haren [43]. Both run operators
+// as user-level tasks over a fixed worker pool (spe.ModeWorkerPool),
+// reading fresh in-engine state at every decision — their advantage over
+// Lachesis' one-second, Graphite-bound metrics — while suffering the UL-SS
+// drawbacks the paper highlights: blocking operations stall whole workers
+// (§6.4) and the scheduler is tightly coupled to one engine.
+package ulss
+
+import (
+	"math"
+	"time"
+
+	"lachesis/internal/spe"
+)
+
+// EdgeWise is the EdgeWise scheduler: a fixed Queue-Size policy where each
+// free worker runs the ready operator with the most pending input tuples.
+type EdgeWise struct {
+	ops []*spe.PhysicalOp
+}
+
+var _ spe.TaskScheduler = (*EdgeWise)(nil)
+
+// NewEdgeWise returns an EdgeWise scheduler.
+func NewEdgeWise() *EdgeWise { return &EdgeWise{} }
+
+// Register implements spe.TaskScheduler.
+func (e *EdgeWise) Register(ops []*spe.PhysicalOp) { e.ops = append(e.ops, ops...) }
+
+// Next implements spe.TaskScheduler: argmax of input queue length.
+func (e *EdgeWise) Next(now time.Duration, canRun func(*spe.PhysicalOp) bool) *spe.PhysicalOp {
+	var best *spe.PhysicalOp
+	bestLen := -1
+	for _, op := range e.ops {
+		if !canRun(op) {
+			continue
+		}
+		if l := op.QueueLen(now); l > bestLen {
+			best, bestLen = op, l
+		}
+	}
+	return best
+}
+
+// TaskDone implements spe.TaskScheduler.
+func (e *EdgeWise) TaskDone(*spe.PhysicalOp, time.Duration) {}
+
+// Policy ranks operators for Haren. Priorities are recomputed at Haren's
+// refresh period from fresh engine state.
+type Policy interface {
+	Name() string
+	// Priority returns the operator's priority (higher runs first).
+	Priority(op *spe.PhysicalOp, now time.Duration) float64
+}
+
+// QS is Haren's queue-size policy.
+type QS struct{}
+
+// Name implements Policy.
+func (QS) Name() string { return "qs" }
+
+// Priority implements Policy.
+func (QS) Priority(op *spe.PhysicalOp, now time.Duration) float64 {
+	return float64(op.QueueLen(now))
+}
+
+// FCFS is Haren's first-come-first-serve policy: oldest head tuple first.
+type FCFS struct{}
+
+// Name implements Policy.
+func (FCFS) Name() string { return "fcfs" }
+
+// Priority implements Policy.
+func (FCFS) Priority(op *spe.PhysicalOp, now time.Duration) float64 {
+	return op.OldestWait(now).Seconds()
+}
+
+// HR is Haren's highest-rate policy: best downstream path output rate,
+// computed from the engine's cost/selectivity knowledge.
+type HR struct{}
+
+// Name implements Policy.
+func (HR) Name() string { return "hr" }
+
+// Priority implements Policy.
+func (HR) Priority(op *spe.PhysicalOp, _ time.Duration) float64 {
+	sel, cost := hrPath(op, 0)
+	if cost <= 0 {
+		cost = 1e-9
+	}
+	// Log-spaced priorities; Haren ranks ordinally so the scale is free.
+	return math.Log(math.Max(sel/cost, 1e-12))
+}
+
+func hrPath(op *spe.PhysicalOp, depth int) (float64, float64) {
+	cost := math.Max(op.CostHint().Seconds(), 1e-9)
+	sel := math.Max(op.SelectivityHint(), 1e-9)
+	ds := op.DownstreamOps()
+	if len(ds) == 0 || depth > 100 {
+		return sel, cost
+	}
+	bestRate := math.Inf(-1)
+	bestSel, bestCost := sel, cost
+	for _, d := range ds {
+		dSel, dCost := hrPath(d, depth+1)
+		pSel, pCost := sel*dSel, cost+dCost
+		if r := pSel / pCost; r > bestRate {
+			bestRate, bestSel, bestCost = r, pSel, pCost
+		}
+	}
+	return bestSel, bestCost
+}
+
+// Haren is the Haren scheduler: a pluggable policy whose priorities are
+// refreshed every Period; between refreshes workers pick the
+// highest-cached-priority ready operator. The paper's Fig. 15 varies this
+// period (50ms default vs Lachesis-like 1s).
+type Haren struct {
+	policy  Policy
+	period  time.Duration
+	ops     []*spe.PhysicalOp
+	prios   map[*spe.PhysicalOp]float64
+	nextRef time.Duration
+}
+
+var _ spe.TaskScheduler = (*Haren)(nil)
+
+// NewHaren returns a Haren scheduler with the given policy and refresh
+// period (<=0 selects the 50ms of the original evaluation).
+func NewHaren(policy Policy, period time.Duration) *Haren {
+	if period <= 0 {
+		period = 50 * time.Millisecond
+	}
+	return &Haren{
+		policy: policy,
+		period: period,
+		prios:  make(map[*spe.PhysicalOp]float64),
+	}
+}
+
+// PolicyName returns the configured policy's name.
+func (h *Haren) PolicyName() string { return h.policy.Name() }
+
+// Register implements spe.TaskScheduler.
+func (h *Haren) Register(ops []*spe.PhysicalOp) {
+	h.ops = append(h.ops, ops...)
+	h.nextRef = 0 // force refresh
+}
+
+// Next implements spe.TaskScheduler.
+func (h *Haren) Next(now time.Duration, canRun func(*spe.PhysicalOp) bool) *spe.PhysicalOp {
+	if now >= h.nextRef {
+		for _, op := range h.ops {
+			h.prios[op] = h.policy.Priority(op, now)
+		}
+		h.nextRef = now + h.period
+	}
+	var best *spe.PhysicalOp
+	bestPrio := math.Inf(-1)
+	for _, op := range h.ops {
+		if !canRun(op) {
+			continue
+		}
+		if p := h.prios[op]; p > bestPrio {
+			best, bestPrio = op, p
+		}
+	}
+	return best
+}
+
+// TaskDone implements spe.TaskScheduler.
+func (h *Haren) TaskDone(*spe.PhysicalOp, time.Duration) {}

@@ -1,0 +1,200 @@
+package ulss
+
+import (
+	"testing"
+	"time"
+
+	"lachesis/internal/simos"
+	"lachesis/internal/spe"
+)
+
+// deployPool builds a Liebre-flavor engine in worker-pool mode with the
+// given scheduler and a simple pipeline.
+func deployPool(t *testing.T, sched spe.TaskScheduler, rate float64, cost time.Duration) (*simos.Kernel, *spe.Deployment) {
+	t.Helper()
+	k := simos.New(simos.Config{CPUs: 2})
+	e, err := spe.New(k, spe.Config{
+		Name: "liebre", Flavor: spe.FlavorLiebre,
+		Mode: spe.ModeWorkerPool, Scheduler: sched, Workers: 2, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := spe.NewQuery("q")
+	q.MustAddOp(&spe.LogicalOp{Name: "src", Kind: spe.KindIngress, Cost: 10 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "a", Cost: cost, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "b", Cost: cost, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "sink", Kind: spe.KindEgress, Cost: 10 * time.Microsecond})
+	if err := q.Pipeline("src", "a", "b", "sink"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := e.Deploy(q, spe.NewRateSource(rate, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, d
+}
+
+func TestEdgeWiseProcessesPipeline(t *testing.T) {
+	k, d := deployPool(t, NewEdgeWise(), 800, 200*time.Microsecond)
+	k.RunUntil(10 * time.Second)
+	if got := d.EgressCount(); got < 7600 {
+		t.Errorf("EdgeWise egress = %d, want ~8000", got)
+	}
+	if lat := d.Latencies(); lat.MeanProc > 50*time.Millisecond {
+		t.Errorf("EdgeWise latency %v too high for underload", lat.MeanProc)
+	}
+}
+
+func TestHarenProcessesPipelineWithEachPolicy(t *testing.T) {
+	for _, pol := range []Policy{QS{}, FCFS{}, HR{}} {
+		t.Run(pol.Name(), func(t *testing.T) {
+			k, d := deployPool(t, NewHaren(pol, 50*time.Millisecond), 800, 200*time.Microsecond)
+			k.RunUntil(10 * time.Second)
+			if got := d.EgressCount(); got < 7600 {
+				t.Errorf("Haren/%s egress = %d, want ~8000", pol.Name(), got)
+			}
+		})
+	}
+}
+
+func TestEdgeWisePicksLongestQueue(t *testing.T) {
+	// Ingress operators run on their own threads (as Storm spouts under
+	// EdgeWise); the scheduler ranks the pooled bolts by queue length.
+	e := NewEdgeWise()
+	k := simos.New(simos.Config{CPUs: 2})
+	eng, err := spe.New(k, spe.Config{
+		Name: "x", Flavor: spe.FlavorLiebre,
+		Mode: spe.ModeWorkerPool, Scheduler: e, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := spe.NewQuery("q")
+	q.MustAddOp(&spe.LogicalOp{Name: "src", Kind: spe.KindIngress, Cost: time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "slow", Cost: 5 * time.Millisecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "tail", Cost: 10 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "sink", Kind: spe.KindEgress, Cost: time.Microsecond})
+	if err := q.Pipeline("src", "slow", "tail", "sink"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := eng.Deploy(q, spe.NewRateSource(1000, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slow bolt saturates: its queue dominates.
+	k.RunUntil(500 * time.Millisecond)
+	pick := e.Next(k.Now(), func(*spe.PhysicalOp) bool { return true })
+	if pick == nil || pick.Name() != "q.slow.0" {
+		t.Errorf("EdgeWise should pick the backlogged bolt, got %v", pick)
+	}
+	// Ingress is not in the scheduler's task set.
+	for _, op := range e.ops {
+		if op.Kind() == spe.KindIngress {
+			t.Errorf("ingress %s must not be pool-scheduled", op.Name())
+		}
+	}
+	if d.Ingested() == 0 {
+		t.Error("threaded ingress should keep ingesting")
+	}
+}
+
+func TestHarenRefreshPeriodCaching(t *testing.T) {
+	// Between refreshes Haren uses cached priorities: a queue growing
+	// after the refresh must not change the pick until the period ends.
+	h := NewHaren(QS{}, time.Second)
+	k := simos.New(simos.Config{CPUs: 1})
+	eng, err := spe.New(k, spe.Config{
+		Name: "x", Flavor: spe.FlavorLiebre,
+		Mode: spe.ModeWorkerPool, Scheduler: h, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, cost time.Duration) *spe.LogicalQuery {
+		q := spe.NewQuery(name)
+		q.MustAddOp(&spe.LogicalOp{Name: "src", Kind: spe.KindIngress, Cost: time.Microsecond, Selectivity: 1})
+		q.MustAddOp(&spe.LogicalOp{Name: "work", Cost: cost, Selectivity: 1})
+		q.MustAddOp(&spe.LogicalOp{Name: "sink", Kind: spe.KindEgress, Cost: time.Microsecond})
+		if err := q.Pipeline("src", "work", "sink"); err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	// q1 is light; q2's bolt is overloaded, so its queue dominates once
+	// the ingress threads have run.
+	if _, err := eng.Deploy(mk("q1", 10*time.Microsecond), spe.NewRateSource(10, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Deploy(mk("q2", 10*time.Millisecond), spe.NewRateSource(1000, nil)); err != nil {
+		t.Fatal(err)
+	}
+	all := func(*spe.PhysicalOp) bool { return true }
+	// Refresh at t=0: all bolt queues are empty, priorities cached flat.
+	first := h.Next(0, all)
+	if first == nil {
+		t.Fatal("Haren should pick some bolt")
+	}
+	// Let queues diverge while the cache is stale.
+	k.RunUntil(500 * time.Millisecond)
+	cached := h.Next(600*time.Millisecond, all)
+	if cached != first {
+		t.Errorf("within the refresh period the pick must come from cached priorities")
+	}
+	// After the period, the refresh sees q2's backlog.
+	refreshed := h.Next(1200*time.Millisecond, all)
+	if refreshed == nil || refreshed.Deployment().Query.Name != "q2" {
+		t.Errorf("after refresh Haren should pick q2's backlogged bolt, got %v", refreshed)
+	}
+}
+
+func TestHRPolicyRanksCheapPathsHigher(t *testing.T) {
+	k := simos.New(simos.Config{CPUs: 1})
+	eng, err := spe.New(k, spe.Config{Name: "x", Flavor: spe.FlavorLiebre, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := spe.NewQuery("q")
+	q.MustAddOp(&spe.LogicalOp{Name: "src", Kind: spe.KindIngress, Cost: time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "cheap", Cost: 10 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "dear", Cost: 10 * time.Millisecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "s1", Kind: spe.KindEgress, Cost: time.Microsecond})
+	q.MustAddOp(&spe.LogicalOp{Name: "s2", Kind: spe.KindEgress, Cost: time.Microsecond})
+	q.MustConnect("src", "cheap")
+	q.MustConnect("src", "dear")
+	q.MustConnect("cheap", "s1")
+	q.MustConnect("dear", "s2")
+	d, err := eng.Deploy(q, spe.NewRateSource(1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr HR
+	cheap := d.PhysicalFor("cheap")[0]
+	dear := d.PhysicalFor("dear")[0]
+	if hr.Priority(cheap, 0) <= hr.Priority(dear, 0) {
+		t.Error("HR should rank the cheap path higher")
+	}
+}
+
+func TestHarenPolicyName(t *testing.T) {
+	if got := NewHaren(QS{}, 0).PolicyName(); got != "qs" {
+		t.Errorf("PolicyName = %q", got)
+	}
+	names := map[string]string{
+		QS{}.Name():   "qs",
+		FCFS{}.Name(): "fcfs",
+		HR{}.Name():   "hr",
+	}
+	for got, want := range names {
+		if got != want {
+			t.Errorf("policy name = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestHarenDefaultPeriod(t *testing.T) {
+	h := NewHaren(FCFS{}, 0)
+	if h.period != 50*time.Millisecond {
+		t.Errorf("default period = %v, want 50ms (the Haren paper's default)", h.period)
+	}
+}

@@ -1,0 +1,193 @@
+// Package window implements the windowed aggregations the benchmark
+// queries build on: count-based tumbling windows and sliding windows with
+// incremental aggregation, plus the small online estimators (running
+// average, Kalman filter, linear regression) used by the RIoTBench STATS
+// operators (§6.1).
+package window
+
+import (
+	"errors"
+)
+
+// Tumbling is a count-based tumbling window: every Size values it emits
+// one aggregate and restarts.
+type Tumbling struct {
+	size  int
+	agg   func(values []float64) float64
+	buf   []float64
+	emits int64
+}
+
+// NewTumbling creates a tumbling window of the given size; agg folds a
+// full window into one output (nil = mean).
+func NewTumbling(size int, agg func([]float64) float64) (*Tumbling, error) {
+	if size < 1 {
+		return nil, errors.New("window: size must be >= 1")
+	}
+	if agg == nil {
+		agg = Mean
+	}
+	return &Tumbling{size: size, agg: agg, buf: make([]float64, 0, size)}, nil
+}
+
+// Add appends a value; when the window fills it returns (aggregate, true).
+func (t *Tumbling) Add(v float64) (float64, bool) {
+	t.buf = append(t.buf, v)
+	if len(t.buf) < t.size {
+		return 0, false
+	}
+	out := t.agg(t.buf)
+	t.buf = t.buf[:0]
+	t.emits++
+	return out, true
+}
+
+// Emitted returns how many windows have closed.
+func (t *Tumbling) Emitted() int64 { return t.emits }
+
+// Len returns the number of buffered values of the open window.
+func (t *Tumbling) Len() int { return len(t.buf) }
+
+// Mean folds a window into its arithmetic mean.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// Max folds a window into its maximum.
+func Max(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	m := values[0]
+	for _, v := range values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Sliding is a count-based sliding window with O(1) incremental sum and
+// mean: every Slide values it emits the aggregate of the last Size values.
+type Sliding struct {
+	size  int
+	slide int
+	ring  []float64
+	n     int // values seen
+	sum   float64
+}
+
+// NewSliding creates a sliding window (slide <= size).
+func NewSliding(size, slide int) (*Sliding, error) {
+	if size < 1 || slide < 1 || slide > size {
+		return nil, errors.New("window: need 1 <= slide <= size")
+	}
+	return &Sliding{size: size, slide: slide, ring: make([]float64, size)}, nil
+}
+
+// Add appends a value; on slide boundaries (once the window has filled)
+// it returns (mean of the window, true).
+func (s *Sliding) Add(v float64) (float64, bool) {
+	idx := s.n % s.size
+	if s.n >= s.size {
+		s.sum -= s.ring[idx]
+	}
+	s.ring[idx] = v
+	s.sum += v
+	s.n++
+	if s.n >= s.size && (s.n-s.size)%s.slide == 0 {
+		return s.sum / float64(s.size), true
+	}
+	return 0, false
+}
+
+// Kalman is a 1-D Kalman filter smoothing a noisy scalar stream (the
+// STATS query's kalman-filter operator).
+type Kalman struct {
+	q, r    float64 // process / measurement noise
+	x, p    float64 // state estimate and covariance
+	started bool
+}
+
+// NewKalman creates a filter with process noise q and measurement noise r
+// (must be positive).
+func NewKalman(q, r float64) (*Kalman, error) {
+	if q <= 0 || r <= 0 {
+		return nil, errors.New("window: kalman noise must be positive")
+	}
+	return &Kalman{q: q, r: r, p: 1}, nil
+}
+
+// Update feeds one measurement and returns the filtered estimate.
+func (k *Kalman) Update(z float64) float64 {
+	if !k.started {
+		k.x = z
+		k.started = true
+		return k.x
+	}
+	// Predict.
+	k.p += k.q
+	// Update.
+	gain := k.p / (k.p + k.r)
+	k.x += gain * (z - k.x)
+	k.p *= 1 - gain
+	return k.x
+}
+
+// Estimate returns the current state estimate.
+func (k *Kalman) Estimate() float64 { return k.x }
+
+// Regression is an online simple linear regression y = a + b·x over a
+// sliding count window (the STATS sliding-linear-regression operator).
+type Regression struct {
+	size int
+	xs   []float64
+	ys   []float64
+	n    int
+}
+
+// NewRegression creates a regression over the last size points.
+func NewRegression(size int) (*Regression, error) {
+	if size < 2 {
+		return nil, errors.New("window: regression needs size >= 2")
+	}
+	return &Regression{size: size, xs: make([]float64, size), ys: make([]float64, size)}, nil
+}
+
+// Add appends a point and returns the current (intercept, slope, ok);
+// ok is false until two points are present.
+func (r *Regression) Add(x, y float64) (a, b float64, ok bool) {
+	idx := r.n % r.size
+	r.xs[idx] = x
+	r.ys[idx] = y
+	r.n++
+	n := r.n
+	if n > r.size {
+		n = r.size
+	}
+	if n < 2 {
+		return 0, 0, false
+	}
+	var sx, sy, sxx, sxy float64
+	for i := 0; i < n; i++ {
+		sx += r.xs[i]
+		sy += r.ys[i]
+		sxx += r.xs[i] * r.xs[i]
+		sxy += r.xs[i] * r.ys[i]
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return sy / fn, 0, true
+	}
+	b = (fn*sxy - sx*sy) / den
+	a = (sy - b*sx) / fn
+	return a, b, true
+}

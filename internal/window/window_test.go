@@ -1,0 +1,182 @@
+package window
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTumblingEmitsEverySize(t *testing.T) {
+	w, err := NewTumbling(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emits []float64
+	for i := 1; i <= 12; i++ {
+		if v, ok := w.Add(float64(i)); ok {
+			emits = append(emits, v)
+		}
+	}
+	want := []float64{2.5, 6.5, 10.5}
+	if len(emits) != len(want) {
+		t.Fatalf("emits = %v", emits)
+	}
+	for i := range want {
+		if emits[i] != want[i] {
+			t.Errorf("emit %d = %v, want %v", i, emits[i], want[i])
+		}
+	}
+	if w.Emitted() != 3 || w.Len() != 0 {
+		t.Errorf("emitted=%d len=%d", w.Emitted(), w.Len())
+	}
+}
+
+func TestTumblingMaxAggregate(t *testing.T) {
+	w, err := NewTumbling(3, Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Add(5)
+	w.Add(9)
+	v, ok := w.Add(2)
+	if !ok || v != 9 {
+		t.Errorf("max = (%v,%v)", v, ok)
+	}
+	if _, err := NewTumbling(0, nil); err == nil {
+		t.Error("size 0 should fail")
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty folds should be 0")
+	}
+}
+
+func TestSlidingWindowMeans(t *testing.T) {
+	w, err := NewSliding(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emits []float64
+	for i := 1; i <= 10; i++ {
+		if v, ok := w.Add(float64(i)); ok {
+			emits = append(emits, v)
+		}
+	}
+	// Windows: [1..4]=2.5, [3..6]=4.5, [5..8]=6.5, [7..10]=8.5.
+	want := []float64{2.5, 4.5, 6.5, 8.5}
+	if len(emits) != len(want) {
+		t.Fatalf("emits = %v", emits)
+	}
+	for i := range want {
+		if math.Abs(emits[i]-want[i]) > 1e-9 {
+			t.Errorf("emit %d = %v, want %v", i, emits[i], want[i])
+		}
+	}
+	if _, err := NewSliding(2, 3); err == nil {
+		t.Error("slide > size should fail")
+	}
+}
+
+func TestQuickSlidingMatchesNaive(t *testing.T) {
+	// Property: incremental sliding mean equals the naive recomputation.
+	err := quick.Check(func(seed int64, sizeRaw, slideRaw uint8) bool {
+		size := int(sizeRaw%20) + 1
+		slide := int(slideRaw)%size + 1
+		w, err := NewSliding(size, slide)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var history []float64
+		for i := 0; i < 200; i++ {
+			v := rng.Float64() * 100
+			history = append(history, v)
+			got, ok := w.Add(v)
+			wantOK := len(history) >= size && (len(history)-size)%slide == 0
+			if ok != wantOK {
+				return false
+			}
+			if ok {
+				want := Mean(history[len(history)-size:])
+				if math.Abs(got-want) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKalmanConvergesToConstant(t *testing.T) {
+	k, err := NewKalman(1e-4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var last float64
+	for i := 0; i < 5000; i++ {
+		last = k.Update(42 + rng.NormFloat64())
+	}
+	if math.Abs(last-42) > 0.5 {
+		t.Errorf("kalman estimate = %v, want ~42", last)
+	}
+	if math.Abs(k.Estimate()-last) > 1e-12 {
+		t.Error("Estimate should return the latest state")
+	}
+	if _, err := NewKalman(0, 1); err == nil {
+		t.Error("zero noise should fail")
+	}
+}
+
+func TestKalmanSmoothsNoise(t *testing.T) {
+	k, _ := NewKalman(1e-3, 1.0)
+	rng := rand.New(rand.NewSource(4))
+	var rawVar, filtVar float64
+	prevRaw, prevFilt := 0.0, 0.0
+	for i := 0; i < 10000; i++ {
+		raw := 10 + rng.NormFloat64()
+		filt := k.Update(raw)
+		if i > 100 {
+			rawVar += (raw - prevRaw) * (raw - prevRaw)
+			filtVar += (filt - prevFilt) * (filt - prevFilt)
+		}
+		prevRaw, prevFilt = raw, filt
+	}
+	if filtVar >= rawVar/4 {
+		t.Errorf("filter should smooth: filt step var %v vs raw %v", filtVar, rawVar)
+	}
+}
+
+func TestRegressionRecoversLine(t *testing.T) {
+	r, err := NewRegression(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b float64
+	var ok bool
+	for i := 0; i < 200; i++ {
+		x := float64(i)
+		a, b, ok = r.Add(x, 3+2*x)
+	}
+	if !ok || math.Abs(a-3) > 1e-6 || math.Abs(b-2) > 1e-9 {
+		t.Errorf("fit = (%v, %v, %v), want (3, 2)", a, b, ok)
+	}
+	if _, err := NewRegression(1); err == nil {
+		t.Error("size 1 should fail")
+	}
+}
+
+func TestRegressionDegenerateX(t *testing.T) {
+	r, _ := NewRegression(4)
+	var a, b float64
+	var ok bool
+	for i := 0; i < 4; i++ {
+		a, b, ok = r.Add(5, float64(i)) // constant x
+	}
+	if !ok || b != 0 || math.Abs(a-1.5) > 1e-9 {
+		t.Errorf("degenerate fit = (%v,%v,%v), want mean 1.5 slope 0", a, b, ok)
+	}
+}

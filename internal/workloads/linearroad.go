@@ -1,0 +1,106 @@
+package workloads
+
+import (
+	"time"
+
+	"lachesis/internal/spe"
+)
+
+// LinearRoad builds the Linear Road tolling query (§6.1, Fig. 2): a
+// 9-operator DAG with two branches — branch 1 computes variable tolls from
+// congestion levels (count of vehicles per segment, average speed), branch
+// 2 computes fixed tolls — merged at a notifier. parallelism sets the
+// fission degree of every operator (1 for single-node runs; 2 and 4 for
+// the scale-out study of §6.5).
+// Linear Road tolling parameters. Per-segment counts are halved every
+// lrCountDecayEvery processed reports (a rate-independent stand-in for the
+// benchmark's minute-window counts), so steady-state counts oscillate in
+// [8, 16] and the congestion threshold passes ~75% of reports (the
+// operator's declared selectivity).
+const (
+	lrSegments            = 128
+	lrCountDecayEvery     = 1024
+	lrCongestionThreshold = 9
+)
+
+func LinearRoad(parallelism int) *spe.LogicalQuery {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	q := spe.NewQuery("lr")
+	add := func(op *spe.LogicalOp) {
+		op.Parallelism = parallelism
+		q.MustAddOp(op)
+	}
+	add(&spe.LogicalOp{Name: "source", Kind: spe.KindIngress, Cost: 20 * time.Microsecond, Selectivity: 1})
+	add(&spe.LogicalOp{
+		Name: "parse", Cost: 80 * time.Microsecond, Selectivity: 0.99,
+		Process: func(in spe.Tuple, emit spe.EmitFunc) {
+			if in.Value >= 0 { // position reports only
+				emit(in)
+			}
+		},
+	})
+	add(&spe.LogicalOp{Name: "split", Cost: 40 * time.Microsecond, Selectivity: 1})
+	// Branch 1: variable tolls from congestion.
+	add(&spe.LogicalOp{Name: "accident", Cost: 60 * time.Microsecond, Selectivity: 1})
+	add(&spe.LogicalOp{
+		// Count vehicles per highway segment over a sliding minute-style
+		// window (approximated by a decaying per-segment count): the
+		// congestion input of the LR toll formula.
+		Name: "count-vehicles", Cost: 150 * time.Microsecond, Selectivity: 1, KeyBy: true,
+		NewProcess: func(int) spe.ProcessFunc {
+			counts := make(map[uint64]int)
+			var processed int
+			return func(in spe.Tuple, emit spe.EmitFunc) {
+				seg := in.Key % lrSegments
+				counts[seg]++
+				processed++
+				if processed%lrCountDecayEvery == 0 {
+					for s := range counts {
+						counts[s] /= 2
+					}
+				}
+				out := in
+				out.Value = float64(counts[seg])
+				emit(out)
+			}
+		},
+	})
+	add(&spe.LogicalOp{
+		// LR toll formula: toll = base * (count - threshold)^2 when the
+		// segment is congested; uncongested reports produce no toll
+		// notification (the branch's ~0.75 measured selectivity).
+		Name: "var-toll", Cost: 100 * time.Microsecond, Selectivity: 0.75,
+		Process: func(in spe.Tuple, emit spe.EmitFunc) {
+			count := in.Value
+			if count <= lrCongestionThreshold {
+				return
+			}
+			over := count - lrCongestionThreshold
+			out := in
+			out.Value = 2 * over * over // base toll 2
+			emit(out)
+		},
+	})
+	// Branch 2: fixed tolls.
+	add(&spe.LogicalOp{Name: "fixed-toll", Cost: 90 * time.Microsecond, Selectivity: 0.3})
+	add(&spe.LogicalOp{Name: "notify", Cost: 50 * time.Microsecond, Selectivity: 1})
+	add(&spe.LogicalOp{Name: "sink", Kind: spe.KindEgress, Cost: 40 * time.Microsecond})
+
+	mustPipeline(q, "source", "parse", "split")
+	mustPipeline(q, "split", "accident", "count-vehicles", "var-toll", "notify")
+	mustPipeline(q, "split", "fixed-toll", "notify")
+	mustPipeline(q, "notify", "sink")
+	return q
+}
+
+// LRBranch1Ops lists the logical operators of Linear Road's variable-toll
+// branch (used by the branch-priority example reproducing Fig. 2's
+// scheduling preference).
+func LRBranch1Ops() []string {
+	return []string{"accident", "count-vehicles", "var-toll"}
+}
+
+// LRBranch2Ops lists the logical operators of the fixed-toll branch.
+func LRBranch2Ops() []string { return []string{"fixed-toll"} }

@@ -1,0 +1,175 @@
+package workloads
+
+import (
+	"time"
+
+	"lachesis/internal/bloom"
+	"lachesis/internal/hll"
+	"lachesis/internal/spe"
+	"lachesis/internal/window"
+)
+
+// ETL builds the RIoTBench Extract-Transform-Load query (§6.1): a
+// 10-operator pipeline that parses IoT sensor messages, filters outliers,
+// drops duplicates with a Bloom filter, interpolates, joins and annotates.
+// The interpolation stage is the heaviest operator, so the query is
+// pipeline-parallel with one structural bottleneck, like the original.
+func ETL() *spe.LogicalQuery {
+	q := spe.NewQuery("etl")
+	q.MustAddOp(&spe.LogicalOp{Name: "source", Kind: spe.KindIngress, Cost: 30 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "senml-parse", Cost: 250 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{
+		Name: "range-filter", Cost: 100 * time.Microsecond, Selectivity: 0.98,
+		Process: func(in spe.Tuple, emit spe.EmitFunc) {
+			if in.Value >= 0 && in.Value <= 150 {
+				emit(in)
+			}
+		},
+	})
+	q.MustAddOp(&spe.LogicalOp{
+		Name: "bloom-filter", Cost: 150 * time.Microsecond, Selectivity: 0.98,
+		NewProcess: func(int) spe.ProcessFunc {
+			seen := bloom.NewWithEstimates(1<<20, 0.01)
+			return func(in spe.Tuple, emit spe.EmitFunc) {
+				if seen.AddIfNew(in.Key) {
+					emit(in)
+				}
+			}
+		},
+	})
+	q.MustAddOp(&spe.LogicalOp{Name: "interpolate", Cost: 600 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "join", Cost: 350 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "annotate", Cost: 300 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "csv-to-senml", Cost: 250 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "mqtt-publish", Cost: 200 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "sink", Kind: spe.KindEgress, Cost: 150 * time.Microsecond})
+	mustPipeline(q, "source", "senml-parse", "range-filter", "bloom-filter",
+		"interpolate", "join", "annotate", "csv-to-senml", "mqtt-publish", "sink")
+	return q
+}
+
+// STATS builds the RIoTBench statistical analytics query (§6.1): a
+// 10-operator DAG computing three kinds of analytics (block average,
+// Kalman filter + sliding linear regression, approximate distinct count)
+// whose outputs are merged for visualization. Selectivity is high: roughly
+// 15 egress tuples per ingress tuple, so small input-rate steps cause big
+// load jumps, and the Kalman filter is a hard single-operator bottleneck
+// (the outlier of Fig. 8).
+func STATS() *spe.LogicalQuery {
+	q := spe.NewQuery("stats")
+	q.MustAddOp(&spe.LogicalOp{Name: "source", Kind: spe.KindIngress, Cost: 30 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "senml-parse", Cost: 250 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{
+		// Per reading, emit the running block statistics (avg, min, max,
+		// count) of the current tumbling block: four stat tuples per input.
+		Name: "block-average", Cost: 500 * time.Microsecond, Selectivity: 4,
+		NewProcess: func(int) spe.ProcessFunc {
+			var blockVals []float64
+			return func(in spe.Tuple, emit spe.EmitFunc) {
+				const block = 5
+				if len(blockVals) == block {
+					blockVals = blockVals[:0]
+				}
+				blockVals = append(blockVals, in.Value)
+				min, max, sum := blockVals[0], blockVals[0], 0.0
+				for _, v := range blockVals {
+					if v < min {
+						min = v
+					}
+					if v > max {
+						max = v
+					}
+					sum += v
+				}
+				for i, stat := range []float64{
+					sum / float64(len(blockVals)), min, max, float64(len(blockVals)),
+				} {
+					out := in
+					out.Key = in.Key*4 + uint64(i)
+					out.Value = stat
+					emit(out)
+				}
+			}
+		},
+	})
+	q.MustAddOp(&spe.LogicalOp{
+		// Smooth the sensor stream with a 1-D Kalman filter.
+		Name: "kalman-filter", Cost: 2900 * time.Microsecond, Selectivity: 1,
+		NewProcess: func(int) spe.ProcessFunc {
+			k, err := window.NewKalman(1e-3, 4.0)
+			if err != nil {
+				panic(err)
+			}
+			return func(in spe.Tuple, emit spe.EmitFunc) {
+				out := in
+				out.Value = k.Update(in.Value)
+				emit(out)
+			}
+		},
+	})
+	q.MustAddOp(&spe.LogicalOp{
+		// Fit a line over the last 20 smoothed values and emit a 10-step
+		// forecast per input (the operator's 10x fan-out).
+		Name: "sliding-regression", Cost: 250 * time.Microsecond, Selectivity: 10,
+		NewProcess: func(int) spe.ProcessFunc {
+			reg, err := window.NewRegression(20)
+			if err != nil {
+				panic(err)
+			}
+			var x float64
+			return func(in spe.Tuple, emit spe.EmitFunc) {
+				x++
+				a, b, ok := reg.Add(x, in.Value)
+				if !ok {
+					a, b = in.Value, 0
+				}
+				for step := 1; step <= 10; step++ {
+					out := in
+					out.Key = in.Key*10 + uint64(step-1)
+					out.Value = a + b*(x+float64(step))
+					emit(out)
+				}
+			}
+		},
+	})
+	q.MustAddOp(&spe.LogicalOp{
+		// Approximate distinct sensor count via HyperLogLog.
+		Name: "distinct-count", Cost: 350 * time.Microsecond, Selectivity: 1,
+		NewProcess: func(int) spe.ProcessFunc {
+			sketch, err := hll.New(12)
+			if err != nil {
+				panic(err)
+			}
+			return func(in spe.Tuple, emit spe.EmitFunc) {
+				if sensor, ok := in.Payload.(uint64); ok {
+					sketch.Add(sensor)
+				} else {
+					sketch.Add(in.Key)
+				}
+				out := in
+				out.Value = sketch.Estimate()
+				emit(out)
+			}
+		},
+	})
+	q.MustAddOp(&spe.LogicalOp{Name: "group-viz", Cost: 40 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "buffer", Cost: 30 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "zip", Cost: 30 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "sink", Kind: spe.KindEgress, Cost: 50 * time.Microsecond})
+	mustPipeline(q, "source", "senml-parse")
+	q.MustConnect("senml-parse", "block-average")
+	q.MustConnect("senml-parse", "kalman-filter")
+	q.MustConnect("senml-parse", "distinct-count")
+	q.MustConnect("kalman-filter", "sliding-regression")
+	q.MustConnect("block-average", "group-viz")
+	q.MustConnect("sliding-regression", "group-viz")
+	q.MustConnect("distinct-count", "group-viz")
+	mustPipeline(q, "group-viz", "buffer", "zip", "sink")
+	return q
+}
+
+func mustPipeline(q *spe.LogicalQuery, names ...string) {
+	if err := q.Pipeline(names...); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,96 @@
+// Package workloads builds the five benchmark queries of the paper's
+// evaluation (§6.1) — ETL and STATS from RIoTBench, Linear Road,
+// VoipStream from DSPBench, and the SYN synthetic set from the Haren
+// evaluation — together with their data sources. Costs and selectivities
+// are calibrated so that the queries saturate the simulated Odroid at
+// rates of the same order as the paper's testbed.
+package workloads
+
+import (
+	"math/rand"
+
+	"lachesis/internal/spe"
+)
+
+// CDR is a simplified call detail record, the VoipStream payload.
+type CDR struct {
+	Caller   uint64
+	Callee   uint64
+	Duration float64 // seconds
+	Dup      bool    // replayed record (to be dropped by the dispatcher)
+}
+
+// IoTSource generates sensor readings for ETL/STATS: a small set of
+// sensors, normally-distributed values with occasional outliers (dropped
+// by the range filter) and occasional duplicate message IDs (dropped by
+// the Bloom filter).
+func IoTSource(rate float64, seed int64) spe.Source {
+	rng := rand.New(rand.NewSource(seed))
+	const sensors = 64
+	var lastID uint64
+	return spe.NewRateSource(rate, func(i int64) spe.Tuple {
+		sensor := uint64(rng.Intn(sensors))
+		value := 50 + rng.NormFloat64()*10
+		if rng.Float64() < 0.02 {
+			value = 200 + rng.Float64()*100 // outlier
+		}
+		id := uint64(i)
+		if rng.Float64() < 0.02 && lastID != 0 {
+			id = lastID // duplicate message
+		}
+		lastID = id
+		return spe.Tuple{Key: id, Value: value, Payload: sensor}
+	})
+}
+
+// LRSource generates Linear Road position reports: vehicles on a set of
+// highway segments, with a small fraction of non-position records dropped
+// by the parser.
+func LRSource(rate float64, seed int64) spe.Source {
+	rng := rand.New(rand.NewSource(seed))
+	const vehicles = 4096
+	return spe.NewRateSource(rate, func(i int64) spe.Tuple {
+		t := spe.Tuple{
+			Key:   uint64(rng.Intn(vehicles)),
+			Value: 40 + rng.Float64()*80, // speed mph
+		}
+		if rng.Float64() < 0.01 {
+			t.Value = -1 // non-position report, dropped by parse
+		}
+		return t
+	})
+}
+
+// VSSource generates call detail records with a skewed caller
+// distribution ("intensive use of group-by distributions") and ~5%
+// replayed duplicates.
+func VSSource(rate float64, seed int64) spe.Source {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.2, 8, 1<<16)
+	var last CDR
+	var haveLast bool
+	return spe.NewRateSource(rate, func(i int64) spe.Tuple {
+		var cdr CDR
+		if haveLast && rng.Float64() < 0.05 {
+			// Replay the previous record (a duplicate to deduplicate).
+			cdr = last
+			cdr.Dup = true
+		} else {
+			cdr = CDR{
+				Caller:   zipf.Uint64(),
+				Callee:   rng.Uint64() % (1 << 16),
+				Duration: rng.ExpFloat64() * 120,
+			}
+			last, haveLast = cdr, true
+		}
+		return spe.Tuple{Key: cdr.Caller, Value: cdr.Duration, Payload: cdr}
+	})
+}
+
+// SynSource generates the synthetic tuples of the SYN queries.
+func SynSource(rate float64, seed int64) spe.Source {
+	rng := rand.New(rand.NewSource(seed))
+	return spe.NewRateSource(rate, func(i int64) spe.Tuple {
+		return spe.Tuple{Key: rng.Uint64(), Value: rng.Float64()}
+	})
+}

@@ -1,0 +1,90 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"lachesis/internal/spe"
+)
+
+// SynConfig configures the synthetic query set (the Haren evaluation's
+// workload, §6.1 and §6.4).
+type SynConfig struct {
+	// Queries is the number of pipelines (the paper uses 20).
+	Queries int
+	// OpsPerQuery is the pipeline length including ingress and egress (the
+	// paper uses 5).
+	OpsPerQuery int
+	// Seed makes costs/selectivities reproducible.
+	Seed int64
+	// BlockingFraction of the operators get blocking behaviour (§6.4 uses
+	// 0.10 with BlockProb/BlockMax below). 0 disables blocking.
+	BlockingFraction float64
+	// BlockProb is the per-tuple chance of a blocking call (paper: 0.001).
+	BlockProb float64
+	// BlockMax is the maximum blocking duration (paper: 200ms).
+	BlockMax time.Duration
+}
+
+// DefaultSyn returns the paper's 20x5 configuration without blocking.
+func DefaultSyn(seed int64) SynConfig {
+	return SynConfig{Queries: 20, OpsPerQuery: 5, Seed: seed}
+}
+
+// BlockingSyn returns the §6.4 blocking configuration: 10% of operators
+// have a 0.1% chance to block for up to 200ms per tuple.
+func BlockingSyn(seed int64) SynConfig {
+	cfg := DefaultSyn(seed)
+	cfg.BlockingFraction = 0.10
+	cfg.BlockProb = 0.001
+	cfg.BlockMax = 200 * time.Millisecond
+	return cfg
+}
+
+// SYN builds the synthetic query set: cfg.Queries pipelines of
+// cfg.OpsPerQuery operators with uniformly random per-operator cost and
+// selectivity, as in the Haren evaluation.
+func SYN(cfg SynConfig) []*spe.LogicalQuery {
+	if cfg.Queries <= 0 {
+		cfg.Queries = 20
+	}
+	if cfg.OpsPerQuery < 3 {
+		cfg.OpsPerQuery = 5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]*spe.LogicalQuery, 0, cfg.Queries)
+	for i := 0; i < cfg.Queries; i++ {
+		q := spe.NewQuery(fmt.Sprintf("syn%02d", i))
+		names := make([]string, 0, cfg.OpsPerQuery)
+		for j := 0; j < cfg.OpsPerQuery; j++ {
+			op := &spe.LogicalOp{Name: fmt.Sprintf("op%d", j)}
+			switch j {
+			case 0:
+				op.Kind = spe.KindIngress
+				op.Cost = 20 * time.Microsecond
+				op.Selectivity = 1
+			case cfg.OpsPerQuery - 1:
+				op.Kind = spe.KindEgress
+				op.Cost = 30 * time.Microsecond
+			default:
+				// Uniformly random cost and selectivity per operator, as
+				// in [43, 49].
+				op.Kind = spe.KindTransform
+				op.Cost = time.Duration(50+rng.Intn(101)) * time.Microsecond
+				op.Selectivity = 0.8 + 0.4*rng.Float64()
+				op.CostJitter = 0.2
+			}
+			if cfg.BlockingFraction > 0 && op.Kind == spe.KindTransform &&
+				rng.Float64() < cfg.BlockingFraction {
+				op.BlockProb = cfg.BlockProb
+				op.BlockMax = cfg.BlockMax
+			}
+			q.MustAddOp(op)
+			names = append(names, op.Name)
+		}
+		mustPipeline(q, names...)
+		out = append(out, q)
+	}
+	return out
+}

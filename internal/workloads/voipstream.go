@@ -1,0 +1,76 @@
+package workloads
+
+import (
+	"time"
+
+	"lachesis/internal/bloom"
+	"lachesis/internal/spe"
+)
+
+// VoipStream builds the DSPBench VoipStream query (§6.1): 15 operators
+// analyzing call detail records to detect telemarketing users. The
+// dispatcher deduplicates replayed CDRs with a Bloom filter; a family of
+// per-caller/per-callee rate features (CT24, ECR24, ENCR, RCR, ACD, URL)
+// uses key-by distributions intensively; scorers join the features into a
+// final telemarketing score.
+func VoipStream() *spe.LogicalQuery {
+	q := spe.NewQuery("vs")
+	q.MustAddOp(&spe.LogicalOp{Name: "source", Kind: spe.KindIngress, Cost: 10 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "parse", Cost: 70 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{
+		Name: "dispatcher", Cost: 60 * time.Microsecond, Selectivity: 0.95, KeyBy: true,
+		NewProcess: func(int) spe.ProcessFunc {
+			seen := bloom.NewWithEstimates(1<<21, 0.01)
+			return func(in spe.Tuple, emit spe.EmitFunc) {
+				cdr, ok := in.Payload.(CDR)
+				if !ok {
+					emit(in)
+					return
+				}
+				if cdr.Dup {
+					// Replayed CDR: drop if its fingerprint was seen.
+					if seen.Contains(fingerprint(cdr)) {
+						return
+					}
+				}
+				seen.Add(fingerprint(cdr))
+				emit(in)
+			}
+		},
+	})
+	// Rate features over key-by distributions.
+	q.MustAddOp(&spe.LogicalOp{Name: "ct24", Cost: 50 * time.Microsecond, Selectivity: 1, KeyBy: true})
+	q.MustAddOp(&spe.LogicalOp{Name: "ecr24", Cost: 55 * time.Microsecond, Selectivity: 1, KeyBy: true})
+	q.MustAddOp(&spe.LogicalOp{Name: "encr", Cost: 45 * time.Microsecond, Selectivity: 1, KeyBy: true})
+	q.MustAddOp(&spe.LogicalOp{Name: "rcr", Cost: 65 * time.Microsecond, Selectivity: 1, KeyBy: true})
+	q.MustAddOp(&spe.LogicalOp{Name: "acd", Cost: 40 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "url", Cost: 45 * time.Microsecond, Selectivity: 1, KeyBy: true})
+	// Scorers.
+	q.MustAddOp(&spe.LogicalOp{Name: "fofir", Cost: 80 * time.Microsecond, Selectivity: 0.5})
+	q.MustAddOp(&spe.LogicalOp{Name: "url-score", Cost: 60 * time.Microsecond, Selectivity: 0.5})
+	q.MustAddOp(&spe.LogicalOp{Name: "global-acd", Cost: 30 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "main-score", Cost: 85 * time.Microsecond, Selectivity: 0.25, KeyBy: true})
+	q.MustAddOp(&spe.LogicalOp{Name: "score-prep", Cost: 40 * time.Microsecond, Selectivity: 1})
+	q.MustAddOp(&spe.LogicalOp{Name: "sink", Kind: spe.KindEgress, Cost: 25 * time.Microsecond})
+
+	mustPipeline(q, "source", "parse", "dispatcher")
+	for _, feature := range []string{"ct24", "ecr24", "encr", "rcr", "acd", "url"} {
+		q.MustConnect("dispatcher", feature)
+	}
+	q.MustConnect("ct24", "fofir")
+	q.MustConnect("rcr", "fofir")
+	q.MustConnect("encr", "url-score")
+	q.MustConnect("url", "url-score")
+	q.MustConnect("acd", "global-acd")
+	q.MustConnect("global-acd", "main-score")
+	q.MustConnect("ecr24", "main-score")
+	q.MustConnect("fofir", "main-score")
+	q.MustConnect("url-score", "main-score")
+	mustPipeline(q, "main-score", "score-prep", "sink")
+	return q
+}
+
+// fingerprint hashes a CDR's identity for deduplication.
+func fingerprint(c CDR) uint64 {
+	return c.Caller*0x9e3779b97f4a7c15 ^ c.Callee*0xbf58476d1ce4e5b9 ^ uint64(c.Duration)
+}

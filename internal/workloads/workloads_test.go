@@ -1,0 +1,174 @@
+package workloads
+
+import (
+	"testing"
+	"time"
+
+	"lachesis/internal/simos"
+	"lachesis/internal/spe"
+)
+
+func TestQueryShapes(t *testing.T) {
+	tests := []struct {
+		name string
+		q    *spe.LogicalQuery
+		ops  int
+	}{
+		{"etl", ETL(), 10},
+		{"stats", STATS(), 10},
+		{"lr", LinearRoad(1), 9},
+		{"vs", VoipStream(), 15},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.q.Validate(); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			if got := len(tt.q.Ops()); got != tt.ops {
+				t.Errorf("operator count = %d, want %d (paper §6.1)", got, tt.ops)
+			}
+		})
+	}
+}
+
+func TestSYNShape(t *testing.T) {
+	qs := SYN(DefaultSyn(1))
+	if len(qs) != 20 {
+		t.Fatalf("SYN queries = %d, want 20", len(qs))
+	}
+	totalOps := 0
+	for _, q := range qs {
+		if err := q.Validate(); err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		totalOps += len(q.Ops())
+	}
+	if totalOps != 100 {
+		t.Errorf("total SYN operators = %d, want 100 (paper §6.4)", totalOps)
+	}
+}
+
+func TestSYNBlockingFractionApplied(t *testing.T) {
+	qs := SYN(BlockingSyn(7))
+	blocking := 0
+	for _, q := range qs {
+		for _, op := range q.Ops() {
+			if op.BlockProb > 0 {
+				blocking++
+				if op.BlockMax != 200*time.Millisecond {
+					t.Errorf("block max = %v, want 200ms", op.BlockMax)
+				}
+			}
+		}
+	}
+	// 60 transform ops at 10%: expect a handful.
+	if blocking < 2 || blocking > 14 {
+		t.Errorf("blocking operators = %d, want ~6 of 60", blocking)
+	}
+}
+
+func TestSYNDeterministicAcrossCalls(t *testing.T) {
+	a := SYN(DefaultSyn(42))
+	b := SYN(DefaultSyn(42))
+	for i := range a {
+		opsA, opsB := a[i].Ops(), b[i].Ops()
+		for j := range opsA {
+			if opsA[j].Cost != opsB[j].Cost || opsA[j].Selectivity != opsB[j].Selectivity {
+				t.Fatalf("SYN not reproducible at query %d op %d", i, j)
+			}
+		}
+	}
+}
+
+// runQuery deploys q on a Storm-flavor Odroid and returns the deployment
+// after d seconds.
+func runQuery(t *testing.T, q *spe.LogicalQuery, src spe.Source, d time.Duration) (*simos.Kernel, *spe.Deployment) {
+	t.Helper()
+	k := simos.New(simos.OdroidXU4())
+	e, err := spe.New(k, spe.Config{Name: "storm", Flavor: spe.FlavorStorm, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := e.Deploy(q, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(d)
+	return k, dep
+}
+
+func TestETLRunsUnderloaded(t *testing.T) {
+	_, d := runQuery(t, ETL(), IoTSource(500, 1), 10*time.Second)
+	ing := d.Ingested()
+	if ing < 4900 {
+		t.Errorf("ingested %d, want ~5000", ing)
+	}
+	// Outlier + duplicate filtering: egress slightly below ingress.
+	eg := d.EgressCount()
+	ratio := float64(eg) / float64(ing)
+	if ratio < 0.90 || ratio > 1.0 {
+		t.Errorf("egress/ingress = %.3f, want ~0.96", ratio)
+	}
+	if lat := d.Latencies(); lat.MeanProc > 100*time.Millisecond {
+		t.Errorf("underloaded ETL latency %v too high", lat.MeanProc)
+	}
+}
+
+func TestSTATSHighSelectivity(t *testing.T) {
+	_, d := runQuery(t, STATS(), IoTSource(150, 2), 10*time.Second)
+	ing := d.Ingested()
+	eg := d.EgressCount()
+	sel := float64(eg) / float64(ing)
+	// Paper: ~15 egress tuples per ingress tuple.
+	if sel < 13 || sel > 17 {
+		t.Errorf("STATS selectivity = %.1f, want ~15", sel)
+	}
+}
+
+func TestLinearRoadBothBranchesProduce(t *testing.T) {
+	_, d := runQuery(t, LinearRoad(1), LRSource(2000, 3), 10*time.Second)
+	if d.Ingested() < 19000 {
+		t.Errorf("ingested %d, want ~20000", d.Ingested())
+	}
+	// var-toll (sel .7) + fixed-toll (sel .3) merge: egress ~= ingress*0.99.
+	ratio := float64(d.EgressCount()) / float64(d.Ingested())
+	if ratio < 0.90 || ratio > 1.05 {
+		t.Errorf("egress/ingress = %.3f, want ~0.99", ratio)
+	}
+}
+
+func TestLinearRoadParallelism(t *testing.T) {
+	q := LinearRoad(2)
+	k, d := runQuery(t, q, LRSource(2000, 3), 5*time.Second)
+	if got := len(d.Ops()); got != 18 {
+		t.Errorf("physical ops = %d, want 18 (9 logical x2)", got)
+	}
+	// Key-by operator replicas must both receive work.
+	reps := d.PhysicalFor("count-vehicles")
+	if len(reps) != 2 {
+		t.Fatalf("count-vehicles replicas = %d", len(reps))
+	}
+	for _, r := range reps {
+		if r.Snapshot(k.Now()).InCount == 0 {
+			t.Errorf("replica %s starved", r.Name())
+		}
+	}
+}
+
+func TestVoipStreamDedupDropsDuplicates(t *testing.T) {
+	_, d := runQuery(t, VoipStream(), VSSource(1000, 4), 10*time.Second)
+	disp := d.PhysicalFor("dispatcher")[0]
+	snap := disp.Snapshot(10 * time.Second)
+	if snap.InCount == 0 {
+		t.Fatal("dispatcher processed nothing")
+	}
+	drop := 1 - float64(snap.OutCount)/float64(snap.InCount*6) // 6 downstream routes
+	// ~5% duplicates from the source; with bloom false positives the
+	// drop rate should land near that.
+	if drop < 0.01 || drop > 0.15 {
+		t.Errorf("dispatcher drop rate = %.3f, want ~0.05", drop)
+	}
+	if d.EgressCount() == 0 {
+		t.Error("no scores produced")
+	}
+}
