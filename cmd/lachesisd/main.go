@@ -30,6 +30,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"lachesis/internal/core"
@@ -71,13 +73,17 @@ func (d *staticDriver) Fetch(metric string, _ time.Duration) (core.EntityValues,
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, sigs); err != nil {
 		fmt.Fprintln(os.Stderr, "lachesisd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+// run is the daemon body. sigs delivers shutdown signals (injectable so
+// tests can exercise the graceful-shutdown path); nil never fires.
+func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	fs := flag.NewFlagSet("lachesisd", flag.ContinueOnError)
 	var (
 		configPath = fs.String("config", "", "path to JSON config (required)")
@@ -162,6 +168,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "lachesisd: %d entities, translator %s, period %v, dry-run=%v\n",
 		len(drv.entities), tr.Name(), period, *dryRun)
 	start := time.Now()
+	interrupted := false
+loop:
+	// Errors do not stop the loop: the middleware's resilience layer
+	// degrades the failing binding, and the daemon keeps retrying every
+	// period until the binding recovers or the daemon is told to stop.
 	for i := 0; *iterations == 0 || i < *iterations; i++ {
 		stats, err := mw.Step(time.Since(start))
 		if err != nil {
@@ -170,7 +181,41 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *iterations != 0 && i == *iterations-1 {
 			break
 		}
-		time.Sleep(time.Until(start.Add(stats.Next)))
+		timer := time.NewTimer(time.Until(start.Add(stats.Next)))
+		select {
+		case <-sigs:
+			timer.Stop()
+			interrupted = true
+			break loop
+		case <-timer.C:
+		}
+	}
+
+	printHealth(stderr, mw.Health())
+	if interrupted {
+		fmt.Fprintln(stderr, "lachesisd: shutting down, restoring scheduling defaults")
+		if r, ok := tr.(core.Resetter); ok {
+			ents := make(map[string]core.Entity, len(drv.entities))
+			for _, e := range drv.entities {
+				ents[e.Name] = e
+			}
+			if err := r.Reset(ents); err != nil {
+				fmt.Fprintln(stderr, "lachesisd: reset:", err)
+			}
+		}
 	}
 	return nil
+}
+
+// printHealth writes the middleware health snapshot, one line per binding
+// and driver.
+func printHealth(w io.Writer, h core.Health) {
+	for _, b := range h.Bindings {
+		fmt.Fprintf(w, "lachesisd: health: binding %s/%s %s (failures %d, last success %v)\n",
+			b.Policy, b.Translator, b.State, b.ConsecutiveFailures, b.LastSuccess)
+	}
+	for _, d := range h.Drivers {
+		fmt.Fprintf(w, "lachesisd: health: driver %s (stale %v, last success %v)\n",
+			d.Driver, d.ServingStale, d.LastSuccess)
+	}
 }

@@ -31,7 +31,7 @@ const validConfig = `{
 func TestDryRunRenicesConfiguredThreads(t *testing.T) {
 	cfg := writeConfig(t, validConfig)
 	var out, errOut bytes.Buffer
-	if err := run([]string{"-config", cfg, "-iterations", "1"}, &out, &errOut); err != nil {
+	if err := run([]string{"-config", cfg, "-iterations", "1"}, &out, &errOut, nil); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -50,7 +50,7 @@ func TestDryRunRenicesConfiguredThreads(t *testing.T) {
 func TestSharesTranslatorConfig(t *testing.T) {
 	cfg := writeConfig(t, strings.Replace(validConfig, `"nice"`, `"cpu.shares"`, 1))
 	var out, errOut bytes.Buffer
-	if err := run([]string{"-config", cfg, "-iterations", "1"}, &out, &errOut); err != nil {
+	if err := run([]string{"-config", cfg, "-iterations", "1"}, &out, &errOut, nil); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -64,18 +64,76 @@ func TestSharesTranslatorConfig(t *testing.T) {
 
 func TestConfigErrors(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if err := run([]string{}, &out, &errOut); err == nil {
+	if err := run([]string{}, &out, &errOut, nil); err == nil {
 		t.Error("missing -config should fail")
 	}
-	if err := run([]string{"-config", "/no/such/file"}, &out, &errOut); err == nil {
+	if err := run([]string{"-config", "/no/such/file"}, &out, &errOut, nil); err == nil {
 		t.Error("unreadable config should fail")
 	}
 	bad := writeConfig(t, "{not json")
-	if err := run([]string{"-config", bad}, &out, &errOut); err == nil {
+	if err := run([]string{"-config", bad}, &out, &errOut, nil); err == nil {
 		t.Error("malformed config should fail")
 	}
 	badTr := writeConfig(t, strings.Replace(validConfig, `"nice"`, `"bogus"`, 1))
-	if err := run([]string{"-config", badTr}, &out, &errOut); err == nil {
+	if err := run([]string{"-config", badTr}, &out, &errOut, nil); err == nil {
 		t.Error("unknown translator should fail")
+	}
+}
+
+func TestGracefulShutdownRestoresNices(t *testing.T) {
+	cfg := writeConfig(t, validConfig)
+	sigs := make(chan os.Signal, 1)
+	sigs <- os.Interrupt // queued: delivered after the first step
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-config", cfg, "-iterations", "0"}, &out, &errOut, sigs); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	// The schedule is applied first, then shutdown returns both threads to
+	// the default nice.
+	if !strings.Contains(s, "renice tid=4242 nice=-20") {
+		t.Errorf("schedule not applied before shutdown:\n%s", s)
+	}
+	for _, want := range []string{"renice tid=4242 nice=0", "renice tid=4243 nice=0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in shutdown output:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(errOut.String(), "shutting down") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}
+
+func TestGracefulShutdownRemovesCgroups(t *testing.T) {
+	cfg := writeConfig(t, strings.Replace(validConfig, `"nice"`, `"cpu.shares"`, 1))
+	sigs := make(chan os.Signal, 1)
+	sigs <- os.Interrupt
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-config", cfg, "-iterations", "0"}, &out, &errOut, sigs); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "mkdir -p /cg/lachesis/") {
+		t.Fatalf("no cgroups created:\n%s", s)
+	}
+	// Shutdown moves threads back to the parent group and removes the
+	// cgroups the daemon created (dry-run prints the rmdirs).
+	if !strings.Contains(s, "dry-run: rmdir /cg/lachesis/") {
+		t.Errorf("missing cgroup removal in shutdown output:\n%s", s)
+	}
+}
+
+func TestHealthSnapshotPrinted(t *testing.T) {
+	cfg := writeConfig(t, validConfig)
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-config", cfg, "-iterations", "1"}, &out, &errOut, nil); err != nil {
+		t.Fatal(err)
+	}
+	e := errOut.String()
+	if !strings.Contains(e, "health: binding configured+transform/nice healthy") {
+		t.Errorf("missing binding health line:\n%s", e)
+	}
+	if !strings.Contains(e, "health: driver static") {
+		t.Errorf("missing driver health line:\n%s", e)
 	}
 }

@@ -1,0 +1,28 @@
+package core
+
+import "errors"
+
+// Failure classification shared by OS bindings, translators, and the
+// middleware's resilience machinery. OS bindings (internal/oslinux,
+// internal/simctl) wrap their errors with these sentinels so the rest of
+// Lachesis can react without knowing syscall details.
+
+// ErrEntityVanished marks control operations that failed because their
+// target no longer exists: a thread that exited between the driver listing
+// it and setpriority(2) reaching it (ESRCH), or a cgroup torn down
+// concurrently (ENOENT). Translators treat these as benign skips — the
+// next period's entity list simply no longer contains the target.
+var ErrEntityVanished = errors.New("core: scheduling target vanished")
+
+// ErrTransient marks control operations that failed for a reason expected
+// to clear on its own (EAGAIN/EINTR-style). OS bindings retry these a few
+// times before surfacing them; surfaced transient errors still count
+// against a binding's circuit breaker.
+var ErrTransient = errors.New("core: transient OS error")
+
+// IsVanished reports whether err (or any error it joins/wraps) is a benign
+// vanished-target failure.
+func IsVanished(err error) bool { return errors.Is(err, ErrEntityVanished) }
+
+// IsTransient reports whether err is a retryable transient failure.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }

@@ -3,67 +3,10 @@ package core
 import (
 	"errors"
 	"testing"
-	"time"
 )
 
-// flakyDriver fails Fetch on a configurable schedule, modeling an SPE
-// metrics endpoint that times out intermittently.
-type flakyDriver struct {
-	fakeDriver
-	failEvery int
-	calls     int
-}
-
-func (d *flakyDriver) Fetch(metric string, now time.Duration) (EntityValues, error) {
-	d.calls++
-	if d.failEvery > 0 && d.calls%d.failEvery == 0 {
-		return nil, errors.New("metrics endpoint timeout")
-	}
-	return d.fakeDriver.Fetch(metric, now)
-}
-
-func TestMiddlewareSurvivesFlakyDriver(t *testing.T) {
-	d := &flakyDriver{
-		fakeDriver: fakeDriver{
-			name:     "flaky",
-			provided: map[string]EntityValues{MetricQueueSize: {"a": 5, "b": 1}},
-			entities: []Entity{
-				{Name: "a", Driver: "flaky", Query: "q", Thread: 1},
-				{Name: "b", Driver: "flaky", Query: "q", Thread: 2},
-			},
-		},
-		failEvery: 3,
-	}
-	os := newFakeOS()
-	mw := NewMiddleware(nil)
-	if err := mw.Bind(Binding{
-		Policy:     NewQSPolicy(),
-		Translator: NewNiceTranslator(os),
-		Drivers:    []Driver{d},
-		Period:     time.Second,
-	}); err != nil {
-		t.Fatal(err)
-	}
-	var stepErrs int
-	for i := 0; i < 9; i++ {
-		if _, err := mw.Step(time.Duration(i) * time.Second); err != nil {
-			stepErrs++
-		}
-	}
-	if stepErrs == 0 {
-		t.Error("flaky driver should surface some step errors")
-	}
-	if stepErrs == 9 {
-		t.Error("every step failing means no recovery")
-	}
-	// Successful periods must have applied schedules.
-	if len(os.nices) == 0 {
-		t.Error("no schedules applied despite successful periods")
-	}
-	if mw.PolicyRuns() == 0 {
-		t.Error("no successful policy runs recorded")
-	}
-}
+// The flaky-driver survival test lives in internal/faults now, built on
+// the seeded fault injectors (package core cannot import faults).
 
 // failingTranslator always fails Apply.
 type failingTranslator struct{}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -26,34 +27,215 @@ type Binding struct {
 	Period time.Duration
 }
 
+// DegradedAction selects what a binding does when its circuit breaker
+// opens.
+type DegradedAction int
+
+const (
+	// DegradedHold keeps the last applied schedule in place while the
+	// binding is quarantined (the OS simply keeps enforcing stale
+	// priorities — the default, matching how the paper's daemon degrades
+	// to plain OS scheduling only by inaction).
+	DegradedHold DegradedAction = iota
+	// DegradedReset applies a neutral schedule (equal priorities) once
+	// when the breaker opens, handing the quarantined entities back to
+	// default OS scheduling instead of freezing a possibly-bad schedule.
+	DegradedReset
+)
+
+// Resilience configures the middleware's failure handling: per-driver
+// partial updates with last-good fallback, per-binding circuit breakers
+// with exponential backoff, and panic isolation of user policies.
+type Resilience struct {
+	// Disabled reverts to the strict pre-hardening main loop: any driver
+	// failure aborts the whole cycle, there is no breaker, no stale
+	// fallback, and policy panics propagate. Used as the unhardened
+	// baseline in the chaos experiment.
+	Disabled bool
+	// FailureThreshold is how many consecutive failures open a binding's
+	// breaker (default 3).
+	FailureThreshold int
+	// BaseBackoff is the first quarantine interval (default: the
+	// binding's period). Each consecutive re-opening doubles it.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff (default 30s).
+	MaxBackoff time.Duration
+	// StalenessBound is how old a driver's last good metric values may be
+	// and still be served in place of a failed fetch (default 10s).
+	StalenessBound time.Duration
+	// Degraded selects the action taken when a breaker opens.
+	Degraded DegradedAction
+}
+
+// DefaultResilience returns the hardened default configuration.
+func DefaultResilience() Resilience {
+	return Resilience{
+		FailureThreshold: 3,
+		MaxBackoff:       30 * time.Second,
+		StalenessBound:   10 * time.Second,
+		Degraded:         DegradedHold,
+	}
+}
+
+func (r Resilience) withDefaults() Resilience {
+	if r.Disabled {
+		return r
+	}
+	if r.FailureThreshold <= 0 {
+		r.FailureThreshold = 3
+	}
+	if r.MaxBackoff <= 0 {
+		r.MaxBackoff = 30 * time.Second
+	}
+	if r.StalenessBound <= 0 {
+		r.StalenessBound = 10 * time.Second
+	}
+	return r
+}
+
+// BindingState is a binding's health classification.
+type BindingState int
+
+const (
+	// BindingHealthy: the last run succeeded.
+	BindingHealthy BindingState = iota
+	// BindingDegraded: recent failures, but the breaker is still closed.
+	BindingDegraded
+	// BindingQuarantined: the breaker is open; runs are suspended until
+	// the next half-open probe.
+	BindingQuarantined
+)
+
+// String implements fmt.Stringer.
+func (s BindingState) String() string {
+	switch s {
+	case BindingHealthy:
+		return "healthy"
+	case BindingDegraded:
+		return "degraded"
+	case BindingQuarantined:
+		return "quarantined"
+	default:
+		return fmt.Sprintf("BindingState(%d)", int(s))
+	}
+}
+
+// BindingHealth is one binding's slice of the Health snapshot.
+type BindingHealth struct {
+	Policy              string
+	Translator          string
+	State               BindingState
+	ConsecutiveFailures int
+	// LastSuccess is the virtual time of the last successful run (valid
+	// when HasSucceeded).
+	LastSuccess  time.Duration
+	HasSucceeded bool
+	// OpenUntil is when a quarantined binding next probes.
+	OpenUntil time.Duration
+	LastError string
+}
+
+// DriverHealth is one driver's slice of the Health snapshot.
+type DriverHealth struct {
+	Driver              string
+	ConsecutiveFailures int
+	LastSuccess         time.Duration
+	HasSucceeded        bool
+	// ServingStale marks a driver whose last fetch failed but whose
+	// cached values are still within the staleness bound.
+	ServingStale bool
+	LastError    string
+}
+
+// Health is a point-in-time snapshot of the middleware's failure state,
+// the observability surface of a long-running lachesisd.
+type Health struct {
+	Bindings []BindingHealth
+	Drivers  []DriverHealth
+}
+
+// Healthy reports whether every binding and driver is failure-free.
+func (h Health) Healthy() bool {
+	for _, b := range h.Bindings {
+		if b.State != BindingHealthy {
+			return false
+		}
+	}
+	for _, d := range h.Drivers {
+		if d.ConsecutiveFailures > 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Middleware is Lachesis' main loop state (Algorithm 1): it periodically
 // pulls metrics through the provider, runs each due policy, and applies
-// the resulting schedules through the policies' translators.
+// the resulting schedules through the policies' translators. Failures are
+// isolated per driver and per binding (see Resilience).
 type Middleware struct {
 	provider *Provider
 	bindings []*boundPolicy
+	res      Resilience
+	drivers  map[string]*driverState
 
 	policyRuns  int64
 	applyErrors int64
+	panics      int64
 }
 
 type boundPolicy struct {
 	Binding
 	ticker  *Ticker
 	queries map[string]bool
+
+	// Circuit-breaker state.
+	fails     int           // consecutive failures
+	opens     int           // consecutive breaker openings (backoff exponent)
+	open      bool          // breaker open (quarantined)
+	openUntil time.Duration // next half-open probe time
+
+	lastSuccess  time.Duration
+	haveSuccess  bool
+	lastErr      error
+	lastEntities map[string]Entity // last successfully scheduled entities
+}
+
+// driverState tracks one driver's fetch health and last good values.
+type driverState struct {
+	fails       int
+	lastSuccess time.Duration
+	haveSuccess bool
+	lastErr     error
+	lastGood    map[string]EntityValues
+	lastGoodAt  time.Duration
+	stale       bool // currently serving lastGood in place of a failed fetch
 }
 
 // NewMiddleware creates a middleware over a metric provider (nil selects a
-// provider with the default registry).
+// provider with the default registry). Resilient failure handling is on by
+// default; SetResilience tunes or disables it.
 func NewMiddleware(provider *Provider) *Middleware {
 	if provider == nil {
 		provider = NewProvider(nil)
 	}
-	return &Middleware{provider: provider}
+	return &Middleware{
+		provider: provider,
+		res:      DefaultResilience(),
+		drivers:  make(map[string]*driverState),
+	}
 }
 
 // Provider returns the middleware's metric provider.
 func (m *Middleware) Provider() *Provider { return m.provider }
+
+// SetResilience replaces the failure-handling configuration. Zero fields
+// are filled with defaults; Resilience{Disabled: true} restores the strict
+// legacy loop.
+func (m *Middleware) SetResilience(r Resilience) { m.res = r.withDefaults() }
+
+// Resilience returns the active failure-handling configuration.
+func (m *Middleware) Resilience() Resilience { return m.res }
 
 // Bind registers a policy binding and the metrics it requires
 // (Algorithm 1, line 1).
@@ -78,6 +260,11 @@ func (m *Middleware) Bind(b Binding) error {
 		}
 	}
 	m.bindings = append(m.bindings, bp)
+	for _, d := range b.Drivers {
+		if m.drivers[d.Name()] == nil {
+			m.drivers[d.Name()] = &driverState{}
+		}
+	}
 	return nil
 }
 
@@ -87,6 +274,10 @@ func (m *Middleware) PolicyRuns() int64 { return m.policyRuns }
 // ApplyErrors returns how many policy/translator executions failed.
 func (m *Middleware) ApplyErrors() int64 { return m.applyErrors }
 
+// PanicsRecovered returns how many policy/translator panics the loop has
+// absorbed.
+func (m *Middleware) PanicsRecovered() int64 { return m.panics }
+
 // StepStats reports what one Step did, letting callers model the
 // middleware's (small) CPU footprint.
 type StepStats struct {
@@ -94,69 +285,321 @@ type StepStats struct {
 	PoliciesRun int
 	// Entities is the total entity count across executed policies.
 	Entities int
-	// Next is the earliest time any policy is due again.
+	// Quarantined is the number of due bindings skipped by an open
+	// circuit breaker.
+	Quarantined int
+	// Next is the earliest time any policy is due again. It is always in
+	// the future, even when every driver failed, so callers honoring it
+	// never busy-loop.
 	Next time.Duration
 }
 
 // Step runs one iteration of Algorithm 1 at virtual (or wall) time now:
 // update metrics if any policy is due, run due policies, apply their
-// schedules, and report when to wake next. Errors from individual
-// policies/translators are joined but do not stop other bindings.
+// schedules, and report when to wake next. Errors from individual drivers,
+// policies, and translators are joined but quarantine only the bindings
+// that depend on them; a panicking user policy is converted into an error.
 func (m *Middleware) Step(now time.Duration) (StepStats, error) {
 	stats := StepStats{}
 	if len(m.bindings) == 0 {
 		stats.Next = now + time.Second
 		return stats, nil
 	}
-	anyDue := false
+	// Collect due bindings and advance their tickers up front: a failed
+	// cycle must never leave stats.Next in the past (ticker-stall bug).
+	var due []*boundPolicy
 	for _, bp := range m.bindings {
 		if bp.ticker.Due(now) {
-			anyDue = true
-			break
+			bp.ticker.Advance(now)
+			due = append(due, bp)
 		}
 	}
+	if len(due) == 0 {
+		stats.Next = m.nextDue()
+		return stats, nil
+	}
+
 	var errs []error
-	if anyDue {
-		drivers := m.dueDrivers(now)
-		values, err := m.provider.Update(now, drivers)
-		if err != nil {
-			errs = append(errs, err)
-		} else {
-			for _, bp := range m.bindings {
-				if !bp.ticker.Due(now) {
-					continue
-				}
-				bp.ticker.Advance(now)
-				view := m.buildView(now, bp, values)
-				stats.PoliciesRun++
-				stats.Entities += len(view.Entities)
-				sched, err := bp.Policy.Schedule(view)
-				if err != nil {
-					m.applyErrors++
-					errs = append(errs, fmt.Errorf("policy %s: %w", bp.Policy.Name(), err))
-					continue
-				}
-				if err := bp.Translator.Apply(sched, view.Entities); err != nil {
-					m.applyErrors++
-					errs = append(errs, fmt.Errorf("translate %s/%s: %w", bp.Policy.Name(), bp.Translator.Name(), err))
-					continue
-				}
-				m.policyRuns++
-			}
-		}
+	if m.res.Disabled {
+		errs = m.stepStrict(now, due, &stats)
+	} else {
+		errs = m.stepResilient(now, due, &stats)
 	}
 	stats.Next = m.nextDue()
 	return stats, errors.Join(errs...)
 }
 
-// dueDrivers returns the distinct drivers across bindings due at now.
-func (m *Middleware) dueDrivers(now time.Duration) []Driver {
-	seen := make(map[string]bool)
-	var out []Driver
-	for _, bp := range m.bindings {
-		if !bp.ticker.Due(now) {
+// stepStrict is the pre-hardening cycle: one all-or-nothing provider
+// update, no breaker, no panic isolation.
+func (m *Middleware) stepStrict(now time.Duration, due []*boundPolicy, stats *StepStats) []error {
+	var errs []error
+	drivers := distinctDrivers(due)
+	values, err := m.provider.Update(now, drivers)
+	if err != nil {
+		return []error{err}
+	}
+	for _, bp := range due {
+		view := m.buildView(now, bp, values)
+		stats.PoliciesRun++
+		stats.Entities += len(view.Entities)
+		sched, err := bp.Policy.Schedule(view)
+		if err != nil {
+			m.applyErrors++
+			errs = append(errs, fmt.Errorf("policy %s: %w", bp.Policy.Name(), err))
 			continue
 		}
+		if err := bp.Translator.Apply(sched, view.Entities); err != nil {
+			m.applyErrors++
+			errs = append(errs, fmt.Errorf("translate %s/%s: %w", bp.Policy.Name(), bp.Translator.Name(), err))
+			continue
+		}
+		m.policyRuns++
+	}
+	return errs
+}
+
+// stepResilient is the hardened cycle: per-driver updates with last-good
+// fallback, breaker gating, and panic isolation.
+func (m *Middleware) stepResilient(now time.Duration, due []*boundPolicy, stats *StepStats) []error {
+	var errs []error
+	// Run breaker gating first so quarantined-only drivers are not
+	// scraped.
+	var runnable []*boundPolicy
+	for _, bp := range due {
+		if bp.open && now < bp.openUntil {
+			stats.Quarantined++
+			continue
+		}
+		runnable = append(runnable, bp)
+	}
+
+	// Per-driver partial update: a failing driver quarantines only the
+	// bindings that depend on it; values within the staleness bound are
+	// served in its place.
+	values := make(Values)
+	unavailable := make(map[string]error)
+	for _, d := range distinctDrivers(runnable) {
+		name := d.Name()
+		ds := m.drivers[name]
+		if ds == nil {
+			ds = &driverState{}
+			m.drivers[name] = ds
+		}
+		vals, err := m.provider.UpdateOne(now, d)
+		if err == nil {
+			ds.fails = 0
+			ds.lastErr = nil
+			ds.stale = false
+			ds.lastSuccess = now
+			ds.haveSuccess = true
+			ds.lastGood = vals
+			ds.lastGoodAt = now
+			values[name] = vals
+			continue
+		}
+		ds.fails++
+		ds.lastErr = err
+		errs = append(errs, fmt.Errorf("driver %s: %w", name, err))
+		if ds.lastGood != nil && now-ds.lastGoodAt <= m.res.StalenessBound {
+			// Last-good fallback: schedule on slightly stale metrics
+			// rather than not at all.
+			ds.stale = true
+			values[name] = ds.lastGood
+		} else {
+			ds.stale = false
+			unavailable[name] = err
+		}
+	}
+
+	for _, bp := range runnable {
+		var blocked []error
+		available := false
+		for _, d := range bp.Drivers {
+			if err, bad := unavailable[d.Name()]; bad {
+				blocked = append(blocked, err)
+			} else {
+				available = true
+			}
+		}
+		if !available {
+			// Every driver of this binding is down past the staleness
+			// bound: the binding cannot run this period.
+			m.recordFailure(bp, now, fmt.Errorf("binding %s/%s: no usable drivers: %w",
+				bp.Policy.Name(), bp.Translator.Name(), errors.Join(blocked...)))
+			continue
+		}
+		view := m.buildView(now, bp, values)
+		stats.PoliciesRun++
+		stats.Entities += len(view.Entities)
+		sched, err := m.safeSchedule(bp.Policy, view)
+		if err != nil {
+			m.applyErrors++
+			err = fmt.Errorf("policy %s: %w", bp.Policy.Name(), err)
+			errs = append(errs, err)
+			m.recordFailure(bp, now, err)
+			continue
+		}
+		if err := m.safeApply(bp.Translator, sched, view.Entities); err != nil {
+			m.applyErrors++
+			err = fmt.Errorf("translate %s/%s: %w", bp.Policy.Name(), bp.Translator.Name(), err)
+			errs = append(errs, err)
+			m.recordFailure(bp, now, err)
+			continue
+		}
+		m.policyRuns++
+		bp.fails = 0
+		bp.opens = 0
+		bp.open = false
+		bp.lastErr = nil
+		bp.lastSuccess = now
+		bp.haveSuccess = true
+		bp.lastEntities = view.Entities
+	}
+	return errs
+}
+
+// recordFailure advances a binding's breaker state after a failed run.
+func (m *Middleware) recordFailure(bp *boundPolicy, now time.Duration, err error) {
+	bp.fails++
+	bp.lastErr = err
+	if bp.open {
+		// Failed half-open probe: re-quarantine with doubled backoff.
+		bp.opens++
+		bp.openUntil = now + m.backoff(bp)
+		return
+	}
+	if bp.fails >= m.res.FailureThreshold {
+		bp.open = true
+		bp.opens++
+		bp.openUntil = now + m.backoff(bp)
+		if m.res.Degraded == DegradedReset {
+			m.resetBinding(bp)
+		}
+	}
+}
+
+// backoff returns the quarantine interval for a binding's current opening
+// count: base * 2^(opens-1), capped at MaxBackoff.
+func (m *Middleware) backoff(bp *boundPolicy) time.Duration {
+	base := m.res.BaseBackoff
+	if base <= 0 {
+		base = bp.ticker.Period()
+	}
+	shift := bp.opens - 1
+	if shift > 16 {
+		shift = 16
+	}
+	d := base << shift
+	if d > m.res.MaxBackoff || d <= 0 {
+		d = m.res.MaxBackoff
+	}
+	return d
+}
+
+// resetBinding hands a quarantined binding's entities back to default OS
+// scheduling, best-effort: through the translator's Resetter capability
+// when available, otherwise by applying a neutral (all-equal) schedule.
+func (m *Middleware) resetBinding(bp *boundPolicy) {
+	if len(bp.lastEntities) == 0 {
+		return
+	}
+	if r, ok := bp.Translator.(Resetter); ok {
+		defer func() {
+			if rec := recover(); rec != nil {
+				m.panics++
+			}
+		}()
+		_ = r.Reset(bp.lastEntities)
+		return
+	}
+	single := make(map[string]float64, len(bp.lastEntities))
+	for name := range bp.lastEntities {
+		single[name] = 0
+	}
+	neutral := Schedule{
+		Scale:  ScaleLinear,
+		Single: single,
+		Groups: perOpGroups(single),
+	}
+	_ = m.safeApply(bp.Translator, neutral, bp.lastEntities)
+}
+
+// safeSchedule runs a policy with panic isolation: a buggy user policy
+// becomes an error, never a crashed main loop.
+func (m *Middleware) safeSchedule(p Policy, v *View) (sched Schedule, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.panics++
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return p.Schedule(v)
+}
+
+// safeApply runs a translator with panic isolation.
+func (m *Middleware) safeApply(t Translator, sched Schedule, entities map[string]Entity) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.panics++
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return t.Apply(sched, entities)
+}
+
+// Health returns a snapshot of per-binding breaker state and per-driver
+// fetch health.
+func (m *Middleware) Health() Health {
+	h := Health{}
+	for _, bp := range m.bindings {
+		bh := BindingHealth{
+			Policy:              bp.Policy.Name(),
+			Translator:          bp.Translator.Name(),
+			ConsecutiveFailures: bp.fails,
+			LastSuccess:         bp.lastSuccess,
+			HasSucceeded:        bp.haveSuccess,
+		}
+		switch {
+		case bp.open:
+			bh.State = BindingQuarantined
+			bh.OpenUntil = bp.openUntil
+		case bp.fails > 0:
+			bh.State = BindingDegraded
+		default:
+			bh.State = BindingHealthy
+		}
+		if bp.lastErr != nil {
+			bh.LastError = bp.lastErr.Error()
+		}
+		h.Bindings = append(h.Bindings, bh)
+	}
+	names := make([]string, 0, len(m.drivers))
+	for name := range m.drivers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ds := m.drivers[name]
+		dh := DriverHealth{
+			Driver:              name,
+			ConsecutiveFailures: ds.fails,
+			LastSuccess:         ds.lastSuccess,
+			HasSucceeded:        ds.haveSuccess,
+			ServingStale:        ds.stale,
+		}
+		if ds.lastErr != nil {
+			dh.LastError = ds.lastErr.Error()
+		}
+		h.Drivers = append(h.Drivers, dh)
+	}
+	return h
+}
+
+// distinctDrivers returns the distinct drivers across the given bindings.
+func distinctDrivers(bps []*boundPolicy) []Driver {
+	seen := make(map[string]bool)
+	var out []Driver
+	for _, bp := range bps {
 		for _, d := range bp.Drivers {
 			if !seen[d.Name()] {
 				seen[d.Name()] = true
@@ -168,24 +611,30 @@ func (m *Middleware) dueDrivers(now time.Duration) []Driver {
 }
 
 // buildView assembles the policy's view: entities of its drivers (filtered
-// by query scope) and the merged metric values.
+// by query scope) and the merged metric values. Drivers absent from values
+// (unavailable this cycle) contribute neither entities nor metrics — their
+// operators are quarantined until the driver recovers.
 func (m *Middleware) buildView(now time.Duration, bp *boundPolicy, values Values) *View {
 	entities := make(map[string]Entity)
 	merged := make(map[string]EntityValues)
 	for _, d := range bp.Drivers {
+		vals, ok := values[d.Name()]
+		if !ok {
+			continue
+		}
 		for _, ent := range d.Entities() {
 			if bp.queries != nil && !bp.queries[ent.Query] {
 				continue
 			}
 			entities[ent.Name] = ent
 		}
-		for metric, vals := range values[d.Name()] {
+		for metric, mvals := range vals {
 			dst := merged[metric]
 			if dst == nil {
-				dst = make(EntityValues, len(vals))
+				dst = make(EntityValues, len(mvals))
 				merged[metric] = dst
 			}
-			for e, v := range vals {
+			for e, v := range mvals {
 				if _, keep := entities[e]; keep {
 					dst[e] = v
 				}

@@ -14,9 +14,11 @@ type Provider struct {
 
 	// prev retains the previous update's values per driver, so derived
 	// metrics can compute rates from cumulative counters.
-	prev       map[string]map[string]EntityValues
-	lastUpdate time.Duration
-	hasUpdated bool
+	prev map[string]map[string]EntityValues
+	// lastUpdate tracks each driver's last successful update time, so
+	// rate windows stay correct when drivers fail (and recover) on
+	// independent schedules.
+	lastUpdate map[string]time.Duration
 }
 
 // NewProvider creates a provider over a metric registry (nil selects
@@ -29,6 +31,7 @@ func NewProvider(registry Registry) *Provider {
 		registry:   registry,
 		registered: make(map[string]bool),
 		prev:       make(map[string]map[string]EntityValues),
+		lastUpdate: make(map[string]time.Duration),
 	}
 }
 
@@ -59,30 +62,43 @@ type Values map[string]map[string]EntityValues
 
 // Update computes all registered metrics for every driver (Algorithm 3,
 // update): each driver gets a fresh computation cache so shared
-// dependencies are computed once per driver per period.
+// dependencies are computed once per driver per period. The first failing
+// driver aborts the whole update; callers that want per-driver isolation
+// (the middleware's resilient main loop) use UpdateOne instead.
 func (p *Provider) Update(now time.Duration, drivers []Driver) (Values, error) {
 	out := make(Values, len(drivers))
-	var elapsed time.Duration
-	if p.hasUpdated {
-		elapsed = now - p.lastUpdate
-	}
 	for _, d := range drivers {
-		ctx := &ComputeCtx{Now: now, Elapsed: elapsed, Prev: p.prev[d.Name()]}
-		if ctx.Prev == nil {
-			ctx.Prev = make(map[string]EntityValues)
-		}
-		cache := make(map[string]EntityValues)
-		for m := range p.registered {
-			if _, err := p.compute(m, d, ctx, cache, nil); err != nil {
-				return nil, err
-			}
+		cache, err := p.UpdateOne(now, d)
+		if err != nil {
+			return nil, err
 		}
 		out[d.Name()] = cache
-		p.prev[d.Name()] = cache
 	}
-	p.lastUpdate = now
-	p.hasUpdated = true
 	return out, nil
+}
+
+// UpdateOne computes all registered metrics for a single driver. On
+// failure the driver's previous values and rate window are left intact, so
+// a later successful update still computes rates over the full elapsed
+// interval — a failed scrape loses resolution, not history.
+func (p *Provider) UpdateOne(now time.Duration, d Driver) (map[string]EntityValues, error) {
+	var elapsed time.Duration
+	if last, ok := p.lastUpdate[d.Name()]; ok {
+		elapsed = now - last
+	}
+	ctx := &ComputeCtx{Now: now, Elapsed: elapsed, Prev: p.prev[d.Name()]}
+	if ctx.Prev == nil {
+		ctx.Prev = make(map[string]EntityValues)
+	}
+	cache := make(map[string]EntityValues)
+	for m := range p.registered {
+		if _, err := p.compute(m, d, ctx, cache, nil); err != nil {
+			return nil, err
+		}
+	}
+	p.prev[d.Name()] = cache
+	p.lastUpdate[d.Name()] = now
+	return cache, nil
 }
 
 // compute resolves one metric for one driver (Algorithm 3, compute):

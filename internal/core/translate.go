@@ -28,6 +28,22 @@ type Translator interface {
 	Apply(sched Schedule, entities map[string]Entity) error
 }
 
+// Resetter is the optional translator capability to undo its scheduling
+// decisions: restore default priorities and release OS resources it
+// created. The middleware uses it for the DegradedReset action, and
+// lachesisd for graceful shutdown. All built-in translators implement it.
+type Resetter interface {
+	Reset(entities map[string]Entity) error
+}
+
+// PlacementRestorer is the optional OS capability to return a thread to
+// wherever it lived before Lachesis first moved it (its original cgroup,
+// or the root when unknown). The shares translator uses it on Reset so
+// emptied cgroups can be removed.
+type PlacementRestorer interface {
+	RestoreThread(tid int) error
+}
+
 // Default cpu.shares normalization range. The 1024x spread roughly matches
 // the useful dynamic range of nice (1.25^39 ~ 6000x) while staying well
 // inside the kernel's [2, 262144] bounds.
@@ -54,7 +70,10 @@ func NewNiceTranslator(os OSInterface) *NiceTranslator {
 // Name implements Translator.
 func (*NiceTranslator) Name() string { return "nice" }
 
-// Apply implements Translator.
+// Apply implements Translator. Per-entity OS errors do not stop the
+// remaining entities from being applied; vanished threads (the thread
+// exited between the driver listing it and setpriority reaching it) are
+// benign skips, not errors.
 func (t *NiceTranslator) Apply(sched Schedule, entities map[string]Entity) error {
 	if len(sched.Single) == 0 {
 		return errors.New("core: nice translator needs a single-priority schedule")
@@ -66,8 +85,24 @@ func (t *NiceTranslator) Apply(sched Schedule, entities map[string]Entity) error
 		if !ok || ent.Thread == 0 {
 			continue // no dedicated thread (e.g. worker-pool engines)
 		}
-		if err := t.os.SetNice(ent.Thread, nices[name]); err != nil {
+		if err := t.os.SetNice(ent.Thread, nices[name]); err != nil && !IsVanished(err) {
 			errs = append(errs, fmt.Errorf("renice %s: %w", name, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Reset implements Resetter: every entity thread returns to the default
+// nice value (0).
+func (t *NiceTranslator) Reset(entities map[string]Entity) error {
+	var errs []error
+	for _, name := range sortedKeys(entities) {
+		ent := entities[name]
+		if ent.Thread == 0 {
+			continue
+		}
+		if err := t.os.SetNice(ent.Thread, 0); err != nil && !IsVanished(err) {
+			errs = append(errs, fmt.Errorf("reset nice %s: %w", name, err))
 		}
 	}
 	return errors.Join(errs...)
@@ -130,7 +165,7 @@ func (t *SharesTranslator) Apply(sched Schedule, entities map[string]Entity) err
 			errs = append(errs, fmt.Errorf("cgroup %s: %w", gid, err))
 			continue
 		}
-		if err := t.os.SetShares(gid, shares[gid]); err != nil {
+		if err := t.os.SetShares(gid, shares[gid]); err != nil && !IsVanished(err) {
 			errs = append(errs, fmt.Errorf("shares %s: %w", gid, err))
 		}
 		for _, opName := range groups[gid].Ops {
@@ -138,19 +173,20 @@ func (t *SharesTranslator) Apply(sched Schedule, entities map[string]Entity) err
 			if !ok || ent.Thread == 0 {
 				continue
 			}
-			if err := t.os.MoveThread(ent.Thread, gid); err != nil {
+			if err := t.os.MoveThread(ent.Thread, gid); err != nil && !IsVanished(err) {
 				errs = append(errs, fmt.Errorf("move %s to %s: %w", opName, gid, err))
 			}
 		}
 	}
 
-	// Garbage-collect cgroups whose group vanished from the schedule.
+	// Garbage-collect cgroups whose group vanished from the schedule. A
+	// group already gone (vanished) is success, not failure.
 	if remover, ok := t.os.(CgroupRemover); ok {
 		for gid := range t.prev {
 			if _, still := groups[gid]; still {
 				continue
 			}
-			if err := remover.RemoveCgroup(gid); err != nil {
+			if err := remover.RemoveCgroup(gid); err != nil && !IsVanished(err) {
 				errs = append(errs, fmt.Errorf("remove stale cgroup %s: %w", gid, err))
 			}
 		}
@@ -160,6 +196,33 @@ func (t *SharesTranslator) Apply(sched Schedule, entities map[string]Entity) err
 		cur[gid] = true
 	}
 	t.prev = cur
+	return errors.Join(errs...)
+}
+
+// Reset implements Resetter: entity threads return to their original
+// placement (when the OS binding can restore it) and every cgroup this
+// translator created is removed (when the OS binding can remove them).
+func (t *SharesTranslator) Reset(entities map[string]Entity) error {
+	var errs []error
+	if restorer, ok := t.os.(PlacementRestorer); ok {
+		for _, name := range sortedKeys(entities) {
+			ent := entities[name]
+			if ent.Thread == 0 {
+				continue
+			}
+			if err := restorer.RestoreThread(ent.Thread); err != nil && !IsVanished(err) {
+				errs = append(errs, fmt.Errorf("restore %s: %w", name, err))
+			}
+		}
+	}
+	if remover, ok := t.os.(CgroupRemover); ok {
+		for _, gid := range sortedKeys(t.prev) {
+			if err := remover.RemoveCgroup(gid); err != nil && !IsVanished(err) {
+				errs = append(errs, fmt.Errorf("remove cgroup %s: %w", gid, err))
+			}
+		}
+	}
+	t.prev = make(map[string]bool)
 	return errors.Join(errs...)
 }
 
@@ -211,6 +274,11 @@ func (t *CombinedTranslator) Apply(sched Schedule, entities map[string]Entity) e
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// Reset implements Resetter.
+func (t *CombinedTranslator) Reset(entities map[string]Entity) error {
+	return errors.Join(t.nice.Reset(entities), t.shares.Reset(entities))
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -20,10 +20,17 @@ import (
 // (e.g. from a removed operator) are dropped.
 const maxStaleness = 10 * time.Second
 
+// Source is the read-side interface the driver needs from the metrics
+// store. *metrics.Store satisfies it; internal/faults wraps it to inject
+// store-level failures (missing samples, scrape outages).
+type Source interface {
+	Latest(series string) (metrics.Point, bool)
+}
+
 // Driver exposes one engine to Lachesis.
 type Driver struct {
 	engine *spe.Engine
-	store  *metrics.Store
+	store  Source
 	// provided maps canonical metric names to the raw series suffix they
 	// are read from.
 	provided map[string]string
@@ -40,6 +47,12 @@ var _ core.Driver = (*Driver)(nil)
 //   - Liebre: queue_size, in_count, out_count, cost_ms, selectivity,
 //     head_wait_ms
 func New(engine *spe.Engine, store *metrics.Store) (*Driver, error) {
+	return NewFromSource(engine, store)
+}
+
+// NewFromSource is New over any metric source, letting tests and the chaos
+// experiment interpose fault-injecting wrappers between driver and store.
+func NewFromSource(engine *spe.Engine, store Source) (*Driver, error) {
 	var provided map[string]string
 	switch engine.Flavor() {
 	case spe.FlavorStorm:

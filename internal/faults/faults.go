@@ -1,0 +1,327 @@
+// Package faults provides deterministic, seeded fault injectors for the
+// Lachesis resilience layer. The injectors wrap the three surfaces through
+// which the middleware touches the outside world — core.Driver (metric
+// fetches), core.OSInterface (scheduling control operations), and the
+// metrics store read path — so unit tests and simulated experiments can
+// reproduce flaky metric endpoints, sustained SPE outages, vanished
+// threads, and cgroupfs write failures without any real failure source.
+//
+// All randomness comes from a caller-supplied seed: the same plan over the
+// same call sequence injects the same faults, which is what makes chaos
+// tests assertable.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"lachesis/internal/core"
+)
+
+// ErrInjected marks every failure this package fabricates, so tests can
+// distinguish injected faults from real bugs.
+var ErrInjected = errors.New("faults: injected failure")
+
+// Window is a half-open virtual-time interval [From, To).
+type Window struct {
+	From, To time.Duration
+}
+
+// Contains reports whether now falls inside the window.
+func (w Window) Contains(now time.Duration) bool {
+	return now >= w.From && now < w.To
+}
+
+// Windows is a set of outage/freeze intervals.
+type Windows []Window
+
+// Contains reports whether now falls inside any window.
+func (ws Windows) Contains(now time.Duration) bool {
+	for _, w := range ws {
+		if w.Contains(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- driver injector ---
+
+// DriverPlan configures a fault-injecting driver wrapper.
+type DriverPlan struct {
+	// Seed drives all probabilistic faults (0 is a valid seed).
+	Seed int64
+	// FailRate is the probability in [0,1] that any one Fetch fails.
+	FailRate float64
+	// Outages are windows during which every Fetch fails (a sustained
+	// metrics-endpoint outage).
+	Outages Windows
+	// Freezes are windows during which Fetch serves the last good values
+	// without consulting the wrapped driver — a stuck exporter that keeps
+	// answering with stale data.
+	Freezes Windows
+	// DropEntityRate is the probability that any one entity is omitted
+	// from an Entities listing (entity churn: threads vanishing between
+	// listing and control).
+	DropEntityRate float64
+	// Latency is added to every successful Fetch via Sleep, when set.
+	Latency time.Duration
+	// Sleep implements Latency (nil = no-op, keeping virtual-time tests
+	// deterministic; real deployments can pass time.Sleep).
+	Sleep func(time.Duration)
+}
+
+// Driver wraps a core.Driver with the faults of a DriverPlan.
+type Driver struct {
+	inner core.Driver
+	plan  DriverPlan
+	rng   *rand.Rand
+
+	frozen map[string]core.EntityValues
+
+	fetches  int
+	injected int
+}
+
+var _ core.Driver = (*Driver)(nil)
+
+// WrapDriver wraps a driver with a fault plan.
+func WrapDriver(inner core.Driver, plan DriverPlan) *Driver {
+	return &Driver{
+		inner:  inner,
+		plan:   plan,
+		rng:    rand.New(rand.NewSource(plan.Seed)),
+		frozen: make(map[string]core.EntityValues),
+	}
+}
+
+// Name implements core.Driver.
+func (d *Driver) Name() string { return d.inner.Name() }
+
+// Provides implements core.Driver.
+func (d *Driver) Provides(metric string) bool { return d.inner.Provides(metric) }
+
+// Entities implements core.Driver, dropping each entity with probability
+// DropEntityRate.
+func (d *Driver) Entities() []core.Entity {
+	ents := d.inner.Entities()
+	if d.plan.DropEntityRate <= 0 {
+		return ents
+	}
+	out := ents[:0:0]
+	for _, e := range ents {
+		if d.rng.Float64() < d.plan.DropEntityRate {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Fetch implements core.Driver with the plan's faults applied, in order:
+// outage windows, freeze windows, then the probabilistic failure rate.
+func (d *Driver) Fetch(metric string, now time.Duration) (core.EntityValues, error) {
+	d.fetches++
+	if d.plan.Outages.Contains(now) {
+		d.injected++
+		return nil, fmt.Errorf("fetch %q from %q: endpoint outage: %w", metric, d.Name(), ErrInjected)
+	}
+	if d.plan.Freezes.Contains(now) {
+		if v, ok := d.frozen[metric]; ok {
+			d.injected++
+			return cloneValues(v), nil
+		}
+		// Nothing cached yet: fall through to a real fetch.
+	}
+	if d.plan.FailRate > 0 && d.rng.Float64() < d.plan.FailRate {
+		d.injected++
+		return nil, fmt.Errorf("fetch %q from %q: endpoint timeout: %w", metric, d.Name(), ErrInjected)
+	}
+	v, err := d.inner.Fetch(metric, now)
+	if err != nil {
+		return nil, err
+	}
+	if d.plan.Latency > 0 && d.plan.Sleep != nil {
+		d.plan.Sleep(d.plan.Latency)
+	}
+	d.frozen[metric] = cloneValues(v)
+	return v, nil
+}
+
+// Fetches returns how many Fetch calls the wrapper has seen.
+func (d *Driver) Fetches() int { return d.fetches }
+
+// Injected returns how many faults the wrapper has injected.
+func (d *Driver) Injected() int { return d.injected }
+
+func cloneValues(v core.EntityValues) core.EntityValues {
+	out := make(core.EntityValues, len(v))
+	for k, x := range v {
+		out[k] = x
+	}
+	return out
+}
+
+// --- OS injector ---
+
+// OSPlan configures a fault-injecting OS wrapper.
+type OSPlan struct {
+	// Seed drives all probabilistic faults.
+	Seed int64
+	// TransientRate is the probability in [0,1] that any one control
+	// operation fails with a retryable core.ErrTransient (EAGAIN-style).
+	TransientRate float64
+	// Outages are windows during which every control operation fails
+	// transiently (e.g. cgroupfs remounted read-only).
+	Outages Windows
+	// Clock supplies the virtual time outage windows are checked against
+	// (nil disables windows).
+	Clock func() time.Duration
+	// VanishedThreads lists tids whose operations fail permanently with
+	// core.ErrEntityVanished (ESRCH: the thread exited).
+	VanishedThreads map[int]bool
+	// VanishedCgroups lists cgroup names whose operations fail with
+	// core.ErrEntityVanished (ENOENT: the group was torn down).
+	VanishedCgroups map[string]bool
+}
+
+// OS wraps a core.OSInterface with the faults of an OSPlan. It forwards
+// the optional CgroupRemover and PlacementRestorer capabilities when the
+// wrapped interface has them.
+type OS struct {
+	inner core.OSInterface
+	plan  OSPlan
+	rng   *rand.Rand
+
+	ops      int
+	injected int
+}
+
+var _ core.OSInterface = (*OS)(nil)
+
+// WrapOS wraps an OS interface with a fault plan.
+func WrapOS(inner core.OSInterface, plan OSPlan) *OS {
+	return &OS{inner: inner, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// VanishThread marks a thread as exited: all further operations on it fail
+// with core.ErrEntityVanished.
+func (o *OS) VanishThread(tid int) {
+	if o.plan.VanishedThreads == nil {
+		o.plan.VanishedThreads = make(map[int]bool)
+	}
+	o.plan.VanishedThreads[tid] = true
+}
+
+// inject applies the plan's generic faults to one operation; it returns a
+// non-nil error when the operation should fail.
+func (o *OS) inject(op string) error {
+	o.ops++
+	if o.plan.Clock != nil && o.plan.Outages.Contains(o.plan.Clock()) {
+		o.injected++
+		return fmt.Errorf("%s: OS outage: %w (%w)", op, core.ErrTransient, ErrInjected)
+	}
+	if o.plan.TransientRate > 0 && o.rng.Float64() < o.plan.TransientRate {
+		o.injected++
+		return fmt.Errorf("%s: resource temporarily unavailable: %w (%w)", op, core.ErrTransient, ErrInjected)
+	}
+	return nil
+}
+
+func (o *OS) vanishedTID(op string, tid int) error {
+	if o.plan.VanishedThreads[tid] {
+		o.injected++
+		return fmt.Errorf("%s tid %d: no such process: %w (%w)", op, tid, core.ErrEntityVanished, ErrInjected)
+	}
+	return nil
+}
+
+func (o *OS) vanishedCgroup(op, name string) error {
+	if o.plan.VanishedCgroups[name] {
+		o.injected++
+		return fmt.Errorf("%s cgroup %s: no such file or directory: %w (%w)", op, name, core.ErrEntityVanished, ErrInjected)
+	}
+	return nil
+}
+
+// SetNice implements core.OSInterface.
+func (o *OS) SetNice(tid, nice int) error {
+	if err := o.vanishedTID("setpriority", tid); err != nil {
+		return err
+	}
+	if err := o.inject("setpriority"); err != nil {
+		return err
+	}
+	return o.inner.SetNice(tid, nice)
+}
+
+// EnsureCgroup implements core.OSInterface.
+func (o *OS) EnsureCgroup(name string) error {
+	if err := o.inject("mkdir"); err != nil {
+		return err
+	}
+	return o.inner.EnsureCgroup(name)
+}
+
+// SetShares implements core.OSInterface.
+func (o *OS) SetShares(name string, shares int) error {
+	if err := o.vanishedCgroup("cpu.shares", name); err != nil {
+		return err
+	}
+	if err := o.inject("cpu.shares"); err != nil {
+		return err
+	}
+	return o.inner.SetShares(name, shares)
+}
+
+// MoveThread implements core.OSInterface.
+func (o *OS) MoveThread(tid int, name string) error {
+	if err := o.vanishedTID("cgroup.procs", tid); err != nil {
+		return err
+	}
+	if err := o.vanishedCgroup("cgroup.procs", name); err != nil {
+		return err
+	}
+	if err := o.inject("cgroup.procs"); err != nil {
+		return err
+	}
+	return o.inner.MoveThread(tid, name)
+}
+
+// RemoveCgroup implements core.CgroupRemover, delegating when the wrapped
+// interface supports it (no-op success otherwise).
+func (o *OS) RemoveCgroup(name string) error {
+	if err := o.vanishedCgroup("rmdir", name); err != nil {
+		return err
+	}
+	if err := o.inject("rmdir"); err != nil {
+		return err
+	}
+	if r, ok := o.inner.(core.CgroupRemover); ok {
+		return r.RemoveCgroup(name)
+	}
+	return nil
+}
+
+// RestoreThread implements core.PlacementRestorer, delegating when the
+// wrapped interface supports it (no-op success otherwise).
+func (o *OS) RestoreThread(tid int) error {
+	if err := o.vanishedTID("restore", tid); err != nil {
+		return err
+	}
+	if err := o.inject("restore"); err != nil {
+		return err
+	}
+	if r, ok := o.inner.(core.PlacementRestorer); ok {
+		return r.RestoreThread(tid)
+	}
+	return nil
+}
+
+// Ops returns how many control operations the wrapper has seen.
+func (o *OS) Ops() int { return o.ops }
+
+// Injected returns how many faults the wrapper has injected.
+func (o *OS) Injected() int { return o.injected }

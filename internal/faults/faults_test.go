@@ -1,0 +1,372 @@
+package faults_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/faults"
+	"lachesis/internal/metrics"
+)
+
+// stubDriver is a minimal healthy core.Driver for wrapping.
+type stubDriver struct {
+	name     string
+	provided map[string]core.EntityValues
+	entities []core.Entity
+	fetches  int
+}
+
+var _ core.Driver = (*stubDriver)(nil)
+
+func (d *stubDriver) Name() string            { return d.name }
+func (d *stubDriver) Entities() []core.Entity { return d.entities }
+func (d *stubDriver) Provides(metric string) bool {
+	_, ok := d.provided[metric]
+	return ok
+}
+func (d *stubDriver) Fetch(metric string, _ time.Duration) (core.EntityValues, error) {
+	d.fetches++
+	v, ok := d.provided[metric]
+	if !ok {
+		return nil, &core.UnknownMetricError{Metric: metric, Driver: d.name}
+	}
+	out := make(core.EntityValues, len(v))
+	for k, x := range v {
+		out[k] = x
+	}
+	return out, nil
+}
+
+func newStub(name string, tidBase int) *stubDriver {
+	return &stubDriver{
+		name:     name,
+		provided: map[string]core.EntityValues{core.MetricQueueSize: {"a": 5, "b": 1}},
+		entities: []core.Entity{
+			{Name: "a", Driver: name, Query: "q", Thread: tidBase},
+			{Name: "b", Driver: name, Query: "q", Thread: tidBase + 1},
+		},
+	}
+}
+
+// recordOS is a minimal core.OSInterface that records nice values.
+type recordOS struct {
+	nices map[int]int
+	calls int
+}
+
+func newRecordOS() *recordOS { return &recordOS{nices: make(map[int]int)} }
+
+func (o *recordOS) SetNice(tid, nice int) error {
+	o.calls++
+	o.nices[tid] = nice
+	return nil
+}
+func (o *recordOS) EnsureCgroup(string) error    { o.calls++; return nil }
+func (o *recordOS) SetShares(string, int) error  { o.calls++; return nil }
+func (o *recordOS) MoveThread(int, string) error { o.calls++; return nil }
+
+func TestDriverFailRateIsSeededAndDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		d := faults.WrapDriver(newStub("s", 1), faults.DriverPlan{Seed: seed, FailRate: 0.2})
+		out := make([]bool, 200)
+		for i := range out {
+			_, err := d.Fetch(core.MetricQueueSize, time.Duration(i)*time.Second)
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := pattern(7), pattern(7)
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at fetch %d", i)
+		}
+		if a[i] {
+			fails++
+		}
+	}
+	if fails < 20 || fails > 60 {
+		t.Errorf("20%% fail rate over 200 fetches injected %d failures", fails)
+	}
+}
+
+func TestDriverOutageWindow(t *testing.T) {
+	d := faults.WrapDriver(newStub("s", 1), faults.DriverPlan{
+		Outages: faults.Windows{{From: 10 * time.Second, To: 20 * time.Second}},
+	})
+	if _, err := d.Fetch(core.MetricQueueSize, 9*time.Second); err != nil {
+		t.Fatalf("before outage: %v", err)
+	}
+	_, err := d.Fetch(core.MetricQueueSize, 10*time.Second)
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("inside outage: err = %v, want injected", err)
+	}
+	if _, err := d.Fetch(core.MetricQueueSize, 20*time.Second); err != nil {
+		t.Fatalf("after outage: %v", err)
+	}
+	if d.Injected() != 1 {
+		t.Errorf("injected = %d, want 1", d.Injected())
+	}
+}
+
+func TestDriverFreezeServesStaleValues(t *testing.T) {
+	inner := newStub("s", 1)
+	d := faults.WrapDriver(inner, faults.DriverPlan{
+		Freezes: faults.Windows{{From: 1 * time.Second, To: 3 * time.Second}},
+	})
+	if _, err := d.Fetch(core.MetricQueueSize, 0); err != nil {
+		t.Fatal(err)
+	}
+	inner.provided[core.MetricQueueSize] = core.EntityValues{"a": 999, "b": 999}
+	v, err := d.Fetch(core.MetricQueueSize, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v["a"] != 5 {
+		t.Errorf("frozen fetch returned %v, want the stale value 5", v["a"])
+	}
+	v, err = d.Fetch(core.MetricQueueSize, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v["a"] != 999 {
+		t.Errorf("post-freeze fetch returned %v, want the fresh value 999", v["a"])
+	}
+}
+
+func TestDriverEntityChurn(t *testing.T) {
+	d := faults.WrapDriver(newStub("s", 1), faults.DriverPlan{Seed: 3, DropEntityRate: 0.5})
+	dropped := 0
+	for i := 0; i < 50; i++ {
+		if len(d.Entities()) < 2 {
+			dropped++
+		}
+	}
+	if dropped == 0 || dropped == 50 {
+		t.Errorf("churn dropped entities in %d/50 listings, want some but not all", dropped)
+	}
+}
+
+func TestOSVanishedAndTransientClassification(t *testing.T) {
+	os := faults.WrapOS(newRecordOS(), faults.OSPlan{
+		VanishedThreads: map[int]bool{42: true},
+		VanishedCgroups: map[string]bool{"gone": true},
+	})
+	if err := os.SetNice(42, 0); !core.IsVanished(err) {
+		t.Errorf("vanished tid: err = %v, want ErrEntityVanished", err)
+	}
+	if err := os.MoveThread(1, "gone"); !core.IsVanished(err) {
+		t.Errorf("vanished cgroup: err = %v, want ErrEntityVanished", err)
+	}
+	if err := os.SetNice(1, -5); err != nil {
+		t.Errorf("healthy tid: %v", err)
+	}
+	os.VanishThread(1)
+	if err := os.SetNice(1, -5); !core.IsVanished(err) {
+		t.Errorf("after VanishThread: err = %v, want ErrEntityVanished", err)
+	}
+
+	now := 5 * time.Second
+	flaky := faults.WrapOS(newRecordOS(), faults.OSPlan{
+		Seed:          11,
+		TransientRate: 0.5,
+		Outages:       faults.Windows{{From: 100 * time.Second, To: 200 * time.Second}},
+		Clock:         func() time.Duration { return now },
+	})
+	transients := 0
+	for i := 0; i < 100; i++ {
+		if err := flaky.SetNice(1, 0); err != nil {
+			if !core.IsTransient(err) {
+				t.Fatalf("injected error not transient: %v", err)
+			}
+			transients++
+		}
+	}
+	if transients < 25 || transients > 75 {
+		t.Errorf("50%% transient rate injected %d/100", transients)
+	}
+	now = 150 * time.Second
+	if err := flaky.SetNice(1, 0); !core.IsTransient(err) {
+		t.Errorf("during OS outage: err = %v, want transient", err)
+	}
+}
+
+func TestStoreDropAndOutage(t *testing.T) {
+	inner := metrics.NewStore(0)
+	inner.Record(time.Second, "e.op.queue", 7)
+	now := time.Duration(0)
+	s := faults.WrapStore(inner, faults.StorePlan{
+		Seed:     5,
+		DropRate: 0.5,
+		Outages:  faults.Windows{{From: 10 * time.Second, To: 20 * time.Second}},
+		Clock:    func() time.Duration { return now },
+	})
+	found := 0
+	for i := 0; i < 100; i++ {
+		if _, ok := s.Latest("e.op.queue"); ok {
+			found++
+		}
+	}
+	if found == 0 || found == 100 {
+		t.Errorf("50%% drop rate answered %d/100 lookups", found)
+	}
+	now = 15 * time.Second
+	if _, ok := s.Latest("e.op.queue"); ok {
+		t.Error("lookup during store outage should miss")
+	}
+	if s.Lookups() != 101 || s.Dropped() == 0 {
+		t.Errorf("lookups=%d dropped=%d", s.Lookups(), s.Dropped())
+	}
+}
+
+// TestMiddlewareSurvivesFlakyDriver is the injector-based version of the
+// old ad-hoc flakyDriver test: intermittent fetch failures surface as step
+// errors but never stop the middleware from scheduling on good periods.
+func TestMiddlewareSurvivesFlakyDriver(t *testing.T) {
+	d := faults.WrapDriver(newStub("flaky", 1), faults.DriverPlan{Seed: 1, FailRate: 0.4})
+	os := newRecordOS()
+	mw := core.NewMiddleware(nil)
+	// Disable the stale fallback and breaker so every injected failure is
+	// visible as a step error, like the pre-hardening loop it replaces.
+	mw.SetResilience(core.Resilience{FailureThreshold: 1000, StalenessBound: time.Nanosecond})
+	if err := mw.Bind(core.Binding{
+		Policy:     core.NewQSPolicy(),
+		Translator: core.NewNiceTranslator(os),
+		Drivers:    []core.Driver{d},
+		Period:     time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var stepErrs int
+	for i := 0; i < 20; i++ {
+		if _, err := mw.Step(time.Duration(i) * time.Second); err != nil {
+			stepErrs++
+		}
+	}
+	if stepErrs == 0 {
+		t.Error("flaky driver should surface some step errors")
+	}
+	if stepErrs == 20 {
+		t.Error("every step failing means no recovery")
+	}
+	if len(os.nices) == 0 {
+		t.Error("no schedules applied despite successful periods")
+	}
+	if mw.PolicyRuns() == 0 {
+		t.Error("no successful policy runs recorded")
+	}
+	if d.Injected() == 0 {
+		t.Error("plan injected no faults")
+	}
+}
+
+// panickyPolicy crashes on every run.
+type panickyPolicy struct{}
+
+func (panickyPolicy) Name() string      { return "panicky" }
+func (panickyPolicy) Metrics() []string { return []string{core.MetricQueueSize} }
+func (panickyPolicy) Schedule(*core.View) (core.Schedule, error) {
+	panic("user policy bug")
+}
+
+// TestAcceptanceChaosScenario is the issue's acceptance scenario: a 20%
+// driver-fetch failure rate plus one sustained outage on driver A, while
+// driver B stays healthy. The healthy binding must run every period, the
+// failing binding must degrade (quarantine) during the outage and recover
+// after it, and a panicking policy must never abort Step.
+func TestAcceptanceChaosScenario(t *testing.T) {
+	const (
+		seed        = 42
+		outageStart = 20 * time.Second
+		outageEnd   = 40 * time.Second
+		horizon     = 80
+	)
+	flaky := faults.WrapDriver(newStub("spe-a", 1), faults.DriverPlan{
+		Seed:     seed,
+		FailRate: 0.2,
+		Outages:  faults.Windows{{From: outageStart, To: outageEnd}},
+	})
+	healthy := newStub("spe-b", 11)
+
+	osA, osB := newRecordOS(), newRecordOS()
+	mw := core.NewMiddleware(nil)
+	mw.SetResilience(core.Resilience{
+		FailureThreshold: 3,
+		MaxBackoff:       4 * time.Second, // probe often so recovery is prompt
+		StalenessBound:   5 * time.Second,
+	})
+	for _, b := range []core.Binding{
+		{Policy: core.NewQSPolicy(), Translator: core.NewNiceTranslator(osA),
+			Drivers: []core.Driver{flaky}, Period: time.Second},
+		{Policy: core.NewQSPolicy(), Translator: core.NewNiceTranslator(osB),
+			Drivers: []core.Driver{healthy}, Period: time.Second},
+		{Policy: panickyPolicy{}, Translator: core.NewNiceTranslator(newRecordOS()),
+			Drivers: []core.Driver{healthy}, Period: time.Second},
+	} {
+		if err := mw.Bind(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	healthyRuns, sawQuarantine := 0, false
+	for i := 0; i < horizon; i++ {
+		now := time.Duration(i) * time.Second
+		callsBefore := osB.calls
+		stats, _ := mw.Step(now)
+		if osB.calls <= callsBefore {
+			t.Fatalf("t=%v: healthy binding did not apply a schedule", now)
+		}
+		healthyRuns++
+		_ = stats
+		h := mw.Health()
+		for _, bh := range h.Bindings {
+			if bh.Policy == "qs" && bh.Translator == "nice" && bh.State == core.BindingQuarantined {
+				// Identify the flaky binding by its driver association via
+				// LastError mentioning spe-a.
+				sawQuarantine = true
+			}
+		}
+	}
+	if healthyRuns != horizon {
+		t.Errorf("healthy binding ran %d/%d periods", healthyRuns, horizon)
+	}
+	if !sawQuarantine {
+		t.Error("flaky binding never quarantined during the outage")
+	}
+	if mw.PanicsRecovered() == 0 {
+		t.Error("panicking policy should have been caught")
+	}
+
+	// After the outage, both QS bindings (the flaky one included) must
+	// have recovered: last success after the outage ended, state healthy.
+	h := mw.Health()
+	recovered := 0
+	for _, bh := range h.Bindings {
+		if bh.Policy != "qs" {
+			continue
+		}
+		if !bh.HasSucceeded || bh.LastSuccess <= outageEnd {
+			t.Errorf("binding %s/%s did not recover: %+v", bh.Policy, bh.Translator, bh)
+			continue
+		}
+		if bh.State != core.BindingHealthy {
+			t.Errorf("binding %s/%s state = %v after recovery", bh.Policy, bh.Translator, bh.State)
+		}
+		recovered++
+	}
+	if recovered != 2 {
+		t.Fatalf("recovered %d/2 QS bindings: %+v", recovered, h.Bindings)
+	}
+	if len(osA.nices) == 0 {
+		t.Error("flaky binding never applied a schedule")
+	}
+	// The panicking binding is permanently broken and must be quarantined
+	// by now, not silently healthy.
+	for _, bh := range h.Bindings {
+		if bh.Policy == "panicky" && bh.State == core.BindingHealthy {
+			t.Error("panicking binding reported healthy")
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package faults
+
+import (
+	"math/rand"
+	"time"
+
+	"lachesis/internal/metrics"
+)
+
+// StorePlan configures a fault-injecting metrics-store read wrapper.
+type StorePlan struct {
+	// Seed drives all probabilistic faults.
+	Seed int64
+	// DropRate is the probability in [0,1] that any one Latest lookup
+	// reports the series as missing (a lost scrape).
+	DropRate float64
+	// Outages are windows during which every lookup reports missing (the
+	// store itself is down). Windows are checked against Clock.
+	Outages Windows
+	// Clock supplies the virtual time for outage windows (nil disables
+	// windows).
+	Clock func() time.Duration
+}
+
+// Store wraps the read path of a metrics store (driver.Source) with the
+// faults of a StorePlan: drivers reading through it see missing samples,
+// which surfaces to the middleware as entities without metric values.
+type Store struct {
+	inner interface {
+		Latest(series string) (metrics.Point, bool)
+	}
+	plan StorePlan
+	rng  *rand.Rand
+
+	lookups int
+	dropped int
+}
+
+// WrapStore wraps a store's read path with a fault plan.
+func WrapStore(inner *metrics.Store, plan StorePlan) *Store {
+	return &Store{inner: inner, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// Latest implements driver.Source with the plan's faults applied.
+func (s *Store) Latest(series string) (metrics.Point, bool) {
+	s.lookups++
+	if s.plan.Clock != nil && s.plan.Outages.Contains(s.plan.Clock()) {
+		s.dropped++
+		return metrics.Point{}, false
+	}
+	if s.plan.DropRate > 0 && s.rng.Float64() < s.plan.DropRate {
+		s.dropped++
+		return metrics.Point{}, false
+	}
+	return s.inner.Latest(series)
+}
+
+// Lookups returns how many Latest calls the wrapper has seen.
+func (s *Store) Lookups() int { return s.lookups }
+
+// Dropped returns how many lookups the wrapper has suppressed.
+func (s *Store) Dropped() int { return s.dropped }

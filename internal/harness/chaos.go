@@ -1,0 +1,222 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/driver"
+	"lachesis/internal/faults"
+	"lachesis/internal/metrics"
+	"lachesis/internal/simctl"
+	"lachesis/internal/simos"
+	"lachesis/internal/spe"
+	"lachesis/internal/workloads"
+)
+
+// The chaos experiment is not a figure of the paper: it validates the
+// resilience layer. Two Storm engines run ETL side by side; engine A's
+// metric driver is wrapped with deterministic fault injection (20% fetch
+// failures plus one sustained outage), and one of engine B's operator
+// threads is killed and later restarted mid-run. The same fault timeline
+// runs once with the hardened middleware and once with resilience disabled
+// (the strict all-or-nothing step), so the printout shows exactly what the
+// hardening buys: the healthy binding keeps being scheduled through the
+// outage, and the flaky binding recovers once the outage ends.
+
+const (
+	chaosSeed = 42
+	chaosRate = 800 // tuples/s per query, below ETL saturation on the Odroid
+)
+
+// countingTranslator labels a translator per binding and counts applies,
+// so the report can tell the two qs/nice bindings apart.
+type countingTranslator struct {
+	inner   core.Translator
+	label   string
+	applies atomic.Int64
+}
+
+func (c *countingTranslator) Name() string { return c.label }
+
+func (c *countingTranslator) Apply(s core.Schedule, ents map[string]core.Entity) error {
+	c.applies.Add(1)
+	return c.inner.Apply(s, ents)
+}
+
+// chaosReport is the outcome of one chaos run.
+type chaosReport struct {
+	name string
+	// appliesA/B count schedule applications per binding.
+	appliesA, appliesB int64
+	stepErrs           int64
+	panics             int64
+	injected           int
+	egressA, egressB   int64
+	health             core.Health
+	chaosErrs          []error
+}
+
+// chaosTimeline derives the fault schedule from the run window.
+type chaosTimeline struct {
+	horizon           time.Duration
+	outage            faults.Window
+	killAt, restartAt time.Duration
+}
+
+func newChaosTimeline(sc Scale) chaosTimeline {
+	outStart := sc.Warmup + sc.Measure/4
+	return chaosTimeline{
+		horizon:   sc.Warmup + sc.Measure,
+		outage:    faults.Window{From: outStart, To: outStart + sc.Measure/2},
+		killAt:    sc.Warmup + 2*time.Second,
+		restartAt: sc.Warmup + sc.Measure/2,
+	}
+}
+
+// runChaos assembles the two-engine stack, injects the fault timeline, and
+// runs it to the horizon.
+func runChaos(hardened bool, sc Scale) (*chaosReport, error) {
+	tl := newChaosTimeline(sc)
+	k := simos.New(simos.OdroidXU4())
+
+	var engines []*spe.Engine
+	var deps []*spe.Deployment
+	for i, name := range []string{"stormA", "stormB"} {
+		eng, err := spe.New(k, spe.Config{Name: name, Flavor: spe.FlavorStorm, Seed: chaosSeed + int64(i)})
+		if err != nil {
+			return nil, fmt.Errorf("engine %s: %w", name, err)
+		}
+		d, err := eng.Deploy(workloads.ETL(), workloads.IoTSource(chaosRate, chaosSeed+int64(i)*31))
+		if err != nil {
+			return nil, fmt.Errorf("deploy on %s: %w", name, err)
+		}
+		engines = append(engines, eng)
+		deps = append(deps, d)
+	}
+
+	store := metrics.NewStore(time.Second)
+	var drivers []core.Driver
+	for _, eng := range engines {
+		if err := eng.StartReporter(store, time.Second); err != nil {
+			return nil, fmt.Errorf("reporter: %w", err)
+		}
+		drv, err := driver.New(eng, store)
+		if err != nil {
+			return nil, fmt.Errorf("driver: %w", err)
+		}
+		drivers = append(drivers, drv)
+	}
+	// Engine A's metrics endpoint is flaky and suffers one sustained outage.
+	flaky := faults.WrapDriver(drivers[0], faults.DriverPlan{
+		Seed:     chaosSeed,
+		FailRate: 0.2,
+		Outages:  faults.Windows{tl.outage},
+	})
+
+	osa, err := simctl.NewOSAdapter(k)
+	if err != nil {
+		return nil, err
+	}
+	trA := &countingTranslator{inner: core.NewNiceTranslator(osa), label: "nice[A]"}
+	trB := &countingTranslator{inner: core.NewNiceTranslator(osa), label: "nice[B]"}
+
+	mw := core.NewMiddleware(nil)
+	if hardened {
+		mw.SetResilience(core.Resilience{
+			FailureThreshold: 3,
+			BaseBackoff:      time.Second,
+			MaxBackoff:       4 * time.Second,
+			StalenessBound:   5 * time.Second,
+		})
+	} else {
+		mw.SetResilience(core.Resilience{Disabled: true})
+	}
+	for _, b := range []core.Binding{
+		{Policy: core.NewQSPolicy(), Translator: trA, Drivers: []core.Driver{flaky}, Period: time.Second},
+		{Policy: core.NewQSPolicy(), Translator: trB, Drivers: []core.Driver{drivers[1]}, Period: time.Second},
+	} {
+		if err := mw.Bind(b); err != nil {
+			return nil, fmt.Errorf("bind: %w", err)
+		}
+	}
+	runner, err := simctl.StartMiddleware(k, mw)
+	if err != nil {
+		return nil, err
+	}
+
+	// Engine B loses its bottleneck worker mid-run and gets it back later:
+	// translators race against the vanished thread in between.
+	victim := deps[1].PhysicalFor("interpolate")[0].Name()
+	agent, err := simctl.StartChaosAgent(k, []simctl.ChaosEvent{
+		{At: tl.killAt, Name: "kill " + victim, Do: func() error {
+			return engines[1].KillOperatorThread(victim)
+		}},
+		{At: tl.restartAt, Name: "restart " + victim, Do: func() error {
+			return engines[1].RestartOperatorThread(victim)
+		}},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	k.RunUntil(tl.horizon)
+
+	name := "unhardened"
+	if hardened {
+		name = "hardened"
+	}
+	return &chaosReport{
+		name:      name,
+		appliesA:  trA.applies.Load(),
+		appliesB:  trB.applies.Load(),
+		stepErrs:  runner.Errs,
+		panics:    mw.PanicsRecovered(),
+		injected:  flaky.Injected(),
+		egressA:   deps[0].EgressCount(),
+		egressB:   deps[1].EgressCount(),
+		health:    mw.Health(),
+		chaosErrs: agent.Errs,
+	}, nil
+}
+
+func printChaosReport(w io.Writer, r *chaosReport) {
+	fmt.Fprintf(w, "%s:\n", r.name)
+	fmt.Fprintf(w, "  schedule applies: binding A %d, binding B %d\n", r.appliesA, r.appliesB)
+	fmt.Fprintf(w, "  step errors %d, injected faults %d, panics recovered %d\n",
+		r.stepErrs, r.injected, r.panics)
+	fmt.Fprintf(w, "  egress: A %d, B %d tuples\n", r.egressA, r.egressB)
+	for _, b := range r.health.Bindings {
+		fmt.Fprintf(w, "  binding %s/%s: %s (consecutive failures %d, last success %v)\n",
+			b.Policy, b.Translator, b.State, b.ConsecutiveFailures, b.LastSuccess)
+	}
+	for _, d := range r.health.Drivers {
+		fmt.Fprintf(w, "  driver %s: serving stale %v, last success %v\n",
+			d.Driver, d.ServingStale, d.LastSuccess)
+	}
+	for _, err := range r.chaosErrs {
+		fmt.Fprintf(w, "  chaos agent error: %v\n", err)
+	}
+}
+
+func chaosExp(w io.Writer, sc Scale) error {
+	tl := newChaosTimeline(sc)
+	fmt.Fprintln(w, "# Chaos: hardened vs unhardened middleware under the same fault timeline")
+	fmt.Fprintf(w, "two Storm engines x ETL @ %d tuples/s; driver A: 20%% fetch failures, outage %v-%v;\n",
+		chaosRate, tl.outage.From, tl.outage.To)
+	fmt.Fprintf(w, "engine B: bottleneck thread killed at %v, restarted at %v; horizon %v\n\n",
+		tl.killAt, tl.restartAt, tl.horizon)
+	for _, hardened := range []bool{true, false} {
+		r, err := runChaos(hardened, sc)
+		if err != nil {
+			return err
+		}
+		printChaosReport(w, r)
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "the hardened run keeps scheduling the healthy binding through the outage")
+	fmt.Fprintln(w, "and recovers the flaky one afterwards; the unhardened run stalls both.")
+	return nil
+}

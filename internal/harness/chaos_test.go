@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"lachesis/internal/core"
+)
+
+// chaosScale is long enough for the outage, the breaker backoff, and the
+// post-outage recovery to all fit inside the run.
+var chaosScale = Scale{Warmup: 3 * time.Second, Measure: 16 * time.Second, Reps: 1}
+
+func TestChaosHardenedVsUnhardened(t *testing.T) {
+	hardened, err := runChaos(true, chaosScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unhardened, err := runChaos(false, chaosScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if hardened.injected == 0 {
+		t.Fatal("no faults injected; the chaos plan is inert")
+	}
+	// The healthy binding B must keep being scheduled through A's outage:
+	// strictly more applies than the strict all-or-nothing step manages.
+	if hardened.appliesB <= unhardened.appliesB {
+		t.Errorf("hardened B applies = %d, want > unhardened %d",
+			hardened.appliesB, unhardened.appliesB)
+	}
+	// Roughly one apply per period over the whole horizon (1s period).
+	tl := newChaosTimeline(chaosScale)
+	want := int64(tl.horizon/time.Second) - 3
+	if hardened.appliesB < want {
+		t.Errorf("hardened B applies = %d, want >= %d (every period)", hardened.appliesB, want)
+	}
+
+	// The flaky binding recovers after the outage: healthy again, with a
+	// success later than the outage end.
+	var bindA core.BindingHealth
+	found := false
+	for _, b := range hardened.health.Bindings {
+		if b.Translator == "nice[A]" {
+			bindA, found = b, true
+		}
+	}
+	if !found {
+		t.Fatal("binding A missing from health snapshot")
+	}
+	if bindA.State != core.BindingHealthy || bindA.LastSuccess <= tl.outage.To {
+		t.Errorf("binding A did not recover: state %v, last success %v (outage ended %v)",
+			bindA.State, bindA.LastSuccess, tl.outage.To)
+	}
+
+	// The unhardened strict step surfaces errors; the hardened step absorbs
+	// them into the health state instead.
+	if unhardened.stepErrs == 0 {
+		t.Error("unhardened run should surface step errors")
+	}
+	if len(hardened.chaosErrs) != 0 {
+		t.Errorf("chaos agent errors: %v", hardened.chaosErrs)
+	}
+}
+
+func TestChaosExperimentPrints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos experiment skipped in -short mode")
+	}
+	exp, ok := ByID("chaos")
+	if !ok {
+		t.Fatal("chaos experiment not registered")
+	}
+	var buf bytes.Buffer
+	if err := exp.Run(&buf, Scale{Warmup: 2 * time.Second, Measure: 8 * time.Second, Reps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"hardened:", "unhardened:", "binding qs/nice[A]", "driver stormA"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -75,6 +75,7 @@ func All() []Experiment {
 		{"fig17", "Figure 17: scalability study of LR in Storm/Flink (1-4 nodes)", fig17},
 		{"fig18", "Figure 18: multi-SPE/query scheduling of LR, VS, SYN (Xeon)", fig18},
 		{"table1", "Table 1: summary of configurations and highlights", table1},
+		{"chaos", "Chaos: resilience under injected faults — hardened vs unhardened", chaosExp},
 	}
 }
 

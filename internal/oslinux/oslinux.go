@@ -34,6 +34,8 @@ type System interface {
 	MkdirAll(path string) error
 	// WriteFile writes a cgroup control file.
 	WriteFile(path string, data []byte) error
+	// Remove removes an (empty) cgroup directory.
+	Remove(path string) error
 }
 
 // Config configures the Linux control backend.
@@ -71,7 +73,9 @@ func New(cfg Config) (*Control, error) {
 	return &Control{cfg: cfg, groups: make(map[string]bool)}, nil
 }
 
-// SetNice implements core.OSInterface.
+// SetNice implements core.OSInterface. ESRCH (the thread exited) is
+// classified as a benign core.ErrEntityVanished; transient failures are
+// retried (see resilience.go).
 func (c *Control) SetNice(tid, nice int) error {
 	if nice < -20 {
 		nice = -20
@@ -79,7 +83,7 @@ func (c *Control) SetNice(tid, nice int) error {
 	if nice > 19 {
 		nice = 19
 	}
-	if err := c.cfg.System.Setpriority(tid, nice); err != nil {
+	if err := retry(func() error { return c.cfg.System.Setpriority(tid, nice) }); err != nil {
 		return fmt.Errorf("setpriority tid %d: %w", tid, err)
 	}
 	return nil
@@ -91,7 +95,7 @@ func (c *Control) EnsureCgroup(name string) error {
 		return nil
 	}
 	dir := filepath.Join(c.cfg.Root, sanitize(name))
-	if err := c.cfg.System.MkdirAll(dir); err != nil {
+	if err := retry(func() error { return c.cfg.System.MkdirAll(dir) }); err != nil {
 		return fmt.Errorf("mkdir cgroup %q: %w", name, err)
 	}
 	c.groups[name] = true
@@ -117,7 +121,8 @@ func (c *Control) SetShares(name string, shares int) error {
 	default:
 		file, val = "cpu.shares", strconv.Itoa(shares)
 	}
-	if err := c.cfg.System.WriteFile(filepath.Join(dir, file), []byte(val)); err != nil {
+	path := filepath.Join(dir, file)
+	if err := retry(func() error { return c.cfg.System.WriteFile(path, []byte(val)) }); err != nil {
 		return fmt.Errorf("write %s for %q: %w", file, name, err)
 	}
 	return nil
@@ -131,7 +136,8 @@ func (c *Control) MoveThread(tid int, name string) error {
 		file = "cgroup.threads"
 	}
 	data := []byte(strconv.Itoa(tid))
-	if err := c.cfg.System.WriteFile(filepath.Join(dir, file), data); err != nil {
+	path := filepath.Join(dir, file)
+	if err := retry(func() error { return c.cfg.System.WriteFile(path, data) }); err != nil {
 		return fmt.Errorf("move tid %d to %q: %w", tid, name, err)
 	}
 	return nil

@@ -7,39 +7,68 @@ import (
 	"testing"
 )
 
-// fakeSystem records operations.
+// fakeSystem records operations. failOn injects a queue of errors per
+// operation name: each call pops one (nil entries succeed), letting tests
+// model transient failures that clear after a retry.
 type fakeSystem struct {
-	nices  map[int]int
-	dirs   []string
-	writes map[string]string
-	fail   error
+	nices   map[int]int
+	dirs    []string
+	writes  map[string]string
+	removed []string
+	fail    error
+	failOn  map[string][]error
 }
 
 var _ System = (*fakeSystem)(nil)
 
 func newFakeSystem() *fakeSystem {
-	return &fakeSystem{nices: make(map[int]int), writes: make(map[string]string)}
+	return &fakeSystem{
+		nices:  make(map[int]int),
+		writes: make(map[string]string),
+		failOn: make(map[string][]error),
+	}
+}
+
+// pop consumes the next injected error for op (nil = success).
+func (f *fakeSystem) pop(op string) error {
+	if f.fail != nil {
+		return f.fail
+	}
+	q := f.failOn[op]
+	if len(q) == 0 {
+		return nil
+	}
+	err := q[0]
+	f.failOn[op] = q[1:]
+	return err
 }
 
 func (f *fakeSystem) Setpriority(tid, nice int) error {
-	if f.fail != nil {
-		return f.fail
+	if err := f.pop("Setpriority"); err != nil {
+		return err
 	}
 	f.nices[tid] = nice
 	return nil
 }
 func (f *fakeSystem) MkdirAll(path string) error {
-	if f.fail != nil {
-		return f.fail
+	if err := f.pop("MkdirAll"); err != nil {
+		return err
 	}
 	f.dirs = append(f.dirs, path)
 	return nil
 }
 func (f *fakeSystem) WriteFile(path string, data []byte) error {
-	if f.fail != nil {
-		return f.fail
+	if err := f.pop("WriteFile"); err != nil {
+		return err
 	}
 	f.writes[path] = string(data)
+	return nil
+}
+func (f *fakeSystem) Remove(path string) error {
+	if err := f.pop("Remove"); err != nil {
+		return err
+	}
+	f.removed = append(f.removed, path)
 	return nil
 }
 

@@ -1,0 +1,87 @@
+package oslinux
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"syscall"
+
+	"lachesis/internal/core"
+)
+
+// Failure classification for the real-host backend. Control operations
+// race with the SPEs they schedule: a thread can exit between the driver
+// listing it and setpriority(2) reaching it (ESRCH), and a cgroup can be
+// torn down concurrently (ENOENT). Those are benign — the next period's
+// entity list no longer contains the target — so they are wrapped with
+// core.ErrEntityVanished and skipped by the translators. EAGAIN/EINTR/
+// EBUSY-style failures are wrapped with core.ErrTransient and retried a
+// few times before surfacing.
+
+// transientRetries is how many attempts a transient failure gets.
+const transientRetries = 3
+
+// classify wraps errno-level failures with the core sentinels.
+func classify(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, syscall.ESRCH), errors.Is(err, syscall.ENOENT):
+		return fmt.Errorf("%w: %w", core.ErrEntityVanished, err)
+	case errors.Is(err, syscall.EAGAIN), errors.Is(err, syscall.EINTR),
+		errors.Is(err, syscall.EBUSY):
+		return fmt.Errorf("%w: %w", core.ErrTransient, err)
+	default:
+		return err
+	}
+}
+
+// retry runs op, retrying classified-transient failures up to
+// transientRetries attempts, and returns the classified error.
+func retry(op func() error) error {
+	var err error
+	for attempt := 0; attempt < transientRetries; attempt++ {
+		err = classify(op())
+		if err == nil || !core.IsTransient(err) {
+			return err
+		}
+	}
+	return err
+}
+
+var (
+	_ core.CgroupRemover     = (*Control)(nil)
+	_ core.PlacementRestorer = (*Control)(nil)
+)
+
+// RemoveCgroup implements core.CgroupRemover: it removes a cgroup
+// directory this controller manages. A group already gone reports
+// core.ErrEntityVanished, which translators treat as success.
+func (c *Control) RemoveCgroup(name string) error {
+	dir := filepath.Join(c.cfg.Root, sanitize(name))
+	err := retry(func() error { return c.cfg.System.Remove(dir) })
+	if err == nil || core.IsVanished(err) {
+		delete(c.groups, name)
+	}
+	if err != nil {
+		return fmt.Errorf("rmdir cgroup %q: %w", name, err)
+	}
+	return nil
+}
+
+// RestoreThread implements core.PlacementRestorer: the thread is moved
+// back to the parent of the Lachesis cgroup root, i.e. out of every
+// Lachesis-managed group.
+func (c *Control) RestoreThread(tid int) error {
+	file := "tasks"
+	if c.cfg.Version == V2 {
+		file = "cgroup.threads"
+	}
+	path := filepath.Join(filepath.Dir(c.cfg.Root), file)
+	data := []byte(strconv.Itoa(tid))
+	if err := retry(func() error { return c.cfg.System.WriteFile(path, data) }); err != nil {
+		return fmt.Errorf("restore tid %d: %w", tid, err)
+	}
+	return nil
+}

@@ -22,6 +22,10 @@ func (hostSystem) Setpriority(tid, nice int) error {
 // MkdirAll implements System.
 func (hostSystem) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
 
+// Remove implements System. Cgroup directories are removed with plain
+// rmdir; the kernel refuses unless the group is empty.
+func (hostSystem) Remove(path string) error { return os.Remove(path) }
+
 // WriteFile implements System. Cgroup control files must be opened
 // write-only without truncation semantics mattering.
 func (hostSystem) WriteFile(path string, data []byte) error {
@@ -87,6 +91,12 @@ func (d DryRunSystem) MkdirAll(path string) error {
 // WriteFile implements System.
 func (d DryRunSystem) WriteFile(path string, data []byte) error {
 	fmt.Fprintf(d.W, "dry-run: echo %q > %s\n", string(data), path)
+	return nil
+}
+
+// Remove implements System.
+func (d DryRunSystem) Remove(path string) error {
+	fmt.Fprintf(d.W, "dry-run: rmdir %s\n", path)
 	return nil
 }
 

@@ -27,7 +27,7 @@ func (a *OSAdapter) RemoveCgroup(name string) error {
 		return nil // never created (or already removed): nothing to do
 	}
 	if err := a.kernel.RemoveCgroup(id); err != nil {
-		return err
+		return classify(err)
 	}
 	delete(a.groups, name)
 	for tid, placed := range a.placed {
@@ -55,7 +55,8 @@ func (a *OSAdapter) SetQuota(cgroupName string, quota, period time.Duration) err
 // SetRealtime implements core.RTController.
 func (a *OSAdapter) SetRealtime(tid, prio int) error {
 	if err := a.kernel.SetRealtime(simos.ThreadID(tid), prio); err != nil {
-		return err
+		a.evictIfVanished(tid, err)
+		return classify(err)
 	}
 	a.ControlOps++
 	return nil
@@ -64,7 +65,8 @@ func (a *OSAdapter) SetRealtime(tid, prio int) error {
 // SetNormal implements core.RTController.
 func (a *OSAdapter) SetNormal(tid int) error {
 	if err := a.kernel.SetNormal(simos.ThreadID(tid)); err != nil {
-		return err
+		a.evictIfVanished(tid, err)
+		return classify(err)
 	}
 	a.ControlOps++
 	return nil

@@ -1,0 +1,125 @@
+package simctl
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/simos"
+)
+
+// Error classification and chaos hooks for the simulated node. The adapter
+// maps the simulated kernel's NotFoundError onto core.ErrEntityVanished so
+// that translators and the middleware treat a killed simulated SPE thread
+// exactly like a real exited thread returning ESRCH.
+
+// classify maps simulated-kernel errors onto the core error taxonomy.
+func classify(err error) error {
+	if err == nil {
+		return nil
+	}
+	var nf *simos.NotFoundError
+	if errors.As(err, &nf) {
+		return fmt.Errorf("%w: %w", core.ErrEntityVanished, err)
+	}
+	return err
+}
+
+// evictIfVanished drops cached state for a thread the kernel no longer
+// knows, so a recycled tid never inherits stale cache entries.
+func (a *OSAdapter) evictIfVanished(tid int, err error) {
+	var nf *simos.NotFoundError
+	if !errors.As(err, &nf) {
+		return
+	}
+	delete(a.nices, tid)
+	delete(a.placed, tid)
+	delete(a.orig, tid)
+}
+
+var _ core.PlacementRestorer = (*OSAdapter)(nil)
+
+// RestoreThread implements core.PlacementRestorer: it moves a thread back
+// to the cgroup it lived in before Lachesis first moved it. Threads never
+// moved by this adapter are left alone.
+func (a *OSAdapter) RestoreThread(tid int) error {
+	orig, ok := a.orig[tid]
+	if !ok {
+		return nil
+	}
+	if err := a.kernel.MoveThread(simos.ThreadID(tid), orig); err != nil {
+		a.evictIfVanished(tid, err)
+		return classify(err)
+	}
+	delete(a.placed, tid)
+	delete(a.orig, tid)
+	a.ControlOps++
+	return nil
+}
+
+// --- chaos agent ---
+
+// ChaosEvent is one scripted fault action at a virtual time: killing an SPE
+// thread, restarting it, toggling a fault-injection window, and so on. Do
+// runs inside the simulation at (or just after) At.
+type ChaosEvent struct {
+	At   time.Duration
+	Name string
+	Do   func() error
+}
+
+// ChaosAgent replays a scripted fault timeline as a simulated thread, so
+// chaos unfolds at deterministic virtual times interleaved with the
+// middleware's own steps.
+type ChaosAgent struct {
+	events []ChaosEvent
+	next   int
+
+	// Applied counts events whose Do returned nil.
+	Applied int
+	// Errs retains failed events for diagnostics.
+	Errs []error
+}
+
+// chaosStepCost is the simulated CPU charged per agent wakeup.
+const chaosStepCost = 10 * time.Microsecond
+
+// StartChaosAgent spawns a thread on kernel k that fires the given events
+// in virtual-time order. Events are sorted by At; ties fire in input order.
+func StartChaosAgent(k *simos.Kernel, events []ChaosEvent) (*ChaosAgent, error) {
+	sorted := make([]ChaosEvent, len(events))
+	copy(sorted, events)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	agent := &ChaosAgent{events: sorted}
+	cg, err := k.CreateCgroup(simos.RootCgroup, "chaos")
+	if err != nil {
+		return nil, fmt.Errorf("chaos cgroup: %w", err)
+	}
+	if _, err := k.Spawn("chaos", cg, simos.RunnerFunc(agent.run)); err != nil {
+		return nil, fmt.Errorf("spawn chaos agent: %w", err)
+	}
+	return agent, nil
+}
+
+func (c *ChaosAgent) run(ctx *simos.RunContext, granted time.Duration) simos.Decision {
+	now := ctx.Now()
+	cost := chaosStepCost
+	if cost > granted {
+		cost = granted
+	}
+	for c.next < len(c.events) && c.events[c.next].At <= now {
+		ev := c.events[c.next]
+		c.next++
+		if err := ev.Do(); err != nil {
+			c.Errs = append(c.Errs, fmt.Errorf("chaos event %q at %v: %w", ev.Name, ev.At, err))
+			continue
+		}
+		c.Applied++
+	}
+	if c.next >= len(c.events) {
+		return simos.Decision{Used: cost, Action: simos.ActionExit}
+	}
+	return simos.Decision{Used: cost, Action: simos.ActionSleep, WakeAt: c.events[c.next].At}
+}

@@ -1,0 +1,138 @@
+package simctl
+
+import (
+	"testing"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/simos"
+)
+
+func spawnBusy(t *testing.T, k *simos.Kernel, name string) simos.ThreadID {
+	t.Helper()
+	tid, err := k.Spawn(name, simos.RootCgroup, simos.RunnerFunc(
+		func(ctx *simos.RunContext, granted time.Duration) simos.Decision {
+			return simos.Decision{Used: granted, Action: simos.ActionYield}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tid
+}
+
+func TestAdapterClassifiesVanishedThread(t *testing.T) {
+	k := simos.New(simos.Config{CPUs: 1})
+	a, err := NewOSAdapter(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid := spawnBusy(t, k, "w")
+	if err := a.SetNice(int(tid), -3); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(100 * time.Millisecond)
+	if err := k.KillThread(tid); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different nice value forces past the cache; the kernel's
+	// NotFoundError must classify as the core vanished sentinel.
+	err = a.SetNice(int(tid), 5)
+	if !core.IsVanished(err) {
+		t.Errorf("SetNice on killed thread: %v, want vanished", err)
+	}
+	// The cache entry is evicted, so a recycled tid would not be skipped.
+	if _, cached := a.nices[int(tid)]; cached {
+		t.Error("vanished thread still cached")
+	}
+
+	if err := a.EnsureCgroup("g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MoveThread(int(tid), "g"); !core.IsVanished(err) {
+		t.Errorf("MoveThread on killed thread: %v, want vanished", err)
+	}
+	if err := a.SetRealtime(int(tid), 10); !core.IsVanished(err) {
+		t.Errorf("SetRealtime on killed thread: %v, want vanished", err)
+	}
+	if err := a.SetNormal(int(tid)); !core.IsVanished(err) {
+		t.Errorf("SetNormal on killed thread: %v, want vanished", err)
+	}
+}
+
+func TestAdapterRestoresThreadPlacement(t *testing.T) {
+	k := simos.New(simos.Config{CPUs: 1})
+	a, err := NewOSAdapter(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid := spawnBusy(t, k, "w")
+	home, err := k.ThreadInfo(tid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := a.EnsureCgroup("g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MoveThread(int(tid), "g"); err != nil {
+		t.Fatal(err)
+	}
+	moved, _ := k.ThreadInfo(tid)
+	if moved.Cgroup == home.Cgroup {
+		t.Fatal("move did not change the cgroup")
+	}
+
+	if err := a.RestoreThread(int(tid)); err != nil {
+		t.Fatal(err)
+	}
+	restored, _ := k.ThreadInfo(tid)
+	if restored.Cgroup != home.Cgroup {
+		t.Errorf("thread in cgroup %d after restore, want %d", restored.Cgroup, home.Cgroup)
+	}
+	// Restoring a thread the adapter never moved is a no-op.
+	other := spawnBusy(t, k, "other")
+	if err := a.RestoreThread(int(other)); err != nil {
+		t.Errorf("restore of unmoved thread: %v", err)
+	}
+	// After restore the placement is forgotten: a new move re-applies.
+	before := a.ControlOps
+	if err := a.MoveThread(int(tid), "g"); err != nil {
+		t.Fatal(err)
+	}
+	if a.ControlOps != before+1 {
+		t.Error("move after restore should not be served from cache")
+	}
+}
+
+func TestChaosAgentFiresEventsAtVirtualTimes(t *testing.T) {
+	k := simos.New(simos.Config{CPUs: 1})
+	var fired []time.Duration
+	now := func() time.Duration { return k.Now() }
+	events := []ChaosEvent{
+		{At: 300 * time.Millisecond, Name: "late", Do: func() error { fired = append(fired, now()); return nil }},
+		{At: 100 * time.Millisecond, Name: "early", Do: func() error { fired = append(fired, now()); return nil }},
+	}
+	agent, err := StartChaosAgent(k, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(time.Second)
+
+	if agent.Applied != 2 || len(agent.Errs) != 0 {
+		t.Fatalf("applied = %d, errs = %v", agent.Applied, agent.Errs)
+	}
+	if len(fired) != 2 || fired[0] > fired[1] {
+		t.Fatalf("events out of order: %v", fired)
+	}
+	// Events fire at (or just after) their scheduled virtual times.
+	if fired[0] < 100*time.Millisecond || fired[0] > 110*time.Millisecond {
+		t.Errorf("first event at %v, want ~100ms", fired[0])
+	}
+	if fired[1] < 300*time.Millisecond || fired[1] > 310*time.Millisecond {
+		t.Errorf("second event at %v, want ~300ms", fired[1])
+	}
+	if k.ContractViolations() != 0 {
+		t.Errorf("contract violations: %d", k.ContractViolations())
+	}
+}

@@ -23,6 +23,9 @@ type OSAdapter struct {
 	groups map[string]simos.CgroupID
 	nices  map[int]int
 	placed map[int]string
+	// orig remembers each thread's cgroup before Lachesis first moved it,
+	// so RestoreThread can undo the placement.
+	orig map[int]simos.CgroupID
 
 	// ControlOps counts effective (non-cached) control operations.
 	ControlOps int64
@@ -42,6 +45,7 @@ func NewOSAdapter(k *simos.Kernel) (*OSAdapter, error) {
 		groups: make(map[string]simos.CgroupID),
 		nices:  make(map[int]int),
 		placed: make(map[int]string),
+		orig:   make(map[int]simos.CgroupID),
 	}, nil
 }
 
@@ -51,7 +55,8 @@ func (a *OSAdapter) SetNice(tid int, nice int) error {
 		return nil
 	}
 	if err := a.kernel.SetNice(simos.ThreadID(tid), nice); err != nil {
-		return err
+		a.evictIfVanished(tid, err)
+		return classify(err)
 	}
 	a.nices[tid] = nice
 	a.ControlOps++
@@ -65,7 +70,7 @@ func (a *OSAdapter) EnsureCgroup(name string) error {
 	}
 	id, err := a.kernel.CreateCgroup(a.root, name)
 	if err != nil {
-		return err
+		return classify(err)
 	}
 	a.groups[name] = id
 	a.ControlOps++
@@ -82,7 +87,7 @@ func (a *OSAdapter) SetShares(cgroupName string, shares int) error {
 		return nil
 	}
 	if err := a.kernel.SetShares(id, shares); err != nil {
-		return err
+		return classify(err)
 	}
 	a.ControlOps++
 	return nil
@@ -97,8 +102,14 @@ func (a *OSAdapter) MoveThread(tid int, cgroupName string) error {
 	if !ok {
 		return fmt.Errorf("simctl: unknown cgroup %q", cgroupName)
 	}
+	if _, tracked := a.orig[tid]; !tracked {
+		if info, err := a.kernel.ThreadInfo(simos.ThreadID(tid)); err == nil {
+			a.orig[tid] = info.Cgroup
+		}
+	}
 	if err := a.kernel.MoveThread(simos.ThreadID(tid), id); err != nil {
-		return err
+		a.evictIfVanished(tid, err)
+		return classify(err)
 	}
 	a.placed[tid] = cgroupName
 	a.ControlOps++

@@ -1,0 +1,142 @@
+package simos
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestKillThreadFreesCPU(t *testing.T) {
+	k := New(Config{CPUs: 1})
+	a := mustSpawn(t, k, "a", RootCgroup, busyRunner())
+	b := mustSpawn(t, k, "b", RootCgroup, busyRunner())
+	k.RunUntil(2 * time.Second)
+
+	// One of the two is running mid-slice, the other is runnable; either
+	// way the kill must release its share to the survivor.
+	if err := k.KillThread(a); err != nil {
+		t.Fatal(err)
+	}
+	before := cpuTime(t, k, b)
+	k.RunUntil(4 * time.Second)
+
+	if got := cpuTime(t, k, b) - before; got < 1900*time.Millisecond {
+		t.Errorf("survivor gained %v after kill, want ~2s", got)
+	}
+	info, err := k.ThreadInfo(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Alive {
+		t.Error("killed thread reported alive")
+	}
+	if k.ContractViolations() != 0 {
+		t.Errorf("contract violations: %d", k.ContractViolations())
+	}
+}
+
+func TestKilledThreadRejectsControlOps(t *testing.T) {
+	k := New(Config{CPUs: 1})
+	a := mustSpawn(t, k, "a", RootCgroup, busyRunner())
+	g, err := k.CreateCgroup(RootCgroup, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(time.Second)
+	if err := k.KillThread(a); err != nil {
+		t.Fatal(err)
+	}
+
+	var nf *NotFoundError
+	if err := k.SetNice(a, 5); !errors.As(err, &nf) {
+		t.Errorf("SetNice on killed thread: %v, want NotFoundError", err)
+	}
+	if _, err := k.Nice(a); !errors.As(err, &nf) {
+		t.Errorf("Nice on killed thread: %v, want NotFoundError", err)
+	}
+	if err := k.MoveThread(a, g); !errors.As(err, &nf) {
+		t.Errorf("MoveThread on killed thread: %v, want NotFoundError", err)
+	}
+	if err := k.SetRealtime(a, 10); !errors.As(err, &nf) {
+		t.Errorf("SetRealtime on killed thread: %v, want NotFoundError", err)
+	}
+	if err := k.SetNormal(a); !errors.As(err, &nf) {
+		t.Errorf("SetNormal on killed thread: %v, want NotFoundError", err)
+	}
+	if err := k.KillThread(a); !errors.As(err, &nf) {
+		t.Errorf("double kill: %v, want NotFoundError", err)
+	}
+	if err := k.KillThread(999); !errors.As(err, &nf) {
+		t.Errorf("kill of unknown thread: %v, want NotFoundError", err)
+	}
+}
+
+func TestKillSleepingThreadDropsPendingTimer(t *testing.T) {
+	k := New(Config{CPUs: 1})
+	runs := 0
+	id := mustSpawn(t, k, "sleeper", RootCgroup, RunnerFunc(func(ctx *RunContext, granted time.Duration) Decision {
+		runs++
+		return Decision{Used: 100 * time.Microsecond, Action: ActionSleep, WakeAt: ctx.Now() + 50*time.Millisecond}
+	}))
+	k.RunUntil(120 * time.Millisecond)
+	if err := k.KillThread(id); err != nil {
+		t.Fatal(err)
+	}
+	frozen := runs
+
+	// The sleeper's wake timer is still queued; it must not resurrect the
+	// exited thread when it fires.
+	k.RunUntil(time.Second)
+	if runs != frozen {
+		t.Errorf("killed sleeper ran again: %d -> %d runs", frozen, runs)
+	}
+	if k.ContractViolations() != 0 {
+		t.Errorf("contract violations: %d", k.ContractViolations())
+	}
+}
+
+func TestKillWaitingThreadSurvivesWake(t *testing.T) {
+	k := New(Config{CPUs: 1})
+	wq := k.NewWaitQueue("q")
+	consumerRuns := 0
+	consumer := mustSpawn(t, k, "consumer", RootCgroup, RunnerFunc(func(ctx *RunContext, granted time.Duration) Decision {
+		consumerRuns++
+		return Decision{Action: ActionWait, WaitOn: wq}
+	}))
+	mustSpawn(t, k, "producer", RootCgroup, RunnerFunc(func(ctx *RunContext, granted time.Duration) Decision {
+		ctx.Wake(wq)
+		return Decision{Used: time.Millisecond, Action: ActionSleep, WakeAt: ctx.Now() + 100*time.Millisecond}
+	}))
+	k.RunUntil(250 * time.Millisecond)
+
+	if err := k.KillThread(consumer); err != nil {
+		t.Fatal(err)
+	}
+	frozen := consumerRuns
+	// Later wakes on the queue must skip the exited waiter.
+	k.RunUntil(time.Second)
+	if consumerRuns != frozen {
+		t.Errorf("killed waiter ran again: %d -> %d runs", frozen, consumerRuns)
+	}
+	if k.ContractViolations() != 0 {
+		t.Errorf("contract violations: %d", k.ContractViolations())
+	}
+}
+
+func TestKillThreadDeterminism(t *testing.T) {
+	run := func() time.Duration {
+		k := New(Config{CPUs: 2})
+		var ids []ThreadID
+		for i := 0; i < 4; i++ {
+			ids = append(ids, mustSpawn(t, k, "w", RootCgroup, busyRunner()))
+		}
+		k.RunUntil(time.Second)
+		_ = k.KillThread(ids[1])
+		_ = k.KillThread(ids[3])
+		k.RunUntil(3 * time.Second)
+		return cpuTime(t, k, ids[0]) + cpuTime(t, k, ids[2])
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("kill sequence is nondeterministic: %v vs %v", a, b)
+	}
+}

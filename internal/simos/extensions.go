@@ -138,7 +138,7 @@ const (
 // priority (higher runs first). Real-time threads always run before any
 // fair-class thread, as SCHED_FIFO does.
 func (k *Kernel) SetRealtime(id ThreadID, prio int) error {
-	t, ok := k.threads[id]
+	t, ok := k.liveThread(id)
 	if !ok {
 		return &NotFoundError{Kind: "thread", ID: int(id)}
 	}
@@ -154,7 +154,7 @@ func (k *Kernel) SetRealtime(id ThreadID, prio int) error {
 
 // SetNormal returns a thread to the fair class.
 func (k *Kernel) SetNormal(id ThreadID) error {
-	t, ok := k.threads[id]
+	t, ok := k.liveThread(id)
 	if !ok {
 		return &NotFoundError{Kind: "thread", ID: int(id)}
 	}

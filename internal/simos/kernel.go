@@ -249,9 +249,19 @@ func (k *Kernel) Spawn(name string, cg CgroupID, r Runner) (ThreadID, error) {
 	return t.id, nil
 }
 
+// liveThread resolves a tid, treating exited threads as gone — control
+// operations on them fail with NotFoundError, the simulator's ESRCH.
+func (k *Kernel) liveThread(id ThreadID) (*thread, bool) {
+	t, ok := k.threads[id]
+	if !ok || t.state == stateExited {
+		return nil, false
+	}
+	return t, true
+}
+
 // SetNice sets a thread's nice value (clamped to [-20, 19]).
 func (k *Kernel) SetNice(id ThreadID, nice int) error {
-	t, ok := k.threads[id]
+	t, ok := k.liveThread(id)
 	if !ok {
 		return &NotFoundError{Kind: "thread", ID: int(id)}
 	}
@@ -262,11 +272,36 @@ func (k *Kernel) SetNice(id ThreadID, nice int) error {
 
 // Nice returns a thread's nice value.
 func (k *Kernel) Nice(id ThreadID) (int, error) {
-	t, ok := k.threads[id]
+	t, ok := k.liveThread(id)
 	if !ok {
 		return 0, &NotFoundError{Kind: "thread", ID: int(id)}
 	}
 	return t.nice, nil
+}
+
+// KillThread forcefully exits a thread at the current virtual time — the
+// chaos hook modeling an SPE worker crash. A running thread's in-flight
+// slice still completes (its CPU was already consumed) but its scheduling
+// decision is discarded; all later control operations on the tid fail with
+// NotFoundError, like ESRCH after a real thread death.
+func (k *Kernel) KillThread(id ThreadID) error {
+	t, ok := k.liveThread(id)
+	if !ok {
+		return &NotFoundError{Kind: "thread", ID: int(id)}
+	}
+	switch t.state {
+	case stateRunnable:
+		k.addRunnable(t.group, -1)
+		k.addPickable(t.group, -1)
+	case stateRunning:
+		// Pickable was already decremented at dispatch; finishSlice sees
+		// the exited state and drops the pending decision.
+		k.addRunnable(t.group, -1)
+	case stateWaiting, stateSleeping:
+		// Wait queues and timers skip non-waiting/non-sleeping threads.
+	}
+	t.state = stateExited
+	return nil
 }
 
 // CreateCgroup creates a child cgroup under parent with default shares.
@@ -313,7 +348,7 @@ func (k *Kernel) Shares(id CgroupID) (int, error) {
 // MoveThread migrates a thread to another cgroup, re-normalizing its
 // vruntime against the destination (like task migration on Linux).
 func (k *Kernel) MoveThread(id ThreadID, cg CgroupID) error {
-	t, ok := k.threads[id]
+	t, ok := k.liveThread(id)
 	if !ok {
 		return &NotFoundError{Kind: "thread", ID: int(id)}
 	}
@@ -604,6 +639,13 @@ func (k *Kernel) finishSlice(c *cpu) {
 		k.wakeAll(wq)
 	}
 	c.wakes = nil
+
+	if t.state == stateExited {
+		// Killed mid-slice: the work was done but the thread is gone, so
+		// its decision (sleep/wait/yield) must not resurrect it.
+		k.kickIdleCPUs()
+		return
+	}
 
 	switch d.Action {
 	case ActionYield:

@@ -1,0 +1,69 @@
+package spe
+
+import (
+	"fmt"
+)
+
+// Chaos hooks: kill and restart the dedicated kernel thread of a physical
+// operator mid-run, modeling an SPE worker crash and its supervisor-driven
+// recovery. The operator itself (queues, counters, in-flight state) stays
+// deployed — only the thread dies — so a restart resumes processing from
+// the operator's persisted state, like Storm respawning a died worker.
+
+// findOp returns the physical operator with the given name across the
+// engine's live deployments.
+func (e *Engine) findOp(name string) (*PhysicalOp, error) {
+	for _, d := range e.deployments {
+		for _, p := range d.ops {
+			if p.name == name {
+				return p, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("spe: no operator %q on engine %q", name, e.cfg.Name)
+}
+
+// KillOperatorThread kills the dedicated thread of a physical operator at
+// the current virtual time. The operator remains deployed; its stale tid
+// keeps showing up in driver entity listings until the next refresh, so
+// translators racing against the death observe ESRCH — exactly the
+// vanished-thread race the resilience layer must absorb.
+func (e *Engine) KillOperatorThread(name string) error {
+	p, err := e.findOp(name)
+	if err != nil {
+		return err
+	}
+	if p.thread == 0 {
+		return fmt.Errorf("spe: operator %q has no dedicated thread", name)
+	}
+	if err := e.kernel.KillThread(p.thread); err != nil {
+		return fmt.Errorf("kill %q: %w", name, err)
+	}
+	return nil
+}
+
+// RestartOperatorThread respawns the dedicated thread of an operator whose
+// thread was killed, resuming from the operator's state under a fresh tid.
+func (e *Engine) RestartOperatorThread(name string) error {
+	p, err := e.findOp(name)
+	if err != nil {
+		return err
+	}
+	if p.stopped {
+		return fmt.Errorf("spe: operator %q is stopped", name)
+	}
+	if p.pooled {
+		return fmt.Errorf("spe: operator %q runs on the worker pool", name)
+	}
+	if p.thread != 0 {
+		if _, err := e.kernel.Nice(p.thread); err == nil {
+			return fmt.Errorf("spe: operator %q thread %d is still alive", name, p.thread)
+		}
+	}
+	tid, err := e.kernel.Spawn(p.name, e.cgroup, p.osRunner())
+	if err != nil {
+		return fmt.Errorf("respawn %q: %w", name, err)
+	}
+	p.thread = tid
+	return nil
+}
