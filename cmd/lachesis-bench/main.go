@@ -34,6 +34,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		list       = fs.Bool("list", false, "list experiments")
 		verbose    = fs.Bool("v", false, "print progress")
 		csvDir     = fs.String("csv", "", "also write aggregated series as CSV files into this directory")
+		outDir     = fs.String("out", ".", "directory for machine-readable artifacts (BENCH_*.json, audit JSONL)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +66,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		sc.CSVDir = *csvDir
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		sc.ArtifactDir = *outDir
 	}
 
 	var exps []harness.Experiment

@@ -16,7 +16,8 @@ func TestSimRunsQuickDeployment(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := out.String()
-	for _, want := range []string{"running lr on storm", "ingested/s", "query lr"} {
+	for _, want := range []string{"running lr on storm", "ingested/s", "query lr",
+		"lachesis self: steps=", "step p50="} {
 		if !strings.Contains(s, want) {
 			t.Errorf("output missing %q:\n%s", want, s)
 		}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"lachesis/internal/spe"
 	"lachesis/internal/trace"
@@ -35,9 +36,23 @@ func run(args []string, stderr io.Writer) error {
 		tuples   = fs.Int("tuples", 10000, "number of tuples to capture")
 		seed     = fs.Int64("seed", 1, "generator seed")
 		out      = fs.String("out", "", "output CSV path (default stdout)")
+		replay   = fs.String("replay", "", "read an existing trace CSV and print its summary instead of capturing")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stderr, summary("replayed", tr.Len(), *replay, tr.Duration()))
+		return nil
 	}
 	var src spe.Source
 	switch *workload {
@@ -72,6 +87,16 @@ func run(args []string, stderr io.Writer) error {
 	if err := tr.Write(w); err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "captured %d %s tuples spanning %v\n", tr.Len(), *workload, tr.Duration())
+	fmt.Fprintln(stderr, summary("captured", tr.Len(), *workload, tr.Duration()))
 	return nil
+}
+
+// summary is the one-line trace report: record count, time span, and the
+// effective tuple rate over that span.
+func summary(verb string, n int, what string, span time.Duration) string {
+	rate := 0.0
+	if span > 0 {
+		rate = float64(n) / span.Seconds()
+	}
+	return fmt.Sprintf("%s %d %s tuples spanning %v (%.0f tuples/s)", verb, n, what, span, rate)
 }

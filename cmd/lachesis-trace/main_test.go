@@ -19,7 +19,8 @@ func TestCaptureToFileAndReload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(errBuf.String(), "captured 500 lr tuples") {
+	if !strings.Contains(errBuf.String(), "captured 500 lr tuples") ||
+		!strings.Contains(errBuf.String(), "tuples/s)") {
 		t.Errorf("stderr = %q", errBuf.String())
 	}
 	f, err := os.Open(out)
@@ -33,6 +34,32 @@ func TestCaptureToFileAndReload(t *testing.T) {
 	}
 	if tr.Len() != 500 {
 		t.Errorf("reloaded %d tuples", tr.Len())
+	}
+}
+
+func TestReplaySummary(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "syn.csv")
+	var errBuf bytes.Buffer
+	if err := run([]string{
+		"-workload", "syn", "-rate", "1000", "-tuples", "200", "-out", out,
+	}, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	errBuf.Reset()
+	if err := run([]string{"-replay", out}, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	s := errBuf.String()
+	if !strings.Contains(s, "replayed 200") || !strings.Contains(s, "tuples/s)") {
+		t.Errorf("replay summary = %q", s)
+	}
+	// The captured rate should be near the requested 1000 t/s.
+	if !strings.Contains(s, "(10") && !strings.Contains(s, "(99") && !strings.Contains(s, "(98") {
+		t.Errorf("rate looks off in %q", s)
+	}
+
+	if err := run([]string{"-replay", "/no/such/trace.csv"}, &errBuf); err == nil {
+		t.Error("missing replay file should fail")
 	}
 }
 

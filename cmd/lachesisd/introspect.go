@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"lachesis/internal/core"
+)
+
+// The introspection server exposes the daemon's self-telemetry while it
+// runs: Prometheus metrics, a machine-readable health snapshot, and the
+// tail of the decision-audit trail. The daemon's step loop and the HTTP
+// handlers share one mutex — the middleware is not concurrency-safe by
+// itself, and a scrape must never observe a half-applied schedule.
+
+// healthView is the JSON shape of GET /health.
+type healthView struct {
+	Status   string              `json:"status"` // "ok" or "degraded"
+	Bindings []bindingHealthView `json:"bindings"`
+	Drivers  []driverHealthView  `json:"drivers"`
+}
+
+type bindingHealthView struct {
+	Policy              string `json:"policy"`
+	Translator          string `json:"translator"`
+	State               string `json:"state"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	LastSuccessNs       int64  `json:"last_success_ns"`
+	HasSucceeded        bool   `json:"has_succeeded"`
+	OpenUntilNs         int64  `json:"open_until_ns,omitempty"`
+	LastError           string `json:"last_error,omitempty"`
+}
+
+type driverHealthView struct {
+	Driver              string `json:"driver"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	LastSuccessNs       int64  `json:"last_success_ns"`
+	HasSucceeded        bool   `json:"has_succeeded"`
+	ServingStale        bool   `json:"serving_stale"`
+	LastError           string `json:"last_error,omitempty"`
+}
+
+func healthJSON(h core.Health) healthView {
+	v := healthView{
+		Status:   "ok",
+		Bindings: make([]bindingHealthView, 0, len(h.Bindings)),
+		Drivers:  make([]driverHealthView, 0, len(h.Drivers)),
+	}
+	if !h.Healthy() {
+		v.Status = "degraded"
+	}
+	for _, b := range h.Bindings {
+		v.Bindings = append(v.Bindings, bindingHealthView{
+			Policy:              b.Policy,
+			Translator:          b.Translator,
+			State:               b.State.String(),
+			ConsecutiveFailures: b.ConsecutiveFailures,
+			LastSuccessNs:       b.LastSuccess.Nanoseconds(),
+			HasSucceeded:        b.HasSucceeded,
+			OpenUntilNs:         b.OpenUntil.Nanoseconds(),
+			LastError:           b.LastError,
+		})
+	}
+	for _, d := range h.Drivers {
+		v.Drivers = append(v.Drivers, driverHealthView{
+			Driver:              d.Driver,
+			ConsecutiveFailures: d.ConsecutiveFailures,
+			LastSuccessNs:       d.LastSuccess.Nanoseconds(),
+			HasSucceeded:        d.HasSucceeded,
+			ServingStale:        d.ServingStale,
+			LastError:           d.LastError,
+		})
+	}
+	return v
+}
+
+// defaultAuditTail is how many events /debug/audit returns without ?n=.
+const defaultAuditTail = 64
+
+// newIntrospectionHandler builds the /metrics, /health and /debug/audit
+// mux. mu serializes handler access with the daemon's step loop.
+func newIntrospectionHandler(mu *sync.Mutex, mw *core.Middleware, trail *core.AuditTrail) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		var buf bytes.Buffer
+		mu.Lock()
+		err := mw.Telemetry().WritePrometheus(&buf)
+		mu.Unlock()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = buf.WriteTo(w)
+	})
+
+	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		h := mw.Health()
+		mu.Unlock()
+		v := healthJSON(h)
+		w.Header().Set("Content-Type", "application/json")
+		if v.Status != "ok" {
+			// Load balancers and liveness probes read the status code; the
+			// body carries the per-binding detail.
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	})
+
+	mux.HandleFunc("/debug/audit", func(w http.ResponseWriter, r *http.Request) {
+		n := defaultAuditTail
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v <= 0 {
+				http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		mu.Lock()
+		events := trail.Last(n)
+		total := trail.Total()
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Total  int64            `json:"total"`
+			Events []core.AuditEvent `json:"events"`
+		}{Total: total, Events: events})
+	})
+
+	return mux
+}
+
+// introspectionServer wraps the HTTP server lifecycle so run() can start
+// it before the loop and tear it down on exit.
+type introspectionServer struct {
+	srv  *http.Server
+	addr string
+}
+
+func startIntrospection(addr string, mu *sync.Mutex, mw *core.Middleware, trail *core.AuditTrail) (*introspectionServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &introspectionServer{
+		srv:  &http.Server{Handler: newIntrospectionHandler(mu, mw, trail), ReadHeaderTimeout: 5 * time.Second},
+		addr: ln.Addr().String(),
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+func (s *introspectionServer) Close() { _ = s.srv.Close() }

@@ -1,0 +1,256 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/oslinux"
+)
+
+// newTestDaemon assembles the same stack run() builds: static entities, a
+// dry-run Linux control, an audited nice translator, and a static policy.
+func newTestDaemon(t *testing.T, tr core.Translator) (*core.Middleware, *core.AuditTrail, core.OSInterface) {
+	t.Helper()
+	ctl, err := oslinux.New(oslinux.Config{
+		Root:    "/cg/lachesis",
+		System:  oslinux.DryRunSystem{W: io.Discard},
+		Version: oslinux.V1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trail := core.NewAuditTrail(0, nil)
+	osIface := core.AuditOS(ctl, trail)
+	drv := &staticDriver{entities: []core.Entity{
+		{Name: "q.count.0", Driver: "static", Query: "q", Thread: 101, Logical: []string{"count"}},
+		{Name: "q.toll.0", Driver: "static", Query: "q", Thread: 102, Logical: []string{"toll"}},
+	}}
+	if tr == nil {
+		tr = core.NewNiceTranslator(osIface)
+	}
+	policy := core.Transformed(&core.StaticLogicalPolicy{
+		PolicyName: "configured",
+		Priorities: core.LogicalSchedule{"count": 10, "toll": 1},
+		Default:    0,
+	}, core.MaxPriorityRule)
+	mw := core.NewMiddleware(nil)
+	mw.SetAudit(trail)
+	if err := mw.Bind(core.Binding{
+		Policy:     policy,
+		Translator: tr,
+		Drivers:    []core.Driver{drv},
+		Period:     time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return mw, trail, osIface
+}
+
+func TestIntrospectionMetricsEndpoint(t *testing.T) {
+	mw, trail, _ := newTestDaemon(t, nil)
+	if _, err := mw.Step(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	srv := httptest.NewServer(newIntrospectionHandler(&mu, mw, trail))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content-type %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		core.MetricStepsTotal + " 1",
+		"# TYPE " + core.MetricStepSeconds + " histogram",
+		core.MetricPolicyRunsTotal,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestIntrospectionHealthEndpoint(t *testing.T) {
+	mw, trail, _ := newTestDaemon(t, nil)
+	if _, err := mw.Step(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	srv := httptest.NewServer(newIntrospectionHandler(&mu, mw, trail))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var v healthView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != "ok" {
+		t.Errorf("status %q", v.Status)
+	}
+	if len(v.Bindings) != 1 || v.Bindings[0].State != "healthy" {
+		t.Errorf("bindings = %+v", v.Bindings)
+	}
+	if v.Bindings[0].Policy != "configured+transform" {
+		t.Errorf("policy = %q", v.Bindings[0].Policy)
+	}
+	if len(v.Drivers) != 1 || v.Drivers[0].Driver != "static" {
+		t.Errorf("drivers = %+v", v.Drivers)
+	}
+}
+
+// failingTranslator makes every apply fail so the binding degrades.
+type failingTranslator struct{}
+
+func (failingTranslator) Name() string { return "broken" }
+func (failingTranslator) Apply(core.Schedule, map[string]core.Entity) error {
+	return errors.New("boom")
+}
+
+func TestIntrospectionHealthDegraded(t *testing.T) {
+	mw, trail, _ := newTestDaemon(t, failingTranslator{})
+	if _, err := mw.Step(time.Second); err == nil {
+		t.Fatal("expected a step error from the failing translator")
+	}
+	var mu sync.Mutex
+	srv := httptest.NewServer(newIntrospectionHandler(&mu, mw, trail))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 for a degraded daemon", resp.StatusCode)
+	}
+	var v healthView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != "degraded" {
+		t.Errorf("status %q", v.Status)
+	}
+	if len(v.Bindings) != 1 || v.Bindings[0].LastError == "" {
+		t.Errorf("bindings = %+v", v.Bindings)
+	}
+}
+
+func TestIntrospectionAuditEndpoint(t *testing.T) {
+	mw, trail, _ := newTestDaemon(t, nil)
+	if _, err := mw.Step(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	srv := httptest.NewServer(newIntrospectionHandler(&mu, mw, trail))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/audit?n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var v struct {
+		Total  int64             `json:"total"`
+		Events []core.AuditEvent `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Events) == 0 || len(v.Events) > 2 {
+		t.Fatalf("got %d events, want 1..2", len(v.Events))
+	}
+	if v.Total < int64(len(v.Events)) {
+		t.Errorf("total %d < returned %d", v.Total, len(v.Events))
+	}
+	// One step over two static entities renices both threads.
+	found := false
+	for _, e := range v.Events {
+		if e.Kind == core.AuditKindNice && e.Thread != 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no nice event in tail: %+v", v.Events)
+	}
+
+	bad, err := http.Get(srv.URL + "/debug/audit?n=zero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad n: status %d, want 400", bad.StatusCode)
+	}
+}
+
+// TestIntrospectFlagStartsServer exercises the run() wiring end to end: a
+// one-iteration dry run with -introspect on an ephemeral port must
+// announce the listen address.
+func TestIntrospectFlagStartsServer(t *testing.T) {
+	cfg := writeConfig(t, validConfig)
+	var out, errOut bytes.Buffer
+	err := run([]string{"-config", cfg, "-iterations", "1", "-introspect", "127.0.0.1:0"}, &out, &errOut, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "introspection listening on http://127.0.0.1:") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}
+
+// TestAuditFlagWritesJSONL checks the -audit flag: every control decision
+// of the run lands in the JSONL file.
+func TestAuditFlagWritesJSONL(t *testing.T) {
+	cfg := writeConfig(t, validConfig)
+	path := t.TempDir() + "/audit.jsonl"
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-config", cfg, "-iterations", "1", "-audit", path}, &out, &errOut, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	nices := 0
+	for i, line := range lines {
+		var e core.AuditEvent
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d: %v", i+1, err)
+		}
+		if e.Kind == core.AuditKindNice {
+			nices++
+		}
+	}
+	if nices != 2 {
+		t.Errorf("want 2 audited renices (both configured threads), got %d in %d lines", nices, len(lines))
+	}
+}

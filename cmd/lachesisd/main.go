@@ -31,6 +31,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -89,6 +90,8 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 		configPath = fs.String("config", "", "path to JSON config (required)")
 		dryRun     = fs.Bool("dry-run", true, "print control operations instead of performing them")
 		iterations = fs.Int("iterations", 1, "scheduling iterations to run (0 = forever)")
+		introspect = fs.String("introspect", "", "serve /metrics, /health and /debug/audit on this address (e.g. :9090)")
+		auditPath  = fs.String("audit", "", "append the decision-audit trail as JSONL to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,6 +127,24 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 		return err
 	}
 
+	// The audit trail is always on (it backs /debug/audit); the JSONL sink
+	// only when -audit names a file.
+	var sink *core.JSONLSink
+	if *auditPath != "" {
+		f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("audit log: %w", err)
+		}
+		defer f.Close()
+		sink = core.NewJSONLSink(f)
+	}
+	var trailSink core.AuditSink
+	if sink != nil {
+		trailSink = sink
+	}
+	trail := core.NewAuditTrail(0, trailSink)
+	osIface := core.AuditOS(ctl, trail)
+
 	drv := &staticDriver{}
 	for _, e := range cfg.Entities {
 		drv.entities = append(drv.entities, core.Entity{
@@ -139,11 +160,11 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	var tr core.Translator
 	switch cfg.Translator {
 	case "", "nice":
-		tr = core.NewNiceTranslator(ctl)
+		tr = core.NewNiceTranslator(osIface)
 	case "cpu.shares":
-		tr = core.NewSharesTranslator(ctl, 0, 0)
+		tr = core.NewSharesTranslator(osIface, 0, 0)
 	case "nice+cpu.shares":
-		tr = core.NewCombinedTranslator(ctl, 0, 0)
+		tr = core.NewCombinedTranslator(osIface, 0, 0)
 	default:
 		return fmt.Errorf("unknown translator %q", cfg.Translator)
 	}
@@ -155,6 +176,8 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	}, core.MaxPriorityRule)
 
 	mw := core.NewMiddleware(nil)
+	mw.SetAudit(trail)
+	ctl.SetTelemetry(mw.Telemetry())
 	period := time.Duration(cfg.PeriodMillis) * time.Millisecond
 	if err := mw.Bind(core.Binding{
 		Policy:     policy,
@@ -163,6 +186,17 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 		Period:     period,
 	}); err != nil {
 		return err
+	}
+
+	// mu serializes the step loop with the introspection handlers.
+	var mu sync.Mutex
+	if *introspect != "" {
+		srv, err := startIntrospection(*introspect, &mu, mw, trail)
+		if err != nil {
+			return fmt.Errorf("introspection: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "lachesisd: introspection listening on http://%s\n", srv.addr)
 	}
 
 	fmt.Fprintf(stderr, "lachesisd: %d entities, translator %s, period %v, dry-run=%v\n",
@@ -174,7 +208,9 @@ loop:
 	// degrades the failing binding, and the daemon keeps retrying every
 	// period until the binding recovers or the daemon is told to stop.
 	for i := 0; *iterations == 0 || i < *iterations; i++ {
+		mu.Lock()
 		stats, err := mw.Step(time.Since(start))
+		mu.Unlock()
 		if err != nil {
 			fmt.Fprintln(stderr, "lachesisd: step:", err)
 		}
@@ -191,7 +227,15 @@ loop:
 		}
 	}
 
-	printHealth(stderr, mw.Health())
+	mu.Lock()
+	health := mw.Health()
+	mu.Unlock()
+	printHealth(stderr, health)
+	if sink != nil {
+		if err := sink.Err(); err != nil {
+			fmt.Fprintln(stderr, "lachesisd: audit log:", err)
+		}
+	}
 	if interrupted {
 		fmt.Fprintln(stderr, "lachesisd: shutting down, restoring scheduling defaults")
 		if r, ok := tr.(core.Resetter); ok {

@@ -1,0 +1,390 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Audit event kinds. Control-op kinds (nice, shares, move, restore,
+// cgroup-remove) are produced by the AuditOS wrapper; decision kinds
+// (apply, policy-error, quarantine, breaker, driver) by the middleware.
+const (
+	AuditKindNice         = "nice"
+	AuditKindShares       = "shares"
+	AuditKindMove         = "move"
+	AuditKindRestore      = "restore"
+	AuditKindCgroupRemove = "cgroup-remove"
+	AuditKindApply        = "apply"
+	AuditKindPolicyError  = "policy-error"
+	AuditKindQuarantine   = "quarantine"
+	AuditKindBreaker      = "breaker"
+	AuditKindDriver       = "driver"
+)
+
+// AuditOutcomeOK marks a successful event; other outcomes carry breaker
+// transition names or error text.
+const AuditOutcomeOK = "ok"
+
+// AuditEvent is one record of the decision-audit trail: why (and how) a
+// policy changed a thread's nice, a cgroup's shares, or a thread's
+// placement at a given step — the paper's evaluation relies on these
+// decisions being cheap and correct, and the trail makes each one
+// reconstructible after the fact.
+type AuditEvent struct {
+	// Seq is the event's position in the trail (monotonic from 1).
+	Seq int64 `json:"seq"`
+	// At is the middleware step time (virtual or wall, whatever drives
+	// Step) the event belongs to, in nanoseconds.
+	At time.Duration `json:"at_ns"`
+	// Kind is one of the AuditKind constants.
+	Kind string `json:"kind"`
+	// Policy/Translator name the binding whose decision produced the
+	// event.
+	Policy     string `json:"policy,omitempty"`
+	Translator string `json:"translator,omitempty"`
+	// Entity is the scheduled operator, when the event targets one.
+	Entity string `json:"entity,omitempty"`
+	// Thread is the OS thread id of nice/move/restore events.
+	Thread int `json:"thread,omitempty"`
+	// Cgroup is the target group of shares/move/cgroup-remove events.
+	Cgroup string `json:"cgroup,omitempty"`
+	// Driver names the metric source of driver events.
+	Driver string `json:"driver,omitempty"`
+	// Old/New record the before/after value of the changed control knob.
+	// Old pointers are nil when the previous value was unknown (first
+	// touch of a thread or group).
+	OldNice   *int   `json:"old_nice,omitempty"`
+	NewNice   *int   `json:"new_nice,omitempty"`
+	OldShares *int   `json:"old_shares,omitempty"`
+	NewShares *int   `json:"new_shares,omitempty"`
+	OldCgroup string `json:"old_cgroup,omitempty"`
+	// Entities is the entity count of apply events.
+	Entities int `json:"entities,omitempty"`
+	// Outcome is AuditOutcomeOK, a breaker transition ("open",
+	// "reopen", "closed"), or error text.
+	Outcome string `json:"outcome,omitempty"`
+}
+
+// AuditSink receives every event recorded into an AuditTrail, in order.
+// Sinks must be safe for use from whatever goroutine steps the middleware;
+// the built-in sinks serialize internally.
+type AuditSink interface {
+	Emit(AuditEvent)
+}
+
+// auditCtx is the binding context the middleware installs around each
+// translator apply, so control-op events recorded by AuditOS inherit the
+// step time, binding names, and entity attribution.
+type auditCtx struct {
+	at          time.Duration
+	policy      string
+	translator  string
+	entityByTID map[int]string
+}
+
+// AuditTrail is a bounded ring buffer of audit events with an optional
+// sink. The ring answers "what were the last K decisions" (the
+// /debug/audit endpoint); the sink streams the full history (JSONL for
+// the harness, in-memory for tests).
+type AuditTrail struct {
+	mu       sync.Mutex
+	capacity int
+	ring     []AuditEvent
+	next     int
+	count    int
+	total    int64
+	sink     AuditSink
+	ctx      *auditCtx
+}
+
+// DefaultAuditCapacity bounds the in-memory trail when no explicit
+// capacity is given.
+const DefaultAuditCapacity = 1024
+
+// NewAuditTrail creates a trail keeping the last capacity events
+// (capacity <= 0 selects DefaultAuditCapacity). sink may be nil.
+func NewAuditTrail(capacity int, sink AuditSink) *AuditTrail {
+	if capacity <= 0 {
+		capacity = DefaultAuditCapacity
+	}
+	return &AuditTrail{
+		capacity: capacity,
+		ring:     make([]AuditEvent, capacity),
+		sink:     sink,
+	}
+}
+
+// Record stamps the event with a sequence number and the active binding
+// context (for fields the caller left empty), stores it in the ring, and
+// forwards it to the sink.
+func (t *AuditTrail) Record(e AuditEvent) {
+	t.mu.Lock()
+	if c := t.ctx; c != nil {
+		if e.At == 0 {
+			e.At = c.at
+		}
+		if e.Policy == "" {
+			e.Policy = c.policy
+		}
+		if e.Translator == "" {
+			e.Translator = c.translator
+		}
+		if e.Entity == "" && e.Thread != 0 {
+			e.Entity = c.entityByTID[e.Thread]
+		}
+	}
+	t.total++
+	e.Seq = t.total
+	t.ring[t.next] = e
+	t.next = (t.next + 1) % t.capacity
+	if t.count < t.capacity {
+		t.count++
+	}
+	sink := t.sink
+	t.mu.Unlock()
+	if sink != nil {
+		sink.Emit(e)
+	}
+}
+
+// Last returns the most recent k events, oldest first. k <= 0 or beyond
+// the retained window returns everything retained.
+func (t *AuditTrail) Last(k int) []AuditEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if k <= 0 || k > t.count {
+		k = t.count
+	}
+	out := make([]AuditEvent, 0, k)
+	start := t.next - k
+	if start < 0 {
+		start += t.capacity
+	}
+	for i := 0; i < k; i++ {
+		out = append(out, t.ring[(start+i)%t.capacity])
+	}
+	return out
+}
+
+// Total returns how many events have been recorded over the trail's
+// lifetime (>= the retained count).
+func (t *AuditTrail) Total() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Capacity returns the ring size.
+func (t *AuditTrail) Capacity() int { return t.capacity }
+
+// beginApply installs the binding context for control ops recorded during
+// one translator apply; endApply removes it.
+func (t *AuditTrail) beginApply(at time.Duration, policy, translator string, entities map[string]Entity) {
+	byTID := make(map[int]string, len(entities))
+	for name, ent := range entities {
+		if ent.Thread != 0 {
+			byTID[ent.Thread] = name
+		}
+	}
+	t.mu.Lock()
+	t.ctx = &auditCtx{at: at, policy: policy, translator: translator, entityByTID: byTID}
+	t.mu.Unlock()
+}
+
+func (t *AuditTrail) endApply() {
+	t.mu.Lock()
+	t.ctx = nil
+	t.mu.Unlock()
+}
+
+// --- sinks ---
+
+// JSONLSink writes one JSON object per event — the durable decision-audit
+// artifact format of the harness and lachesisd.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+var _ AuditSink = (*JSONLSink)(nil)
+
+// NewJSONLSink creates a sink writing JSON lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit implements AuditSink.
+func (s *JSONLSink) Emit(e AuditEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.enc.Encode(e); err != nil && s.err == nil {
+		s.err = err
+	}
+}
+
+// Err returns the first write error, if any (audit writes are best-effort;
+// a full disk must not take the scheduler down).
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// MemorySink retains every event, for tests and programmatic cross-checks.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []AuditEvent
+}
+
+var _ AuditSink = (*MemorySink)(nil)
+
+// Emit implements AuditSink.
+func (s *MemorySink) Emit(e AuditEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, e)
+}
+
+// Events returns a copy of everything emitted so far.
+func (s *MemorySink) Events() []AuditEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]AuditEvent, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// --- audited OS wrapper ---
+
+// auditedOS records every effective control-state change flowing through
+// an OSInterface into an AuditTrail. It tracks the last value it applied
+// per knob so events carry old -> new transitions and redundant re-applies
+// (same nice, same shares, same placement) are not recorded — the trail
+// captures decisions, not periodic re-assertions.
+type auditedOS struct {
+	inner  OSInterface
+	trail  *AuditTrail
+	nices  map[int]int
+	shares map[string]int
+	placed map[int]string
+}
+
+// AuditOS wraps an OSInterface so every nice/shares/placement change is
+// recorded into trail. The wrapper forwards the optional CgroupRemover and
+// PlacementRestorer capabilities when (and only when meaningfully) the
+// wrapped interface provides them; on a backend without them the calls
+// succeed as no-ops.
+func AuditOS(inner OSInterface, trail *AuditTrail) OSInterface {
+	return &auditedOS{
+		inner:  inner,
+		trail:  trail,
+		nices:  make(map[int]int),
+		shares: make(map[string]int),
+		placed: make(map[int]string),
+	}
+}
+
+func intp(v int) *int { return &v }
+
+func outcome(err error) string {
+	if err == nil {
+		return AuditOutcomeOK
+	}
+	return err.Error()
+}
+
+// SetNice implements OSInterface.
+func (a *auditedOS) SetNice(tid, nice int) error {
+	old, known := a.nices[tid]
+	err := a.inner.SetNice(tid, nice)
+	if err == nil {
+		if known && old == nice {
+			return nil // no state change: not a decision worth auditing
+		}
+		a.nices[tid] = nice
+	}
+	e := AuditEvent{Kind: AuditKindNice, Thread: tid, NewNice: intp(nice), Outcome: outcome(err)}
+	if known {
+		e.OldNice = intp(old)
+	}
+	a.trail.Record(e)
+	return err
+}
+
+// EnsureCgroup implements OSInterface. Group creation is structural, not a
+// scheduling decision, so it is not audited on its own — the following
+// shares/move events carry the group name.
+func (a *auditedOS) EnsureCgroup(name string) error {
+	return a.inner.EnsureCgroup(name)
+}
+
+// SetShares implements OSInterface.
+func (a *auditedOS) SetShares(name string, shares int) error {
+	old, known := a.shares[name]
+	err := a.inner.SetShares(name, shares)
+	if err == nil {
+		if known && old == shares {
+			return nil
+		}
+		a.shares[name] = shares
+	}
+	e := AuditEvent{Kind: AuditKindShares, Cgroup: name, NewShares: intp(shares), Outcome: outcome(err)}
+	if known {
+		e.OldShares = intp(old)
+	}
+	a.trail.Record(e)
+	return err
+}
+
+// MoveThread implements OSInterface.
+func (a *auditedOS) MoveThread(tid int, name string) error {
+	old, known := a.placed[tid]
+	err := a.inner.MoveThread(tid, name)
+	if err == nil {
+		if known && old == name {
+			return nil
+		}
+		a.placed[tid] = name
+	}
+	e := AuditEvent{Kind: AuditKindMove, Thread: tid, Cgroup: name, Outcome: outcome(err)}
+	if known {
+		e.OldCgroup = old
+	}
+	a.trail.Record(e)
+	return err
+}
+
+// RemoveCgroup implements CgroupRemover when the wrapped OS does.
+func (a *auditedOS) RemoveCgroup(name string) error {
+	r, ok := a.inner.(CgroupRemover)
+	if !ok {
+		return nil
+	}
+	err := r.RemoveCgroup(name)
+	if err == nil {
+		delete(a.shares, name)
+	}
+	a.trail.Record(AuditEvent{Kind: AuditKindCgroupRemove, Cgroup: name, Outcome: outcome(err)})
+	return err
+}
+
+// RestoreThread implements PlacementRestorer when the wrapped OS does.
+func (a *auditedOS) RestoreThread(tid int) error {
+	r, ok := a.inner.(PlacementRestorer)
+	if !ok {
+		return nil
+	}
+	err := r.RestoreThread(tid)
+	e := AuditEvent{Kind: AuditKindRestore, Thread: tid, Outcome: outcome(err)}
+	if old, known := a.placed[tid]; known {
+		e.OldCgroup = old
+	}
+	if err == nil {
+		delete(a.placed, tid)
+	}
+	a.trail.Record(e)
+	return err
+}

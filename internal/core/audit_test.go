@@ -1,0 +1,231 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAuditTrailRing(t *testing.T) {
+	trail := NewAuditTrail(3, nil)
+	for i := 1; i <= 5; i++ {
+		trail.Record(AuditEvent{Kind: AuditKindNice, Thread: i})
+	}
+	if got := trail.Total(); got != 5 {
+		t.Fatalf("total = %d, want 5", got)
+	}
+	last := trail.Last(0)
+	if len(last) != 3 {
+		t.Fatalf("retained %d, want 3 (capacity)", len(last))
+	}
+	// Oldest first, and only the newest capacity events survive.
+	for i, want := range []int{3, 4, 5} {
+		if last[i].Thread != want || last[i].Seq != int64(want) {
+			t.Errorf("last[%d] = thread %d seq %d, want %d", i, last[i].Thread, last[i].Seq, want)
+		}
+	}
+	if got := trail.Last(2); len(got) != 2 || got[1].Thread != 5 {
+		t.Fatalf("Last(2) = %+v, want threads 4,5", got)
+	}
+	if got := trail.Last(99); len(got) != 3 {
+		t.Fatalf("Last(99) = %d events, want 3", len(got))
+	}
+}
+
+func TestAuditOSRecordsTransitions(t *testing.T) {
+	sink := &MemorySink{}
+	trail := NewAuditTrail(0, sink)
+	fos := newFakeOS()
+	aos := AuditOS(fos, trail)
+
+	// First touch: old unknown. Change: old -> new. Redundant: no event.
+	if err := aos.SetNice(11, -5); err != nil {
+		t.Fatal(err)
+	}
+	if err := aos.SetNice(11, -5); err != nil {
+		t.Fatal(err)
+	}
+	if err := aos.SetNice(11, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := aos.EnsureCgroup("q1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := aos.SetShares("q1", 2048); err != nil {
+		t.Fatal(err)
+	}
+	if err := aos.SetShares("q1", 2048); err != nil {
+		t.Fatal(err)
+	}
+	if err := aos.MoveThread(11, "q1"); err != nil {
+		t.Fatal(err)
+	}
+
+	events := sink.Events()
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4 (nice, nice, shares, move):\n%+v", len(events), events)
+	}
+	first := events[0]
+	if first.Kind != AuditKindNice || first.OldNice != nil || *first.NewNice != -5 || first.Outcome != AuditOutcomeOK {
+		t.Errorf("first nice event wrong: %+v", first)
+	}
+	change := events[1]
+	if change.OldNice == nil || *change.OldNice != -5 || *change.NewNice != 10 {
+		t.Errorf("nice change should carry old -> new: %+v", change)
+	}
+	shares := events[2]
+	if shares.Kind != AuditKindShares || shares.Cgroup != "q1" || *shares.NewShares != 2048 {
+		t.Errorf("shares event wrong: %+v", shares)
+	}
+	move := events[3]
+	if move.Kind != AuditKindMove || move.Thread != 11 || move.Cgroup != "q1" {
+		t.Errorf("move event wrong: %+v", move)
+	}
+	// The fake OS really holds the final state the audit claims.
+	if fos.nices[11] != 10 || fos.cgroups["q1"] != 2048 || fos.placed[11] != "q1" {
+		t.Errorf("fake OS state diverged from audit: %+v", fos)
+	}
+}
+
+func TestAuditOSCapabilityForwarding(t *testing.T) {
+	trail := NewAuditTrail(0, nil)
+	aos := AuditOS(newFakeOS(), trail) // fakeOS has no remover/restorer
+	if r, ok := aos.(CgroupRemover); !ok {
+		t.Fatal("wrapper should expose CgroupRemover")
+	} else if err := r.RemoveCgroup("gone"); err != nil {
+		t.Fatalf("remove on incapable backend should no-op, got %v", err)
+	}
+	if r, ok := aos.(PlacementRestorer); !ok {
+		t.Fatal("wrapper should expose PlacementRestorer")
+	} else if err := r.RestoreThread(1); err != nil {
+		t.Fatalf("restore on incapable backend should no-op, got %v", err)
+	}
+	if trail.Total() != 0 {
+		t.Errorf("no-op capability calls should not be audited, got %d events", trail.Total())
+	}
+}
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	trail := NewAuditTrail(0, sink)
+	trail.Record(AuditEvent{At: 2 * time.Second, Kind: AuditKindNice, Thread: 7, NewNice: intp(-3),
+		Policy: "qs", Translator: "nice", Entity: "q.op.0", Outcome: AuditOutcomeOK})
+	trail.Record(AuditEvent{At: 3 * time.Second, Kind: AuditKindBreaker, Policy: "qs", Outcome: "open until 5s: boom"})
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []AuditEvent
+	for sc.Scan() {
+		var e AuditEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, e)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", len(lines))
+	}
+	if lines[0].Seq != 1 || lines[0].Thread != 7 || *lines[0].NewNice != -3 || lines[0].At != 2*time.Second {
+		t.Errorf("bad first line: %+v", lines[0])
+	}
+	if lines[1].Kind != AuditKindBreaker || !strings.Contains(lines[1].Outcome, "open") {
+		t.Errorf("bad second line: %+v", lines[1])
+	}
+}
+
+// TestMiddlewareAuditAttribution: control-op events recorded during a
+// binding's apply inherit the step time, binding names, and the entity the
+// thread belongs to; the apply itself is summarized.
+func TestMiddlewareAuditAttribution(t *testing.T) {
+	sink := &MemorySink{}
+	trail := NewAuditTrail(0, sink)
+	d := upDriver("eng", 40)
+	mw := NewMiddleware(nil)
+	mw.SetAudit(trail)
+	if err := mw.Bind(Binding{
+		Policy:     NewQSPolicy(),
+		Translator: NewNiceTranslator(AuditOS(newFakeOS(), trail)),
+		Drivers:    []Driver{d},
+		Period:     time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mw.Step(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	events := sink.Events()
+	var niceEvents, applyEvents int
+	for _, e := range events {
+		switch e.Kind {
+		case AuditKindNice:
+			niceEvents++
+			if e.At != 5*time.Second {
+				t.Errorf("nice event not stamped with step time: %+v", e)
+			}
+			if e.Policy != "qs" || e.Translator != "nice" {
+				t.Errorf("nice event missing binding context: %+v", e)
+			}
+			if e.Entity != "a" && e.Entity != "b" {
+				t.Errorf("nice event missing entity attribution: %+v", e)
+			}
+		case AuditKindApply:
+			applyEvents++
+			if e.Outcome != AuditOutcomeOK || e.Entities != 2 {
+				t.Errorf("apply event wrong: %+v", e)
+			}
+		}
+	}
+	if niceEvents != 2 {
+		t.Errorf("nice events = %d, want 2 (two threads scheduled)", niceEvents)
+	}
+	if applyEvents != 1 {
+		t.Errorf("apply events = %d, want 1", applyEvents)
+	}
+}
+
+// TestMiddlewareAuditBreakerLifecycle: opening, failed probes, and closing
+// of a breaker all leave audit events.
+func TestMiddlewareAuditBreakerLifecycle(t *testing.T) {
+	sink := &MemorySink{}
+	trail := NewAuditTrail(0, sink)
+	d := upDriver("flaky", 1)
+	mw := NewMiddleware(nil)
+	mw.SetAudit(trail)
+	mw.SetResilience(Resilience{
+		FailureThreshold: 2,
+		BaseBackoff:      time.Second,
+		StalenessBound:   time.Nanosecond,
+	})
+	if err := mw.Bind(Binding{
+		Policy: NewQSPolicy(), Translator: NewNiceTranslator(newFakeOS()),
+		Drivers: []Driver{d}, Period: time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d.down = true
+	mw.Step(0)               // failure 1
+	mw.Step(1 * time.Second) // failure 2 -> breaker opens
+	mw.Step(2 * time.Second) // probe fails -> reopen
+	d.down = false
+	mw.Step(4 * time.Second) // probe succeeds -> closed
+	var outcomes []string
+	for _, e := range sink.Events() {
+		if e.Kind == AuditKindBreaker {
+			outcomes = append(outcomes, strings.SplitN(e.Outcome, " ", 2)[0])
+		}
+	}
+	want := []string{"open", "reopen", "closed"}
+	if len(outcomes) != len(want) {
+		t.Fatalf("breaker outcomes = %v, want %v", outcomes, want)
+	}
+	for i := range want {
+		if outcomes[i] != want[i] {
+			t.Fatalf("breaker outcomes = %v, want %v", outcomes, want)
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"lachesis/internal/telemetry"
 )
 
 // Binding attaches one scheduling policy to a translator and a driver
@@ -179,15 +181,23 @@ type Middleware struct {
 	res      Resilience
 	drivers  map[string]*driverState
 
-	policyRuns  int64
-	applyErrors int64
-	panics      int64
+	// Self-telemetry: every middleware carries a registry; the lifetime
+	// counters (policy runs, apply errors, panics) live in it so the
+	// legacy accessors and the exported metrics cannot drift apart.
+	tel   *telemetry.Registry
+	ins   mwInstruments
+	audit *AuditTrail
+	// nowFn supplies wall-clock time for duration measurements (virtual
+	// step time never measures the middleware's own cost). Tests may
+	// replace it.
+	nowFn func() time.Time
 }
 
 type boundPolicy struct {
 	Binding
 	ticker  *Ticker
 	queries map[string]bool
+	label   string // "policy/translator", the telemetry binding label
 
 	// Circuit-breaker state.
 	fails     int           // consecutive failures
@@ -199,6 +209,12 @@ type boundPolicy struct {
 	haveSuccess  bool
 	lastErr      error
 	lastEntities map[string]Entity // last successfully scheduled entities
+
+	// Cached instruments (see instrument.go).
+	tel            *telemetry.Registry
+	hSchedule      *telemetry.Histogram
+	hApply         *telemetry.Histogram
+	ctrQuarantined *telemetry.Counter
 }
 
 // driverState tracks one driver's fetch health and last good values.
@@ -210,6 +226,11 @@ type driverState struct {
 	lastGood    map[string]EntityValues
 	lastGoodAt  time.Duration
 	stale       bool // currently serving lastGood in place of a failed fetch
+
+	// Cached instruments (see instrument.go).
+	hFetch      *telemetry.Histogram
+	ctrFailures *telemetry.Counter
+	ctrStale    *telemetry.Counter
 }
 
 // NewMiddleware creates a middleware over a metric provider (nil selects a
@@ -219,11 +240,15 @@ func NewMiddleware(provider *Provider) *Middleware {
 	if provider == nil {
 		provider = NewProvider(nil)
 	}
-	return &Middleware{
+	m := &Middleware{
 		provider: provider,
 		res:      DefaultResilience(),
 		drivers:  make(map[string]*driverState),
+		tel:      telemetry.NewRegistry(),
+		nowFn:    time.Now,
 	}
+	m.resolveInstruments()
+	return m
 }
 
 // Provider returns the middleware's metric provider.
@@ -252,7 +277,12 @@ func (m *Middleware) Bind(b Binding) error {
 	if err := m.provider.Register(b.Policy.Metrics()...); err != nil {
 		return fmt.Errorf("bind %s: %w", b.Policy.Name(), err)
 	}
-	bp := &boundPolicy{Binding: b, ticker: NewTicker(b.Period)}
+	bp := &boundPolicy{
+		Binding: b,
+		ticker:  NewTicker(b.Period),
+		label:   m.bindingLabel(b.Policy.Name() + "/" + b.Translator.Name()),
+	}
+	bp.resolve(m.tel)
 	if len(b.Queries) > 0 {
 		bp.queries = make(map[string]bool, len(b.Queries))
 		for _, q := range b.Queries {
@@ -261,25 +291,84 @@ func (m *Middleware) Bind(b Binding) error {
 	}
 	m.bindings = append(m.bindings, bp)
 	for _, d := range b.Drivers {
-		if m.drivers[d.Name()] == nil {
-			m.drivers[d.Name()] = &driverState{}
-		}
+		m.driverState(d.Name())
 	}
 	return nil
 }
 
-// PolicyRuns returns how many policy executions have completed.
-func (m *Middleware) PolicyRuns() int64 { return m.policyRuns }
+// bindingLabel makes the telemetry label unique across bindings: a second
+// binding of the same policy/translator pair gets a "#2" suffix so their
+// per-binding series don't merge.
+func (m *Middleware) bindingLabel(base string) string {
+	label := base
+	for i := 2; ; i++ {
+		taken := false
+		for _, other := range m.bindings {
+			if other.label == label {
+				taken = true
+				break
+			}
+		}
+		if !taken {
+			return label
+		}
+		label = fmt.Sprintf("%s#%d", base, i)
+	}
+}
 
-// ApplyErrors returns how many policy/translator executions failed.
-func (m *Middleware) ApplyErrors() int64 { return m.applyErrors }
+// driverState returns (creating if needed) the tracked state of a driver.
+func (m *Middleware) driverState(name string) *driverState {
+	ds := m.drivers[name]
+	if ds == nil {
+		ds = &driverState{}
+		ds.resolve(m.tel, name)
+		m.drivers[name] = ds
+	}
+	return ds
+}
+
+// PolicyRuns returns how many policy executions have completed. It reads
+// the lachesis_policy_runs_total telemetry counter.
+func (m *Middleware) PolicyRuns() int64 { return m.ins.policyRuns.Value() }
+
+// ApplyErrors returns how many policy/translator executions failed. It
+// reads the lachesis_apply_errors_total telemetry counter.
+func (m *Middleware) ApplyErrors() int64 { return m.ins.applyErrors.Value() }
 
 // PanicsRecovered returns how many policy/translator panics the loop has
-// absorbed.
-func (m *Middleware) PanicsRecovered() int64 { return m.panics }
+// absorbed. It reads the lachesis_panics_recovered_total telemetry counter.
+func (m *Middleware) PanicsRecovered() int64 { return m.ins.panics.Value() }
+
+// DriverStepStats is one driver's slice of a Step: how long its metric
+// fetch (including derived-metric computation) took and how it ended.
+type DriverStepStats struct {
+	Driver string
+	// Fetch is the wall-clock duration of the provider update.
+	Fetch time.Duration
+	// Stale marks a failed fetch answered from last-good values.
+	Stale bool
+	Err   string
+}
+
+// BindingStepStats is one due binding's slice of a Step: wall-clock
+// durations of its two phases plus the outcome.
+type BindingStepStats struct {
+	Policy     string
+	Translator string
+	// Entities is the entity count of the binding's view.
+	Entities int
+	// Schedule is the wall-clock duration of the policy run.
+	Schedule time.Duration
+	// Apply is the wall-clock duration of the translator apply.
+	Apply time.Duration
+	// Quarantined marks a binding skipped by an open breaker (no phases
+	// ran).
+	Quarantined bool
+	Err         string
+}
 
 // StepStats reports what one Step did, letting callers model the
-// middleware's (small) CPU footprint.
+// middleware's (small) CPU footprint and attribute it per phase.
 type StepStats struct {
 	// PoliciesRun is the number of due policies executed.
 	PoliciesRun int
@@ -292,6 +381,14 @@ type StepStats struct {
 	// the future, even when every driver failed, so callers honoring it
 	// never busy-loop.
 	Next time.Duration
+	// Wall is the measured wall-clock duration of the whole Step.
+	Wall time.Duration
+	// Bindings breaks the step down per due binding, in binding order.
+	Bindings []BindingStepStats
+	// Drivers breaks the step down per fetched driver (resilient mode
+	// only; the strict loop fetches all drivers in one indivisible
+	// update).
+	Drivers []DriverStepStats
 }
 
 // Step runs one iteration of Algorithm 1 at virtual (or wall) time now:
@@ -319,12 +416,16 @@ func (m *Middleware) Step(now time.Duration) (StepStats, error) {
 		return stats, nil
 	}
 
+	start := m.nowFn()
 	var errs []error
 	if m.res.Disabled {
 		errs = m.stepStrict(now, due, &stats)
 	} else {
 		errs = m.stepResilient(now, due, &stats)
 	}
+	stats.Wall = m.nowFn().Sub(start)
+	m.ins.steps.Inc()
+	m.ins.stepSeconds.Observe(stats.Wall)
 	stats.Next = m.nextDue()
 	return stats, errors.Join(errs...)
 }
@@ -342,18 +443,41 @@ func (m *Middleware) stepStrict(now time.Duration, due []*boundPolicy, stats *St
 		view := m.buildView(now, bp, values)
 		stats.PoliciesRun++
 		stats.Entities += len(view.Entities)
+		bst := BindingStepStats{
+			Policy:     bp.Policy.Name(),
+			Translator: bp.Translator.Name(),
+			Entities:   len(view.Entities),
+		}
+		t0 := m.nowFn()
 		sched, err := bp.Policy.Schedule(view)
+		bst.Schedule = m.nowFn().Sub(t0)
+		bp.hSchedule.Observe(bst.Schedule)
 		if err != nil {
-			m.applyErrors++
+			m.ins.applyErrors.Inc()
+			bst.Err = err.Error()
+			stats.Bindings = append(stats.Bindings, bst)
 			errs = append(errs, fmt.Errorf("policy %s: %w", bp.Policy.Name(), err))
 			continue
 		}
-		if err := bp.Translator.Apply(sched, view.Entities); err != nil {
-			m.applyErrors++
-			errs = append(errs, fmt.Errorf("translate %s/%s: %w", bp.Policy.Name(), bp.Translator.Name(), err))
+		done := m.auditApplyCtx(now, bp, view.Entities)
+		t0 = m.nowFn()
+		aerr := bp.Translator.Apply(sched, view.Entities)
+		bst.Apply = m.nowFn().Sub(t0)
+		done()
+		bp.hApply.Observe(bst.Apply)
+		m.auditRecord(AuditEvent{
+			At: now, Kind: AuditKindApply, Policy: bst.Policy, Translator: bst.Translator,
+			Entities: bst.Entities, Outcome: outcome(aerr),
+		})
+		if aerr != nil {
+			m.ins.applyErrors.Inc()
+			bst.Err = aerr.Error()
+			stats.Bindings = append(stats.Bindings, bst)
+			errs = append(errs, fmt.Errorf("translate %s/%s: %w", bp.Policy.Name(), bp.Translator.Name(), aerr))
 			continue
 		}
-		m.policyRuns++
+		stats.Bindings = append(stats.Bindings, bst)
+		m.ins.policyRuns.Inc()
 	}
 	return errs
 }
@@ -368,6 +492,15 @@ func (m *Middleware) stepResilient(now time.Duration, due []*boundPolicy, stats 
 	for _, bp := range due {
 		if bp.open && now < bp.openUntil {
 			stats.Quarantined++
+			bp.ctrQuarantined.Inc()
+			stats.Bindings = append(stats.Bindings, BindingStepStats{
+				Policy: bp.Policy.Name(), Translator: bp.Translator.Name(), Quarantined: true,
+			})
+			m.auditRecord(AuditEvent{
+				At: now, Kind: AuditKindQuarantine,
+				Policy: bp.Policy.Name(), Translator: bp.Translator.Name(),
+				Outcome: fmt.Sprintf("open until %v", bp.openUntil),
+			})
 			continue
 		}
 		runnable = append(runnable, bp)
@@ -380,12 +513,12 @@ func (m *Middleware) stepResilient(now time.Duration, due []*boundPolicy, stats 
 	unavailable := make(map[string]error)
 	for _, d := range distinctDrivers(runnable) {
 		name := d.Name()
-		ds := m.drivers[name]
-		if ds == nil {
-			ds = &driverState{}
-			m.drivers[name] = ds
-		}
+		ds := m.driverState(name)
+		dst := DriverStepStats{Driver: name}
+		t0 := m.nowFn()
 		vals, err := m.provider.UpdateOne(now, d)
+		dst.Fetch = m.nowFn().Sub(t0)
+		ds.hFetch.Observe(dst.Fetch)
 		if err == nil {
 			ds.fails = 0
 			ds.lastErr = nil
@@ -395,20 +528,33 @@ func (m *Middleware) stepResilient(now time.Duration, due []*boundPolicy, stats 
 			ds.lastGood = vals
 			ds.lastGoodAt = now
 			values[name] = vals
+			stats.Drivers = append(stats.Drivers, dst)
 			continue
 		}
 		ds.fails++
 		ds.lastErr = err
+		ds.ctrFailures.Inc()
+		dst.Err = err.Error()
 		errs = append(errs, fmt.Errorf("driver %s: %w", name, err))
 		if ds.lastGood != nil && now-ds.lastGoodAt <= m.res.StalenessBound {
 			// Last-good fallback: schedule on slightly stale metrics
 			// rather than not at all.
 			ds.stale = true
+			ds.ctrStale.Inc()
+			dst.Stale = true
 			values[name] = ds.lastGood
+			m.auditRecord(AuditEvent{
+				At: now, Kind: AuditKindDriver, Driver: name,
+				Outcome: "stale-fallback: " + err.Error(),
+			})
 		} else {
 			ds.stale = false
 			unavailable[name] = err
+			m.auditRecord(AuditEvent{
+				At: now, Kind: AuditKindDriver, Driver: name, Outcome: err.Error(),
+			})
 		}
+		stats.Drivers = append(stats.Drivers, dst)
 	}
 
 	for _, bp := range runnable {
@@ -431,22 +577,57 @@ func (m *Middleware) stepResilient(now time.Duration, due []*boundPolicy, stats 
 		view := m.buildView(now, bp, values)
 		stats.PoliciesRun++
 		stats.Entities += len(view.Entities)
+		bst := BindingStepStats{
+			Policy:     bp.Policy.Name(),
+			Translator: bp.Translator.Name(),
+			Entities:   len(view.Entities),
+		}
+		t0 := m.nowFn()
 		sched, err := m.safeSchedule(bp.Policy, view)
+		bst.Schedule = m.nowFn().Sub(t0)
+		bp.hSchedule.Observe(bst.Schedule)
 		if err != nil {
-			m.applyErrors++
+			m.ins.applyErrors.Inc()
 			err = fmt.Errorf("policy %s: %w", bp.Policy.Name(), err)
+			bst.Err = err.Error()
+			stats.Bindings = append(stats.Bindings, bst)
+			m.auditRecord(AuditEvent{
+				At: now, Kind: AuditKindPolicyError, Policy: bst.Policy,
+				Translator: bst.Translator, Outcome: err.Error(),
+			})
 			errs = append(errs, err)
 			m.recordFailure(bp, now, err)
 			continue
 		}
-		if err := m.safeApply(bp.Translator, sched, view.Entities); err != nil {
-			m.applyErrors++
-			err = fmt.Errorf("translate %s/%s: %w", bp.Policy.Name(), bp.Translator.Name(), err)
-			errs = append(errs, err)
-			m.recordFailure(bp, now, err)
+		done := m.auditApplyCtx(now, bp, view.Entities)
+		t0 = m.nowFn()
+		aerr := m.safeApply(bp.Translator, sched, view.Entities)
+		bst.Apply = m.nowFn().Sub(t0)
+		done()
+		bp.hApply.Observe(bst.Apply)
+		m.auditRecord(AuditEvent{
+			At: now, Kind: AuditKindApply, Policy: bst.Policy, Translator: bst.Translator,
+			Entities: bst.Entities, Outcome: outcome(aerr),
+		})
+		if aerr != nil {
+			m.ins.applyErrors.Inc()
+			aerr = fmt.Errorf("translate %s/%s: %w", bp.Policy.Name(), bp.Translator.Name(), aerr)
+			bst.Err = aerr.Error()
+			stats.Bindings = append(stats.Bindings, bst)
+			errs = append(errs, aerr)
+			m.recordFailure(bp, now, aerr)
 			continue
 		}
-		m.policyRuns++
+		stats.Bindings = append(stats.Bindings, bst)
+		m.ins.policyRuns.Inc()
+		if bp.open {
+			// Successful half-open probe: the breaker closes.
+			bp.breakerCounter("closed").Inc()
+			m.auditRecord(AuditEvent{
+				At: now, Kind: AuditKindBreaker, Policy: bst.Policy,
+				Translator: bst.Translator, Outcome: "closed",
+			})
+		}
 		bp.fails = 0
 		bp.opens = 0
 		bp.open = false
@@ -466,14 +647,26 @@ func (m *Middleware) recordFailure(bp *boundPolicy, now time.Duration, err error
 		// Failed half-open probe: re-quarantine with doubled backoff.
 		bp.opens++
 		bp.openUntil = now + m.backoff(bp)
+		bp.breakerCounter("reopen").Inc()
+		m.auditRecord(AuditEvent{
+			At: now, Kind: AuditKindBreaker, Policy: bp.Policy.Name(),
+			Translator: bp.Translator.Name(),
+			Outcome:    fmt.Sprintf("reopen until %v: %v", bp.openUntil, err),
+		})
 		return
 	}
 	if bp.fails >= m.res.FailureThreshold {
 		bp.open = true
 		bp.opens++
 		bp.openUntil = now + m.backoff(bp)
+		bp.breakerCounter("open").Inc()
+		m.auditRecord(AuditEvent{
+			At: now, Kind: AuditKindBreaker, Policy: bp.Policy.Name(),
+			Translator: bp.Translator.Name(),
+			Outcome:    fmt.Sprintf("open until %v: %v", bp.openUntil, err),
+		})
 		if m.res.Degraded == DegradedReset {
-			m.resetBinding(bp)
+			m.resetBinding(now, bp)
 		}
 	}
 }
@@ -499,14 +692,15 @@ func (m *Middleware) backoff(bp *boundPolicy) time.Duration {
 // resetBinding hands a quarantined binding's entities back to default OS
 // scheduling, best-effort: through the translator's Resetter capability
 // when available, otherwise by applying a neutral (all-equal) schedule.
-func (m *Middleware) resetBinding(bp *boundPolicy) {
+func (m *Middleware) resetBinding(now time.Duration, bp *boundPolicy) {
 	if len(bp.lastEntities) == 0 {
 		return
 	}
+	defer m.auditApplyCtx(now, bp, bp.lastEntities)()
 	if r, ok := bp.Translator.(Resetter); ok {
 		defer func() {
 			if rec := recover(); rec != nil {
-				m.panics++
+				m.ins.panics.Inc()
 			}
 		}()
 		_ = r.Reset(bp.lastEntities)
@@ -529,7 +723,7 @@ func (m *Middleware) resetBinding(bp *boundPolicy) {
 func (m *Middleware) safeSchedule(p Policy, v *View) (sched Schedule, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			m.panics++
+			m.ins.panics.Inc()
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()
@@ -540,7 +734,7 @@ func (m *Middleware) safeSchedule(p Policy, v *View) (sched Schedule, err error)
 func (m *Middleware) safeApply(t Translator, sched Schedule, entities map[string]Entity) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			m.panics++
+			m.ins.panics.Inc()
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()

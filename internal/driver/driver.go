@@ -14,6 +14,7 @@ import (
 	"lachesis/internal/core"
 	"lachesis/internal/metrics"
 	"lachesis/internal/spe"
+	"lachesis/internal/telemetry"
 )
 
 // maxStaleness is how far back a driver accepts a sample; older series
@@ -34,6 +35,10 @@ type Driver struct {
 	// provided maps canonical metric names to the raw series suffix they
 	// are read from.
 	provided map[string]string
+
+	// Cached instruments (nil until SetTelemetry).
+	ctrSamples *telemetry.Counter
+	ctrStale   *telemetry.Counter
 }
 
 var _ core.Driver = (*Driver)(nil)
@@ -124,10 +129,21 @@ func (d *Driver) Fetch(metric string, now time.Duration) (core.EntityValues, err
 	for _, p := range d.engine.Ops() {
 		series := d.engine.Name() + "." + p.Name() + "." + suffix
 		pt, ok := d.store.Latest(series)
-		if !ok || now-pt.At > maxStaleness {
+		if !ok {
 			continue // not reported yet; the operator simply has no sample
 		}
+		if now-pt.At > maxStaleness {
+			// Reported once but gone quiet: a wedged reporter looks
+			// different from one that never started.
+			if d.ctrStale != nil {
+				d.ctrStale.Inc()
+			}
+			continue
+		}
 		out[p.Name()] = pt.Value
+	}
+	if d.ctrSamples != nil {
+		d.ctrSamples.Add(int64(len(out)))
 	}
 	return out, nil
 }

@@ -1,0 +1,26 @@
+package driver
+
+import "lachesis/internal/telemetry"
+
+// Telemetry metric names exported by SPE drivers.
+const (
+	// MetricDriverSamples counts metric samples delivered to the provider,
+	// labeled by driver.
+	MetricDriverSamples = "lachesis_driver_samples_total"
+	// MetricDriverStaleDropped counts samples present in the store but
+	// dropped for exceeding the driver's staleness bound — the signature
+	// of a reporter that stopped publishing (e.g. a wedged SPE).
+	MetricDriverStaleDropped = "lachesis_driver_stale_dropped_total"
+)
+
+// SetTelemetry attaches a metric registry: fetched and stale-dropped
+// sample counts are recorded from then on. nil detaches (the default).
+func (d *Driver) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		d.ctrSamples, d.ctrStale = nil, nil
+		return
+	}
+	l := telemetry.L("driver", d.Name())
+	d.ctrSamples = reg.Counter(MetricDriverSamples, l)
+	d.ctrStale = reg.Counter(MetricDriverStaleDropped, l)
+}

@@ -1,0 +1,47 @@
+package driver
+
+import (
+	"testing"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/spe"
+	"lachesis/internal/telemetry"
+)
+
+func TestDriverTelemetryCounts(t *testing.T) {
+	k, drv, _ := deploy(t, spe.FlavorStorm)
+	reg := telemetry.NewRegistry()
+	drv.SetTelemetry(reg)
+	k.RunUntil(3 * time.Second)
+
+	vals, err := drv.Fetch(core.MetricQueueSize, k.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := telemetry.L("driver", drv.Name())
+	samples := reg.Counter(MetricDriverSamples, l)
+	if got := samples.Value(); got != int64(len(vals)) {
+		t.Errorf("samples counter = %d, want %d (one per delivered value)", got, len(vals))
+	}
+	if got := reg.Counter(MetricDriverStaleDropped, l).Value(); got != 0 {
+		t.Errorf("stale counter = %d, want 0 while the reporter is live", got)
+	}
+
+	// Far past the staleness bound every stored sample is dropped as stale
+	// — the signature of a wedged reporter.
+	before := samples.Value()
+	vals, err = drv.Fetch(core.MetricQueueSize, k.Now()+time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 0 {
+		t.Fatalf("stale fetch returned values: %v", vals)
+	}
+	if got := reg.Counter(MetricDriverStaleDropped, l).Value(); got == 0 {
+		t.Error("stale counter should count dropped samples")
+	}
+	if samples.Value() != before {
+		t.Error("stale-dropped samples must not count as delivered")
+	}
+}

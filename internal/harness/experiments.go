@@ -24,6 +24,10 @@ type Scale struct {
 	// CSVDir, if set, additionally writes each experiment's aggregated
 	// series as CSV files into the directory (for external plotting).
 	CSVDir string
+	// ArtifactDir, if set, receives machine-readable benchmark artifacts
+	// (BENCH_*.json, decision-audit JSONL, Prometheus dumps) from the
+	// experiments that produce them.
+	ArtifactDir string
 }
 
 // QuickScale is sized for test suites and benchmarks.
@@ -76,6 +80,7 @@ func All() []Experiment {
 		{"fig18", "Figure 18: multi-SPE/query scheduling of LR, VS, SYN (Xeon)", fig18},
 		{"table1", "Table 1: summary of configurations and highlights", table1},
 		{"chaos", "Chaos: resilience under injected faults — hardened vs unhardened", chaosExp},
+		{"overhead", "Overhead: decision-cycle cost per binding count (§6.7 self-cost)", overheadExp},
 	}
 }
 

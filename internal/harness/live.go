@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"lachesis/internal/core"
 )
 
 // RunLive runs one deployment for the given virtual duration, printing
@@ -59,6 +61,17 @@ func RunLive(s Setup, rate float64, duration time.Duration, w io.Writer) error {
 	}
 	if st.mwRunner != nil && st.mwRunner.Errs > 0 {
 		fmt.Fprintf(w, "middleware errors: %d (last: %v)\n", st.mwRunner.Errs, st.mwRunner.LastErr)
+	}
+	if st.mw != nil {
+		// Self-telemetry: what the middleware's own decision cycles cost
+		// this process (host wall clock, not virtual time).
+		reg := st.mw.Telemetry()
+		sum := reg.Histogram(core.MetricStepSeconds).Summary()
+		fmt.Fprintf(w, "lachesis self: steps=%d policy-runs=%d apply-errors=%d step p50=%v p99=%v\n",
+			reg.Counter(core.MetricStepsTotal).Value(),
+			reg.Counter(core.MetricPolicyRunsTotal).Value(),
+			reg.Counter(core.MetricApplyErrorsTotal).Value(),
+			sum.P50, sum.P99)
 	}
 	return nil
 }

@@ -1,0 +1,231 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/driver"
+	"lachesis/internal/metrics"
+	"lachesis/internal/simctl"
+	"lachesis/internal/simos"
+	"lachesis/internal/spe"
+	"lachesis/internal/workloads"
+)
+
+// The overhead experiment quantifies the middleware's own decision-cycle
+// cost (the paper reports ~1% CPU, §6.7): a Liebre engine runs N SYN
+// queries with one Lachesis binding per query, and the middleware is
+// stepped on the HOST clock, interleaved with virtual-time kernel
+// execution. Step's wall-clock self-telemetry (lachesis_step_seconds and
+// the per-phase histograms) then measures what one decision cycle really
+// costs this process as bindings scale, independent of the simulated CPU
+// model. Every applied change is recorded in the decision-audit trail,
+// optionally streamed to JSONL.
+
+const (
+	overheadSeed = 29
+	// overheadRate is per-query, comfortably below SYN saturation so queues
+	// stay bounded and entity counts stable.
+	overheadRate = 100
+	overheadOps  = 5 // pipeline length per SYN query
+)
+
+// overheadBindingCounts are the swept binding counts (>= 3 points).
+var overheadBindingCounts = []int{1, 4, 8, 16}
+
+// OverheadRow is one measured binding count of the overhead sweep — the
+// row format of BENCH_overhead.json.
+type OverheadRow struct {
+	Bindings int   `json:"bindings"`
+	Entities int   `json:"entities"`
+	Steps    int64 `json:"steps"`
+	// Decision-cycle wall-clock cost in nanoseconds.
+	P50Ns  int64 `json:"p50_ns"`
+	P95Ns  int64 `json:"p95_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	MeanNs int64 `json:"mean_ns"`
+	// Control-plane effect of the cycles.
+	ControlOps  int64 `json:"control_ops"`
+	CachedOps   int64 `json:"cached_ops"`
+	AuditEvents int64 `json:"audit_events"`
+	StepErrors  int64 `json:"step_errors"`
+}
+
+// OverheadReport is the BENCH_overhead.json document.
+type OverheadReport struct {
+	Experiment string        `json:"experiment"`
+	Warmup     time.Duration `json:"warmup_ns"`
+	Measure    time.Duration `json:"measure_ns"`
+	Rows       []OverheadRow `json:"rows"`
+}
+
+// overheadStack exposes the assembled run to the cross-check test.
+type overheadStack struct {
+	kernel  *simos.Kernel
+	adapter *simctl.OSAdapter
+	mw      *core.Middleware
+	trail   *core.AuditTrail
+	drv     *driver.Driver
+}
+
+// runOverhead assembles n per-query bindings over one Liebre engine and
+// manually steps the middleware on the host clock through warmup+measure
+// virtual seconds. Audit events stream to sink (may be nil).
+func runOverhead(n int, sc Scale, sink core.AuditSink) (OverheadRow, *overheadStack, error) {
+	row := OverheadRow{Bindings: n}
+	k := simos.New(simos.XeonServer())
+	eng, err := spe.New(k, spe.Config{Name: "liebre0", Flavor: spe.FlavorLiebre, Seed: overheadSeed})
+	if err != nil {
+		return row, nil, fmt.Errorf("engine: %w", err)
+	}
+	cfg := workloads.SynConfig{Queries: n, OpsPerQuery: overheadOps, Seed: overheadSeed}
+	queries := workloads.SYN(cfg)
+	names := make([]string, 0, n)
+	for i, q := range queries {
+		names = append(names, q.Name)
+		if _, err := eng.Deploy(q, workloads.SynSource(overheadRate, overheadSeed+int64(i)*31)); err != nil {
+			return row, nil, fmt.Errorf("deploy %s: %w", q.Name, err)
+		}
+	}
+
+	store := metrics.NewStore(time.Second)
+	if err := eng.StartReporter(store, time.Second); err != nil {
+		return row, nil, fmt.Errorf("reporter: %w", err)
+	}
+	drv, err := driver.New(eng, store)
+	if err != nil {
+		return row, nil, fmt.Errorf("driver: %w", err)
+	}
+	osa, err := simctl.NewOSAdapter(k)
+	if err != nil {
+		return row, nil, err
+	}
+
+	trail := core.NewAuditTrail(0, sink)
+	mw := core.NewMiddleware(nil)
+	mw.SetAudit(trail)
+	reg := mw.Telemetry()
+	drv.SetTelemetry(reg)
+	osa.SetTelemetry(reg)
+	for _, name := range names {
+		if err := mw.Bind(core.Binding{
+			Policy:     core.GroupPerQuery(core.NewQSPolicy()),
+			Translator: core.NewCombinedTranslator(core.AuditOS(osa, trail), 0, 0),
+			Drivers:    []core.Driver{drv},
+			Queries:    []string{name},
+			Period:     time.Second,
+		}); err != nil {
+			return row, nil, fmt.Errorf("bind %s: %w", name, err)
+		}
+	}
+
+	// Warm the engine and the metric pipeline, then step on the host clock:
+	// virtual time advances between steps, host time is measured inside
+	// them.
+	now := sc.Warmup
+	k.RunUntil(now)
+	end := sc.Warmup + sc.Measure
+	var stepErrs int64
+	for now < end {
+		stats, err := mw.Step(now)
+		if err != nil {
+			stepErrs++
+		}
+		next := stats.Next
+		if next <= now {
+			next = now + time.Second
+		}
+		now = next
+		k.RunUntil(now)
+	}
+
+	sum := reg.Histogram(core.MetricStepSeconds).Summary()
+	row.Entities = len(drv.Entities())
+	row.Steps = sum.Count
+	row.P50Ns = sum.P50.Nanoseconds()
+	row.P95Ns = sum.P95.Nanoseconds()
+	row.P99Ns = sum.P99.Nanoseconds()
+	row.MeanNs = sum.Mean.Nanoseconds()
+	row.ControlOps = osa.ControlOps
+	row.CachedOps = osa.CachedOps
+	row.AuditEvents = trail.Total()
+	row.StepErrors = stepErrs
+	st := &overheadStack{kernel: k, adapter: osa, mw: mw, trail: trail, drv: drv}
+	return row, st, nil
+}
+
+// overheadExp sweeps binding counts, prints the cost table, and emits the
+// machine-readable artifacts (BENCH_overhead.json, the decision-audit
+// JSONL of the largest run, and a Prometheus metrics dump) into
+// sc.ArtifactDir when set.
+func overheadExp(w io.Writer, sc Scale) error {
+	counts := overheadBindingCounts
+	report := OverheadReport{Experiment: "overhead", Warmup: sc.Warmup, Measure: sc.Measure}
+	var lastStack *overheadStack
+
+	for i, n := range counts {
+		var sink core.AuditSink
+		var auditFile *os.File
+		if sc.ArtifactDir != "" && i == len(counts)-1 {
+			f, err := os.Create(filepath.Join(sc.ArtifactDir, "BENCH_overhead_audit.jsonl"))
+			if err != nil {
+				return err
+			}
+			auditFile = f
+			sink = core.NewJSONLSink(f)
+		}
+		if sc.Progress != nil {
+			sc.Progress(fmt.Sprintf("overhead: %d binding(s)", n))
+		}
+		row, st, err := runOverhead(n, sc, sink)
+		if auditFile != nil {
+			if cerr := auditFile.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			return err
+		}
+		report.Rows = append(report.Rows, row)
+		lastStack = st
+	}
+
+	fmt.Fprintln(w, "# Overhead: wall-clock decision-cycle cost per binding count")
+	fmt.Fprintf(w, "%10s %10s %8s %12s %12s %12s %12s %12s\n",
+		"bindings", "entities", "steps", "p50", "p95", "p99", "ctl-ops", "audit-evts")
+	for _, r := range report.Rows {
+		fmt.Fprintf(w, "%10d %10d %8d %12v %12v %12v %12d %12d\n",
+			r.Bindings, r.Entities, r.Steps,
+			time.Duration(r.P50Ns), time.Duration(r.P95Ns), time.Duration(r.P99Ns),
+			r.ControlOps, r.AuditEvents)
+	}
+	fmt.Fprintln(w)
+
+	if sc.ArtifactDir != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(sc.ArtifactDir, "BENCH_overhead.json"), append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(sc.ArtifactDir, "BENCH_overhead_metrics.prom"))
+		if err != nil {
+			return err
+		}
+		werr := lastStack.mw.Telemetry().WritePrometheus(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(w, "artifacts: %s\n", filepath.Join(sc.ArtifactDir, "BENCH_overhead.json"))
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/simos"
+)
+
+// tinyScale keeps the overhead sweep short enough for unit tests while
+// still producing several decision cycles per binding count.
+var tinyScale = Scale{Warmup: time.Second, Measure: 3 * time.Second, Reps: 1}
+
+// TestOverheadAuditCrossCheck replays the decision-audit trail against the
+// simulated kernel: the last successful nice recorded for every thread and
+// the last shares recorded for every cgroup must equal what the kernel
+// actually holds, i.e. the audit log reproduces every applied change.
+func TestOverheadAuditCrossCheck(t *testing.T) {
+	sink := &core.MemorySink{}
+	row, st, err := runOverhead(2, tinyScale, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Steps == 0 {
+		t.Fatal("no decision cycles measured")
+	}
+	events := sink.Events()
+	if int64(len(events)) != row.AuditEvents {
+		t.Fatalf("sink saw %d events, trail counted %d", len(events), row.AuditEvents)
+	}
+
+	// Replay: last successful value per thread / cgroup wins.
+	lastNice := map[int]int{}
+	lastShares := map[string]int{}
+	for _, e := range events {
+		if e.Outcome != core.AuditOutcomeOK {
+			continue
+		}
+		switch e.Kind {
+		case core.AuditKindNice:
+			if e.NewNice == nil {
+				t.Fatalf("nice event without new_nice: %+v", e)
+			}
+			lastNice[e.Thread] = *e.NewNice
+		case core.AuditKindShares:
+			if e.NewShares == nil {
+				t.Fatalf("shares event without new_shares: %+v", e)
+			}
+			lastShares[e.Cgroup] = *e.NewShares
+		}
+	}
+	if len(lastNice) == 0 {
+		t.Fatal("audit trail recorded no nice changes")
+	}
+	if len(lastShares) == 0 {
+		t.Fatal("audit trail recorded no shares changes")
+	}
+	for tid, want := range lastNice {
+		got, err := st.kernel.Nice(simos.ThreadID(tid))
+		if err != nil {
+			t.Fatalf("kernel nice of thread %d: %v", tid, err)
+		}
+		if got != want {
+			t.Errorf("thread %d: kernel nice %d, audit replay says %d", tid, got, want)
+		}
+	}
+	for name, want := range lastShares {
+		id, ok := st.adapter.Cgroup(name)
+		if !ok {
+			t.Fatalf("audited cgroup %q unknown to adapter", name)
+		}
+		got, err := st.kernel.Shares(id)
+		if err != nil {
+			t.Fatalf("kernel shares of %q: %v", name, err)
+		}
+		if got != simos.ClampShares(want) {
+			t.Errorf("cgroup %q: kernel shares %d, audit replay says %d", name, got, want)
+		}
+	}
+
+	// And the reverse direction: every thread the middleware manages must
+	// appear in the trail, so no applied change escaped the audit log.
+	for _, ent := range st.drv.Entities() {
+		if ent.Thread == 0 {
+			continue
+		}
+		if _, ok := lastNice[ent.Thread]; !ok {
+			t.Errorf("thread %d of entity %s has no audited nice", ent.Thread, ent.Name)
+		}
+	}
+}
+
+// TestOverheadArtifacts runs the full sweep into a temp dir and validates
+// the machine-readable outputs.
+func TestOverheadArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	sc := tinyScale
+	sc.ArtifactDir = dir
+	var out bytes.Buffer
+	if err := overheadExp(&out, sc); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "bindings") {
+		t.Errorf("missing table header in output:\n%s", out.String())
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_overhead.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report OverheadReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH_overhead.json: %v", err)
+	}
+	if len(report.Rows) < 3 {
+		t.Fatalf("want >= 3 binding counts, got %d", len(report.Rows))
+	}
+	for _, r := range report.Rows {
+		if r.Steps == 0 || r.P50Ns <= 0 || r.P99Ns < r.P50Ns {
+			t.Errorf("implausible row: %+v", r)
+		}
+		if r.StepErrors != 0 {
+			t.Errorf("%d bindings: %d step errors", r.Bindings, r.StepErrors)
+		}
+	}
+
+	// The audit JSONL of the largest run parses line by line.
+	f, err := os.Open(filepath.Join(dir, "BENCH_overhead_audit.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := 0
+	scanner := bufio.NewScanner(f)
+	for scanner.Scan() {
+		var e core.AuditEvent
+		if err := json.Unmarshal(scanner.Bytes(), &e); err != nil {
+			t.Fatalf("audit line %d: %v", lines+1, err)
+		}
+		lines++
+	}
+	if lines == 0 {
+		t.Error("audit JSONL is empty")
+	}
+
+	prom, err := os.ReadFile(filepath.Join(dir, "BENCH_overhead_metrics.prom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(prom), core.MetricStepSeconds) {
+		t.Error("Prometheus dump lacks the step-duration histogram")
+	}
+}

@@ -180,6 +180,7 @@ type stack struct {
 	kernel      *simos.Kernel
 	engines     []*spe.Engine
 	deployments []*spe.Deployment
+	mw          *core.Middleware
 	mwRunner    *simctl.Runner
 	store       *metrics.Store
 }
@@ -292,6 +293,7 @@ func build(s Setup, rate float64, rep int) (*stack, error) {
 		if err != nil {
 			return nil, err
 		}
+		st.mw = mw
 		st.mwRunner = runner
 	}
 	return st, nil

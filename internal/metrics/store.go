@@ -28,9 +28,11 @@ type Point struct {
 type Store struct {
 	resolution time.Duration
 	retention  int
+	window     time.Duration // 0 = count-based retention only
 	series     map[string][]Point
 
 	records int64
+	evicted int64
 }
 
 // NewStore creates a store. resolution <= 0 selects DefaultResolution.
@@ -52,6 +54,28 @@ func (s *Store) Resolution() time.Duration { return s.resolution }
 // lifetime.
 func (s *Store) Records() int64 { return s.records }
 
+// Evicted returns how many samples the retention window has dropped over
+// the store's lifetime (always 0 with the window off).
+func (s *Store) Evicted() int64 { return s.evicted }
+
+// SetRetentionWindow enables time-based retention: on each Record, samples
+// older than window behind the written sample are evicted from that
+// series. It composes with the count bound (whichever evicts first wins).
+// window <= 0 restores the default, count-based-only retention. A
+// long-running daemon uses this to bound memory by age rather than by
+// sample count, which count-based retention alone cannot do for series
+// reported at different rates.
+func (s *Store) SetRetentionWindow(window time.Duration) {
+	if window < 0 {
+		window = 0
+	}
+	s.window = window
+}
+
+// RetentionWindow returns the active time-based retention window (0 when
+// off).
+func (s *Store) RetentionWindow() time.Duration { return s.window }
+
 // Record stores a sample, quantized down to the containing bucket. A
 // second sample in the same bucket overwrites the first. Record implements
 // the engine MetricSink interface.
@@ -65,7 +89,19 @@ func (s *Store) Record(now time.Duration, series string, value float64) {
 	}
 	buf = append(buf, Point{At: at, Value: value})
 	if len(buf) > s.retention {
+		s.evicted += int64(len(buf) - s.retention)
 		buf = buf[len(buf)-s.retention:]
+	}
+	if s.window > 0 {
+		cutoff := at - s.window
+		drop := 0
+		for drop < len(buf)-1 && buf[drop].At < cutoff {
+			drop++
+		}
+		if drop > 0 {
+			s.evicted += int64(drop)
+			buf = buf[drop:]
+		}
 	}
 	s.series[series] = buf
 }

@@ -107,3 +107,69 @@ func TestSeriesNamesSorted(t *testing.T) {
 		t.Errorf("records = %d", s.Records())
 	}
 }
+
+func TestRetentionWindowOffByDefault(t *testing.T) {
+	s := NewStore(time.Second)
+	if s.RetentionWindow() != 0 {
+		t.Fatalf("window = %v, want 0 (off by default)", s.RetentionWindow())
+	}
+	// With the window off only the count bound applies: samples far apart
+	// in time all survive up to defaultRetention.
+	for i := 0; i < 100; i++ {
+		s.Record(time.Duration(i)*time.Minute, "x", float64(i))
+	}
+	if got := len(s.Range("x", 0, 200*time.Minute)); got != 100 {
+		t.Errorf("retained %d samples, want all 100 with the window off", got)
+	}
+	if s.Evicted() != 0 {
+		t.Errorf("evicted = %d, want 0", s.Evicted())
+	}
+}
+
+func TestRetentionWindowEvictsByAge(t *testing.T) {
+	s := NewStore(time.Second)
+	s.SetRetentionWindow(10 * time.Second)
+	for i := 0; i <= 30; i++ {
+		s.Record(time.Duration(i)*time.Second, "x", float64(i))
+	}
+	pts := s.Range("x", 0, time.Hour)
+	if len(pts) != 11 {
+		t.Fatalf("retained %d samples, want 11 (30s..20s window)", len(pts))
+	}
+	if pts[0].At != 20*time.Second {
+		t.Errorf("oldest retained = %v, want 20s", pts[0].At)
+	}
+	p, _ := s.Latest("x")
+	if p.Value != 30 {
+		t.Errorf("latest = %v, want 30", p.Value)
+	}
+	if s.Evicted() != 20 {
+		t.Errorf("evicted = %d, want 20", s.Evicted())
+	}
+	// The newest sample is always retained, even when a huge time jump
+	// puts every earlier sample outside the window.
+	s.Record(time.Hour, "x", 99)
+	pts = s.Range("x", 0, 2*time.Hour)
+	if len(pts) != 1 || pts[0].Value != 99 {
+		t.Errorf("after jump retained %v, want just the newest sample", pts)
+	}
+	// Disabling the window stops further eviction.
+	s.SetRetentionWindow(0)
+	for i := 0; i < 50; i++ {
+		s.Record(time.Hour+time.Duration(i+1)*time.Minute, "x", float64(i))
+	}
+	if got := len(s.Range("x", 0, 3*time.Hour)); got != 51 {
+		t.Errorf("retained %d samples after disabling, want 51", got)
+	}
+}
+
+func TestRetentionWindowComposesWithCountBound(t *testing.T) {
+	s := NewStore(time.Second)
+	s.SetRetentionWindow(time.Hour) // generous window: count bound wins
+	for i := 0; i < 1000; i++ {
+		s.Record(time.Duration(i)*time.Second, "x", float64(i))
+	}
+	if got := len(s.Range("x", 0, 2000*time.Second)); got > defaultRetention {
+		t.Errorf("count bound not enforced with window on: %d points", got)
+	}
+}

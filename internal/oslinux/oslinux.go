@@ -55,6 +55,7 @@ type Config struct {
 type Control struct {
 	cfg    Config
 	groups map[string]bool
+	ins    *osInstruments // nil until SetTelemetry
 }
 
 var _ core.OSInterface = (*Control)(nil)
@@ -83,7 +84,9 @@ func (c *Control) SetNice(tid, nice int) error {
 	if nice > 19 {
 		nice = 19
 	}
-	if err := retry(func() error { return c.cfg.System.Setpriority(tid, nice) }); err != nil {
+	err := c.retry(func() error { return c.cfg.System.Setpriority(tid, nice) })
+	c.record("nice", err)
+	if err != nil {
 		return fmt.Errorf("setpriority tid %d: %w", tid, err)
 	}
 	return nil
@@ -95,7 +98,9 @@ func (c *Control) EnsureCgroup(name string) error {
 		return nil
 	}
 	dir := filepath.Join(c.cfg.Root, sanitize(name))
-	if err := retry(func() error { return c.cfg.System.MkdirAll(dir) }); err != nil {
+	err := c.retry(func() error { return c.cfg.System.MkdirAll(dir) })
+	c.record("ensure_cgroup", err)
+	if err != nil {
 		return fmt.Errorf("mkdir cgroup %q: %w", name, err)
 	}
 	c.groups[name] = true
@@ -122,7 +127,9 @@ func (c *Control) SetShares(name string, shares int) error {
 		file, val = "cpu.shares", strconv.Itoa(shares)
 	}
 	path := filepath.Join(dir, file)
-	if err := retry(func() error { return c.cfg.System.WriteFile(path, []byte(val)) }); err != nil {
+	err := c.retry(func() error { return c.cfg.System.WriteFile(path, []byte(val)) })
+	c.record("shares", err)
+	if err != nil {
 		return fmt.Errorf("write %s for %q: %w", file, name, err)
 	}
 	return nil
@@ -137,7 +144,9 @@ func (c *Control) MoveThread(tid int, name string) error {
 	}
 	data := []byte(strconv.Itoa(tid))
 	path := filepath.Join(dir, file)
-	if err := retry(func() error { return c.cfg.System.WriteFile(path, data) }); err != nil {
+	err := c.retry(func() error { return c.cfg.System.WriteFile(path, data) })
+	c.record("move", err)
+	if err != nil {
 		return fmt.Errorf("move tid %d to %q: %w", tid, name, err)
 	}
 	return nil

@@ -37,19 +37,6 @@ func classify(err error) error {
 	}
 }
 
-// retry runs op, retrying classified-transient failures up to
-// transientRetries attempts, and returns the classified error.
-func retry(op func() error) error {
-	var err error
-	for attempt := 0; attempt < transientRetries; attempt++ {
-		err = classify(op())
-		if err == nil || !core.IsTransient(err) {
-			return err
-		}
-	}
-	return err
-}
-
 var (
 	_ core.CgroupRemover     = (*Control)(nil)
 	_ core.PlacementRestorer = (*Control)(nil)
@@ -60,7 +47,8 @@ var (
 // core.ErrEntityVanished, which translators treat as success.
 func (c *Control) RemoveCgroup(name string) error {
 	dir := filepath.Join(c.cfg.Root, sanitize(name))
-	err := retry(func() error { return c.cfg.System.Remove(dir) })
+	err := c.retry(func() error { return c.cfg.System.Remove(dir) })
+	c.record("remove_cgroup", err)
 	if err == nil || core.IsVanished(err) {
 		delete(c.groups, name)
 	}
@@ -80,7 +68,9 @@ func (c *Control) RestoreThread(tid int) error {
 	}
 	path := filepath.Join(filepath.Dir(c.cfg.Root), file)
 	data := []byte(strconv.Itoa(tid))
-	if err := retry(func() error { return c.cfg.System.WriteFile(path, data) }); err != nil {
+	err := c.retry(func() error { return c.cfg.System.WriteFile(path, data) })
+	c.record("restore", err)
+	if err != nil {
 		return fmt.Errorf("restore tid %d: %w", tid, err)
 	}
 	return nil

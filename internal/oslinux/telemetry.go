@@ -1,0 +1,83 @@
+package oslinux
+
+import (
+	"lachesis/internal/core"
+	"lachesis/internal/telemetry"
+)
+
+// Telemetry metric names exported by the Linux control backend.
+const (
+	// MetricOSOps counts attempted control operations, labeled by op
+	// (nice, ensure_cgroup, shares, move, remove_cgroup, restore).
+	MetricOSOps = "lachesis_os_ops_total"
+	// MetricOSRetries counts extra attempts spent on transient failures
+	// (EAGAIN/EINTR/EBUSY) beyond each operation's first try.
+	MetricOSRetries = "lachesis_os_retries_total"
+	// MetricOSVanished counts operations whose target exited or was torn
+	// down concurrently (ESRCH/ENOENT) — benign races, skipped upstream.
+	MetricOSVanished = "lachesis_os_vanished_total"
+	// MetricOSErrors counts operations that surfaced a non-benign error.
+	MetricOSErrors = "lachesis_os_op_errors_total"
+)
+
+// opNames are the label values of MetricOSOps.
+var opNames = []string{"nice", "ensure_cgroup", "shares", "move", "remove_cgroup", "restore"}
+
+type osInstruments struct {
+	ops      map[string]*telemetry.Counter
+	retries  *telemetry.Counter
+	vanished *telemetry.Counter
+	errs     *telemetry.Counter
+}
+
+// SetTelemetry attaches a metric registry: every control operation, retry,
+// vanished-target race, and hard error is counted from then on. nil
+// detaches (the default — counting costs nothing when off).
+func (c *Control) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		c.ins = nil
+		return
+	}
+	ins := &osInstruments{
+		ops:      make(map[string]*telemetry.Counter, len(opNames)),
+		retries:  reg.Counter(MetricOSRetries),
+		vanished: reg.Counter(MetricOSVanished),
+		errs:     reg.Counter(MetricOSErrors),
+	}
+	for _, op := range opNames {
+		ins.ops[op] = reg.Counter(MetricOSOps, telemetry.L("op", op))
+	}
+	c.ins = ins
+}
+
+// record counts one finished control operation and classifies its outcome.
+func (c *Control) record(op string, err error) {
+	if c.ins == nil {
+		return
+	}
+	c.ins.ops[op].Inc()
+	switch {
+	case err == nil:
+	case core.IsVanished(err):
+		c.ins.vanished.Inc()
+	default:
+		c.ins.errs.Inc()
+	}
+}
+
+// retry runs op, retrying classified-transient failures up to
+// transientRetries attempts (counting each extra attempt), and returns the
+// classified error.
+func (c *Control) retry(op func() error) error {
+	var err error
+	for attempt := 0; attempt < transientRetries; attempt++ {
+		if attempt > 0 && c.ins != nil {
+			c.ins.retries.Inc()
+		}
+		err = classify(op())
+		if err == nil || !core.IsTransient(err) {
+			return err
+		}
+	}
+	return err
+}

@@ -1,0 +1,74 @@
+package oslinux
+
+import (
+	"syscall"
+	"testing"
+
+	"lachesis/internal/telemetry"
+)
+
+func TestControlTelemetryCounts(t *testing.T) {
+	sys := newFakeSystem()
+	c := newControl(t, sys, V1)
+	reg := telemetry.NewRegistry()
+	c.SetTelemetry(reg)
+
+	// One transient failure then success: one op, one retry, no error.
+	sys.failOn["Setpriority"] = []error{syscall.EAGAIN}
+	if err := c.SetNice(7, -5); err != nil {
+		t.Fatal(err)
+	}
+	// A vanished target: counted as an op and as vanished, not as an error.
+	sys.failOn["Setpriority"] = []error{syscall.ESRCH}
+	if err := c.SetNice(8, -5); err == nil {
+		t.Fatal("ESRCH should surface (wrapped as vanished)")
+	}
+	if err := c.EnsureCgroup("q1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetShares("q1", 1024); err != nil {
+		t.Fatal(err)
+	}
+	// A hard failure: counted as an op and an error.
+	sys.failOn["WriteFile"] = []error{syscall.EPERM}
+	if err := c.MoveThread(7, "q1"); err == nil {
+		t.Fatal("EPERM should surface")
+	}
+
+	opCount := func(op string) int64 {
+		return reg.Counter(MetricOSOps, telemetry.L("op", op)).Value()
+	}
+	for op, want := range map[string]int64{
+		"nice": 2, "ensure_cgroup": 1, "shares": 1, "move": 1,
+	} {
+		if got := opCount(op); got != want {
+			t.Errorf("ops{op=%q} = %d, want %d", op, got, want)
+		}
+	}
+	if got := reg.Counter(MetricOSRetries).Value(); got != 1 {
+		t.Errorf("retries = %d, want 1 (one EAGAIN)", got)
+	}
+	if got := reg.Counter(MetricOSVanished).Value(); got != 1 {
+		t.Errorf("vanished = %d, want 1 (one ESRCH)", got)
+	}
+	if got := reg.Counter(MetricOSErrors).Value(); got != 1 {
+		t.Errorf("errors = %d, want 1 (one EPERM)", got)
+	}
+}
+
+func TestControlTelemetryDetached(t *testing.T) {
+	sys := newFakeSystem()
+	c := newControl(t, sys, V1)
+	// No registry attached: everything still works, nothing is counted.
+	if err := c.SetNice(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	c.SetTelemetry(telemetry.NewRegistry())
+	c.SetTelemetry(nil) // detach again
+	if err := c.SetNice(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if sys.nices[1] != 4 {
+		t.Errorf("nice = %d, want 4", sys.nices[1])
+	}
+}

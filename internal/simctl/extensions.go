@@ -35,7 +35,7 @@ func (a *OSAdapter) RemoveCgroup(name string) error {
 			delete(a.placed, tid)
 		}
 	}
-	a.ControlOps++
+	a.countOp()
 	return nil
 }
 
@@ -48,7 +48,7 @@ func (a *OSAdapter) SetQuota(cgroupName string, quota, period time.Duration) err
 	if err := a.kernel.SetQuota(id, quota, period); err != nil {
 		return err
 	}
-	a.ControlOps++
+	a.countOp()
 	return nil
 }
 
@@ -58,7 +58,7 @@ func (a *OSAdapter) SetRealtime(tid, prio int) error {
 		a.evictIfVanished(tid, err)
 		return classify(err)
 	}
-	a.ControlOps++
+	a.countOp()
 	return nil
 }
 
@@ -68,6 +68,6 @@ func (a *OSAdapter) SetNormal(tid int) error {
 		a.evictIfVanished(tid, err)
 		return classify(err)
 	}
-	a.ControlOps++
+	a.countOp()
 	return nil
 }

@@ -55,7 +55,7 @@ func (a *OSAdapter) RestoreThread(tid int) error {
 	}
 	delete(a.placed, tid)
 	delete(a.orig, tid)
-	a.ControlOps++
+	a.countOp()
 	return nil
 }
 

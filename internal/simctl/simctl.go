@@ -11,6 +11,7 @@ import (
 
 	"lachesis/internal/core"
 	"lachesis/internal/simos"
+	"lachesis/internal/telemetry"
 )
 
 // OSAdapter implements core.OSInterface on a simulated kernel. Cgroups
@@ -29,6 +30,13 @@ type OSAdapter struct {
 
 	// ControlOps counts effective (non-cached) control operations.
 	ControlOps int64
+	// CachedOps counts control calls absorbed by the adapter's cache
+	// (redundant re-applies that never reached the kernel).
+	CachedOps int64
+
+	// Cached instruments (nil until SetTelemetry).
+	ctrOps    *telemetry.Counter
+	ctrCached *telemetry.Counter
 }
 
 var _ core.OSInterface = (*OSAdapter)(nil)
@@ -52,6 +60,7 @@ func NewOSAdapter(k *simos.Kernel) (*OSAdapter, error) {
 // SetNice implements core.OSInterface.
 func (a *OSAdapter) SetNice(tid int, nice int) error {
 	if cur, ok := a.nices[tid]; ok && cur == nice {
+		a.countCached()
 		return nil
 	}
 	if err := a.kernel.SetNice(simos.ThreadID(tid), nice); err != nil {
@@ -59,13 +68,14 @@ func (a *OSAdapter) SetNice(tid int, nice int) error {
 		return classify(err)
 	}
 	a.nices[tid] = nice
-	a.ControlOps++
+	a.countOp()
 	return nil
 }
 
 // EnsureCgroup implements core.OSInterface.
 func (a *OSAdapter) EnsureCgroup(name string) error {
 	if _, ok := a.groups[name]; ok {
+		a.countCached()
 		return nil
 	}
 	id, err := a.kernel.CreateCgroup(a.root, name)
@@ -73,7 +83,7 @@ func (a *OSAdapter) EnsureCgroup(name string) error {
 		return classify(err)
 	}
 	a.groups[name] = id
-	a.ControlOps++
+	a.countOp()
 	return nil
 }
 
@@ -84,18 +94,20 @@ func (a *OSAdapter) SetShares(cgroupName string, shares int) error {
 		return fmt.Errorf("simctl: unknown cgroup %q", cgroupName)
 	}
 	if cur, err := a.kernel.Shares(id); err == nil && cur == simos.ClampShares(shares) {
+		a.countCached()
 		return nil
 	}
 	if err := a.kernel.SetShares(id, shares); err != nil {
 		return classify(err)
 	}
-	a.ControlOps++
+	a.countOp()
 	return nil
 }
 
 // MoveThread implements core.OSInterface.
 func (a *OSAdapter) MoveThread(tid int, cgroupName string) error {
 	if a.placed[tid] == cgroupName {
+		a.countCached()
 		return nil
 	}
 	id, ok := a.groups[cgroupName]
@@ -112,8 +124,15 @@ func (a *OSAdapter) MoveThread(tid int, cgroupName string) error {
 		return classify(err)
 	}
 	a.placed[tid] = cgroupName
-	a.ControlOps++
+	a.countOp()
 	return nil
+}
+
+// Cgroup returns the kernel id of a Lachesis-managed cgroup, letting
+// tests cross-check applied shares against kernel state.
+func (a *OSAdapter) Cgroup(name string) (simos.CgroupID, bool) {
+	id, ok := a.groups[name]
+	return id, ok
 }
 
 // Runner executes a core.Middleware as a simulated thread. Each main-loop

@@ -1,0 +1,43 @@
+package simctl
+
+import "lachesis/internal/telemetry"
+
+// Telemetry metric names exported by the simulated control backend.
+const (
+	// MetricSimControlOps counts effective control operations — calls that
+	// actually changed kernel state.
+	MetricSimControlOps = "lachesis_sim_control_ops_total"
+	// MetricSimControlCached counts control calls answered from the
+	// adapter's cache with no kernel interaction (redundant re-applies the
+	// real middleware would have saved as syscalls). The ratio of cached
+	// to effective ops is the dedup win of the caching layer.
+	MetricSimControlCached = "lachesis_sim_control_cached_total"
+)
+
+// SetTelemetry attaches a metric registry: effective and cache-absorbed
+// control operations are counted from then on. nil detaches (the plain
+// ControlOps/CachedOps fields always count).
+func (a *OSAdapter) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		a.ctrOps, a.ctrCached = nil, nil
+		return
+	}
+	a.ctrOps = reg.Counter(MetricSimControlOps)
+	a.ctrCached = reg.Counter(MetricSimControlCached)
+}
+
+// countOp records one effective control operation.
+func (a *OSAdapter) countOp() {
+	a.ControlOps++
+	if a.ctrOps != nil {
+		a.ctrOps.Inc()
+	}
+}
+
+// countCached records one control call absorbed by the cache.
+func (a *OSAdapter) countCached() {
+	a.CachedOps++
+	if a.ctrCached != nil {
+		a.ctrCached.Inc()
+	}
+}

@@ -1,0 +1,55 @@
+package simctl
+
+import (
+	"testing"
+	"time"
+
+	"lachesis/internal/simos"
+	"lachesis/internal/telemetry"
+)
+
+func TestAdapterTelemetryCounts(t *testing.T) {
+	k := simos.New(simos.Config{CPUs: 1})
+	tid, err := k.Spawn("w", simos.RootCgroup, simos.RunnerFunc(
+		func(ctx *simos.RunContext, granted time.Duration) simos.Decision {
+			return simos.Decision{Used: granted, Action: simos.ActionYield}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewOSAdapter(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	a.SetTelemetry(reg)
+
+	// 1 effective renice + 4 cache hits.
+	for i := 0; i < 5; i++ {
+		if err := a.SetNice(int(tid), -7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 1 effective create + 2 cache hits, 1 effective shares + 1 cache hit.
+	for i := 0; i < 3; i++ {
+		if err := a.EnsureCgroup("g"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.SetShares("g", 2048); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetShares("g", 2048); err != nil {
+		t.Fatal(err)
+	}
+
+	ops := reg.Counter(MetricSimControlOps).Value()
+	cached := reg.Counter(MetricSimControlCached).Value()
+	if ops != 3 || cached != 7 {
+		t.Errorf("ops=%d cached=%d, want 3 effective and 7 cached", ops, cached)
+	}
+	// The counters mirror the plain fields (and vice versa).
+	if ops != a.ControlOps || cached != a.CachedOps {
+		t.Errorf("counters (%d/%d) diverge from fields (%d/%d)", ops, cached, a.ControlOps, a.CachedOps)
+	}
+}

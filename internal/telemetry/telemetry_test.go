@@ -1,0 +1,209 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("lachesis_test_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("lachesis_test_total"); again != c {
+		t.Fatal("get-or-create returned a different counter instance")
+	}
+	g := r.Gauge("lachesis_gauge", L("x", "1"))
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %g, want 2.5", got)
+	}
+	// Distinct label sets are distinct instruments.
+	if r.Counter("labeled", L("a", "1")) == r.Counter("labeled", L("a", "2")) {
+		t.Fatal("different label values share an instrument")
+	}
+	// Label order must not matter.
+	if r.Counter("multi", L("a", "1"), L("b", "2")) != r.Counter("multi", L("b", "2"), L("a", "1")) {
+		t.Fatal("label order changed instrument identity")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("dual")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	// 1000 observations spread over [1ms, 2ms): p50/p95/p99 must all land
+	// inside that bucket's bounds.
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Millisecond + time.Duration(i)*time.Microsecond)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		v := h.Quantile(q)
+		// The containing log2 buckets span [0.5ms, ~2.1ms).
+		if v < 512*time.Microsecond || v > 2200*time.Microsecond {
+			t.Errorf("q%.2f = %v, want within the log2 bucket bounds around 1-2ms", q, v)
+		}
+	}
+	if got := h.Count(); got != 1000 {
+		t.Fatalf("count = %d, want 1000", got)
+	}
+	if m := h.Mean(); m < time.Millisecond || m > 2*time.Millisecond {
+		t.Fatalf("mean = %v, want ~1.5ms", m)
+	}
+	// Quantile ordering must hold.
+	if h.Quantile(0.5) > h.Quantile(0.99) {
+		t.Fatal("p50 > p99")
+	}
+	s := h.Summary()
+	if s.Count != 1000 || s.P50 == 0 || s.P99 < s.P50 {
+		t.Fatalf("bad summary %+v", s)
+	}
+}
+
+func TestHistogramSpreadQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 90 fast observations and 10 slow ones: p50 must be near the fast
+	// mode, p99 near the slow mode.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	if p50 := h.Quantile(0.5); p50 > time.Millisecond {
+		t.Errorf("p50 = %v, want around 100us", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 10*time.Millisecond {
+		t.Errorf("p99 = %v, want in the slow mode", p99)
+	}
+}
+
+func TestNegativeObservationsCountAsZero(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(-time.Second)
+	if h.Count() != 1 || h.Sum() != 0 {
+		t.Fatalf("count=%d sum=%v, want 1 and 0", h.Count(), h.Sum())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lachesis_policy_runs_total", L("binding", "qs/nice")).Add(7)
+	r.Gauge("lachesis_entities").Set(42)
+	h := r.Histogram("lachesis_step_seconds")
+	h.Observe(100 * time.Microsecond)
+	h.Observe(3 * time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE lachesis_policy_runs_total counter",
+		`lachesis_policy_runs_total{binding="qs/nice"} 7`,
+		"# TYPE lachesis_entities gauge",
+		"lachesis_entities 42",
+		"# TYPE lachesis_step_seconds histogram",
+		`lachesis_step_seconds_bucket{le="+Inf"} 2`,
+		"lachesis_step_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in export:\n%s", want, out)
+		}
+	}
+	// Every line must match the text exposition grammar (comment or
+	// sample), and histogram buckets must be cumulative.
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9+.eE-]+(Inf)?$`)
+	prevBucket := int64(-1)
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sample.MatchString(line) {
+			t.Errorf("malformed exposition line %q", line)
+		}
+		if strings.HasPrefix(line, "lachesis_step_seconds_bucket") {
+			var n int64
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &n); err != nil {
+				t.Fatalf("parse bucket line %q: %v", line, err)
+			}
+			if n < prevBucket {
+				t.Errorf("bucket counts not cumulative at %q", line)
+			}
+			prevBucket = n
+		}
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc", L("v", "a\"b\\c\nd")).Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `esc{v="a\"b\\c\nd"} 1`) {
+		t.Errorf("escaping wrong:\n%s", buf.String())
+	}
+}
+
+// TestRegistryConcurrency hammers the registry from many goroutines (run
+// under -race in CI): concurrent get-or-create, hot-path updates, and
+// exports must be safe.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("conc_total", L("worker", fmt.Sprint(g%4))).Inc()
+				r.Histogram("conc_seconds").Observe(time.Duration(i) * time.Microsecond)
+				r.Gauge("conc_gauge").Set(float64(i))
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	var total int64
+	for g := 0; g < 4; g++ {
+		total += r.Counter("conc_total", L("worker", fmt.Sprint(g))).Value()
+	}
+	if total != 8*500 {
+		t.Fatalf("lost counter updates: %d, want %d", total, 8*500)
+	}
+	if r.Histogram("conc_seconds").Count() != 8*500 {
+		t.Fatalf("lost histogram updates: %d", r.Histogram("conc_seconds").Count())
+	}
+}
