@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"lachesis/internal/core"
+	"lachesis/internal/reconcile"
 )
 
 // The introspection server exposes the daemon's self-telemetry while it
@@ -23,6 +24,49 @@ type healthView struct {
 	Status   string              `json:"status"` // "ok" or "degraded"
 	Bindings []bindingHealthView `json:"bindings"`
 	Drivers  []driverHealthView  `json:"drivers"`
+	// Reconcile is present when the reconciliation loop is enabled.
+	Reconcile *reconcileView `json:"reconcile,omitempty"`
+}
+
+// reconcileView is the /health summary of the reconciliation loop.
+type reconcileView struct {
+	Passes         int64 `json:"passes"`
+	TotalDrift     int64 `json:"total_drift"`
+	TotalRepairs   int64 `json:"total_repairs"`
+	DesiredEntries int   `json:"desired_entries"`
+	// Last pass detail: how much drift the most recent pass saw and fixed.
+	LastChecked  int  `json:"last_checked"`
+	LastDrifted  int  `json:"last_drifted"`
+	LastRepaired int  `json:"last_repaired"`
+	LastDeferred int  `json:"last_deferred"`
+	Converged    bool `json:"converged"`
+	// LastConvergedAtNs is the daemon-relative step time of the most
+	// recent converged pass (-1 before the first convergence).
+	LastConvergedAtNs int64 `json:"last_converged_at_ns"`
+	EverConverged     bool  `json:"ever_converged"`
+}
+
+func reconcileJSON(rec *reconcile.Reconciler, state *reconcile.DesiredState) *reconcileView {
+	if rec == nil {
+		return nil
+	}
+	st := rec.Status()
+	v := &reconcileView{
+		Passes:            st.Passes,
+		TotalDrift:        st.TotalDrift,
+		TotalRepairs:      st.TotalRepairs,
+		LastChecked:       st.Last.Checked,
+		LastDrifted:       st.Last.Drifted,
+		LastRepaired:      st.Last.Repaired,
+		LastDeferred:      st.Last.Deferred,
+		Converged:         st.Last.Converged,
+		LastConvergedAtNs: st.LastConvergedAt.Nanoseconds(),
+		EverConverged:     st.EverConverged,
+	}
+	if state != nil {
+		v.DesiredEntries = state.Len()
+	}
+	return v
 }
 
 type bindingHealthView struct {
@@ -84,7 +128,7 @@ const defaultAuditTail = 64
 
 // newIntrospectionHandler builds the /metrics, /health and /debug/audit
 // mux. mu serializes handler access with the daemon's step loop.
-func newIntrospectionHandler(mu *sync.Mutex, mw *core.Middleware, trail *core.AuditTrail) http.Handler {
+func newIntrospectionHandler(mu *sync.Mutex, mw *core.Middleware, trail *core.AuditTrail, rec *reconcile.Reconciler, state *reconcile.DesiredState) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -103,8 +147,10 @@ func newIntrospectionHandler(mu *sync.Mutex, mw *core.Middleware, trail *core.Au
 	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
 		mu.Lock()
 		h := mw.Health()
+		rv := reconcileJSON(rec, state)
 		mu.Unlock()
 		v := healthJSON(h)
+		v.Reconcile = rv
 		w.Header().Set("Content-Type", "application/json")
 		if v.Status != "ok" {
 			// Load balancers and liveness probes read the status code; the
@@ -134,7 +180,7 @@ func newIntrospectionHandler(mu *sync.Mutex, mw *core.Middleware, trail *core.Au
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(struct {
-			Total  int64            `json:"total"`
+			Total  int64             `json:"total"`
 			Events []core.AuditEvent `json:"events"`
 		}{Total: total, Events: events})
 	})
@@ -149,13 +195,13 @@ type introspectionServer struct {
 	addr string
 }
 
-func startIntrospection(addr string, mu *sync.Mutex, mw *core.Middleware, trail *core.AuditTrail) (*introspectionServer, error) {
+func startIntrospection(addr string, mu *sync.Mutex, mw *core.Middleware, trail *core.AuditTrail, rec *reconcile.Reconciler, state *reconcile.DesiredState) (*introspectionServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	s := &introspectionServer{
-		srv:  &http.Server{Handler: newIntrospectionHandler(mu, mw, trail), ReadHeaderTimeout: 5 * time.Second},
+		srv:  &http.Server{Handler: newIntrospectionHandler(mu, mw, trail, rec, state), ReadHeaderTimeout: 5 * time.Second},
 		addr: ln.Addr().String(),
 	}
 	go func() { _ = s.srv.Serve(ln) }()

@@ -15,6 +15,7 @@ import (
 
 	"lachesis/internal/core"
 	"lachesis/internal/oslinux"
+	"lachesis/internal/reconcile"
 )
 
 // newTestDaemon assembles the same stack run() builds: static entities, a
@@ -62,7 +63,7 @@ func TestIntrospectionMetricsEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	var mu sync.Mutex
-	srv := httptest.NewServer(newIntrospectionHandler(&mu, mw, trail))
+	srv := httptest.NewServer(newIntrospectionHandler(&mu, mw, trail, nil, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/metrics")
@@ -94,7 +95,7 @@ func TestIntrospectionHealthEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	var mu sync.Mutex
-	srv := httptest.NewServer(newIntrospectionHandler(&mu, mw, trail))
+	srv := httptest.NewServer(newIntrospectionHandler(&mu, mw, trail, nil, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/health")
@@ -137,7 +138,7 @@ func TestIntrospectionHealthDegraded(t *testing.T) {
 		t.Fatal("expected a step error from the failing translator")
 	}
 	var mu sync.Mutex
-	srv := httptest.NewServer(newIntrospectionHandler(&mu, mw, trail))
+	srv := httptest.NewServer(newIntrospectionHandler(&mu, mw, trail, nil, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/health")
@@ -166,7 +167,7 @@ func TestIntrospectionAuditEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	var mu sync.Mutex
-	srv := httptest.NewServer(newIntrospectionHandler(&mu, mw, trail))
+	srv := httptest.NewServer(newIntrospectionHandler(&mu, mw, trail, nil, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/debug/audit?n=2")
@@ -252,5 +253,41 @@ func TestAuditFlagWritesJSONL(t *testing.T) {
 	}
 	if nices != 2 {
 		t.Errorf("want 2 audited renices (both configured threads), got %d in %d lines", nices, len(lines))
+	}
+}
+
+// TestIntrospectionHealthReconcileView: with the reconciler enabled,
+// /health carries the drift/convergence summary the operators watch.
+func TestIntrospectionHealthReconcileView(t *testing.T) {
+	mw, trail, osIface := newTestDaemon(t, nil)
+	state, err := reconcile.NewDesiredState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := reconcile.New(reconcile.Config{OS: osIface, State: state})
+	if _, err := mw.Step(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	srv := httptest.NewServer(newIntrospectionHandler(&mu, mw, trail, rec, state))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v healthView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Reconcile == nil {
+		t.Fatal("reconcile view missing from /health")
+	}
+	if v.Reconcile.Passes != 0 || v.Reconcile.EverConverged {
+		t.Errorf("reconcile view = %+v", v.Reconcile)
+	}
+	if v.Reconcile.LastConvergedAtNs != -1 {
+		t.Errorf("last_converged_at_ns = %d, want -1 before first convergence", v.Reconcile.LastConvergedAtNs)
 	}
 }

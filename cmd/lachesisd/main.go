@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"os/signal"
 	"sync"
@@ -37,6 +38,7 @@ import (
 
 	"lachesis/internal/core"
 	"lachesis/internal/oslinux"
+	"lachesis/internal/reconcile"
 )
 
 // entityConfig is one physical operator in the config file.
@@ -87,11 +89,14 @@ func main() {
 func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	fs := flag.NewFlagSet("lachesisd", flag.ContinueOnError)
 	var (
-		configPath = fs.String("config", "", "path to JSON config (required)")
-		dryRun     = fs.Bool("dry-run", true, "print control operations instead of performing them")
-		iterations = fs.Int("iterations", 1, "scheduling iterations to run (0 = forever)")
-		introspect = fs.String("introspect", "", "serve /metrics, /health and /debug/audit on this address (e.g. :9090)")
-		auditPath  = fs.String("audit", "", "append the decision-audit trail as JSONL to this file")
+		configPath        = fs.String("config", "", "path to JSON config (required)")
+		dryRun            = fs.Bool("dry-run", true, "print control operations instead of performing them")
+		iterations        = fs.Int("iterations", 1, "scheduling iterations to run (0 = forever)")
+		introspect        = fs.String("introspect", "", "serve /metrics, /health and /debug/audit on this address (e.g. :9090)")
+		auditPath         = fs.String("audit", "", "append the decision-audit trail as JSONL to this file")
+		statePath         = fs.String("state", "", "directory persisting desired scheduling state across restarts (empty = in-memory)")
+		reconcileInterval = fs.Duration("reconcile-interval", 0,
+			"reconcile actual OS state against desired state this often (0 disables; needs a non-dry-run system)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -143,9 +148,9 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 		trailSink = sink
 	}
 	trail := core.NewAuditTrail(0, trailSink)
-	osIface := core.AuditOS(ctl, trail)
 
 	drv := &staticDriver{}
+	entityByTID := make(map[int]string, len(cfg.Entities))
 	for _, e := range cfg.Entities {
 		drv.entities = append(drv.entities, core.Entity{
 			Name:       e.Name,
@@ -155,7 +160,42 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 			Logical:    e.Logical,
 			Downstream: e.Downstream,
 		})
+		entityByTID[e.TID] = e.Name
 	}
+
+	// Desired state records every intended nice/shares/placement. With
+	// -state it survives restarts through a snapshot + fsync'd append log;
+	// without, it lives in memory (reconciliation still works, warm
+	// restart doesn't).
+	var store *reconcile.Store
+	if *statePath != "" {
+		sfs, err := reconcile.NewOSFS(*statePath)
+		if err != nil {
+			return fmt.Errorf("state dir: %w", err)
+		}
+		store = reconcile.NewStore(sfs, func(format string, args ...any) {
+			fmt.Fprintf(stderr, "lachesisd: state: "+format+"\n", args...)
+		})
+		defer store.Close()
+	}
+	state, err := reconcile.NewDesiredState(store)
+	if err != nil {
+		return fmt.Errorf("desired state: %w", err)
+	}
+	if *statePath != "" {
+		fmt.Fprintf(stderr, "lachesisd: desired state: %d entries (version %d) loaded from %s\n",
+			state.Len(), state.Version(), *statePath)
+	}
+	var ident func(int) uint64
+	if ctl.Observable() {
+		ident = ctl.Identity
+	}
+	entityOf := func(tid int) string { return entityByTID[tid] }
+
+	// The write chain, outermost first: one gate serializing the step loop
+	// against the reconciler, intent recording into desired state, the
+	// audit trail, the raw backend.
+	osIface := core.NewApplyGate(reconcile.RecordOS(core.AuditOS(ctl, trail), state, ident, entityOf))
 
 	var tr core.Translator
 	switch cfg.Translator {
@@ -188,10 +228,34 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 		return err
 	}
 
-	// mu serializes the step loop with the introspection handlers.
+	start := time.Now()
+
+	// Reconciliation requires observation: the dry-run system deliberately
+	// cannot read /proc or cgroupfs (it must not report drift it could
+	// never repair).
+	var rec *reconcile.Reconciler
+	if *reconcileInterval > 0 {
+		if !ctl.Observable() {
+			fmt.Fprintln(stderr, "lachesisd: reconciliation disabled: the system binding cannot observe (dry-run)")
+		} else {
+			rec = reconcile.New(reconcile.Config{
+				OS:        osIface,
+				Observer:  ctl,
+				State:     state,
+				Audit:     trail,
+				Telemetry: mw.Telemetry(),
+				// cgroup v2 stores weights; the shares round trip quantizes.
+				SharesTolerance: map[bool]int{true: 27, false: 0}[osCfg.Version == oslinux.V2],
+				Now:             func() time.Duration { return time.Since(start) },
+			})
+		}
+	}
+
+	// mu serializes the step loop, the reconciler, and the introspection
+	// handlers.
 	var mu sync.Mutex
 	if *introspect != "" {
-		srv, err := startIntrospection(*introspect, &mu, mw, trail)
+		srv, err := startIntrospection(*introspect, &mu, mw, trail, rec, state)
 		if err != nil {
 			return fmt.Errorf("introspection: %w", err)
 		}
@@ -199,9 +263,52 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 		fmt.Fprintf(stderr, "lachesisd: introspection listening on http://%s\n", srv.addr)
 	}
 
+	// Warm restart: desired state loaded from a previous life is
+	// reconciled onto the kernel BEFORE the first new decision, so a
+	// crashed daemon resumes enforcing its last schedule instead of
+	// leaving post-crash drift in place until the policy happens to
+	// disagree.
+	if rec != nil && state.Len() > 0 {
+		mu.Lock()
+		res := rec.Reconcile()
+		mu.Unlock()
+		fmt.Fprintf(stderr, "lachesisd: warm restart: checked %d, drifted %d, repaired %d, forgot %d\n",
+			res.Checked, res.Drifted, res.Repaired, res.Forgotten)
+	}
+
+	// The periodic reconcile loop runs beside the step loop, jittered
+	// ±10% so a fleet of daemons (or a periodic adversary) never
+	// phase-locks with it.
+	recStop := make(chan struct{})
+	var recWG sync.WaitGroup
+	if rec != nil {
+		recWG.Add(1)
+		go func() {
+			defer recWG.Done()
+			rng := rand.New(rand.NewSource(start.UnixNano()))
+			for {
+				d := *reconcileInterval
+				d += time.Duration((rng.Float64()*2 - 1) * reconcileJitter * float64(d))
+				timer := time.NewTimer(d)
+				select {
+				case <-recStop:
+					timer.Stop()
+					return
+				case <-timer.C:
+				}
+				mu.Lock()
+				rec.Reconcile()
+				mu.Unlock()
+			}
+		}()
+	}
+	defer func() {
+		close(recStop)
+		recWG.Wait()
+	}()
+
 	fmt.Fprintf(stderr, "lachesisd: %d entities, translator %s, period %v, dry-run=%v\n",
 		len(drv.entities), tr.Name(), period, *dryRun)
-	start := time.Now()
 	interrupted := false
 loop:
 	// Errors do not stop the loop: the middleware's resilience layer
@@ -248,8 +355,22 @@ loop:
 			}
 		}
 	}
+	if err := state.Err(); err != nil {
+		fmt.Fprintln(stderr, "lachesisd: state persistence:", err)
+	}
+	if store != nil {
+		// Fold the append log into a clean snapshot so the next start
+		// replays nothing (a crash before this point still recovers from
+		// the log).
+		if err := state.Checkpoint(); err != nil {
+			fmt.Fprintln(stderr, "lachesisd: state checkpoint:", err)
+		}
+	}
 	return nil
 }
+
+// reconcileJitter is the ± fraction applied to each reconcile sleep.
+const reconcileJitter = 0.1
 
 // printHealth writes the middleware health snapshot, one line per binding
 // and driver.

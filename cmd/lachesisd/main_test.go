@@ -137,3 +137,45 @@ func TestHealthSnapshotPrinted(t *testing.T) {
 		t.Errorf("missing driver health line:\n%s", e)
 	}
 }
+
+// TestStatePersistsAcrossRuns: the -state directory carries desired state
+// from one daemon life to the next (the warm-restart load path; repair is
+// exercised in internal/harness, since dry-run cannot observe).
+func TestStatePersistsAcrossRuns(t *testing.T) {
+	cfg := writeConfig(t, validConfig)
+	dir := t.TempDir()
+
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-config", cfg, "-iterations", "1", "-state", dir}, &out, &errOut, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "desired state: 0 entries") {
+		t.Errorf("first life should start empty: %q", errOut.String())
+	}
+	// Clean shutdown checkpoints the log into a snapshot.
+	if _, err := os.Stat(filepath.Join(dir, "state.snap")); err != nil {
+		t.Fatalf("no snapshot after clean shutdown: %v", err)
+	}
+
+	var out2, errOut2 bytes.Buffer
+	if err := run([]string{"-config", cfg, "-iterations", "1", "-state", dir}, &out2, &errOut2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut2.String(), "desired state: 2 entries") {
+		t.Errorf("second life did not load the persisted intents: %q", errOut2.String())
+	}
+}
+
+// TestReconcileRequiresObservableSystem: dry-run cannot read /proc, so
+// asking for reconciliation degrades with a warning instead of running a
+// loop that could never repair.
+func TestReconcileRequiresObservableSystem(t *testing.T) {
+	cfg := writeConfig(t, validConfig)
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-config", cfg, "-iterations", "1", "-reconcile-interval", "1s"}, &out, &errOut, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "reconciliation disabled") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}

@@ -21,6 +21,11 @@ const (
 	AuditKindQuarantine   = "quarantine"
 	AuditKindBreaker      = "breaker"
 	AuditKindDriver       = "driver"
+	// Reconciliation kinds: a drift event records that observed OS state
+	// diverged from desired (Outcome carries the drift class); a repair
+	// event records the reconciler's corrective re-apply.
+	AuditKindDrift  = "drift"
+	AuditKindRepair = "repair"
 )
 
 // AuditOutcomeOK marks a successful event; other outcomes carry breaker
@@ -369,6 +374,23 @@ func (a *auditedOS) RemoveCgroup(name string) error {
 	}
 	a.trail.Record(AuditEvent{Kind: AuditKindCgroupRemove, Cgroup: name, Outcome: outcome(err)})
 	return err
+}
+
+// InvalidateThread implements CacheInvalidator: the audit wrapper's own
+// old-value caches lie after external interference, so the reconciler
+// must be able to flush them before re-applying (otherwise the same-value
+// suppression above would swallow the repair before it reached the
+// kernel).
+func (a *auditedOS) InvalidateThread(tid int) {
+	delete(a.nices, tid)
+	delete(a.placed, tid)
+	InvalidateThreadState(a.inner, tid)
+}
+
+// InvalidateCgroup implements CacheInvalidator.
+func (a *auditedOS) InvalidateCgroup(name string) {
+	delete(a.shares, name)
+	InvalidateCgroupState(a.inner, name)
 }
 
 // RestoreThread implements PlacementRestorer when the wrapped OS does.

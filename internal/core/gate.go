@@ -1,0 +1,101 @@
+package core
+
+import "sync"
+
+// ApplyGate serializes every control-path write flowing through an
+// OSInterface. Two writers exist once reconciliation is enabled: the
+// middleware's apply path (including breaker half-open probe re-applies,
+// which fire the moment a cooldown expires) and the reconciler's drift
+// repairs. Without a gate those can interleave on the same entity — and
+// the caching wrappers underneath (AuditOS, the control backends) keep
+// plain maps that are not safe for concurrent use. The gate is one
+// mutex, not per-entity locks, precisely because the wrapped chain's
+// caches are shared across entities; control ops are rare enough (a
+// handful per period) that whole-gate granularity costs nothing.
+//
+// Wrap the gate OUTERMOST so every caller — translator, reconciler,
+// shutdown reset — enters through it:
+//
+//	gated := core.NewApplyGate(core.AuditOS(ctl, trail))
+type ApplyGate struct {
+	mu    sync.Mutex
+	inner OSInterface
+}
+
+var (
+	_ OSInterface       = (*ApplyGate)(nil)
+	_ CgroupRemover     = (*ApplyGate)(nil)
+	_ PlacementRestorer = (*ApplyGate)(nil)
+	_ CacheInvalidator  = (*ApplyGate)(nil)
+)
+
+// NewApplyGate wraps inner so all control writes are serialized.
+func NewApplyGate(inner OSInterface) *ApplyGate {
+	return &ApplyGate{inner: inner}
+}
+
+// SetNice implements OSInterface.
+func (g *ApplyGate) SetNice(tid, nice int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inner.SetNice(tid, nice)
+}
+
+// EnsureCgroup implements OSInterface.
+func (g *ApplyGate) EnsureCgroup(name string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inner.EnsureCgroup(name)
+}
+
+// SetShares implements OSInterface.
+func (g *ApplyGate) SetShares(name string, shares int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inner.SetShares(name, shares)
+}
+
+// MoveThread implements OSInterface.
+func (g *ApplyGate) MoveThread(tid int, name string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inner.MoveThread(tid, name)
+}
+
+// RemoveCgroup implements CgroupRemover; a no-op when the wrapped
+// interface lacks the capability (matching AuditOS).
+func (g *ApplyGate) RemoveCgroup(name string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if r, ok := g.inner.(CgroupRemover); ok {
+		return r.RemoveCgroup(name)
+	}
+	return nil
+}
+
+// RestoreThread implements PlacementRestorer; a no-op when the wrapped
+// interface lacks the capability.
+func (g *ApplyGate) RestoreThread(tid int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if r, ok := g.inner.(PlacementRestorer); ok {
+		return r.RestoreThread(tid)
+	}
+	return nil
+}
+
+// InvalidateThread implements CacheInvalidator: cache drops take the same
+// gate as writes, so an invalidate cannot tear a concurrent apply's
+// read-check-update of its cache.
+func (g *ApplyGate) InvalidateThread(tid int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	InvalidateThreadState(g.inner, tid)
+}
+
+// InvalidateCgroup implements CacheInvalidator.
+func (g *ApplyGate) InvalidateCgroup(name string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	InvalidateCgroupState(g.inner, name)
+}

@@ -188,8 +188,8 @@ type OSPlan struct {
 }
 
 // OS wraps a core.OSInterface with the faults of an OSPlan. It forwards
-// the optional CgroupRemover and PlacementRestorer capabilities when the
-// wrapped interface has them.
+// the optional CgroupRemover, PlacementRestorer, and CacheInvalidator
+// capabilities when the wrapped interface has them.
 type OS struct {
 	inner core.OSInterface
 	plan  OSPlan
@@ -319,6 +319,14 @@ func (o *OS) RestoreThread(tid int) error {
 	}
 	return nil
 }
+
+// InvalidateThread implements core.CacheInvalidator. Invalidation is a
+// cache hint, not a control operation, so no faults are injected — it
+// propagates unconditionally.
+func (o *OS) InvalidateThread(tid int) { core.InvalidateThreadState(o.inner, tid) }
+
+// InvalidateCgroup implements core.CacheInvalidator.
+func (o *OS) InvalidateCgroup(name string) { core.InvalidateCgroupState(o.inner, name) }
 
 // Ops returns how many control operations the wrapper has seen.
 func (o *OS) Ops() int { return o.ops }

@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDriftAcceptance checks the reconciliation acceptance criteria: the
+// reconciling middleware restores >=95% of interfered entities within two
+// reconcile intervals, the killed-and-restarted stack converges onto its
+// pre-crash desired state before the first new decision, and the
+// fire-and-forget baseline measurably diverges.
+func TestDriftAcceptance(t *testing.T) {
+	sc := QuickScale
+
+	rec, err := runDriftVariant(true, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Interfered == 0 {
+		t.Fatal("adversary never interfered — the scenario is vacuous")
+	}
+	if rec.RestoredFraction < 0.95 {
+		t.Fatalf("reconciling variant restored %.0f%% (%d/%d), want >=95%%",
+			rec.RestoredFraction*100, rec.Restored, rec.Interfered)
+	}
+	if rec.TotalRepairs == 0 || !rec.EverConverged {
+		t.Fatalf("reconciler did no visible work: %+v", rec)
+	}
+
+	fnf, err := runDriftVariant(false, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fnf.FinalMismatch == 0 {
+		t.Fatalf("fire-and-forget did not diverge: %+v", fnf)
+	}
+	if fnf.FinalMismatch <= rec.FinalMismatch {
+		t.Fatalf("baseline (%d mismatches) not worse than reconciling (%d)",
+			fnf.FinalMismatch, rec.FinalMismatch)
+	}
+}
+
+func TestDriftWarmRestart(t *testing.T) {
+	wr, err := runWarmRestart(QuickScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.EntriesPersisted == 0 || wr.EntriesLoaded != wr.EntriesPersisted {
+		t.Fatalf("desired state did not survive the crash: %+v", wr)
+	}
+	if wr.MismatchBefore == 0 {
+		t.Fatalf("downtime interference left no divergence: %+v", wr)
+	}
+	if wr.MismatchAfter != 0 {
+		t.Fatalf("restart reconcile left %d mismatches: %+v", wr.MismatchAfter, wr)
+	}
+	if wr.RepairsOnRestart == 0 || wr.StepErrors != 0 {
+		t.Fatalf("warm restart outcome: %+v", wr)
+	}
+}
+
+func TestDriftExperimentArtifact(t *testing.T) {
+	sc := QuickScale
+	sc.ArtifactDir = t.TempDir()
+	var buf bytes.Buffer
+	if err := driftExp(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"reconciling", "fire-and-forget", "warm restart"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(sc.ArtifactDir, "BENCH_drift.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report DriftReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Rows) != 2 || report.WarmRestart.EntriesLoaded == 0 {
+		t.Fatalf("artifact malformed: %+v", report)
+	}
+}

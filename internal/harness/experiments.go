@@ -81,6 +81,7 @@ func All() []Experiment {
 		{"table1", "Table 1: summary of configurations and highlights", table1},
 		{"chaos", "Chaos: resilience under injected faults — hardened vs unhardened", chaosExp},
 		{"overhead", "Overhead: decision-cycle cost per binding count (§6.7 self-cost)", overheadExp},
+		{"drift", "Drift: desired-state reconciliation vs fire-and-forget, warm restart", driftExp},
 	}
 }
 

@@ -41,6 +41,11 @@ func (hostSystem) WriteFile(path string, data []byte) error {
 	return cerr
 }
 
+// ReadFile implements ReadSystem, the observation capability backing the
+// reconciler's /proc and cgroupfs reads. DryRunSystem deliberately does
+// not implement it: a dry run cannot repair, so it must not observe.
+func (hostSystem) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
 // schedParam mirrors struct sched_param for sched_setscheduler(2).
 type schedParam struct {
 	priority int32

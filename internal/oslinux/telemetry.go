@@ -8,7 +8,8 @@ import (
 // Telemetry metric names exported by the Linux control backend.
 const (
 	// MetricOSOps counts attempted control operations, labeled by op
-	// (nice, ensure_cgroup, shares, move, remove_cgroup, restore).
+	// (nice, ensure_cgroup, shares, move, remove_cgroup, restore, and the
+	// observe_* reads the reconciler issues).
 	MetricOSOps = "lachesis_os_ops_total"
 	// MetricOSRetries counts extra attempts spent on transient failures
 	// (EAGAIN/EINTR/EBUSY) beyond each operation's first try.
@@ -21,7 +22,10 @@ const (
 )
 
 // opNames are the label values of MetricOSOps.
-var opNames = []string{"nice", "ensure_cgroup", "shares", "move", "remove_cgroup", "restore"}
+var opNames = []string{
+	"nice", "ensure_cgroup", "shares", "move", "remove_cgroup", "restore",
+	"observe_nice", "observe_identity", "observe_shares", "observe_placement",
+}
 
 type osInstruments struct {
 	ops      map[string]*telemetry.Counter

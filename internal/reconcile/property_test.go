@@ -1,0 +1,112 @@
+package reconcile
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestReconcileIdempotentConvergence is the satellite-3 property: for
+// random interference sequences, once a reconcile pass has run with
+// enough budget, a second pass with no new interference performs zero
+// repairs — the reconciler is a fixpoint operator, not an oscillator.
+func TestReconcileIdempotentConvergence(t *testing.T) {
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		w := newWorld(t, nil)
+
+		// Build a random managed world: threads with nices, groups with
+		// shares and members.
+		nThreads := 3 + rng.Intn(8)
+		nGroups := 1 + rng.Intn(3)
+		groups := make([]string, nGroups)
+		for g := range groups {
+			groups[g] = fmt.Sprintf("g%d", g)
+			if err := w.os.EnsureCgroup(groups[g]); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.os.SetShares(groups[g], 8*(1+rng.Intn(100))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tids := make([]int, nThreads)
+		for i := range tids {
+			tid := 10 + i
+			tids[i] = tid
+			w.kernel.spawn(tid, uint64(1000+tid))
+			w.apply(t, tid, rng.Intn(40)-20)
+			if err := w.os.MoveThread(tid, groups[rng.Intn(nGroups)]); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Random interference burst.
+		nOps := 1 + rng.Intn(12)
+		for op := 0; op < nOps; op++ {
+			switch rng.Intn(5) {
+			case 0:
+				w.kernel.interfereNice(tids[rng.Intn(nThreads)], rng.Intn(40)-20)
+			case 1:
+				w.kernel.interfereShares(groups[rng.Intn(nGroups)], 2+rng.Intn(1000))
+			case 2:
+				w.kernel.kickMember(tids[rng.Intn(nThreads)])
+			case 3:
+				w.kernel.deleteGroup(groups[rng.Intn(nGroups)])
+			case 4:
+				tid := tids[rng.Intn(nThreads)]
+				w.kernel.kill(tid)
+				if rng.Intn(2) == 0 { // sometimes the TID is recycled
+					w.kernel.spawn(tid, uint64(90000+rng.Intn(1000)))
+				}
+			}
+		}
+
+		// First pass repairs (unbounded budget relative to world size);
+		// second pass must be perfectly quiet.
+		w.rec.Reconcile()
+		second := w.rec.Reconcile()
+		if second.Repaired != 0 || second.Deferred != 0 || second.Forgotten != 0 {
+			t.Fatalf("trial %d: second pass not idempotent: %+v", trial, second)
+		}
+		if !second.Converged {
+			t.Fatalf("trial %d: second pass did not converge: %+v", trial, second)
+		}
+		// And a third, for luck: still quiet.
+		third := w.rec.Reconcile()
+		if third.Repaired != 0 || !third.Converged {
+			t.Fatalf("trial %d: third pass regressed: %+v", trial, third)
+		}
+	}
+}
+
+// TestReconcileConvergesUnderRepeatedInterference checks the
+// interfere/reconcile cycle always lands on desired state: after any
+// number of interference+pass rounds, a final pass with no interference
+// observes kernel state equal to desired state.
+func TestReconcileConvergesUnderRepeatedInterference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := newWorld(t, nil)
+	desired := map[int]int{}
+	for tid := 10; tid < 20; tid++ {
+		w.kernel.spawn(tid, uint64(tid))
+		n := rng.Intn(40) - 20
+		desired[tid] = n
+		w.apply(t, tid, n)
+	}
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 4; i++ {
+			w.kernel.interfereNice(10+rng.Intn(10), rng.Intn(40)-20)
+		}
+		w.rec.Reconcile()
+	}
+	final := w.rec.Reconcile()
+	if !final.Converged {
+		t.Fatalf("final pass not converged: %+v", final)
+	}
+	for tid, n := range desired {
+		if got := w.kernel.niceOf(tid); got != n {
+			t.Fatalf("tid %d: kernel nice %d != desired %d", tid, got, n)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package reconcile
+
+import (
+	"testing"
+
+	"lachesis/internal/core"
+)
+
+func TestRecordingOSCapturesIntent(t *testing.T) {
+	k := newFakeKernel()
+	k.spawn(11, 100)
+	state, _ := NewDesiredState(nil)
+	ident := func(tid int) uint64 {
+		id, _ := k.ThreadIdentity(tid)
+		return id
+	}
+	entity := func(tid int) string { return "op-a" }
+	os := RecordOS(k, state, ident, entity)
+
+	if err := os.SetNice(11, -5); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := state.Nice(11)
+	if !ok || e.Value != -5 || e.Start != 100 || e.Entity != "op-a" {
+		t.Fatalf("nice intent not recorded: %+v ok=%v", e, ok)
+	}
+
+	if err := os.EnsureCgroup("q1"); err != nil {
+		t.Fatal(err)
+	}
+	if state.Len() != 1 {
+		t.Fatal("EnsureCgroup alone must record nothing")
+	}
+	if err := os.SetShares("q1", 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MoveThread(11, "q1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := state.Shares("q1"); !ok {
+		t.Fatal("shares intent not recorded")
+	}
+	if p, ok := state.Placement(11); !ok || p.Cgroup != "q1" || p.Start != 100 {
+		t.Fatalf("placement intent not recorded: %+v", p)
+	}
+}
+
+func TestRecordingOSForgetsOnVanish(t *testing.T) {
+	k := newFakeKernel()
+	k.spawn(11, 100)
+	state, _ := NewDesiredState(nil)
+	os := RecordOS(k, state, nil, nil)
+	if err := os.SetNice(11, -5); err != nil {
+		t.Fatal(err)
+	}
+
+	// The thread dies; the next apply fails vanished and the intent
+	// dissolves — a failed write on a dead thread is not desired state.
+	k.kill(11)
+	if err := os.SetNice(11, -5); !core.IsVanished(err) {
+		t.Fatalf("expected vanished, got %v", err)
+	}
+	if _, ok := state.Nice(11); ok {
+		t.Fatal("vanished thread's intent not forgotten")
+	}
+}
+
+func TestRecordingOSRemoveCgroupForgets(t *testing.T) {
+	k := newFakeKernel()
+	k.spawn(11, 100)
+	state, _ := NewDesiredState(nil)
+	// fakeKernel lacks RemoveCgroup: the recording wrapper still forgets
+	// (the middleware decided the group should not exist; reconciliation
+	// must not resurrect it).
+	os := RecordOS(k, state, nil, nil)
+	if err := os.EnsureCgroup("q1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.SetShares("q1", 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MoveThread(11, "q1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveCgroup("q1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := state.Shares("q1"); ok {
+		t.Fatal("removed group's shares intent survived")
+	}
+	if _, ok := state.Placement(11); ok {
+		t.Fatal("removed group's placement intent survived")
+	}
+
+	if err := os.SetNice(11, -3); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RestoreThread(11); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := state.Nice(11); !ok {
+		t.Fatal("RestoreThread must keep the nice intent")
+	}
+	if _, ok := state.Placement(11); ok {
+		t.Fatal("RestoreThread must drop the placement intent")
+	}
+}

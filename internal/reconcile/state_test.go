@@ -1,0 +1,169 @@
+package reconcile
+
+import (
+	"strings"
+	"testing"
+)
+
+func memState(t *testing.T) (*DesiredState, *MemFS) {
+	t.Helper()
+	fs := NewMemFS()
+	state, err := NewDesiredState(NewStore(fs, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return state, fs
+}
+
+func TestDesiredStateDedup(t *testing.T) {
+	state, fs := memState(t)
+	state.SetNice(11, 100, -5, "op")
+	v1 := state.Version()
+	logLen := len(fs.FileBytes(LogFile))
+
+	// The middleware re-applies the same value every period; the state
+	// must absorb that without version bumps or log appends.
+	for i := 0; i < 10; i++ {
+		state.SetNice(11, 100, -5, "op")
+	}
+	if state.Version() != v1 {
+		t.Fatalf("same-value set bumped version %d -> %d", v1, state.Version())
+	}
+	if got := len(fs.FileBytes(LogFile)); got != logLen {
+		t.Fatalf("same-value set grew the log %d -> %d bytes", logLen, got)
+	}
+
+	// A changed value is a new decision.
+	state.SetNice(11, 100, -4, "op")
+	if state.Version() != v1+1 {
+		t.Fatalf("changed value did not bump version")
+	}
+	// A recycled TID (new identity) is a new decision too, even at the
+	// same nice value.
+	state.SetNice(11, 222, -4, "op")
+	if state.Version() != v1+2 {
+		t.Fatalf("identity change did not bump version")
+	}
+	if e, _ := state.Nice(11); e.Start != 222 {
+		t.Fatalf("entry kept stale identity %d", e.Start)
+	}
+}
+
+func TestDesiredStateForget(t *testing.T) {
+	state, _ := memState(t)
+	state.SetNice(11, 100, -5, "a")
+	state.SetPlacement(11, 100, "q1", "a")
+	state.SetPlacement(12, 200, "q1", "b")
+	state.SetShares("q1", 512)
+	state.SetShares("q2", 256)
+
+	state.ForgetThread(11)
+	if _, ok := state.Nice(11); ok {
+		t.Fatal("nice survived ForgetThread")
+	}
+	if _, ok := state.Placement(11); ok {
+		t.Fatal("placement survived ForgetThread")
+	}
+
+	// ForgetCgroup drops the group and every placement into it.
+	state.ForgetCgroup("q1")
+	if _, ok := state.Shares("q1"); ok {
+		t.Fatal("shares survived ForgetCgroup")
+	}
+	if _, ok := state.Placement(12); ok {
+		t.Fatal("placement into forgotten group survived")
+	}
+	if _, ok := state.Shares("q2"); !ok {
+		t.Fatal("unrelated group was dropped")
+	}
+	// Forgetting the absent is a no-op, not a version bump.
+	v := state.Version()
+	state.ForgetThread(11)
+	if state.Version() != v {
+		t.Fatal("no-op forget bumped version")
+	}
+}
+
+func TestDesiredStatePersistenceRoundTrip(t *testing.T) {
+	state, fs := memState(t)
+	state.SetNice(11, 100, -5, "a")
+	state.SetShares("q1", 512)
+	state.SetPlacement(11, 100, "q1", "a")
+	state.SetNice(12, 200, 3, "b")
+	state.ForgetThread(12)
+	version := state.Version()
+	if err := state.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Syncs == 0 {
+		t.Fatal("appends never fsynced")
+	}
+
+	// A new daemon process loads the same FS — no Close, no Checkpoint:
+	// the crash path. The fsync'd log alone must reconstruct the state.
+	reloaded, err := NewDesiredState(NewStore(fs, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.Version() != version {
+		t.Fatalf("version %d != %d after reload", reloaded.Version(), version)
+	}
+	want := state.Entries()
+	got := reloaded.Entries()
+	if len(got) != len(want) {
+		t.Fatalf("reloaded %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDesiredStateAutoCompaction(t *testing.T) {
+	state, fs := memState(t)
+	// Few live entries, many mutations: the log grows past the 64-op
+	// floor and compaction folds it into a snapshot.
+	for i := 0; i < 80; i++ {
+		state.SetNice(11, 100, i%40, "a")
+	}
+	if err := state.Err(); err != nil {
+		t.Fatal(err)
+	}
+	snap := fs.FileBytes(SnapshotFile)
+	if len(snap) == 0 {
+		t.Fatal("no snapshot written after 80 mutations")
+	}
+	if logOps := strings.Count(string(fs.FileBytes(LogFile)), "\n"); logOps > 64 {
+		t.Fatalf("log not truncated by compaction: %d ops", logOps)
+	}
+	reloaded, err := NewDesiredState(NewStore(fs, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := reloaded.Nice(11); !ok || e.Value != 79%40 {
+		t.Fatalf("reloaded entry wrong: %+v ok=%v", e, ok)
+	}
+}
+
+func TestDesiredStateCheckpoint(t *testing.T) {
+	state, fs := memState(t)
+	state.SetNice(11, 100, -5, "a")
+	state.SetShares("q1", 512)
+	if err := state.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.FileBytes(SnapshotFile)) == 0 {
+		t.Fatal("checkpoint wrote no snapshot")
+	}
+	if got := len(fs.FileBytes(LogFile)); got != 0 {
+		t.Fatalf("checkpoint left %d log bytes", got)
+	}
+	reloaded, err := NewDesiredState(NewStore(fs, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.Len() != 2 || reloaded.Version() != state.Version() {
+		t.Fatalf("reload after checkpoint: len=%d version=%d", reloaded.Len(), reloaded.Version())
+	}
+}

@@ -1,0 +1,164 @@
+package simctl
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/reconcile"
+	"lachesis/internal/simos"
+)
+
+// The observation side of the simulated OS binding: where OSAdapter
+// writes scheduling state, these methods read the kernel's actual values
+// back for the reconciliation loop — including state another simulated
+// agent changed behind the adapter's caches.
+
+var (
+	_ core.Observer         = (*OSAdapter)(nil)
+	_ core.CacheInvalidator = (*OSAdapter)(nil)
+)
+
+// ObserveNice implements core.Observer.
+func (a *OSAdapter) ObserveNice(tid int) (int, error) {
+	n, err := a.kernel.Nice(simos.ThreadID(tid))
+	if err != nil {
+		return 0, classify(err)
+	}
+	return n, nil
+}
+
+// ThreadIdentity implements core.Observer. The simulated kernel never
+// recycles thread ids, so a live thread's tid is its own identity (the
+// /proc start-time dance exists only because real PIDs wrap).
+func (a *OSAdapter) ThreadIdentity(tid int) (uint64, error) {
+	info, err := a.kernel.ThreadInfo(simos.ThreadID(tid))
+	if err != nil {
+		return 0, classify(err)
+	}
+	if !info.Alive {
+		return 0, fmt.Errorf("%w: thread %d exited", core.ErrEntityVanished, tid)
+	}
+	return uint64(tid), nil
+}
+
+// ObserveShares implements core.Observer. A group the adapter never
+// created, or one torn out of the kernel behind its back, is vanished.
+func (a *OSAdapter) ObserveShares(name string) (int, error) {
+	id, ok := a.groups[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: cgroup %q unknown", core.ErrEntityVanished, name)
+	}
+	s, err := a.kernel.Shares(id)
+	if err != nil {
+		return 0, classify(err)
+	}
+	return s, nil
+}
+
+// InCgroup implements core.Observer.
+func (a *OSAdapter) InCgroup(tid int, name string) (bool, error) {
+	id, ok := a.groups[name]
+	if !ok {
+		return false, fmt.Errorf("%w: cgroup %q unknown", core.ErrEntityVanished, name)
+	}
+	if _, err := a.kernel.CgroupInfo(id); err != nil {
+		return false, classify(err)
+	}
+	info, err := a.kernel.ThreadInfo(simos.ThreadID(tid))
+	if err != nil {
+		return false, classify(err)
+	}
+	if !info.Alive {
+		return false, fmt.Errorf("%w: thread %d exited", core.ErrEntityVanished, tid)
+	}
+	return info.Cgroup == id, nil
+}
+
+// InvalidateThread implements core.CacheInvalidator: the adapter's
+// memoized nice and placement for tid may no longer reflect the kernel,
+// so the next apply must reach it. The pre-Lachesis origin (orig) is
+// kept — it records history, not current state.
+func (a *OSAdapter) InvalidateThread(tid int) {
+	delete(a.nices, tid)
+	delete(a.placed, tid)
+}
+
+// InvalidateCgroup implements core.CacheInvalidator. When the kernel no
+// longer knows the group (externally removed), the name mapping is
+// dropped so EnsureCgroup recreates it; either way every cached
+// placement into the group is flushed, because membership of a deleted
+// (or about-to-be-repaired) group is untrustworthy.
+func (a *OSAdapter) InvalidateCgroup(name string) {
+	id, ok := a.groups[name]
+	if !ok {
+		return
+	}
+	if _, err := a.kernel.CgroupInfo(id); err != nil {
+		delete(a.groups, name)
+	}
+	for tid, g := range a.placed {
+		if g == name {
+			delete(a.placed, tid)
+		}
+	}
+}
+
+// --- reconciler runner ---
+
+// ReconcilerRunner executes reconcile passes as a simulated thread, so
+// the repair loop's CPU cost and its interleaving with the middleware,
+// the SPE, and any interference agent are part of the simulation.
+type ReconcilerRunner struct {
+	rec      *reconcile.Reconciler
+	interval time.Duration
+	rng      *rand.Rand
+
+	// Passes counts completed reconcile wakeups.
+	Passes int64
+}
+
+// Per-pass CPU cost model: observation reads plus corrective writes.
+const (
+	reconcileBaseCost      = 50 * time.Microsecond
+	reconcilePerCheckCost  = 4 * time.Microsecond
+	reconcilePerRepairCost = 20 * time.Microsecond
+)
+
+// reconcileJitter is the ± fraction applied to each sleep. Jitter keeps
+// the repair loop from phase-locking with a periodic adversary (both
+// waking at t, adversary winning every race) — over time the reconciler
+// samples uniformly across the adversary's period.
+const reconcileJitter = 0.1
+
+// StartReconciler spawns a simulated thread running rec every interval
+// (± reconcileJitter, deterministic from seed).
+func StartReconciler(k *simos.Kernel, rec *reconcile.Reconciler, interval time.Duration, seed int64) (*ReconcilerRunner, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("simctl: reconcile interval must be positive, got %v", interval)
+	}
+	r := &ReconcilerRunner{rec: rec, interval: interval, rng: rand.New(rand.NewSource(seed))}
+	cg, err := k.CreateCgroup(simos.RootCgroup, "lachesis-reconciler")
+	if err != nil {
+		return nil, fmt.Errorf("reconciler cgroup: %w", err)
+	}
+	if _, err := k.Spawn("lachesis-reconciler", cg, simos.RunnerFunc(r.run)); err != nil {
+		return nil, fmt.Errorf("spawn reconciler: %w", err)
+	}
+	return r, nil
+}
+
+func (r *ReconcilerRunner) run(ctx *simos.RunContext, granted time.Duration) simos.Decision {
+	res := r.rec.Reconcile()
+	r.Passes++
+	cost := reconcileBaseCost +
+		time.Duration(res.Checked)*reconcilePerCheckCost +
+		time.Duration(res.Repaired)*reconcilePerRepairCost
+	if cost > granted {
+		cost = granted
+	}
+	sleep := r.interval +
+		time.Duration((r.rng.Float64()*2-1)*reconcileJitter*float64(r.interval))
+	return simos.Decision{Used: cost, Action: simos.ActionSleep, WakeAt: ctx.Now() + cost + sleep}
+}
