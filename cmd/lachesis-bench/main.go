@@ -29,7 +29,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("lachesis-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		experiment = fs.String("experiment", "", "experiment id (fig1..fig18, table1, chaos, or 'all')")
+		experiment = fs.String("experiment", "", "experiment id (fig1..fig18, table1, chaos, overhead, drift, scale, or 'all')")
 		scaleName  = fs.String("scale", "quick", "quick or full")
 		list       = fs.Bool("list", false, "list experiments")
 		verbose    = fs.Bool("v", false, "print progress")

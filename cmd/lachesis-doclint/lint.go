@@ -1,0 +1,126 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+)
+
+// Finding is one undocumented exported symbol.
+type Finding struct {
+	// File is the path of the file declaring the symbol, as given.
+	File string
+	// Line is the 1-based line of the declaration.
+	Line int
+	// Kind is the declaration kind: "func", "method", "type", "var",
+	// "const", or "field".
+	Kind string
+	// Symbol is the exported identifier (methods as Type.Method).
+	Symbol string
+}
+
+// LintDir parses the package in dir (test files excluded) and returns a
+// finding for every exported top-level declaration without a doc comment.
+//
+// The rules match what godoc renders: a documented const/var/type block
+// covers its members, an individual spec's own comment also counts, and
+// methods need doc on the method itself. Exported fields of exported
+// structs are NOT required — the type's doc is the natural home for field
+// semantics, and field-level enforcement would force noise comments.
+func LintDir(dir string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	add := func(pos token.Pos, kind, symbol string) {
+		p := fset.Position(pos)
+		out = append(out, Finding{File: p.Filename, Line: p.Line, Kind: kind, Symbol: symbol})
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lintDecl(decl, add)
+			}
+		}
+	}
+	return out, nil
+}
+
+// lintDecl reports undocumented exported symbols of one top-level decl.
+func lintDecl(decl ast.Decl, add func(pos token.Pos, kind, symbol string)) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return
+		}
+		if d.Doc.Text() != "" {
+			return
+		}
+		if d.Recv != nil && len(d.Recv.List) > 0 {
+			recv := receiverName(d.Recv.List[0].Type)
+			// Methods on unexported types are not part of the public
+			// surface unless the type is exported.
+			if !ast.IsExported(recv) {
+				return
+			}
+			add(d.Pos(), "method", recv+"."+d.Name.Name)
+			return
+		}
+		add(d.Pos(), "func", d.Name.Name)
+	case *ast.GenDecl:
+		kind := map[token.Token]string{
+			token.CONST: "const", token.VAR: "var", token.TYPE: "type",
+		}[d.Tok]
+		if kind == "" {
+			return // import decl
+		}
+		blockDoc := d.Doc.Text() != ""
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				if blockDoc || s.Doc.Text() != "" || s.Comment.Text() != "" {
+					continue
+				}
+				add(s.Pos(), kind, s.Name.Name)
+			case *ast.ValueSpec:
+				// A documented block (the idiomatic grouped-const form) or
+				// a per-spec doc/line comment covers every name in it.
+				if blockDoc || s.Doc.Text() != "" || s.Comment.Text() != "" {
+					continue
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						add(name.Pos(), kind, name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// receiverName unwraps a method receiver type expression to its type name.
+func receiverName(expr ast.Expr) string {
+	for {
+		switch t := expr.(type) {
+		case *ast.StarExpr:
+			expr = t.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			expr = t.X
+		case *ast.IndexListExpr:
+			expr = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}

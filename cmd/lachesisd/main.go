@@ -192,10 +192,28 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	}
 	entityOf := func(tid int) string { return entityByTID[tid] }
 
-	// The write chain, outermost first: one gate serializing the step loop
-	// against the reconciler, intent recording into desired state, the
-	// audit trail, the raw backend.
-	osIface := core.NewApplyGate(reconcile.RecordOS(core.AuditOS(ctl, trail), state, ident, entityOf))
+	// Reconciliation requires observation: the dry-run system deliberately
+	// cannot read /proc or cgroupfs (it must not report drift it could
+	// never repair).
+	willReconcile := *reconcileInterval > 0 && ctl.Observable()
+
+	// The write chain, outermost first: the per-binding write coalescer
+	// (diffing intended ops against the last applied value, suppressing
+	// no-ops before they cost a syscall), intent recording into desired
+	// state, the audit trail, the raw backend. Cross-writer ordering comes
+	// from the DriverGate: apply workers lock the binding's drivers, the
+	// reconciler takes the gate exclusively.
+	//
+	// Seeding the coalescer's mirror from persisted desired state is only
+	// sound when the warm-restart reconcile below will converge the kernel
+	// onto that state before the first decision; otherwise start cold.
+	var seed *core.CoalescerSeed
+	if willReconcile && state.Len() > 0 {
+		seed = state.CoalescerSeed()
+	}
+	co := core.NewCoalescer(reconcile.RecordOS(core.AuditOS(ctl, trail), state, ident, entityOf), seed)
+	var osIface core.OSInterface = co
+	gate := core.NewDriverGate()
 
 	var tr core.Translator
 	switch cfg.Translator {
@@ -217,12 +235,15 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 
 	mw := core.NewMiddleware(nil)
 	mw.SetAudit(trail)
+	mw.SetWriteGate(gate)
 	ctl.SetTelemetry(mw.Telemetry())
+	co.SetTelemetry(mw.Telemetry(), "static")
 	period := time.Duration(cfg.PeriodMillis) * time.Millisecond
 	if err := mw.Bind(core.Binding{
 		Policy:     policy,
 		Translator: tr,
 		Drivers:    []core.Driver{drv},
+		Coalescer:  co,
 		Period:     period,
 	}); err != nil {
 		return err
@@ -230,25 +251,26 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 
 	start := time.Now()
 
-	// Reconciliation requires observation: the dry-run system deliberately
-	// cannot read /proc or cgroupfs (it must not report drift it could
-	// never repair).
 	var rec *reconcile.Reconciler
-	if *reconcileInterval > 0 {
-		if !ctl.Observable() {
-			fmt.Fprintln(stderr, "lachesisd: reconciliation disabled: the system binding cannot observe (dry-run)")
-		} else {
-			rec = reconcile.New(reconcile.Config{
-				OS:        osIface,
-				Observer:  ctl,
-				State:     state,
-				Audit:     trail,
-				Telemetry: mw.Telemetry(),
-				// cgroup v2 stores weights; the shares round trip quantizes.
-				SharesTolerance: map[bool]int{true: 27, false: 0}[osCfg.Version == oslinux.V2],
-				Now:             func() time.Duration { return time.Since(start) },
-			})
-		}
+	if *reconcileInterval > 0 && !willReconcile {
+		fmt.Fprintln(stderr, "lachesisd: reconciliation disabled: the system binding cannot observe (dry-run)")
+	}
+	if willReconcile {
+		rec = reconcile.New(reconcile.Config{
+			// Repairs take the whole write gate: no apply worker holds a
+			// driver lock while the reconciler rewrites kernel state. The
+			// chain is the same one the step loop writes through, so
+			// repairs re-record intent, re-audit, and mark the coalescer's
+			// mirror dirty via the invalidation pass.
+			OS:        gate.ExclusiveOS(osIface),
+			Observer:  ctl,
+			State:     state,
+			Audit:     trail,
+			Telemetry: mw.Telemetry(),
+			// cgroup v2 stores weights; the shares round trip quantizes.
+			SharesTolerance: map[bool]int{true: 27, false: 0}[osCfg.Version == oslinux.V2],
+			Now:             func() time.Duration { return time.Since(start) },
+		})
 	}
 
 	// mu serializes the step loop, the reconciler, and the introspection

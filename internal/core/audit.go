@@ -81,12 +81,18 @@ type AuditSink interface {
 
 // auditCtx is the binding context the middleware installs around each
 // translator apply, so control-op events recorded by AuditOS inherit the
-// step time, binding names, and entity attribution.
+// step time, binding names, and entity attribution. Several contexts can
+// be active at once (the parallel apply pool brackets each binding's
+// apply with its own context); events are matched to a context by the
+// thread or cgroup they touch.
 type auditCtx struct {
 	at          time.Duration
 	policy      string
 	translator  string
 	entityByTID map[int]string
+	// groups is the set of cgroup names this binding may touch: entity
+	// names (per-op groups) and query names (per-query groups).
+	groups map[string]bool
 }
 
 // AuditTrail is a bounded ring buffer of audit events with an optional
@@ -101,7 +107,9 @@ type AuditTrail struct {
 	count    int
 	total    int64
 	sink     AuditSink
-	ctx      *auditCtx
+	// ctxs are the active apply contexts. Sequential stepping keeps at
+	// most one; the parallel apply pool keeps one per in-flight binding.
+	ctxs []*auditCtx
 }
 
 // DefaultAuditCapacity bounds the in-memory trail when no explicit
@@ -121,12 +129,40 @@ func NewAuditTrail(capacity int, sink AuditSink) *AuditTrail {
 	}
 }
 
+// resolveCtx matches an event to one of the active apply contexts. With a
+// single active context (sequential stepping) it always matches; with
+// several (parallel applies) the event's thread or cgroup identifies the
+// binding that produced it.
+func (t *AuditTrail) resolveCtx(e *AuditEvent) *auditCtx {
+	switch len(t.ctxs) {
+	case 0:
+		return nil
+	case 1:
+		return t.ctxs[0]
+	}
+	if e.Thread != 0 {
+		for _, c := range t.ctxs {
+			if _, ok := c.entityByTID[e.Thread]; ok {
+				return c
+			}
+		}
+	}
+	if e.Cgroup != "" {
+		for _, c := range t.ctxs {
+			if c.groups[e.Cgroup] {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
 // Record stamps the event with a sequence number and the active binding
 // context (for fields the caller left empty), stores it in the ring, and
 // forwards it to the sink.
 func (t *AuditTrail) Record(e AuditEvent) {
 	t.mu.Lock()
-	if c := t.ctx; c != nil {
+	if c := t.resolveCtx(&e); c != nil {
 		if e.At == 0 {
 			e.At = c.at
 		}
@@ -184,23 +220,37 @@ func (t *AuditTrail) Total() int64 {
 // Capacity returns the ring size.
 func (t *AuditTrail) Capacity() int { return t.capacity }
 
-// beginApply installs the binding context for control ops recorded during
-// one translator apply; endApply removes it.
-func (t *AuditTrail) beginApply(at time.Duration, policy, translator string, entities map[string]Entity) {
+// beginApply installs a binding context for control ops recorded during
+// one translator apply and returns a token; endApply(token) removes that
+// context. Multiple contexts may be active concurrently (one per apply
+// worker).
+func (t *AuditTrail) beginApply(at time.Duration, policy, translator string, entities map[string]Entity) *auditCtx {
 	byTID := make(map[int]string, len(entities))
+	groups := make(map[string]bool, 2*len(entities))
 	for name, ent := range entities {
 		if ent.Thread != 0 {
 			byTID[ent.Thread] = name
 		}
+		groups[name] = true
+		if ent.Query != "" {
+			groups[ent.Query] = true
+		}
 	}
+	c := &auditCtx{at: at, policy: policy, translator: translator, entityByTID: byTID, groups: groups}
 	t.mu.Lock()
-	t.ctx = &auditCtx{at: at, policy: policy, translator: translator, entityByTID: byTID}
+	t.ctxs = append(t.ctxs, c)
 	t.mu.Unlock()
+	return c
 }
 
-func (t *AuditTrail) endApply() {
+func (t *AuditTrail) endApply(c *auditCtx) {
 	t.mu.Lock()
-	t.ctx = nil
+	for i, have := range t.ctxs {
+		if have == c {
+			t.ctxs = append(t.ctxs[:i], t.ctxs[i+1:]...)
+			break
+		}
+	}
 	t.mu.Unlock()
 }
 
@@ -269,9 +319,14 @@ func (s *MemorySink) Events() []AuditEvent {
 // per knob so events carry old -> new transitions and redundant re-applies
 // (same nice, same shares, same placement) are not recorded — the trail
 // captures decisions, not periodic re-assertions.
+//
+// The value caches are mutex-guarded so one audited chain can be shared by
+// concurrent apply workers; writes to the *same* knob are serialized by
+// the middleware's per-driver gate, never by this wrapper.
 type auditedOS struct {
 	inner  OSInterface
 	trail  *AuditTrail
+	mu     sync.Mutex
 	nices  map[int]int
 	shares map[string]int
 	placed map[int]string
@@ -303,13 +358,17 @@ func outcome(err error) string {
 
 // SetNice implements OSInterface.
 func (a *auditedOS) SetNice(tid, nice int) error {
+	a.mu.Lock()
 	old, known := a.nices[tid]
+	a.mu.Unlock()
 	err := a.inner.SetNice(tid, nice)
 	if err == nil {
 		if known && old == nice {
 			return nil // no state change: not a decision worth auditing
 		}
+		a.mu.Lock()
 		a.nices[tid] = nice
+		a.mu.Unlock()
 	}
 	e := AuditEvent{Kind: AuditKindNice, Thread: tid, NewNice: intp(nice), Outcome: outcome(err)}
 	if known {
@@ -328,13 +387,17 @@ func (a *auditedOS) EnsureCgroup(name string) error {
 
 // SetShares implements OSInterface.
 func (a *auditedOS) SetShares(name string, shares int) error {
+	a.mu.Lock()
 	old, known := a.shares[name]
+	a.mu.Unlock()
 	err := a.inner.SetShares(name, shares)
 	if err == nil {
 		if known && old == shares {
 			return nil
 		}
+		a.mu.Lock()
 		a.shares[name] = shares
+		a.mu.Unlock()
 	}
 	e := AuditEvent{Kind: AuditKindShares, Cgroup: name, NewShares: intp(shares), Outcome: outcome(err)}
 	if known {
@@ -346,13 +409,17 @@ func (a *auditedOS) SetShares(name string, shares int) error {
 
 // MoveThread implements OSInterface.
 func (a *auditedOS) MoveThread(tid int, name string) error {
+	a.mu.Lock()
 	old, known := a.placed[tid]
+	a.mu.Unlock()
 	err := a.inner.MoveThread(tid, name)
 	if err == nil {
 		if known && old == name {
 			return nil
 		}
+		a.mu.Lock()
 		a.placed[tid] = name
+		a.mu.Unlock()
 	}
 	e := AuditEvent{Kind: AuditKindMove, Thread: tid, Cgroup: name, Outcome: outcome(err)}
 	if known {
@@ -370,7 +437,9 @@ func (a *auditedOS) RemoveCgroup(name string) error {
 	}
 	err := r.RemoveCgroup(name)
 	if err == nil {
+		a.mu.Lock()
 		delete(a.shares, name)
+		a.mu.Unlock()
 	}
 	a.trail.Record(AuditEvent{Kind: AuditKindCgroupRemove, Cgroup: name, Outcome: outcome(err)})
 	return err
@@ -382,14 +451,18 @@ func (a *auditedOS) RemoveCgroup(name string) error {
 // suppression above would swallow the repair before it reached the
 // kernel).
 func (a *auditedOS) InvalidateThread(tid int) {
+	a.mu.Lock()
 	delete(a.nices, tid)
 	delete(a.placed, tid)
+	a.mu.Unlock()
 	InvalidateThreadState(a.inner, tid)
 }
 
 // InvalidateCgroup implements CacheInvalidator.
 func (a *auditedOS) InvalidateCgroup(name string) {
+	a.mu.Lock()
 	delete(a.shares, name)
+	a.mu.Unlock()
 	InvalidateCgroupState(a.inner, name)
 }
 
@@ -401,12 +474,14 @@ func (a *auditedOS) RestoreThread(tid int) error {
 	}
 	err := r.RestoreThread(tid)
 	e := AuditEvent{Kind: AuditKindRestore, Thread: tid, Outcome: outcome(err)}
+	a.mu.Lock()
 	if old, known := a.placed[tid]; known {
 		e.OldCgroup = old
 	}
 	if err == nil {
 		delete(a.placed, tid)
 	}
+	a.mu.Unlock()
 	a.trail.Record(e)
 	return err
 }

@@ -1,0 +1,458 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"lachesis/internal/telemetry"
+)
+
+// Coalescer telemetry metric names.
+const (
+	// MetricCoalesceSuppressed counts control ops suppressed because the
+	// kernel already carries the intended value.
+	MetricCoalesceSuppressed = "lachesis_coalesce_suppressed_total"
+	// MetricCoalesceIssued counts control ops that reached the wrapped
+	// chain (survivors of the diff).
+	MetricCoalesceIssued = "lachesis_coalesce_issued_total"
+	// MetricCoalesceFlushes counts batched flushes.
+	MetricCoalesceFlushes = "lachesis_coalesce_flushes_total"
+)
+
+// CoalescerSeed is a snapshot of the desired-state mirror (PR 3) used to
+// warm a Coalescer's value caches: after a warm restart the reconciler has
+// already converged the kernel onto the mirror, so the first decision
+// cycle can diff against it instead of re-issuing every write.
+// reconcile.(*DesiredState).CoalescerSeed produces one.
+type CoalescerSeed struct {
+	// Nices maps thread id -> desired nice.
+	Nices map[int]int
+	// Shares maps cgroup name -> desired cpu.shares.
+	Shares map[string]int
+	// Placements maps thread id -> desired cgroup.
+	Placements map[int]string
+}
+
+// Coalescer suppresses no-op control writes before they descend the OS
+// chain, and optionally batches the survivors per cgroup. It mirrors the
+// last value it successfully applied per knob (optionally seeded from the
+// desired-state mirror) and diffs each intended op against that mirror —
+// the paper's "only write when the decision changes" argument, enforced at
+// the top of the chain where a suppressed op costs a map lookup instead of
+// a syscall.
+//
+// The mirror can go stale when something outside Lachesis rewrites kernel
+// state; the reconciler's repair path fixes that by calling
+// InvalidateThread/InvalidateCgroup (the CacheInvalidator capability)
+// before re-applying, which marks the knob dirty and forces the next
+// write through regardless of the mirror.
+//
+// In batch mode (Begin ... Flush around one translator apply), ops are
+// buffered last-wins per knob and flushed grouped per cgroup — ensure,
+// then shares, then the moves into it — followed by renices, then
+// removals/restores. Individual op calls return nil immediately;
+// errors surface joined from Flush.
+//
+// A Coalescer is safe for concurrent use, but the intended deployment is
+// one Coalescer per binding (set Binding.Coalescer), so per-binding
+// batches never interleave.
+type Coalescer struct {
+	inner OSInterface
+
+	mu     sync.Mutex
+	nices  map[int]int
+	shares map[string]int
+	placed map[int]string
+	groups map[string]bool
+	// dirty knobs: external interference was repaired (or suspected), so
+	// the next write must pass through even if it matches the mirror.
+	dirtyNice  map[int]bool
+	dirtyPlace map[int]bool
+	dirtyGroup map[string]bool
+
+	batching bool
+	buf      *coalesceBatch
+
+	suppressed atomic.Int64
+	issued     atomic.Int64
+	flushes    atomic.Int64
+
+	ctrSuppressed *telemetry.Counter
+	ctrIssued     *telemetry.Counter
+	ctrFlushes    *telemetry.Counter
+}
+
+var (
+	_ OSInterface       = (*Coalescer)(nil)
+	_ CgroupRemover     = (*Coalescer)(nil)
+	_ PlacementRestorer = (*Coalescer)(nil)
+	_ CacheInvalidator  = (*Coalescer)(nil)
+)
+
+// coalesceBatch buffers one apply's ops, last-wins per knob.
+type coalesceBatch struct {
+	ensures  map[string]bool
+	shares   map[string]int
+	moves    map[int]string
+	nices    map[int]int
+	removes  map[string]bool
+	restores map[int]bool
+}
+
+func newCoalesceBatch() *coalesceBatch {
+	return &coalesceBatch{
+		ensures:  make(map[string]bool),
+		shares:   make(map[string]int),
+		moves:    make(map[int]string),
+		nices:    make(map[int]int),
+		removes:  make(map[string]bool),
+		restores: make(map[int]bool),
+	}
+}
+
+// NewCoalescer wraps inner with write coalescing. seed may be nil (cold
+// mirror: the first write of every knob passes through). Seeding is only
+// sound when the kernel is known to match the seed — i.e. right after a
+// reconcile pass converged (warm restart); otherwise leave it nil.
+func NewCoalescer(inner OSInterface, seed *CoalescerSeed) *Coalescer {
+	c := &Coalescer{
+		inner:      inner,
+		nices:      make(map[int]int),
+		shares:     make(map[string]int),
+		placed:     make(map[int]string),
+		groups:     make(map[string]bool),
+		dirtyNice:  make(map[int]bool),
+		dirtyPlace: make(map[int]bool),
+		dirtyGroup: make(map[string]bool),
+	}
+	if seed != nil {
+		for tid, n := range seed.Nices {
+			c.nices[tid] = n
+		}
+		for g, s := range seed.Shares {
+			c.shares[g] = s
+			c.groups[g] = true
+		}
+		for tid, g := range seed.Placements {
+			c.placed[tid] = g
+			c.groups[g] = true
+		}
+	}
+	return c
+}
+
+// SetTelemetry mirrors the suppression counters into a registry under the
+// given binding label. nil disables.
+func (c *Coalescer) SetTelemetry(reg *telemetry.Registry, binding string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if reg == nil {
+		c.ctrSuppressed, c.ctrIssued, c.ctrFlushes = nil, nil, nil
+		return
+	}
+	l := telemetry.L("binding", binding)
+	c.ctrSuppressed = reg.Counter(MetricCoalesceSuppressed, l)
+	c.ctrIssued = reg.Counter(MetricCoalesceIssued, l)
+	c.ctrFlushes = reg.Counter(MetricCoalesceFlushes, l)
+}
+
+// Suppressed returns how many ops the diff swallowed over the coalescer's
+// lifetime.
+func (c *Coalescer) Suppressed() int64 { return c.suppressed.Load() }
+
+// Issued returns how many ops reached the wrapped chain.
+func (c *Coalescer) Issued() int64 { return c.issued.Load() }
+
+func (c *Coalescer) countSuppressed() {
+	c.suppressed.Add(1)
+	if ctr := c.ctrSuppressed; ctr != nil {
+		ctr.Inc()
+	}
+}
+
+func (c *Coalescer) countIssued() {
+	c.issued.Add(1)
+	if ctr := c.ctrIssued; ctr != nil {
+		ctr.Inc()
+	}
+}
+
+// Begin starts buffering ops for one translator apply. Calling Begin with
+// a batch already open discards the open batch (the middleware brackets
+// every apply symmetrically, so this only happens after a panic unwound an
+// apply mid-batch).
+func (c *Coalescer) Begin() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.batching = true
+	c.buf = newCoalesceBatch()
+}
+
+// Flush applies the buffered batch through the wrapped chain — grouped per
+// cgroup (ensure, shares, moves), then renices, then removals and
+// restores — and closes the batch. Ops whose value already matches the
+// mirror are dropped here. Vanished-entity errors are benign skips,
+// matching translator semantics.
+func (c *Coalescer) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.batching {
+		return nil
+	}
+	buf := c.buf
+	c.batching = false
+	c.buf = nil
+	c.flushes.Add(1)
+	if ctr := c.ctrFlushes; ctr != nil {
+		ctr.Inc()
+	}
+
+	var errs []error
+	fail := func(op string, key any, err error) {
+		if err != nil && !IsVanished(err) {
+			errs = append(errs, fmt.Errorf("coalesce %s %v: %w", op, key, err))
+		}
+	}
+
+	// Per-cgroup groups of surviving ops: ensure, shares, then moves.
+	groupSet := make(map[string]bool, len(buf.ensures)+len(buf.shares))
+	for g := range buf.ensures {
+		groupSet[g] = true
+	}
+	for g := range buf.shares {
+		groupSet[g] = true
+	}
+	movesInto := make(map[string][]int)
+	for tid, g := range buf.moves {
+		groupSet[g] = true
+		movesInto[g] = append(movesInto[g], tid)
+	}
+	for _, g := range sortedKeys(groupSet) {
+		if buf.ensures[g] {
+			fail("ensure", g, c.ensureLocked(g))
+		}
+		if s, ok := buf.shares[g]; ok {
+			fail("shares", g, c.setSharesLocked(g, s))
+		}
+		tids := movesInto[g]
+		sort.Ints(tids)
+		for _, tid := range tids {
+			fail("move", tid, c.moveLocked(tid, g))
+		}
+	}
+	nices := make([]int, 0, len(buf.nices))
+	for tid := range buf.nices {
+		nices = append(nices, tid)
+	}
+	sort.Ints(nices)
+	for _, tid := range nices {
+		fail("nice", tid, c.setNiceLocked(tid, buf.nices[tid]))
+	}
+	for _, g := range sortedKeys(buf.removes) {
+		fail("remove", g, c.removeLocked(g))
+	}
+	restores := make([]int, 0, len(buf.restores))
+	for tid := range buf.restores {
+		restores = append(restores, tid)
+	}
+	sort.Ints(restores)
+	for _, tid := range restores {
+		fail("restore", tid, c.restoreLocked(tid))
+	}
+	return errors.Join(errs...)
+}
+
+// --- locked single-op paths (suppression + mirror update) ---
+
+func (c *Coalescer) setNiceLocked(tid, nice int) error {
+	if !c.dirtyNice[tid] {
+		if have, ok := c.nices[tid]; ok && have == nice {
+			c.countSuppressed()
+			return nil
+		}
+	}
+	c.countIssued()
+	err := c.inner.SetNice(tid, nice)
+	if err == nil {
+		c.nices[tid] = nice
+		delete(c.dirtyNice, tid)
+	} else if IsVanished(err) {
+		delete(c.nices, tid)
+		delete(c.placed, tid)
+	}
+	return err
+}
+
+func (c *Coalescer) ensureLocked(name string) error {
+	if !c.dirtyGroup[name] && c.groups[name] {
+		c.countSuppressed()
+		return nil
+	}
+	c.countIssued()
+	err := c.inner.EnsureCgroup(name)
+	if err == nil {
+		c.groups[name] = true
+	}
+	return err
+}
+
+func (c *Coalescer) setSharesLocked(name string, shares int) error {
+	if !c.dirtyGroup[name] {
+		if have, ok := c.shares[name]; ok && have == shares {
+			c.countSuppressed()
+			return nil
+		}
+	}
+	c.countIssued()
+	err := c.inner.SetShares(name, shares)
+	if err == nil {
+		c.shares[name] = shares
+		c.groups[name] = true
+		delete(c.dirtyGroup, name)
+	} else if IsVanished(err) {
+		delete(c.shares, name)
+		delete(c.groups, name)
+	}
+	return err
+}
+
+func (c *Coalescer) moveLocked(tid int, name string) error {
+	if !c.dirtyPlace[tid] {
+		if have, ok := c.placed[tid]; ok && have == name {
+			c.countSuppressed()
+			return nil
+		}
+	}
+	c.countIssued()
+	err := c.inner.MoveThread(tid, name)
+	if err == nil {
+		c.placed[tid] = name
+		delete(c.dirtyPlace, tid)
+	} else if IsVanished(err) {
+		delete(c.nices, tid)
+		delete(c.placed, tid)
+	}
+	return err
+}
+
+func (c *Coalescer) removeLocked(name string) error {
+	var err error
+	if r, ok := c.inner.(CgroupRemover); ok {
+		c.countIssued()
+		err = r.RemoveCgroup(name)
+	}
+	if err == nil || IsVanished(err) {
+		delete(c.shares, name)
+		delete(c.groups, name)
+		delete(c.dirtyGroup, name)
+	}
+	return err
+}
+
+func (c *Coalescer) restoreLocked(tid int) error {
+	var err error
+	if r, ok := c.inner.(PlacementRestorer); ok {
+		c.countIssued()
+		err = r.RestoreThread(tid)
+	}
+	if err == nil || IsVanished(err) {
+		delete(c.placed, tid)
+		delete(c.dirtyPlace, tid)
+	}
+	return err
+}
+
+// --- OSInterface (buffer when batching, else immediate) ---
+
+// SetNice implements OSInterface.
+func (c *Coalescer) SetNice(tid, nice int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.batching {
+		c.buf.nices[tid] = nice
+		return nil
+	}
+	return c.setNiceLocked(tid, nice)
+}
+
+// EnsureCgroup implements OSInterface.
+func (c *Coalescer) EnsureCgroup(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.batching {
+		c.buf.ensures[name] = true
+		return nil
+	}
+	return c.ensureLocked(name)
+}
+
+// SetShares implements OSInterface.
+func (c *Coalescer) SetShares(name string, shares int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.batching {
+		c.buf.shares[name] = shares
+		return nil
+	}
+	return c.setSharesLocked(name, shares)
+}
+
+// MoveThread implements OSInterface.
+func (c *Coalescer) MoveThread(tid int, name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.batching {
+		c.buf.moves[tid] = name
+		return nil
+	}
+	return c.moveLocked(tid, name)
+}
+
+// RemoveCgroup implements CgroupRemover. In a batch the removal flushes
+// after all updates and moves, so threads leave a group before it goes.
+func (c *Coalescer) RemoveCgroup(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.batching {
+		c.buf.removes[name] = true
+		return nil
+	}
+	return c.removeLocked(name)
+}
+
+// RestoreThread implements PlacementRestorer.
+func (c *Coalescer) RestoreThread(tid int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.batching {
+		c.buf.restores[tid] = true
+		return nil
+	}
+	return c.restoreLocked(tid)
+}
+
+// InvalidateThread implements CacheInvalidator: the reconciler repaired
+// (or is about to repair) external interference on this thread, so the
+// mirror is a lie until the next write passes through.
+func (c *Coalescer) InvalidateThread(tid int) {
+	c.mu.Lock()
+	delete(c.nices, tid)
+	delete(c.placed, tid)
+	c.dirtyNice[tid] = true
+	c.dirtyPlace[tid] = true
+	c.mu.Unlock()
+	InvalidateThreadState(c.inner, tid)
+}
+
+// InvalidateCgroup implements CacheInvalidator.
+func (c *Coalescer) InvalidateCgroup(name string) {
+	c.mu.Lock()
+	delete(c.shares, name)
+	delete(c.groups, name)
+	c.dirtyGroup[name] = true
+	c.mu.Unlock()
+	InvalidateCgroupState(c.inner, name)
+}

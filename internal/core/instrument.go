@@ -11,18 +11,18 @@ import (
 // accessors' storage, so the registry and the Go API can never drift
 // apart.
 const (
-	MetricStepsTotal          = "lachesis_steps_total"
-	MetricStepSeconds         = "lachesis_step_seconds"
-	MetricPolicyRunsTotal     = "lachesis_policy_runs_total"
-	MetricApplyErrorsTotal    = "lachesis_apply_errors_total"
-	MetricPanicsTotal         = "lachesis_panics_recovered_total"
-	MetricScheduleSeconds     = "lachesis_schedule_seconds"
-	MetricApplySeconds        = "lachesis_apply_seconds"
-	MetricQuarantinedTotal    = "lachesis_quarantined_total"
-	MetricBreakerTransitions  = "lachesis_breaker_transitions_total"
-	MetricFetchSeconds        = "lachesis_fetch_seconds"
-	MetricFetchFailuresTotal  = "lachesis_fetch_failures_total"
-	MetricFetchStaleTotal     = "lachesis_fetch_stale_total"
+	MetricStepsTotal         = "lachesis_steps_total"
+	MetricStepSeconds        = "lachesis_step_seconds"
+	MetricPolicyRunsTotal    = "lachesis_policy_runs_total"
+	MetricApplyErrorsTotal   = "lachesis_apply_errors_total"
+	MetricPanicsTotal        = "lachesis_panics_recovered_total"
+	MetricScheduleSeconds    = "lachesis_schedule_seconds"
+	MetricApplySeconds       = "lachesis_apply_seconds"
+	MetricQuarantinedTotal   = "lachesis_quarantined_total"
+	MetricBreakerTransitions = "lachesis_breaker_transitions_total"
+	MetricFetchSeconds       = "lachesis_fetch_seconds"
+	MetricFetchFailuresTotal = "lachesis_fetch_failures_total"
+	MetricFetchStaleTotal    = "lachesis_fetch_stale_total"
 )
 
 // mwInstruments caches the middleware-global instrument pointers so the
@@ -123,6 +123,6 @@ func (m *Middleware) auditApplyCtx(now time.Duration, bp *boundPolicy, entities 
 	if m.audit == nil {
 		return func() {}
 	}
-	m.audit.beginApply(now, bp.Policy.Name(), bp.Translator.Name(), entities)
-	return m.audit.endApply
+	tok := m.audit.beginApply(now, bp.Policy.Name(), bp.Translator.Name(), entities)
+	return func() { m.audit.endApply(tok) }
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"lachesis/internal/telemetry"
@@ -27,6 +28,12 @@ type Binding struct {
 	// Period is the scheduling period (default one second, the paper's
 	// Graphite-bound resolution).
 	Period time.Duration
+	// Coalescer optionally brackets this binding's translator applies
+	// with a write-coalescing batch (Begin/Flush): redundant control ops
+	// are suppressed against the desired-state mirror and survivors are
+	// issued grouped per cgroup. One Coalescer per binding; sharing one
+	// across bindings would interleave their batches.
+	Coalescer *Coalescer
 }
 
 // DegradedAction selects what a binding does when its circuit breaker
@@ -179,6 +186,8 @@ type Middleware struct {
 	provider *Provider
 	bindings []*boundPolicy
 	res      Resilience
+	par      Parallelism
+	gate     *DriverGate
 	drivers  map[string]*driverState
 
 	// Self-telemetry: every middleware carries a registry; the lifetime
@@ -198,6 +207,10 @@ type boundPolicy struct {
 	ticker  *Ticker
 	queries map[string]bool
 	label   string // "policy/translator", the telemetry binding label
+	// execMu serializes bindings sharing a stateful Policy or Translator
+	// instance in the parallel apply pool; bindings with private
+	// instances each get their own (uncontended) mutex.
+	execMu *sync.Mutex
 
 	// Circuit-breaker state.
 	fails     int           // consecutive failures
@@ -243,6 +256,7 @@ func NewMiddleware(provider *Provider) *Middleware {
 	m := &Middleware{
 		provider: provider,
 		res:      DefaultResilience(),
+		par:      DefaultParallelism(),
 		drivers:  make(map[string]*driverState),
 		tel:      telemetry.NewRegistry(),
 		nowFn:    time.Now,
@@ -281,6 +295,19 @@ func (m *Middleware) Bind(b Binding) error {
 		Binding: b,
 		ticker:  NewTicker(b.Period),
 		label:   m.bindingLabel(b.Policy.Name() + "/" + b.Translator.Name()),
+	}
+	// Bindings reusing a Policy or Translator instance (which may hold
+	// unsynchronized state: rngs, previous-group maps) share one
+	// execution mutex so the parallel apply pool never runs them
+	// concurrently.
+	for _, other := range m.bindings {
+		if sameInstance(other.Policy, b.Policy) || sameInstance(other.Translator, b.Translator) {
+			bp.execMu = other.execMu
+			break
+		}
+	}
+	if bp.execMu == nil {
+		bp.execMu = &sync.Mutex{}
 	}
 	bp.resolve(m.tel)
 	if len(b.Queries) > 0 {
@@ -353,6 +380,11 @@ type DriverStepStats struct {
 // BindingStepStats is one due binding's slice of a Step: wall-clock
 // durations of its two phases plus the outcome.
 type BindingStepStats struct {
+	// Label is the binding's unique telemetry label. It is exactly
+	// "policy/translator" for a unique pair; only when a later binding
+	// actually collides with an earlier one's label does it get a
+	// "#2", "#3", ... suffix (dedup on collision, never preemptively).
+	Label      string
 	Policy     string
 	Translator string
 	// Entities is the entity count of the binding's view.
@@ -369,6 +401,12 @@ type BindingStepStats struct {
 
 // StepStats reports what one Step did, letting callers model the
 // middleware's (small) CPU footprint and attribute it per phase.
+//
+// Per-binding entries appear in Bindings in binding order (regardless of
+// which apply worker finished first), keyed by BindingStepStats.Label.
+// Labels are the plain "policy/translator" name and are only suffixed
+// with "#N" when two bindings would otherwise collide — a unique binding
+// never carries a dedup suffix.
 type StepStats struct {
 	// PoliciesRun is the number of due policies executed.
 	PoliciesRun int
@@ -444,6 +482,7 @@ func (m *Middleware) stepStrict(now time.Duration, due []*boundPolicy, stats *St
 		stats.PoliciesRun++
 		stats.Entities += len(view.Entities)
 		bst := BindingStepStats{
+			Label:      bp.label,
 			Policy:     bp.Policy.Name(),
 			Translator: bp.Translator.Name(),
 			Entities:   len(view.Entities),
@@ -482,8 +521,12 @@ func (m *Middleware) stepStrict(now time.Duration, due []*boundPolicy, stats *St
 	return errs
 }
 
-// stepResilient is the hardened cycle: per-driver updates with last-good
-// fallback, breaker gating, and panic isolation.
+// stepResilient is the hardened cycle, structured as the parallel
+// pipeline: breaker gating, then the concurrent per-driver fetch phase
+// (per-driver updates with last-good fallback), then the per-binding
+// apply phase (policy evaluation + translator apply, concurrent across
+// bindings when a write gate is installed), with panic isolation
+// throughout. See parallel.go for the phase implementations.
 func (m *Middleware) stepResilient(now time.Duration, due []*boundPolicy, stats *StepStats) []error {
 	var errs []error
 	// Run breaker gating first so quarantined-only drivers are not
@@ -494,6 +537,7 @@ func (m *Middleware) stepResilient(now time.Duration, due []*boundPolicy, stats 
 			stats.Quarantined++
 			bp.ctrQuarantined.Inc()
 			stats.Bindings = append(stats.Bindings, BindingStepStats{
+				Label:  bp.label,
 				Policy: bp.Policy.Name(), Translator: bp.Translator.Name(), Quarantined: true,
 			})
 			m.auditRecord(AuditEvent{
@@ -506,136 +550,8 @@ func (m *Middleware) stepResilient(now time.Duration, due []*boundPolicy, stats 
 		runnable = append(runnable, bp)
 	}
 
-	// Per-driver partial update: a failing driver quarantines only the
-	// bindings that depend on it; values within the staleness bound are
-	// served in its place.
-	values := make(Values)
-	unavailable := make(map[string]error)
-	for _, d := range distinctDrivers(runnable) {
-		name := d.Name()
-		ds := m.driverState(name)
-		dst := DriverStepStats{Driver: name}
-		t0 := m.nowFn()
-		vals, err := m.provider.UpdateOne(now, d)
-		dst.Fetch = m.nowFn().Sub(t0)
-		ds.hFetch.Observe(dst.Fetch)
-		if err == nil {
-			ds.fails = 0
-			ds.lastErr = nil
-			ds.stale = false
-			ds.lastSuccess = now
-			ds.haveSuccess = true
-			ds.lastGood = vals
-			ds.lastGoodAt = now
-			values[name] = vals
-			stats.Drivers = append(stats.Drivers, dst)
-			continue
-		}
-		ds.fails++
-		ds.lastErr = err
-		ds.ctrFailures.Inc()
-		dst.Err = err.Error()
-		errs = append(errs, fmt.Errorf("driver %s: %w", name, err))
-		if ds.lastGood != nil && now-ds.lastGoodAt <= m.res.StalenessBound {
-			// Last-good fallback: schedule on slightly stale metrics
-			// rather than not at all.
-			ds.stale = true
-			ds.ctrStale.Inc()
-			dst.Stale = true
-			values[name] = ds.lastGood
-			m.auditRecord(AuditEvent{
-				At: now, Kind: AuditKindDriver, Driver: name,
-				Outcome: "stale-fallback: " + err.Error(),
-			})
-		} else {
-			ds.stale = false
-			unavailable[name] = err
-			m.auditRecord(AuditEvent{
-				At: now, Kind: AuditKindDriver, Driver: name, Outcome: err.Error(),
-			})
-		}
-		stats.Drivers = append(stats.Drivers, dst)
-	}
-
-	for _, bp := range runnable {
-		var blocked []error
-		available := false
-		for _, d := range bp.Drivers {
-			if err, bad := unavailable[d.Name()]; bad {
-				blocked = append(blocked, err)
-			} else {
-				available = true
-			}
-		}
-		if !available {
-			// Every driver of this binding is down past the staleness
-			// bound: the binding cannot run this period.
-			m.recordFailure(bp, now, fmt.Errorf("binding %s/%s: no usable drivers: %w",
-				bp.Policy.Name(), bp.Translator.Name(), errors.Join(blocked...)))
-			continue
-		}
-		view := m.buildView(now, bp, values)
-		stats.PoliciesRun++
-		stats.Entities += len(view.Entities)
-		bst := BindingStepStats{
-			Policy:     bp.Policy.Name(),
-			Translator: bp.Translator.Name(),
-			Entities:   len(view.Entities),
-		}
-		t0 := m.nowFn()
-		sched, err := m.safeSchedule(bp.Policy, view)
-		bst.Schedule = m.nowFn().Sub(t0)
-		bp.hSchedule.Observe(bst.Schedule)
-		if err != nil {
-			m.ins.applyErrors.Inc()
-			err = fmt.Errorf("policy %s: %w", bp.Policy.Name(), err)
-			bst.Err = err.Error()
-			stats.Bindings = append(stats.Bindings, bst)
-			m.auditRecord(AuditEvent{
-				At: now, Kind: AuditKindPolicyError, Policy: bst.Policy,
-				Translator: bst.Translator, Outcome: err.Error(),
-			})
-			errs = append(errs, err)
-			m.recordFailure(bp, now, err)
-			continue
-		}
-		done := m.auditApplyCtx(now, bp, view.Entities)
-		t0 = m.nowFn()
-		aerr := m.safeApply(bp.Translator, sched, view.Entities)
-		bst.Apply = m.nowFn().Sub(t0)
-		done()
-		bp.hApply.Observe(bst.Apply)
-		m.auditRecord(AuditEvent{
-			At: now, Kind: AuditKindApply, Policy: bst.Policy, Translator: bst.Translator,
-			Entities: bst.Entities, Outcome: outcome(aerr),
-		})
-		if aerr != nil {
-			m.ins.applyErrors.Inc()
-			aerr = fmt.Errorf("translate %s/%s: %w", bp.Policy.Name(), bp.Translator.Name(), aerr)
-			bst.Err = aerr.Error()
-			stats.Bindings = append(stats.Bindings, bst)
-			errs = append(errs, aerr)
-			m.recordFailure(bp, now, aerr)
-			continue
-		}
-		stats.Bindings = append(stats.Bindings, bst)
-		m.ins.policyRuns.Inc()
-		if bp.open {
-			// Successful half-open probe: the breaker closes.
-			bp.breakerCounter("closed").Inc()
-			m.auditRecord(AuditEvent{
-				At: now, Kind: AuditKindBreaker, Policy: bst.Policy,
-				Translator: bst.Translator, Outcome: "closed",
-			})
-		}
-		bp.fails = 0
-		bp.opens = 0
-		bp.open = false
-		bp.lastErr = nil
-		bp.lastSuccess = now
-		bp.haveSuccess = true
-		bp.lastEntities = view.Entities
-	}
+	values, unavailable := m.fetchPhase(now, runnable, stats, &errs)
+	m.applyPhase(now, runnable, values, unavailable, stats, &errs)
 	return errs
 }
 

@@ -1,0 +1,402 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrFetchTimeout reports that a driver's metric fetch exceeded
+// Parallelism.FetchTimeout and was abandoned. The fetch goroutine keeps
+// running until the driver returns; the provider's per-driver in-flight
+// lock keeps the abandoned fetch from racing the next cycle's.
+var ErrFetchTimeout = errors.New("core: metric fetch timeout")
+
+// Default worker-pool sizes. Fetches are IO-bound on a real deployment
+// (each is a monitoring-API round trip), so the pool is wider than any
+// sensible core count; applies are syscall-bound, where eight in flight
+// saturates the control path long before it saturates a machine.
+const (
+	DefaultFetchWorkers = 8
+	DefaultApplyWorkers = 8
+)
+
+// Parallelism configures the decision cycle's parallel pipeline: a
+// bounded worker pool for per-driver metric fetches (with an optional
+// per-driver timeout) and a bounded pool for per-binding policy
+// evaluation + translator applies.
+//
+// Parallel fetch engages whenever more than one driver is due. Parallel
+// apply additionally requires a DriverGate (SetWriteGate): without
+// per-driver write locks the middleware cannot order semantically
+// conflicting writes, so it falls back to sequential applies rather than
+// guess. Either way the observable outcome of a step — schedules chosen,
+// control ops issued, stats order — is the same as the sequential path;
+// only wall-clock time and event interleaving differ.
+type Parallelism struct {
+	// Disabled reverts the whole cycle to the sequential legacy path
+	// (the baseline the scale experiment measures against).
+	Disabled bool
+	// FetchWorkers bounds concurrent driver fetches (default
+	// DefaultFetchWorkers).
+	FetchWorkers int
+	// FetchTimeout abandons a driver fetch that takes longer (0 = no
+	// timeout). An abandoned driver counts as failed this cycle and its
+	// bindings fall back to last-good values within the staleness bound.
+	FetchTimeout time.Duration
+	// ApplyWorkers bounds concurrent binding applies (default
+	// DefaultApplyWorkers).
+	ApplyWorkers int
+}
+
+// DefaultParallelism returns the default pipeline configuration.
+func DefaultParallelism() Parallelism {
+	return Parallelism{FetchWorkers: DefaultFetchWorkers, ApplyWorkers: DefaultApplyWorkers}
+}
+
+func (p Parallelism) withDefaults() Parallelism {
+	if p.Disabled {
+		return p
+	}
+	if p.FetchWorkers <= 0 {
+		p.FetchWorkers = DefaultFetchWorkers
+	}
+	if p.ApplyWorkers <= 0 {
+		p.ApplyWorkers = DefaultApplyWorkers
+	}
+	return p
+}
+
+// SetParallelism replaces the pipeline configuration. Zero fields are
+// filled with defaults; Parallelism{Disabled: true} restores the fully
+// sequential cycle.
+func (m *Middleware) SetParallelism(p Parallelism) { m.par = p.withDefaults() }
+
+// ParallelismConfig returns the active pipeline configuration.
+func (m *Middleware) ParallelismConfig() Parallelism { return m.par }
+
+// SetWriteGate installs the per-driver write gate that makes parallel
+// binding applies safe: each apply worker locks its binding's drivers, so
+// bindings over disjoint SPEs proceed concurrently while bindings sharing
+// a driver — and therefore possibly threads and cgroups — serialize.
+// Whole-chain writers (the reconciler, shutdown resets) use
+// gate.ExclusiveOS. nil removes the gate and disables parallel applies.
+func (m *Middleware) SetWriteGate(g *DriverGate) { m.gate = g }
+
+// WriteGate returns the installed per-driver write gate (nil when apply
+// parallelism is off).
+func (m *Middleware) WriteGate() *DriverGate { return m.gate }
+
+// sameInstance reports whether two interface values hold the same
+// underlying instance. Non-comparable dynamic types report false instead
+// of panicking.
+func sameInstance(a, b any) (eq bool) {
+	defer func() {
+		if recover() != nil {
+			eq = false
+		}
+	}()
+	return a == b
+}
+
+// driverNames returns a binding's driver names.
+func (bp *boundPolicy) driverNames() []string {
+	out := make([]string, 0, len(bp.Drivers))
+	for _, d := range bp.Drivers {
+		out = append(out, d.Name())
+	}
+	return out
+}
+
+// fetchOut is one driver's raw fetch result before bookkeeping.
+type fetchOut struct {
+	vals map[string]EntityValues
+	err  error
+	took time.Duration
+}
+
+// fetchOne updates one driver through the provider, abandoning the fetch
+// after the configured timeout.
+func (m *Middleware) fetchOne(now time.Duration, d Driver) (map[string]EntityValues, error) {
+	timeout := m.par.FetchTimeout
+	if m.par.Disabled || timeout <= 0 {
+		return m.provider.UpdateOne(now, d)
+	}
+	done := make(chan fetchOut, 1)
+	go func() {
+		vals, err := m.provider.UpdateOne(now, d)
+		done <- fetchOut{vals: vals, err: err}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		return r.vals, r.err
+	case <-timer.C:
+		return nil, fmt.Errorf("driver %s: %w after %v", d.Name(), ErrFetchTimeout, timeout)
+	}
+}
+
+// fetchPhase updates every distinct driver of the runnable bindings —
+// concurrently through the bounded worker pool unless parallelism is
+// disabled or there is only one driver — then folds the results into
+// driver state, telemetry, and stats in deterministic driver order.
+// It returns the merged values and the set of drivers unusable this cycle.
+func (m *Middleware) fetchPhase(now time.Duration, runnable []*boundPolicy, stats *StepStats, errs *[]error) (Values, map[string]error) {
+	drivers := distinctDrivers(runnable)
+	results := make([]fetchOut, len(drivers))
+
+	workers := m.par.FetchWorkers
+	if workers > len(drivers) {
+		workers = len(drivers)
+	}
+	if m.par.Disabled || workers <= 1 {
+		for i, d := range drivers {
+			t0 := m.nowFn()
+			vals, err := m.fetchOne(now, d)
+			results[i] = fetchOut{vals: vals, err: err, took: m.nowFn().Sub(t0)}
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					t0 := m.nowFn()
+					vals, err := m.fetchOne(now, drivers[i])
+					results[i] = fetchOut{vals: vals, err: err, took: m.nowFn().Sub(t0)}
+				}
+			}()
+		}
+		for i := range drivers {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	// Bookkeeping stays on the stepping goroutine, in driver order, so
+	// stats, health state, and audit events are deterministic regardless
+	// of fetch completion order.
+	values := make(Values)
+	unavailable := make(map[string]error)
+	for i, d := range drivers {
+		name := d.Name()
+		ds := m.driverState(name)
+		r := results[i]
+		dst := DriverStepStats{Driver: name, Fetch: r.took}
+		ds.hFetch.Observe(r.took)
+		if r.err == nil {
+			ds.fails = 0
+			ds.lastErr = nil
+			ds.stale = false
+			ds.lastSuccess = now
+			ds.haveSuccess = true
+			ds.lastGood = r.vals
+			ds.lastGoodAt = now
+			values[name] = r.vals
+			stats.Drivers = append(stats.Drivers, dst)
+			continue
+		}
+		ds.fails++
+		ds.lastErr = r.err
+		ds.ctrFailures.Inc()
+		dst.Err = r.err.Error()
+		*errs = append(*errs, fmt.Errorf("driver %s: %w", name, r.err))
+		if ds.lastGood != nil && now-ds.lastGoodAt <= m.res.StalenessBound {
+			// Last-good fallback: schedule on slightly stale metrics
+			// rather than not at all.
+			ds.stale = true
+			ds.ctrStale.Inc()
+			dst.Stale = true
+			values[name] = ds.lastGood
+			m.auditRecord(AuditEvent{
+				At: now, Kind: AuditKindDriver, Driver: name,
+				Outcome: "stale-fallback: " + r.err.Error(),
+			})
+		} else {
+			ds.stale = false
+			unavailable[name] = r.err
+			m.auditRecord(AuditEvent{
+				At: now, Kind: AuditKindDriver, Driver: name, Outcome: r.err.Error(),
+			})
+		}
+		stats.Drivers = append(stats.Drivers, dst)
+	}
+	return values, unavailable
+}
+
+// bindingOutcome is one binding's slice of the apply phase, produced by a
+// worker and folded into stats on the stepping goroutine.
+type bindingOutcome struct {
+	bst  BindingStepStats
+	errs []error
+	// ran marks a completed policy run (successful or not) — the binding
+	// produced a stats entry and counted toward PoliciesRun.
+	ran      bool
+	entities int
+}
+
+// applyPhase runs policy evaluation + translator apply for every runnable
+// binding — concurrently through the bounded worker pool when a write
+// gate is installed — and folds the outcomes into stats in binding order.
+func (m *Middleware) applyPhase(now time.Duration, runnable []*boundPolicy, values Values, unavailable map[string]error, stats *StepStats, errs *[]error) {
+	// Availability gating first (cheap, and recordFailure may reset a
+	// binding through the OS chain, which must not interleave with apply
+	// workers).
+	var toRun []*boundPolicy
+	for _, bp := range runnable {
+		var blocked []error
+		available := false
+		for _, d := range bp.Drivers {
+			if err, bad := unavailable[d.Name()]; bad {
+				blocked = append(blocked, err)
+			} else {
+				available = true
+			}
+		}
+		if !available {
+			// Every driver of this binding is down past the staleness
+			// bound: the binding cannot run this period.
+			m.recordFailure(bp, now, fmt.Errorf("binding %s/%s: no usable drivers: %w",
+				bp.Policy.Name(), bp.Translator.Name(), errors.Join(blocked...)))
+			continue
+		}
+		toRun = append(toRun, bp)
+	}
+
+	outcomes := make([]bindingOutcome, len(toRun))
+	workers := m.par.ApplyWorkers
+	if workers > len(toRun) {
+		workers = len(toRun)
+	}
+	parallel := !m.par.Disabled && m.gate != nil && workers > 1
+
+	runOne := func(i int) {
+		bp := toRun[i]
+		if m.gate != nil {
+			unlock := m.gate.LockDrivers(bp.driverNames())
+			defer unlock()
+		}
+		if parallel && bp.execMu != nil {
+			// Bindings sharing a Policy or Translator instance (stateful:
+			// rngs, previous-group maps) never run concurrently.
+			bp.execMu.Lock()
+			defer bp.execMu.Unlock()
+		}
+		outcomes[i] = m.runBinding(now, bp, values)
+	}
+
+	if !parallel {
+		for i := range toRun {
+			runOne(i)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					runOne(i)
+				}
+			}()
+		}
+		for i := range toRun {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	for _, out := range outcomes {
+		if out.ran {
+			stats.PoliciesRun++
+			stats.Entities += out.entities
+		}
+		stats.Bindings = append(stats.Bindings, out.bst)
+		*errs = append(*errs, out.errs...)
+	}
+}
+
+// runBinding executes one binding's schedule + apply and its breaker
+// bookkeeping. In parallel mode it runs on a worker holding the binding's
+// driver locks; everything it touches is either binding-local (bp),
+// internally synchronized (telemetry, audit trail, the OS chain), or its
+// own outcome slot.
+func (m *Middleware) runBinding(now time.Duration, bp *boundPolicy, values Values) bindingOutcome {
+	out := bindingOutcome{}
+	view := m.buildView(now, bp, values)
+	out.ran = true
+	out.entities = len(view.Entities)
+	bst := BindingStepStats{
+		Label:      bp.label,
+		Policy:     bp.Policy.Name(),
+		Translator: bp.Translator.Name(),
+		Entities:   len(view.Entities),
+	}
+	t0 := m.nowFn()
+	sched, err := m.safeSchedule(bp.Policy, view)
+	bst.Schedule = m.nowFn().Sub(t0)
+	bp.hSchedule.Observe(bst.Schedule)
+	if err != nil {
+		m.ins.applyErrors.Inc()
+		err = fmt.Errorf("policy %s: %w", bp.Policy.Name(), err)
+		bst.Err = err.Error()
+		out.bst = bst
+		m.auditRecord(AuditEvent{
+			At: now, Kind: AuditKindPolicyError, Policy: bst.Policy,
+			Translator: bst.Translator, Outcome: err.Error(),
+		})
+		out.errs = append(out.errs, err)
+		m.recordFailure(bp, now, err)
+		return out
+	}
+	done := m.auditApplyCtx(now, bp, view.Entities)
+	if bp.Coalescer != nil {
+		bp.Coalescer.Begin()
+	}
+	t0 = m.nowFn()
+	aerr := m.safeApply(bp.Translator, sched, view.Entities)
+	if bp.Coalescer != nil {
+		aerr = errors.Join(aerr, bp.Coalescer.Flush())
+	}
+	bst.Apply = m.nowFn().Sub(t0)
+	done()
+	bp.hApply.Observe(bst.Apply)
+	m.auditRecord(AuditEvent{
+		At: now, Kind: AuditKindApply, Policy: bst.Policy, Translator: bst.Translator,
+		Entities: bst.Entities, Outcome: outcome(aerr),
+	})
+	if aerr != nil {
+		m.ins.applyErrors.Inc()
+		aerr = fmt.Errorf("translate %s/%s: %w", bp.Policy.Name(), bp.Translator.Name(), aerr)
+		bst.Err = aerr.Error()
+		out.bst = bst
+		out.errs = append(out.errs, aerr)
+		m.recordFailure(bp, now, aerr)
+		return out
+	}
+	out.bst = bst
+	m.ins.policyRuns.Inc()
+	if bp.open {
+		// Successful half-open probe: the breaker closes.
+		bp.breakerCounter("closed").Inc()
+		m.auditRecord(AuditEvent{
+			At: now, Kind: AuditKindBreaker, Policy: bst.Policy,
+			Translator: bst.Translator, Outcome: "closed",
+		})
+	}
+	bp.fails = 0
+	bp.opens = 0
+	bp.open = false
+	bp.lastErr = nil
+	bp.lastSuccess = now
+	bp.haveSuccess = true
+	bp.lastEntities = view.Entities
+	return out
+}

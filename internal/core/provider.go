@@ -1,15 +1,32 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 	"time"
 )
+
+// ErrFetchInFlight reports that a driver's previous metric fetch is still
+// running (it was abandoned by a fetch timeout and has not returned yet).
+// The middleware treats it like any other driver failure: the binding
+// falls back to the driver's last known-good values for this cycle.
+var ErrFetchInFlight = errors.New("core: metric fetch still in flight")
 
 // Provider computes registered metrics for every driver, resolving each
 // metric either directly from the driver or recursively through its
 // dependency graph with per-driver caching — Algorithm 3 of the paper.
+//
+// Provider is safe for concurrent use: the middleware's parallel fetch
+// pool calls UpdateOne for different drivers concurrently. Updates for the
+// *same* driver are serialized by a per-driver in-flight lock; a second
+// UpdateOne arriving while the first is still running (possible only when
+// a fetch timeout abandoned it) fails fast with ErrFetchInFlight instead
+// of racing on the driver's rate window.
 type Provider struct {
-	registry   Registry
+	registry Registry
+
+	mu         sync.Mutex
 	registered map[string]bool
 
 	// prev retains the previous update's values per driver, so derived
@@ -19,6 +36,9 @@ type Provider struct {
 	// rate windows stay correct when drivers fail (and recover) on
 	// independent schedules.
 	lastUpdate map[string]time.Duration
+	// inflight serializes same-driver updates without blocking: an
+	// abandoned (timed-out) fetch keeps the lock until it returns.
+	inflight map[string]*sync.Mutex
 }
 
 // NewProvider creates a provider over a metric registry (nil selects
@@ -32,12 +52,15 @@ func NewProvider(registry Registry) *Provider {
 		registered: make(map[string]bool),
 		prev:       make(map[string]map[string]EntityValues),
 		lastUpdate: make(map[string]time.Duration),
+		inflight:   make(map[string]*sync.Mutex),
 	}
 }
 
 // Register declares metrics that policies require (Algorithm 1, line 1).
 // Registering an undefined metric is an error.
 func (p *Provider) Register(metricNames ...string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for _, m := range metricNames {
 		if _, ok := p.registry[m]; !ok {
 			return fmt.Errorf("core: metric %q not in registry", m)
@@ -49,11 +72,26 @@ func (p *Provider) Register(metricNames ...string) error {
 
 // Registered returns the registered metric names.
 func (p *Provider) Registered() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	out := make([]string, 0, len(p.registered))
 	for m := range p.registered {
 		out = append(out, m)
 	}
 	return out
+}
+
+// flightLock returns the in-flight lock for a driver, creating it on
+// first use.
+func (p *Provider) flightLock(name string) *sync.Mutex {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	l, ok := p.inflight[name]
+	if !ok {
+		l = &sync.Mutex{}
+		p.inflight[name] = l
+	}
+	return l
 }
 
 // Values holds one update's computed metrics: driver -> metric -> entity
@@ -82,22 +120,41 @@ func (p *Provider) Update(now time.Duration, drivers []Driver) (Values, error) {
 // a later successful update still computes rates over the full elapsed
 // interval — a failed scrape loses resolution, not history.
 func (p *Provider) UpdateOne(now time.Duration, d Driver) (map[string]EntityValues, error) {
+	fl := p.flightLock(d.Name())
+	if !fl.TryLock() {
+		return nil, fmt.Errorf("driver %q: %w", d.Name(), ErrFetchInFlight)
+	}
+	defer fl.Unlock()
+
+	p.mu.Lock()
 	var elapsed time.Duration
 	if last, ok := p.lastUpdate[d.Name()]; ok {
 		elapsed = now - last
 	}
 	ctx := &ComputeCtx{Now: now, Elapsed: elapsed, Prev: p.prev[d.Name()]}
+	metrics := make([]string, 0, len(p.registered))
+	for m := range p.registered {
+		metrics = append(metrics, m)
+	}
+	p.mu.Unlock()
+
 	if ctx.Prev == nil {
 		ctx.Prev = make(map[string]EntityValues)
 	}
+	// The driver fetches (potentially slow: a network round trip on a real
+	// deployment) run outside the provider mutex; only the bookkeeping
+	// above and below holds it.
 	cache := make(map[string]EntityValues)
-	for m := range p.registered {
+	for _, m := range metrics {
 		if _, err := p.compute(m, d, ctx, cache, nil); err != nil {
 			return nil, err
 		}
 	}
+
+	p.mu.Lock()
 	p.prev[d.Name()] = cache
 	p.lastUpdate[d.Name()] = now
+	p.mu.Unlock()
 	return cache, nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"lachesis/internal/core"
@@ -189,10 +190,13 @@ type OSPlan struct {
 
 // OS wraps a core.OSInterface with the faults of an OSPlan. It forwards
 // the optional CgroupRemover, PlacementRestorer, and CacheInvalidator
-// capabilities when the wrapped interface has them.
+// capabilities when the wrapped interface has them. The injector state is
+// mutex-guarded: an OS chain may be driven by concurrent apply workers
+// once the middleware runs its parallel pipeline.
 type OS struct {
 	inner core.OSInterface
 	plan  OSPlan
+	mu    sync.Mutex
 	rng   *rand.Rand
 
 	ops      int
@@ -209,6 +213,8 @@ func WrapOS(inner core.OSInterface, plan OSPlan) *OS {
 // VanishThread marks a thread as exited: all further operations on it fail
 // with core.ErrEntityVanished.
 func (o *OS) VanishThread(tid int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	if o.plan.VanishedThreads == nil {
 		o.plan.VanishedThreads = make(map[int]bool)
 	}
@@ -218,6 +224,8 @@ func (o *OS) VanishThread(tid int) {
 // inject applies the plan's generic faults to one operation; it returns a
 // non-nil error when the operation should fail.
 func (o *OS) inject(op string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.ops++
 	if o.plan.Clock != nil && o.plan.Outages.Contains(o.plan.Clock()) {
 		o.injected++
@@ -231,6 +239,8 @@ func (o *OS) inject(op string) error {
 }
 
 func (o *OS) vanishedTID(op string, tid int) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	if o.plan.VanishedThreads[tid] {
 		o.injected++
 		return fmt.Errorf("%s tid %d: no such process: %w (%w)", op, tid, core.ErrEntityVanished, ErrInjected)
@@ -239,6 +249,8 @@ func (o *OS) vanishedTID(op string, tid int) error {
 }
 
 func (o *OS) vanishedCgroup(op, name string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	if o.plan.VanishedCgroups[name] {
 		o.injected++
 		return fmt.Errorf("%s cgroup %s: no such file or directory: %w (%w)", op, name, core.ErrEntityVanished, ErrInjected)
@@ -329,7 +341,15 @@ func (o *OS) InvalidateThread(tid int) { core.InvalidateThreadState(o.inner, tid
 func (o *OS) InvalidateCgroup(name string) { core.InvalidateCgroupState(o.inner, name) }
 
 // Ops returns how many control operations the wrapper has seen.
-func (o *OS) Ops() int { return o.ops }
+func (o *OS) Ops() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.ops
+}
 
 // Injected returns how many faults the wrapper has injected.
-func (o *OS) Injected() int { return o.injected }
+func (o *OS) Injected() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.injected
+}

@@ -5,10 +5,17 @@
 // the middleware always works with metrics that are up to one resolution
 // interval stale — a deliberately modeled disadvantage versus user-level
 // schedulers that read fresh in-engine state (§6.4, Fig. 15).
+//
+// The store is sharded: series are hashed across DefaultShards independent
+// buckets, each with its own lock, so concurrent reporters (one per SPE)
+// and concurrent driver fetches (the middleware's parallel fetch pool)
+// never serialize on a single store-wide mutex.
 package metrics
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,45 +25,90 @@ const DefaultResolution = time.Second
 // defaultRetention is how many buckets each series keeps.
 const defaultRetention = 240
 
+// DefaultShards is how many independently locked shards a store spreads
+// its series over. Sixteen keeps the per-shard maps small and makes lock
+// collisions between unrelated series unlikely without bloating the
+// fixed per-store footprint.
+const DefaultShards = 16
+
 // Point is one quantized sample.
 type Point struct {
 	At    time.Duration
 	Value float64
 }
 
-// Store is an in-memory time-series database with fixed resolution.
+// shard is one independently locked slice of the series keyspace.
+type shard struct {
+	mu     sync.RWMutex
+	series map[string][]Point
+}
+
+// Store is an in-memory time-series database with fixed resolution. All
+// methods are safe for concurrent use; samples for distinct series hash to
+// (usually) distinct shards and proceed without contention.
 type Store struct {
 	resolution time.Duration
 	retention  int
-	window     time.Duration // 0 = count-based retention only
-	series     map[string][]Point
+	window     atomic.Int64 // retention window in ns; 0 = count-based only
+	shards     []shard
 
-	records int64
-	evicted int64
+	records atomic.Int64
+	evicted atomic.Int64
 }
 
-// NewStore creates a store. resolution <= 0 selects DefaultResolution.
+// NewStore creates a store with DefaultShards shards. resolution <= 0
+// selects DefaultResolution.
 func NewStore(resolution time.Duration) *Store {
+	return NewShardedStore(resolution, DefaultShards)
+}
+
+// NewShardedStore creates a store with an explicit shard count (the
+// contention benchmark compares shard counts; shards <= 0 selects 1).
+func NewShardedStore(resolution time.Duration, shards int) *Store {
 	if resolution <= 0 {
 		resolution = DefaultResolution
 	}
-	return &Store{
+	if shards <= 0 {
+		shards = 1
+	}
+	s := &Store{
 		resolution: resolution,
 		retention:  defaultRetention,
-		series:     make(map[string][]Point),
+		shards:     make([]shard, shards),
 	}
+	for i := range s.shards {
+		s.shards[i].series = make(map[string][]Point)
+	}
+	return s
 }
+
+// shardFor hashes a series name (FNV-1a) onto its shard.
+func (s *Store) shardFor(series string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(series); i++ {
+		h ^= uint64(series[i])
+		h *= prime64
+	}
+	return &s.shards[h%uint64(len(s.shards))]
+}
+
+// Shards returns the shard count (for tests and benchmarks).
+func (s *Store) Shards() int { return len(s.shards) }
 
 // Resolution returns the store's time quantum.
 func (s *Store) Resolution() time.Duration { return s.resolution }
 
 // Records returns the number of samples recorded over the store's
 // lifetime.
-func (s *Store) Records() int64 { return s.records }
+func (s *Store) Records() int64 { return s.records.Load() }
 
 // Evicted returns how many samples the retention window has dropped over
 // the store's lifetime (always 0 with the window off).
-func (s *Store) Evicted() int64 { return s.evicted }
+func (s *Store) Evicted() int64 { return s.evicted.Load() }
 
 // SetRetentionWindow enables time-based retention: on each Record, samples
 // older than window behind the written sample are evicted from that
@@ -69,46 +121,54 @@ func (s *Store) SetRetentionWindow(window time.Duration) {
 	if window < 0 {
 		window = 0
 	}
-	s.window = window
+	s.window.Store(int64(window))
 }
 
 // RetentionWindow returns the active time-based retention window (0 when
 // off).
-func (s *Store) RetentionWindow() time.Duration { return s.window }
+func (s *Store) RetentionWindow() time.Duration {
+	return time.Duration(s.window.Load())
+}
 
 // Record stores a sample, quantized down to the containing bucket. A
 // second sample in the same bucket overwrites the first. Record implements
 // the engine MetricSink interface.
 func (s *Store) Record(now time.Duration, series string, value float64) {
 	at := now / s.resolution * s.resolution
-	buf := s.series[series]
-	s.records++
+	s.records.Add(1)
+	sh := s.shardFor(series)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	buf := sh.series[series]
 	if n := len(buf); n > 0 && buf[n-1].At == at {
 		buf[n-1].Value = value
 		return
 	}
 	buf = append(buf, Point{At: at, Value: value})
 	if len(buf) > s.retention {
-		s.evicted += int64(len(buf) - s.retention)
+		s.evicted.Add(int64(len(buf) - s.retention))
 		buf = buf[len(buf)-s.retention:]
 	}
-	if s.window > 0 {
-		cutoff := at - s.window
+	if window := time.Duration(s.window.Load()); window > 0 {
+		cutoff := at - window
 		drop := 0
 		for drop < len(buf)-1 && buf[drop].At < cutoff {
 			drop++
 		}
 		if drop > 0 {
-			s.evicted += int64(drop)
+			s.evicted.Add(int64(drop))
 			buf = buf[drop:]
 		}
 	}
-	s.series[series] = buf
+	sh.series[series] = buf
 }
 
 // Latest returns the most recent sample of a series.
 func (s *Store) Latest(series string) (Point, bool) {
-	buf := s.series[series]
+	sh := s.shardFor(series)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	buf := sh.series[series]
 	if len(buf) == 0 {
 		return Point{}, false
 	}
@@ -118,7 +178,10 @@ func (s *Store) Latest(series string) (Point, bool) {
 // At returns the sample in the bucket containing t, or the nearest earlier
 // sample (how Graphite answers point queries for sparse series).
 func (s *Store) At(series string, t time.Duration) (Point, bool) {
-	buf := s.series[series]
+	sh := s.shardFor(series)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	buf := sh.series[series]
 	if len(buf) == 0 {
 		return Point{}, false
 	}
@@ -132,9 +195,11 @@ func (s *Store) At(series string, t time.Duration) (Point, bool) {
 
 // Range returns all samples with from <= At <= to, in time order.
 func (s *Store) Range(series string, from, to time.Duration) []Point {
-	buf := s.series[series]
+	sh := s.shardFor(series)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	var out []Point
-	for _, p := range buf {
+	for _, p := range sh.series[series] {
 		if p.At >= from && p.At <= to {
 			out = append(out, p)
 		}
@@ -142,15 +207,25 @@ func (s *Store) Range(series string, from, to time.Duration) []Point {
 	return out
 }
 
-// SeriesNames returns all series names, sorted.
+// SeriesNames returns all series names across every shard, sorted.
 func (s *Store) SeriesNames() []string {
-	out := make([]string, 0, len(s.series))
-	for name := range s.series {
-		out = append(out, name)
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for name := range sh.series {
+			out = append(out, name)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
 }
 
 // HasSeries reports whether a series has at least one sample.
-func (s *Store) HasSeries(series string) bool { return len(s.series[series]) > 0 }
+func (s *Store) HasSeries(series string) bool {
+	sh := s.shardFor(series)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.series[series]) > 0
+}

@@ -196,5 +196,7 @@ func (c *Control) InvalidateThread(tid int) {}
 // memo is dropped so the next EnsureCgroup re-mkdirs a deleted directory
 // (the cgroup-deleted repair path).
 func (c *Control) InvalidateCgroup(name string) {
+	c.mu.Lock()
 	delete(c.groups, name)
+	c.mu.Unlock()
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"strconv"
+	"sync"
 
 	"lachesis/internal/core"
 )
@@ -51,11 +52,18 @@ type Config struct {
 	System System
 }
 
-// Control drives the real OS mechanisms.
+// Control drives the real OS mechanisms. Its methods are safe for
+// concurrent use by the middleware's parallel apply workers; only the
+// group-exists cache is locked, so control writes themselves are not
+// serialized. SetTelemetry must be called before concurrent use begins.
 type Control struct {
-	cfg    Config
+	cfg Config
+
+	// mu guards groups, the ensure-cgroup dedup cache.
+	mu     sync.Mutex
 	groups map[string]bool
-	ins    *osInstruments // nil until SetTelemetry
+
+	ins *osInstruments // nil until SetTelemetry
 }
 
 var _ core.OSInterface = (*Control)(nil)
@@ -92,9 +100,13 @@ func (c *Control) SetNice(tid, nice int) error {
 	return nil
 }
 
-// EnsureCgroup implements core.OSInterface.
+// EnsureCgroup implements core.OSInterface. Concurrent ensures of the
+// same group may both reach MkdirAll, which is idempotent.
 func (c *Control) EnsureCgroup(name string) error {
-	if c.groups[name] {
+	c.mu.Lock()
+	known := c.groups[name]
+	c.mu.Unlock()
+	if known {
 		return nil
 	}
 	dir := filepath.Join(c.cfg.Root, sanitize(name))
@@ -103,7 +115,9 @@ func (c *Control) EnsureCgroup(name string) error {
 	if err != nil {
 		return fmt.Errorf("mkdir cgroup %q: %w", name, err)
 	}
+	c.mu.Lock()
 	c.groups[name] = true
+	c.mu.Unlock()
 	return nil
 }
 

@@ -50,7 +50,9 @@ func (c *Control) RemoveCgroup(name string) error {
 	err := c.retry(func() error { return c.cfg.System.Remove(dir) })
 	c.record("remove_cgroup", err)
 	if err == nil || core.IsVanished(err) {
+		c.mu.Lock()
 		delete(c.groups, name)
+		c.mu.Unlock()
 	}
 	if err != nil {
 		return fmt.Errorf("rmdir cgroup %q: %w", name, err)

@@ -1,0 +1,175 @@
+package reconcile
+
+import (
+	"testing"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/telemetry"
+)
+
+// newCoalescedWorld wires the daemon's full chain over a fake kernel:
+// coalescer -> recorder -> caching backend -> kernel, with the reconciler
+// repairing through the same coalescer. This is the stack where a stale
+// coalescer mirror could swallow a repair — the invalidation path is what
+// keeps it honest.
+func newCoalescedWorld(t *testing.T) (*world, *core.Coalescer) {
+	t.Helper()
+	w := &world{kernel: newFakeKernel(), reg: telemetry.NewRegistry()}
+	w.cached = newCachedOS(w.kernel)
+	state, err := NewDesiredState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.state = state
+	w.trail = core.NewAuditTrail(256, nil)
+	ident := func(tid int) uint64 {
+		id, err := w.kernel.ThreadIdentity(tid)
+		if err != nil {
+			return 0
+		}
+		return id
+	}
+	co := core.NewCoalescer(RecordOS(w.cached, state, ident, nil), nil)
+	w.os = co
+	w.rec = New(Config{
+		OS:        co,
+		Observer:  w.kernel,
+		State:     state,
+		Audit:     w.trail,
+		Telemetry: w.reg,
+		Clock:     func() time.Time { return time.Unix(0, 0) },
+	})
+	return w, co
+}
+
+// TestReconcileRepairThroughCoalescer: external interference is repaired
+// even though both the coalescer mirror and the backend cache still carry
+// the desired value — the reconciler's invalidation marks them dirty so
+// the repair write reaches the kernel instead of being "suppressed as a
+// no-op". After the repair the mirror is consistent again: an identical
+// translator re-apply is swallowed without touching the kernel.
+func TestReconcileRepairThroughCoalescer(t *testing.T) {
+	w, co := newCoalescedWorld(t)
+	w.kernel.spawn(11, 100)
+	w.apply(t, 11, -5)
+	w.applyGroup(t, "q1", 512, 11)
+
+	// Adversary rewrites kernel state behind the middleware's back. The
+	// coalescer mirror and cachedOS both still say -5/512.
+	w.kernel.interfereNice(11, 10)
+	w.kernel.interfereShares("q1", 2)
+
+	res := w.rec.Reconcile()
+	if res.Drifted != 2 || res.Repaired != 2 {
+		t.Fatalf("expected 2 drifts repaired, got %+v", res)
+	}
+	if got := w.kernel.niceOf(11); got != -5 {
+		t.Fatalf("repair swallowed by coalescer mirror: kernel nice = %d, want -5", got)
+	}
+	if got, _ := w.kernel.sharesOf("q1"); got != 512 {
+		t.Fatalf("repair swallowed by coalescer mirror: kernel shares = %d, want 512", got)
+	}
+
+	// The nice repair invalidated thread 11 wholesale, which conservatively
+	// dirtied its placement knob too: the first post-repair apply re-issues
+	// exactly that one move to re-verify it, and nothing else.
+	writesBefore := w.kernel.writes
+	suppBefore := co.Suppressed()
+	w.apply(t, 11, -5)
+	w.applyGroup(t, "q1", 512, 11)
+	if got := w.kernel.writes - writesBefore; got != 1 {
+		t.Fatalf("first post-repair apply made %d kernel writes, want 1 (placement re-verify)", got)
+	}
+	if got := co.Suppressed() - suppBefore; got != 3 {
+		t.Fatalf("suppressed %d ops in first post-repair apply, want 3 (nice, ensure, shares)", got)
+	}
+
+	// With the mirror fully consistent again, the next identical apply
+	// cycle is pure suppression — zero kernel writes.
+	writesBefore = w.kernel.writes
+	suppBefore = co.Suppressed()
+	w.apply(t, 11, -5)
+	w.applyGroup(t, "q1", 512, 11)
+	if w.kernel.writes != writesBefore {
+		t.Fatalf("steady-state re-apply reached the kernel: %d extra writes",
+			w.kernel.writes-writesBefore)
+	}
+	if got := co.Suppressed() - suppBefore; got != 4 {
+		t.Fatalf("suppressed %d ops in steady-state re-apply, want 4 (nice, ensure, shares, move)", got)
+	}
+
+	// And the converged world stays quiet through the coalescer too.
+	res = w.rec.Reconcile()
+	if !res.Converged || res.Repaired != 0 {
+		t.Fatalf("expected quiet converged pass, got %+v", res)
+	}
+}
+
+// TestReconcileVanishedThroughCoalescer: a dead thread is forgotten from
+// desired state, and the coalescer mirror drops it too, so a reused tid
+// is written fresh instead of being suppressed against the dead thread's
+// mirrored value.
+func TestReconcileVanishedThroughCoalescer(t *testing.T) {
+	w, _ := newCoalescedWorld(t)
+	w.kernel.spawn(11, 100)
+	w.apply(t, 11, -5)
+
+	w.kernel.kill(11)
+	res := w.rec.Reconcile()
+	if res.ByClass[DriftVanishedEntity] != 1 {
+		t.Fatalf("expected 1 vanished drift, got %+v", res)
+	}
+	if w.state.Len() != 0 {
+		t.Fatalf("desired state still holds %d entries for a dead thread", w.state.Len())
+	}
+
+	// PID reuse: a new thread appears under the old tid. Its first nice
+	// write must reach the kernel even at the dead thread's old value.
+	w.kernel.spawn(11, 999)
+	writesBefore := w.kernel.writes
+	w.apply(t, 11, -5)
+	if w.kernel.writes != writesBefore+1 {
+		t.Fatalf("reused tid's first write suppressed against dead thread's mirror (writes %d -> %d)",
+			writesBefore, w.kernel.writes)
+	}
+	if got := w.kernel.niceOf(11); got != -5 {
+		t.Fatalf("kernel nice = %d, want -5", got)
+	}
+}
+
+// TestCoalescerSeedRoundTrip: the warm-restart path — desired state
+// persisted by a previous process seeds a fresh coalescer, and after the
+// reconciler converges the kernel onto the mirror, the first decision
+// cycle's identical writes are all suppressed.
+func TestCoalescerSeedRoundTrip(t *testing.T) {
+	w, _ := newCoalescedWorld(t)
+	w.kernel.spawn(11, 100)
+	w.apply(t, 11, -5)
+	w.applyGroup(t, "q1", 512, 11)
+
+	// "Restart": new coalescer seeded from the surviving desired state,
+	// over a kernel that still carries the old regime.
+	seed := w.state.CoalescerSeed()
+	inner := RecordOS(newCachedOS(w.kernel), w.state, func(int) uint64 { return 100 }, nil)
+	co2 := core.NewCoalescer(inner, seed)
+	writesBefore := w.kernel.writes
+	if err := co2.SetNice(11, -5); err != nil {
+		t.Fatal(err)
+	}
+	if err := co2.EnsureCgroup("q1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := co2.SetShares("q1", 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := co2.MoveThread(11, "q1"); err != nil {
+		t.Fatal(err)
+	}
+	if w.kernel.writes != writesBefore {
+		t.Fatalf("seeded coalescer re-issued %d writes after warm restart", w.kernel.writes-writesBefore)
+	}
+	if co2.Suppressed() != 4 {
+		t.Fatalf("Suppressed() = %d, want 4", co2.Suppressed())
+	}
+}

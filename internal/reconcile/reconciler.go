@@ -273,6 +273,11 @@ func (r *Reconciler) threadGone(p *pass, e Entry) bool {
 	p.res.ByClass[DriftVanishedEntity]++
 	p.res.Forgotten++
 	r.cfg.State.ForgetThread(e.TID)
+	// Death was discovered by observation, not by a failed write, so the
+	// write chain never saw a vanished error: evict the tid from every
+	// value cache (coalescer mirror, backend memos) or a recycled TID's
+	// first write at the dead thread's old value would be suppressed.
+	core.InvalidateThreadState(r.cfg.OS, e.TID)
 	r.audit(core.AuditEvent{
 		At: p.at, Kind: core.AuditKindDrift, Thread: e.TID, Entity: e.Entity,
 		Outcome: string(DriftVanishedEntity),

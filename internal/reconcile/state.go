@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"lachesis/internal/core"
 )
 
 // Entry kinds: which control knob a desired-state entry pins.
@@ -238,6 +240,31 @@ func (d *DesiredState) Shares(name string) (Entry, bool) {
 // Placement returns the desired placement entry for tid.
 func (d *DesiredState) Placement(tid int) (Entry, bool) {
 	return d.Get(Entry{Kind: KindPlacement, TID: tid}.Key())
+}
+
+// CoalescerSeed snapshots the desired state as a core.CoalescerSeed, so a
+// warm-restarted daemon can prime its write coalescer with the mirror the
+// reconciler has just converged the kernel onto. Seed a coalescer only
+// after a reconcile pass has run — see core.NewCoalescer.
+func (d *DesiredState) CoalescerSeed() *core.CoalescerSeed {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	seed := &core.CoalescerSeed{
+		Nices:      make(map[int]int),
+		Shares:     make(map[string]int),
+		Placements: make(map[int]string),
+	}
+	for _, e := range d.entries {
+		switch e.Kind {
+		case KindNice:
+			seed.Nices[e.TID] = e.Value
+		case KindShares:
+			seed.Shares[e.Cgroup] = e.Value
+		case KindPlacement:
+			seed.Placements[e.TID] = e.Cgroup
+		}
+	}
+	return seed
 }
 
 // Len returns the number of desired entries.

@@ -22,6 +22,8 @@ var (
 // group would make removal fail, so their placements are evicted from the
 // cache only on success.
 func (a *OSAdapter) RemoveCgroup(name string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	id, ok := a.groups[name]
 	if !ok {
 		return nil // never created (or already removed): nothing to do
@@ -41,6 +43,8 @@ func (a *OSAdapter) RemoveCgroup(name string) error {
 
 // SetQuota implements core.QuotaController.
 func (a *OSAdapter) SetQuota(cgroupName string, quota, period time.Duration) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	id, ok := a.groups[cgroupName]
 	if !ok {
 		return fmt.Errorf("simctl: unknown cgroup %q", cgroupName)
@@ -54,6 +58,8 @@ func (a *OSAdapter) SetQuota(cgroupName string, quota, period time.Duration) err
 
 // SetRealtime implements core.RTController.
 func (a *OSAdapter) SetRealtime(tid, prio int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if err := a.kernel.SetRealtime(simos.ThreadID(tid), prio); err != nil {
 		a.evictIfVanished(tid, err)
 		return classify(err)
@@ -64,6 +70,8 @@ func (a *OSAdapter) SetRealtime(tid, prio int) error {
 
 // SetNormal implements core.RTController.
 func (a *OSAdapter) SetNormal(tid int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if err := a.kernel.SetNormal(simos.ThreadID(tid)); err != nil {
 		a.evictIfVanished(tid, err)
 		return classify(err)

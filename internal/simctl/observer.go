@@ -22,6 +22,8 @@ var (
 
 // ObserveNice implements core.Observer.
 func (a *OSAdapter) ObserveNice(tid int) (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	n, err := a.kernel.Nice(simos.ThreadID(tid))
 	if err != nil {
 		return 0, classify(err)
@@ -33,6 +35,8 @@ func (a *OSAdapter) ObserveNice(tid int) (int, error) {
 // recycles thread ids, so a live thread's tid is its own identity (the
 // /proc start-time dance exists only because real PIDs wrap).
 func (a *OSAdapter) ThreadIdentity(tid int) (uint64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	info, err := a.kernel.ThreadInfo(simos.ThreadID(tid))
 	if err != nil {
 		return 0, classify(err)
@@ -46,6 +50,8 @@ func (a *OSAdapter) ThreadIdentity(tid int) (uint64, error) {
 // ObserveShares implements core.Observer. A group the adapter never
 // created, or one torn out of the kernel behind its back, is vanished.
 func (a *OSAdapter) ObserveShares(name string) (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	id, ok := a.groups[name]
 	if !ok {
 		return 0, fmt.Errorf("%w: cgroup %q unknown", core.ErrEntityVanished, name)
@@ -59,6 +65,8 @@ func (a *OSAdapter) ObserveShares(name string) (int, error) {
 
 // InCgroup implements core.Observer.
 func (a *OSAdapter) InCgroup(tid int, name string) (bool, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	id, ok := a.groups[name]
 	if !ok {
 		return false, fmt.Errorf("%w: cgroup %q unknown", core.ErrEntityVanished, name)
@@ -81,6 +89,8 @@ func (a *OSAdapter) InCgroup(tid int, name string) (bool, error) {
 // so the next apply must reach it. The pre-Lachesis origin (orig) is
 // kept — it records history, not current state.
 func (a *OSAdapter) InvalidateThread(tid int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	delete(a.nices, tid)
 	delete(a.placed, tid)
 }
@@ -91,6 +101,8 @@ func (a *OSAdapter) InvalidateThread(tid int) {
 // placement into the group is flushed, because membership of a deleted
 // (or about-to-be-repaired) group is untrustworthy.
 func (a *OSAdapter) InvalidateCgroup(name string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	id, ok := a.groups[name]
 	if !ok {
 		return

@@ -28,7 +28,8 @@ func classify(err error) error {
 }
 
 // evictIfVanished drops cached state for a thread the kernel no longer
-// knows, so a recycled tid never inherits stale cache entries.
+// knows, so a recycled tid never inherits stale cache entries. Callers
+// hold a.mu.
 func (a *OSAdapter) evictIfVanished(tid int, err error) {
 	var nf *simos.NotFoundError
 	if !errors.As(err, &nf) {
@@ -45,6 +46,8 @@ var _ core.PlacementRestorer = (*OSAdapter)(nil)
 // to the cgroup it lived in before Lachesis first moved it. Threads never
 // moved by this adapter are left alone.
 func (a *OSAdapter) RestoreThread(tid int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	orig, ok := a.orig[tid]
 	if !ok {
 		return nil

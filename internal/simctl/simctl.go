@@ -7,6 +7,7 @@ package simctl
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"lachesis/internal/core"
@@ -18,9 +19,16 @@ import (
 // created by translators live under a dedicated "lachesis" root cgroup.
 // The adapter caches nice values and thread placements to avoid redundant
 // control operations, like the real middleware avoids redundant syscalls.
+// All operations are serialized by an internal mutex so the adapter can
+// sit under the middleware's parallel apply pipeline; the simulated kernel
+// itself stays single-threaded behind that lock.
 type OSAdapter struct {
 	kernel *simos.Kernel
 	root   simos.CgroupID
+
+	// mu guards the cache maps, the op counters, and — by serializing
+	// every control call — the single-threaded simulated kernel beneath.
+	mu     sync.Mutex
 	groups map[string]simos.CgroupID
 	nices  map[int]int
 	placed map[int]string
@@ -28,10 +36,13 @@ type OSAdapter struct {
 	// so RestoreThread can undo the placement.
 	orig map[int]simos.CgroupID
 
-	// ControlOps counts effective (non-cached) control operations.
+	// ControlOps counts effective (non-cached) control operations. It is
+	// written under mu; read it only after the run has quiesced (e.g.
+	// after Kernel.Run returns).
 	ControlOps int64
 	// CachedOps counts control calls absorbed by the adapter's cache
-	// (redundant re-applies that never reached the kernel).
+	// (redundant re-applies that never reached the kernel). Same reading
+	// rule as ControlOps.
 	CachedOps int64
 
 	// Cached instruments (nil until SetTelemetry).
@@ -59,6 +70,8 @@ func NewOSAdapter(k *simos.Kernel) (*OSAdapter, error) {
 
 // SetNice implements core.OSInterface.
 func (a *OSAdapter) SetNice(tid int, nice int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if cur, ok := a.nices[tid]; ok && cur == nice {
 		a.countCached()
 		return nil
@@ -74,6 +87,8 @@ func (a *OSAdapter) SetNice(tid int, nice int) error {
 
 // EnsureCgroup implements core.OSInterface.
 func (a *OSAdapter) EnsureCgroup(name string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if _, ok := a.groups[name]; ok {
 		a.countCached()
 		return nil
@@ -89,6 +104,8 @@ func (a *OSAdapter) EnsureCgroup(name string) error {
 
 // SetShares implements core.OSInterface.
 func (a *OSAdapter) SetShares(cgroupName string, shares int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	id, ok := a.groups[cgroupName]
 	if !ok {
 		return fmt.Errorf("simctl: unknown cgroup %q", cgroupName)
@@ -106,6 +123,8 @@ func (a *OSAdapter) SetShares(cgroupName string, shares int) error {
 
 // MoveThread implements core.OSInterface.
 func (a *OSAdapter) MoveThread(tid int, cgroupName string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if a.placed[tid] == cgroupName {
 		a.countCached()
 		return nil
@@ -131,6 +150,8 @@ func (a *OSAdapter) MoveThread(tid int, cgroupName string) error {
 // Cgroup returns the kernel id of a Lachesis-managed cgroup, letting
 // tests cross-check applied shares against kernel state.
 func (a *OSAdapter) Cgroup(name string) (simos.CgroupID, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	id, ok := a.groups[name]
 	return id, ok
 }

@@ -18,6 +18,8 @@ const (
 // control operations are counted from then on. nil detaches (the plain
 // ControlOps/CachedOps fields always count).
 func (a *OSAdapter) SetTelemetry(reg *telemetry.Registry) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if reg == nil {
 		a.ctrOps, a.ctrCached = nil, nil
 		return
@@ -26,7 +28,7 @@ func (a *OSAdapter) SetTelemetry(reg *telemetry.Registry) {
 	a.ctrCached = reg.Counter(MetricSimControlCached)
 }
 
-// countOp records one effective control operation.
+// countOp records one effective control operation. Callers hold a.mu.
 func (a *OSAdapter) countOp() {
 	a.ControlOps++
 	if a.ctrOps != nil {
@@ -34,7 +36,8 @@ func (a *OSAdapter) countOp() {
 	}
 }
 
-// countCached records one control call absorbed by the cache.
+// countCached records one control call absorbed by the cache. Callers
+// hold a.mu.
 func (a *OSAdapter) countCached() {
 	a.CachedOps++
 	if a.ctrCached != nil {

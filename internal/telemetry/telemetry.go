@@ -151,10 +151,10 @@ func bucketBounds(i int) (lo, hi time.Duration) {
 
 // HistogramSummary is a point-in-time quantile summary of a histogram.
 type HistogramSummary struct {
-	Count          int64
-	Sum            time.Duration
-	Mean           time.Duration
-	P50, P95, P99  time.Duration
+	Count         int64
+	Sum           time.Duration
+	Mean          time.Duration
+	P50, P95, P99 time.Duration
 }
 
 // Summary returns the histogram's count, sum, mean, and p50/p95/p99.
