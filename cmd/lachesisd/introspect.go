@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net"
 	"net/http"
 	"strconv"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"lachesis/internal/core"
+	"lachesis/internal/guard"
 	"lachesis/internal/reconcile"
 )
 
@@ -26,6 +28,11 @@ type healthView struct {
 	Drivers  []driverHealthView  `json:"drivers"`
 	// Reconcile is present when the reconciliation loop is enabled.
 	Reconcile *reconcileView `json:"reconcile,omitempty"`
+	// Rollout is present when the canary controller is wired: the state
+	// of the in-flight (or most recent) policy rollout.
+	Rollout *guard.Status `json:"rollout,omitempty"`
+	// Watchdog is present when decision-cycle deadlines are configured.
+	Watchdog *guard.WatchdogStatus `json:"watchdog,omitempty"`
 }
 
 // reconcileView is the /health summary of the reconciliation loop.
@@ -126,9 +133,29 @@ func healthJSON(h core.Health) healthView {
 // defaultAuditTail is how many events /debug/audit returns without ?n=.
 const defaultAuditTail = 64
 
-// newIntrospectionHandler builds the /metrics, /health and /debug/audit
-// mux. mu serializes handler access with the daemon's step loop.
-func newIntrospectionHandler(mu *sync.Mutex, mw *core.Middleware, trail *core.AuditTrail, rec *reconcile.Reconciler, state *reconcile.DesiredState) http.Handler {
+// maxPolicyPayload bounds a POST /policy request body.
+const maxPolicyPayload = 1 << 20
+
+// introspectionDeps bundles everything the introspection handlers read.
+// mu serializes handler access with the daemon's step loop; the other
+// fields are optional (nil hides the matching endpoint or health section).
+type introspectionDeps struct {
+	mu     *sync.Mutex
+	mw     *core.Middleware
+	trail  *core.AuditTrail
+	rec    *reconcile.Reconciler
+	state  *reconcile.DesiredState
+	canary *guard.Canary
+	wd     *guard.Watchdog
+	// propose stages a policy payload as a canary candidate (POST
+	// /policy). Called with mu held. nil disables the endpoint.
+	propose func(raw []byte) error
+}
+
+// newIntrospectionHandler builds the /metrics, /health, /policy and
+// /debug/audit mux.
+func newIntrospectionHandler(d introspectionDeps) http.Handler {
+	mu, mw, trail := d.mu, d.mw, d.trail
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -147,10 +174,22 @@ func newIntrospectionHandler(mu *sync.Mutex, mw *core.Middleware, trail *core.Au
 	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
 		mu.Lock()
 		h := mw.Health()
-		rv := reconcileJSON(rec, state)
+		rv := reconcileJSON(d.rec, d.state)
+		var rollout *guard.Status
+		if d.canary != nil {
+			st := d.canary.Status()
+			rollout = &st
+		}
+		var wdStatus *guard.WatchdogStatus
+		if d.wd != nil {
+			st := d.wd.Status()
+			wdStatus = &st
+		}
 		mu.Unlock()
 		v := healthJSON(h)
 		v.Reconcile = rv
+		v.Rollout = rollout
+		v.Watchdog = wdStatus
 		w.Header().Set("Content-Type", "application/json")
 		if v.Status != "ok" {
 			// Load balancers and liveness probes read the status code; the
@@ -160,6 +199,44 @@ func newIntrospectionHandler(mu *sync.Mutex, mw *core.Middleware, trail *core.Au
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(v)
+	})
+
+	mux.HandleFunc("/policy", func(w http.ResponseWriter, r *http.Request) {
+		if d.canary == nil {
+			http.Error(w, "no canary controller", http.StatusNotFound)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			mu.Lock()
+			st := d.canary.Status()
+			mu.Unlock()
+			writeJSON(w, http.StatusOK, st)
+		case http.MethodPost:
+			if d.propose == nil {
+				http.Error(w, "policy rollout unavailable", http.StatusNotImplemented)
+				return
+			}
+			body, err := io.ReadAll(io.LimitReader(r.Body, maxPolicyPayload))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			mu.Lock()
+			err = d.propose(body)
+			st := d.canary.Status()
+			mu.Unlock()
+			if err != nil {
+				// 409: a rollout already in flight (or a bad payload)
+				// must not silently displace the running candidate.
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			writeJSON(w, http.StatusAccepted, st)
+		default:
+			w.Header().Set("Allow", "GET, POST")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
 	})
 
 	mux.HandleFunc("/debug/audit", func(w http.ResponseWriter, r *http.Request) {
@@ -188,6 +265,15 @@ func newIntrospectionHandler(mu *sync.Mutex, mw *core.Middleware, trail *core.Au
 	return mux
 }
 
+// writeJSON renders v as an indented JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
 // introspectionServer wraps the HTTP server lifecycle so run() can start
 // it before the loop and tear it down on exit.
 type introspectionServer struct {
@@ -195,13 +281,13 @@ type introspectionServer struct {
 	addr string
 }
 
-func startIntrospection(addr string, mu *sync.Mutex, mw *core.Middleware, trail *core.AuditTrail, rec *reconcile.Reconciler, state *reconcile.DesiredState) (*introspectionServer, error) {
+func startIntrospection(addr string, d introspectionDeps) (*introspectionServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	s := &introspectionServer{
-		srv:  &http.Server{Handler: newIntrospectionHandler(mu, mw, trail, rec, state), ReadHeaderTimeout: 5 * time.Second},
+		srv:  &http.Server{Handler: newIntrospectionHandler(d), ReadHeaderTimeout: 5 * time.Second},
 		addr: ln.Addr().String(),
 	}
 	go func() { _ = s.srv.Serve(ln) }()

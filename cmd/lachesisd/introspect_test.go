@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"lachesis/internal/core"
+	"lachesis/internal/guard"
 	"lachesis/internal/oslinux"
 	"lachesis/internal/reconcile"
 )
@@ -63,7 +64,7 @@ func TestIntrospectionMetricsEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	var mu sync.Mutex
-	srv := httptest.NewServer(newIntrospectionHandler(&mu, mw, trail, nil, nil))
+	srv := httptest.NewServer(newIntrospectionHandler(introspectionDeps{mu: &mu, mw: mw, trail: trail}))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/metrics")
@@ -95,7 +96,7 @@ func TestIntrospectionHealthEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	var mu sync.Mutex
-	srv := httptest.NewServer(newIntrospectionHandler(&mu, mw, trail, nil, nil))
+	srv := httptest.NewServer(newIntrospectionHandler(introspectionDeps{mu: &mu, mw: mw, trail: trail}))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/health")
@@ -138,7 +139,7 @@ func TestIntrospectionHealthDegraded(t *testing.T) {
 		t.Fatal("expected a step error from the failing translator")
 	}
 	var mu sync.Mutex
-	srv := httptest.NewServer(newIntrospectionHandler(&mu, mw, trail, nil, nil))
+	srv := httptest.NewServer(newIntrospectionHandler(introspectionDeps{mu: &mu, mw: mw, trail: trail}))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/health")
@@ -167,7 +168,7 @@ func TestIntrospectionAuditEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	var mu sync.Mutex
-	srv := httptest.NewServer(newIntrospectionHandler(&mu, mw, trail, nil, nil))
+	srv := httptest.NewServer(newIntrospectionHandler(introspectionDeps{mu: &mu, mw: mw, trail: trail}))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/debug/audit?n=2")
@@ -269,7 +270,7 @@ func TestIntrospectionHealthReconcileView(t *testing.T) {
 		t.Fatal(err)
 	}
 	var mu sync.Mutex
-	srv := httptest.NewServer(newIntrospectionHandler(&mu, mw, trail, rec, state))
+	srv := httptest.NewServer(newIntrospectionHandler(introspectionDeps{mu: &mu, mw: mw, trail: trail, rec: rec, state: state}))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/health")
@@ -289,5 +290,135 @@ func TestIntrospectionHealthReconcileView(t *testing.T) {
 	}
 	if v.Reconcile.LastConvergedAtNs != -1 {
 		t.Errorf("last_converged_at_ns = %d, want -1 before first convergence", v.Reconcile.LastConvergedAtNs)
+	}
+}
+
+// TestPolicyRolloutEndpoint: POST /policy stages a candidate through the
+// canary controller, a second POST while the rollout is in flight is
+// rejected, and /health carries the rollout and watchdog views.
+func TestPolicyRolloutEndpoint(t *testing.T) {
+	ctl, err := oslinux.New(oslinux.Config{
+		Root:    "/cg/lachesis",
+		System:  oslinux.DryRunSystem{W: io.Discard},
+		Version: oslinux.V1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trail := core.NewAuditTrail(0, nil)
+	drv := &staticDriver{entities: []core.Entity{
+		{Name: "q.count.0", Driver: "static", Query: "q", Thread: 101, Logical: []string{"count"}},
+		{Name: "q.toll.0", Driver: "static", Query: "q", Thread: 102, Logical: []string{"toll"}},
+	}}
+	mw := core.NewMiddleware(nil)
+	mw.SetAudit(trail)
+	canary := guard.NewCanary(guard.Config{Window: 2})
+	canary.SetAudit(trail)
+	canary.SetProvider(mw.Provider())
+	wd := guard.NewWatchdog(guard.WatchdogConfig{Fetch: time.Second})
+	slot := canary.Slot(buildPolicy(map[string]float64{"count": 10, "toll": 1}))
+	if err := mw.Bind(core.Binding{
+		Policy:     slot,
+		Translator: core.NewNiceTranslator(core.AuditOS(ctl, trail)),
+		Drivers:    []core.Driver{drv},
+		Period:     time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	propose := func(raw []byte) error {
+		var pc policyConfig
+		if err := json.Unmarshal(raw, &pc); err != nil {
+			return err
+		}
+		if len(pc.Priorities) == 0 {
+			return errors.New("policy has no priorities")
+		}
+		return canary.Propose(0, "http-test", buildPolicy(pc.Priorities), raw)
+	}
+	srv := httptest.NewServer(newIntrospectionHandler(introspectionDeps{
+		mu: &mu, mw: mw, trail: trail, canary: canary, wd: wd, propose: propose,
+	}))
+	defer srv.Close()
+
+	// Idle controller: GET /policy reports no active rollout.
+	resp, err := http.Get(srv.URL + "/policy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st guard.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Active {
+		t.Errorf("rollout active before any proposal: %+v", st)
+	}
+
+	// Stage a candidate.
+	resp, err = http.Post(srv.URL+"/policy", "application/json",
+		strings.NewReader(`{"priorities": {"count": 1, "toll": 10}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /policy status %d", resp.StatusCode)
+	}
+	if !st.Active || st.Candidate != "http-test" {
+		t.Errorf("rollout not staged: %+v", st)
+	}
+
+	// A second proposal while one is in flight must be rejected.
+	resp, err = http.Post(srv.URL+"/policy", "application/json",
+		strings.NewReader(`{"priorities": {"count": 5}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("concurrent POST /policy status %d, want %d", resp.StatusCode, http.StatusConflict)
+	}
+
+	// /health carries rollout and watchdog views.
+	resp, err = http.Get(srv.URL + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hv healthView
+	if err := json.NewDecoder(resp.Body).Decode(&hv); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hv.Rollout == nil || !hv.Rollout.Active {
+		t.Errorf("health rollout view = %+v", hv.Rollout)
+	}
+	if hv.Watchdog == nil || hv.Watchdog.Degraded {
+		t.Errorf("health watchdog view = %+v", hv.Watchdog)
+	}
+
+	// Two clean cycles promote the candidate (window 2, no SLO sampler).
+	for i := 1; i <= 2; i++ {
+		mu.Lock()
+		if _, err := mw.Step(time.Duration(i) * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		canary.Tick(time.Duration(i) * time.Second)
+		mu.Unlock()
+	}
+	resp, err = http.Get(srv.URL + "/policy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Active || st.LastDecision != guard.DecisionPromoted || st.Promotions != 1 {
+		t.Errorf("rollout not promoted: %+v", st)
 	}
 }

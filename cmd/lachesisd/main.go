@@ -22,10 +22,17 @@
 //	  ],
 //	  "priorities": {"count": 10, "toll": 1}
 //	}
+//
+// Optional "guard", "watchdog" and "canary" sections enable the safety
+// layer: batch invariants between the translator and the write chain, a
+// decision-cycle watchdog, and canary-style policy hot reload (SIGHUP
+// re-reads the config's priorities and stages them as a candidate;
+// POST /policy on the introspection server does the same over HTTP).
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -37,6 +44,7 @@ import (
 	"time"
 
 	"lachesis/internal/core"
+	"lachesis/internal/guard"
 	"lachesis/internal/oslinux"
 	"lachesis/internal/reconcile"
 )
@@ -58,6 +66,71 @@ type daemonConfig struct {
 	Translator    string             `json:"translator"`
 	Entities      []entityConfig     `json:"entities"`
 	Priorities    map[string]float64 `json:"priorities"`
+	// Guard enables batch-invariant validation between the translator and
+	// the write chain. Absent = no guard.
+	Guard *guardConfig `json:"guard,omitempty"`
+	// Watchdog enables per-phase decision-cycle deadlines. Absent = none.
+	Watchdog *watchdogConfig `json:"watchdog,omitempty"`
+	// Canary tunes the policy-rollout controller (the controller itself is
+	// always on — it is what SIGHUP and POST /policy propose through).
+	Canary *canaryConfig `json:"canary,omitempty"`
+}
+
+// guardConfig is the "guard" config section; zero-valued bounds select
+// the full kernel ranges (see guard.Invariants).
+type guardConfig struct {
+	NiceMin            int     `json:"niceMin"`
+	NiceMax            int     `json:"niceMax"`
+	SharesMin          int     `json:"sharesMin"`
+	SharesMax          int     `json:"sharesMax"`
+	MaxChurn           int     `json:"maxChurn"`
+	StarvationCycles   int     `json:"starvationCycles"`
+	StarvationMinQueue float64 `json:"starvationMinQueue"`
+}
+
+func (c *guardConfig) invariants() guard.Invariants {
+	return guard.Invariants{
+		NiceMin: c.NiceMin, NiceMax: c.NiceMax,
+		SharesMin: c.SharesMin, SharesMax: c.SharesMax,
+		MaxChurn:           c.MaxChurn,
+		StarvationCycles:   c.StarvationCycles,
+		StarvationMinQueue: c.StarvationMinQueue,
+	}
+}
+
+// watchdogConfig is the "watchdog" config section; a zero deadline leaves
+// that phase unbounded.
+type watchdogConfig struct {
+	FetchMillis    int `json:"fetchMillis"`
+	ScheduleMillis int `json:"scheduleMillis"`
+	ApplyMillis    int `json:"applyMillis"`
+	TripAfter      int `json:"tripAfter"`
+}
+
+// canaryConfig is the "canary" config section; zero values select the
+// guard package defaults.
+type canaryConfig struct {
+	Fraction            float64 `json:"fraction"`
+	WindowCycles        int     `json:"windowCycles"`
+	MaxLatencyFactor    float64 `json:"maxLatencyFactor"`
+	MinThroughputFactor float64 `json:"minThroughputFactor"`
+}
+
+// policyConfig is the hot-reloadable policy payload: the "priorities"
+// section of the config file, as staged by SIGHUP and POST /policy and
+// persisted as the last-good policy.
+type policyConfig struct {
+	Priorities map[string]float64 `json:"priorities"`
+}
+
+// buildPolicy constructs the daemon's policy from logical priorities (the
+// §5.1 high-level-policy + transformation-rule path).
+func buildPolicy(pri map[string]float64) core.Policy {
+	return core.Transformed(&core.StaticLogicalPolicy{
+		PolicyName: "configured",
+		Priorities: core.LogicalSchedule(pri),
+		Default:    0,
+	}, core.MaxPriorityRule)
 }
 
 // staticDriver exposes the configured entities; it provides no metrics
@@ -77,7 +150,7 @@ func (d *staticDriver) Fetch(metric string, _ time.Duration) (core.EntityValues,
 
 func main() {
 	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
 	if err := run(os.Args[1:], os.Stdout, os.Stderr, sigs); err != nil {
 		fmt.Fprintln(os.Stderr, "lachesisd:", err)
 		os.Exit(1)
@@ -215,41 +288,135 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	var osIface core.OSInterface = co
 	gate := core.NewDriverGate()
 
-	var tr core.Translator
-	switch cfg.Translator {
-	case "", "nice":
-		tr = core.NewNiceTranslator(osIface)
-	case "cpu.shares":
-		tr = core.NewSharesTranslator(osIface, 0, 0)
-	case "nice+cpu.shares":
-		tr = core.NewCombinedTranslator(osIface, 0, 0)
-	default:
-		return fmt.Errorf("unknown translator %q", cfg.Translator)
-	}
-
-	policy := core.Transformed(&core.StaticLogicalPolicy{
-		PolicyName: "configured",
-		Priorities: core.LogicalSchedule(cfg.Priorities),
-		Default:    0,
-	}, core.MaxPriorityRule)
-
 	mw := core.NewMiddleware(nil)
 	mw.SetAudit(trail)
 	mw.SetWriteGate(gate)
 	ctl.SetTelemetry(mw.Telemetry())
 	co.SetTelemetry(mw.Telemetry(), "static")
+
+	// The guard slots between the translator and the coalescer: every
+	// translated batch is validated against the configured invariants
+	// before any op reaches the write chain.
+	var opGuard *guard.OpGuard
+	applyOS := osIface
+	if cfg.Guard != nil {
+		opGuard = guard.NewOpGuard(osIface, cfg.Guard.invariants())
+		opGuard.SetTelemetry(mw.Telemetry(), "configured")
+		opGuard.SetAudit(trail)
+		applyOS = opGuard
+		fmt.Fprintf(stderr, "lachesisd: %s\n", opGuard)
+	}
+
+	var tr core.Translator
+	switch cfg.Translator {
+	case "", "nice":
+		tr = core.NewNiceTranslator(applyOS)
+	case "cpu.shares":
+		tr = core.NewSharesTranslator(applyOS, 0, 0)
+	case "nice+cpu.shares":
+		tr = core.NewCombinedTranslator(applyOS, 0, 0)
+	default:
+		return fmt.Errorf("unknown translator %q", cfg.Translator)
+	}
+	// Out-of-range policy outputs are clamped silently by the normalizer;
+	// the recorder surfaces each correction in telemetry and the audit
+	// trail so a misbehaving policy is visible before it is harmful.
+	if ct, ok := tr.(interface{ ObserveClamps(core.ClampObserver) }); ok {
+		ct.ObserveClamps(core.ClampRecorder(mw.Telemetry(), trail, "configured"))
+	}
+
+	var wd *guard.Watchdog
+	if cfg.Watchdog != nil {
+		wd = guard.NewWatchdog(guard.WatchdogConfig{
+			Fetch:     time.Duration(cfg.Watchdog.FetchMillis) * time.Millisecond,
+			Schedule:  time.Duration(cfg.Watchdog.ScheduleMillis) * time.Millisecond,
+			Apply:     time.Duration(cfg.Watchdog.ApplyMillis) * time.Millisecond,
+			TripAfter: cfg.Watchdog.TripAfter,
+		})
+		wd.SetTelemetry(mw.Telemetry())
+		wd.SetAudit(trail)
+		mw.SetWatchdog(wd)
+	}
+
+	// With persistence, a policy promoted in a previous life outranks the
+	// config file: rollbacks and promotions must survive a crash. The
+	// first run seeds the config's priorities as the initial last-good.
+	priorities := cfg.Priorities
+	if store != nil {
+		if raw, ok, err := store.LoadLastGoodPolicy(); err != nil {
+			fmt.Fprintln(stderr, "lachesisd: last-good policy:", err)
+		} else if ok {
+			var pc policyConfig
+			if err := json.Unmarshal(raw, &pc); err != nil || len(pc.Priorities) == 0 {
+				fmt.Fprintln(stderr, "lachesisd: last-good policy unreadable, using config file")
+			} else {
+				priorities = pc.Priorities
+				fmt.Fprintf(stderr, "lachesisd: loaded last-good policy (%d logical priorities)\n", len(priorities))
+			}
+		} else if raw, err := json.Marshal(policyConfig{Priorities: priorities}); err == nil {
+			if err := store.SaveLastGoodPolicy(raw); err != nil {
+				fmt.Fprintln(stderr, "lachesisd: seed last-good policy:", err)
+			}
+		}
+	}
+
+	// The canary controller is always on: it is the only path by which a
+	// new policy (SIGHUP or POST /policy) reaches the binding, so every
+	// hot reload is a staged rollout with an automatic verdict. With no
+	// SLO sampler on a real host, the verdict rests on guard violations.
+	canaryCfg := guard.Config{}
+	if cfg.Canary != nil {
+		canaryCfg = guard.Config{
+			Fraction:            cfg.Canary.Fraction,
+			Window:              cfg.Canary.WindowCycles,
+			MaxLatencyFactor:    cfg.Canary.MaxLatencyFactor,
+			MinThroughputFactor: cfg.Canary.MinThroughputFactor,
+		}
+	}
+	canary := guard.NewCanary(canaryCfg)
+	canary.SetTelemetry(mw.Telemetry())
+	canary.SetAudit(trail)
+	canary.SetProvider(mw.Provider())
+	if opGuard != nil {
+		canary.SetViolationSource(opGuard.Violations)
+	}
+	if store != nil {
+		canary.SetPolicyStore(store)
+	}
+	slot := canary.Slot(buildPolicy(priorities))
+
 	period := time.Duration(cfg.PeriodMillis) * time.Millisecond
-	if err := mw.Bind(core.Binding{
-		Policy:     policy,
+	binding := core.Binding{
+		Policy:     slot,
 		Translator: tr,
 		Drivers:    []core.Driver{drv},
 		Coalescer:  co,
 		Period:     period,
-	}); err != nil {
+	}
+	if opGuard != nil {
+		binding.Guard = opGuard
+	}
+	if err := mw.Bind(binding); err != nil {
 		return err
 	}
 
 	start := time.Now()
+
+	// propose stages a policy payload as a canary candidate. Callers hold
+	// mu (the step loop, the SIGHUP branch and the HTTP handler all
+	// serialize through it).
+	var reloads int64
+	propose := func(now time.Duration, raw []byte) error {
+		var pc policyConfig
+		if err := json.Unmarshal(raw, &pc); err != nil {
+			return fmt.Errorf("parse policy: %w", err)
+		}
+		if len(pc.Priorities) == 0 {
+			return errors.New("policy has no priorities")
+		}
+		reloads++
+		return canary.Propose(now, fmt.Sprintf("reload-%d", reloads), buildPolicy(pc.Priorities), raw)
+	}
 
 	var rec *reconcile.Reconciler
 	if *reconcileInterval > 0 && !willReconcile {
@@ -277,7 +444,11 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	// handlers.
 	var mu sync.Mutex
 	if *introspect != "" {
-		srv, err := startIntrospection(*introspect, &mu, mw, trail, rec, state)
+		srv, err := startIntrospection(*introspect, introspectionDeps{
+			mu: &mu, mw: mw, trail: trail, rec: rec, state: state,
+			canary: canary, wd: wd,
+			propose: func(raw []byte) error { return propose(time.Since(start), raw) },
+		})
 		if err != nil {
 			return fmt.Errorf("introspection: %w", err)
 		}
@@ -331,6 +502,35 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 
 	fmt.Fprintf(stderr, "lachesisd: %d entities, translator %s, period %v, dry-run=%v\n",
 		len(drv.entities), tr.Name(), period, *dryRun)
+	// reloadFromFile re-reads the config file and stages its priorities as
+	// a canary candidate (the SIGHUP path).
+	reloadFromFile := func() {
+		raw, err := os.ReadFile(*configPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "lachesisd: reload:", err)
+			return
+		}
+		var fresh daemonConfig
+		if err := json.Unmarshal(raw, &fresh); err != nil {
+			fmt.Fprintln(stderr, "lachesisd: reload: parse config:", err)
+			return
+		}
+		payload, err := json.Marshal(policyConfig{Priorities: fresh.Priorities})
+		if err != nil {
+			fmt.Fprintln(stderr, "lachesisd: reload:", err)
+			return
+		}
+		mu.Lock()
+		err = propose(time.Since(start), payload)
+		mu.Unlock()
+		if err != nil {
+			fmt.Fprintln(stderr, "lachesisd: reload:", err)
+			return
+		}
+		fmt.Fprintf(stderr, "lachesisd: reload: proposed %d priorities as canary candidate\n",
+			len(fresh.Priorities))
+	}
+
 	interrupted := false
 loop:
 	// Errors do not stop the loop: the middleware's resilience layer
@@ -338,7 +538,12 @@ loop:
 	// period until the binding recovers or the daemon is told to stop.
 	for i := 0; *iterations == 0 || i < *iterations; i++ {
 		mu.Lock()
-		stats, err := mw.Step(time.Since(start))
+		now := time.Since(start)
+		stats, err := mw.Step(now)
+		if wd != nil {
+			wd.CycleDone(now)
+		}
+		canary.Tick(now)
 		mu.Unlock()
 		if err != nil {
 			fmt.Fprintln(stderr, "lachesisd: step:", err)
@@ -347,12 +552,22 @@ loop:
 			break
 		}
 		timer := time.NewTimer(time.Until(start.Add(stats.Next)))
-		select {
-		case <-sigs:
-			timer.Stop()
-			interrupted = true
-			break loop
-		case <-timer.C:
+		waiting := true
+		for waiting {
+			select {
+			case sig := <-sigs:
+				if sig == syscall.SIGHUP {
+					// Hot reload: stage the config file's current
+					// priorities through the canary and keep running.
+					reloadFromFile()
+					continue
+				}
+				timer.Stop()
+				interrupted = true
+				break loop
+			case <-timer.C:
+				waiting = false
+			}
 		}
 	}
 

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 )
 
@@ -177,5 +178,109 @@ func TestReconcileRequiresObservableSystem(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "reconciliation disabled") {
 		t.Errorf("stderr = %q", errOut.String())
+	}
+}
+
+const invertedConfig = `{
+  "periodMillis": 100,
+  "cgroupRoot": "/cg/lachesis",
+  "translator": "nice",
+  "entities": [
+    {"name": "q.count.0", "query": "q", "tid": 4242, "logical": ["count"]},
+    {"name": "q.toll.0",  "query": "q", "tid": 4243, "logical": ["toll"]}
+  ],
+  "priorities": {"count": 1, "toll": 10}
+}`
+
+// TestSIGHUPHotReloadPromotesAndPersists walks the full guarded-rollout
+// life cycle: a first run seeds the config priorities as last-good; a
+// SIGHUP during the second run stages the (rewritten) config file's
+// inverted priorities as a canary candidate, which a clean window
+// promotes and persists; a third run enforces the promoted policy from
+// the state directory even though its config file still says otherwise.
+func TestSIGHUPHotReloadPromotesAndPersists(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "config.json")
+	statePath := filepath.Join(dir, "state")
+	if err := os.WriteFile(cfgPath, []byte(validConfig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run 1: seed last-good with the config's priorities.
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-config", cfgPath, "-state", statePath, "-iterations", "1"},
+		&out, &errOut, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "renice tid=4242 nice=-20") {
+		t.Fatalf("run 1 did not enforce the config priorities:\n%s", out.String())
+	}
+
+	// Run 2: the config file now inverts the priorities; a queued SIGHUP
+	// stages them. With no guard violations the default 5-cycle window
+	// promotes, so later iterations renice the inverted way.
+	if err := os.WriteFile(cfgPath, []byte(invertedConfig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sigs := make(chan os.Signal, 1)
+	sigs <- syscall.SIGHUP
+	out.Reset()
+	errOut.Reset()
+	if err := run([]string{"-config", cfgPath, "-state", statePath, "-iterations", "10"},
+		&out, &errOut, sigs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "loaded last-good policy") {
+		t.Errorf("run 2 did not start from last-good:\n%s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "proposed 2 priorities as canary candidate") {
+		t.Errorf("SIGHUP did not stage the candidate:\n%s", errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "renice tid=4242 nice=-20") {
+		t.Errorf("run 2 did not start on the stable policy:\n%s", s)
+	}
+	if !strings.Contains(s, "renice tid=4242 nice=19") || !strings.Contains(s, "renice tid=4243 nice=-20") {
+		t.Errorf("promoted candidate never enforced:\n%s", s)
+	}
+
+	// Run 3: config still inverted on disk, but the point is the state
+	// directory — the promoted policy must be the one loaded and applied.
+	if err := os.WriteFile(cfgPath, []byte(validConfig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if err := run([]string{"-config", cfgPath, "-state", statePath, "-iterations", "1"},
+		&out, &errOut, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "loaded last-good policy") {
+		t.Errorf("run 3 did not load last-good:\n%s", errOut.String())
+	}
+	if !strings.Contains(out.String(), "renice tid=4242 nice=19") {
+		t.Errorf("run 3 did not enforce the promoted policy:\n%s", out.String())
+	}
+}
+
+// TestGuardBlocksOutOfBoundsBatch: with a guard section narrowing the
+// nice range, the configured policy's full-range output violates the
+// nice-bounds invariant and the batch never reaches the OS.
+func TestGuardBlocksOutOfBoundsBatch(t *testing.T) {
+	guarded := strings.Replace(validConfig, `"priorities"`,
+		`"guard": {"niceMin": -10, "niceMax": 10}, "priorities"`, 1)
+	cfg := writeConfig(t, guarded)
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-config", cfg, "-iterations", "1"}, &out, &errOut, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "renice") {
+		t.Errorf("guard let an out-of-bounds batch through:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "nice-bounds") {
+		t.Errorf("stderr carries no nice-bounds violation:\n%s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "guard(nice[-10,10]") {
+		t.Errorf("guard invariants not logged:\n%s", errOut.String())
 	}
 }

@@ -26,6 +26,15 @@ const (
 	// event records the reconciler's corrective re-apply.
 	AuditKindDrift  = "drift"
 	AuditKindRepair = "repair"
+	// Guardrail kinds: a guard event records an invariant violation that
+	// blocked a translated batch; a watchdog event records a cancelled
+	// phase overrun; a canary event records a rollout decision
+	// (proposed/promoted/rolled-back); a clamp event records a policy
+	// output silently clamped into the valid nice range.
+	AuditKindGuard    = "guard"
+	AuditKindWatchdog = "watchdog"
+	AuditKindCanary   = "canary"
+	AuditKindClamp    = "clamp"
 )
 
 // AuditOutcomeOK marks a successful event; other outcomes carry breaker

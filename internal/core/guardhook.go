@@ -1,0 +1,159 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Decision-cycle phase names, as reported to a StepWatchdog. They match
+// the pipeline of Algorithm 1: metric fetch, policy schedule, translator
+// apply.
+const (
+	PhaseFetch    = "fetch"
+	PhaseSchedule = "schedule"
+	PhaseApply    = "apply"
+)
+
+// ErrPhaseDeadline reports that a decision-cycle phase exceeded its
+// watchdog deadline and was cancelled. The cancelled cycle issues no
+// control ops: the OS keeps enforcing the coalescer's last-applied
+// mirror.
+var ErrPhaseDeadline = errors.New("core: phase deadline exceeded")
+
+// ErrRunInFlight reports that a binding's previous, deadline-cancelled
+// phase is still executing (the middleware abandoned it but the goroutine
+// has not returned). New runs are refused until it drains, so a stuck
+// policy or translator cannot pile up concurrent executions.
+var ErrRunInFlight = errors.New("core: cancelled run still in flight")
+
+// ApplyGuard brackets one binding's translator apply with batch
+// validation. A guard buffers the control ops the translator emits during
+// an apply and releases them to the OS chain only if the whole batch
+// satisfies its invariants; a violated batch is dropped and FinishApply
+// returns the violation, which the middleware treats like any apply error
+// (it feeds the circuit breaker). internal/guard provides the production
+// implementation; core only defines the bracket so it never depends on
+// the guard package.
+type ApplyGuard interface {
+	// BeginApply opens a validation batch for one binding's apply. view
+	// is the metric view the schedule was computed from (starvation
+	// detection reads queue metrics from it).
+	BeginApply(now time.Duration, binding string, view *View)
+	// FinishApply validates the buffered batch. On success the ops are
+	// forwarded downstream and it returns nil; on violation the batch is
+	// dropped and the violations are returned as an error.
+	FinishApply() error
+	// AbandonApply drops the open batch without validating or forwarding
+	// it, because the apply was cancelled by a watchdog deadline. The
+	// translator goroutine may still be running and writing into the
+	// dead batch; done closes when it has returned, after which the
+	// guard may accept a new batch.
+	AbandonApply(done <-chan struct{})
+}
+
+// StepWatchdog imposes wall-clock deadlines on the phases of a binding's
+// decision cycle. Implementations must be safe for concurrent use: the
+// parallel pipeline reports overruns from worker goroutines.
+// internal/guard provides the production implementation.
+type StepWatchdog interface {
+	// PhaseDeadline returns the deadline for one phase; 0 or negative
+	// disables the deadline for that phase.
+	PhaseDeadline(phase string) time.Duration
+	// PhaseOverrun is called when a phase exceeded its deadline and was
+	// cancelled. scope is the binding label (or driver name for fetch).
+	PhaseOverrun(scope, phase string, deadline time.Duration)
+}
+
+// SetWatchdog installs a decision-cycle watchdog. Schedule deadlines
+// cancel an overrunning policy; apply deadlines additionally require the
+// binding to have a Guard (only a guard's buffering makes cancelling an
+// apply safe: nothing has reached the OS chain yet, so the coalescer's
+// last-applied mirror simply stays in force). nil removes the watchdog.
+// Call before the first Step; the watchdog is read by step goroutines.
+func (m *Middleware) SetWatchdog(wd StepWatchdog) { m.watchdog = wd }
+
+// Watchdog returns the installed step watchdog (nil when none).
+func (m *Middleware) Watchdog() StepWatchdog { return m.watchdog }
+
+// phaseDeadline returns the watchdog deadline for one phase, or 0 when no
+// watchdog is installed or the phase is unbounded.
+func (m *Middleware) phaseDeadline(phase string) time.Duration {
+	if m.watchdog == nil {
+		return 0
+	}
+	if d := m.watchdog.PhaseDeadline(phase); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// overrun reports a phase overrun to the watchdog and the audit trail.
+func (m *Middleware) overrun(now time.Duration, bp *boundPolicy, phase string, deadline time.Duration) {
+	m.watchdog.PhaseOverrun(bp.label, phase, deadline)
+	m.auditRecord(AuditEvent{
+		At: now, Kind: AuditKindWatchdog, Policy: bp.Policy.Name(),
+		Translator: bp.Translator.Name(),
+		Outcome:    fmt.Sprintf("%s deadline %v exceeded; cycle cancelled", phase, deadline),
+	})
+}
+
+// scheduleBounded runs the policy under a watchdog deadline. On overrun
+// the cycle is cancelled: the abandoned goroutine keeps running (policies
+// only read the view, so it cannot corrupt OS state) and the binding
+// refuses new runs until it drains.
+func (m *Middleware) scheduleBounded(now time.Duration, bp *boundPolicy, view *View, deadline time.Duration) (Schedule, error) {
+	if deadline <= 0 {
+		return m.safeSchedule(bp.Policy, view)
+	}
+	type schedOut struct {
+		sched Schedule
+		err   error
+	}
+	done := make(chan schedOut, 1)
+	go func() {
+		s, err := m.safeSchedule(bp.Policy, view)
+		done <- schedOut{s, err}
+	}()
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	select {
+	case o := <-done:
+		return o.sched, o.err
+	case <-timer.C:
+		bp.inflight.Store(true)
+		go func() {
+			<-done
+			bp.inflight.Store(false)
+		}()
+		m.overrun(now, bp, PhaseSchedule, deadline)
+		return Schedule{}, fmt.Errorf("%w: %s of %s after %v", ErrPhaseDeadline, PhaseSchedule, bp.label, deadline)
+	}
+}
+
+// applyBounded runs the translator under a watchdog deadline. Callers
+// guarantee bp.Guard != nil: the guard is buffering every control op, so
+// on overrun nothing has reached the OS chain — AbandonApply drops the
+// dead batch once the abandoned goroutine returns, and the coalescer's
+// last-applied mirror stays in force.
+func (m *Middleware) applyBounded(now time.Duration, bp *boundPolicy, sched Schedule, ents map[string]Entity, deadline time.Duration) error {
+	done := make(chan error, 1)
+	go func() { done <- m.safeApply(bp.Translator, sched, ents) }()
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-timer.C:
+		bp.inflight.Store(true)
+		release := make(chan struct{})
+		go func() {
+			<-done
+			close(release)
+			bp.inflight.Store(false)
+		}()
+		bp.Guard.AbandonApply(release)
+		m.overrun(now, bp, PhaseApply, deadline)
+		return fmt.Errorf("%w: %s of %s after %v", ErrPhaseDeadline, PhaseApply, bp.label, deadline)
+	}
+}

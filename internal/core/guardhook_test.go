@@ -1,0 +1,432 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lachesis/internal/telemetry"
+)
+
+// overlapOS wraps fakeOS and records the maximum number of concurrently
+// executing control ops, to prove that parallel apply workers serialize
+// through the DriverGate.
+type overlapOS struct {
+	mu     sync.Mutex
+	inner  *fakeOS
+	cur    int32
+	max    int32
+	writes int
+	dwell  time.Duration
+}
+
+var _ OSInterface = (*overlapOS)(nil)
+
+func (o *overlapOS) enter() {
+	cur := atomic.AddInt32(&o.cur, 1)
+	for {
+		max := atomic.LoadInt32(&o.max)
+		if cur <= max || atomic.CompareAndSwapInt32(&o.max, max, cur) {
+			break
+		}
+	}
+	// Dwell outside any lock: widen the window in which a second,
+	// unserialized writer would be observed.
+	time.Sleep(o.dwell)
+}
+func (o *overlapOS) exit() { atomic.AddInt32(&o.cur, -1) }
+
+func (o *overlapOS) SetNice(tid, nice int) error {
+	o.enter()
+	defer o.exit()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.writes++
+	return o.inner.SetNice(tid, nice)
+}
+func (o *overlapOS) EnsureCgroup(name string) error {
+	o.enter()
+	defer o.exit()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.inner.EnsureCgroup(name)
+}
+func (o *overlapOS) SetShares(name string, shares int) error {
+	o.enter()
+	defer o.exit()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.inner.SetShares(name, shares)
+}
+func (o *overlapOS) MoveThread(tid int, name string) error {
+	o.enter()
+	defer o.exit()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.inner.MoveThread(tid, name)
+}
+
+// togglePolicy wraps QSPolicy and fails on demand, to drive a binding's
+// breaker through open -> half-open.
+type togglePolicy struct {
+	QSPolicy
+	fail atomic.Bool
+}
+
+func (p *togglePolicy) Schedule(view *View) (Schedule, error) {
+	if p.fail.Load() {
+		return Schedule{}, errors.New("induced failure")
+	}
+	return p.QSPolicy.Schedule(view)
+}
+
+// TestHalfOpenProbeSerializesThroughDriverGate is the regression test for
+// the breaker/parallel-apply interaction: a half-open probe is an apply
+// like any other and must take the binding's driver locks, so it cannot
+// interleave control ops with healthy bindings sharing the driver. Run
+// with -race; the overlapOS additionally asserts mutual exclusion.
+func TestHalfOpenProbeSerializesThroughDriverGate(t *testing.T) {
+	shared := &fakeDriver{
+		name:     "spe",
+		provided: map[string]EntityValues{MetricQueueSize: {"a": 5, "b": 1}},
+		entities: []Entity{
+			{Name: "a", Driver: "spe", Query: "q", Thread: 1},
+			{Name: "b", Driver: "spe", Query: "q", Thread: 2},
+		},
+	}
+	os := &overlapOS{inner: newFakeOS(), dwell: 2 * time.Millisecond}
+	mw := NewMiddleware(nil)
+	mw.SetResilience(Resilience{FailureThreshold: 1})
+	mw.SetWriteGate(NewDriverGate())
+
+	probe := &togglePolicy{QSPolicy: NewQSPolicy()}
+	pols := []Policy{probe, NewQSPolicy(), NewQSPolicy(), NewQSPolicy()}
+	for _, p := range pols {
+		if err := mw.Bind(Binding{
+			Policy: p, Translator: NewNiceTranslator(os),
+			Drivers: []Driver{shared}, Period: time.Second,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// t=0: the probe binding fails once; threshold 1 opens its breaker.
+	probe.fail.Store(true)
+	if _, err := mw.Step(0); err == nil {
+		t.Fatal("induced failure did not surface")
+	}
+	if st := mw.Health().Bindings[0].State; st != BindingQuarantined {
+		t.Fatalf("state after failure = %v, want quarantined", st)
+	}
+	probe.fail.Store(false)
+
+	// t=1s: the half-open probe runs in the same worker pool as the three
+	// healthy bindings. All four share one driver, so the gate must fully
+	// serialize their applies.
+	if _, err := mw.Step(time.Second); err != nil {
+		t.Fatalf("probe step: %v", err)
+	}
+	if st := mw.Health().Bindings[0].State; st != BindingHealthy {
+		t.Fatalf("state after successful probe = %v, want healthy", st)
+	}
+	if got := atomic.LoadInt32(&os.max); got != 1 {
+		t.Fatalf("max concurrent control ops = %d, want 1 (gate must serialize)", got)
+	}
+	os.mu.Lock()
+	writes := os.writes
+	os.mu.Unlock()
+	if writes == 0 {
+		t.Fatal("no control ops issued")
+	}
+}
+
+// recordingWatchdog is a minimal StepWatchdog for core-side tests.
+type recordingWatchdog struct {
+	mu        sync.Mutex
+	deadlines map[string]time.Duration
+	overruns  []string // "scope/phase"
+}
+
+var _ StepWatchdog = (*recordingWatchdog)(nil)
+
+func (w *recordingWatchdog) PhaseDeadline(phase string) time.Duration {
+	return w.deadlines[phase]
+}
+func (w *recordingWatchdog) PhaseOverrun(scope, phase string, _ time.Duration) {
+	w.mu.Lock()
+	w.overruns = append(w.overruns, scope+"/"+phase)
+	w.mu.Unlock()
+}
+func (w *recordingWatchdog) count() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.overruns)
+}
+
+// stallPolicy blocks its first Schedule call until released.
+type stallPolicy struct {
+	QSPolicy
+	calls   atomic.Int32
+	release chan struct{}
+}
+
+func (p *stallPolicy) Schedule(view *View) (Schedule, error) {
+	if p.calls.Add(1) == 1 {
+		<-p.release
+	}
+	return p.QSPolicy.Schedule(view)
+}
+
+func TestWatchdogScheduleDeadlineCancelsCycle(t *testing.T) {
+	d := upDriver("spe", 1)
+	trail := NewAuditTrail(16, nil)
+	wd := &recordingWatchdog{deadlines: map[string]time.Duration{PhaseSchedule: 5 * time.Millisecond}}
+	pol := &stallPolicy{QSPolicy: NewQSPolicy(), release: make(chan struct{})}
+	mw := NewMiddleware(nil)
+	mw.SetResilience(Resilience{FailureThreshold: 100})
+	mw.SetAudit(trail)
+	mw.SetWatchdog(wd)
+	if err := mw.Bind(Binding{
+		Policy: pol, Translator: NewNiceTranslator(newFakeOS()),
+		Drivers: []Driver{d}, Period: time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// t=0: the policy stalls; the watchdog cancels the schedule phase.
+	_, err := mw.Step(0)
+	if !errors.Is(err, ErrPhaseDeadline) {
+		t.Fatalf("stalled schedule: err = %v, want ErrPhaseDeadline", err)
+	}
+	if wd.count() != 1 {
+		t.Fatalf("overruns = %d, want 1", wd.count())
+	}
+
+	// t=1s: the abandoned goroutine is still blocked; the binding must
+	// refuse to start a second concurrent run.
+	_, err = mw.Step(time.Second)
+	if !errors.Is(err, ErrRunInFlight) {
+		t.Fatalf("while stalled: err = %v, want ErrRunInFlight", err)
+	}
+
+	// Release the stalled goroutine and wait for the in-flight flag to
+	// clear, then the binding runs normally again (virtual time advances
+	// so the binding stays due each retry).
+	close(pol.release)
+	deadline := time.Now().Add(5 * time.Second)
+	for now := 2 * time.Second; ; now += time.Second {
+		_, err = mw.Step(now)
+		if err == nil && pol.calls.Load() >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("binding never drained: calls=%d err=%v", pol.calls.Load(), err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	found := false
+	for _, ev := range trail.Last(16) {
+		if ev.Kind == AuditKindWatchdog {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no watchdog audit event recorded")
+	}
+}
+
+// bufferGuard is a minimal ApplyGuard for core tests: it buffers SetNice
+// ops while a batch is open, forwards them on FinishApply, and drops the
+// batch on AbandonApply once the stale writer drains.
+type bufferGuard struct {
+	mu        sync.Mutex
+	inner     OSInterface
+	open      bool
+	batch     []func() error
+	abandoned atomic.Int32
+}
+
+var _ OSInterface = (*bufferGuard)(nil)
+var _ ApplyGuard = (*bufferGuard)(nil)
+
+func (g *bufferGuard) BeginApply(_ time.Duration, _ string, _ *View) {
+	g.mu.Lock()
+	g.open = true
+	g.batch = nil
+	g.mu.Unlock()
+}
+func (g *bufferGuard) FinishApply() error {
+	g.mu.Lock()
+	ops := g.batch
+	g.batch = nil
+	g.open = false
+	g.mu.Unlock()
+	for _, op := range ops {
+		if err := op(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+func (g *bufferGuard) AbandonApply(done <-chan struct{}) {
+	g.abandoned.Add(1)
+	go func() {
+		<-done
+		g.mu.Lock()
+		g.batch = nil
+		g.open = false
+		g.mu.Unlock()
+	}()
+}
+func (g *bufferGuard) SetNice(tid, nice int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.open {
+		g.batch = append(g.batch, func() error { return g.inner.SetNice(tid, nice) })
+		return nil
+	}
+	return g.inner.SetNice(tid, nice)
+}
+func (g *bufferGuard) EnsureCgroup(name string) error     { return g.inner.EnsureCgroup(name) }
+func (g *bufferGuard) SetShares(name string, s int) error { return g.inner.SetShares(name, s) }
+func (g *bufferGuard) MoveThread(tid int, n string) error { return g.inner.MoveThread(tid, n) }
+
+// stallTranslator writes one op, then blocks until released, then writes
+// another — modeling a translator stuck mid-apply.
+type stallTranslator struct {
+	os      OSInterface
+	calls   atomic.Int32
+	release chan struct{}
+}
+
+func (t *stallTranslator) Name() string { return "stall" }
+func (t *stallTranslator) Apply(sched Schedule, ents map[string]Entity) error {
+	if t.calls.Add(1) == 1 {
+		if err := t.os.SetNice(1, -10); err != nil {
+			return err
+		}
+		<-t.release
+		return t.os.SetNice(2, -10) // stale write into the dead batch
+	}
+	for _, e := range ents {
+		if e.Thread > 0 {
+			if err := t.os.SetNice(e.Thread, 0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func TestWatchdogApplyDeadlineKeepsKernelUntouched(t *testing.T) {
+	d := upDriver("spe", 1)
+	kernel := newFakeOS()
+	g := &bufferGuard{inner: kernel}
+	wd := &recordingWatchdog{deadlines: map[string]time.Duration{PhaseApply: 5 * time.Millisecond}}
+	tr := &stallTranslator{os: g, release: make(chan struct{})}
+	mw := NewMiddleware(nil)
+	mw.SetResilience(Resilience{FailureThreshold: 100})
+	mw.SetWatchdog(wd)
+	if err := mw.Bind(Binding{
+		Policy: NewQSPolicy(), Translator: tr,
+		Drivers: []Driver{d}, Period: time.Second, Guard: g,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// t=0: the translator stalls mid-apply; the watchdog cancels. The
+	// guard was buffering, so nothing may have reached the kernel.
+	_, err := mw.Step(0)
+	if !errors.Is(err, ErrPhaseDeadline) {
+		t.Fatalf("stalled apply: err = %v, want ErrPhaseDeadline", err)
+	}
+	if g.abandoned.Load() != 1 {
+		t.Fatalf("AbandonApply calls = %d, want 1", g.abandoned.Load())
+	}
+	if len(kernel.nices) != 0 {
+		t.Fatalf("cancelled apply leaked ops to the kernel: %v", kernel.nices)
+	}
+
+	// Release the stale writer: its late op lands in the dead batch and
+	// is dropped, never reaching the kernel.
+	close(tr.release)
+	deadline := time.Now().Add(5 * time.Second)
+	for now := 2 * time.Second; ; now += time.Second {
+		_, err = mw.Step(now)
+		if err == nil && tr.calls.Load() >= 2 {
+			break
+		}
+		if err != nil && !errors.Is(err, ErrRunInFlight) {
+			t.Fatalf("unexpected error while draining: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("binding never drained: calls=%d err=%v", tr.calls.Load(), err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	g.mu.Lock()
+	nices := make(map[int]int, len(kernel.nices))
+	for k, v := range kernel.nices {
+		nices[k] = v
+	}
+	g.mu.Unlock()
+	if nices[2] == -10 {
+		t.Fatal("stale write from the cancelled apply reached the kernel")
+	}
+	if got, ok := nices[1]; !ok || got != 0 {
+		t.Fatalf("recovered cycle did not apply: nices = %v", nices)
+	}
+}
+
+func TestNormalizeToNiceObservedReportsGarbage(t *testing.T) {
+	var clamps []string
+	obs := func(entity string, raw float64, clamped int) {
+		clamps = append(clamps, entity)
+		if clamped < -20 || clamped > 19 {
+			t.Errorf("clamped value %d for %s out of nice range", clamped, entity)
+		}
+	}
+	out := NormalizeToNiceObserved(map[string]float64{
+		"ok": 5, "mid": 1, "bad": math.NaN(),
+	}, ScaleLinear, obs)
+	if len(out) != 3 {
+		t.Fatalf("outputs = %v", out)
+	}
+	if len(clamps) != 1 || clamps[0] != "bad" {
+		t.Fatalf("clamp reports = %v, want [bad]", clamps)
+	}
+
+	// Well-formed inputs never fire the observer.
+	clamps = nil
+	NormalizeToNiceObserved(map[string]float64{"a": 100, "b": 1}, ScaleLog, obs)
+	if len(clamps) != 0 {
+		t.Fatalf("in-range normalization reported clamps: %v", clamps)
+	}
+}
+
+func TestClampRecorderCountsAndAudits(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	trail := NewAuditTrail(8, nil)
+	tr := NewNiceTranslator(newFakeOS())
+	tr.ObserveClamps(ClampRecorder(reg, trail, "b0"))
+	ents := map[string]Entity{"a": {Name: "a", Thread: 1}}
+	err := tr.Apply(Schedule{Scale: ScaleLinear, Single: map[string]float64{"a": math.NaN()}}, ents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := reg.Counter(MetricPolicyClampedTotal, telemetry.L("binding", "b0"))
+	if ctr.Value() != 1 {
+		t.Fatalf("clamp counter = %d, want 1", ctr.Value())
+	}
+	evs := trail.Last(8)
+	if len(evs) != 1 || evs[0].Kind != AuditKindClamp || evs[0].Entity != "a" {
+		t.Fatalf("audit events = %+v", evs)
+	}
+	if evs[0].NewNice == nil {
+		t.Fatal("clamp audit event missing NewNice")
+	}
+}

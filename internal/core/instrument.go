@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"lachesis/internal/telemetry"
@@ -23,6 +24,7 @@ const (
 	MetricFetchSeconds       = "lachesis_fetch_seconds"
 	MetricFetchFailuresTotal = "lachesis_fetch_failures_total"
 	MetricFetchStaleTotal    = "lachesis_fetch_stale_total"
+	MetricPolicyClampedTotal = "lachesis_policy_clamped_total"
 )
 
 // mwInstruments caches the middleware-global instrument pointers so the
@@ -108,6 +110,30 @@ func (ds *driverState) resolve(tel *telemetry.Registry, name string) {
 	ds.hFetch = tel.Histogram(MetricFetchSeconds, l)
 	ds.ctrFailures = tel.Counter(MetricFetchFailuresTotal, l)
 	ds.ctrStale = tel.Counter(MetricFetchStaleTotal, l)
+}
+
+// ClampRecorder builds the standard clamp observer for a binding: each
+// clamped policy output increments lachesis_policy_clamped_total{binding}
+// and records a clamp audit event naming the entity, the raw value, and
+// the nice actually used. reg and trail may each be nil to skip that
+// sink. Install it with NiceTranslator.ObserveClamps.
+func ClampRecorder(reg *telemetry.Registry, trail *AuditTrail, binding string) ClampObserver {
+	var ctr *telemetry.Counter
+	if reg != nil {
+		ctr = reg.Counter(MetricPolicyClampedTotal, telemetry.L("binding", binding))
+	}
+	return func(entity string, raw float64, clamped int) {
+		if ctr != nil {
+			ctr.Inc()
+		}
+		if trail != nil {
+			n := clamped
+			trail.Record(AuditEvent{
+				Kind: AuditKindClamp, Entity: entity, NewNice: &n,
+				Outcome: fmt.Sprintf("policy output %g clamped to nice %d", raw, clamped),
+			})
+		}
+	}
 }
 
 // auditRecord records an event when auditing is enabled.

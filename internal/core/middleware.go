@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lachesis/internal/telemetry"
@@ -34,6 +35,12 @@ type Binding struct {
 	// issued grouped per cgroup. One Coalescer per binding; sharing one
 	// across bindings would interleave their batches.
 	Coalescer *Coalescer
+	// Guard optionally validates each translated batch against declared
+	// invariants before it reaches the OS chain (see ApplyGuard and
+	// internal/guard). The guard must be the same instance the binding's
+	// Translator writes through, and sits above the Coalescer:
+	// translator -> guard -> coalescer -> backend. One Guard per binding.
+	Guard ApplyGuard
 }
 
 // DegradedAction selects what a binding does when its circuit breaker
@@ -193,9 +200,10 @@ type Middleware struct {
 	// Self-telemetry: every middleware carries a registry; the lifetime
 	// counters (policy runs, apply errors, panics) live in it so the
 	// legacy accessors and the exported metrics cannot drift apart.
-	tel   *telemetry.Registry
-	ins   mwInstruments
-	audit *AuditTrail
+	tel      *telemetry.Registry
+	ins      mwInstruments
+	audit    *AuditTrail
+	watchdog StepWatchdog
 	// nowFn supplies wall-clock time for duration measurements (virtual
 	// step time never measures the middleware's own cost). Tests may
 	// replace it.
@@ -222,6 +230,10 @@ type boundPolicy struct {
 	haveSuccess  bool
 	lastErr      error
 	lastEntities map[string]Entity // last successfully scheduled entities
+
+	// inflight marks a deadline-cancelled phase whose goroutine has not
+	// returned yet; runs are refused until it drains (see guardhook.go).
+	inflight atomic.Bool
 
 	// Cached instruments (see instrument.go).
 	tel            *telemetry.Registry
@@ -499,8 +511,16 @@ func (m *Middleware) stepStrict(now time.Duration, due []*boundPolicy, stats *St
 			continue
 		}
 		done := m.auditApplyCtx(now, bp, view.Entities)
+		if bp.Guard != nil {
+			bp.Guard.BeginApply(now, bp.label, view)
+		}
 		t0 = m.nowFn()
 		aerr := bp.Translator.Apply(sched, view.Entities)
+		if bp.Guard != nil {
+			// The strict loop still validates batches; without
+			// FinishApply the guard would swallow every buffered op.
+			aerr = errors.Join(aerr, bp.Guard.FinishApply())
+		}
 		bst.Apply = m.nowFn().Sub(t0)
 		done()
 		bp.hApply.Observe(bst.Apply)

@@ -25,6 +25,21 @@ var log125 = math.Log(1.25)
 // distinct nice values. For linear priorities it min-max-normalizes and
 // discretizes into the nice range.
 func NormalizeToNice(priorities map[string]float64, scale Scale) map[string]int {
+	return NormalizeToNiceObserved(priorities, scale, nil)
+}
+
+// ClampObserver is notified of each policy output that had to be clamped
+// into the valid nice range: entity names the operator, raw is the
+// pre-clamp value, clamped the nice value actually used. NiceTranslator
+// wires an observer that records an audit event and counts
+// lachesis_policy_clamped_total, so silently-corrected policy bugs stay
+// attributable.
+type ClampObserver func(entity string, raw float64, clamped int)
+
+// NormalizeToNiceObserved is NormalizeToNice with clamp observation:
+// every output that falls outside [-20, 19] before clamping (including
+// NaN/Inf garbage, which clamps to the weakest nice) is reported to obs.
+func NormalizeToNiceObserved(priorities map[string]float64, scale Scale, obs ClampObserver) map[string]int {
 	out := make(map[string]int, len(priorities))
 	if len(priorities) == 0 {
 		return out
@@ -48,18 +63,45 @@ func NormalizeToNice(priorities map[string]float64, scale Scale) map[string]int 
 		}
 		if fits {
 			for e, f := range raw {
-				out[e] = clampNice(int(math.Round(f)))
+				out[e] = clampNiceObserved(e, f, obs)
 			}
 			return out
 		}
 		// Spread too large for 40 nice values: min-max the log-domain
 		// values into the range (the paper's "additional min-max
 		// normalization might still be required").
-		return minMaxToRange(raw, float64(niceMin), float64(niceMax), false)
+		return clampRange(minMaxToRangeF(raw, float64(niceMin), float64(niceMax), false), obs)
 	default: // ScaleLinear
 		// Higher priority -> lower nice: invert during min-max.
-		return minMaxToRange(priorities, float64(niceMin), float64(niceMax), true)
+		return clampRange(minMaxToRangeF(priorities, float64(niceMin), float64(niceMax), true), obs)
 	}
+}
+
+// clampRange clamps the min-max outputs into the nice range, reporting
+// every correction. In-range inputs always round in-range; only garbage
+// (NaN/Inf priorities surviving min-max) lands here out of range.
+func clampRange(in map[string]float64, obs ClampObserver) map[string]int {
+	out := make(map[string]int, len(in))
+	for e, f := range in {
+		out[e] = clampNiceObserved(e, f, obs)
+	}
+	return out
+}
+
+// clampNiceObserved clamps one raw nice value and reports the correction
+// when the value was out of range. NaN (a garbage policy output) clamps
+// to the weakest nice rather than relying on the platform-defined
+// float-to-int conversion, which would hand the broken operator the
+// strongest priority.
+func clampNiceObserved(entity string, f float64, obs ClampObserver) int {
+	n := clampNice(int(math.Round(f)))
+	if math.IsNaN(f) {
+		n = niceMax
+	}
+	if obs != nil && (math.IsNaN(f) || f < float64(niceMin)-0.5 || f > float64(niceMax)+0.5) {
+		obs(entity, f, n)
+	}
+	return n
 }
 
 // NormalizeToShares converts group priorities into cgroup cpu.shares in
@@ -103,26 +145,45 @@ func shiftPositive(in map[string]float64) map[string]float64 {
 // Equal inputs map to the middle of the range.
 func minMaxToRange(in map[string]float64, lo, hi float64, invert bool) map[string]int {
 	out := make(map[string]int, len(in))
+	for e, v := range minMaxToRangeF(in, lo, hi, invert) {
+		out[e] = int(math.Round(v))
+	}
+	return out
+}
+
+// minMaxToRangeF is minMaxToRange before rounding: callers that need to
+// detect garbage inputs (NaN propagates through min-max) inspect the raw
+// values before discretizing.
+func minMaxToRangeF(in map[string]float64, lo, hi float64, invert bool) map[string]float64 {
+	out := make(map[string]float64, len(in))
+	// NaN inputs are excluded from the min/max so one garbage value
+	// cannot poison the span; they propagate as NaN outputs for the
+	// clamp observer to attribute.
 	min, max := math.Inf(1), math.Inf(-1)
 	for _, v := range in {
+		if math.IsNaN(v) {
+			continue
+		}
 		min = math.Min(min, v)
 		max = math.Max(max, v)
 	}
 	span := max - min
 	for e, v := range in {
+		if math.IsNaN(v) {
+			out[e] = v
+			continue
+		}
 		var frac float64 // 0 = weakest, 1 = strongest
 		if span > 0 {
 			frac = (v - min) / span
 		} else {
 			frac = 0.5
 		}
-		var val float64
 		if invert {
-			val = hi - frac*(hi-lo)
+			out[e] = hi - frac*(hi-lo)
 		} else {
-			val = lo + frac*(hi-lo)
+			out[e] = lo + frac*(hi-lo)
 		}
-		out[e] = int(math.Round(val))
 	}
 	return out
 }

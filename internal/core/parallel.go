@@ -120,6 +120,11 @@ type fetchOut struct {
 // after the configured timeout.
 func (m *Middleware) fetchOne(now time.Duration, d Driver) (map[string]EntityValues, error) {
 	timeout := m.par.FetchTimeout
+	if timeout <= 0 {
+		// An installed watchdog bounds fetches even when no explicit
+		// fetch timeout is configured.
+		timeout = m.phaseDeadline(PhaseFetch)
+	}
 	if m.par.Disabled || timeout <= 0 {
 		return m.provider.UpdateOne(now, d)
 	}
@@ -134,6 +139,9 @@ func (m *Middleware) fetchOne(now time.Duration, d Driver) (map[string]EntityVal
 	case r := <-done:
 		return r.vals, r.err
 	case <-timer.C:
+		if m.watchdog != nil {
+			m.watchdog.PhaseOverrun(d.Name(), PhaseFetch, timeout)
+		}
 		return nil, fmt.Errorf("driver %s: %w after %v", d.Name(), ErrFetchTimeout, timeout)
 	}
 }
@@ -339,8 +347,19 @@ func (m *Middleware) runBinding(now time.Duration, bp *boundPolicy, values Value
 		Translator: bp.Translator.Name(),
 		Entities:   len(view.Entities),
 	}
+	if bp.inflight.Load() {
+		// A previous deadline-cancelled phase is still executing; refuse
+		// this run rather than pile a second execution on top of it.
+		err := fmt.Errorf("binding %s: %w", bp.label, ErrRunInFlight)
+		m.ins.applyErrors.Inc()
+		bst.Err = err.Error()
+		out.bst = bst
+		out.errs = append(out.errs, err)
+		m.recordFailure(bp, now, err)
+		return out
+	}
 	t0 := m.nowFn()
-	sched, err := m.safeSchedule(bp.Policy, view)
+	sched, err := m.scheduleBounded(now, bp, view, m.phaseDeadline(PhaseSchedule))
 	bst.Schedule = m.nowFn().Sub(t0)
 	bp.hSchedule.Observe(bst.Schedule)
 	if err != nil {
@@ -360,9 +379,25 @@ func (m *Middleware) runBinding(now time.Duration, bp *boundPolicy, values Value
 	if bp.Coalescer != nil {
 		bp.Coalescer.Begin()
 	}
+	if bp.Guard != nil {
+		bp.Guard.BeginApply(now, bp.label, view)
+	}
 	t0 = m.nowFn()
-	aerr := m.safeApply(bp.Translator, sched, view.Entities)
+	var aerr error
+	// Apply deadlines require a guard: only its buffering makes the
+	// cancellation safe (no op has reached the OS chain yet).
+	if d := m.phaseDeadline(PhaseApply); d > 0 && bp.Guard != nil {
+		aerr = m.applyBounded(now, bp, sched, view.Entities, d)
+	} else {
+		aerr = m.safeApply(bp.Translator, sched, view.Entities)
+	}
+	if bp.Guard != nil && !errors.Is(aerr, ErrPhaseDeadline) {
+		aerr = errors.Join(aerr, bp.Guard.FinishApply())
+	}
 	if bp.Coalescer != nil {
+		// After a timed-out or guard-blocked apply the coalescer batch is
+		// empty (the guard released nothing), so Flush closes it without
+		// kernel writes and the last-applied mirror stays in force.
 		aerr = errors.Join(aerr, bp.Coalescer.Flush())
 	}
 	bst.Apply = m.nowFn().Sub(t0)

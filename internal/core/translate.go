@@ -57,7 +57,8 @@ const (
 // NiceTranslator enforces single-priority schedules by renicing operator
 // threads.
 type NiceTranslator struct {
-	os OSInterface
+	os    OSInterface
+	clamp ClampObserver
 }
 
 var _ Translator = (*NiceTranslator)(nil)
@@ -66,6 +67,12 @@ var _ Translator = (*NiceTranslator)(nil)
 func NewNiceTranslator(os OSInterface) *NiceTranslator {
 	return &NiceTranslator{os: os}
 }
+
+// ObserveClamps installs a clamp observer: every policy output that had
+// to be clamped into the valid nice range during normalization is
+// reported before the (clamped) value is applied. See ClampRecorder for
+// the standard audit + telemetry observer. nil disables observation.
+func (t *NiceTranslator) ObserveClamps(obs ClampObserver) { t.clamp = obs }
 
 // Name implements Translator.
 func (*NiceTranslator) Name() string { return "nice" }
@@ -78,7 +85,7 @@ func (t *NiceTranslator) Apply(sched Schedule, entities map[string]Entity) error
 	if len(sched.Single) == 0 {
 		return errors.New("core: nice translator needs a single-priority schedule")
 	}
-	nices := NormalizeToNice(sched.Single, sched.Scale)
+	nices := NormalizeToNiceObserved(sched.Single, sched.Scale, t.clamp)
 	var errs []error
 	for _, name := range sortedKeys(nices) {
 		ent, ok := entities[name]
@@ -255,6 +262,10 @@ func NewCombinedTranslator(os OSInterface, lo, hi int) *CombinedTranslator {
 		nice:   NewNiceTranslator(os),
 	}
 }
+
+// ObserveClamps installs a clamp observer on the nice half (shares
+// normalization has no fixed kernel range to clamp against).
+func (t *CombinedTranslator) ObserveClamps(obs ClampObserver) { t.nice.ObserveClamps(obs) }
 
 // Name implements Translator.
 func (*CombinedTranslator) Name() string { return "nice+cpu.shares" }

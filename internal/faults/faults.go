@@ -69,8 +69,17 @@ type DriverPlan struct {
 	DropEntityRate float64
 	// Latency is added to every successful Fetch via Sleep, when set.
 	Latency time.Duration
-	// Sleep implements Latency (nil = no-op, keeping virtual-time tests
-	// deterministic; real deployments can pass time.Sleep).
+	// SlowWindows are virtual-time windows during which every successful
+	// Fetch additionally sleeps SlowLatency (wall-clock) — a degraded
+	// metrics endpoint that answers, just slowly. Used to exercise the
+	// watchdog's fetch-deadline path: virtual time selects the window,
+	// the wall-clock sleep trips the deadline.
+	SlowWindows Windows
+	// SlowLatency is the extra delay injected inside SlowWindows.
+	SlowLatency time.Duration
+	// Sleep implements Latency and SlowLatency (nil = no-op, keeping
+	// virtual-time tests deterministic; real deployments can pass
+	// time.Sleep).
 	Sleep func(time.Duration)
 }
 
@@ -144,8 +153,14 @@ func (d *Driver) Fetch(metric string, now time.Duration) (core.EntityValues, err
 	if err != nil {
 		return nil, err
 	}
-	if d.plan.Latency > 0 && d.plan.Sleep != nil {
-		d.plan.Sleep(d.plan.Latency)
+	if d.plan.Sleep != nil {
+		if d.plan.Latency > 0 {
+			d.plan.Sleep(d.plan.Latency)
+		}
+		if d.plan.SlowLatency > 0 && d.plan.SlowWindows.Contains(now) {
+			d.injected++
+			d.plan.Sleep(d.plan.SlowLatency)
+		}
 	}
 	d.frozen[metric] = cloneValues(v)
 	return v, nil
@@ -186,6 +201,17 @@ type OSPlan struct {
 	// VanishedCgroups lists cgroup names whose operations fail with
 	// core.ErrEntityVanished (ENOENT: the group was torn down).
 	VanishedCgroups map[string]bool
+	// Latency is added to every successful control operation via Sleep,
+	// when set (a slow cgroupfs / syscall path).
+	Latency time.Duration
+	// SlowWindows are virtual-time windows (checked against Clock)
+	// during which every control operation additionally sleeps
+	// SlowLatency — exercising the watchdog's apply-deadline path.
+	SlowWindows Windows
+	// SlowLatency is the extra delay injected inside SlowWindows.
+	SlowLatency time.Duration
+	// Sleep implements Latency and SlowLatency (nil = no-op).
+	Sleep func(time.Duration)
 }
 
 // OS wraps a core.OSInterface with the faults of an OSPlan. It forwards
@@ -225,15 +251,32 @@ func (o *OS) VanishThread(tid int) {
 // non-nil error when the operation should fail.
 func (o *OS) inject(op string) error {
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	o.ops++
 	if o.plan.Clock != nil && o.plan.Outages.Contains(o.plan.Clock()) {
 		o.injected++
+		o.mu.Unlock()
 		return fmt.Errorf("%s: OS outage: %w (%w)", op, core.ErrTransient, ErrInjected)
 	}
 	if o.plan.TransientRate > 0 && o.rng.Float64() < o.plan.TransientRate {
 		o.injected++
+		o.mu.Unlock()
 		return fmt.Errorf("%s: resource temporarily unavailable: %w (%w)", op, core.ErrTransient, ErrInjected)
+	}
+	// Latency is applied outside the lock so a slow op does not
+	// serialize concurrent apply workers behind the injector state.
+	var sleep time.Duration
+	if o.plan.Sleep != nil {
+		if o.plan.Latency > 0 {
+			sleep += o.plan.Latency
+		}
+		if o.plan.SlowLatency > 0 && o.plan.Clock != nil && o.plan.SlowWindows.Contains(o.plan.Clock()) {
+			o.injected++
+			sleep += o.plan.SlowLatency
+		}
+	}
+	o.mu.Unlock()
+	if sleep > 0 {
+		o.plan.Sleep(sleep)
 	}
 	return nil
 }

@@ -1,0 +1,354 @@
+package guard
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/reconcile"
+	"lachesis/internal/telemetry"
+)
+
+// staticPolicy schedules fixed priorities.
+type staticPolicy struct {
+	name  string
+	prios map[string]float64
+}
+
+var _ core.Policy = (*staticPolicy)(nil)
+
+func (p *staticPolicy) Name() string      { return p.name }
+func (p *staticPolicy) Metrics() []string { return nil }
+func (p *staticPolicy) Schedule(view *core.View) (core.Schedule, error) {
+	single := make(map[string]float64, len(view.Entities))
+	for name := range view.Entities {
+		single[name] = p.prios[name]
+	}
+	return core.Schedule{Scale: core.ScaleLinear, Single: single}, nil
+}
+
+// memPolicyStore is an in-memory PolicyStore.
+type memPolicyStore struct {
+	saved [][]byte
+}
+
+func (m *memPolicyStore) SaveLastGoodPolicy(b []byte) error {
+	m.saved = append(m.saved, append([]byte(nil), b...))
+	return nil
+}
+func (m *memPolicyStore) LoadLastGoodPolicy() ([]byte, bool, error) {
+	if len(m.saved) == 0 {
+		return nil, false, nil
+	}
+	return m.saved[len(m.saved)-1], true, nil
+}
+
+func testView() *core.View {
+	return core.NewView(0, map[string]core.Entity{"a": {Name: "a", Thread: 1}}, nil)
+}
+
+func TestCanaryPromotesCleanCandidate(t *testing.T) {
+	c := NewCanary(Config{Fraction: 0.5, Window: 3})
+	stable := &staticPolicy{name: "stable", prios: map[string]float64{"a": 1}}
+	candidate := &staticPolicy{name: "cand", prios: map[string]float64{"a": 2}}
+	s1 := c.Slot(stable)
+	s2 := c.Slot(stable)
+	ps := &memPolicyStore{}
+	c.SetPolicyStore(ps)
+	reg := telemetry.NewRegistry()
+	c.SetTelemetry(reg)
+
+	if err := c.Propose(0, "cand", candidate, []byte(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Canarying() || s2.Canarying() {
+		t.Fatalf("expected slot1 canarying, slot2 control: %v %v", s1.Canarying(), s2.Canarying())
+	}
+	if reg.Gauge(MetricCanaryState).Value() != 1 {
+		t.Error("canary state gauge not raised")
+	}
+	// A second proposal during the rollout is refused.
+	if err := c.Propose(0, "other", candidate, nil); err == nil {
+		t.Error("overlapping proposal accepted")
+	}
+
+	for i := 1; i <= 3; i++ {
+		c.Tick(time.Duration(i) * time.Second)
+	}
+	st := c.Status()
+	if st.Active || st.LastDecision != DecisionPromoted {
+		t.Fatalf("expected promotion, got %+v", st)
+	}
+	// Both slots now run the candidate as their stable policy.
+	for _, s := range []*Slot{s1, s2} {
+		if s.Canarying() {
+			t.Error("slot still canarying after promote")
+		}
+		sched, _ := s.Schedule(testView())
+		if sched.Single["a"] != 2 {
+			t.Errorf("slot not running promoted policy: %v", sched.Single)
+		}
+	}
+	// Promotion persisted the candidate config as last-good.
+	got, ok, err := ps.LoadLastGoodPolicy()
+	if err != nil || !ok || string(got) != `{"v":2}` {
+		t.Errorf("last-good not persisted: %q %v %v", got, ok, err)
+	}
+	if reg.Counter(MetricCanaryPromotionsTotal).Value() != 1 {
+		t.Error("promotion counter not incremented")
+	}
+}
+
+func TestCanaryRollsBackOnGuardViolations(t *testing.T) {
+	c := NewCanary(Config{Fraction: 1, Window: 10})
+	stable := &staticPolicy{name: "stable", prios: map[string]float64{"a": 1}}
+	candidate := &staticPolicy{name: "cand", prios: map[string]float64{"a": 2}}
+	slot := c.Slot(stable)
+	var violations int64
+	c.SetViolationSource(func() int64 { return violations })
+	trail := core.NewAuditTrail(16, nil)
+	c.SetAudit(trail)
+	ps := &memPolicyStore{}
+	_ = ps.SaveLastGoodPolicy([]byte(`{"v":1}`))
+	c.SetPolicyStore(ps)
+
+	if err := c.Propose(0, "cand", candidate, []byte(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	c.Tick(1 * time.Second) // clean cycle
+	if st := c.Status(); !st.Active {
+		t.Fatal("rollout ended prematurely")
+	}
+	violations = 2 // the guard blocked the candidate's batches
+	c.Tick(2 * time.Second)
+	st := c.Status()
+	if st.Active || st.LastDecision != DecisionRolledBack {
+		t.Fatalf("expected rollback, got %+v", st)
+	}
+	if slot.Canarying() {
+		t.Error("slot still canarying after rollback")
+	}
+	sched, _ := slot.Schedule(testView())
+	if sched.Single["a"] != 1 {
+		t.Errorf("slot not restored to stable policy: %v", sched.Single)
+	}
+	// Rollback must not overwrite the persisted last-good.
+	got, _, _ := ps.LoadLastGoodPolicy()
+	if string(got) != `{"v":1}` {
+		t.Errorf("rollback rewrote last-good: %q", got)
+	}
+	evs := trail.Last(10)
+	found := false
+	for _, e := range evs {
+		if e.Kind == core.AuditKindCanary && strings.Contains(e.Outcome, DecisionRolledBack) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no rollback audit event in %+v", evs)
+	}
+}
+
+func TestCanarySLOVerdicts(t *testing.T) {
+	// The canary group's latency degrades 3x while the control group
+	// stays flat: rollback.
+	samples := map[string]SLOSample{
+		"canary-base":  {LatencyP95: 0.1, Throughput: 100, OK: true},
+		"control-base": {LatencyP95: 0.1, Throughput: 100, OK: true},
+		"canary-cur":   {LatencyP95: 0.3, Throughput: 95, OK: true},
+		"control-cur":  {LatencyP95: 0.11, Throughput: 100, OK: true},
+	}
+	c := NewCanary(Config{Fraction: 0.5, Window: 2, MaxLatencyFactor: 1.5})
+	s1pol := &staticPolicy{name: "s1", prios: map[string]float64{"a": 1}}
+	s2pol := &staticPolicy{name: "s2", prios: map[string]float64{"a": 1}}
+	cand := &staticPolicy{name: "cand", prios: map[string]float64{"a": 2}}
+	slot1 := c.Slot(s1pol)
+	c.Slot(s2pol)
+	phase := "base"
+	canaryName := ""
+	c.SetSampler(func(group []string) SLOSample {
+		if len(group) == 0 {
+			return SLOSample{}
+		}
+		key := "control-" + phase
+		for _, n := range group {
+			if n == canaryName {
+				key = "canary-" + phase
+			}
+		}
+		return samples[key]
+	})
+	if err := c.Propose(0, "cand", cand, nil); err != nil {
+		t.Fatal(err)
+	}
+	canaryName = "s2"
+	if slot1.Canarying() {
+		canaryName = "s1"
+	}
+	phase = "cur"
+	c.Tick(1 * time.Second)
+	c.Tick(2 * time.Second)
+	st := c.Status()
+	if st.LastDecision != DecisionRolledBack {
+		t.Fatalf("expected SLO rollback, got %+v", st)
+	}
+	if !strings.Contains(st.LastReason, "latency") {
+		t.Errorf("reason should name latency: %q", st.LastReason)
+	}
+
+	// Same shape but the canary stays within bounds: promote.
+	samples["canary-cur"] = SLOSample{LatencyP95: 0.12, Throughput: 99, OK: true}
+	phase = "base"
+	if err := c.Propose(10*time.Second, "cand2", cand, nil); err != nil {
+		t.Fatal(err)
+	}
+	canaryName = "s2"
+	if slot1.Canarying() {
+		canaryName = "s1"
+	}
+	phase = "cur"
+	c.Tick(11 * time.Second)
+	c.Tick(12 * time.Second)
+	st = c.Status()
+	if st.LastDecision != DecisionPromoted {
+		t.Fatalf("expected promotion, got %+v", st)
+	}
+}
+
+func TestCanaryThroughputRollback(t *testing.T) {
+	c := NewCanary(Config{Fraction: 0.5, Window: 1, MinThroughputFactor: 0.8})
+	stable := &staticPolicy{name: "stable", prios: map[string]float64{"a": 1}}
+	cand := &staticPolicy{name: "cand", prios: map[string]float64{"a": 2}}
+	c.Slot(stable)
+	c.Slot(stable)
+	cur := SLOSample{LatencyP95: 0.1, Throughput: 100, OK: true}
+	c.SetSampler(func(group []string) SLOSample { return cur })
+	if err := c.Propose(0, "cand", cand, nil); err != nil {
+		t.Fatal(err)
+	}
+	cur = SLOSample{LatencyP95: 0.1, Throughput: 50, OK: true} // both groups halve...
+	c.Tick(time.Second)
+	// ...so relative factors match and the candidate is promoted (the
+	// regression is environmental, not the candidate's).
+	if st := c.Status(); st.LastDecision != DecisionPromoted {
+		t.Fatalf("expected promotion on symmetric degradation, got %+v", st)
+	}
+}
+
+// TestCanaryRollbackComposesWithWarmRestartSeed is the integration test
+// for the crash-after-rollback scenario: a canary rollout recorded the
+// candidate's values into desired state, the controller rolled back, and
+// the daemon crashed before the stable policy re-applied. On restart the
+// coalescer is seeded from the persisted desired state (the candidate's
+// values), so the first cycle under the last-good policy must see a
+// mismatch and re-apply the last-good values — not suppress them against
+// the candidate's mirror.
+func TestCanaryRollbackComposesWithWarmRestartSeed(t *testing.T) {
+	fs := reconcile.NewMemFS()
+
+	// --- first life -------------------------------------------------
+	store := reconcile.NewStore(fs, nil)
+	state, err := reconcile.NewDesiredState(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernel := newMemOS()
+	chain := core.NewCoalescer(reconcile.RecordOS(kernel, state, nil, nil), nil)
+
+	ents := map[string]core.Entity{
+		"fast": {Name: "fast", Thread: 1},
+		"slow": {Name: "slow", Thread: 2},
+	}
+	view := core.NewView(0, ents, nil)
+	tr := core.NewNiceTranslator(chain)
+
+	lastGood := &staticPolicy{name: "good", prios: map[string]float64{"fast": 10, "slow": 1}}
+	candidate := &staticPolicy{name: "bad", prios: map[string]float64{"fast": 1, "slow": 10}}
+
+	c := NewCanary(Config{Fraction: 1, Window: 10})
+	slot := c.Slot(lastGood)
+	ps := &memPolicyStore{}
+	_ = ps.SaveLastGoodPolicy([]byte(`good`))
+	c.SetPolicyStore(ps)
+
+	apply := func(now time.Duration) {
+		sched, err := slot.Schedule(view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain.Begin()
+		if err := tr.Apply(sched, ents); err != nil {
+			t.Fatal(err)
+		}
+		if err := chain.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	apply(0) // last-good applied, recorded in desired state
+	goodFast, _ := kernel.nice(1)
+	goodSlow, _ := kernel.nice(2)
+
+	if err := c.Propose(time.Second, "bad", candidate, []byte(`bad`)); err != nil {
+		t.Fatal(err)
+	}
+	apply(time.Second) // candidate's inverted values hit kernel AND desired state
+	candFast, _ := kernel.nice(1)
+	if candFast == goodFast {
+		t.Fatalf("test needs distinct schedules: both map to nice %d", goodFast)
+	}
+
+	// Guard violations abort the rollout...
+	var v int64 = 1
+	c.SetViolationSource(func() int64 { return v })
+	c.Tick(2 * time.Second)
+	if st := c.Status(); st.LastDecision != DecisionRolledBack {
+		t.Fatalf("expected rollback, got %+v", st)
+	}
+	// ...and the daemon crashes before the stable policy re-applies: no
+	// further apply, no checkpoint. Desired state still holds the
+	// candidate's values.
+
+	// --- second life ------------------------------------------------
+	store2 := reconcile.NewStore(fs, nil)
+	state2, err := reconcile.NewDesiredState(store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state2.Len() == 0 {
+		t.Fatal("desired state did not survive the crash")
+	}
+	// The kernel still holds the candidate's values (or a reconciler
+	// just converged it to them — same thing for this scenario).
+	seed := state2.CoalescerSeed()
+	kernel2 := newMemOS()
+	kernel2.nices[1], _ = kernel.nice(1)
+	kernel2.nices[2], _ = kernel.nice(2)
+	chain2 := core.NewCoalescer(reconcile.RecordOS(kernel2, state2, nil, nil), seed)
+	tr2 := core.NewNiceTranslator(chain2)
+
+	// The restarted daemon loads the last-good policy (the candidate was
+	// never promoted) and runs its first cycle.
+	cfg, ok, err := ps.LoadLastGoodPolicy()
+	if err != nil || !ok || string(cfg) != "good" {
+		t.Fatalf("last-good policy lost: %q %v %v", cfg, ok, err)
+	}
+	sched, _ := lastGood.Schedule(view)
+	chain2.Begin()
+	if err := tr2.Apply(sched, ents); err != nil {
+		t.Fatal(err)
+	}
+	if err := chain2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The first cycle must have re-applied the last-good values: the
+	// seed (candidate mirror) differs, so nothing may be suppressed.
+	if n, _ := kernel2.nice(1); n != goodFast {
+		t.Errorf("fast thread nice = %d after restart, want last-good %d", n, goodFast)
+	}
+	if n, _ := kernel2.nice(2); n != goodSlow {
+		t.Errorf("slow thread nice = %d after restart, want last-good %d", n, goodSlow)
+	}
+}

@@ -1,0 +1,663 @@
+// Package guard is the safety layer between policy output and the OS
+// write chain: it makes user-supplied scheduling policies safe to run and
+// safe to change on a live system.
+//
+// Lachesis' premise is that users bring their own policies (§3–4 of the
+// paper), which makes a buggy or adversarial policy the biggest
+// self-inflicted failure domain: it can invert priorities, starve a
+// query, or hang the decision cycle, and the middleware would faithfully
+// apply it. The package provides three cooperating parts:
+//
+//   - OpGuard validates every translated batch against declarative
+//     invariants (nice/shares bounds, per-cycle churn limits, a
+//     starvation detector) before any op reaches the OS chain; violated
+//     batches are blocked and the violation feeds the binding's circuit
+//     breaker.
+//   - Canary applies a new or hot-reloaded policy to a fraction of the
+//     bindings first and auto-promotes or auto-rolls-back on SLO deltas,
+//     persisting the last-good policy config so rollback survives a
+//     crash (canary.go).
+//   - Watchdog bounds each decision-cycle phase with a wall-clock
+//     deadline, cancels overrunning cycles (the coalescer's last-applied
+//     mirror stays in force), and trips to degraded mode after repeated
+//     overruns (watchdog.go).
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/telemetry"
+)
+
+// Telemetry metric names exported by the guard layer.
+const (
+	MetricViolationsTotal = "lachesis_guard_violations_total"
+	MetricBlockedTotal    = "lachesis_guard_blocked_total"
+	MetricBatchesTotal    = "lachesis_guard_batches_total"
+)
+
+// Invariant names, used as the telemetry `invariant` label and in
+// violation text.
+const (
+	InvariantNiceBounds   = "nice-bounds"
+	InvariantSharesBounds = "shares-bounds"
+	InvariantChurn        = "churn"
+	InvariantStarvation   = "starvation"
+)
+
+// ErrStaleApply reports a batch begun or finished while a previous,
+// deadline-cancelled apply was still writing; the batch is dropped.
+var ErrStaleApply = errors.New("guard: previous cancelled apply still in flight")
+
+// Kernel bounds used when an Invariants range is left at its zero value.
+const (
+	kernelNiceMin   = -20
+	kernelNiceMax   = 19
+	kernelSharesMin = 2
+	kernelSharesMax = 262144
+)
+
+// Invariants declares what a translated batch must satisfy to reach the
+// OS. The zero value bounds nice and shares to the full kernel ranges and
+// disables the churn limit and starvation detector.
+type Invariants struct {
+	// NiceMin/NiceMax bound SetNice values (inclusive). Both zero selects
+	// the full kernel range [-20, 19].
+	NiceMin, NiceMax int
+	// SharesMin/SharesMax bound SetShares values (inclusive). Both zero
+	// selects the kernel bounds [2, 262144].
+	SharesMin, SharesMax int
+	// MaxChurn caps how many distinct control knobs (a thread's nice, a
+	// cgroup's shares, a thread's placement) one apply may change,
+	// measured against the guard's last forwarded batch. 0 disables the
+	// limit. The first batch after creation is exempt (cold start touches
+	// everything legitimately).
+	MaxChurn int
+	// StarvationCycles flags a thread that the policy pins at the worst
+	// allowed priority (NiceMax) for this many consecutive applies while
+	// its input queue keeps growing. 0 disables the detector.
+	StarvationCycles int
+	// StarvationMinQueue is an absolute queue-size floor for the
+	// starvation detector: cycles where the pinned thread's queue sits
+	// below it do not extend the streak. It keeps near-idle operators —
+	// whose queues jitter by a handful of tuples while a relative policy
+	// legitimately parks them at the worst priority — from reading as
+	// starved. 0 means any growth counts.
+	StarvationMinQueue float64
+}
+
+// withDefaults fills zero-valued ranges with the kernel bounds.
+func (inv Invariants) withDefaults() Invariants {
+	if inv.NiceMin == 0 && inv.NiceMax == 0 {
+		inv.NiceMin, inv.NiceMax = kernelNiceMin, kernelNiceMax
+	}
+	if inv.SharesMin == 0 && inv.SharesMax == 0 {
+		inv.SharesMin, inv.SharesMax = kernelSharesMin, kernelSharesMax
+	}
+	return inv
+}
+
+// Violation is one invariant breach found while validating a batch.
+type Violation struct {
+	// Invariant is one of the Invariant* constants.
+	Invariant string
+	// Entity renders the violating knob ("tid 42", "cgroup q1", or the
+	// operator name when known).
+	Entity string
+	// Detail explains the breach.
+	Detail string
+}
+
+// Error renders the violation as error text.
+func (v Violation) Error() string {
+	return fmt.Sprintf("guard: %s violation on %s: %s", v.Invariant, v.Entity, v.Detail)
+}
+
+// op is one buffered control operation in emission order.
+type op struct {
+	kind string // "nice", "ensure", "shares", "move", "remove", "restore"
+	tid  int
+	grp  string
+	val  int
+}
+
+// starveTrack is the starvation detector's per-thread state.
+type starveTrack struct {
+	streak    int
+	lastQueue float64
+}
+
+// OpGuard validates every translated batch against declarative
+// invariants before it reaches the OS chain. It implements
+// core.OSInterface (the binding's translator writes through it) and
+// core.ApplyGuard (the middleware brackets each apply with
+// BeginApply/FinishApply): during an apply it buffers all control ops,
+// validates the whole batch at FinishApply, and either forwards the ops
+// downstream (typically into the binding's coalescer batch) or drops
+// them and returns the violations as an error, which the middleware
+// feeds to the binding's circuit breaker.
+//
+// Outside an apply bracket, single ops (e.g. a Reset when a breaker
+// opens, or reconciler repairs routed through the guard) pass through
+// with bounds validation only.
+type OpGuard struct {
+	inner core.OSInterface
+	inv   Invariants
+
+	mu        sync.Mutex
+	batch     []op
+	inBatch   bool // batch buffering active (may outlive the cycle when abandoned)
+	open      bool // between BeginApply and FinishApply
+	refused   bool // current cycle rides a dead (abandoned) batch
+	abandoned bool // a cancelled apply's goroutine may still be writing
+	primed    bool // at least one batch was forwarded (churn baseline exists)
+
+	// Guard-local mirror of the last forwarded values, the churn
+	// baseline. (The coalescer's mirror is below the guard, so the raw
+	// batch legitimately re-states every knob each cycle.)
+	nices  map[int]int
+	shares map[string]int
+	placed map[int]string
+
+	// Starvation detector state and the view of the current apply.
+	starve  map[int]*starveTrack
+	view    *core.View
+	now     time.Duration
+	binding string
+
+	trail      *core.AuditTrail
+	tel        *telemetry.Registry
+	ctrBatches *telemetry.Counter
+	ctrBlocked *telemetry.Counter
+
+	violations atomic.Int64
+}
+
+var (
+	_ core.OSInterface       = (*OpGuard)(nil)
+	_ core.ApplyGuard        = (*OpGuard)(nil)
+	_ core.CgroupRemover     = (*OpGuard)(nil)
+	_ core.PlacementRestorer = (*OpGuard)(nil)
+	_ core.CacheInvalidator  = (*OpGuard)(nil)
+)
+
+// NewOpGuard wraps the next stage of the OS write chain (usually the
+// binding's coalescer) with invariant validation.
+func NewOpGuard(inner core.OSInterface, inv Invariants) *OpGuard {
+	return &OpGuard{
+		inner:  inner,
+		inv:    inv.withDefaults(),
+		nices:  make(map[int]int),
+		shares: make(map[string]int),
+		placed: make(map[int]string),
+		starve: make(map[int]*starveTrack),
+	}
+}
+
+// SetTelemetry registers the guard's counters in a registry under the
+// given binding label. Call before the first apply.
+func (g *OpGuard) SetTelemetry(reg *telemetry.Registry, binding string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.tel = reg
+	g.binding = binding
+	l := telemetry.L("binding", binding)
+	g.ctrBatches = reg.Counter(MetricBatchesTotal, l)
+	g.ctrBlocked = reg.Counter(MetricBlockedTotal, l)
+}
+
+// SetAudit installs an audit trail; each violation is recorded as a
+// guard event. nil disables.
+func (g *OpGuard) SetAudit(trail *core.AuditTrail) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.trail = trail
+}
+
+// Violations returns the lifetime count of invariant violations (the
+// canary controller reads it to abort a rollout early).
+func (g *OpGuard) Violations() int64 { return g.violations.Load() }
+
+// BeginApply implements core.ApplyGuard.
+func (g *OpGuard) BeginApply(now time.Duration, binding string, view *core.View) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.open = true
+	g.now = now
+	g.view = view
+	if binding != "" {
+		g.binding = binding
+	}
+	if g.abandoned {
+		// A cancelled apply may still be writing into the dead batch;
+		// keep it in place to soak those writes and refuse this cycle.
+		g.refused = true
+		return
+	}
+	g.batch = g.batch[:0]
+	g.inBatch = true
+}
+
+// FinishApply implements core.ApplyGuard: it validates the buffered
+// batch and forwards it downstream, or drops it and returns the
+// violations.
+func (g *OpGuard) FinishApply() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.open = false
+	if g.refused {
+		g.refused = false
+		if !g.abandoned {
+			// The stale writer drained mid-cycle; the dead batch only
+			// holds this cycle's (unvalidated) writes now. Drop it.
+			g.batch = nil
+			g.inBatch = false
+		}
+		return ErrStaleApply
+	}
+	if !g.inBatch {
+		return nil
+	}
+	batch := g.batch
+	g.batch = nil
+	g.inBatch = false
+	if g.ctrBatches != nil {
+		g.ctrBatches.Inc()
+	}
+	violations := g.validateLocked(batch)
+	if len(violations) > 0 {
+		g.blockLocked(violations)
+		errs := make([]error, len(violations))
+		for i, v := range violations {
+			errs[i] = v
+		}
+		return errors.Join(errs...)
+	}
+	return g.forwardLocked(batch)
+}
+
+// AbandonApply implements core.ApplyGuard: the apply was cancelled by a
+// watchdog deadline. The batch is never validated or forwarded; once the
+// abandoned goroutine signals done, the dead batch (including any stale
+// writes it soaked up) is discarded.
+func (g *OpGuard) AbandonApply(done <-chan struct{}) {
+	g.mu.Lock()
+	if !g.inBatch {
+		g.mu.Unlock()
+		return
+	}
+	g.open = false
+	g.abandoned = true
+	g.mu.Unlock()
+	go func() {
+		<-done
+		g.mu.Lock()
+		g.abandoned = false
+		if !g.open {
+			g.batch = nil
+			g.inBatch = false
+		}
+		g.mu.Unlock()
+	}()
+}
+
+// validateLocked checks the batch against every invariant.
+func (g *OpGuard) validateLocked(batch []op) []Violation {
+	var out []Violation
+	// Intended end state of the batch: last write per knob wins.
+	nices := make(map[int]int)
+	shares := make(map[string]int)
+	placed := make(map[int]string)
+	for _, o := range batch {
+		switch o.kind {
+		case "nice":
+			nices[o.tid] = o.val
+			if o.val < g.inv.NiceMin || o.val > g.inv.NiceMax {
+				out = append(out, Violation{
+					Invariant: InvariantNiceBounds, Entity: "tid " + strconv.Itoa(o.tid),
+					Detail: fmt.Sprintf("nice %d outside [%d, %d]", o.val, g.inv.NiceMin, g.inv.NiceMax),
+				})
+			}
+		case "shares":
+			shares[o.grp] = o.val
+			if o.val < g.inv.SharesMin || o.val > g.inv.SharesMax {
+				out = append(out, Violation{
+					Invariant: InvariantSharesBounds, Entity: "cgroup " + o.grp,
+					Detail: fmt.Sprintf("shares %d outside [%d, %d]", o.val, g.inv.SharesMin, g.inv.SharesMax),
+				})
+			}
+		case "move":
+			placed[o.tid] = o.grp
+		}
+	}
+	if v, ok := g.churnLocked(nices, shares, placed); ok {
+		out = append(out, v)
+	}
+	out = append(out, g.starvationLocked(nices)...)
+	return out
+}
+
+// churnLocked counts distinct knobs whose intended value differs from the
+// guard's last forwarded batch.
+func (g *OpGuard) churnLocked(nices map[int]int, shares map[string]int, placed map[int]string) (Violation, bool) {
+	if g.inv.MaxChurn <= 0 || !g.primed {
+		return Violation{}, false
+	}
+	churn := 0
+	for tid, n := range nices {
+		if prev, ok := g.nices[tid]; !ok || prev != n {
+			churn++
+		}
+	}
+	for grp, s := range shares {
+		if prev, ok := g.shares[grp]; !ok || prev != s {
+			churn++
+		}
+	}
+	for tid, grp := range placed {
+		if prev, ok := g.placed[tid]; !ok || prev != grp {
+			churn++
+		}
+	}
+	if churn <= g.inv.MaxChurn {
+		return Violation{}, false
+	}
+	return Violation{
+		Invariant: InvariantChurn, Entity: "batch",
+		Detail: fmt.Sprintf("%d knobs changed in one cycle (limit %d)", churn, g.inv.MaxChurn),
+	}, true
+}
+
+// starvationLocked advances the per-thread starvation streaks with the
+// batch's intended nice values and flags threads pinned at the worst
+// allowed priority while their input queue grows. Streaks track policy
+// intent (also across blocked batches), so an adversarial policy is
+// caught after N proposals, not after N enforced cycles.
+func (g *OpGuard) starvationLocked(nices map[int]int) []Violation {
+	if g.inv.StarvationCycles <= 0 {
+		return nil
+	}
+	queues := g.queuesByThreadLocked()
+	var out []Violation
+	for tid, n := range nices {
+		st := g.starve[tid]
+		if st == nil {
+			st = &starveTrack{lastQueue: -1}
+			g.starve[tid] = st
+		}
+		q, haveQ := queues[tid]
+		pinned := n == g.inv.NiceMax
+		if pinned && haveQ && st.lastQueue >= 0 && q > st.lastQueue && q >= g.inv.StarvationMinQueue {
+			st.streak++
+		} else if !pinned {
+			st.streak = 0
+		}
+		if haveQ {
+			st.lastQueue = q
+		}
+		if st.streak >= g.inv.StarvationCycles {
+			out = append(out, Violation{
+				Invariant: InvariantStarvation, Entity: "tid " + strconv.Itoa(tid),
+				Detail: fmt.Sprintf("pinned at nice %d for %d cycles while queue grew to %.0f",
+					g.inv.NiceMax, st.streak, q),
+			})
+		}
+	}
+	// Forget threads the policy no longer schedules.
+	for tid := range g.starve {
+		if _, ok := nices[tid]; !ok {
+			delete(g.starve, tid)
+		}
+	}
+	return out
+}
+
+// queuesByThreadLocked maps thread ids to their entities' queue-size
+// metric from the current apply's view.
+func (g *OpGuard) queuesByThreadLocked() map[int]float64 {
+	out := make(map[int]float64)
+	if g.view == nil {
+		return out
+	}
+	qs := g.view.Metric(core.MetricQueueSize)
+	if qs == nil {
+		return out
+	}
+	for name, ent := range g.view.Entities {
+		if ent.Thread == 0 {
+			continue
+		}
+		if q, ok := qs[name]; ok {
+			out[ent.Thread] = q
+		}
+	}
+	return out
+}
+
+// blockLocked records a blocked batch: audit events, violation counters.
+func (g *OpGuard) blockLocked(violations []Violation) {
+	if g.ctrBlocked != nil {
+		g.ctrBlocked.Inc()
+	}
+	g.violations.Add(int64(len(violations)))
+	for _, v := range violations {
+		if g.tel != nil {
+			g.tel.Counter(MetricViolationsTotal,
+				telemetry.L("binding", g.binding), telemetry.L("invariant", v.Invariant)).Inc()
+		}
+		if g.trail != nil {
+			g.trail.Record(core.AuditEvent{
+				At: g.now, Kind: core.AuditKindGuard, Entity: v.Entity,
+				Outcome: fmt.Sprintf("blocked (%s): %s", v.Invariant, v.Detail),
+			})
+		}
+	}
+}
+
+// forwardLocked releases a validated batch downstream in emission order
+// (the coalescer below groups and dedups) and updates the churn mirror.
+func (g *OpGuard) forwardLocked(batch []op) error {
+	var errs []error
+	for _, o := range batch {
+		var err error
+		switch o.kind {
+		case "nice":
+			err = g.inner.SetNice(o.tid, o.val)
+			if err == nil || core.IsVanished(err) {
+				g.nices[o.tid] = o.val
+			}
+		case "ensure":
+			err = g.inner.EnsureCgroup(o.grp)
+		case "shares":
+			err = g.inner.SetShares(o.grp, o.val)
+			if err == nil || core.IsVanished(err) {
+				g.shares[o.grp] = o.val
+			}
+		case "move":
+			err = g.inner.MoveThread(o.tid, o.grp)
+			if err == nil || core.IsVanished(err) {
+				g.placed[o.tid] = o.grp
+			}
+		case "remove":
+			err = g.removeInner(o.grp)
+			delete(g.shares, o.grp)
+		case "restore":
+			err = g.restoreInner(o.tid)
+			delete(g.placed, o.tid)
+		}
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	g.primed = true
+	return errors.Join(errs...)
+}
+
+// --- core.OSInterface: buffer during a batch, validate-and-pass outside ---
+
+// SetNice implements core.OSInterface.
+func (g *OpGuard) SetNice(tid, nice int) error {
+	g.mu.Lock()
+	if g.inBatch {
+		g.batch = append(g.batch, op{kind: "nice", tid: tid, val: nice})
+		g.mu.Unlock()
+		return nil
+	}
+	if nice < g.inv.NiceMin || nice > g.inv.NiceMax {
+		v := Violation{
+			Invariant: InvariantNiceBounds, Entity: "tid " + strconv.Itoa(tid),
+			Detail: fmt.Sprintf("nice %d outside [%d, %d]", nice, g.inv.NiceMin, g.inv.NiceMax),
+		}
+		g.blockLocked([]Violation{v})
+		g.mu.Unlock()
+		return v
+	}
+	g.nices[tid] = nice
+	g.mu.Unlock()
+	return g.inner.SetNice(tid, nice)
+}
+
+// EnsureCgroup implements core.OSInterface.
+func (g *OpGuard) EnsureCgroup(name string) error {
+	g.mu.Lock()
+	if g.inBatch {
+		g.batch = append(g.batch, op{kind: "ensure", grp: name})
+		g.mu.Unlock()
+		return nil
+	}
+	g.mu.Unlock()
+	return g.inner.EnsureCgroup(name)
+}
+
+// SetShares implements core.OSInterface.
+func (g *OpGuard) SetShares(group string, shares int) error {
+	g.mu.Lock()
+	if g.inBatch {
+		g.batch = append(g.batch, op{kind: "shares", grp: group, val: shares})
+		g.mu.Unlock()
+		return nil
+	}
+	if shares < g.inv.SharesMin || shares > g.inv.SharesMax {
+		v := Violation{
+			Invariant: InvariantSharesBounds, Entity: "cgroup " + group,
+			Detail: fmt.Sprintf("shares %d outside [%d, %d]", shares, g.inv.SharesMin, g.inv.SharesMax),
+		}
+		g.blockLocked([]Violation{v})
+		g.mu.Unlock()
+		return v
+	}
+	g.shares[group] = shares
+	g.mu.Unlock()
+	return g.inner.SetShares(group, shares)
+}
+
+// MoveThread implements core.OSInterface.
+func (g *OpGuard) MoveThread(tid int, group string) error {
+	g.mu.Lock()
+	if g.inBatch {
+		g.batch = append(g.batch, op{kind: "move", tid: tid, grp: group})
+		g.mu.Unlock()
+		return nil
+	}
+	g.placed[tid] = group
+	g.mu.Unlock()
+	return g.inner.MoveThread(tid, group)
+}
+
+// RemoveCgroup implements core.CgroupRemover when the inner chain does.
+func (g *OpGuard) RemoveCgroup(name string) error {
+	g.mu.Lock()
+	if g.inBatch {
+		g.batch = append(g.batch, op{kind: "remove", grp: name})
+		g.mu.Unlock()
+		return nil
+	}
+	delete(g.shares, name)
+	g.mu.Unlock()
+	return g.removeInner(name)
+}
+
+// RestoreThread implements core.PlacementRestorer when the inner chain
+// does.
+func (g *OpGuard) RestoreThread(tid int) error {
+	g.mu.Lock()
+	if g.inBatch {
+		g.batch = append(g.batch, op{kind: "restore", tid: tid})
+		g.mu.Unlock()
+		return nil
+	}
+	delete(g.placed, tid)
+	g.mu.Unlock()
+	return g.restoreInner(tid)
+}
+
+func (g *OpGuard) removeInner(name string) error {
+	if r, ok := g.inner.(core.CgroupRemover); ok {
+		return r.RemoveCgroup(name)
+	}
+	return nil
+}
+
+func (g *OpGuard) restoreInner(tid int) error {
+	if r, ok := g.inner.(core.PlacementRestorer); ok {
+		return r.RestoreThread(tid)
+	}
+	return nil
+}
+
+// InvalidateThread implements core.CacheInvalidator: external state
+// changed, drop the churn mirror for the thread and forward.
+func (g *OpGuard) InvalidateThread(tid int) {
+	g.mu.Lock()
+	delete(g.nices, tid)
+	delete(g.placed, tid)
+	g.mu.Unlock()
+	core.InvalidateThreadState(g.inner, tid)
+}
+
+// InvalidateCgroup implements core.CacheInvalidator.
+func (g *OpGuard) InvalidateCgroup(name string) {
+	g.mu.Lock()
+	delete(g.shares, name)
+	g.mu.Unlock()
+	core.InvalidateCgroupState(g.inner, name)
+}
+
+// String renders the guard's invariants for logs.
+func (g *OpGuard) String() string {
+	inv := g.inv
+	parts := []string{
+		fmt.Sprintf("nice[%d,%d]", inv.NiceMin, inv.NiceMax),
+		fmt.Sprintf("shares[%d,%d]", inv.SharesMin, inv.SharesMax),
+	}
+	if inv.MaxChurn > 0 {
+		parts = append(parts, "churn<="+strconv.Itoa(inv.MaxChurn))
+	}
+	if inv.StarvationCycles > 0 {
+		s := "starvation@" + strconv.Itoa(inv.StarvationCycles)
+		if inv.StarvationMinQueue > 0 {
+			s += fmt.Sprintf(">=%.0f", inv.StarvationMinQueue)
+		}
+		parts = append(parts, s)
+	}
+	sort.Strings(parts[2:])
+	return "guard(" + joinComma(parts) + ")"
+}
+
+func joinComma(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ","
+		}
+		out += p
+	}
+	return out
+}

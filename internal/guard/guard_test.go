@@ -1,0 +1,421 @@
+package guard
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/telemetry"
+)
+
+// memOS records the control operations that make it past the guard.
+type memOS struct {
+	mu     sync.Mutex
+	nices  map[int]int
+	shares map[string]int
+	placed map[int]string
+	ops    int
+}
+
+var _ core.OSInterface = (*memOS)(nil)
+
+func newMemOS() *memOS {
+	return &memOS{nices: make(map[int]int), shares: make(map[string]int), placed: make(map[int]string)}
+}
+
+func (m *memOS) SetNice(tid, nice int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nices[tid] = nice
+	m.ops++
+	return nil
+}
+func (m *memOS) EnsureCgroup(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.shares[name]; !ok {
+		m.shares[name] = 1024
+	}
+	m.ops++
+	return nil
+}
+func (m *memOS) SetShares(name string, shares int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shares[name] = shares
+	m.ops++
+	return nil
+}
+func (m *memOS) MoveThread(tid int, name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.placed[tid] = name
+	m.ops++
+	return nil
+}
+
+func (m *memOS) opCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+func (m *memOS) nice(tid int) (int, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.nices[tid]
+	return n, ok
+}
+
+// apply brackets a batch through the guard like the middleware does.
+func applyBatch(g *OpGuard, view *core.View, writes func()) error {
+	g.BeginApply(0, "test", view)
+	writes()
+	return g.FinishApply()
+}
+
+func TestOpGuardForwardsValidBatch(t *testing.T) {
+	os := newMemOS()
+	g := NewOpGuard(os, Invariants{})
+	err := applyBatch(g, nil, func() {
+		_ = g.SetNice(11, -5)
+		_ = g.EnsureCgroup("q1")
+		_ = g.SetShares("q1", 512)
+		_ = g.MoveThread(11, "q1")
+	})
+	if err != nil {
+		t.Fatalf("valid batch blocked: %v", err)
+	}
+	if n, ok := os.nice(11); !ok || n != -5 {
+		t.Errorf("nice not forwarded: got %d, %v", n, ok)
+	}
+	if os.shares["q1"] != 512 || os.placed[11] != "q1" {
+		t.Errorf("shares/move not forwarded: %+v %+v", os.shares, os.placed)
+	}
+}
+
+func TestOpGuardBlocksOutOfBoundsBatch(t *testing.T) {
+	os := newMemOS()
+	g := NewOpGuard(os, Invariants{NiceMin: -10, NiceMax: 10})
+	reg := telemetry.NewRegistry()
+	g.SetTelemetry(reg, "b")
+	trail := core.NewAuditTrail(16, nil)
+	g.SetAudit(trail)
+
+	err := applyBatch(g, nil, func() {
+		_ = g.SetNice(1, 5)  // fine
+		_ = g.SetNice(2, 19) // outside [-10, 10]
+	})
+	if err == nil {
+		t.Fatal("out-of-bounds batch not blocked")
+	}
+	var v Violation
+	if !errors.As(err, &v) || v.Invariant != InvariantNiceBounds {
+		t.Fatalf("expected nice-bounds violation, got %v", err)
+	}
+	if os.opCount() != 0 {
+		t.Errorf("blocked batch leaked %d ops to the OS", os.opCount())
+	}
+	if g.Violations() != 1 {
+		t.Errorf("Violations() = %d, want 1", g.Violations())
+	}
+	if got := reg.Counter(MetricBlockedTotal, telemetry.L("binding", "b")).Value(); got != 1 {
+		t.Errorf("blocked counter = %d, want 1", got)
+	}
+	evs := trail.Last(5)
+	if len(evs) != 1 || evs[0].Kind != core.AuditKindGuard {
+		t.Fatalf("expected one guard audit event, got %+v", evs)
+	}
+	if !strings.Contains(evs[0].Outcome, InvariantNiceBounds) {
+		t.Errorf("audit outcome missing invariant: %q", evs[0].Outcome)
+	}
+}
+
+func TestOpGuardSharesBounds(t *testing.T) {
+	os := newMemOS()
+	g := NewOpGuard(os, Invariants{SharesMin: 8, SharesMax: 8192})
+	err := applyBatch(g, nil, func() {
+		_ = g.EnsureCgroup("q1")
+		_ = g.SetShares("q1", 500000)
+	})
+	var v Violation
+	if !errors.As(err, &v) || v.Invariant != InvariantSharesBounds {
+		t.Fatalf("expected shares-bounds violation, got %v", err)
+	}
+	if os.opCount() != 0 {
+		t.Errorf("blocked batch leaked ops")
+	}
+}
+
+func TestOpGuardChurnLimit(t *testing.T) {
+	os := newMemOS()
+	g := NewOpGuard(os, Invariants{MaxChurn: 2})
+
+	// Cold start: touches 4 knobs, exempt from the churn limit.
+	if err := applyBatch(g, nil, func() {
+		for tid := 1; tid <= 4; tid++ {
+			_ = g.SetNice(tid, tid)
+		}
+	}); err != nil {
+		t.Fatalf("cold-start batch blocked: %v", err)
+	}
+
+	// Re-stating the same values is zero churn (the coalescer below
+	// would suppress them anyway).
+	if err := applyBatch(g, nil, func() {
+		for tid := 1; tid <= 4; tid++ {
+			_ = g.SetNice(tid, tid)
+		}
+	}); err != nil {
+		t.Fatalf("no-change batch blocked: %v", err)
+	}
+
+	// Changing 2 of 4 knobs is within the limit.
+	if err := applyBatch(g, nil, func() {
+		_ = g.SetNice(1, 10)
+		_ = g.SetNice(2, 10)
+		_ = g.SetNice(3, 3)
+		_ = g.SetNice(4, 4)
+	}); err != nil {
+		t.Fatalf("within-limit batch blocked: %v", err)
+	}
+
+	// Changing 3 knobs exceeds MaxChurn=2.
+	err := applyBatch(g, nil, func() {
+		_ = g.SetNice(1, 0)
+		_ = g.SetNice(2, 0)
+		_ = g.SetNice(3, 0)
+	})
+	var v Violation
+	if !errors.As(err, &v) || v.Invariant != InvariantChurn {
+		t.Fatalf("expected churn violation, got %v", err)
+	}
+	// Blocked batch must not advance the mirror: tid 1 keeps nice 10.
+	if n, _ := os.nice(1); n != 10 {
+		t.Errorf("blocked batch changed OS state: nice(1) = %d", n)
+	}
+}
+
+// starvationView builds a view with one entity on tid 7 and the given
+// queue size.
+func starvationView(queue float64) *core.View {
+	ents := map[string]core.Entity{
+		"op": {Name: "op", Thread: 7, Query: "q"},
+	}
+	vals := map[string]core.EntityValues{
+		core.MetricQueueSize: {"op": queue},
+	}
+	return core.NewView(0, ents, vals)
+}
+
+func TestOpGuardStarvationDetector(t *testing.T) {
+	os := newMemOS()
+	g := NewOpGuard(os, Invariants{StarvationCycles: 3})
+
+	queue := 100.0
+	var err error
+	for cycle := 0; cycle < 10; cycle++ {
+		err = applyBatch(g, starvationView(queue), func() {
+			_ = g.SetNice(7, 19) // pinned at worst priority
+		})
+		queue += 50 // queue keeps growing
+		if err != nil {
+			break
+		}
+	}
+	var v Violation
+	if !errors.As(err, &v) || v.Invariant != InvariantStarvation {
+		t.Fatalf("expected starvation violation, got %v", err)
+	}
+
+	// Unpinning resets the streak: the same growing queue at a better
+	// priority never violates.
+	g2 := NewOpGuard(newMemOS(), Invariants{StarvationCycles: 3})
+	queue = 100.0
+	for cycle := 0; cycle < 10; cycle++ {
+		if err := applyBatch(g2, starvationView(queue), func() {
+			_ = g2.SetNice(7, 0)
+		}); err != nil {
+			t.Fatalf("cycle %d: unexpected violation: %v", cycle, err)
+		}
+		queue += 50
+	}
+
+	// A pinned thread with a draining queue is legitimate deprioritizing.
+	g3 := NewOpGuard(newMemOS(), Invariants{StarvationCycles: 3})
+	queue = 1000.0
+	for cycle := 0; cycle < 10; cycle++ {
+		if err := applyBatch(g3, starvationView(queue), func() {
+			_ = g3.SetNice(7, 19)
+		}); err != nil {
+			t.Fatalf("cycle %d: unexpected violation: %v", cycle, err)
+		}
+		queue -= 50
+	}
+}
+
+func TestOpGuardStarvationMinQueueFloor(t *testing.T) {
+	// A queue jittering upward below the floor is noise, not starvation:
+	// relative policies legitimately park the near-empty minimum-queue
+	// operator at the worst priority.
+	g := NewOpGuard(newMemOS(), Invariants{StarvationCycles: 3, StarvationMinQueue: 64})
+	queue := 2.0
+	for cycle := 0; cycle < 10; cycle++ {
+		if err := applyBatch(g, starvationView(queue), func() {
+			_ = g.SetNice(7, 19)
+		}); err != nil {
+			t.Fatalf("cycle %d: below-floor growth violated: %v", cycle, err)
+		}
+		queue += 3 // grows every cycle but stays under the floor
+	}
+
+	// The same growth pattern above the floor is real starvation.
+	g2 := NewOpGuard(newMemOS(), Invariants{StarvationCycles: 3, StarvationMinQueue: 64})
+	queue = 100.0
+	var err error
+	for cycle := 0; cycle < 10; cycle++ {
+		err = applyBatch(g2, starvationView(queue), func() {
+			_ = g2.SetNice(7, 19)
+		})
+		queue += 50
+		if err != nil {
+			break
+		}
+	}
+	var v Violation
+	if !errors.As(err, &v) || v.Invariant != InvariantStarvation {
+		t.Fatalf("expected starvation violation above floor, got %v", err)
+	}
+}
+
+func TestOpGuardPassthroughBoundsCheck(t *testing.T) {
+	os := newMemOS()
+	g := NewOpGuard(os, Invariants{NiceMin: -10, NiceMax: 10})
+	// Outside a batch (e.g. a breaker reset), in-bounds ops pass...
+	if err := g.SetNice(1, 0); err != nil {
+		t.Fatalf("in-bounds passthrough failed: %v", err)
+	}
+	if n, ok := os.nice(1); !ok || n != 0 {
+		t.Errorf("passthrough op not forwarded")
+	}
+	// ...and out-of-bounds ops are blocked individually.
+	if err := g.SetNice(2, 19); err == nil {
+		t.Fatal("out-of-bounds passthrough not blocked")
+	}
+	if _, ok := os.nice(2); ok {
+		t.Error("blocked passthrough reached the OS")
+	}
+}
+
+func TestOpGuardAbandonApplyDropsStaleWrites(t *testing.T) {
+	os := newMemOS()
+	g := NewOpGuard(os, Invariants{})
+
+	// An apply starts, the watchdog cancels it, and the translator
+	// goroutine keeps writing afterwards.
+	g.BeginApply(0, "test", nil)
+	_ = g.SetNice(1, 5)
+	done := make(chan struct{})
+	g.AbandonApply(done)
+
+	_ = g.SetNice(2, 7) // stale write after cancellation
+
+	// A new cycle beginning before the stale goroutine drains is refused.
+	g.BeginApply(time.Second, "test", nil)
+	_ = g.SetNice(3, 9)
+	if err := g.FinishApply(); !errors.Is(err, ErrStaleApply) {
+		t.Fatalf("overlapping cycle not refused: %v", err)
+	}
+
+	close(done)
+	// Wait for the drain goroutine to clear the dead batch.
+	deadline := time.After(2 * time.Second)
+	for {
+		g.mu.Lock()
+		cleared := !g.inBatch
+		g.mu.Unlock()
+		if cleared {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("dead batch never cleared")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if os.opCount() != 0 {
+		t.Fatalf("abandoned/stale writes leaked to the OS: %d ops", os.opCount())
+	}
+
+	// The guard accepts clean batches again.
+	if err := applyBatch(g, nil, func() { _ = g.SetNice(4, 1) }); err != nil {
+		t.Fatalf("post-abandon batch blocked: %v", err)
+	}
+	if n, ok := os.nice(4); !ok || n != 1 {
+		t.Error("post-abandon batch not forwarded")
+	}
+}
+
+func TestWatchdogDeadlinesAndTrip(t *testing.T) {
+	wd := NewWatchdog(WatchdogConfig{
+		Fetch: 10 * time.Millisecond, Schedule: 20 * time.Millisecond,
+		Apply: 30 * time.Millisecond, TripAfter: 2,
+	})
+	reg := telemetry.NewRegistry()
+	wd.SetTelemetry(reg)
+	trail := core.NewAuditTrail(16, nil)
+	wd.SetAudit(trail)
+
+	if d := wd.PhaseDeadline(core.PhaseFetch); d != 10*time.Millisecond {
+		t.Errorf("fetch deadline = %v", d)
+	}
+	if d := wd.PhaseDeadline(core.PhaseSchedule); d != 20*time.Millisecond {
+		t.Errorf("schedule deadline = %v", d)
+	}
+	if d := wd.PhaseDeadline(core.PhaseApply); d != 30*time.Millisecond {
+		t.Errorf("apply deadline = %v", d)
+	}
+	if d := wd.PhaseDeadline("unknown"); d != 0 {
+		t.Errorf("unknown phase deadline = %v", d)
+	}
+
+	// Two consecutive overrun cycles trip to degraded.
+	wd.PhaseOverrun("b1", core.PhaseSchedule, time.Millisecond)
+	wd.CycleDone(0)
+	if wd.Degraded() {
+		t.Fatal("degraded after one overrun cycle (TripAfter=2)")
+	}
+	wd.PhaseOverrun("b1", core.PhaseApply, time.Millisecond)
+	wd.CycleDone(time.Second)
+	if !wd.Degraded() {
+		t.Fatal("not degraded after two consecutive overrun cycles")
+	}
+	if reg.Gauge(MetricWatchdogDegraded).Value() != 1 {
+		t.Error("degraded gauge not set")
+	}
+	if wd.Overruns() != 2 {
+		t.Errorf("Overruns() = %d, want 2", wd.Overruns())
+	}
+
+	// Two clean cycles recover.
+	wd.CycleDone(2 * time.Second)
+	wd.CycleDone(3 * time.Second)
+	if wd.Degraded() {
+		t.Fatal("did not recover after clean cycles")
+	}
+	if reg.Gauge(MetricWatchdogDegraded).Value() != 0 {
+		t.Error("degraded gauge not cleared")
+	}
+
+	if got := reg.Counter(MetricWatchdogOverrunsTotal,
+		telemetry.L("scope", "b1"), telemetry.L("phase", core.PhaseSchedule)).Value(); got != 1 {
+		t.Errorf("overrun counter = %d", got)
+	}
+	st := wd.Status()
+	if st.Degraded || st.Overruns != 2 {
+		t.Errorf("status = %+v", st)
+	}
+}

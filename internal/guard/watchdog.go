@@ -1,0 +1,179 @@
+package guard
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/telemetry"
+)
+
+// Watchdog telemetry metric names.
+const (
+	MetricWatchdogOverrunsTotal = "lachesis_watchdog_overruns_total"
+	MetricWatchdogDegraded      = "lachesis_watchdog_degraded"
+)
+
+// WatchdogConfig sets the per-phase wall-clock deadlines of the decision
+// cycle. A zero deadline leaves that phase unbounded.
+type WatchdogConfig struct {
+	// Fetch bounds one driver's metric fetch (core.PhaseFetch). When the
+	// middleware also has an explicit Parallelism.FetchTimeout, that
+	// takes precedence.
+	Fetch time.Duration
+	// Schedule bounds one policy evaluation (core.PhaseSchedule).
+	Schedule time.Duration
+	// Apply bounds one translator apply (core.PhaseApply). Enforced only
+	// for bindings with an OpGuard: the guard's buffering is what makes
+	// cancelling an apply safe.
+	Apply time.Duration
+	// TripAfter is how many consecutive decision cycles with at least
+	// one overrun trip the watchdog to degraded mode; the same count of
+	// consecutive clean cycles recovers it (default 3).
+	TripAfter int
+}
+
+// Watchdog implements core.StepWatchdog: it hands the middleware the
+// configured per-phase deadlines, counts overruns, and trips to degraded
+// mode after repeated overruns. Cancelled cycles issue no control ops —
+// the OS keeps enforcing the coalescer's last-applied mirror — and each
+// overrun surfaces as a binding failure that feeds the circuit breaker,
+// so degraded mode composes with quarantine: the watchdog reports, the
+// breaker backs off.
+type Watchdog struct {
+	cfg WatchdogConfig
+
+	mu          sync.Mutex
+	overruns    int64
+	cycleOver   int // overruns observed in the current cycle
+	consecutive int // consecutive cycles with >= 1 overrun
+	clean       int // consecutive clean cycles while degraded
+	degraded    bool
+
+	trail    *core.AuditTrail
+	tel      *telemetry.Registry
+	gDegrade *telemetry.Gauge
+}
+
+var _ core.StepWatchdog = (*Watchdog)(nil)
+
+// NewWatchdog builds a watchdog from a config (zero TripAfter defaults
+// to 3).
+func NewWatchdog(cfg WatchdogConfig) *Watchdog {
+	if cfg.TripAfter <= 0 {
+		cfg.TripAfter = 3
+	}
+	return &Watchdog{cfg: cfg}
+}
+
+// SetTelemetry registers the watchdog's instruments in a registry.
+func (w *Watchdog) SetTelemetry(reg *telemetry.Registry) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.tel = reg
+	w.gDegrade = reg.Gauge(MetricWatchdogDegraded)
+	w.gDegrade.Set(0)
+}
+
+// SetAudit installs an audit trail for overrun and degraded-transition
+// events. nil disables.
+func (w *Watchdog) SetAudit(trail *core.AuditTrail) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.trail = trail
+}
+
+// PhaseDeadline implements core.StepWatchdog.
+func (w *Watchdog) PhaseDeadline(phase string) time.Duration {
+	switch phase {
+	case core.PhaseFetch:
+		return w.cfg.Fetch
+	case core.PhaseSchedule:
+		return w.cfg.Schedule
+	case core.PhaseApply:
+		return w.cfg.Apply
+	}
+	return 0
+}
+
+// PhaseOverrun implements core.StepWatchdog. Safe for concurrent use by
+// the parallel pipeline's workers.
+func (w *Watchdog) PhaseOverrun(scope, phase string, deadline time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.overruns++
+	w.cycleOver++
+	if w.tel != nil {
+		w.tel.Counter(MetricWatchdogOverrunsTotal,
+			telemetry.L("scope", scope), telemetry.L("phase", phase)).Inc()
+	}
+}
+
+// CycleDone must be called once after each Middleware.Step: it folds the
+// cycle's overruns into the consecutive count and flips degraded mode.
+func (w *Watchdog) CycleDone(now time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.cycleOver > 0 {
+		w.consecutive++
+		w.clean = 0
+		if !w.degraded && w.consecutive >= w.cfg.TripAfter {
+			w.degraded = true
+			w.transitionLocked(now, fmt.Sprintf("degraded after %d consecutive overrun cycles", w.consecutive))
+		}
+	} else {
+		w.consecutive = 0
+		if w.degraded {
+			w.clean++
+			if w.clean >= w.cfg.TripAfter {
+				w.degraded = false
+				w.clean = 0
+				w.transitionLocked(now, "recovered")
+			}
+		}
+	}
+	w.cycleOver = 0
+}
+
+// transitionLocked records a degraded-mode transition.
+func (w *Watchdog) transitionLocked(now time.Duration, outcome string) {
+	if w.gDegrade != nil {
+		if w.degraded {
+			w.gDegrade.Set(1)
+		} else {
+			w.gDegrade.Set(0)
+		}
+	}
+	if w.trail != nil {
+		w.trail.Record(core.AuditEvent{At: now, Kind: core.AuditKindWatchdog, Outcome: outcome})
+	}
+}
+
+// Degraded reports whether repeated overruns tripped the watchdog.
+func (w *Watchdog) Degraded() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.degraded
+}
+
+// Overruns returns the lifetime overrun count.
+func (w *Watchdog) Overruns() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.overruns
+}
+
+// WatchdogStatus is a point-in-time snapshot for /health.
+type WatchdogStatus struct {
+	Degraded          bool  `json:"degraded"`
+	Overruns          int64 `json:"overruns"`
+	ConsecutiveCycles int   `json:"consecutive_overrun_cycles"`
+}
+
+// Status snapshots the watchdog state.
+func (w *Watchdog) Status() WatchdogStatus {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WatchdogStatus{Degraded: w.degraded, Overruns: w.overruns, ConsecutiveCycles: w.consecutive}
+}

@@ -82,6 +82,7 @@ func All() []Experiment {
 		{"chaos", "Chaos: resilience under injected faults — hardened vs unhardened", chaosExp},
 		{"overhead", "Overhead: decision-cycle cost per binding count (§6.7 self-cost)", overheadExp},
 		{"drift", "Drift: desired-state reconciliation vs fire-and-forget, warm restart", driftExp},
+		{"rollout", "Rollout: adversarial policy vs guarded (canary+invariants+watchdog) and unguarded stacks", rolloutExp},
 		{"scale", "Scale: parallel decision pipeline vs sequential, 16-512 bindings", scaleExp},
 	}
 }

@@ -1,0 +1,553 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/driver"
+	"lachesis/internal/faults"
+	"lachesis/internal/guard"
+	"lachesis/internal/metrics"
+	"lachesis/internal/simctl"
+	"lachesis/internal/simos"
+	"lachesis/internal/spe"
+	"lachesis/internal/stats"
+	"lachesis/internal/workloads"
+)
+
+// The rollout experiment validates the guarded-rollout layer rather than
+// a paper figure. An adversarial policy ("drain the cheap operators
+// first": rank by per-tuple cost, so the pipeline's most expensive
+// operator is deterministically pinned at the weakest priority) is rolled
+// out against two stacks over the same two-query ETL world. Co-located
+// batch spinners share the engine's cgroup so the node is contended and
+// priority actually decides who runs — on an idle work-conserving
+// scheduler the starved operator would just absorb the slack and the
+// inversion would be invisible:
+//
+//   - guarded: the candidate enters through the canary controller (one of
+//     the two per-query bindings), every batch passes the OpGuard's
+//     invariants, and a watchdog bounds the cycle's phases. The guard's
+//     starvation detector catches the pinned-and-growing bottleneck, the
+//     violations feed the canary verdict, and the rollout is rolled back
+//     within the comparison window.
+//   - unguarded: the same candidate replaces the policy on every binding
+//     at the same instant with nothing in its way, and the deployment
+//     degrades for the rest of the run.
+//
+// A short degraded-metrics window during the rollout exercises the
+// watchdog's fetch deadline, so BENCH_rollout.json also proves overruns
+// are detected and survivable.
+
+const (
+	rolloutSeed = 47
+	// rolloutRate is tuples/s per query — two queries plus the hogs share
+	// the Odroid. The pipelines alone sit well below saturation, so the
+	// healthy (QS) stack stays stable even with the hogs soaking the
+	// slack; once the candidate inverts priorities the pinned bottleneck
+	// loses the CPU to the hogs and queues visibly.
+	rolloutRate = 550
+	// rolloutWindow is the canary comparison window in decision cycles;
+	// it is also K, the bound within which the guarded stack must have
+	// rolled back.
+	rolloutWindow = 5
+	// rolloutHogs / rolloutHogNice shape the co-located batch load that
+	// shares the engine cgroup (see runRolloutVariant): always-runnable
+	// spinner threads that soak idle CPU, so scheduling priority decides
+	// which pipeline operators keep up.
+	rolloutHogs    = 2
+	rolloutHogNice = 15
+	// rolloutStarveCycles is the guard's starvation-detector threshold.
+	rolloutStarveCycles = 3
+	// rolloutStarveMinQueue is the detector's absolute queue floor. QS's
+	// relative normalization legitimately parks the least-loaded operator
+	// at nice +19; without a floor, that operator's queue jittering up by
+	// a few tuples (especially while the system drains a backlog after a
+	// rollback) would read as starvation and block the good policy's
+	// corrective batches.
+	rolloutStarveMinQueue = 64
+	// rolloutFetchDeadline bounds the metric-fetch phase (wall clock).
+	rolloutFetchDeadline = 5 * time.Millisecond
+	// rolloutSlowLatency is the injected fetch delay inside the degraded
+	// window — far past the deadline, so every affected fetch overruns.
+	rolloutSlowLatency = 25 * time.Millisecond
+	// rolloutDivergeFactor is the p95 growth past which a variant counts
+	// as degraded.
+	rolloutDivergeFactor = 1.5
+)
+
+// RolloutRow is one variant's outcome — a row of BENCH_rollout.json.
+type RolloutRow struct {
+	Variant string `json:"variant"`
+	// RolledBack reports whether the canary controller withdrew the
+	// candidate (always false for the unguarded stack, which has none).
+	RolledBack bool `json:"rolled_back"`
+	// RollbackCycle is the decision cycle (counted from the proposal) at
+	// which the rollback landed; -1 when no rollback happened.
+	RollbackCycle int `json:"rollback_cycle"`
+	// KBound is the cycle budget the rollback must meet (the window).
+	KBound int `json:"k_bound"`
+	// GuardViolations counts invariant violations the OpGuards raised.
+	GuardViolations int64 `json:"guard_violations"`
+	// WatchdogOverruns counts phase-deadline overruns (the injected
+	// degraded-metrics window).
+	WatchdogOverruns int64 `json:"watchdog_overruns"`
+	WatchdogDegraded bool  `json:"watchdog_degraded"`
+	// P95BeforeMs/P95AfterMs are mean per-query p95 end-to-end latencies
+	// at the rollout instant and at the end of the run.
+	P95BeforeMs float64 `json:"p95_before_ms"`
+	P95AfterMs  float64 `json:"p95_after_ms"`
+	// DegradationFactor is the worst per-query p95 growth after the
+	// rollout (after/before).
+	DegradationFactor float64 `json:"degradation_factor"`
+	// ThroughputFactor is the worst per-query egress-rate ratio
+	// (after/before).
+	ThroughputFactor float64 `json:"throughput_factor"`
+	StepErrors       int64   `json:"step_errors"`
+}
+
+// RolloutReport is the BENCH_rollout.json document.
+type RolloutReport struct {
+	Experiment string        `json:"experiment"`
+	Window     int           `json:"window_cycles"`
+	SwitchAt   time.Duration `json:"switch_at_ns"`
+	End        time.Duration `json:"end_ns"`
+	Rows       []RolloutRow  `json:"rows"`
+	// GuardedContained: the guarded stack rolled back within K cycles.
+	GuardedContained bool `json:"guarded_contained"`
+	// UnguardedDiverged: the unguarded stack degraded past the factor.
+	UnguardedDiverged bool `json:"unguarded_diverged"`
+}
+
+// inverseCostPolicy is the adversarial candidate: "drain the cheap
+// operators first" — it ranks operators by measured per-tuple cost and
+// hands the most expensive one the weakest priority. On a contended node
+// that deterministically pins the pipeline's bottleneck at nice +19 while
+// its queue grows without bound: exactly the signature the OpGuard's
+// starvation detector exists to catch. It also requests queue_size — the
+// guard reads queue growth from the binding's own view, so a policy that
+// fetches no queue metric would leave the detector blind (documented in
+// DESIGN.md).
+type inverseCostPolicy struct{}
+
+var _ core.Policy = inverseCostPolicy{}
+
+func (inverseCostPolicy) Name() string { return "inverse-cost" }
+func (inverseCostPolicy) Metrics() []string {
+	return []string{core.MetricCostMs, core.MetricQueueSize}
+}
+func (inverseCostPolicy) Schedule(view *core.View) (core.Schedule, error) {
+	cost := view.Metric(core.MetricCostMs)
+	single := make(map[string]float64, len(view.Entities))
+	for name := range view.Entities {
+		single[name] = -cost[name]
+	}
+	return core.Schedule{Scale: core.ScaleLinear, Single: single}, nil
+}
+
+// namedQSPolicy is QS with a per-binding name, so canary slots (which
+// take their stable policy's name) stay distinguishable in SLO sampling
+// and telemetry labels. The name encodes the query as "qs@<query>".
+type namedQSPolicy struct {
+	core.QSPolicy
+	name string
+}
+
+func (p namedQSPolicy) Name() string { return p.name }
+
+// rolloutMonitor records per-query SLO once per simulated second and
+// serves guard.SLOSample aggregates to the canary controller.
+type rolloutMonitor struct {
+	mu         sync.Mutex
+	deps       map[string]*spe.Deployment
+	lastEgress map[string]int64
+	latest     map[string]guard.SLOSample
+	latHist    map[string][]float64 // per-query p95 seconds, one per sample
+	tputHist   map[string][]float64 // per-query tuples/s, one per sample
+}
+
+func newRolloutMonitor(deps map[string]*spe.Deployment) *rolloutMonitor {
+	return &rolloutMonitor{
+		deps:       deps,
+		lastEgress: make(map[string]int64),
+		latest:     make(map[string]guard.SLOSample),
+		latHist:    make(map[string][]float64),
+		tputHist:   make(map[string][]float64),
+	}
+}
+
+// sample records one per-second observation for every query.
+func (m *rolloutMonitor) sample() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for q, dep := range m.deps {
+		p95, err := stats.Quantile(dep.Latencies().E2ESamples, 0.95)
+		if err != nil {
+			p95 = 0
+		}
+		// Reset so the next sample covers only the next interval: the
+		// canary verdict needs a responsive signal, not an all-time tail.
+		dep.ResetStats()
+		egress := dep.EgressCount()
+		tput := float64(egress - m.lastEgress[q])
+		m.lastEgress[q] = egress
+		m.latest[q] = guard.SLOSample{LatencyP95: p95, Throughput: tput, OK: p95 > 0}
+		m.latHist[q] = append(m.latHist[q], p95)
+		m.tputHist[q] = append(m.tputHist[q], tput)
+	}
+}
+
+// slo implements guard.Sampler: slot names are "qs@<query>", and a
+// group's SLO is the mean over its member queries' latest samples.
+func (m *rolloutMonitor) slo(group []string) guard.SLOSample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out guard.SLOSample
+	n := 0
+	for _, name := range group {
+		q := name
+		if i := strings.IndexByte(name, '@'); i >= 0 {
+			q = name[i+1:]
+		}
+		s, ok := m.latest[q]
+		if !ok || !s.OK {
+			continue
+		}
+		out.LatencyP95 += s.LatencyP95
+		out.Throughput += s.Throughput
+		n++
+	}
+	if n == 0 {
+		return guard.SLOSample{}
+	}
+	out.LatencyP95 /= float64(n)
+	out.Throughput /= float64(n)
+	out.OK = true
+	return out
+}
+
+// window returns the mean of the last k entries of xs.
+func meanTail(xs []float64, k int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if k > len(xs) {
+		k = len(xs)
+	}
+	sum := 0.0
+	for _, v := range xs[len(xs)-k:] {
+		sum += v
+	}
+	return sum / float64(k)
+}
+
+// runRolloutVariant runs one stack — guarded or unguarded — through the
+// adversarial rollout and measures containment.
+func runRolloutVariant(guarded bool, sc Scale) (RolloutRow, error) {
+	name := "unguarded"
+	if guarded {
+		name = "guarded"
+	}
+	row := RolloutRow{Variant: name, RollbackCycle: -1, KBound: rolloutWindow}
+
+	k := simos.New(simos.OdroidXU4())
+	eng, err := spe.New(k, spe.Config{Name: "storm0", Flavor: spe.FlavorStorm, Seed: rolloutSeed})
+	if err != nil {
+		return row, fmt.Errorf("engine: %w", err)
+	}
+	// Co-located batch work in the engine's cgroup: always-runnable
+	// spinners at a modest nice. They soak whatever CPU the pipeline
+	// leaves idle, so thread priority — not work-conserving slack —
+	// decides whether an operator keeps up. Under QS the operators
+	// outweigh the hogs and the pipeline is stable; under the adversarial
+	// candidate the pinned bottleneck (nice +19, weight ~15 against the
+	// hogs' combined ~72) loses the contended slack and queues without
+	// bound. Hog strength is deliberately mid-range: strong enough that
+	// the pinned operator starves, weak enough that after a rollback the
+	// temporarily +19-parked operators still drain the inflicted backlog.
+	// This is the paper's motivating co-location scenario, and it is what
+	// makes the adversarial rollout observable.
+	hog := simos.RunnerFunc(func(ctx *simos.RunContext, granted time.Duration) simos.Decision {
+		return simos.Decision{Used: granted, Action: simos.ActionYield}
+	})
+	for i := 0; i < rolloutHogs; i++ {
+		tid, err := k.Spawn(fmt.Sprintf("batch-hog-%d", i), eng.Cgroup(), hog)
+		if err != nil {
+			return row, fmt.Errorf("spawn hog: %w", err)
+		}
+		if err := k.SetNice(tid, rolloutHogNice); err != nil {
+			return row, fmt.Errorf("hog nice: %w", err)
+		}
+	}
+
+	q1 := workloads.ETL()
+	q2 := workloads.ETL()
+	q2.Name = "etl2"
+	dep1, err := eng.Deploy(q1, workloads.IoTSource(rolloutRate, rolloutSeed))
+	if err != nil {
+		return row, fmt.Errorf("deploy etl: %w", err)
+	}
+	dep2, err := eng.Deploy(q2, workloads.IoTSource(rolloutRate, rolloutSeed+1))
+	if err != nil {
+		return row, fmt.Errorf("deploy etl2: %w", err)
+	}
+	store := metrics.NewStore(time.Second)
+	if err := eng.StartReporter(store, time.Second); err != nil {
+		return row, fmt.Errorf("reporter: %w", err)
+	}
+	drv, err := driver.New(eng, store)
+	if err != nil {
+		return row, fmt.Errorf("driver: %w", err)
+	}
+	osa, err := simctl.NewOSAdapter(k)
+	if err != nil {
+		return row, err
+	}
+
+	switchAt := sc.Warmup
+	end := sc.Warmup + sc.Measure
+	queries := []string{q1.Name, q2.Name}
+	mon := newRolloutMonitor(map[string]*spe.Deployment{q1.Name: dep1, q2.Name: dep2})
+
+	// A degraded-metrics window after the canary verdict: fetches answer,
+	// but slower than the watchdog's deadline (virtual time selects the
+	// window; the wall-clock sleep trips the deadline). It sits past the
+	// comparison window on purpose — a timed-out fetch serves stale
+	// values, which would hide the queue growth the starvation detector
+	// watches. Both variants get the same wrap for symmetry; only the
+	// guarded stack has a watchdog to notice.
+	slowFrom := switchAt + time.Duration(rolloutWindow+3)*time.Second
+	fdrv := faults.WrapDriver(drv, faults.DriverPlan{
+		Seed:        rolloutSeed,
+		SlowWindows: faults.Windows{{From: slowFrom, To: slowFrom + 2*time.Second}},
+		SlowLatency: rolloutSlowLatency,
+		Sleep:       time.Sleep,
+	})
+
+	mw := core.NewMiddleware(nil)
+	trail := core.NewAuditTrail(512, nil)
+	mw.SetAudit(trail)
+	reg := mw.Telemetry()
+
+	var canary *guard.Canary
+	var wd *guard.Watchdog
+	var guards []*guard.OpGuard
+	if guarded {
+		canary = guard.NewCanary(guard.Config{Fraction: 0.5, Window: rolloutWindow})
+		canary.SetTelemetry(reg)
+		canary.SetAudit(trail)
+		canary.SetSampler(mon.slo)
+		canary.SetProvider(mw.Provider())
+		wd = guard.NewWatchdog(guard.WatchdogConfig{Fetch: rolloutFetchDeadline})
+		wd.SetTelemetry(reg)
+		wd.SetAudit(trail)
+		mw.SetWatchdog(wd)
+	}
+
+	for _, q := range queries {
+		var pol core.Policy
+		var g *guard.OpGuard
+		tr := core.NewNiceTranslator(osa)
+		if guarded {
+			g = guard.NewOpGuard(osa, guard.Invariants{
+				StarvationCycles:   rolloutStarveCycles,
+				StarvationMinQueue: rolloutStarveMinQueue,
+			})
+			g.SetTelemetry(reg, "qs@"+q)
+			g.SetAudit(trail)
+			guards = append(guards, g)
+			tr = core.NewNiceTranslator(g)
+			pol = canary.Slot(namedQSPolicy{name: "qs@" + q})
+		} else {
+			// The unguarded stack swaps every binding to the candidate at
+			// the same instant, with nothing to veto or withdraw it.
+			sw, err := core.NewSwitchedPolicy(func(view *core.View) int {
+				if view.Now >= switchAt {
+					return 1
+				}
+				return 0
+			}, namedQSPolicy{name: "qs@" + q}, inverseCostPolicy{})
+			if err != nil {
+				return row, err
+			}
+			pol = sw
+		}
+		b := core.Binding{
+			Policy: pol, Translator: tr,
+			Drivers: []core.Driver{fdrv}, Queries: []string{q},
+			Period: time.Second,
+		}
+		if g != nil {
+			b.Guard = g
+		}
+		if err := mw.Bind(b); err != nil {
+			return row, fmt.Errorf("bind %s: %w", q, err)
+		}
+	}
+	if guarded {
+		canary.SetViolationSource(func() int64 {
+			var total int64
+			for _, g := range guards {
+				total += g.Violations()
+			}
+			return total
+		})
+	}
+
+	runner, err := simctl.StartMiddleware(k, mw)
+	if err != nil {
+		return row, err
+	}
+	if guarded {
+		runner.PostStep = func(now time.Duration) {
+			wd.CycleDone(now)
+			canary.Tick(now)
+		}
+	}
+
+	// The monitor samples SLO once per simulated second; at the switch
+	// instant the guarded stack proposes the adversarial candidate.
+	var events []simctl.ChaosEvent
+	for at := time.Second; at <= end; at += time.Second {
+		events = append(events, simctl.ChaosEvent{
+			At: at, Name: "slo-sample",
+			Do: func() error { mon.sample(); return nil },
+		})
+	}
+	if guarded {
+		events = append(events, simctl.ChaosEvent{
+			At: switchAt, Name: "propose",
+			Do: func() error {
+				return canary.Propose(switchAt, "inverse-cost", inverseCostPolicy{},
+					[]byte(`{"policy":"inverse-cost"}`))
+			},
+		})
+	}
+	agent, err := simctl.StartChaosAgent(k, events)
+	if err != nil {
+		return row, err
+	}
+
+	k.RunUntil(end)
+	if len(agent.Errs) > 0 {
+		// A failed proposal (or monitor sample) invalidates the whole
+		// comparison; fail loudly rather than report a vacuous verdict.
+		return row, fmt.Errorf("chaos agent: %v", agent.Errs[0])
+	}
+
+	// Before/after SLO: the mean of the 3 samples leading into the switch
+	// vs the 3 samples at the end of the run.
+	beforeIdx := int(switchAt / time.Second)
+	worstLat, worstTput := 0.0, 0.0
+	nQ := 0
+	for _, q := range queries {
+		lat, tput := mon.latHist[q], mon.tputHist[q]
+		if beforeIdx > len(lat) {
+			beforeIdx = len(lat)
+		}
+		latBefore := meanTail(lat[:beforeIdx], 3)
+		latAfter := meanTail(lat, 3)
+		tputBefore := meanTail(tput[:beforeIdx], 3)
+		tputAfter := meanTail(tput, 3)
+		row.P95BeforeMs += latBefore * 1000
+		row.P95AfterMs += latAfter * 1000
+		nQ++
+		if latBefore > 0 && latAfter/latBefore > worstLat {
+			worstLat = latAfter / latBefore
+		}
+		if tputBefore > 0 {
+			f := tputAfter / tputBefore
+			if worstTput == 0 || f < worstTput {
+				worstTput = f
+			}
+		}
+	}
+	if nQ > 0 {
+		row.P95BeforeMs /= float64(nQ)
+		row.P95AfterMs /= float64(nQ)
+	}
+	row.DegradationFactor = worstLat
+	row.ThroughputFactor = worstTput
+	row.StepErrors = runner.Errs
+
+	if guarded {
+		st := canary.Status()
+		row.RolledBack = st.LastDecision == guard.DecisionRolledBack
+		if row.RolledBack {
+			row.RollbackCycle = st.Cycles
+		}
+		for _, g := range guards {
+			row.GuardViolations += g.Violations()
+		}
+		row.WatchdogOverruns = wd.Overruns()
+		row.WatchdogDegraded = wd.Degraded()
+	}
+	return row, nil
+}
+
+// rolloutExp runs both variants and emits BENCH_rollout.json when an
+// artifact directory is configured.
+func rolloutExp(w io.Writer, sc Scale) error {
+	report := RolloutReport{
+		Experiment: "rollout", Window: rolloutWindow,
+		SwitchAt: sc.Warmup, End: sc.Warmup + sc.Measure,
+	}
+	for _, guarded := range []bool{true, false} {
+		if sc.Progress != nil {
+			sc.Progress(fmt.Sprintf("rollout: guarded=%v", guarded))
+		}
+		row, err := runRolloutVariant(guarded, sc)
+		if err != nil {
+			return err
+		}
+		report.Rows = append(report.Rows, row)
+	}
+	for _, r := range report.Rows {
+		switch r.Variant {
+		case "guarded":
+			report.GuardedContained = r.RolledBack && r.RollbackCycle >= 0 && r.RollbackCycle <= r.KBound
+		case "unguarded":
+			report.UnguardedDiverged = r.DegradationFactor > rolloutDivergeFactor ||
+				(r.ThroughputFactor > 0 && r.ThroughputFactor < 0.9)
+		}
+	}
+
+	fmt.Fprintln(w, "# Rollout: adversarial policy vs guarded and unguarded stacks")
+	fmt.Fprintf(w, "two ETL queries + co-located batch hogs on Storm (Odroid); inverse-cost proposed at %v; canary window %d cycles;\n",
+		sc.Warmup, rolloutWindow)
+	fmt.Fprintf(w, "starvation detector at %d cycles; fetch deadline %v with %v injected slowness\n",
+		rolloutStarveCycles, rolloutFetchDeadline, rolloutSlowLatency)
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-10s %10s %9s %11s %9s %11s %11s %9s\n",
+		"variant", "rolledback", "at-cycle", "violations", "overruns", "p95-factor", "tput-factor", "p95-after")
+	for _, r := range report.Rows {
+		fmt.Fprintf(w, "%-10s %10v %9d %11d %9d %10.2fx %10.2fx %7.1fms\n",
+			r.Variant, r.RolledBack, r.RollbackCycle, r.GuardViolations,
+			r.WatchdogOverruns, r.DegradationFactor, r.ThroughputFactor, r.P95AfterMs)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "guarded contained within K=%d cycles: %v; unguarded diverged: %v\n",
+		report.Window, report.GuardedContained, report.UnguardedDiverged)
+	fmt.Fprintln(w, "the guard's starvation detector feeds the canary verdict, so the bad policy is")
+	fmt.Fprintln(w, "withdrawn before the window closes; the unguarded stack keeps starving its bottleneck.")
+
+	if sc.ArtifactDir != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(sc.ArtifactDir, "BENCH_rollout.json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "artifacts: %s\n", path)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRolloutAcceptance checks the guarded-rollout acceptance criteria:
+// the guarded stack withdraws the adversarial candidate within K decision
+// cycles (through the starvation-violation path), the watchdog observes
+// the injected fetch slowness, and the unguarded stack — same candidate,
+// nothing in its way — measurably diverges.
+func TestRolloutAcceptance(t *testing.T) {
+	sc := QuickScale
+	sc.ArtifactDir = t.TempDir()
+
+	var out bytes.Buffer
+	if err := rolloutExp(&out, sc); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(filepath.Join(sc.ArtifactDir, "BENCH_rollout.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report RolloutReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH_rollout.json: %v", err)
+	}
+
+	if !report.GuardedContained {
+		t.Errorf("guarded stack did not roll back within K=%d cycles", report.Window)
+	}
+	if !report.UnguardedDiverged {
+		t.Error("unguarded stack did not diverge — the adversarial candidate is toothless")
+	}
+	if len(report.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(report.Rows))
+	}
+	for _, r := range report.Rows {
+		switch r.Variant {
+		case "guarded":
+			if !r.RolledBack || r.RollbackCycle < 0 || r.RollbackCycle > r.KBound {
+				t.Errorf("guarded rollback: rolledBack=%v cycle=%d (K=%d)",
+					r.RolledBack, r.RollbackCycle, r.KBound)
+			}
+			if r.GuardViolations == 0 {
+				t.Error("guard saw no violations — the starvation detector never fired")
+			}
+			if r.WatchdogOverruns == 0 {
+				t.Error("watchdog saw no overruns — the degraded-metrics window missed")
+			}
+		case "unguarded":
+			if r.RolledBack {
+				t.Error("unguarded stack reported a rollback — it has no canary")
+			}
+			if r.GuardViolations != 0 || r.WatchdogOverruns != 0 {
+				t.Errorf("unguarded stack has guard state: %+v", r)
+			}
+		default:
+			t.Errorf("unexpected variant %q", r.Variant)
+		}
+	}
+}

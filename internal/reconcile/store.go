@@ -34,6 +34,11 @@ const (
 	SnapshotFile = "state.snap"
 	LogFile      = "state.log"
 	tmpFile      = "state.snap.tmp"
+	// PolicyFile holds the last-good policy configuration, persisted
+	// alongside the desired state so a canary rollback survives a crash
+	// (see internal/guard's canary controller).
+	PolicyFile    = "policy-lastgood.json"
+	policyTmpFile = PolicyFile + ".tmp"
 )
 
 // storeFormat is the on-disk format version in the snapshot header.
@@ -423,6 +428,47 @@ func (s *Store) Compact(entries map[string]Entry, version int64) error {
 	}
 	s.logOps = 0
 	return nil
+}
+
+// SaveLastGoodPolicy atomically persists the last-good policy config
+// (written to a temp file, synced, renamed into place) alongside the
+// desired-state snapshot. It implements the canary controller's
+// PolicyStore so a rollback survives a crash: a restarting daemon loads
+// the config that was last promoted, never a half-rolled-out candidate.
+func (s *Store) SaveLastGoodPolicy(config []byte) error {
+	f, err := s.fs.Create(policyTmpFile)
+	if err != nil {
+		return fmt.Errorf("create policy file: %w", err)
+	}
+	if _, err := f.Write(config); err != nil {
+		f.Close()
+		return fmt.Errorf("write policy file: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("sync policy file: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := s.fs.Rename(policyTmpFile, PolicyFile); err != nil {
+		return fmt.Errorf("install policy file: %w", err)
+	}
+	return nil
+}
+
+// LoadLastGoodPolicy reads the persisted last-good policy config. A
+// missing file is not an error: ok is false and the caller falls back to
+// its static configuration.
+func (s *Store) LoadLastGoodPolicy() ([]byte, bool, error) {
+	raw, err := s.fs.ReadFile(PolicyFile)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("read policy file: %w", err)
+	}
+	return raw, true, nil
 }
 
 // Close releases the append handle (the files themselves need no

@@ -167,6 +167,11 @@ type Runner struct {
 	Errs int64
 	// LastErr retains the most recent error for diagnostics.
 	LastErr error
+	// PostStep, when set, runs after every Step with the step's virtual
+	// time — the hook a guarded stack uses to tick its canary controller
+	// and watchdog cycle accounting, mirroring the daemon's main loop.
+	// Set before the kernel runs.
+	PostStep func(now time.Duration)
 }
 
 // Per-iteration CPU cost model for the middleware thread: a base cost plus
@@ -199,6 +204,9 @@ func (r *Runner) run(ctx *simos.RunContext, granted time.Duration) simos.Decisio
 	if err != nil {
 		r.Errs++
 		r.LastErr = err
+	}
+	if r.PostStep != nil {
+		r.PostStep(now)
 	}
 	cost := stepBaseCost +
 		time.Duration(stats.PoliciesRun)*stepPerPolicyCost +
