@@ -1,0 +1,148 @@
+// Command lachesis-fleet is the fleet coordinator: it keeps a leased
+// registry of lachesisd agents (POST /register, POST /heartbeat), fans
+// versioned policies out to their POST /policy APIs, and runs canary
+// rollouts across node cohorts with SLO-delta and guard-violation
+// auto-rollback (POST /fleet/policy). With -state, registry and rollout
+// state survive coordinator restarts: a crash mid-rollout resumes the
+// rollout, it never clobbers the agents back to square one — agents
+// keep enforcing their last-good policies autonomously whether or not a
+// coordinator is alive.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/fleet"
+	"lachesis/internal/reconcile"
+)
+
+func main() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, sigs); err != nil {
+		fmt.Fprintf(os.Stderr, "lachesis-fleet: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the daemon body, factored for tests.
+func run(args []string, stdout, stderr io.Writer, sigs chan os.Signal) error {
+	fs := flag.NewFlagSet("lachesis-fleet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listen := fs.String("listen", "127.0.0.1:9600", "coordinator HTTP address")
+	statePath := fs.String("state", "", "state directory for crash-safe registry/rollout persistence (empty: in-memory)")
+	tick := fs.Duration("tick", time.Second, "coordinator cycle period (sweep + rollout advance)")
+	heartbeat := fs.Duration("heartbeat", time.Second, "heartbeat interval expected from agents")
+	suspectAfter := fs.Int("suspect-after", 3, "missed beats before an agent lease turns suspect")
+	evictAfter := fs.Int("evict-after", 10, "missed beats before an agent lease is evicted")
+	canaryFraction := fs.Float64("canary-fraction", 0.25, "fraction of agents in the canary cohort")
+	waves := fs.Int("waves", 2, "promotion waves after the canary cohort")
+	window := fs.Int("window", 5, "observation window per cohort, in ticks")
+	pushTicks := fs.Int("push-ticks", 5, "ticks before unreachable agents are degraded out of a wave")
+	agentTimeout := fs.Duration("agent-timeout", 2*time.Second, "per-request timeout talking to agents")
+	auditPath := fs.String("audit", "", "append-only JSONL audit log (empty: ring buffer only)")
+	iterations := fs.Int("iterations", 0, "exit after this many ticks (0: run until signal)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// Fail fast on nonsense configuration instead of limping along with
+	// silently substituted defaults.
+	switch {
+	case *tick <= 0:
+		return fmt.Errorf("-tick must be positive, got %v", *tick)
+	case *heartbeat <= 0:
+		return fmt.Errorf("-heartbeat must be positive, got %v", *heartbeat)
+	case *canaryFraction <= 0 || *canaryFraction > 1:
+		return fmt.Errorf("-canary-fraction must be in (0,1], got %v", *canaryFraction)
+	case *suspectAfter <= 0:
+		return fmt.Errorf("-suspect-after must be positive, got %d", *suspectAfter)
+	case *evictAfter <= *suspectAfter:
+		return fmt.Errorf("-evict-after (%d) must exceed -suspect-after (%d)", *evictAfter, *suspectAfter)
+	case *waves <= 0 || *window <= 0 || *pushTicks <= 0:
+		return errors.New("-waves, -window and -push-ticks must be positive")
+	}
+
+	// Audit trail, optionally mirrored to a JSONL file.
+	var trailSink core.AuditSink
+	if *auditPath != "" {
+		f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("audit log: %w", err)
+		}
+		defer f.Close()
+		trailSink = core.NewJSONLSink(f)
+	}
+
+	d := newFleetDaemon(fleetOptions{
+		registry: fleet.RegistryConfig{
+			HeartbeatInterval: *heartbeat,
+			SuspectAfter:      *suspectAfter,
+			EvictAfter:        *evictAfter,
+		},
+		rollout: fleet.RolloutConfig{
+			CanaryFraction: *canaryFraction,
+			Waves:          *waves,
+			WindowTicks:    *window,
+			PushTicks:      *pushTicks,
+		},
+		conns: fleet.HTTPConnFactory(*agentTimeout),
+		sink:  trailSink,
+	})
+
+	// Warm restart: registry, rollout state, and the fleet-level
+	// last-good policy all come back from the state directory.
+	if *statePath != "" {
+		sfs, err := reconcile.NewOSFS(*statePath)
+		if err != nil {
+			return fmt.Errorf("state dir: %w", err)
+		}
+		warnf := func(format string, args ...any) {
+			fmt.Fprintf(stderr, "lachesis-fleet: state: "+format+"\n", args...)
+		}
+		if err := d.attachState(fleet.NewStore(sfs, warnf), reconcile.NewStore(sfs, warnf)); err != nil {
+			return err
+		}
+		st := d.co.Status()
+		fmt.Fprintf(stderr, "lachesis-fleet: state loaded from %s: %d agents, rollout %s\n",
+			*statePath, len(d.reg.Agents()), st.Phase)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: d.handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	fmt.Fprintf(stderr, "lachesis-fleet: listening on %s (tick %v, heartbeat %v)\n",
+		ln.Addr(), *tick, *heartbeat)
+
+	ticker := time.NewTicker(*tick)
+	defer ticker.Stop()
+	ticks := 0
+	for {
+		select {
+		case sig := <-sigs:
+			fmt.Fprintf(stderr, "lachesis-fleet: %v, shutting down\n", sig)
+			return nil
+		case <-ticker.C:
+			d.tick()
+			ticks++
+			if *iterations > 0 && ticks >= *iterations {
+				fmt.Fprintf(stderr, "lachesis-fleet: %d ticks done, exiting\n", ticks)
+				return nil
+			}
+		}
+	}
+}

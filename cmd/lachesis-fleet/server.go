@@ -1,0 +1,287 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/fleet"
+	"lachesis/internal/guard"
+	"lachesis/internal/telemetry"
+)
+
+// maxPolicyPayload bounds a POST /fleet/policy request body (the same
+// cap lachesisd puts on its own /policy).
+const maxPolicyPayload = 1 << 20
+
+// defaultAuditTail is how many events /debug/audit returns without ?n=.
+const defaultAuditTail = 64
+
+// fleetOptions assembles a daemon.
+type fleetOptions struct {
+	registry fleet.RegistryConfig
+	rollout  fleet.RolloutConfig
+	conns    fleet.ConnFactory
+	sink     core.AuditSink
+}
+
+// fleetDaemon owns the coordinator's moving parts and their HTTP
+// surface. The registry and coordinator carry their own locks; d.mu
+// only guards the last-good bookkeeping.
+type fleetDaemon struct {
+	reg   *fleet.Registry
+	co    *fleet.Coordinator
+	tel   *telemetry.Registry
+	trail *core.AuditTrail
+	start time.Time
+
+	mu sync.Mutex
+	// lastGood is the fleet-level stable payload: the last promoted
+	// candidate, used as the rollback target of the next rollout.
+	lastGood []byte
+	// pending is the candidate payload of the in-flight rollout.
+	pending []byte
+	// promotionsSeen detects promotion transitions across ticks.
+	promotionsSeen int64
+	// proposals numbers auto-versioned candidates.
+	proposals int64
+	// policyStore persists lastGood (nil: memory only).
+	policyStore guard.PolicyStore
+}
+
+func newFleetDaemon(opts fleetOptions) *fleetDaemon {
+	d := &fleetDaemon{
+		tel:   telemetry.NewRegistry(),
+		trail: core.NewAuditTrail(0, opts.sink),
+		start: time.Now(),
+	}
+	d.reg = fleet.NewRegistry(opts.registry)
+	d.reg.SetAudit(d.trail)
+	d.reg.SetTelemetry(d.tel)
+	d.co = fleet.NewCoordinator(opts.rollout, d.reg, opts.conns)
+	d.co.SetAudit(d.trail)
+	d.co.SetTelemetry(d.tel)
+	return d
+}
+
+// now is the daemon-relative clock feeding leases and rollout ticks.
+func (d *fleetDaemon) now() time.Duration { return time.Since(d.start) }
+
+// attachState wires crash-safe persistence and performs the warm
+// restart: registry leases re-anchor at now, an in-flight rollout
+// resumes at its persisted phase, and the fleet last-good payload is
+// reloaded.
+func (d *fleetDaemon) attachState(fs *fleet.Store, ps guard.PolicyStore) error {
+	now := d.now()
+	d.reg.SetStore(fs)
+	if err := d.reg.Restore(now); err != nil {
+		return fmt.Errorf("restore registry: %w", err)
+	}
+	d.co.SetStore(fs)
+	if _, err := d.co.Resume(now); err != nil {
+		return fmt.Errorf("resume rollout: %w", err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.policyStore = ps
+	if raw, ok, err := ps.LoadLastGoodPolicy(); err != nil {
+		return fmt.Errorf("load fleet last-good: %w", err)
+	} else if ok {
+		d.lastGood = raw
+	}
+	// Promotions that happened before the crash must not be mistaken for
+	// fresh ones after it.
+	d.promotionsSeen = d.co.Status().Promotions
+	return nil
+}
+
+// tick runs one coordinator cycle: lease sweep, rollout advance, and
+// promotion bookkeeping (a freshly promoted candidate becomes the new
+// fleet-level last-good, persisted when a store is attached).
+func (d *fleetDaemon) tick() {
+	now := d.now()
+	d.reg.Sweep(now)
+	d.co.Tick(now)
+	st := d.co.Status()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if st.Promotions > d.promotionsSeen && d.pending != nil {
+		d.promotionsSeen = st.Promotions
+		d.lastGood = d.pending
+		d.pending = nil
+		if d.policyStore != nil {
+			if err := d.policyStore.SaveLastGoodPolicy(d.lastGood); err != nil {
+				d.trail.Record(core.AuditEvent{At: now, Kind: fleet.AuditKindFleet,
+					Outcome: "WARNING: persisting fleet last-good failed: " + err.Error()})
+			}
+		}
+	}
+}
+
+// propose stages a candidate payload fleet-wide. The rollback target is
+// the current fleet last-good (the payload itself on the very first
+// rollout, making rollback a no-op rather than a nil push).
+func (d *fleetDaemon) propose(version string, payload []byte) error {
+	d.mu.Lock()
+	if version == "" {
+		d.proposals++
+		version = fmt.Sprintf("fleet-%d", d.proposals)
+	}
+	stable := d.lastGood
+	if stable == nil {
+		stable = payload
+	}
+	d.mu.Unlock()
+	if err := d.co.Propose(d.now(), version, payload, stable); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.pending = payload
+	d.mu.Unlock()
+	return nil
+}
+
+// fleetHealth is the JSON shape of GET /fleet/health.
+type fleetHealth struct {
+	Status  string            `json:"status"` // "ok" or "degraded"
+	Agents  map[string]int    `json:"agents"` // count per lease state
+	Rollout fleet.FleetStatus `json:"rollout"`
+}
+
+// handler builds the coordinator HTTP mux.
+func (d *fleetDaemon) handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/register", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var req fleet.RegisterRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rec, err := d.reg.Register(d.now(), req.ID, req.Addr)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, http.StatusOK, fleet.RegisterResponse{
+			Generation: rec.Generation,
+			IntervalMs: d.reg.Config().HeartbeatInterval.Milliseconds(),
+		})
+	})
+
+	mux.HandleFunc("/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var req fleet.HeartbeatRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		switch err := d.reg.Heartbeat(d.now(), req.ID); {
+		case errors.Is(err, fleet.ErrUnknownAgent):
+			// 404 tells the beacon to re-register (new lease, new generation).
+			http.Error(w, err.Error(), http.StatusNotFound)
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		default:
+			w.WriteHeader(http.StatusNoContent)
+		}
+	})
+
+	mux.HandleFunc("/fleet/agents", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Agents []fleet.AgentRecord `json:"agents"`
+		}{Agents: d.reg.Agents()})
+	})
+
+	mux.HandleFunc("/fleet/policy", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, d.co.Status())
+		case http.MethodPost:
+			body, err := io.ReadAll(io.LimitReader(r.Body, maxPolicyPayload))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := d.propose(r.URL.Query().Get("version"), body); err != nil {
+				// 409 mirrors the agent API: a rollout in flight must not be
+				// silently displaced.
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			writeJSON(w, http.StatusAccepted, d.co.Status())
+		default:
+			w.Header().Set("Allow", "GET, POST")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+
+	mux.HandleFunc("/fleet/health", func(w http.ResponseWriter, r *http.Request) {
+		agents := map[string]int{}
+		active := 0
+		for _, a := range d.reg.Agents() {
+			agents[a.State]++
+			if a.State == fleet.LeaseActive {
+				active++
+			}
+		}
+		h := fleetHealth{Status: "ok", Agents: agents, Rollout: d.co.Status()}
+		code := http.StatusOK
+		if active == 0 && len(d.reg.Agents()) > 0 {
+			h.Status = "degraded" // a fleet with zero reachable agents is not ok
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, h)
+	})
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		var buf bytes.Buffer
+		if err := d.tel.WritePrometheus(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = buf.WriteTo(w)
+	})
+
+	mux.HandleFunc("/debug/audit", func(w http.ResponseWriter, r *http.Request) {
+		n := defaultAuditTail
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v <= 0 {
+				http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Total  int64             `json:"total"`
+			Events []core.AuditEvent `json:"events"`
+		}{Total: d.trail.Total(), Events: d.trail.Last(n)})
+	})
+
+	return mux
+}
+
+// writeJSON renders v as an indented JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

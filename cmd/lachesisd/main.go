@@ -28,6 +28,13 @@
 // decision-cycle watchdog, and canary-style policy hot reload (SIGHUP
 // re-reads the config's priorities and stages them as a candidate;
 // POST /policy on the introspection server does the same over HTTP).
+//
+// With -fleet the daemon additionally registers with a lachesis-fleet
+// coordinator and heartbeats its lease; coordinator-pushed policies
+// arrive through the same POST /policy canary path, named by the fleet
+// rollout version and attributed to their origin in the audit trail.
+// Fleet membership never overrides local safety: a dead coordinator
+// leaves the daemon enforcing its last-good policy autonomously.
 package main
 
 import (
@@ -44,6 +51,7 @@ import (
 	"time"
 
 	"lachesis/internal/core"
+	"lachesis/internal/fleet"
 	"lachesis/internal/guard"
 	"lachesis/internal/oslinux"
 	"lachesis/internal/reconcile"
@@ -118,9 +126,16 @@ type canaryConfig struct {
 
 // policyConfig is the hot-reloadable policy payload: the "priorities"
 // section of the config file, as staged by SIGHUP and POST /policy and
-// persisted as the last-good policy.
+// persisted as the last-good policy. Origin and Version are optional
+// attribution set by remote proposers (the fleet coordinator sends
+// origin "fleet" and its rollout version): the version names the canary
+// candidate — so the coordinator can recognize its own in-flight
+// candidate when a retry hits 409 — and both are recorded in the audit
+// trail.
 type policyConfig struct {
 	Priorities map[string]float64 `json:"priorities"`
+	Origin     string             `json:"origin,omitempty"`
+	Version    string             `json:"version,omitempty"`
 }
 
 // buildPolicy constructs the daemon's policy from logical priorities (the
@@ -170,6 +185,11 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 		statePath         = fs.String("state", "", "directory persisting desired scheduling state across restarts (empty = in-memory)")
 		reconcileInterval = fs.Duration("reconcile-interval", 0,
 			"reconcile actual OS state against desired state this often (0 disables; needs a non-dry-run system)")
+		fleetAddr = fs.String("fleet", "",
+			"fleet coordinator base URL to register with and heartbeat (empty = standalone)")
+		agentID   = fs.String("agent-id", "", "agent id reported to the fleet coordinator (default: hostname)")
+		advertise = fs.String("advertise", "",
+			"address the coordinator should reach this agent's policy API on (default: the -introspect address)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -177,6 +197,23 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	if *configPath == "" {
 		fs.Usage()
 		return fmt.Errorf("missing -config")
+	}
+	// Fail fast on nonsense flags instead of limping along with a
+	// silently disabled subsystem.
+	var flagErr error
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "reconcile-interval" && *reconcileInterval <= 0 {
+			flagErr = fmt.Errorf("-reconcile-interval must be positive, got %v", *reconcileInterval)
+		}
+	})
+	if flagErr != nil {
+		return flagErr
+	}
+	if *reconcileInterval > 0 && *statePath == "" {
+		return errors.New("-reconcile-interval needs -state: reconciliation repairs drift against persisted desired state")
+	}
+	if *fleetAddr != "" && *advertise == "" && *introspect == "" {
+		return errors.New("-fleet needs -introspect (or -advertise): the coordinator drives this agent through its policy API")
 	}
 	raw, err := os.ReadFile(*configPath)
 	if err != nil {
@@ -404,7 +441,10 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 
 	// propose stages a policy payload as a canary candidate. Callers hold
 	// mu (the step loop, the SIGHUP branch and the HTTP handler all
-	// serialize through it).
+	// serialize through it). A payload carrying a version is named by it
+	// (the fleet coordinator's idempotent-retry handshake depends on the
+	// candidate name matching the version it pushed); the origin — local
+	// reload or fleet — is recorded in the audit trail.
 	var reloads int64
 	propose := func(now time.Duration, raw []byte) error {
 		var pc policyConfig
@@ -415,7 +455,20 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 			return errors.New("policy has no priorities")
 		}
 		reloads++
-		return canary.Propose(now, fmt.Sprintf("reload-%d", reloads), buildPolicy(pc.Priorities), raw)
+		name := fmt.Sprintf("reload-%d", reloads)
+		if pc.Version != "" {
+			name = pc.Version
+		}
+		if err := canary.Propose(now, name, buildPolicy(pc.Priorities), raw); err != nil {
+			return err
+		}
+		origin := pc.Origin
+		if origin == "" {
+			origin = "local"
+		}
+		trail.Record(core.AuditEvent{At: now, Kind: core.AuditKindCanary,
+			Outcome: fmt.Sprintf("candidate %q staged by origin %q", name, origin)})
+		return nil
 	}
 
 	var rec *reconcile.Reconciler
@@ -443,6 +496,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	// mu serializes the step loop, the reconciler, and the introspection
 	// handlers.
 	var mu sync.Mutex
+	introspectAddr := ""
 	if *introspect != "" {
 		srv, err := startIntrospection(*introspect, introspectionDeps{
 			mu: &mu, mw: mw, trail: trail, rec: rec, state: state,
@@ -453,7 +507,37 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 			return fmt.Errorf("introspection: %w", err)
 		}
 		defer srv.Close()
+		introspectAddr = srv.addr
 		fmt.Fprintf(stderr, "lachesisd: introspection listening on http://%s\n", srv.addr)
+	}
+
+	// With -fleet the daemon joins a coordinator: register, heartbeat,
+	// re-register when the coordinator forgets us. Fleet membership is
+	// strictly additive — a dead or partitioned coordinator never stops
+	// the local decision cycle, which keeps enforcing the last-good
+	// policy on its own.
+	if *fleetAddr != "" {
+		id := *agentID
+		if id == "" {
+			if id, _ = os.Hostname(); id == "" {
+				id = fmt.Sprintf("lachesisd-%d", os.Getpid())
+			}
+		}
+		adv := *advertise
+		if adv == "" {
+			adv = introspectAddr
+		}
+		beacon, err := fleet.StartBeacon(fleet.BeaconConfig{
+			Coordinator: *fleetAddr, ID: id, Addr: adv,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(stderr, "lachesisd: fleet: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("fleet beacon: %w", err)
+		}
+		defer beacon.Close()
+		fmt.Fprintf(stderr, "lachesisd: fleet: joining %s as %q (policy API on %s)\n", *fleetAddr, id, adv)
 	}
 
 	// Warm restart: desired state loaded from a previous life is

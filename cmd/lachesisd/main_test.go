@@ -2,11 +2,19 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
+	"time"
+
+	"lachesis/internal/fleet"
+	"lachesis/internal/guard"
 )
 
 func writeConfig(t *testing.T, content string) string {
@@ -173,11 +181,30 @@ func TestStatePersistsAcrossRuns(t *testing.T) {
 func TestReconcileRequiresObservableSystem(t *testing.T) {
 	cfg := writeConfig(t, validConfig)
 	var out, errOut bytes.Buffer
-	if err := run([]string{"-config", cfg, "-iterations", "1", "-reconcile-interval", "1s"}, &out, &errOut, nil); err != nil {
+	args := []string{"-config", cfg, "-iterations", "1", "-reconcile-interval", "1s", "-state", t.TempDir()}
+	if err := run(args, &out, &errOut, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(errOut.String(), "reconciliation disabled") {
 		t.Errorf("stderr = %q", errOut.String())
+	}
+}
+
+// TestFlagValidationFailsFast: contradictory flags are rejected at
+// startup instead of silently degrading a subsystem.
+func TestFlagValidationFailsFast(t *testing.T) {
+	cfg := writeConfig(t, validConfig)
+	cases := [][]string{
+		{"-config", cfg, "-reconcile-interval", "0s"},  // explicitly disabled-by-zero
+		{"-config", cfg, "-reconcile-interval", "-1s"}, // negative interval
+		{"-config", cfg, "-reconcile-interval", "1s"},  // reconcile without -state
+		{"-config", cfg, "-fleet", "127.0.0.1:9600"},   // fleet without a reachable policy API
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if err := run(args, &out, &errOut, nil); err == nil {
+			t.Errorf("run(%v) succeeded, want fail-fast validation error", args)
+		}
 	}
 }
 
@@ -260,6 +287,184 @@ func TestSIGHUPHotReloadPromotesAndPersists(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "renice tid=4242 nice=19") {
 		t.Errorf("run 3 did not enforce the promoted policy:\n%s", out.String())
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer: the daemon goroutine
+// writes while the test polls.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestConcurrentPolicyProposals races two simultaneous POST /policy
+// requests against a live daemon: exactly one is accepted (202), the
+// other conflicts (409), and the rollout state afterwards shows a single
+// coherent candidate — named by the payload's version and attributed to
+// its origin in the audit trail, the fleet coordinator's handshake.
+func TestConcurrentPolicyProposals(t *testing.T) {
+	// A huge canary window so the candidate is still in flight (and the
+	// daemon still looping) while the test inspects it.
+	cfg := writeConfig(t, strings.Replace(validConfig, `"priorities"`,
+		`"canary": {"windowCycles": 100000}, "priorities"`, 1))
+	var out, errOut syncBuffer
+	sigs := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-config", cfg, "-iterations", "0", "-introspect", "127.0.0.1:0"},
+			&out, &errOut, sigs)
+	}()
+	defer func() {
+		sigs <- os.Interrupt
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("run = %v\nstderr: %s", err, errOut.String())
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("daemon did not shut down")
+		}
+	}()
+
+	// The daemon picks its own port; scrape it off stderr.
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("introspection server never came up:\n%s", errOut.String())
+		}
+		for _, line := range strings.Split(errOut.String(), "\n") {
+			if _, addr, ok := strings.Cut(line, "listening on http://"); ok {
+				base = "http://" + strings.TrimSpace(addr)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	payload := `{"priorities":{"count":1,"toll":10},"origin":"fleet","version":"v7"}`
+	codes := make(chan int, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(base+"/policy", "application/json", strings.NewReader(payload))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	wg.Wait()
+	close(codes)
+	got := map[int]int{}
+	for c := range codes {
+		got[c]++
+	}
+	if got[http.StatusAccepted] != 1 || got[http.StatusConflict] != 1 {
+		t.Fatalf("status codes = %v, want exactly one 202 and one 409", got)
+	}
+
+	// No partial rollout state: one active candidate, named by the
+	// proposal's version.
+	resp, err := http.Get(base + "/policy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st guard.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !st.Active || st.Candidate != "v7" {
+		t.Fatalf("rollout after race = %+v, want active candidate v7", st)
+	}
+
+	// The accepted proposal is attributed to its origin in the audit trail.
+	resp, err = http.Get(base + "/debug/audit?n=256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var audit bytes.Buffer
+	_, _ = audit.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(audit.String(), `staged by origin \"fleet\"`) {
+		t.Fatalf("audit trail missing fleet-origin attribution:\n%s", audit.String())
+	}
+}
+
+// TestFleetBeaconRegistersWithCoordinator: -fleet wires the registration
+// and heartbeat client; the daemon joins the coordinator and advertises
+// its introspection address without ever blocking the decision loop.
+func TestFleetBeaconRegistersWithCoordinator(t *testing.T) {
+	var mu sync.Mutex
+	var registered []fleet.RegisterRequest
+	beats := 0
+	coord := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch r.URL.Path {
+		case "/register":
+			var req fleet.RegisterRequest
+			_ = json.NewDecoder(r.Body).Decode(&req)
+			registered = append(registered, req)
+			writeJSON(w, http.StatusOK, fleet.RegisterResponse{Generation: 1, IntervalMs: 10})
+		case "/heartbeat":
+			beats++
+			w.WriteHeader(http.StatusNoContent)
+		}
+	}))
+	defer coord.Close()
+
+	cfg := writeConfig(t, validConfig)
+	var out, errOut syncBuffer
+	sigs := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-config", cfg, "-iterations", "0", "-introspect", "127.0.0.1:0",
+			"-fleet", coord.URL, "-agent-id", "n1"}, &out, &errOut, sigs)
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		ok := len(registered) > 0 && beats > 0
+		mu.Unlock()
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never joined the coordinator:\n%s", errOut.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	sigs <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run = %v\nstderr: %s", err, errOut.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if registered[0].ID != "n1" || registered[0].Addr == "" {
+		t.Fatalf("register request = %+v, want id n1 advertising the introspection address", registered[0])
 	}
 }
 

@@ -1,0 +1,151 @@
+package driver
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"lachesis/internal/core"
+)
+
+// Shared retry/backoff machinery for the control backends. Every surface
+// that talks to something flaky — the Linux backend's syscalls, the
+// simulated kernel adapter, the fleet coordinator's per-agent policy
+// pushes — used to grow its own copy of the same three lines: classify
+// the error onto the core taxonomy, retry while it is transient, count
+// the extra attempts. This file is the one copy. Backends keep their own
+// classifiers (an errno and a simos.NotFoundError are not the same
+// animal) and share the loop, the backoff curve, and the jitter.
+
+// MarkVanished wraps err with core.ErrEntityVanished: the operation's
+// target exited or was torn down concurrently, which callers treat as a
+// benign race rather than a failure.
+func MarkVanished(err error) error {
+	return fmt.Errorf("%w: %w", core.ErrEntityVanished, err)
+}
+
+// MarkTransient wraps err with core.ErrTransient: the operation is worth
+// retrying (EAGAIN-style exhaustion, a timeout, a flapping endpoint).
+func MarkTransient(err error) error {
+	return fmt.Errorf("%w: %w", core.ErrTransient, err)
+}
+
+// RetryPolicy runs an operation with bounded retries and exponential
+// backoff. The zero value retries nothing; fill in Attempts (and, for
+// paced retries, BaseDelay) to get behaviour. All fields are optional
+// knobs with safe defaults so call sites stay one-liners.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (first call included).
+	// Values below 1 mean a single attempt.
+	Attempts int
+	// Classify maps a backend-native error onto the core taxonomy before
+	// the retry decision (nil = use the error as is).
+	Classify func(error) error
+	// Retryable decides whether a classified error deserves another
+	// attempt (nil = core.IsTransient).
+	Retryable func(error) bool
+	// BaseDelay is the sleep before the first retry; each further retry
+	// doubles it, capped at MaxDelay. Zero retries immediately — the
+	// historical behaviour of the Linux backend, whose transients
+	// (EAGAIN/EINTR) clear in microseconds.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 30s when BaseDelay
+	// is set).
+	MaxDelay time.Duration
+	// Jitter spreads each delay by ±Jitter fraction (e.g. 0.2 = ±20%) so
+	// a fleet of retriers never phase-locks against a recovering target.
+	Jitter float64
+	// Sleep implements the delays (nil = time.Sleep; tests inject a
+	// recorder, virtual-time callers a no-op).
+	Sleep func(time.Duration)
+	// Rand supplies jitter randomness in [0,1) (nil = a shared
+	// math/rand source).
+	Rand func() float64
+	// OnRetry observes each extra attempt before it runs: attempt is
+	// 1-based over the retries (not the first call), err is the
+	// classified failure that triggered it. Telemetry hooks go here.
+	OnRetry func(attempt int, err error)
+}
+
+// sharedRand backs RetryPolicy.Rand when the caller does not inject one.
+var (
+	sharedRandMu sync.Mutex
+	sharedRand   = rand.New(rand.NewSource(1))
+)
+
+func defaultRand() float64 {
+	sharedRandMu.Lock()
+	defer sharedRandMu.Unlock()
+	return sharedRand.Float64()
+}
+
+// Do runs op under the policy and returns the final classified error
+// (nil on success). Non-retryable errors surface immediately.
+func (p RetryPolicy) Do(op func() error) error {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	retryable := p.Retryable
+	if retryable == nil {
+		retryable = core.IsTransient
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if p.OnRetry != nil {
+				p.OnRetry(attempt, err)
+			}
+			if d := p.Delay(attempt); d > 0 {
+				sleep := p.Sleep
+				if sleep == nil {
+					sleep = time.Sleep
+				}
+				sleep(d)
+			}
+		}
+		err = op()
+		if p.Classify != nil {
+			err = p.Classify(err)
+		}
+		if err == nil || !retryable(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// Delay returns the backoff before the attempt-th retry (1-based):
+// BaseDelay * 2^(attempt-1), capped at MaxDelay, spread by ±Jitter.
+func (p RetryPolicy) Delay(attempt int) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	d := p.BaseDelay
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= max || d <= 0 { // <=0: overflow
+			d = max
+			break
+		}
+	}
+	if d > max {
+		d = max
+	}
+	if p.Jitter > 0 {
+		r := p.Rand
+		if r == nil {
+			r = defaultRand
+		}
+		d += time.Duration((r()*2 - 1) * p.Jitter * float64(d))
+		if d < 0 {
+			d = 0
+		}
+	}
+	return d
+}

@@ -1,0 +1,106 @@
+package driver
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"lachesis/internal/core"
+)
+
+func TestRetryPolicyStopsOnSuccess(t *testing.T) {
+	calls := 0
+	err := RetryPolicy{Attempts: 5}.Do(func() error {
+		calls++
+		if calls < 3 {
+			return MarkTransient(errors.New("busy"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v, want nil", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestRetryPolicyNonRetryableSurfacesImmediately(t *testing.T) {
+	calls := 0
+	boom := errors.New("boom")
+	err := RetryPolicy{Attempts: 5}.Do(func() error { calls++; return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("Do = %v, want boom", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (hard errors must not retry)", calls)
+	}
+}
+
+func TestRetryPolicyExhaustsAttempts(t *testing.T) {
+	calls, retries := 0, 0
+	err := RetryPolicy{
+		Attempts: 3,
+		OnRetry:  func(int, error) { retries++ },
+	}.Do(func() error { calls++; return MarkTransient(errors.New("busy")) })
+	if !core.IsTransient(err) {
+		t.Fatalf("Do = %v, want transient", err)
+	}
+	if calls != 3 || retries != 2 {
+		t.Fatalf("calls = %d retries = %d, want 3 and 2", calls, retries)
+	}
+}
+
+func TestRetryPolicyClassifies(t *testing.T) {
+	raw := errors.New("no such process")
+	err := RetryPolicy{
+		Attempts: 3,
+		Classify: func(err error) error {
+			if err == nil {
+				return nil
+			}
+			return MarkVanished(err)
+		},
+	}.Do(func() error { return raw })
+	if !core.IsVanished(err) || !errors.Is(err, raw) {
+		t.Fatalf("Do = %v, want vanished wrapping raw", err)
+	}
+}
+
+func TestRetryPolicyBackoffDoublesAndCaps(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: 350 * time.Millisecond}
+	want := []time.Duration{100, 200, 350, 350} // ms
+	for i, w := range want {
+		if got := p.Delay(i + 1); got != w*time.Millisecond {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+	if (RetryPolicy{}).Delay(3) != 0 {
+		t.Error("zero BaseDelay must not sleep")
+	}
+}
+
+func TestRetryPolicyJitterSpreadsDelays(t *testing.T) {
+	// Rand pinned to the extremes: 0 → -Jitter, just-below-1 → +Jitter.
+	low := RetryPolicy{BaseDelay: time.Second, Jitter: 0.5, Rand: func() float64 { return 0 }}
+	if got := low.Delay(1); got != 500*time.Millisecond {
+		t.Errorf("low jitter Delay = %v, want 500ms", got)
+	}
+	high := RetryPolicy{BaseDelay: time.Second, Jitter: 0.5, Rand: func() float64 { return 0.999999 }}
+	if got := high.Delay(1); got < 1400*time.Millisecond || got > 1500*time.Millisecond {
+		t.Errorf("high jitter Delay = %v, want ~1.5s", got)
+	}
+}
+
+func TestRetryPolicySleepsBetweenAttempts(t *testing.T) {
+	var slept []time.Duration
+	calls := 0
+	_ = RetryPolicy{
+		Attempts:  3,
+		BaseDelay: 10 * time.Millisecond,
+		Sleep:     func(d time.Duration) { slept = append(slept, d) },
+	}.Do(func() error { calls++; return MarkTransient(errors.New("busy")) })
+	if len(slept) != 2 || slept[0] != 10*time.Millisecond || slept[1] != 20*time.Millisecond {
+		t.Fatalf("slept = %v, want [10ms 20ms]", slept)
+	}
+}

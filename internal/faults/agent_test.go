@@ -1,0 +1,99 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/guard"
+)
+
+// stubAgent is a healthy fleet.AgentClient for wrapping.
+type stubAgent struct {
+	proposals int
+}
+
+func (s *stubAgent) Propose([]byte) (guard.Status, error) {
+	s.proposals++
+	return guard.Status{Active: true, Candidate: "v1"}, nil
+}
+func (s *stubAgent) Status() (guard.Status, error) { return guard.Status{}, nil }
+func (s *stubAgent) SLO() (guard.SLOSample, error) {
+	return guard.SLOSample{LatencyP95: 1, Throughput: 100, OK: true}, nil
+}
+
+func TestAgentPartitionWindows(t *testing.T) {
+	now := time.Duration(0)
+	inner := &stubAgent{}
+	ag := WrapAgent(inner, AgentPlan{
+		Partitions: Windows{{From: 10 * time.Second, To: 20 * time.Second}},
+		Clock:      func() time.Duration { return now },
+	})
+
+	if _, err := ag.Propose(nil); err != nil {
+		t.Fatalf("Propose outside partition = %v", err)
+	}
+	now = 15 * time.Second
+	_, err := ag.Propose(nil)
+	if !errors.Is(err, ErrInjected) || !core.IsTransient(err) {
+		t.Fatalf("Propose inside partition = %v, want injected transient", err)
+	}
+	if _, err := ag.Status(); err == nil {
+		t.Fatal("Status inside partition must fail")
+	}
+	if _, err := ag.SLO(); err == nil {
+		t.Fatal("SLO inside partition must fail")
+	}
+	now = 25 * time.Second
+	if _, err := ag.Propose(nil); err != nil {
+		t.Fatalf("Propose after partition = %v", err)
+	}
+	if inner.proposals != 2 {
+		t.Fatalf("inner proposals = %d, want 2 (partitioned calls never reach the agent)", inner.proposals)
+	}
+	if ag.Injected() != 3 || ag.Calls() != 5 {
+		t.Fatalf("injected/calls = %d/%d, want 3/5", ag.Injected(), ag.Calls())
+	}
+}
+
+func TestAgentFailRateIsDeterministic(t *testing.T) {
+	count := func() int {
+		ag := WrapAgent(&stubAgent{}, AgentPlan{Seed: 42, FailRate: 0.5})
+		for i := 0; i < 100; i++ {
+			_, _ = ag.Status()
+		}
+		return ag.Injected()
+	}
+	a, b := count(), count()
+	if a != b {
+		t.Fatalf("same seed injected %d vs %d faults", a, b)
+	}
+	if a == 0 || a == 100 {
+		t.Fatalf("injected = %d, want partial failure at rate 0.5", a)
+	}
+}
+
+func TestAgentSlowWindowDelays(t *testing.T) {
+	var slept time.Duration
+	now := 5 * time.Second
+	ag := WrapAgent(&stubAgent{}, AgentPlan{
+		SlowWindows: Windows{{From: 0, To: 10 * time.Second}},
+		SlowLatency: 250 * time.Millisecond,
+		Clock:       func() time.Duration { return now },
+		Sleep:       func(d time.Duration) { slept += d },
+	})
+	if _, err := ag.SLO(); err != nil {
+		t.Fatal(err)
+	}
+	if slept != 250*time.Millisecond {
+		t.Fatalf("slept = %v, want 250ms inside slow window", slept)
+	}
+	now = 15 * time.Second
+	if _, err := ag.SLO(); err != nil {
+		t.Fatal(err)
+	}
+	if slept != 250*time.Millisecond {
+		t.Fatalf("slept = %v, slow window must not delay outside itself", slept)
+	}
+}

@@ -1,0 +1,203 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Coordinator wire shapes shared by the beacon (agent side) and the
+// lachesis-fleet HTTP handlers (coordinator side).
+
+// RegisterRequest is the body of POST /register.
+type RegisterRequest struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// RegisterResponse answers a registration with the lease terms.
+type RegisterResponse struct {
+	Generation int `json:"generation"`
+	// IntervalMs is the heartbeat period the coordinator expects.
+	IntervalMs int64 `json:"interval_ms"`
+}
+
+// HeartbeatRequest is the body of POST /heartbeat.
+type HeartbeatRequest struct {
+	ID string `json:"id"`
+}
+
+// BeaconConfig tunes an agent's registration/heartbeat loop.
+type BeaconConfig struct {
+	// Coordinator is the fleet coordinator's base URL or "host:port".
+	Coordinator string
+	// ID is this agent's stable identity; Addr the introspection address
+	// it advertises (where the coordinator reaches its /policy).
+	ID   string
+	Addr string
+	// Interval between heartbeats (default 1s; the coordinator's
+	// RegisterResponse may shorten or stretch it).
+	Interval time.Duration
+	// Timeout bounds each HTTP call (default 2s).
+	Timeout time.Duration
+	// Logf receives beacon lifecycle messages (nil discards).
+	Logf func(format string, args ...any)
+}
+
+// Beacon keeps one agent registered with the fleet coordinator: it
+// registers, then heartbeats every Interval, and re-registers whenever
+// the coordinator stops recognizing it (coordinator restart, lease
+// eviction after a partition). Losing the coordinator entirely is
+// logged and retried forever — never fatal, the daemon keeps enforcing
+// its policy autonomously and the fleet reattaches when the coordinator
+// returns.
+type Beacon struct {
+	cfg  BeaconConfig
+	c    *http.Client
+	base string
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	beats       atomic.Int64
+	registers   atomic.Int64
+	reRegisters atomic.Int64
+}
+
+// StartBeacon launches the loop. Close stops it.
+func StartBeacon(cfg BeaconConfig) (*Beacon, error) {
+	if cfg.Coordinator == "" || cfg.ID == "" {
+		return nil, fmt.Errorf("fleet: beacon needs a coordinator URL and an agent id")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	base := cfg.Coordinator
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	b := &Beacon{
+		cfg:  cfg,
+		c:    &http.Client{Timeout: cfg.Timeout},
+		base: strings.TrimRight(base, "/"),
+		stop: make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.loop()
+	return b, nil
+}
+
+// Close stops the beacon loop and waits for it.
+func (b *Beacon) Close() {
+	close(b.stop)
+	b.wg.Wait()
+}
+
+// Beats returns the number of accepted heartbeats (tests, /health).
+func (b *Beacon) Beats() int64 { return b.beats.Load() }
+
+// Registers returns the number of successful registrations.
+func (b *Beacon) Registers() int64 { return b.registers.Load() }
+
+// ReRegisters returns how often the coordinator forgot us (restart or
+// eviction) and the beacon had to re-register.
+func (b *Beacon) ReRegisters() int64 { return b.reRegisters.Load() }
+
+// loop drives register → heartbeat…, re-registering on 404.
+func (b *Beacon) loop() {
+	defer b.wg.Done()
+	interval := b.cfg.Interval
+	registered := false
+	t := time.NewTimer(0) // fire immediately for the first registration
+	defer t.Stop()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case <-t.C:
+		}
+		if !registered {
+			if iv, err := b.register(); err != nil {
+				b.cfg.Logf("fleet beacon: register with %s failed (will retry): %v", b.base, err)
+			} else {
+				registered = true
+				if iv > 0 {
+					interval = iv
+				}
+				if b.registers.Add(1) > 1 {
+					b.reRegisters.Add(1)
+				}
+				b.cfg.Logf("fleet beacon: registered as %s (heartbeat %v)", b.cfg.ID, interval)
+			}
+		} else if err := b.heartbeat(); err != nil {
+			if isUnknownAgent(err) {
+				// The coordinator no longer knows us (restart without state,
+				// or our lease was evicted during a partition): re-register.
+				registered = false
+				b.cfg.Logf("fleet beacon: lease lost, re-registering: %v", err)
+			} else {
+				b.cfg.Logf("fleet beacon: heartbeat failed: %v", err)
+			}
+		} else {
+			b.beats.Add(1)
+		}
+		t.Reset(interval)
+	}
+}
+
+// register POSTs /register and returns the coordinator's heartbeat
+// interval (0 keeps the configured one).
+func (b *Beacon) register() (time.Duration, error) {
+	body, _ := json.Marshal(RegisterRequest{ID: b.cfg.ID, Addr: b.cfg.Addr})
+	resp, err := b.c.Post(b.base+"/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(raw)))
+	}
+	var rr RegisterResponse
+	if err := json.Unmarshal(raw, &rr); err != nil {
+		return 0, nil // tolerate a bodyless 200: keep the configured interval
+	}
+	return time.Duration(rr.IntervalMs) * time.Millisecond, nil
+}
+
+// heartbeat POSTs /heartbeat; a 404 means the coordinator forgot us.
+func (b *Beacon) heartbeat() error {
+	body, _ := json.Marshal(HeartbeatRequest{ID: b.cfg.ID})
+	resp, err := b.c.Post(b.base+"/heartbeat", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	switch {
+	case resp.StatusCode < 300:
+		return nil
+	case resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusGone:
+		return fmt.Errorf("%w (%s)", ErrUnknownAgent, resp.Status)
+	default:
+		return fmt.Errorf("heartbeat: %s", resp.Status)
+	}
+}
+
+// isUnknownAgent matches the heartbeat's lease-lost signal.
+func isUnknownAgent(err error) bool {
+	return errors.Is(err, ErrUnknownAgent)
+}

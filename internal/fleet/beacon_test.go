@@ -1,0 +1,102 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestBeaconRegistersHeartbeatsAndReregisters(t *testing.T) {
+	var mu sync.Mutex
+	registrations := 0
+	known := map[string]bool{}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/register", func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.ID == "" {
+			http.Error(w, "bad request", http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		registrations++
+		known[req.ID] = true
+		gen := registrations
+		mu.Unlock()
+		_ = json.NewEncoder(w).Encode(RegisterResponse{Generation: gen, IntervalMs: 5})
+	})
+	mux.HandleFunc("/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		mu.Lock()
+		ok := known[req.ID]
+		mu.Unlock()
+		if !ok {
+			http.Error(w, "unknown agent", http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	b, err := StartBeacon(BeaconConfig{
+		Coordinator: srv.URL, ID: "node-a", Addr: "127.0.0.1:9",
+		Interval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("StartBeacon: %v", err)
+	}
+	defer b.Close()
+
+	waitFor(t, "first heartbeats", func() bool { return b.Beats() >= 2 })
+
+	// Coordinator "restarts" without state: it forgets every agent. The
+	// beacon's next heartbeat 404s and it must re-register on its own.
+	mu.Lock()
+	known = map[string]bool{}
+	mu.Unlock()
+	waitFor(t, "re-registration", func() bool { return b.ReRegisters() >= 1 })
+	waitFor(t, "heartbeats after re-registration", func() bool { return b.Beats() >= 4 })
+}
+
+func TestBeaconSurvivesUnreachableCoordinator(t *testing.T) {
+	// A dead coordinator is logged and retried — never fatal to the agent.
+	b, err := StartBeacon(BeaconConfig{
+		Coordinator: "127.0.0.1:1", ID: "node-a",
+		Interval: 2 * time.Millisecond, Timeout: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("StartBeacon: %v", err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	b.Close() // must return promptly with the coordinator down
+	if b.Registers() != 0 {
+		t.Fatalf("Registers = %d, want 0 against a dead coordinator", b.Registers())
+	}
+}
+
+func TestBeaconValidatesConfig(t *testing.T) {
+	if _, err := StartBeacon(BeaconConfig{ID: "x"}); err == nil {
+		t.Fatal("missing coordinator must fail")
+	}
+	if _, err := StartBeacon(BeaconConfig{Coordinator: "c:1"}); err == nil {
+		t.Fatal("missing agent id must fail")
+	}
+}

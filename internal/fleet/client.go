@@ -1,0 +1,167 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"lachesis/internal/driver"
+	"lachesis/internal/guard"
+)
+
+// Node-level SLO metric names the HTTP client looks for in an agent's
+// /metrics output. Agents that export them (e.g. via a gateway that
+// aggregates SPE latencies per node) get SLO-delta verdicts; agents that
+// don't fall back to guard-violation verdicts only.
+const (
+	MetricNodeLatencyP95 = "lachesis_node_latency_p95"
+	MetricNodeThroughput = "lachesis_node_throughput"
+)
+
+// HTTPAgent is the AgentClient over a lachesisd introspection server.
+// Transport failures and timeouts are marked core.ErrTransient so the
+// fan-out's retry policy takes them; a 409 surfaces as *ConflictError.
+type HTTPAgent struct {
+	id   string
+	base string
+	c    *http.Client
+}
+
+var _ AgentClient = (*HTTPAgent)(nil)
+
+// NewHTTPAgent builds a client for one agent's introspection address
+// ("host:port" or full URL). timeout bounds every request (default 2s).
+func NewHTTPAgent(id, addr string, timeout time.Duration) *HTTPAgent {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &HTTPAgent{id: id, base: strings.TrimRight(base, "/"), c: &http.Client{Timeout: timeout}}
+}
+
+// HTTPConnFactory is a ConnFactory producing HTTPAgents with a shared
+// per-request timeout.
+func HTTPConnFactory(timeout time.Duration) ConnFactory {
+	return func(a AgentRecord) AgentClient { return NewHTTPAgent(a.ID, a.Addr, timeout) }
+}
+
+// Propose implements AgentClient (POST /policy).
+func (h *HTTPAgent) Propose(payload []byte) (guard.Status, error) {
+	resp, err := h.c.Post(h.base+"/policy", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return guard.Status{}, driver.MarkTransient(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		var st guard.Status
+		if err := json.Unmarshal(body, &st); err != nil {
+			return guard.Status{}, fmt.Errorf("fleet: agent %s: decode status: %w", h.id, err)
+		}
+		return st, nil
+	case http.StatusConflict:
+		return guard.Status{}, &ConflictError{Agent: h.id, Body: strings.TrimSpace(string(body))}
+	default:
+		err := fmt.Errorf("fleet: agent %s: POST /policy: %s: %s", h.id, resp.Status, strings.TrimSpace(string(body)))
+		if resp.StatusCode >= 500 {
+			return guard.Status{}, driver.MarkTransient(err)
+		}
+		return guard.Status{}, err
+	}
+}
+
+// Status implements AgentClient (GET /policy).
+func (h *HTTPAgent) Status() (guard.Status, error) {
+	resp, err := h.c.Get(h.base + "/policy")
+	if err != nil {
+		return guard.Status{}, driver.MarkTransient(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return guard.Status{}, fmt.Errorf("fleet: agent %s: GET /policy: %s", h.id, resp.Status)
+	}
+	var st guard.Status
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		return guard.Status{}, fmt.Errorf("fleet: agent %s: decode status: %w", h.id, err)
+	}
+	return st, nil
+}
+
+// SLO implements AgentClient: it scrapes the agent's /metrics and
+// extracts the node-level SLO gauges. An agent that exports neither
+// returns OK=false with no error — the verdict then abstains on SLO and
+// rests on guard violations, exactly like a local canary without a
+// sampler.
+func (h *HTTPAgent) SLO() (guard.SLOSample, error) {
+	resp, err := h.c.Get(h.base + "/metrics")
+	if err != nil {
+		return guard.SLOSample{}, driver.MarkTransient(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return guard.SLOSample{}, fmt.Errorf("fleet: agent %s: GET /metrics: %s", h.id, resp.Status)
+	}
+	return ParseSLO(io.LimitReader(resp.Body, 4<<20))
+}
+
+// ParseSLO scans Prometheus text exposition for the node SLO gauges.
+// Multiple series of the same name (labelled variants) are summed for
+// throughput and maxed for latency.
+func ParseSLO(r io.Reader) (guard.SLOSample, error) {
+	var s guard.SLOSample
+	var haveLat, haveThr bool
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, ok := splitMetricLine(line)
+		if !ok {
+			continue
+		}
+		switch name {
+		case MetricNodeLatencyP95:
+			if !haveLat || value > s.LatencyP95 {
+				s.LatencyP95 = value
+			}
+			haveLat = true
+		case MetricNodeThroughput:
+			s.Throughput += value
+			haveThr = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return guard.SLOSample{}, err
+	}
+	s.OK = haveLat || haveThr
+	return s, nil
+}
+
+// splitMetricLine parses one "name{labels} value" exposition line.
+func splitMetricLine(line string) (name string, value float64, ok bool) {
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return "", 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(line[sp+1:]), 64)
+	if err != nil {
+		return "", 0, false
+	}
+	name = line[:sp]
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		name = name[:i]
+	}
+	return strings.TrimSpace(name), v, true
+}

@@ -1,0 +1,141 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/guard"
+)
+
+// testAgentServer mimics a lachesisd introspection server's /policy and
+// /metrics surface.
+func testAgentServer(t *testing.T) (*httptest.Server, *struct {
+	sync.Mutex
+	busy    bool
+	bodies  []string
+	metrics string
+}) {
+	t.Helper()
+	state := &struct {
+		sync.Mutex
+		busy    bool
+		bodies  []string
+		metrics string
+	}{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/policy", func(w http.ResponseWriter, r *http.Request) {
+		state.Lock()
+		defer state.Unlock()
+		switch r.Method {
+		case http.MethodGet:
+			writeTestJSON(w, http.StatusOK, guard.Status{Active: state.busy, Candidate: "v1"})
+		case http.MethodPost:
+			if state.busy {
+				http.Error(w, "rollout in progress", http.StatusConflict)
+				return
+			}
+			buf := make([]byte, 1<<16)
+			n, _ := r.Body.Read(buf)
+			state.bodies = append(state.bodies, string(buf[:n]))
+			writeTestJSON(w, http.StatusAccepted, guard.Status{Active: true, Candidate: "v1"})
+		}
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		state.Lock()
+		defer state.Unlock()
+		_, _ = w.Write([]byte(state.metrics))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, state
+}
+
+func writeTestJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func TestHTTPAgentProposeAndStatus(t *testing.T) {
+	srv, state := testAgentServer(t)
+	ag := NewHTTPAgent("node-a", strings.TrimPrefix(srv.URL, "http://"), time.Second)
+
+	st, err := ag.Propose([]byte(`{"p":1}`))
+	if err != nil || !st.Active || st.Candidate != "v1" {
+		t.Fatalf("Propose = %+v, %v", st, err)
+	}
+	state.Lock()
+	got := append([]string(nil), state.bodies...)
+	state.busy = true
+	state.Unlock()
+	if len(got) != 1 || got[0] != `{"p":1}` {
+		t.Fatalf("agent received %v", got)
+	}
+
+	// Busy agent: 409 surfaces as ConflictError, Status still works.
+	if _, err := ag.Propose([]byte(`{}`)); !IsConflict(err) {
+		t.Fatalf("Propose while busy = %v, want ConflictError", err)
+	}
+	st, err = ag.Status()
+	if err != nil || st.Candidate != "v1" {
+		t.Fatalf("Status = %+v, %v", st, err)
+	}
+}
+
+func TestHTTPAgentTransportErrorsAreTransient(t *testing.T) {
+	ag := NewHTTPAgent("node-a", "127.0.0.1:1", 50*time.Millisecond)
+	if _, err := ag.Propose([]byte(`{}`)); !core.IsTransient(err) {
+		t.Fatalf("Propose against dead agent = %v, want transient", err)
+	}
+	if _, err := ag.SLO(); !core.IsTransient(err) {
+		t.Fatalf("SLO against dead agent = %v, want transient", err)
+	}
+}
+
+func TestHTTPAgentSLOScrape(t *testing.T) {
+	srv, state := testAgentServer(t)
+	ag := NewHTTPAgent("node-a", srv.URL, time.Second)
+
+	// No SLO gauges exported: OK=false, no error — verdicts abstain.
+	state.Lock()
+	state.metrics = "# HELP lachesis_step_seconds\nlachesis_step_seconds 0.1\n"
+	state.Unlock()
+	s, err := ag.SLO()
+	if err != nil || s.OK {
+		t.Fatalf("SLO without gauges = %+v, %v; want not-OK", s, err)
+	}
+
+	state.Lock()
+	state.metrics = strings.Join([]string{
+		"# TYPE lachesis_node_latency_p95 gauge",
+		`lachesis_node_latency_p95{query="q1"} 0.25`,
+		`lachesis_node_latency_p95{query="q2"} 0.75`,
+		`lachesis_node_throughput{query="q1"} 1000`,
+		`lachesis_node_throughput{query="q2"} 500`,
+		"",
+	}, "\n")
+	state.Unlock()
+	s, err = ag.SLO()
+	if err != nil || !s.OK {
+		t.Fatalf("SLO = %+v, %v", s, err)
+	}
+	if s.LatencyP95 != 0.75 {
+		t.Errorf("LatencyP95 = %v, want max 0.75", s.LatencyP95)
+	}
+	if s.Throughput != 1500 {
+		t.Errorf("Throughput = %v, want summed 1500", s.Throughput)
+	}
+}
+
+func TestParseSLOSkipsMalformedLines(t *testing.T) {
+	s, err := ParseSLO(strings.NewReader("garbage\nlachesis_node_throughput not-a-number\nlachesis_node_throughput 42\n"))
+	if err != nil || !s.OK || s.Throughput != 42 {
+		t.Fatalf("ParseSLO = %+v, %v", s, err)
+	}
+}

@@ -1,0 +1,123 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"lachesis/internal/driver"
+	"lachesis/internal/guard"
+)
+
+// flakyAgent fails transiently a set number of times before succeeding.
+type flakyAgent struct {
+	mu        sync.Mutex
+	failures  int
+	proposals int
+	status    guard.Status
+}
+
+func (f *flakyAgent) Propose([]byte) (guard.Status, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failures > 0 {
+		f.failures--
+		return guard.Status{}, driver.MarkTransient(errors.New("timeout"))
+	}
+	f.proposals++
+	return f.status, nil
+}
+func (f *flakyAgent) Status() (guard.Status, error)  { return f.status, nil }
+func (f *flakyAgent) SLO() (guard.SLOSample, error)  { return guard.SLOSample{}, nil }
+func (f *flakyAgent) proposalsMade() int             { f.mu.Lock(); defer f.mu.Unlock(); return f.proposals }
+
+func oneAgent(c AgentClient) ConnFactory {
+	return func(AgentRecord) AgentClient { return c }
+}
+
+func TestFanoutRetriesTransientFailures(t *testing.T) {
+	ag := &flakyAgent{failures: 2}
+	f := NewFanout(noSleep(FanoutConfig{Attempts: 3}))
+	outs := f.Push(0, []AgentRecord{{ID: "a"}}, oneAgent(ag), "v1", []byte("{}"))
+	if len(outs) != 1 || !outs[0].OK || outs[0].Attempts != 3 {
+		t.Fatalf("outcome = %+v, want OK after 3 attempts", outs)
+	}
+	if ag.proposalsMade() != 1 {
+		t.Fatalf("proposals = %d, want 1", ag.proposalsMade())
+	}
+}
+
+func TestFanoutConflictWithOwnVersionIsIdempotentSuccess(t *testing.T) {
+	// The agent 409s (our earlier push landed, the response was lost) but
+	// reports our candidate in flight: the push is already complete.
+	ag := &fakeAgent{busy: true, st: guard.Status{Active: true, Candidate: "v1"}}
+	f := NewFanout(noSleep(FanoutConfig{Attempts: 2}))
+	outs := f.Push(0, []AgentRecord{{ID: "a"}}, oneAgent(ag), "v1", []byte("{}"))
+	if !outs[0].OK || outs[0].Conflict {
+		t.Fatalf("outcome = %+v, want idempotent OK", outs[0])
+	}
+}
+
+func TestFanoutForeignConflictIsNotSuccess(t *testing.T) {
+	ag := &fakeAgent{busy: true, st: guard.Status{Active: true, Candidate: "other"}}
+	f := NewFanout(noSleep(FanoutConfig{Attempts: 2}))
+	outs := f.Push(0, []AgentRecord{{ID: "a"}}, oneAgent(ag), "v1", []byte("{}"))
+	if outs[0].OK || !outs[0].Conflict {
+		t.Fatalf("outcome = %+v, want conflict", outs[0])
+	}
+}
+
+func TestFanoutBreakerOpensSkipsAndProbes(t *testing.T) {
+	ag := &fakeAgent{down: true}
+	f := NewFanout(noSleep(FanoutConfig{
+		Attempts: 1, BreakerThreshold: 2, BreakerCooldown: 10 * time.Second,
+	}))
+	rec := []AgentRecord{{ID: "a"}}
+
+	// Two failed rounds open the breaker.
+	now := time.Duration(0)
+	for i := 0; i < 2; i++ {
+		outs := f.Push(now, rec, oneAgent(ag), "v1", []byte("{}"))
+		if outs[0].OK || outs[0].Skipped {
+			t.Fatalf("round %d = %+v, want plain failure", i, outs[0])
+		}
+		now += time.Second
+	}
+	if !f.BreakerOpen(now, "a") {
+		t.Fatal("breaker must be open after threshold failures")
+	}
+
+	// Within the cooldown: skipped without touching the agent.
+	outs := f.Push(now, rec, oneAgent(ag), "v1", []byte("{}"))
+	if !outs[0].Skipped || outs[0].Attempts != 0 {
+		t.Fatalf("outcome = %+v, want skipped with zero attempts", outs[0])
+	}
+
+	// After the cooldown the probe goes through; the agent recovered, so
+	// the breaker closes again.
+	ag.setDown(false)
+	now += 11 * time.Second
+	outs = f.Push(now, rec, oneAgent(ag), "v1", []byte("{}"))
+	if !outs[0].OK {
+		t.Fatalf("probe = %+v, want OK", outs[0])
+	}
+	if f.BreakerOpen(now, "a") {
+		t.Fatal("breaker must close after a successful probe")
+	}
+}
+
+func TestFanoutPushesAgentsInParallelOrderPreserved(t *testing.T) {
+	ff := newFakeFleet("a", "b", "c")
+	f := NewFanout(noSleep(FanoutConfig{Attempts: 1, Parallel: 2}))
+	recs := []AgentRecord{{ID: "a"}, {ID: "b"}, {ID: "c"}}
+	outs := f.Push(0, recs, ff.conns, "v1", []byte("{}"))
+	if len(outs) != 3 {
+		t.Fatalf("outcomes = %d, want 3", len(outs))
+	}
+	for i, o := range outs {
+		if o.Agent != recs[i].ID || !o.OK {
+			t.Fatalf("outcome %d = %+v, want OK for %s (input order)", i, o, recs[i].ID)
+		}
+	}
+}

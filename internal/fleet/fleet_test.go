@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"lachesis/internal/driver"
+	"lachesis/internal/guard"
+)
+
+// fakeAgent is an in-memory AgentClient for tests. It mimics a
+// lachesisd agent's policy surface: proposals conflict while a local
+// rollout is active, and the test mutates SLO/rollback counters to
+// steer fleet verdicts.
+type fakeAgent struct {
+	mu sync.Mutex
+	// st is what Status/accepted proposals report.
+	st  guard.Status
+	slo guard.SLOSample
+	// down simulates a crashed/partitioned agent: every call fails
+	// transiently.
+	down bool
+	// busy simulates a local rollout in flight: proposals 409.
+	busy bool
+	// proposals records accepted payloads in order.
+	proposals []string
+}
+
+func (f *fakeAgent) Propose(payload []byte) (guard.Status, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down {
+		return guard.Status{}, driver.MarkTransient(errors.New("connection refused"))
+	}
+	if f.busy {
+		return guard.Status{}, &ConflictError{Agent: "fake", Body: "rollout in progress"}
+	}
+	f.proposals = append(f.proposals, string(payload))
+	return f.st, nil
+}
+
+func (f *fakeAgent) Status() (guard.Status, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down {
+		return guard.Status{}, driver.MarkTransient(errors.New("connection refused"))
+	}
+	return f.st, nil
+}
+
+func (f *fakeAgent) SLO() (guard.SLOSample, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down {
+		return guard.SLOSample{}, driver.MarkTransient(errors.New("connection refused"))
+	}
+	return f.slo, nil
+}
+
+func (f *fakeAgent) setSLO(lat, thr float64) {
+	f.mu.Lock()
+	f.slo = guard.SLOSample{LatencyP95: lat, Throughput: thr, OK: true}
+	f.mu.Unlock()
+}
+
+func (f *fakeAgent) setDown(down bool) {
+	f.mu.Lock()
+	f.down = down
+	f.mu.Unlock()
+}
+
+func (f *fakeAgent) bumpRollbacks() {
+	f.mu.Lock()
+	f.st.Rollbacks++
+	f.st.Active = false
+	f.st.LastDecision = guard.DecisionRolledBack
+	f.st.LastReason = "local guard violations"
+	f.mu.Unlock()
+}
+
+func (f *fakeAgent) proposalCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.proposals)
+}
+
+func (f *fakeAgent) lastProposal() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.proposals) == 0 {
+		return ""
+	}
+	return f.proposals[len(f.proposals)-1]
+}
+
+// fakeFleet is a set of fakeAgents addressable as a ConnFactory.
+type fakeFleet struct {
+	mu     sync.Mutex
+	agents map[string]*fakeAgent
+}
+
+func newFakeFleet(ids ...string) *fakeFleet {
+	ff := &fakeFleet{agents: map[string]*fakeAgent{}}
+	for _, id := range ids {
+		ff.agents[id] = &fakeAgent{slo: guard.SLOSample{LatencyP95: 1, Throughput: 100, OK: true}}
+	}
+	return ff
+}
+
+func (ff *fakeFleet) conns(a AgentRecord) AgentClient {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if ag, ok := ff.agents[a.ID]; ok {
+		return ag
+	}
+	ag := &fakeAgent{down: true}
+	ff.agents[a.ID] = ag
+	return ag
+}
+
+func (ff *fakeFleet) get(id string) *fakeAgent {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	return ff.agents[id]
+}
+
+// noSleep silences fan-out backoff in tests.
+func noSleep(fc FanoutConfig) FanoutConfig {
+	fc.Sleep = func(time.Duration) {}
+	return fc
+}

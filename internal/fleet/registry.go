@@ -1,0 +1,323 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/telemetry"
+)
+
+// Lease states of a registered agent. Transitions are driven by Sweep
+// from the coordinator's view of heartbeats; they never touch the agent
+// itself. An evicted agent keeps enforcing its last-good policy — it is
+// merely no longer a rollout target until it re-registers.
+const (
+	LeaseActive  = "active"
+	LeaseSuspect = "suspect"
+	LeaseEvicted = "evicted"
+)
+
+// AgentRecord is one agent's registration as the coordinator sees it.
+type AgentRecord struct {
+	// ID is the agent's stable identity (e.g. hostname).
+	ID string `json:"id"`
+	// Addr is the agent's introspection address ("host:port") where its
+	// POST /policy and /metrics live.
+	Addr string `json:"addr"`
+	// Generation increments on every (re-)registration, so stale state
+	// from a previous incarnation is distinguishable.
+	Generation int `json:"generation"`
+	// State is the lease state: LeaseActive, LeaseSuspect or LeaseEvicted.
+	State string `json:"state"`
+	// RegisteredAt / LastHeartbeat are coordinator-clock instants.
+	RegisteredAt  time.Duration `json:"registered_at"`
+	LastHeartbeat time.Duration `json:"last_heartbeat"`
+	// Beats counts heartbeats received in this generation.
+	Beats int64 `json:"beats"`
+}
+
+// RegistryConfig tunes lease bookkeeping. Zero values select defaults.
+type RegistryConfig struct {
+	// HeartbeatInterval is the beat period agents are asked to keep
+	// (default 1s). Lease judgement counts missed intervals against it.
+	HeartbeatInterval time.Duration
+	// SuspectAfter is the number of consecutive missed beats before an
+	// agent turns suspect (default 3). Suspect agents are skipped when
+	// new rollout cohorts are formed but stay members of an in-flight one.
+	SuspectAfter int
+	// EvictAfter is the number of consecutive missed beats before an
+	// agent is evicted (default 10). Eviction is bookkeeping only: the
+	// agent keeps running last-good and re-registers when it returns.
+	EvictAfter int
+}
+
+func (c RegistryConfig) withDefaults() RegistryConfig {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3
+	}
+	if c.EvictAfter <= c.SuspectAfter {
+		c.EvictAfter = c.SuspectAfter + 7
+	}
+	return c
+}
+
+// Registry tracks the fleet's agents and their heartbeat leases. All
+// methods are safe for concurrent use. Mutations persist through the
+// attached Store (if any) so a coordinator restart resumes with the same
+// registry — with fresh leases, so a restart never mass-evicts a healthy
+// fleet (see Restore).
+type Registry struct {
+	cfg RegistryConfig
+
+	mu     sync.Mutex
+	agents map[string]*AgentRecord
+	store  *Store
+	trail  *core.AuditTrail
+
+	gAgents   *telemetry.Gauge
+	gSuspect  *telemetry.Gauge
+	gEvicted  *telemetry.Gauge
+	ctrRegs   *telemetry.Counter
+	ctrBeats  *telemetry.Counter
+	ctrEvicts *telemetry.Counter
+}
+
+// NewRegistry builds an agent registry (zero Config fields select
+// defaults).
+func NewRegistry(cfg RegistryConfig) *Registry {
+	return &Registry{cfg: cfg.withDefaults(), agents: map[string]*AgentRecord{}}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (r *Registry) Config() RegistryConfig { return r.cfg }
+
+// SetStore attaches crash-safe persistence. nil disables.
+func (r *Registry) SetStore(s *Store) { r.mu.Lock(); r.store = s; r.mu.Unlock() }
+
+// SetAudit installs an audit trail for registrations and lease
+// transitions. nil disables.
+func (r *Registry) SetAudit(trail *core.AuditTrail) { r.mu.Lock(); r.trail = trail; r.mu.Unlock() }
+
+// SetTelemetry registers the registry's instruments.
+func (r *Registry) SetTelemetry(reg *telemetry.Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gAgents = reg.Gauge(MetricFleetAgents, telemetry.L("state", LeaseActive))
+	r.gSuspect = reg.Gauge(MetricFleetAgents, telemetry.L("state", LeaseSuspect))
+	r.gEvicted = reg.Gauge(MetricFleetAgents, telemetry.L("state", LeaseEvicted))
+	r.ctrRegs = reg.Counter(MetricFleetRegistrationsTotal)
+	r.ctrBeats = reg.Counter(MetricFleetHeartbeatsTotal)
+	r.ctrEvicts = reg.Counter(MetricFleetEvictionsTotal)
+	r.exportLocked()
+}
+
+// Register adds an agent or renews an existing registration (any lease
+// state, including evicted — re-registration is always safe). The
+// generation increments each time so a returning agent is
+// distinguishable from its previous incarnation. Returns the updated
+// record.
+func (r *Registry) Register(now time.Duration, id, addr string) (AgentRecord, error) {
+	if id == "" {
+		return AgentRecord{}, fmt.Errorf("fleet: register: empty agent id")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := r.agents[id]
+	if a == nil {
+		a = &AgentRecord{ID: id}
+		r.agents[id] = a
+	}
+	a.Addr = addr
+	a.Generation++
+	a.State = LeaseActive
+	a.RegisteredAt = now
+	a.LastHeartbeat = now
+	a.Beats = 0
+	if r.ctrRegs != nil {
+		r.ctrRegs.Inc()
+	}
+	r.record(now, fmt.Sprintf("agent %s registered (gen %d, addr %s)", id, a.Generation, addr))
+	r.persistLocked()
+	r.exportLocked()
+	return *a, nil
+}
+
+// Heartbeat renews an agent's lease. A suspect agent recovers to active;
+// an unknown or evicted agent gets ErrUnknownAgent so its beacon
+// re-registers (establishing a new generation) instead of silently
+// extending a lease the coordinator no longer trusts.
+func (r *Registry) Heartbeat(now time.Duration, id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := r.agents[id]
+	if a == nil || a.State == LeaseEvicted {
+		return ErrUnknownAgent
+	}
+	recovered := a.State == LeaseSuspect
+	a.State = LeaseActive
+	a.LastHeartbeat = now
+	a.Beats++
+	if r.ctrBeats != nil {
+		r.ctrBeats.Inc()
+	}
+	if recovered {
+		r.record(now, fmt.Sprintf("agent %s recovered (suspect -> active)", id))
+		r.persistLocked()
+	}
+	r.exportLocked()
+	return nil
+}
+
+// Sweep advances lease state from elapsed time: agents past SuspectAfter
+// missed beats turn suspect, past EvictAfter they are evicted. Returns
+// the IDs that transitioned this sweep. Evicting sends nothing to the
+// agent — lease expiry must never clobber an agent's local state.
+func (r *Registry) Sweep(now time.Duration) (suspected, evicted []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	changed := false
+	for _, a := range r.agents {
+		if a.State == LeaseEvicted {
+			continue
+		}
+		missed := int((now - a.LastHeartbeat) / r.cfg.HeartbeatInterval)
+		switch {
+		case missed >= r.cfg.EvictAfter:
+			a.State = LeaseEvicted
+			evicted = append(evicted, a.ID)
+			changed = true
+			if r.ctrEvicts != nil {
+				r.ctrEvicts.Inc()
+			}
+			r.record(now, fmt.Sprintf("agent %s evicted (%d missed beats); keeps last-good locally", a.ID, missed))
+		case missed >= r.cfg.SuspectAfter && a.State == LeaseActive:
+			a.State = LeaseSuspect
+			suspected = append(suspected, a.ID)
+			changed = true
+			r.record(now, fmt.Sprintf("agent %s suspect (%d missed beats)", a.ID, missed))
+		}
+	}
+	if changed {
+		r.persistLocked()
+		r.exportLocked()
+	}
+	sort.Strings(suspected)
+	sort.Strings(evicted)
+	return suspected, evicted
+}
+
+// Agents snapshots every record, sorted by ID.
+func (r *Registry) Agents() []AgentRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]AgentRecord, 0, len(r.agents))
+	for _, a := range r.agents {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Active snapshots the agents eligible as new rollout targets (lease
+// active), sorted by ID.
+func (r *Registry) Active() []AgentRecord {
+	var out []AgentRecord
+	for _, a := range r.Agents() {
+		if a.State == LeaseActive {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Lookup returns the record for id.
+func (r *Registry) Lookup(id string) (AgentRecord, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a, ok := r.agents[id]
+	if !ok {
+		return AgentRecord{}, false
+	}
+	return *a, true
+}
+
+// Restore loads the persisted registry from the attached store (no-op
+// without one). Every non-evicted agent gets a fresh lease anchored at
+// now: the coordinator was the one away, so the downtime must not count
+// as missed beats — a warm restart that instantly evicted a healthy
+// fleet would defeat the point of persistence.
+func (r *Registry) Restore(now time.Duration) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.store == nil {
+		return nil
+	}
+	recs, ok, err := r.store.LoadRegistry()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	r.agents = map[string]*AgentRecord{}
+	for i := range recs {
+		a := recs[i]
+		if a.State != LeaseEvicted {
+			a.State = LeaseActive
+			a.LastHeartbeat = now
+		}
+		r.agents[a.ID] = &a
+	}
+	r.record(now, fmt.Sprintf("registry restored: %d agents (leases re-anchored)", len(recs)))
+	r.exportLocked()
+	return nil
+}
+
+// persistLocked saves the registry through the store (caller holds r.mu).
+func (r *Registry) persistLocked() {
+	if r.store == nil {
+		return
+	}
+	recs := make([]AgentRecord, 0, len(r.agents))
+	for _, a := range r.agents {
+		recs = append(recs, *a)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	if err := r.store.SaveRegistry(recs); err != nil && r.trail != nil {
+		r.trail.Record(core.AuditEvent{Kind: AuditKindFleet, Outcome: "WARNING: persisting registry failed: " + err.Error()})
+	}
+}
+
+// exportLocked refreshes the per-state gauges (caller holds r.mu).
+func (r *Registry) exportLocked() {
+	if r.gAgents == nil {
+		return
+	}
+	var active, suspect, evicted float64
+	for _, a := range r.agents {
+		switch a.State {
+		case LeaseSuspect:
+			suspect++
+		case LeaseEvicted:
+			evicted++
+		default:
+			active++
+		}
+	}
+	r.gAgents.Set(active)
+	r.gSuspect.Set(suspect)
+	r.gEvicted.Set(evicted)
+}
+
+// record emits a fleet audit event (caller holds r.mu).
+func (r *Registry) record(now time.Duration, outcome string) {
+	if r.trail != nil {
+		r.trail.Record(core.AuditEvent{At: now, Kind: AuditKindFleet, Outcome: outcome})
+	}
+}

@@ -1,0 +1,119 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"lachesis/internal/reconcile"
+)
+
+func TestRegistryLeaseLifecycle(t *testing.T) {
+	r := NewRegistry(RegistryConfig{HeartbeatInterval: time.Second, SuspectAfter: 2, EvictAfter: 5})
+	now := time.Duration(0)
+	if _, err := r.Register(now, "node-a", "127.0.0.1:1"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := r.Heartbeat(now+time.Second, "node-a"); err != nil {
+		t.Fatalf("Heartbeat: %v", err)
+	}
+
+	// Two missed beats: suspect but still registered.
+	sus, ev := r.Sweep(now + 3*time.Second)
+	if len(sus) != 1 || sus[0] != "node-a" || len(ev) != 0 {
+		t.Fatalf("Sweep = suspect %v evict %v, want node-a suspect", sus, ev)
+	}
+	if a, _ := r.Lookup("node-a"); a.State != LeaseSuspect {
+		t.Fatalf("state = %s, want suspect", a.State)
+	}
+
+	// A heartbeat recovers the lease.
+	if err := r.Heartbeat(now+4*time.Second, "node-a"); err != nil {
+		t.Fatalf("Heartbeat after suspect: %v", err)
+	}
+	if a, _ := r.Lookup("node-a"); a.State != LeaseActive {
+		t.Fatalf("state = %s, want active after recovery", a.State)
+	}
+
+	// Long silence: evicted; further heartbeats demand re-registration.
+	_, ev = r.Sweep(now + 20*time.Second)
+	if len(ev) != 1 || ev[0] != "node-a" {
+		t.Fatalf("Sweep evicted %v, want node-a", ev)
+	}
+	if err := r.Heartbeat(now+21*time.Second, "node-a"); !errors.Is(err, ErrUnknownAgent) {
+		t.Fatalf("Heartbeat after eviction = %v, want ErrUnknownAgent", err)
+	}
+	if len(r.Active()) != 0 {
+		t.Fatalf("evicted agent still listed active")
+	}
+
+	// Re-registration is safe and bumps the generation.
+	a, err := r.Register(now+22*time.Second, "node-a", "127.0.0.1:2")
+	if err != nil {
+		t.Fatalf("re-Register: %v", err)
+	}
+	if a.Generation != 2 || a.State != LeaseActive || a.Addr != "127.0.0.1:2" {
+		t.Fatalf("re-registered record = %+v, want gen 2 active with new addr", a)
+	}
+}
+
+func TestRegistryHeartbeatUnknownAgent(t *testing.T) {
+	r := NewRegistry(RegistryConfig{})
+	if err := r.Heartbeat(0, "ghost"); !errors.Is(err, ErrUnknownAgent) {
+		t.Fatalf("Heartbeat(ghost) = %v, want ErrUnknownAgent", err)
+	}
+	if _, err := r.Register(0, "", "addr"); err == nil {
+		t.Fatal("Register with empty id must fail")
+	}
+}
+
+func TestRegistryRestoreReanchorsLeases(t *testing.T) {
+	fs := reconcile.NewMemFS()
+	store := NewStore(fs, nil)
+
+	r := NewRegistry(RegistryConfig{HeartbeatInterval: time.Second, SuspectAfter: 2, EvictAfter: 4})
+	r.SetStore(store)
+	if _, err := r.Register(0, "node-a", "a:1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register(0, "node-b", "b:1"); err != nil {
+		t.Fatal(err)
+	}
+	r.Sweep(10 * time.Second) // evict both in the old incarnation
+	if _, err := r.Register(11*time.Second, "node-b", "b:1"); err != nil {
+		t.Fatal(err) // node-b came back before the "crash"
+	}
+
+	// Coordinator restarts much later: a cold sweep would evict everyone
+	// for beats missed while the COORDINATOR was down. Restore re-anchors
+	// non-evicted leases at the restart instant instead.
+	r2 := NewRegistry(RegistryConfig{HeartbeatInterval: time.Second, SuspectAfter: 2, EvictAfter: 4})
+	r2.SetStore(store)
+	restart := 5 * time.Minute
+	if err := r2.Restore(restart); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if sus, ev := r2.Sweep(restart + time.Second); len(sus) != 0 || len(ev) != 0 {
+		t.Fatalf("post-restart sweep transitioned %v/%v, want none (leases re-anchored)", sus, ev)
+	}
+	b, ok := r2.Lookup("node-b")
+	if !ok || b.State != LeaseActive || b.Generation != 2 {
+		t.Fatalf("node-b after restore = %+v, want active gen 2", b)
+	}
+	if a, _ := r2.Lookup("node-a"); a.State != LeaseEvicted {
+		t.Fatalf("node-a after restore = %+v, want still evicted", a)
+	}
+}
+
+func TestRegistryRestoreToleratesCorruptFile(t *testing.T) {
+	fs := reconcile.NewMemFS()
+	fs.SetFile(RegistryFile, []byte("{not json"))
+	r := NewRegistry(RegistryConfig{})
+	r.SetStore(NewStore(fs, nil))
+	if err := r.Restore(0); err != nil {
+		t.Fatalf("Restore over corrupt file = %v, want cold start", err)
+	}
+	if len(r.Agents()) != 0 {
+		t.Fatal("corrupt registry must load empty")
+	}
+}

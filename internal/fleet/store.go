@@ -1,0 +1,129 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"lachesis/internal/reconcile"
+)
+
+// Fleet state file names inside the store FS. They sit beside the
+// reconcile snapshot when the coordinator shares a state directory.
+const (
+	// RegistryFile holds the agent registry.
+	RegistryFile    = "fleet-registry.json"
+	registryTmpFile = RegistryFile + ".tmp"
+	// RolloutFile holds the fleet rollout state machine.
+	RolloutFile    = "fleet-rollout.json"
+	rolloutTmpFile = RolloutFile + ".tmp"
+)
+
+// storeFormat versions the fleet state files.
+const storeFormat = 1
+
+// registryDoc is the on-disk shape of RegistryFile.
+type registryDoc struct {
+	Format int           `json:"format"`
+	Agents []AgentRecord `json:"agents"`
+}
+
+// rolloutDoc is the on-disk shape of RolloutFile.
+type rolloutDoc struct {
+	Format  int          `json:"format"`
+	Rollout RolloutState `json:"rollout"`
+}
+
+// Store persists fleet state (registry + rollout) through the same FS
+// abstraction as internal/reconcile, with the same durability ritual:
+// write a temp file, sync, rename into place. Loading tolerates a
+// corrupt file by reporting ok=false — a damaged state file degrades the
+// warm restart to a cold one, it never prevents startup.
+type Store struct {
+	fs    reconcile.FS
+	warnf func(format string, args ...any)
+}
+
+// NewStore creates a fleet store over fs. warnf receives corruption
+// warnings during loads (nil discards them).
+func NewStore(fs reconcile.FS, warnf func(format string, args ...any)) *Store {
+	if warnf == nil {
+		warnf = func(string, ...any) {}
+	}
+	return &Store{fs: fs, warnf: warnf}
+}
+
+// SaveRegistry atomically persists the agent registry.
+func (s *Store) SaveRegistry(agents []AgentRecord) error {
+	return s.save(registryTmpFile, RegistryFile, registryDoc{Format: storeFormat, Agents: agents})
+}
+
+// LoadRegistry reads the persisted registry. ok is false when the file
+// is missing or unreadable (warned, not fatal).
+func (s *Store) LoadRegistry() ([]AgentRecord, bool, error) {
+	raw, err := s.fs.ReadFile(RegistryFile)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("read fleet registry: %w", err)
+	}
+	var doc registryDoc
+	if err := json.Unmarshal(raw, &doc); err != nil || doc.Format != storeFormat {
+		s.warnf("fleet: registry file corrupt, starting cold: %v", err)
+		return nil, false, nil
+	}
+	return doc.Agents, true, nil
+}
+
+// SaveRollout atomically persists the rollout state machine. The
+// coordinator calls it on every transition, so a crash resumes the
+// rollout at the phase it had reached.
+func (s *Store) SaveRollout(r RolloutState) error {
+	return s.save(rolloutTmpFile, RolloutFile, rolloutDoc{Format: storeFormat, Rollout: r})
+}
+
+// LoadRollout reads the persisted rollout state. ok is false when the
+// file is missing or unreadable (warned, not fatal).
+func (s *Store) LoadRollout() (RolloutState, bool, error) {
+	raw, err := s.fs.ReadFile(RolloutFile)
+	if os.IsNotExist(err) {
+		return RolloutState{}, false, nil
+	}
+	if err != nil {
+		return RolloutState{}, false, fmt.Errorf("read fleet rollout: %w", err)
+	}
+	var doc rolloutDoc
+	if err := json.Unmarshal(raw, &doc); err != nil || doc.Format != storeFormat {
+		s.warnf("fleet: rollout file corrupt, starting idle: %v", err)
+		return RolloutState{}, false, nil
+	}
+	return doc.Rollout, true, nil
+}
+
+// save writes doc to tmp, syncs, renames over dst.
+func (s *Store) save(tmp, dst string, doc any) error {
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", tmp, err)
+	}
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := s.fs.Rename(tmp, dst); err != nil {
+		return fmt.Errorf("install %s: %w", dst, err)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"testing"
+
+	"lachesis/internal/guard"
+	"lachesis/internal/reconcile"
+)
+
+func TestStoreRegistryRoundTrip(t *testing.T) {
+	fs := reconcile.NewMemFS()
+	s := NewStore(fs, nil)
+	in := []AgentRecord{
+		{ID: "a", Addr: "a:1", Generation: 2, State: LeaseActive},
+		{ID: "b", Addr: "b:1", Generation: 1, State: LeaseEvicted},
+	}
+	if err := s.SaveRegistry(in); err != nil {
+		t.Fatalf("SaveRegistry: %v", err)
+	}
+	if fs.Syncs == 0 {
+		t.Error("SaveRegistry must sync before rename")
+	}
+	if len(fs.FileBytes(registryTmpFile)) != 0 {
+		t.Error("tmp file must be renamed away")
+	}
+	out, ok, err := s.LoadRegistry()
+	if err != nil || !ok {
+		t.Fatalf("LoadRegistry = ok=%v err=%v", ok, err)
+	}
+	if len(out) != 2 || out[0].ID != "a" || out[1].State != LeaseEvicted {
+		t.Fatalf("LoadRegistry = %+v", out)
+	}
+}
+
+func TestStoreRolloutRoundTrip(t *testing.T) {
+	fs := reconcile.NewMemFS()
+	s := NewStore(fs, nil)
+	in := RolloutState{
+		Active: true, Version: "v7", Payload: []byte(`{"p":1}`),
+		StablePayload: []byte(`{"p":0}`), Phase: PhaseObserving, Wave: 1, Ticks: 3,
+		Cohorts: [][]string{{"a"}, {"b", "c"}},
+		Agents: map[string]*AgentRollout{
+			"a": {Wave: 0, Pushed: true, Baseline: guard.SLOSample{LatencyP95: 1, OK: true}},
+			"b": {Wave: 1},
+		},
+	}
+	if err := s.SaveRollout(in); err != nil {
+		t.Fatalf("SaveRollout: %v", err)
+	}
+	out, ok, err := s.LoadRollout()
+	if err != nil || !ok {
+		t.Fatalf("LoadRollout = ok=%v err=%v", ok, err)
+	}
+	if !out.Active || out.Version != "v7" || out.Phase != PhaseObserving || out.Wave != 1 {
+		t.Fatalf("LoadRollout = %+v", out)
+	}
+	if a := out.Agents["a"]; a == nil || !a.Pushed || !a.Baseline.OK {
+		t.Fatalf("agent a = %+v, want pushed with baseline", out.Agents["a"])
+	}
+	if string(out.Payload) != `{"p":1}` || string(out.StablePayload) != `{"p":0}` {
+		t.Fatal("payloads must round-trip")
+	}
+}
+
+func TestStoreMissingAndCorruptDegradeGracefully(t *testing.T) {
+	fs := reconcile.NewMemFS()
+	warned := 0
+	s := NewStore(fs, func(string, ...any) { warned++ })
+
+	if _, ok, err := s.LoadRegistry(); ok || err != nil {
+		t.Fatalf("missing registry = ok=%v err=%v, want cold start", ok, err)
+	}
+	if _, ok, err := s.LoadRollout(); ok || err != nil {
+		t.Fatalf("missing rollout = ok=%v err=%v, want idle start", ok, err)
+	}
+
+	fs.SetFile(RegistryFile, []byte("garbage"))
+	fs.SetFile(RolloutFile, []byte(`{"format":99}`))
+	if _, ok, err := s.LoadRegistry(); ok || err != nil {
+		t.Fatalf("corrupt registry = ok=%v err=%v, want cold start", ok, err)
+	}
+	if _, ok, err := s.LoadRollout(); ok || err != nil {
+		t.Fatalf("wrong-format rollout = ok=%v err=%v, want idle start", ok, err)
+	}
+	if warned != 2 {
+		t.Fatalf("warned %d times, want 2", warned)
+	}
+}

@@ -1,0 +1,27 @@
+package fleet
+
+// Fleet telemetry metric names, exported from the coordinator's /metrics.
+const (
+	// MetricFleetAgents gauges registered agents by lease state
+	// (label "state": active/suspect/evicted).
+	MetricFleetAgents = "lachesis_fleet_agents"
+	// MetricFleetRegistrationsTotal counts (re-)registrations.
+	MetricFleetRegistrationsTotal = "lachesis_fleet_registrations_total"
+	// MetricFleetHeartbeatsTotal counts accepted heartbeats.
+	MetricFleetHeartbeatsTotal = "lachesis_fleet_heartbeats_total"
+	// MetricFleetEvictionsTotal counts lease evictions.
+	MetricFleetEvictionsTotal = "lachesis_fleet_evictions_total"
+	// MetricFleetPushesTotal counts per-agent push outcomes
+	// (label "outcome": ok/conflict/skipped/error).
+	MetricFleetPushesTotal = "lachesis_fleet_pushes_total"
+	// MetricFleetPushRetriesTotal counts fan-out retry attempts.
+	MetricFleetPushRetriesTotal = "lachesis_fleet_push_retries_total"
+	// MetricFleetBreakerOpensTotal counts per-agent circuit breaker opens.
+	MetricFleetBreakerOpensTotal = "lachesis_fleet_breaker_opens_total"
+	// MetricFleetRolloutState gauges the coordinator rollout phase
+	// (0 idle, 1 pushing, 2 observing, 3 rolling back).
+	MetricFleetRolloutState = "lachesis_fleet_rollout_state"
+	// MetricFleetRolloutsTotal counts finished rollouts by decision
+	// (label "decision": promoted/rolled-back).
+	MetricFleetRolloutsTotal = "lachesis_fleet_rollouts_total"
+)

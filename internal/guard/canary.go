@@ -285,9 +285,10 @@ func (c *Canary) Tick(now time.Duration) {
 	c.verdictLocked(now)
 }
 
-// verdictLocked compares each group's SLO degradation over the window.
-// Factors are relative to the group's own baseline at Propose time, so
-// canary and control groups need not run identical workloads.
+// verdictLocked compares each group's SLO degradation over the window
+// through the shared JudgeSLO helper. Factors are relative to the
+// group's own baseline at Propose time, so canary and control groups
+// need not run identical workloads.
 func (c *Canary) verdictLocked(now time.Duration) {
 	if c.sampler == nil {
 		c.promoteLocked(now, "window clean (no SLO sampler, no guard violations)")
@@ -295,46 +296,15 @@ func (c *Canary) verdictLocked(now time.Duration) {
 	}
 	canary := c.sampler(c.groupLocked(true))
 	control := c.sampler(c.groupLocked(false))
-	if !canary.OK || !c.baseCanary.OK {
+	v := JudgeSLO(c.cfg, c.baseCanary, canary, c.baseControl, control)
+	switch {
+	case v.Insufficient:
 		c.promoteLocked(now, "window clean (insufficient SLO data for canary group)")
-		return
+	case v.Rollback:
+		c.rollbackLocked(now, v.Reason)
+	default:
+		c.promoteLocked(now, v.Reason)
 	}
-	latFactor := relativeFactor(canary.LatencyP95, c.baseCanary.LatencyP95)
-	refLatFactor := 1.0
-	if control.OK && c.baseControl.OK {
-		refLatFactor = relativeFactor(control.LatencyP95, c.baseControl.LatencyP95)
-	}
-	tputFactor := relativeFactor(canary.Throughput, c.baseCanary.Throughput)
-	refTputFactor := 1.0
-	if control.OK && c.baseControl.OK {
-		refTputFactor = relativeFactor(control.Throughput, c.baseControl.Throughput)
-	}
-	if latFactor > c.cfg.MaxLatencyFactor*refLatFactor {
-		c.rollbackLocked(now, fmt.Sprintf(
-			"latency p95 degraded %.2fx vs control %.2fx (limit %.2fx)",
-			latFactor, refLatFactor, c.cfg.MaxLatencyFactor))
-		return
-	}
-	if tputFactor < c.cfg.MinThroughputFactor*refTputFactor {
-		c.rollbackLocked(now, fmt.Sprintf(
-			"throughput fell to %.2fx vs control %.2fx (floor %.2fx)",
-			tputFactor, refTputFactor, c.cfg.MinThroughputFactor))
-		return
-	}
-	c.promoteLocked(now, fmt.Sprintf(
-		"SLO within bounds (latency %.2fx vs control %.2fx, throughput %.2fx vs %.2fx)",
-		latFactor, refLatFactor, tputFactor, refTputFactor))
-}
-
-// relativeFactor returns cur/base guarded against zero baselines.
-func relativeFactor(cur, base float64) float64 {
-	if base <= 0 || math.IsNaN(base) {
-		if cur <= 0 {
-			return 1
-		}
-		return math.Inf(1)
-	}
-	return cur / base
 }
 
 // promoteLocked makes the candidate the stable policy on every slot and

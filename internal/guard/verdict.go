@@ -1,0 +1,84 @@
+package guard
+
+import (
+	"fmt"
+	"math"
+)
+
+// The SLO verdict is the comparison at the heart of every canary: how
+// much did the group under test degrade relative to its own baseline,
+// measured against how much a reference group degraded over the same
+// window? It was born inside the per-node canary controller and is
+// factored out here so the fleet coordinator can reuse the exact same
+// judgement per node — a node cohort is judged by the same rules as a
+// binding cohort.
+
+// SLOVerdict is the outcome of one baseline-relative SLO comparison.
+type SLOVerdict struct {
+	// Rollback is true when the group under test degraded past the
+	// configured factors relative to the reference group.
+	Rollback bool
+	// Reason is a human-readable account of the comparison.
+	Reason string
+	// LatencyFactor / ThroughputFactor are the group-under-test's
+	// degradation relative to its own baseline; RefLatencyFactor /
+	// RefThroughputFactor are the reference group's.
+	LatencyFactor       float64
+	RefLatencyFactor    float64
+	ThroughputFactor    float64
+	RefThroughputFactor float64
+	// Insufficient is true when the group under test (or its baseline)
+	// had no SLO data, in which case the verdict abstains (no rollback).
+	Insufficient bool
+}
+
+// JudgeSLO compares a group's SLO trajectory against a reference
+// trajectory under the Config's factors. base/cur describe the group
+// under test at baseline and now; baseRef/curRef describe the reference
+// (control) group. A missing reference sample leaves the reference
+// factors at 1, so the group is then judged against its own baseline
+// alone.
+func JudgeSLO(cfg Config, base, cur, baseRef, curRef SLOSample) SLOVerdict {
+	cfg = cfg.withDefaults()
+	v := SLOVerdict{
+		LatencyFactor: 1, RefLatencyFactor: 1,
+		ThroughputFactor: 1, RefThroughputFactor: 1,
+	}
+	if !cur.OK || !base.OK {
+		v.Insufficient = true
+		v.Reason = "insufficient SLO data for group under test"
+		return v
+	}
+	v.LatencyFactor = relativeFactor(cur.LatencyP95, base.LatencyP95)
+	v.ThroughputFactor = relativeFactor(cur.Throughput, base.Throughput)
+	if curRef.OK && baseRef.OK {
+		v.RefLatencyFactor = relativeFactor(curRef.LatencyP95, baseRef.LatencyP95)
+		v.RefThroughputFactor = relativeFactor(curRef.Throughput, baseRef.Throughput)
+	}
+	if v.LatencyFactor > cfg.MaxLatencyFactor*v.RefLatencyFactor {
+		v.Rollback = true
+		v.Reason = fmt.Sprintf("latency p95 degraded %.2fx vs control %.2fx (limit %.2fx)",
+			v.LatencyFactor, v.RefLatencyFactor, cfg.MaxLatencyFactor)
+		return v
+	}
+	if v.ThroughputFactor < cfg.MinThroughputFactor*v.RefThroughputFactor {
+		v.Rollback = true
+		v.Reason = fmt.Sprintf("throughput fell to %.2fx vs control %.2fx (floor %.2fx)",
+			v.ThroughputFactor, v.RefThroughputFactor, cfg.MinThroughputFactor)
+		return v
+	}
+	v.Reason = fmt.Sprintf("SLO within bounds (latency %.2fx vs control %.2fx, throughput %.2fx vs %.2fx)",
+		v.LatencyFactor, v.RefLatencyFactor, v.ThroughputFactor, v.RefThroughputFactor)
+	return v
+}
+
+// relativeFactor returns cur/base guarded against zero baselines.
+func relativeFactor(cur, base float64) float64 {
+	if base <= 0 || math.IsNaN(base) {
+		if cur <= 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return cur / base
+}

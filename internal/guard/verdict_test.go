@@ -1,0 +1,66 @@
+package guard
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJudgeSLOWithinBounds(t *testing.T) {
+	v := JudgeSLO(Config{},
+		SLOSample{LatencyP95: 1, Throughput: 100, OK: true},
+		SLOSample{LatencyP95: 1.2, Throughput: 95, OK: true},
+		SLOSample{LatencyP95: 1, Throughput: 100, OK: true},
+		SLOSample{LatencyP95: 1.1, Throughput: 98, OK: true})
+	if v.Rollback || v.Insufficient {
+		t.Fatalf("verdict = %+v, want clean", v)
+	}
+}
+
+func TestJudgeSLOLatencyRollback(t *testing.T) {
+	// Group degraded 4x while the control stayed flat: past the default
+	// 1.5x limit.
+	v := JudgeSLO(Config{},
+		SLOSample{LatencyP95: 1, Throughput: 100, OK: true},
+		SLOSample{LatencyP95: 4, Throughput: 100, OK: true},
+		SLOSample{LatencyP95: 1, Throughput: 100, OK: true},
+		SLOSample{LatencyP95: 1, Throughput: 100, OK: true})
+	if !v.Rollback || !strings.Contains(v.Reason, "latency") {
+		t.Fatalf("verdict = %+v, want latency rollback", v)
+	}
+	if v.LatencyFactor != 4 {
+		t.Errorf("LatencyFactor = %v, want 4", v.LatencyFactor)
+	}
+}
+
+func TestJudgeSLOControlDegradationExcuses(t *testing.T) {
+	// Both groups degraded 4x (a node-wide event, not the candidate):
+	// relative to the control the group is clean.
+	v := JudgeSLO(Config{},
+		SLOSample{LatencyP95: 1, Throughput: 100, OK: true},
+		SLOSample{LatencyP95: 4, Throughput: 100, OK: true},
+		SLOSample{LatencyP95: 1, Throughput: 100, OK: true},
+		SLOSample{LatencyP95: 4, Throughput: 100, OK: true})
+	if v.Rollback {
+		t.Fatalf("verdict = %+v, want clean (control degraded equally)", v)
+	}
+}
+
+func TestJudgeSLOThroughputRollback(t *testing.T) {
+	v := JudgeSLO(Config{},
+		SLOSample{LatencyP95: 1, Throughput: 100, OK: true},
+		SLOSample{LatencyP95: 1, Throughput: 30, OK: true},
+		SLOSample{LatencyP95: 1, Throughput: 100, OK: true},
+		SLOSample{LatencyP95: 1, Throughput: 100, OK: true})
+	if !v.Rollback || !strings.Contains(v.Reason, "throughput") {
+		t.Fatalf("verdict = %+v, want throughput rollback", v)
+	}
+}
+
+func TestJudgeSLOInsufficientAbstains(t *testing.T) {
+	v := JudgeSLO(Config{},
+		SLOSample{}, SLOSample{LatencyP95: 99, OK: true},
+		SLOSample{}, SLOSample{})
+	if !v.Insufficient || v.Rollback {
+		t.Fatalf("verdict = %+v, want abstention", v)
+	}
+}

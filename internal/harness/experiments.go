@@ -84,6 +84,7 @@ func All() []Experiment {
 		{"drift", "Drift: desired-state reconciliation vs fire-and-forget, warm restart", driftExp},
 		{"rollout", "Rollout: adversarial policy vs guarded (canary+invariants+watchdog) and unguarded stacks", rolloutExp},
 		{"scale", "Scale: parallel decision pipeline vs sequential, 16-512 bindings", scaleExp},
+		{"fleet", "Fleet: coordinated rollout across simulated lachesisd agents — cohort containment, coordinator crash", fleetExp},
 	}
 }
 

@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFleetAcceptance runs the fleet experiment and asserts the two
+// robustness claims directly from the BENCH_fleet.json artifact:
+// adversarial containment to the canary cohort, and convergence across a
+// coordinator crash without clobbering agent state.
+func TestFleetAcceptance(t *testing.T) {
+	dir := t.TempDir()
+	sc := QuickScale
+	sc.ArtifactDir = dir
+
+	var out bytes.Buffer
+	if err := fleetExp(&out, sc); err != nil {
+		t.Fatalf("fleet experiment: %v\n%s", err, out.String())
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_fleet.json"))
+	if err != nil {
+		t.Fatalf("missing artifact: %v", err)
+	}
+	var rep FleetReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("parse BENCH_fleet.json: %v", err)
+	}
+
+	if rep.Agents != fleetAgents || rep.BindingsTotal != fleetAgents*fleetNodeBindings {
+		t.Fatalf("fleet sizing = %d agents / %d bindings", rep.Agents, rep.BindingsTotal)
+	}
+
+	c := rep.Containment
+	if !c.RolledBack {
+		t.Errorf("adversarial rollout was not rolled back (reason %q)", c.Reason)
+	}
+	if len(c.Cohort) == 0 || len(c.Cohort) >= rep.Agents {
+		t.Errorf("canary cohort %v must be a strict subset of the fleet", c.Cohort)
+	}
+	if c.NonCohortProposals != 0 {
+		t.Errorf("adversarial payload reached %d non-cohort agents, want 0", c.NonCohortProposals)
+	}
+	if c.NonCohortPeak > fleetContainFactor {
+		t.Errorf("non-cohort peak p95 factor %.2f exceeds containment bound %.1f",
+			c.NonCohortPeak, fleetContainFactor)
+	}
+	if c.CohortPeak <= 1 {
+		t.Errorf("cohort peak p95 factor %.2f shows no degradation — the candidate was not adversarial", c.CohortPeak)
+	}
+	if !c.CohortRestored {
+		t.Error("cohort was not restored to the stable policy after rollback")
+	}
+	if !c.BreakerOpened {
+		t.Errorf("partitioned agent %s never opened the fan-out breaker", c.PartitionedAgent)
+	}
+	if !c.PartitionedEvicted {
+		t.Errorf("partitioned agent %s was not evicted from the registry", c.PartitionedAgent)
+	}
+	if !c.PartitionedKeptLastGood {
+		t.Errorf("partitioned agent %s did not keep running last-good untouched", c.PartitionedAgent)
+	}
+	if !c.Contained {
+		t.Errorf("containment not accepted: %+v", c)
+	}
+
+	r := rep.Restart
+	if !r.ResumedActive {
+		t.Error("restarted coordinator did not resume the in-flight rollout")
+	}
+	if r.ResumedAgents != rep.Agents {
+		t.Errorf("restarted registry restored %d active agents, want %d", r.ResumedAgents, rep.Agents)
+	}
+	if r.DowntimeStepErrors != 0 {
+		t.Errorf("%d agent step errors during coordinator downtime, want 0 (agent autonomy)", r.DowntimeStepErrors)
+	}
+	if !r.Promoted {
+		t.Error("resumed rollout did not converge to promotion")
+	}
+	if r.DoublePushes != 0 {
+		t.Errorf("%d agents were pushed twice across the crash, want 0", r.DoublePushes)
+	}
+	if r.ClobberedAgents != 0 {
+		t.Errorf("%d agents ended without the promoted candidate as last-good, want 0", r.ClobberedAgents)
+	}
+	if !r.Converged {
+		t.Errorf("restart not accepted: %+v", r)
+	}
+
+	if !rep.Accepted {
+		t.Error("BENCH_fleet.json not accepted")
+	}
+}

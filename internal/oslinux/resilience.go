@@ -8,6 +8,7 @@ import (
 	"syscall"
 
 	"lachesis/internal/core"
+	"lachesis/internal/driver"
 )
 
 // Failure classification for the real-host backend. Control operations
@@ -22,16 +23,18 @@ import (
 // transientRetries is how many attempts a transient failure gets.
 const transientRetries = 3
 
-// classify wraps errno-level failures with the core sentinels.
+// classify wraps errno-level failures with the core sentinels (the shared
+// marking helpers live in internal/driver; the errno mapping is this
+// backend's own).
 func classify(err error) error {
 	switch {
 	case err == nil:
 		return nil
 	case errors.Is(err, syscall.ESRCH), errors.Is(err, syscall.ENOENT):
-		return fmt.Errorf("%w: %w", core.ErrEntityVanished, err)
+		return driver.MarkVanished(err)
 	case errors.Is(err, syscall.EAGAIN), errors.Is(err, syscall.EINTR),
 		errors.Is(err, syscall.EBUSY):
-		return fmt.Errorf("%w: %w", core.ErrTransient, err)
+		return driver.MarkTransient(err)
 	default:
 		return err
 	}

@@ -2,6 +2,7 @@ package oslinux
 
 import (
 	"lachesis/internal/core"
+	"lachesis/internal/driver"
 	"lachesis/internal/telemetry"
 )
 
@@ -69,19 +70,18 @@ func (c *Control) record(op string, err error) {
 	}
 }
 
-// retry runs op, retrying classified-transient failures up to
-// transientRetries attempts (counting each extra attempt), and returns the
-// classified error.
+// retry runs op through the shared retry helper: classified-transient
+// failures get up to transientRetries attempts (counting each extra
+// attempt), with no backoff — this backend's transients (EAGAIN/EINTR)
+// clear in microseconds, so pacing them would only stall the cycle.
 func (c *Control) retry(op func() error) error {
-	var err error
-	for attempt := 0; attempt < transientRetries; attempt++ {
-		if attempt > 0 && c.ins != nil {
-			c.ins.retries.Inc()
-		}
-		err = classify(op())
-		if err == nil || !core.IsTransient(err) {
-			return err
-		}
-	}
-	return err
+	return driver.RetryPolicy{
+		Attempts: transientRetries,
+		Classify: classify,
+		OnRetry: func(int, error) {
+			if c.ins != nil {
+				c.ins.retries.Inc()
+			}
+		},
+	}.Do(op)
 }

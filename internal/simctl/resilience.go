@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"lachesis/internal/core"
+	"lachesis/internal/driver"
 	"lachesis/internal/simos"
 )
 
@@ -15,14 +16,15 @@ import (
 // that translators and the middleware treat a killed simulated SPE thread
 // exactly like a real exited thread returning ESRCH.
 
-// classify maps simulated-kernel errors onto the core error taxonomy.
+// classify maps simulated-kernel errors onto the core error taxonomy
+// through the shared marking helpers in internal/driver.
 func classify(err error) error {
 	if err == nil {
 		return nil
 	}
 	var nf *simos.NotFoundError
 	if errors.As(err, &nf) {
-		return fmt.Errorf("%w: %w", core.ErrEntityVanished, err)
+		return driver.MarkVanished(err)
 	}
 	return err
 }
