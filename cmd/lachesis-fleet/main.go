@@ -24,6 +24,7 @@ import (
 	"lachesis/internal/core"
 	"lachesis/internal/fleet"
 	"lachesis/internal/reconcile"
+	"lachesis/internal/span"
 )
 
 func main() {
@@ -51,6 +52,11 @@ func run(args []string, stdout, stderr io.Writer, sigs chan os.Signal) error {
 	pushTicks := fs.Int("push-ticks", 5, "ticks before unreachable agents are degraded out of a wave")
 	agentTimeout := fs.Duration("agent-timeout", 2*time.Second, "per-request timeout talking to agents")
 	auditPath := fs.String("audit", "", "append-only JSONL audit log (empty: ring buffer only)")
+	spanLog := fs.String("span-log", "",
+		"append completed trace spans as JSONL to this file (the ring behind /debug/trace is always on)")
+	flightDir := fs.String("flight-dir", "",
+		"write flight-recorder trace bundles into this directory when an agent's push breaker opens")
+	pprofEnabled := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	iterations := fs.Int("iterations", 0, "exit after this many ticks (0: run until signal)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,7 +90,22 @@ func run(args []string, stdout, stderr io.Writer, sigs chan os.Signal) error {
 		trailSink = core.NewJSONLSink(f)
 	}
 
-	d := newFleetDaemon(fleetOptions{
+	var spanSink *span.JSONLSink
+	if *spanLog != "" {
+		f, err := os.OpenFile(*spanLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("span log: %w", err)
+		}
+		defer f.Close()
+		spanSink = span.NewJSONLSink(f)
+		defer func() {
+			if err := spanSink.Err(); err != nil {
+				fmt.Fprintln(stderr, "lachesis-fleet: span log:", err)
+			}
+		}()
+	}
+
+	opts := fleetOptions{
 		registry: fleet.RegistryConfig{
 			HeartbeatInterval: *heartbeat,
 			SuspectAfter:      *suspectAfter,
@@ -96,9 +117,15 @@ func run(args []string, stdout, stderr io.Writer, sigs chan os.Signal) error {
 			WindowTicks:    *window,
 			PushTicks:      *pushTicks,
 		},
-		conns: fleet.HTTPConnFactory(*agentTimeout),
-		sink:  trailSink,
-	})
+		conns:        fleet.HTTPConnFactory(*agentTimeout),
+		sink:         trailSink,
+		flightDir:    *flightDir,
+		pprofEnabled: *pprofEnabled,
+	}
+	if spanSink != nil {
+		opts.spanSink = spanSink
+	}
+	d := newFleetDaemon(opts)
 
 	// Warm restart: registry, rollout state, and the fleet-level
 	// last-good policy all come back from the state directory.

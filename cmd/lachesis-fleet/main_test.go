@@ -42,8 +42,12 @@ func TestRunIterationsBoundedExit(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	sigs := make(chan os.Signal, 1)
 	done := make(chan error, 1)
+	dir := t.TempDir()
 	go func() {
-		done <- run([]string{"-listen", "127.0.0.1:0", "-tick", "5ms", "-iterations", "3"}, &out, &errBuf, sigs)
+		done <- run([]string{
+			"-listen", "127.0.0.1:0", "-tick", "5ms", "-iterations", "3",
+			"-pprof", "-span-log", dir + "/spans.jsonl", "-flight-dir", dir,
+		}, &out, &errBuf, sigs)
 	}()
 	select {
 	case err := <-done:

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"lachesis/internal/core"
 	"lachesis/internal/fleet"
 	"lachesis/internal/guard"
+	"lachesis/internal/span"
 	"lachesis/internal/telemetry"
 )
 
@@ -24,23 +26,37 @@ const maxPolicyPayload = 1 << 20
 // defaultAuditTail is how many events /debug/audit returns without ?n=.
 const defaultAuditTail = 64
 
+// defaultTraceTail is how many spans /debug/trace returns without ?n=.
+const defaultTraceTail = 128
+
 // fleetOptions assembles a daemon.
 type fleetOptions struct {
 	registry fleet.RegistryConfig
 	rollout  fleet.RolloutConfig
 	conns    fleet.ConnFactory
 	sink     core.AuditSink
+	// spanSink optionally mirrors every completed span (JSONL via
+	// -span-log); the in-memory ring behind /debug/trace is always on.
+	spanSink span.Sink
+	// flightDir enables the anomaly flight recorder: a per-agent push
+	// breaker opening dumps the span ring there. Empty disables.
+	flightDir string
+	// pprofEnabled mounts net/http/pprof under /debug/pprof/.
+	pprofEnabled bool
 }
 
 // fleetDaemon owns the coordinator's moving parts and their HTTP
 // surface. The registry and coordinator carry their own locks; d.mu
 // only guards the last-good bookkeeping.
 type fleetDaemon struct {
-	reg   *fleet.Registry
-	co    *fleet.Coordinator
-	tel   *telemetry.Registry
-	trail *core.AuditTrail
-	start time.Time
+	reg    *fleet.Registry
+	co     *fleet.Coordinator
+	tel    *telemetry.Registry
+	trail  *core.AuditTrail
+	spans  *span.Recorder
+	flight *span.FlightRecorder
+	pprof  bool
+	start  time.Time
 
 	mu sync.Mutex
 	// lastGood is the fleet-level stable payload: the last promoted
@@ -60,14 +76,29 @@ func newFleetDaemon(opts fleetOptions) *fleetDaemon {
 	d := &fleetDaemon{
 		tel:   telemetry.NewRegistry(),
 		trail: core.NewAuditTrail(0, opts.sink),
+		pprof: opts.pprofEnabled,
 		start: time.Now(),
 	}
+	telemetry.RegisterBuildInfo(d.tel, "lachesis-fleet")
 	d.reg = fleet.NewRegistry(opts.registry)
 	d.reg.SetAudit(d.trail)
 	d.reg.SetTelemetry(d.tel)
 	d.co = fleet.NewCoordinator(opts.rollout, d.reg, opts.conns)
 	d.co.SetAudit(d.trail)
 	d.co.SetTelemetry(d.tel)
+	// Tracing is always on: each rollout opens a "rollout" root span whose
+	// context parents every per-agent "push" and rides each HTTP hop as a
+	// Traceparent header, so one trace ID spans coordinator -> agent ->
+	// canary verdict.
+	d.spans = span.New(span.Config{Process: "lachesis-fleet", Sink: opts.spanSink})
+	d.co.SetSpans(d.spans)
+	if opts.flightDir != "" {
+		d.flight = span.NewFlightRecorder(d.spans, opts.flightDir, 0)
+		flight := d.flight
+		d.co.Fanout().SetBreakerHook(func(now time.Duration, agent string) {
+			_, _ = flight.Trip(span.Trigger{At: now, Kind: span.TriggerBreakerOpen, Detail: "agent " + agent})
+		})
+	}
 	return d
 }
 
@@ -146,6 +177,21 @@ func (d *fleetDaemon) propose(version string, payload []byte) error {
 	d.pending = payload
 	d.mu.Unlock()
 	return nil
+}
+
+// traceView is the JSON shape of GET /debug/trace.
+type traceView struct {
+	Total     int64       `json:"total"`
+	LastTrace string      `json:"last_trace,omitempty"`
+	Trace     string      `json:"trace,omitempty"`
+	Spans     []span.Span `json:"spans"`
+	Flight    *flightView `json:"flight,omitempty"`
+}
+
+// flightView is the /debug/trace summary of the flight recorder.
+type flightView struct {
+	Trips    int    `json:"trips"`
+	LastDump string `json:"last_dump,omitempty"`
 }
 
 // fleetHealth is the JSON shape of GET /fleet/health.
@@ -250,6 +296,7 @@ func (d *fleetDaemon) handler() http.Handler {
 
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		var buf bytes.Buffer
+		telemetry.TouchUptime(d.tel, d.start)
 		if err := d.tel.WritePrometheus(&buf); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -257,6 +304,40 @@ func (d *fleetDaemon) handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_, _ = buf.WriteTo(w)
 	})
+
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		n := defaultTraceTail
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v <= 0 {
+				http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		v := traceView{Total: d.spans.Total(), LastTrace: d.spans.LastTrace()}
+		if id := r.URL.Query().Get("trace"); id != "" {
+			v.Trace = id
+			v.Spans = d.spans.TraceSpans(id)
+		} else {
+			v.Spans = d.spans.Snapshot()
+			if len(v.Spans) > n {
+				v.Spans = v.Spans[len(v.Spans)-n:]
+			}
+		}
+		if d.flight != nil {
+			v.Flight = &flightView{Trips: d.flight.Trips(), LastDump: d.flight.LastDump()}
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+
+	if d.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 
 	mux.HandleFunc("/debug/audit", func(w http.ResponseWriter, r *http.Request) {
 		n := defaultAuditTail

@@ -3,9 +3,16 @@
 // sources replay recorded traces). Traces written here can be replayed
 // with internal/trace.Trace.Source.
 //
+// With -spans it instead reads causal span logs — the JSONL written by a
+// daemon's -span-log flag or a flight-recorder bundle — reconstructs the
+// span trees, and prints each trace with its critical path and per-phase
+// latency attribution. Logs from several processes can be merged to view
+// one cross-process rollout trace end to end.
+//
 // Usage:
 //
 //	lachesis-trace -workload lr -rate 5000 -tuples 100000 -out lr.csv
+//	lachesis-trace -spans fleet.jsonl,agent.jsonl [-trace <id>]
 package main
 
 import (
@@ -13,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"lachesis/internal/spe"
@@ -37,9 +45,14 @@ func run(args []string, stderr io.Writer) error {
 		seed     = fs.Int64("seed", 1, "generator seed")
 		out      = fs.String("out", "", "output CSV path (default stdout)")
 		replay   = fs.String("replay", "", "read an existing trace CSV and print its summary instead of capturing")
+		spans    = fs.String("spans", "", "comma-separated span JSONL files (daemon -span-log output or flight bundles); print span trees instead of capturing")
+		traceID  = fs.String("trace", "", "with -spans: show only this trace ID")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *spans != "" {
+		return runSpans(strings.Split(*spans, ","), *traceID, stderr)
 	}
 	if *replay != "" {
 		f, err := os.Open(*replay)

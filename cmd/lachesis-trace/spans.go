@@ -1,0 +1,101 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"lachesis/internal/span"
+)
+
+// runSpans is the -spans mode: merge span JSONL files (possibly from
+// several processes), rebuild the causal trees, and print each trace
+// with its critical path attributed phase by phase.
+func runSpans(paths []string, traceID string, w io.Writer) error {
+	var all []span.Span
+	var triggers []span.Trigger
+	for _, p := range paths {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		spans, trips, err := span.ReadSpans(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		all = append(all, spans...)
+		triggers = append(triggers, trips...)
+	}
+	// A flight bundle tripped before any span completed carries only its
+	// trigger line; that is still worth printing, not an error.
+	if len(all) == 0 && len(triggers) == 0 {
+		return fmt.Errorf("no spans in %s", strings.Join(paths, ","))
+	}
+
+	roots := span.BuildTrees(all)
+	if traceID != "" {
+		roots = span.FilterTrace(roots, traceID)
+		if len(roots) == 0 {
+			return fmt.Errorf("trace %s not found (have %d spans)", traceID, len(all))
+		}
+	}
+
+	// Flight bundles carry the trigger that tripped the recorder; lead
+	// with it so the reader knows why this dump exists.
+	for _, tr := range triggers {
+		fmt.Fprintf(w, "trigger %s at %v: %s", tr.Kind, tr.At, tr.Detail)
+		if tr.Trace != "" {
+			fmt.Fprintf(w, " (trace %s)", tr.Trace)
+		}
+		fmt.Fprintln(w)
+	}
+
+	lastTrace := ""
+	for _, r := range roots {
+		if r.Trace != lastTrace {
+			fmt.Fprintf(w, "trace %s\n", r.Trace)
+			lastTrace = r.Trace
+		}
+		printTree(w, r, 1)
+		path := span.CriticalPath(r)
+		if len(path) > 1 {
+			fmt.Fprintf(w, "  critical path (%v):\n", r.Wall)
+			for _, pc := range span.Attribution(path) {
+				fmt.Fprintf(w, "    %-24s wall %-12v self %v\n", pc.Name, pc.Wall, pc.Self)
+			}
+		}
+	}
+	fmt.Fprintf(w, "%d spans, %d traces\n", len(all), countTraces(roots))
+	return nil
+}
+
+// printTree renders one span subtree, two spaces per depth level.
+func printTree(w io.Writer, n *span.Node, depth int) {
+	fmt.Fprintf(w, "%s%s", strings.Repeat("  ", depth), n.Name)
+	if n.Process != "" {
+		fmt.Fprintf(w, " [%s]", n.Process)
+	}
+	fmt.Fprintf(w, " %v", n.Wall)
+	if n.Err != "" {
+		fmt.Fprintf(w, " err=%q", n.Err)
+	}
+	fmt.Fprintln(w)
+	for _, c := range n.Children {
+		printTree(w, c, depth+1)
+	}
+}
+
+// countTraces counts the distinct trace IDs among the roots.
+func countTraces(roots []*span.Node) int {
+	seen := map[string]bool{}
+	for _, r := range roots {
+		seen[r.Trace] = true
+	}
+	return len(seen)
+}

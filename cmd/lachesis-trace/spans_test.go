@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lachesis/internal/span"
+)
+
+// writeSpanLog records a small two-phase trace into a JSONL file through
+// the same sink the daemons use, returning the file path and trace ID.
+func writeSpanLog(t *testing.T, dir, process string) (string, string) {
+	t.Helper()
+	path := filepath.Join(dir, process+".jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := span.NewJSONLSink(f)
+	rec := span.New(span.Config{Process: process, Sink: sink})
+	root := rec.StartRoot(0, "cycle")
+	child := rec.StartChild(root.Context(), time.Millisecond, "schedule")
+	child.End(nil)
+	root.End(nil)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return path, rec.LastTrace()
+}
+
+func TestSpansModeTreeAndAttribution(t *testing.T) {
+	dir := t.TempDir()
+	p1, tr1 := writeSpanLog(t, dir, "lachesisd")
+	p2, tr2 := writeSpanLog(t, dir, "lachesis-fleet")
+
+	var out bytes.Buffer
+	if err := run([]string{"-spans", p1 + "," + p2}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"trace " + tr1, "trace " + tr2,
+		"cycle [lachesisd]", "schedule [lachesisd]",
+		"cycle [lachesis-fleet]",
+		"critical path",
+		"4 spans, 2 traces",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("spans output missing %q:\n%s", want, s)
+		}
+	}
+	// Attribution rows carry both wall and self columns.
+	if !strings.Contains(s, "wall") || !strings.Contains(s, "self") {
+		t.Errorf("attribution table missing wall/self columns:\n%s", s)
+	}
+
+	// -trace narrows to one trace.
+	out.Reset()
+	if err := run([]string{"-spans", p1 + "," + p2, "-trace", tr1}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s = out.String()
+	if !strings.Contains(s, "trace "+tr1) || strings.Contains(s, "trace "+tr2) {
+		t.Errorf("-trace filter leaked other traces:\n%s", s)
+	}
+
+	// Unknown trace and empty files fail loudly.
+	if err := run([]string{"-spans", p1, "-trace", "deadbeef"}, &out); err == nil {
+		t.Error("unknown -trace should fail")
+	}
+	empty := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spans", empty}, &out); err == nil {
+		t.Error("span file without spans should fail")
+	}
+	if err := run([]string{"-spans", filepath.Join(dir, "missing.jsonl")}, &out); err == nil {
+		t.Error("missing span file should fail")
+	}
+}
+
+func TestSpansModeReadsFlightBundle(t *testing.T) {
+	dir := t.TempDir()
+	rec := span.New(span.Config{Process: "lachesisd"})
+	root := rec.StartRoot(0, "cycle")
+	root.End(nil)
+	flight := span.NewFlightRecorder(rec, dir, 0)
+	dump, err := flight.Trip(span.Trigger{
+		At: time.Second, Kind: span.TriggerWatchdog, Detail: "schedule overran",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"-spans", dump}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "trigger "+span.TriggerWatchdog) ||
+		!strings.Contains(s, "schedule overran") ||
+		!strings.Contains(s, "cycle [lachesisd]") {
+		t.Errorf("flight bundle output = %s", s)
+	}
+
+	// A bundle tripped before any span completed (empty ring) still
+	// prints its trigger line instead of failing.
+	bare := span.NewFlightRecorder(span.New(span.Config{}), dir, 0)
+	dump2, err := bare.Trip(span.Trigger{
+		At: time.Second, Kind: span.TriggerGuardBlock, Detail: "first-cycle block",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-spans", dump2}, &out); err != nil {
+		t.Fatalf("trigger-only bundle: %v", err)
+	}
+	if !strings.Contains(out.String(), "first-cycle block") {
+		t.Errorf("trigger-only bundle output = %s", out.String())
+	}
+}

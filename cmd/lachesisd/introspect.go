@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -13,6 +14,8 @@ import (
 	"lachesis/internal/core"
 	"lachesis/internal/guard"
 	"lachesis/internal/reconcile"
+	"lachesis/internal/span"
+	"lachesis/internal/telemetry"
 )
 
 // The introspection server exposes the daemon's self-telemetry while it
@@ -133,6 +136,31 @@ func healthJSON(h core.Health) healthView {
 // defaultAuditTail is how many events /debug/audit returns without ?n=.
 const defaultAuditTail = 64
 
+// defaultTraceTail is how many spans /debug/trace returns without ?n=
+// (the newest ones — several cycles under the slow-span floor).
+const defaultTraceTail = 128
+
+// traceView is the JSON shape of GET /debug/trace.
+type traceView struct {
+	// Total counts every span recorded since start (the ring holds only
+	// the most recent ones).
+	Total int64 `json:"total"`
+	// LastTrace is the most recent root trace ID ("" before the first).
+	LastTrace string `json:"last_trace,omitempty"`
+	// Trace echoes the ?trace= filter when one was given.
+	Trace string `json:"trace,omitempty"`
+	// Spans are the selected spans, oldest first.
+	Spans []span.Span `json:"spans"`
+	// Flight summarizes the anomaly flight recorder when one is wired.
+	Flight *flightView `json:"flight,omitempty"`
+}
+
+// flightView is the /debug/trace summary of the flight recorder.
+type flightView struct {
+	Trips    int    `json:"trips"`
+	LastDump string `json:"last_dump,omitempty"`
+}
+
 // maxPolicyPayload bounds a POST /policy request body.
 const maxPolicyPayload = 1 << 20
 
@@ -148,8 +176,22 @@ type introspectionDeps struct {
 	canary *guard.Canary
 	wd     *guard.Watchdog
 	// propose stages a policy payload as a canary candidate (POST
-	// /policy). Called with mu held. nil disables the endpoint.
-	propose func(raw []byte) error
+	// /policy). Called with mu held; parent is the request's incoming
+	// trace context (zero when the caller sent no Traceparent header).
+	// nil disables the endpoint.
+	propose func(raw []byte, parent span.Context) error
+	// spans backs GET /debug/trace (recent spans, ?trace=<id>). nil
+	// hides the endpoint.
+	spans *span.Recorder
+	// flight, when set, adds its trip/dump counters to /debug/trace.
+	flight *span.FlightRecorder
+	// pprofEnabled mounts net/http/pprof under /debug/pprof/ (the -pprof
+	// flag); off by default so the profiler is never an accidental
+	// production endpoint.
+	pprofEnabled bool
+	// start is the process start time behind lachesis_uptime_seconds;
+	// zero skips the uptime refresh (unit tests without a daemon).
+	start time.Time
 }
 
 // newIntrospectionHandler builds the /metrics, /health, /policy and
@@ -161,6 +203,9 @@ func newIntrospectionHandler(d introspectionDeps) http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		var buf bytes.Buffer
 		mu.Lock()
+		if !d.start.IsZero() {
+			telemetry.TouchUptime(mw.Telemetry(), d.start)
+		}
 		err := mw.Telemetry().WritePrometheus(&buf)
 		mu.Unlock()
 		if err != nil {
@@ -222,8 +267,14 @@ func newIntrospectionHandler(d introspectionDeps) http.Handler {
 				http.Error(w, err.Error(), http.StatusBadRequest)
 				return
 			}
+			// A fleet push carries its rollout's trace context out-of-band
+			// as a Traceparent header; the staged canary joins that trace,
+			// so one trace ID follows coordinator -> agent -> verdict. An
+			// absent or malformed header yields the zero context and the
+			// rollout opens a local trace instead.
+			parent, _ := span.ParseTraceparent(r.Header.Get(span.TraceparentHeader))
 			mu.Lock()
-			err = d.propose(body)
+			err = d.propose(body, parent)
 			st := d.canary.Status()
 			mu.Unlock()
 			if err != nil {
@@ -238,6 +289,47 @@ func newIntrospectionHandler(d introspectionDeps) http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		}
 	})
+
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if d.spans == nil {
+			http.Error(w, "tracing not enabled", http.StatusNotFound)
+			return
+		}
+		n := defaultTraceTail
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v <= 0 {
+				http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		// The recorder is lock-free to read; mu is not needed here, and
+		// skipping it keeps the endpoint usable while a cycle is stuck —
+		// exactly when its trace matters most.
+		v := traceView{Total: d.spans.Total(), LastTrace: d.spans.LastTrace()}
+		if id := r.URL.Query().Get("trace"); id != "" {
+			v.Trace = id
+			v.Spans = d.spans.TraceSpans(id)
+		} else {
+			v.Spans = d.spans.Snapshot()
+			if len(v.Spans) > n {
+				v.Spans = v.Spans[len(v.Spans)-n:]
+			}
+		}
+		if d.flight != nil {
+			v.Flight = &flightView{Trips: d.flight.Trips(), LastDump: d.flight.LastDump()}
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+
+	if d.pprofEnabled {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 
 	mux.HandleFunc("/debug/audit", func(w http.ResponseWriter, r *http.Request) {
 		n := defaultAuditTail

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -17,6 +18,8 @@ import (
 	"lachesis/internal/guard"
 	"lachesis/internal/oslinux"
 	"lachesis/internal/reconcile"
+	"lachesis/internal/span"
+	"lachesis/internal/telemetry"
 )
 
 // newTestDaemon assembles the same stack run() builds: static entities, a
@@ -327,7 +330,7 @@ func TestPolicyRolloutEndpoint(t *testing.T) {
 	}
 
 	var mu sync.Mutex
-	propose := func(raw []byte) error {
+	propose := func(raw []byte, parent span.Context) error {
 		var pc policyConfig
 		if err := json.Unmarshal(raw, &pc); err != nil {
 			return err
@@ -335,7 +338,7 @@ func TestPolicyRolloutEndpoint(t *testing.T) {
 		if len(pc.Priorities) == 0 {
 			return errors.New("policy has no priorities")
 		}
-		return canary.Propose(0, "http-test", buildPolicy(pc.Priorities), raw)
+		return canary.ProposeCtx(0, "http-test", buildPolicy(pc.Priorities), raw, parent)
 	}
 	srv := httptest.NewServer(newIntrospectionHandler(introspectionDeps{
 		mu: &mu, mw: mw, trail: trail, canary: canary, wd: wd, propose: propose,
@@ -420,5 +423,153 @@ func TestPolicyRolloutEndpoint(t *testing.T) {
 	resp.Body.Close()
 	if st.Active || st.LastDecision != guard.DecisionPromoted || st.Promotions != 1 {
 		t.Errorf("rollout not promoted: %+v", st)
+	}
+}
+
+// TestPprofGatedByFlag: the profiler endpoints exist only when -pprof is
+// given — an introspection server must never expose them by accident.
+func TestPprofGatedByFlag(t *testing.T) {
+	mw, trail, _ := newTestDaemon(t, nil)
+	var mu sync.Mutex
+
+	off := httptest.NewServer(newIntrospectionHandler(introspectionDeps{mu: &mu, mw: mw, trail: trail}))
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof off: status %d, want 404", resp.StatusCode)
+	}
+
+	on := httptest.NewServer(newIntrospectionHandler(introspectionDeps{mu: &mu, mw: mw, trail: trail, pprofEnabled: true}))
+	defer on.Close()
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof on: status %d, want 200", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index does not list profiles:\n%s", body)
+	}
+}
+
+// TestDebugTraceEndpoint: /debug/trace serves the recorder's recent
+// spans, filters by ?trace=, bounds the tail with ?n=, and 404s when no
+// recorder is wired.
+func TestDebugTraceEndpoint(t *testing.T) {
+	mw, trail, _ := newTestDaemon(t, nil)
+	spans := span.New(span.Config{Process: "lachesisd", Seed: 7})
+	mw.SetSpans(spans)
+	for i := 1; i <= 3; i++ {
+		if _, err := mw.Step(time.Duration(i) * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var mu sync.Mutex
+	srv := httptest.NewServer(newIntrospectionHandler(introspectionDeps{mu: &mu, mw: mw, trail: trail, spans: spans}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v traceView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if v.Total < 3 || len(v.Spans) == 0 {
+		t.Fatalf("trace view = total %d, %d spans, want >= 3 cycles", v.Total, len(v.Spans))
+	}
+	if v.LastTrace == "" {
+		t.Fatal("no last_trace in view")
+	}
+
+	// Filter down to the most recent cycle's trace.
+	resp, err = http.Get(srv.URL + "/debug/trace?trace=" + v.LastTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one traceView
+	if err := json.NewDecoder(resp.Body).Decode(&one); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if one.Trace != v.LastTrace || len(one.Spans) == 0 {
+		t.Fatalf("filtered view = %+v", one)
+	}
+	for _, sp := range one.Spans {
+		if sp.Trace != v.LastTrace {
+			t.Errorf("span %s from trace %s leaked into the filter", sp.ID, sp.Trace)
+		}
+	}
+
+	// ?n= bounds the unfiltered tail.
+	resp, err = http.Get(srv.URL + "/debug/trace?n=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tail traceView
+	if err := json.NewDecoder(resp.Body).Decode(&tail); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(tail.Spans) != 1 {
+		t.Errorf("n=1 returned %d spans", len(tail.Spans))
+	}
+
+	// Without a recorder the endpoint does not exist.
+	bare := httptest.NewServer(newIntrospectionHandler(introspectionDeps{mu: &mu, mw: mw, trail: trail}))
+	defer bare.Close()
+	resp, err = http.Get(bare.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("no recorder: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMetricsBuildInfoAndUptime: /metrics carries the build_info gauge
+// and a scrape-time-refreshed uptime when run() registers them.
+func TestMetricsBuildInfoAndUptime(t *testing.T) {
+	mw, trail, _ := newTestDaemon(t, nil)
+	telemetry.RegisterBuildInfo(mw.Telemetry(), "lachesisd")
+	var mu sync.Mutex
+	srv := httptest.NewServer(newIntrospectionHandler(introspectionDeps{
+		mu: &mu, mw: mw, trail: trail, start: time.Now().Add(-3 * time.Second),
+	}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	s := string(body)
+	if !strings.Contains(s, telemetry.MetricBuildInfo) || !strings.Contains(s, `component="lachesisd"`) {
+		t.Errorf("metrics missing build info:\n%s", s)
+	}
+	if !strings.Contains(s, `go_version="go`) {
+		t.Errorf("build info missing go_version label:\n%s", s)
+	}
+	if !strings.Contains(s, telemetry.MetricUptimeSeconds) {
+		t.Fatalf("metrics missing uptime:\n%s", s)
+	}
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, telemetry.MetricUptimeSeconds+" ") {
+			v, err := strconv.ParseFloat(strings.Fields(line)[1], 64)
+			if err != nil || v < 3 {
+				t.Errorf("uptime %q, want >= 3s", line)
+			}
+		}
 	}
 }

@@ -55,6 +55,8 @@ import (
 	"lachesis/internal/guard"
 	"lachesis/internal/oslinux"
 	"lachesis/internal/reconcile"
+	"lachesis/internal/span"
+	"lachesis/internal/telemetry"
 )
 
 // entityConfig is one physical operator in the config file.
@@ -190,6 +192,12 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 		agentID   = fs.String("agent-id", "", "agent id reported to the fleet coordinator (default: hostname)")
 		advertise = fs.String("advertise", "",
 			"address the coordinator should reach this agent's policy API on (default: the -introspect address)")
+		pprofEnabled = fs.Bool("pprof", false,
+			"expose net/http/pprof under /debug/pprof/ on the introspection server")
+		spanLog = fs.String("span-log", "",
+			"append completed trace spans as JSONL to this file (the in-memory ring behind /debug/trace is always on)")
+		flightDir = fs.String("flight-dir", "",
+			"write flight-recorder trace bundles into this directory on watchdog trips, guard blocks and canary rollbacks")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -330,6 +338,28 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	mw.SetWriteGate(gate)
 	ctl.SetTelemetry(mw.Telemetry())
 	co.SetTelemetry(mw.Telemetry(), "static")
+	telemetry.RegisterBuildInfo(mw.Telemetry(), "lachesisd")
+
+	// Causal tracing is always on: the bounded span ring backs GET
+	// /debug/trace and the flight recorder, at the production policy
+	// (slow-span floor + per-cycle budget) whose cost the traceoverhead
+	// experiment polices. -span-log additionally streams every completed
+	// span to durable JSONL for cross-process trace assembly.
+	var spanSink span.Sink
+	var spanFile *span.JSONLSink
+	if *spanLog != "" {
+		f, err := os.OpenFile(*spanLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("span log: %w", err)
+		}
+		defer f.Close()
+		spanFile = span.NewJSONLSink(f)
+		spanSink = spanFile
+	}
+	spans := span.New(span.Config{Process: "lachesisd", Sink: spanSink})
+	mw.SetSpans(spans)
+	mw.SetSpanFloor(core.DefaultSpanFloor)
+	mw.SetSpanBudget(core.DefaultSpanBudget)
 
 	// The guard slots between the translator and the coalescer: every
 	// translated batch is validated against the configured invariants
@@ -413,6 +443,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	canary := guard.NewCanary(canaryCfg)
 	canary.SetTelemetry(mw.Telemetry())
 	canary.SetAudit(trail)
+	canary.SetSpans(spans)
 	canary.SetProvider(mw.Provider())
 	if opGuard != nil {
 		canary.SetViolationSource(opGuard.Violations)
@@ -439,14 +470,26 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 
 	start := time.Now()
 
+	// The flight recorder turns the span ring into incident artifacts: a
+	// watchdog trip, a guard-blocked batch, or a canary rollback dumps
+	// the recent spans as a trace bundle naming the offending trace.
+	var flight *span.FlightRecorder
+	if *flightDir != "" {
+		flight = span.NewFlightRecorder(spans, *flightDir, 0)
+		fmt.Fprintf(stderr, "lachesisd: flight recorder dumping to %s\n", *flightDir)
+	}
+	wireFlightHooks(flight, opGuard, wd, canary, func() time.Duration { return time.Since(start) })
+
 	// propose stages a policy payload as a canary candidate. Callers hold
 	// mu (the step loop, the SIGHUP branch and the HTTP handler all
 	// serialize through it). A payload carrying a version is named by it
 	// (the fleet coordinator's idempotent-retry handshake depends on the
 	// candidate name matching the version it pushed); the origin — local
-	// reload or fleet — is recorded in the audit trail.
+	// reload or fleet — is recorded in the audit trail. parent is the
+	// proposer's trace context (a fleet push's Traceparent header); zero
+	// opens a local trace for the rollout.
 	var reloads int64
-	propose := func(now time.Duration, raw []byte) error {
+	propose := func(now time.Duration, raw []byte, parent span.Context) error {
 		var pc policyConfig
 		if err := json.Unmarshal(raw, &pc); err != nil {
 			return fmt.Errorf("parse policy: %w", err)
@@ -459,7 +502,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 		if pc.Version != "" {
 			name = pc.Version
 		}
-		if err := canary.Propose(now, name, buildPolicy(pc.Priorities), raw); err != nil {
+		if err := canary.ProposeCtx(now, name, buildPolicy(pc.Priorities), raw, parent); err != nil {
 			return err
 		}
 		origin := pc.Origin
@@ -490,6 +533,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 			// cgroup v2 stores weights; the shares round trip quantizes.
 			SharesTolerance: map[bool]int{true: 27, false: 0}[osCfg.Version == oslinux.V2],
 			Now:             func() time.Duration { return time.Since(start) },
+			Spans:           spans,
 		})
 	}
 
@@ -501,7 +545,10 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 		srv, err := startIntrospection(*introspect, introspectionDeps{
 			mu: &mu, mw: mw, trail: trail, rec: rec, state: state,
 			canary: canary, wd: wd,
-			propose: func(raw []byte) error { return propose(time.Since(start), raw) },
+			spans: spans, flight: flight, pprofEnabled: *pprofEnabled, start: start,
+			propose: func(raw []byte, parent span.Context) error {
+				return propose(time.Since(start), raw, parent)
+			},
 		})
 		if err != nil {
 			return fmt.Errorf("introspection: %w", err)
@@ -605,7 +652,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 			return
 		}
 		mu.Lock()
-		err = propose(time.Since(start), payload)
+		err = propose(time.Since(start), payload, span.Context{})
 		mu.Unlock()
 		if err != nil {
 			fmt.Fprintln(stderr, "lachesisd: reload:", err)
@@ -664,6 +711,11 @@ loop:
 			fmt.Fprintln(stderr, "lachesisd: audit log:", err)
 		}
 	}
+	if spanFile != nil {
+		if err := spanFile.Err(); err != nil {
+			fmt.Fprintln(stderr, "lachesisd: span log:", err)
+		}
+	}
 	if interrupted {
 		fmt.Fprintln(stderr, "lachesisd: shutting down, restoring scheduling defaults")
 		if r, ok := tr.(core.Resetter); ok {
@@ -692,6 +744,39 @@ loop:
 
 // reconcileJitter is the ± fraction applied to each reconcile sleep.
 const reconcileJitter = 0.1
+
+// wireFlightHooks points every local anomaly site at the flight
+// recorder: a watchdog trip, a guard-blocked batch, or a canary rollback
+// dumps the span ring as an incident bundle. The watchdog fires after
+// CycleDone, so its dump holds the offending cycle's completed spans;
+// the guard hook fires mid-cycle and names the in-flight trace via the
+// recorder's last root. A nil flight (no -flight-dir) leaves every hook
+// unset; nil subsystems are skipped.
+func wireFlightHooks(flight *span.FlightRecorder, og *guard.OpGuard, wd *guard.Watchdog, canary *guard.Canary, now func() time.Duration) {
+	if flight == nil {
+		return
+	}
+	if og != nil {
+		og.SetBlockHook(func(binding string, violations []guard.Violation) {
+			detail := binding
+			if len(violations) > 0 {
+				v := violations[0]
+				detail = fmt.Sprintf("%s: %s: %s", binding, v.Invariant, v.Detail)
+			}
+			_, _ = flight.Trip(span.Trigger{At: now(), Kind: span.TriggerGuardBlock, Detail: detail})
+		})
+	}
+	if wd != nil {
+		wd.SetTripHook(func(at time.Duration, detail string) {
+			_, _ = flight.Trip(span.Trigger{At: at, Kind: span.TriggerWatchdog, Detail: detail})
+		})
+	}
+	if canary != nil {
+		canary.SetRollbackHook(func(at time.Duration, trace, reason string) {
+			_, _ = flight.Trip(span.Trigger{At: at, Kind: span.TriggerCanaryRollback, Detail: reason, Trace: trace})
+		})
+	}
+}
 
 // printHealth writes the middleware health snapshot, one line per binding
 // and driver.

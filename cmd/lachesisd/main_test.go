@@ -13,8 +13,10 @@ import (
 	"testing"
 	"time"
 
+	"lachesis/internal/core"
 	"lachesis/internal/fleet"
 	"lachesis/internal/guard"
+	"lachesis/internal/span"
 )
 
 func writeConfig(t *testing.T, content string) string {
@@ -487,5 +489,137 @@ func TestGuardBlocksOutOfBoundsBatch(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "guard(nice[-10,10]") {
 		t.Errorf("guard invariants not logged:\n%s", errOut.String())
+	}
+}
+
+// TestWatchdogTripDumpsFlightRecorder: the acceptance path for the
+// anomaly flight recorder. A cycle runs with tracing on, then a forced
+// phase overrun trips the watchdog at cycle end; the wired hook must
+// dump a trace bundle whose trigger names the offending trace and whose
+// spans include that cycle's root.
+func TestWatchdogTripDumpsFlightRecorder(t *testing.T) {
+	mw, _, _ := newTestDaemon(t, nil)
+	spans := span.New(span.Config{Process: "lachesisd", Seed: 11})
+	mw.SetSpans(spans)
+	wd := guard.NewWatchdog(guard.WatchdogConfig{TripAfter: 1})
+	mw.SetWatchdog(wd)
+	dir := t.TempDir()
+	flight := span.NewFlightRecorder(spans, dir, 0)
+	wireFlightHooks(flight, nil, wd, nil, func() time.Duration { return 0 })
+
+	// The offending cycle completes (its spans are in the ring) before
+	// the watchdog folds the overrun into a trip on CycleDone — so the
+	// dump holds the very cycle that overran.
+	if _, err := mw.Step(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	offending := spans.LastTrace()
+	wd.PhaseOverrun("q/nice", core.PhaseSchedule, time.Millisecond)
+	wd.CycleDone(time.Second)
+	if !wd.Degraded() {
+		t.Fatal("watchdog did not trip")
+	}
+
+	path := flight.LastDump()
+	if path == "" {
+		t.Fatal("trip produced no flight-recorder dump")
+	}
+	if !strings.Contains(filepath.Base(path), span.TriggerWatchdog) {
+		t.Errorf("dump name %q does not carry the trigger kind", path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, triggers, err := span.ReadSpans(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triggers) != 1 || triggers[0].Kind != span.TriggerWatchdog {
+		t.Fatalf("triggers = %+v, want one watchdog-trip", triggers)
+	}
+	if triggers[0].Trace != offending {
+		t.Errorf("trigger names trace %q, want the offending cycle %q", triggers[0].Trace, offending)
+	}
+	foundCycle := false
+	for _, sp := range got {
+		if sp.Trace == offending && sp.Name == "cycle" {
+			foundCycle = true
+		}
+	}
+	if !foundCycle {
+		t.Errorf("dump lacks the offending cycle's root span (%d spans)", len(got))
+	}
+}
+
+// TestFlightDirDumpsOnGuardBlock: through run(), a guard-blocked batch
+// trips the flight recorder and leaves a trace bundle in -flight-dir.
+func TestFlightDirDumpsOnGuardBlock(t *testing.T) {
+	guarded := strings.Replace(validConfig, `"priorities"`,
+		`"guard": {"niceMin": -10, "niceMax": 10}, "priorities"`, 1)
+	cfg := writeConfig(t, guarded)
+	dir := filepath.Join(t.TempDir(), "flight")
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-config", cfg, "-iterations", "1", "-flight-dir", dir}, &out, &errOut, nil); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no flight dump written (err %v):\n%s", err, errOut.String())
+	}
+	name := entries[0].Name()
+	if !strings.Contains(name, span.TriggerGuardBlock) {
+		t.Errorf("dump name %q does not carry the trigger kind", name)
+	}
+	f, err := os.Open(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	_, triggers, err := span.ReadSpans(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triggers) != 1 || triggers[0].Kind != span.TriggerGuardBlock {
+		t.Fatalf("triggers = %+v, want one guard-block", triggers)
+	}
+	if !strings.Contains(triggers[0].Detail, "nice-bounds") {
+		t.Errorf("trigger detail %q does not name the violated invariant", triggers[0].Detail)
+	}
+	if triggers[0].Trace == "" {
+		t.Error("trigger does not name the in-flight trace")
+	}
+}
+
+// TestSpanLogWritesJSONL: -span-log streams every completed span to the
+// JSONL file, stamped with the daemon's process name.
+func TestSpanLogWritesJSONL(t *testing.T) {
+	cfg := writeConfig(t, validConfig)
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-config", cfg, "-iterations", "2", "-span-log", path}, &out, &errOut, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, _, err := span.ReadSpans(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := 0
+	for _, sp := range got {
+		if sp.Process != "lachesisd" {
+			t.Errorf("span %s/%s has process %q", sp.Name, sp.ID, sp.Process)
+		}
+		if sp.Name == "cycle" {
+			cycles++
+		}
+	}
+	if cycles != 2 {
+		t.Errorf("cycle spans = %d, want 2 (one per iteration)", cycles)
 	}
 }

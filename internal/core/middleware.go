@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lachesis/internal/span"
 	"lachesis/internal/telemetry"
 )
 
@@ -204,6 +205,24 @@ type Middleware struct {
 	ins      mwInstruments
 	audit    *AuditTrail
 	watchdog StepWatchdog
+	// spans, when set, records a causal trace of every cycle (see
+	// spans.go). cycleCtx is the current cycle span's propagation context:
+	// written on the stepping goroutine before the phase workers spawn and
+	// only read while they run.
+	spans    *span.Recorder
+	cycleCtx span.Context
+	// spanFloor gates per-binding leaf phase spans (schedule, apply,
+	// guard, flush): a phase emits its span only when it failed or took at
+	// least this long. Zero emits everything (full-detail tracing).
+	spanFloor time.Duration
+	// spanBudget caps non-error spans per cycle (0 = unlimited) and
+	// cycleSpans counts this cycle's emission attempts against it. The cap
+	// bounds tracing's worst-case cost: a degraded cycle pushes every
+	// phase over the slow-span floor at once, and emitting thousands of
+	// spans exactly when the host is already squeezed is how a tracer
+	// amplifies the outage it should be explaining.
+	spanBudget int
+	cycleSpans atomic.Int64
 	// nowFn supplies wall-clock time for duration measurements (virtual
 	// step time never measures the middleware's own cost). Tests may
 	// replace it.
@@ -467,6 +486,10 @@ func (m *Middleware) Step(now time.Duration) (StepStats, error) {
 	}
 
 	start := m.nowFn()
+	m.cycleSpans.Store(0)
+	cycle := m.spans.StartRoot(now, "cycle")
+	cycle.SetAttr("due", fmt.Sprint(len(due)))
+	m.cycleCtx = cycle.Context()
 	var errs []error
 	if m.res.Disabled {
 		errs = m.stepStrict(now, due, &stats)
@@ -475,9 +498,20 @@ func (m *Middleware) Step(now time.Duration) (StepStats, error) {
 	}
 	stats.Wall = m.nowFn().Sub(start)
 	m.ins.steps.Inc()
-	m.ins.stepSeconds.Observe(stats.Wall)
+	err := errors.Join(errs...)
+	if cycle != nil {
+		if n := m.cycleSpans.Load(); m.spanBudget > 0 && n > int64(m.spanBudget) {
+			cycle.SetAttr("spans_dropped", fmt.Sprint(n-int64(m.spanBudget)))
+		}
+		cycle.End(err)
+		// Exemplar-link the latency histogram to the trace: a p99 outlier
+		// bucket names the cycle that landed in it.
+		m.ins.stepSeconds.ObserveExemplar(stats.Wall, m.cycleCtx.Trace)
+	} else {
+		m.ins.stepSeconds.Observe(stats.Wall)
+	}
 	stats.Next = m.nextDue()
-	return stats, errors.Join(errs...)
+	return stats, err
 }
 
 // stepStrict is the pre-hardening cycle: one all-or-nothing provider

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"lachesis/internal/span"
 )
 
 // ErrFetchTimeout reports that a driver's metric fetch exceeded
@@ -161,9 +163,7 @@ func (m *Middleware) fetchPhase(now time.Duration, runnable []*boundPolicy, stat
 	}
 	if m.par.Disabled || workers <= 1 {
 		for i, d := range drivers {
-			t0 := m.nowFn()
-			vals, err := m.fetchOne(now, d)
-			results[i] = fetchOut{vals: vals, err: err, took: m.nowFn().Sub(t0)}
+			results[i] = m.tracedFetch(now, d)
 		}
 	} else {
 		jobs := make(chan int)
@@ -173,9 +173,7 @@ func (m *Middleware) fetchPhase(now time.Duration, runnable []*boundPolicy, stat
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					t0 := m.nowFn()
-					vals, err := m.fetchOne(now, drivers[i])
-					results[i] = fetchOut{vals: vals, err: err, took: m.nowFn().Sub(t0)}
+					results[i] = m.tracedFetch(now, drivers[i])
 				}
 			}()
 		}
@@ -347,6 +345,13 @@ func (m *Middleware) runBinding(now time.Duration, bp *boundPolicy, values Value
 		Translator: bp.Translator.Name(),
 		Entities:   len(view.Entities),
 	}
+	// The binding span's identity (bctx) starts zero and is minted by the
+	// first phase that emits; the span itself is recorded only on failure,
+	// slowness, or when a child emitted (emitBinding) — healthy bindings
+	// pay duration compares, no span allocations at all.
+	var bctx span.Context
+	b0 := m.nowFn()
+	childEmitted := false
 	if bp.inflight.Load() {
 		// A previous deadline-cancelled phase is still executing; refuse
 		// this run rather than pile a second execution on top of it.
@@ -356,11 +361,15 @@ func (m *Middleware) runBinding(now time.Duration, bp *boundPolicy, values Value
 		out.bst = bst
 		out.errs = append(out.errs, err)
 		m.recordFailure(bp, now, err)
+		m.emitBinding(bctx, now, bp.label, m.nowFn().Sub(b0), err, childEmitted)
 		return out
 	}
 	t0 := m.nowFn()
 	sched, err := m.scheduleBounded(now, bp, view, m.phaseDeadline(PhaseSchedule))
 	bst.Schedule = m.nowFn().Sub(t0)
+	if m.emitPhase(&bctx, now, "schedule", bst.Schedule, err) {
+		childEmitted = true
+	}
 	bp.hSchedule.Observe(bst.Schedule)
 	if err != nil {
 		m.ins.applyErrors.Inc()
@@ -373,6 +382,7 @@ func (m *Middleware) runBinding(now time.Duration, bp *boundPolicy, values Value
 		})
 		out.errs = append(out.errs, err)
 		m.recordFailure(bp, now, err)
+		m.emitBinding(bctx, now, bp.label, m.nowFn().Sub(b0), err, childEmitted)
 		return out
 	}
 	done := m.auditApplyCtx(now, bp, view.Entities)
@@ -391,14 +401,27 @@ func (m *Middleware) runBinding(now time.Duration, bp *boundPolicy, values Value
 	} else {
 		aerr = m.safeApply(bp.Translator, sched, view.Entities)
 	}
+	if m.emitPhase(&bctx, now, "apply", m.nowFn().Sub(t0), aerr) {
+		childEmitted = true
+	}
 	if bp.Guard != nil && !errors.Is(aerr, ErrPhaseDeadline) {
-		aerr = errors.Join(aerr, bp.Guard.FinishApply())
+		g0 := m.nowFn()
+		gerr := bp.Guard.FinishApply()
+		if m.emitPhase(&bctx, now, "guard", m.nowFn().Sub(g0), gerr) {
+			childEmitted = true
+		}
+		aerr = errors.Join(aerr, gerr)
 	}
 	if bp.Coalescer != nil {
 		// After a timed-out or guard-blocked apply the coalescer batch is
 		// empty (the guard released nothing), so Flush closes it without
 		// kernel writes and the last-applied mirror stays in force.
-		aerr = errors.Join(aerr, bp.Coalescer.Flush())
+		f0 := m.nowFn()
+		ferr := bp.Coalescer.Flush()
+		if m.emitPhase(&bctx, now, "flush", m.nowFn().Sub(f0), ferr) {
+			childEmitted = true
+		}
+		aerr = errors.Join(aerr, ferr)
 	}
 	bst.Apply = m.nowFn().Sub(t0)
 	done()
@@ -414,9 +437,11 @@ func (m *Middleware) runBinding(now time.Duration, bp *boundPolicy, values Value
 		out.bst = bst
 		out.errs = append(out.errs, aerr)
 		m.recordFailure(bp, now, aerr)
+		m.emitBinding(bctx, now, bp.label, m.nowFn().Sub(b0), aerr, childEmitted)
 		return out
 	}
 	out.bst = bst
+	m.emitBinding(bctx, now, bp.label, m.nowFn().Sub(b0), nil, childEmitted)
 	m.ins.policyRuns.Inc()
 	if bp.open {
 		// Successful half-open probe: the breaker closes.

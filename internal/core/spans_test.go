@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"lachesis/internal/span"
+)
+
+// TestStepEmitsCycleSpanTree: with a recorder attached, one Step yields a
+// "cycle" root whose children are the driver fetch and the binding, and
+// the binding parents its schedule/apply/flush phases.
+func TestStepEmitsCycleSpanTree(t *testing.T) {
+	d := &fakeDriver{
+		name:     "liebre",
+		provided: map[string]EntityValues{MetricQueueSize: {"a": 5}},
+		entities: []Entity{{Name: "a", Driver: "liebre", Query: "q", Thread: 1}},
+	}
+	mw := NewMiddleware(nil)
+	if err := mw.Bind(Binding{
+		Policy:     NewQSPolicy(),
+		Translator: NewNiceTranslator(newFakeOS()),
+		Drivers:    []Driver{d},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sink := &span.MemorySink{}
+	rec := span.New(span.Config{Process: "test", Seed: 7, Sink: sink})
+	mw.SetSpans(rec)
+	if mw.Spans() != rec {
+		t.Fatal("Spans accessor does not return the attached recorder")
+	}
+
+	if _, err := mw.Step(time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	roots := span.BuildTrees(rec.Snapshot())
+	if len(roots) != 1 {
+		t.Fatalf("got %d roots, want 1 cycle", len(roots))
+	}
+	cycle := roots[0]
+	if cycle.Name != "cycle" || cycle.At != time.Second {
+		t.Errorf("root = %q at %v, want cycle at 1s", cycle.Name, cycle.At)
+	}
+	children := map[string]*span.Node{}
+	for _, c := range cycle.Children {
+		children[c.Name] = c
+	}
+	fetch, ok := children["fetch"]
+	if !ok {
+		t.Fatal("cycle has no fetch child")
+	}
+	if fetch.Attrs.Get("driver") != "liebre" {
+		t.Errorf("fetch driver attr = %q", fetch.Attrs.Get("driver"))
+	}
+	binding, ok := children["binding"]
+	if !ok {
+		t.Fatal("cycle has no binding child")
+	}
+	if binding.Attrs.Get("binding") != "qs/nice" {
+		t.Errorf("binding attr = %q", binding.Attrs.Get("binding"))
+	}
+	phases := map[string]bool{}
+	for _, c := range binding.Children {
+		phases[c.Name] = true
+	}
+	if !phases["schedule"] || !phases["apply"] {
+		t.Errorf("binding phases = %v, want schedule and apply", phases)
+	}
+	// Every span shares the cycle's trace and reached the sink.
+	for _, sp := range rec.Snapshot() {
+		if sp.Trace != cycle.Trace {
+			t.Errorf("span %s has trace %s, want %s", sp.Name, sp.Trace, cycle.Trace)
+		}
+	}
+	if got := len(sink.Spans()); got != int(rec.Total()) {
+		t.Errorf("sink saw %d spans, recorder %d", got, rec.Total())
+	}
+}
+
+// TestStepCoalescerFlushSpan: a binding with a Coalescer also emits the
+// "flush" phase under its binding span.
+func TestStepCoalescerFlushSpan(t *testing.T) {
+	d := &fakeDriver{
+		name:     "liebre",
+		provided: map[string]EntityValues{MetricQueueSize: {"a": 5}},
+		entities: []Entity{{Name: "a", Driver: "liebre", Query: "q", Thread: 1}},
+	}
+	co := NewCoalescer(newFakeOS(), nil)
+	mw := NewMiddleware(nil)
+	if err := mw.Bind(Binding{
+		Policy:     NewQSPolicy(),
+		Translator: NewNiceTranslator(co),
+		Drivers:    []Driver{d},
+		Coalescer:  co,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rec := span.New(span.Config{Process: "test", Seed: 9})
+	mw.SetSpans(rec)
+	if _, err := mw.Step(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, sp := range rec.Snapshot() {
+		names[sp.Name] = true
+	}
+	if !names["flush"] {
+		t.Errorf("spans %v missing flush", names)
+	}
+}
+
+// TestStepWithoutRecorderEmitsNothing: tracing off is the default and
+// must not leave any span state behind.
+func TestStepWithoutRecorderEmitsNothing(t *testing.T) {
+	d := &fakeDriver{
+		name:     "liebre",
+		provided: map[string]EntityValues{MetricQueueSize: {"a": 5}},
+		entities: []Entity{{Name: "a", Driver: "liebre", Query: "q", Thread: 1}},
+	}
+	mw := NewMiddleware(nil)
+	if err := mw.Bind(Binding{
+		Policy:     NewQSPolicy(),
+		Translator: NewNiceTranslator(newFakeOS()),
+		Drivers:    []Driver{d},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mw.Step(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if mw.Spans().Total() != 0 {
+		t.Error("nil recorder accumulated spans")
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"lachesis/internal/driver"
 	"lachesis/internal/guard"
+	"lachesis/internal/span"
 )
 
 // Node-level SLO metric names the HTTP client looks for in an agent's
@@ -33,7 +34,10 @@ type HTTPAgent struct {
 	c    *http.Client
 }
 
-var _ AgentClient = (*HTTPAgent)(nil)
+var (
+	_ AgentClient = (*HTTPAgent)(nil)
+	_ TracedAgent = (*HTTPAgent)(nil)
+)
 
 // NewHTTPAgent builds a client for one agent's introspection address
 // ("host:port" or full URL). timeout bounds every request (default 2s).
@@ -56,7 +60,21 @@ func HTTPConnFactory(timeout time.Duration) ConnFactory {
 
 // Propose implements AgentClient (POST /policy).
 func (h *HTTPAgent) Propose(payload []byte) (guard.Status, error) {
-	resp, err := h.c.Post(h.base+"/policy", "application/json", bytes.NewReader(payload))
+	return h.ProposeTraced(payload, "")
+}
+
+// ProposeTraced implements TracedAgent: the traceparent crosses the hop
+// as a request header, never inside the payload.
+func (h *HTTPAgent) ProposeTraced(payload []byte, traceparent string) (guard.Status, error) {
+	req, err := http.NewRequest(http.MethodPost, h.base+"/policy", bytes.NewReader(payload))
+	if err != nil {
+		return guard.Status{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set(span.TraceparentHeader, traceparent)
+	}
+	resp, err := h.c.Do(req)
 	if err != nil {
 		return guard.Status{}, driver.MarkTransient(err)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"lachesis/internal/driver"
 	"lachesis/internal/guard"
+	"lachesis/internal/span"
 	"lachesis/internal/telemetry"
 )
 
@@ -110,6 +111,9 @@ type Fanout struct {
 	ctrPushErr  *telemetry.Counter
 	ctrRetries  *telemetry.Counter
 	ctrOpens    *telemetry.Counter
+
+	spans       *span.Recorder
+	breakerHook func(now time.Duration, agent string)
 }
 
 // NewFanout builds a push engine (zero Config fields select defaults).
@@ -129,6 +133,26 @@ func (f *Fanout) SetTelemetry(reg *telemetry.Registry) {
 	f.ctrOpens = reg.Counter(MetricFleetBreakerOpensTotal)
 }
 
+// SetSpans attaches a trace recorder: each per-agent push then emits a
+// "push" span (child of the rollout context handed to PushCtx), whose
+// context crosses the HTTP hop as a Traceparent header for clients
+// implementing TracedAgent. nil disables.
+func (f *Fanout) SetSpans(rec *span.Recorder) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.spans = rec
+}
+
+// SetBreakerHook installs a callback fired when an agent's breaker opens
+// (fresh open only, not an already-open refresh) — typically
+// span.FlightRecorder.Trip. The hook runs with the fan-out's lock held
+// and must not call back into the fan-out. nil disables.
+func (f *Fanout) SetBreakerHook(hook func(now time.Duration, agent string)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.breakerHook = hook
+}
+
 // BreakerOpen reports whether an agent's breaker is open at now.
 func (f *Fanout) BreakerOpen(now time.Duration, id string) bool {
 	f.mu.Lock()
@@ -143,6 +167,14 @@ func (f *Fanout) BreakerOpen(now time.Duration, id string) bool {
 // reports our version already in flight counts as an idempotent success
 // (the earlier push worked, its response was lost).
 func (f *Fanout) Push(now time.Duration, agents []AgentRecord, conns ConnFactory, version string, payload []byte) []PushOutcome {
+	return f.PushCtx(now, agents, conns, version, payload, span.Context{})
+}
+
+// PushCtx is Push under a rollout trace context: each agent's push
+// becomes a "push" span child of parent, and its context rides the hop
+// to TracedAgent clients as a traceparent. A zero parent (or no
+// recorder) behaves exactly like Push.
+func (f *Fanout) PushCtx(now time.Duration, agents []AgentRecord, conns ConnFactory, version string, payload []byte, parent span.Context) []PushOutcome {
 	out := make([]PushOutcome, len(agents))
 	sem := make(chan struct{}, f.cfg.Parallel)
 	var wg sync.WaitGroup
@@ -152,7 +184,7 @@ func (f *Fanout) Push(now time.Duration, agents []AgentRecord, conns ConnFactory
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			out[i] = f.pushOne(now, agents[i], conns, version, payload)
+			out[i] = f.pushOne(now, agents[i], conns, version, payload, parent)
 		}(i)
 	}
 	wg.Wait()
@@ -161,14 +193,22 @@ func (f *Fanout) Push(now time.Duration, agents []AgentRecord, conns ConnFactory
 
 // pushOne runs the breaker check, the retry loop, and the idempotency
 // probe for a single agent.
-func (f *Fanout) pushOne(now time.Duration, a AgentRecord, conns ConnFactory, version string, payload []byte) PushOutcome {
+func (f *Fanout) pushOne(now time.Duration, a AgentRecord, conns ConnFactory, version string, payload []byte, parent span.Context) PushOutcome {
 	o := PushOutcome{Agent: a.ID}
 	if f.BreakerOpen(now, a.ID) {
 		o.Skipped = true
 		f.count(f.ctrPushSkip)
 		return o
 	}
+	act := f.recorder().StartChild(parent, now, "push")
+	act.SetAttr("agent", a.ID)
+	act.SetAttr("version", version)
+	tp := ""
+	if c := act.Context(); c.Valid() {
+		tp = c.Traceparent()
+	}
 	conn := conns(a)
+	traced, isTraced := conn.(TracedAgent)
 	var st guard.Status
 	err := driver.RetryPolicy{
 		Attempts:  f.cfg.Attempts,
@@ -183,7 +223,11 @@ func (f *Fanout) pushOne(now time.Duration, a AgentRecord, conns ConnFactory, ve
 	}.Do(func() error {
 		o.Attempts++
 		var perr error
-		st, perr = conn.Propose(payload)
+		if isTraced && tp != "" {
+			st, perr = traced.ProposeTraced(payload, tp)
+		} else {
+			st, perr = conn.Propose(payload)
+		}
 		return perr
 	})
 	switch {
@@ -203,6 +247,12 @@ func (f *Fanout) pushOne(now time.Duration, a AgentRecord, conns ConnFactory, ve
 		}
 	default:
 		o.Err = err.Error()
+	}
+	switch {
+	case o.OK:
+		act.End(nil)
+	default:
+		act.End(err)
 	}
 	// A conflict is a healthy agent saying no — it closes the breaker
 	// like a success; only transport-level failure counts toward opening.
@@ -239,10 +289,23 @@ func (f *Fanout) settle(now time.Duration, id string, ok bool) {
 	if b.fails >= f.cfg.BreakerThreshold {
 		wasOpen := b.openUntil > now
 		b.openUntil = now + f.cfg.BreakerCooldown
-		if !wasOpen && f.ctrOpens != nil {
-			f.ctrOpens.Inc()
+		if !wasOpen {
+			if f.ctrOpens != nil {
+				f.ctrOpens.Inc()
+			}
+			if f.breakerHook != nil {
+				f.breakerHook(now, id)
+			}
 		}
 	}
+}
+
+// recorder returns the attached span recorder (nil-safe: a nil
+// *Recorder is a no-op recorder).
+func (f *Fanout) recorder() *span.Recorder {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.spans
 }
 
 // count increments a counter if telemetry is attached.

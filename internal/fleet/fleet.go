@@ -86,6 +86,20 @@ type AgentClient interface {
 	SLO() (guard.SLOSample, error)
 }
 
+// TracedAgent is an optional extension of AgentClient: clients that can
+// carry a trace context alongside a policy push implement it, and the
+// fan-out uses it to propagate the rollout's trace ID to the agent (the
+// HTTPAgent sends it as a Traceparent header; the harness's in-process
+// nodes hand it straight to their canary). The payload bytes are never
+// touched — propagation is strictly out-of-band, so payload-identity
+// checks (idempotent re-push, last-good comparison) keep working.
+type TracedAgent interface {
+	// ProposeTraced is Propose with a W3C-style traceparent string
+	// (span.Context.Traceparent()). An empty traceparent must behave
+	// exactly like Propose.
+	ProposeTraced(payload []byte, traceparent string) (guard.Status, error)
+}
+
 // ConnFactory returns the AgentClient for one registered agent. The
 // coordinator resolves connections lazily through it so re-registered
 // agents with new addresses are always reached at their current address.

@@ -9,6 +9,7 @@ import (
 
 	"lachesis/internal/core"
 	"lachesis/internal/guard"
+	"lachesis/internal/span"
 	"lachesis/internal/telemetry"
 )
 
@@ -164,6 +165,14 @@ type Coordinator struct {
 	gPhase    *telemetry.Gauge
 	ctrPromo  *telemetry.Counter
 	ctrRollbk *telemetry.Counter
+
+	// rolloutSpan is the root "rollout" span, open from Propose until
+	// finishLocked; rolloutCtx parents every fan-out push, so one trace ID
+	// follows the rollout coordinator -> agent -> canary verdict. Neither
+	// is persisted: after a crash-Resume, pushes degrade to fresh roots.
+	spans       *span.Recorder
+	rolloutSpan *span.Active
+	rolloutCtx  span.Context
 }
 
 // NewCoordinator builds a fleet rollout coordinator over a registry and
@@ -210,6 +219,17 @@ func (c *Coordinator) SetTelemetry(reg *telemetry.Registry) {
 	c.gPhase.Set(phaseGauge(c.st.Phase))
 	c.ctrPromo = reg.Counter(MetricFleetRolloutsTotal, telemetry.L("decision", guard.DecisionPromoted))
 	c.ctrRollbk = reg.Counter(MetricFleetRolloutsTotal, telemetry.L("decision", guard.DecisionRolledBack))
+}
+
+// SetSpans attaches a trace recorder to the coordinator and its fan-out:
+// each rollout then emits a root "rollout" span whose context parents
+// every per-agent push span and crosses the wire to the agents. nil
+// disables.
+func (c *Coordinator) SetSpans(rec *span.Recorder) {
+	c.fanout.SetSpans(rec)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.spans = rec
 }
 
 // Resume loads persisted rollout state (no-op without a store). An
@@ -267,6 +287,12 @@ func (c *Coordinator) Propose(now time.Duration, version string, payload, stable
 		}
 	}
 	c.st = st
+	root := c.spans.StartRoot(now, "rollout")
+	root.SetAttr("version", version)
+	root.SetAttr("agents", fmt.Sprint(len(agents)))
+	root.SetAttr("cohorts", fmt.Sprint(len(cohorts)))
+	c.rolloutSpan = root
+	c.rolloutCtx = root.Context()
 	if c.gPhase != nil {
 		c.gPhase.Set(phaseGauge(PhasePushing))
 	}
@@ -506,6 +532,16 @@ func (c *Coordinator) finishLocked(now time.Duration, decision, reason string) {
 	if c.gPhase != nil {
 		c.gPhase.Set(phaseGauge(PhaseIdle))
 	}
+	if c.rolloutSpan != nil {
+		c.rolloutSpan.SetAttr("decision", decision)
+		if decision == guard.DecisionRolledBack {
+			c.rolloutSpan.End(errors.New(reason))
+		} else {
+			c.rolloutSpan.End(nil)
+		}
+		c.rolloutSpan = nil
+		c.rolloutCtx = span.Context{}
+	}
 	c.record(now, fmt.Sprintf("%s %q: %s", decision, c.st.Version, reason))
 	c.persistLocked()
 }
@@ -547,8 +583,9 @@ func (c *Coordinator) pushLocked(now time.Duration, targets []AgentRecord, versi
 	}
 	conns := c.conns
 	fan := c.fanout
+	parent := c.rolloutCtx
 	c.mu.Unlock()
-	outs := fan.Push(now, targets, conns, version, payload)
+	outs := fan.PushCtx(now, targets, conns, version, payload, parent)
 	c.mu.Lock()
 	return outs
 }

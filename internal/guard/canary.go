@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lachesis/internal/core"
+	"lachesis/internal/span"
 	"lachesis/internal/telemetry"
 )
 
@@ -161,6 +162,15 @@ type Canary struct {
 	gState    *telemetry.Gauge
 	ctrPromo  *telemetry.Counter
 	ctrRollbk *telemetry.Counter
+
+	// Tracing: the "canary.stage" span stays open across the comparison
+	// window (its wall time is the window duration) and parents the
+	// verdict span, so a cross-process rollout trace reads
+	// rollout -> push -> canary.stage -> canary.verdict.
+	spans        *span.Recorder
+	stageSpan    *span.Active
+	stageCtx     span.Context
+	rollbackHook func(now time.Duration, trace, reason string)
 }
 
 // NewCanary builds a canary controller (zero Config fields select
@@ -197,6 +207,21 @@ func (c *Canary) SetViolationSource(f func() int64) { c.mu.Lock(); c.violations 
 // SetAudit installs an audit trail for rollout decisions. nil disables.
 func (c *Canary) SetAudit(trail *core.AuditTrail) { c.mu.Lock(); c.trail = trail; c.mu.Unlock() }
 
+// SetSpans attaches a trace recorder: each rollout then emits a
+// "canary.stage" span (open for the whole comparison window) and a
+// "canary.verdict" child carrying the decision. nil disables.
+func (c *Canary) SetSpans(rec *span.Recorder) { c.mu.Lock(); c.spans = rec; c.mu.Unlock() }
+
+// SetRollbackHook installs a callback fired after a rollout rolls back
+// (typically span.FlightRecorder.Trip). trace is the rollout's trace ID
+// ("" when tracing is off). The hook runs with the canary's lock held
+// and must not call back into the controller. nil disables.
+func (c *Canary) SetRollbackHook(hook func(now time.Duration, trace, reason string)) {
+	c.mu.Lock()
+	c.rollbackHook = hook
+	c.mu.Unlock()
+}
+
 // SetTelemetry registers the canary's instruments in a registry.
 func (c *Canary) SetTelemetry(reg *telemetry.Registry) {
 	c.mu.Lock()
@@ -214,6 +239,15 @@ func (c *Canary) SetTelemetry(reg *telemetry.Registry) {
 // candidate is promoted. Returns an error when a rollout is already in
 // progress or the controller has no slots.
 func (c *Canary) Propose(now time.Duration, name string, candidate core.Policy, config []byte) error {
+	return c.ProposeCtx(now, name, candidate, config, span.Context{})
+}
+
+// ProposeCtx is Propose with an incoming trace context (e.g. parsed from
+// a fleet push's Traceparent header): the rollout's stage and verdict
+// spans join the caller's trace instead of opening a local one, so one
+// trace ID follows a fleet rollout coordinator -> agent -> verdict. A
+// zero parent behaves exactly like Propose.
+func (c *Canary) ProposeCtx(now time.Duration, name string, candidate core.Policy, config []byte, parent span.Context) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.active {
@@ -258,6 +292,11 @@ func (c *Canary) Propose(now time.Duration, name string, candidate core.Policy, 
 	if c.gState != nil {
 		c.gState.Set(1)
 	}
+	stage := c.spans.StartChild(parent, now, "canary.stage")
+	stage.SetAttr("candidate", name)
+	stage.SetAttr("canary_slots", fmt.Sprint(n))
+	c.stageSpan = stage
+	c.stageCtx = stage.Context()
 	c.record(now, fmt.Sprintf("proposed %q to %d/%d slots (window %d cycles)",
 		name, n, len(c.slots), c.cfg.Window))
 	return nil
@@ -341,10 +380,28 @@ func (c *Canary) rollbackLocked(now time.Duration, reason string) {
 	if c.ctrRollbk != nil {
 		c.ctrRollbk.Inc()
 	}
+	trace := c.stageCtx.Trace
 	c.endRolloutLocked(now, DecisionRolledBack, reason)
+	if c.rollbackHook != nil {
+		// After endRolloutLocked so the verdict span is already in the
+		// ring when the flight recorder snapshots it.
+		c.rollbackHook(now, trace, reason)
+	}
 }
 
 func (c *Canary) endRolloutLocked(now time.Duration, decision, reason string) {
+	verdict := c.spans.StartChild(c.stageCtx, now, "canary.verdict")
+	verdict.SetAttr("candidate", c.candName)
+	verdict.SetAttr("decision", decision)
+	if decision == DecisionRolledBack {
+		verdict.End(errors.New(reason))
+		c.stageSpan.End(errors.New(reason))
+	} else {
+		verdict.End(nil)
+		c.stageSpan.End(nil)
+	}
+	c.stageSpan = nil
+	c.stageCtx = span.Context{}
 	c.active = false
 	c.candidate = nil
 	c.candConfig = nil

@@ -176,6 +176,7 @@ type OpGuard struct {
 	tel        *telemetry.Registry
 	ctrBatches *telemetry.Counter
 	ctrBlocked *telemetry.Counter
+	blockHook  func(binding string, violations []Violation)
 
 	violations atomic.Int64
 }
@@ -224,6 +225,16 @@ func (g *OpGuard) SetAudit(trail *core.AuditTrail) {
 // Violations returns the lifetime count of invariant violations (the
 // canary controller reads it to abort a rollout early).
 func (g *OpGuard) Violations() int64 { return g.violations.Load() }
+
+// SetBlockHook installs a callback fired whenever the guard blocks a
+// batch or a single op (typically span.FlightRecorder.Trip, dumping the
+// offending cycle's trace). The hook runs with the guard's lock held and
+// must not call back into the guard. nil disables.
+func (g *OpGuard) SetBlockHook(hook func(binding string, violations []Violation)) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.blockHook = hook
+}
 
 // BeginApply implements core.ApplyGuard.
 func (g *OpGuard) BeginApply(now time.Duration, binding string, view *core.View) {
@@ -458,6 +469,9 @@ func (g *OpGuard) blockLocked(violations []Violation) {
 				Outcome: fmt.Sprintf("blocked (%s): %s", v.Invariant, v.Detail),
 			})
 		}
+	}
+	if g.blockHook != nil {
+		g.blockHook(g.binding, violations)
 	}
 }
 

@@ -1,0 +1,156 @@
+package guard
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/span"
+)
+
+// TestCanarySpansJoinProposerTrace: a rollout proposed with an incoming
+// trace context emits canary.stage and canary.verdict spans on that
+// trace, chained stage -> verdict.
+func TestCanarySpansJoinProposerTrace(t *testing.T) {
+	rec := span.New(span.Config{Process: "agent", Seed: 11})
+	c := NewCanary(Config{Fraction: 1, Window: 2})
+	c.SetSpans(rec)
+	c.Slot(&staticPolicy{name: "stable", prios: map[string]float64{"a": 1}})
+
+	parent := span.Context{Trace: "0123456789abcdef0123456789abcdef", Span: "00000000000000ab"}
+	cand := &staticPolicy{name: "cand", prios: map[string]float64{"a": 2}}
+	if err := c.ProposeCtx(0, "cand", cand, nil, parent); err != nil {
+		t.Fatal(err)
+	}
+	c.Tick(1 * time.Second)
+	c.Tick(2 * time.Second)
+	if st := c.Status(); st.LastDecision != DecisionPromoted {
+		t.Fatalf("expected promotion, got %+v", st)
+	}
+
+	spans := rec.TraceSpans(parent.Trace)
+	byName := map[string]span.Span{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	stage, ok := byName["canary.stage"]
+	if !ok {
+		t.Fatalf("no canary.stage span on proposer trace: %+v", spans)
+	}
+	if stage.Parent != parent.Span {
+		t.Errorf("stage parent = %q, want the proposer span %q", stage.Parent, parent.Span)
+	}
+	verdict, ok := byName["canary.verdict"]
+	if !ok {
+		t.Fatalf("no canary.verdict span: %+v", spans)
+	}
+	if verdict.Parent != stage.ID {
+		t.Errorf("verdict parent = %q, want the stage span %q", verdict.Parent, stage.ID)
+	}
+	if verdict.Attrs.Get("decision") != DecisionPromoted {
+		t.Errorf("verdict decision attr = %q", verdict.Attrs.Get("decision"))
+	}
+}
+
+// TestCanaryRollbackHookAndFlightDump: a rollback fires the hook with
+// the rollout's trace, and wiring the hook to a flight recorder produces
+// a dump containing the verdict span.
+func TestCanaryRollbackHookAndFlightDump(t *testing.T) {
+	rec := span.New(span.Config{Process: "agent", Seed: 13})
+	dir := filepath.Join(t.TempDir(), "dumps")
+	fr := span.NewFlightRecorder(rec, dir, 0)
+
+	c := NewCanary(Config{Fraction: 1, Window: 10})
+	c.SetSpans(rec)
+	c.Slot(&staticPolicy{name: "stable", prios: map[string]float64{"a": 1}})
+	var violations int64
+	c.SetViolationSource(func() int64 { return violations })
+	var hookTrace string
+	c.SetRollbackHook(func(now time.Duration, trace, reason string) {
+		hookTrace = trace
+		fr.Trip(span.Trigger{At: now, Kind: span.TriggerCanaryRollback, Detail: reason, Trace: trace})
+	})
+
+	cand := &staticPolicy{name: "cand", prios: map[string]float64{"a": 2}}
+	if err := c.Propose(0, "cand", cand, nil); err != nil {
+		t.Fatal(err)
+	}
+	violations = 3
+	c.Tick(1 * time.Second)
+	if st := c.Status(); st.LastDecision != DecisionRolledBack {
+		t.Fatalf("expected rollback, got %+v", st)
+	}
+	if hookTrace == "" {
+		t.Fatal("rollback hook got no trace")
+	}
+	dump := fr.LastDump()
+	if dump == "" {
+		t.Fatal("no flight dump written")
+	}
+	f, err := os.Open(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spans, triggers, err := span.ReadSpans(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triggers) != 1 || triggers[0].Kind != span.TriggerCanaryRollback || triggers[0].Trace != hookTrace {
+		t.Fatalf("bad trigger record: %+v", triggers)
+	}
+	found := false
+	for _, sp := range spans {
+		if sp.Name == "canary.verdict" && sp.Trace == hookTrace {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dump misses the verdict span of trace %s: %+v", hookTrace, spans)
+	}
+}
+
+// TestOpGuardBlockHook: a blocked batch fires the hook with the binding
+// label and the violations.
+func TestOpGuardBlockHook(t *testing.T) {
+	g := NewOpGuard(newMemOS(), Invariants{NiceMin: -5, NiceMax: 5})
+	var gotBinding string
+	var gotViolations []Violation
+	g.SetBlockHook(func(binding string, violations []Violation) {
+		gotBinding = binding
+		gotViolations = violations
+	})
+	g.BeginApply(0, "qs/nice", nil)
+	if err := g.SetNice(1, 19); err != nil {
+		t.Fatal(err) // buffered, validated at FinishApply
+	}
+	if err := g.FinishApply(); err == nil {
+		t.Fatal("out-of-bounds batch not blocked")
+	}
+	if gotBinding != "qs/nice" || len(gotViolations) != 1 || gotViolations[0].Invariant != InvariantNiceBounds {
+		t.Errorf("hook got binding=%q violations=%+v", gotBinding, gotViolations)
+	}
+}
+
+// TestWatchdogTripHook: the hook fires on the degraded transition only,
+// not on recovery.
+func TestWatchdogTripHook(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{Apply: time.Millisecond, TripAfter: 2})
+	trips := 0
+	w.SetTripHook(func(now time.Duration, detail string) { trips++ })
+	for i := 1; i <= 2; i++ {
+		w.PhaseOverrun("b", core.PhaseApply, time.Millisecond)
+		w.CycleDone(time.Duration(i) * time.Second)
+	}
+	if !w.Degraded() || trips != 1 {
+		t.Fatalf("degraded=%v trips=%d, want true/1", w.Degraded(), trips)
+	}
+	for i := 3; i <= 4; i++ {
+		w.CycleDone(time.Duration(i) * time.Second) // clean cycles recover
+	}
+	if w.Degraded() || trips != 1 {
+		t.Errorf("degraded=%v trips=%d after recovery, want false/1", w.Degraded(), trips)
+	}
+}

@@ -54,6 +54,7 @@ type Watchdog struct {
 	trail    *core.AuditTrail
 	tel      *telemetry.Registry
 	gDegrade *telemetry.Gauge
+	tripHook func(now time.Duration, detail string)
 }
 
 var _ core.StepWatchdog = (*Watchdog)(nil)
@@ -82,6 +83,17 @@ func (w *Watchdog) SetAudit(trail *core.AuditTrail) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.trail = trail
+}
+
+// SetTripHook installs a callback fired when the watchdog trips to
+// degraded mode (typically span.FlightRecorder.Trip, dumping the recent
+// cycles' trace). It does not fire on recovery. The hook runs with the
+// watchdog's lock held and must not call back into the watchdog. nil
+// disables.
+func (w *Watchdog) SetTripHook(hook func(now time.Duration, detail string)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.tripHook = hook
 }
 
 // PhaseDeadline implements core.StepWatchdog.
@@ -147,6 +159,9 @@ func (w *Watchdog) transitionLocked(now time.Duration, outcome string) {
 	}
 	if w.trail != nil {
 		w.trail.Record(core.AuditEvent{At: now, Kind: core.AuditKindWatchdog, Outcome: outcome})
+	}
+	if w.degraded && w.tripHook != nil {
+		w.tripHook(now, outcome)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"lachesis/internal/fleet"
 	"lachesis/internal/guard"
 	"lachesis/internal/reconcile"
+	"lachesis/internal/span"
 )
 
 // The fleet experiment validates the coordination layer end to end: a
@@ -168,7 +169,10 @@ type simNode struct {
 	stepErrs  int
 }
 
-var _ fleet.AgentClient = (*simNode)(nil)
+var (
+	_ fleet.AgentClient = (*simNode)(nil)
+	_ fleet.TracedAgent = (*simNode)(nil)
+)
 
 func newSimNode(id string, bindings int) (*simNode, error) {
 	n := &simNode{id: id, osi: newMemOS(), store: &memPolicyStore{}, peak: 1}
@@ -247,6 +251,15 @@ func (n *simNode) invertedLocked() int {
 // candidate (the coordinator's idempotency handshake), and a rollout
 // already in flight answers with a conflict, never a displacement.
 func (n *simNode) Propose(payload []byte) (guard.Status, error) {
+	return n.ProposeTraced(payload, "")
+}
+
+// ProposeTraced implements fleet.TracedAgent: the coordinator's trace
+// context arrives out-of-band (what the Traceparent header carries to a
+// live daemon) and parents the local canary's stage span, so one trace
+// spans coordinator push -> agent canary -> verdict. Payload bytes are
+// untouched; a malformed or empty traceparent degrades to Propose.
+func (n *simNode) ProposeTraced(payload []byte, traceparent string) (guard.Status, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	var pc struct {
@@ -264,7 +277,8 @@ func (n *simNode) Propose(payload []byte) (guard.Status, error) {
 		name = fmt.Sprintf("reload-%d", len(n.proposals)+1)
 	}
 	cand := fleetNodePolicy(name, core.LogicalSchedule(pc.Priorities))
-	if err := n.canary.Propose(n.now, name, cand, payload); err != nil {
+	parent, _ := span.ParseTraceparent(traceparent)
+	if err := n.canary.ProposeCtx(n.now, name, cand, payload, parent); err != nil {
 		return guard.Status{}, &fleet.ConflictError{Agent: n.id, Body: err.Error()}
 	}
 	n.proposals = append(n.proposals, string(payload))

@@ -1,0 +1,44 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTraceOverheadExperiment runs the traceoverhead experiment at quick
+// scale and checks its acceptance contract: the BENCH_trace.json
+// artifact reports tracing-on cycle p95 within the 1.05x bound of
+// tracing-off at 256 bindings, and the step-latency histogram's p99
+// exemplar names a trace the span ring actually held.
+func TestTraceOverheadExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("host-clock benchmark")
+	}
+	sc := QuickScale
+	sc.ArtifactDir = t.TempDir()
+	var out bytes.Buffer
+	if err := traceOverheadExp(&out, sc); err != nil {
+		t.Fatalf("traceoverhead: %v\n%s", err, out.String())
+	}
+	data, err := os.ReadFile(filepath.Join(sc.ArtifactDir, "BENCH_trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep TraceOverheadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accepted || rep.RatioP95 > rep.MaxRatio {
+		t.Errorf("report not accepted: ratio %.3f max %.2f", rep.RatioP95, rep.MaxRatio)
+	}
+	if rep.Bindings != traceBindings || rep.OffP95Ns <= 0 || rep.OnP95Ns <= 0 {
+		t.Errorf("implausible report: %+v", rep)
+	}
+	if rep.P99ExemplarTrace == "" || !rep.ExemplarLinked {
+		t.Errorf("p99 exemplar not linked to a recorded trace: %q (linked=%v)",
+			rep.P99ExemplarTrace, rep.ExemplarLinked)
+	}
+}

@@ -4,7 +4,10 @@ import (
 	"sync"
 	"time"
 
+	"fmt"
+
 	"lachesis/internal/core"
+	"lachesis/internal/span"
 	"lachesis/internal/telemetry"
 )
 
@@ -85,6 +88,10 @@ type Config struct {
 	// Clock measures pass duration for the pass_seconds histogram. nil
 	// selects time.Now (tests inject a fake).
 	Clock func() time.Time
+	// Spans optionally records one "reconcile" span per pass, annotated
+	// with the drift/repair counts, so slow repair passes show up in the
+	// same causal trace view as the decision cycle. nil disables.
+	Spans *span.Recorder
 }
 
 // PassResult summarizes one reconcile pass.
@@ -171,6 +178,7 @@ type pass struct {
 // is an ApplyGate chain.
 func (r *Reconciler) Reconcile() PassResult {
 	start := r.cfg.Clock()
+	act := r.cfg.Spans.StartRoot(r.cfg.Now(), "reconcile")
 	p := &pass{
 		res:       PassResult{ByClass: make(map[DriftClass]int)},
 		budget:    r.cfg.MaxRepairsPerPass,
@@ -200,7 +208,11 @@ func (r *Reconciler) Reconcile() PassResult {
 	}
 
 	p.res.Converged = p.res.Drifted == 0 && p.res.Deferred == 0
+	act.SetAttr("checked", fmt.Sprint(p.res.Checked))
+	act.SetAttr("drifted", fmt.Sprint(p.res.Drifted))
+	act.SetAttr("repaired", fmt.Sprint(p.res.Repaired))
 	r.finishPass(p, r.cfg.Clock().Sub(start))
+	act.End(nil)
 	return p.res
 }
 

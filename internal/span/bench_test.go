@@ -1,0 +1,51 @@
+package span
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkChildSpan prices the Active hot path (start, one attr, end)
+// the instrumentation sites pay per recorded span. The traceoverhead
+// harness experiment polices the end-to-end budget; this isolates the
+// library's share.
+func BenchmarkChildSpan(b *testing.B) {
+	rec := New(Config{Seed: 1, Clock: func() time.Time { return time.Unix(0, 0) }})
+	root := rec.StartRoot(0, "cycle")
+	ctx := root.Context()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := rec.StartChild(ctx, 0, "binding")
+		a.SetAttr("binding", "qs/nice")
+		a.End(nil)
+	}
+}
+
+// BenchmarkChildSpanParallel exercises the sharded ring under the
+// contention profile of a parallel decision cycle (many phase workers
+// completing spans at once).
+func BenchmarkChildSpanParallel(b *testing.B) {
+	rec := New(Config{Seed: 1})
+	root := rec.StartRoot(0, "cycle")
+	ctx := root.Context()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			a := rec.StartChild(ctx, 0, "binding")
+			a.SetAttr("binding", "qs/nice")
+			a.End(nil)
+		}
+	})
+}
+
+// BenchmarkEmit prices the pre-timed leaf path the slow-span floor uses
+// when a phase does emit.
+func BenchmarkEmit(b *testing.B) {
+	rec := New(Config{Seed: 1, Clock: func() time.Time { return time.Unix(0, 0) }})
+	root := rec.StartRoot(0, "cycle")
+	ctx := root.Context()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Emit(ctx, 0, "schedule", time.Millisecond, nil)
+	}
+}

@@ -1,0 +1,136 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Trigger kinds the daemons wire to the flight recorder. Each names an
+// anomaly whose causal history is worth keeping: the recorder's ring
+// already holds the recent spans, the trigger decides they get dumped.
+const (
+	// TriggerWatchdog: the step watchdog transitioned to degraded after
+	// repeated phase-deadline overruns.
+	TriggerWatchdog = "watchdog-trip"
+	// TriggerGuardBlock: an OpGuard invariant blocked a translated batch.
+	TriggerGuardBlock = "guard-block"
+	// TriggerCanaryRollback: a canary rollout rolled back.
+	TriggerCanaryRollback = "canary-rollback"
+	// TriggerBreakerOpen: a fleet fan-out breaker opened on an agent.
+	TriggerBreakerOpen = "breaker-open"
+)
+
+// Trigger describes the anomaly that caused a flight-recorder dump.
+type Trigger struct {
+	// At is the virtual step time of the anomaly.
+	At time.Duration `json:"at_ns"`
+	// Kind is one of the Trigger* constants.
+	Kind string `json:"kind"`
+	// Detail is the human-readable cause (violation text, rollback
+	// reason, agent id...).
+	Detail string `json:"detail,omitempty"`
+	// Trace names the offending trace when the trigger site knows it;
+	// empty lets the flight recorder fill in the most recent root trace.
+	Trace string `json:"trace,omitempty"`
+}
+
+// DefaultMaxDumps bounds how many bundles one FlightRecorder writes.
+const DefaultMaxDumps = 64
+
+// FlightRecorder turns the recorder's always-on span ring into an
+// incident artifact: on Trip it writes a trace bundle — the trigger
+// record followed by every span currently in the ring — as JSONL into
+// its directory. Bundles are capped so a flapping trigger cannot fill a
+// disk; past the cap, trips are counted but not written.
+type FlightRecorder struct {
+	rec *Recorder
+	dir string
+	max int
+
+	mu       sync.Mutex
+	dumps    int
+	trips    int
+	lastPath string
+}
+
+// NewFlightRecorder attaches a flight recorder to rec, dumping bundles
+// into dir (created on first dump). maxDumps <= 0 selects
+// DefaultMaxDumps.
+func NewFlightRecorder(rec *Recorder, dir string, maxDumps int) *FlightRecorder {
+	if maxDumps <= 0 {
+		maxDumps = DefaultMaxDumps
+	}
+	return &FlightRecorder{rec: rec, dir: dir, max: maxDumps}
+}
+
+// Trip records an anomaly: it snapshots the span ring and writes the
+// bundle, returning its path. Past the dump cap it returns "" with no
+// error. Safe for concurrent use and callable from under trigger-site
+// locks (it only touches the recorder's public snapshot API).
+func (f *FlightRecorder) Trip(t Trigger) (string, error) {
+	if f == nil {
+		return "", nil
+	}
+	if t.Trace == "" {
+		t.Trace = f.rec.LastTrace()
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.trips++
+	if f.dumps >= f.max {
+		return "", nil
+	}
+	seq := f.dumps
+	f.dumps++
+	if err := os.MkdirAll(f.dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(f.dir, fmt.Sprintf("trace-%03d-%s.jsonl", seq, t.Kind))
+	file, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	enc := json.NewEncoder(file)
+	werr := enc.Encode(struct {
+		Trigger Trigger `json:"trigger"`
+	}{t})
+	for _, sp := range f.rec.Snapshot() {
+		if werr != nil {
+			break
+		}
+		werr = enc.Encode(sp)
+	}
+	if cerr := file.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return "", werr
+	}
+	f.lastPath = path
+	return path, nil
+}
+
+// Trips returns how many times the recorder tripped (dumped or not).
+func (f *FlightRecorder) Trips() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.trips
+}
+
+// LastDump returns the path of the most recent bundle ("" before the
+// first).
+func (f *FlightRecorder) LastDump() string {
+	if f == nil {
+		return ""
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastPath
+}

@@ -1,0 +1,71 @@
+package span
+
+import "strings"
+
+// Context is a span's propagation handle: enough to parent a child span,
+// locally or across a process boundary. The zero Context is invalid.
+type Context struct {
+	// Trace is the 32-hex-digit trace ID.
+	Trace string
+	// Span is the 16-hex-digit ID of the span to parent under.
+	Span string
+}
+
+// zeroTrace / zeroSpan are the all-zero IDs the traceparent spec forbids.
+const (
+	zeroTrace = "00000000000000000000000000000000"
+	zeroSpan  = "0000000000000000"
+)
+
+// Valid reports whether the context carries a well-formed trace and span
+// ID (lengths per the traceparent layout, all-lowercase hex).
+func (c Context) Valid() bool {
+	return isHex(c.Trace, 32) && isHex(c.Span, 16) &&
+		c.Trace != zeroTrace && c.Span != zeroSpan
+}
+
+// traceparentVersion is the only version this package emits or accepts,
+// mirroring the W3C trace-context layout:
+// version "-" trace-id "-" parent-id "-" flags.
+const traceparentVersion = "00"
+
+// Traceparent renders the context as a traceparent-style header value
+// ("" for an invalid context).
+func (c Context) Traceparent() string {
+	if !c.Valid() {
+		return ""
+	}
+	return traceparentVersion + "-" + c.Trace + "-" + c.Span + "-01"
+}
+
+// TraceparentHeader is the HTTP header carrying a Context across the
+// fleet's hops (coordinator push -> agent POST /policy).
+const TraceparentHeader = "Traceparent"
+
+// ParseTraceparent decodes a traceparent-style value; ok is false when
+// the value is absent or malformed (callers then start a fresh trace).
+func ParseTraceparent(v string) (Context, bool) {
+	parts := strings.Split(strings.TrimSpace(v), "-")
+	if len(parts) != 4 || parts[0] != traceparentVersion {
+		return Context{}, false
+	}
+	c := Context{Trace: parts[1], Span: parts[2]}
+	if !c.Valid() || !isHex(parts[3], 2) {
+		return Context{}, false
+	}
+	return c, true
+}
+
+// isHex reports whether s is exactly n lowercase hex digits.
+func isHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,553 @@
+// Package span is Lachesis' causal tracing layer: it explains *why* a
+// decision cycle was slow or a rollout rolled back, where telemetry
+// histograms only say *how* slow and the audit trail only says *what*
+// changed. A span is one timed operation (a cycle, one driver fetch, one
+// binding's apply, a canary verdict) with a parent link; spans sharing a
+// trace ID form a tree, and the tree can cross process boundaries via a
+// traceparent-style context carried over the fleet's HTTP hops
+// (propagate.go), so one trace follows a policy rollout from the fleet
+// coordinator through an agent's canary window to its verdict.
+//
+// The package follows the same design discipline as internal/telemetry:
+// no third-party dependencies, atomics on the hot path, an injectable
+// clock, and bounded memory — the Recorder keeps spans in a fixed ring,
+// optionally mirroring them to a Sink (JSONL for durable traces). A nil
+// *Recorder and a nil *Active are inert, so instrumented code paths pay
+// a single pointer test when tracing is off.
+package span
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one completed timed operation in a trace tree.
+type Span struct {
+	// Trace is the 32-hex-digit trace ID shared by every span of one
+	// causal tree, possibly across processes.
+	Trace string `json:"trace"`
+	// ID is the span's own 16-hex-digit identifier.
+	ID string `json:"id"`
+	// Parent is the ID of the parent span ("" for a root).
+	Parent string `json:"parent,omitempty"`
+	// Name is the operation ("cycle", "fetch", "apply", "canary.verdict"...).
+	Name string `json:"name"`
+	// Process identifies the emitting process ("lachesisd", "lachesis-fleet").
+	Process string `json:"process,omitempty"`
+	// At is the virtual step time when the span started (the same clock
+	// the middleware's Step receives), nanoseconds.
+	At time.Duration `json:"at_ns"`
+	// Wall is the wall-clock duration of the operation.
+	Wall time.Duration `json:"wall_ns"`
+	// Err carries the operation's error text, if it failed.
+	Err string `json:"err,omitempty"`
+	// Attrs are optional key=value annotations (binding label, driver
+	// name, verdict decision...).
+	Attrs Attrs `json:"attrs,omitempty"`
+}
+
+// Attr is one key=value span annotation.
+type Attr struct {
+	K string
+	V string
+}
+
+// Attrs holds a span's annotations in insertion order. It is a slice,
+// not a map: spans carry at most a handful of attrs, and a map would
+// cost two allocations plus per-key hashing on the instrumentation hot
+// path. It still marshals as a JSON object, so sink files read naturally.
+type Attrs []Attr
+
+// Get returns the value of key ("" when absent). The first entry wins
+// should a key ever be set twice.
+func (a Attrs) Get(key string) string {
+	for _, kv := range a {
+		if kv.K == key {
+			return kv.V
+		}
+	}
+	return ""
+}
+
+// MarshalJSON renders the attrs as a JSON object. Serialization is off
+// the hot path (sinks and debug endpoints), so going through a map for
+// correct escaping and deterministic key order is fine here.
+func (a Attrs) MarshalJSON() ([]byte, error) {
+	m := make(map[string]string, len(a))
+	for _, kv := range a {
+		if _, dup := m[kv.K]; !dup {
+			m[kv.K] = kv.V
+		}
+	}
+	return json.Marshal(m)
+}
+
+// UnmarshalJSON decodes a JSON object into attrs (sorted by key — the
+// object had no order to preserve).
+func (a *Attrs) UnmarshalJSON(b []byte) error {
+	var m map[string]string
+	if err := json.Unmarshal(b, &m); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make(Attrs, 0, len(m))
+	for _, k := range keys {
+		out = append(out, Attr{K: k, V: m[k]})
+	}
+	*a = out
+	return nil
+}
+
+// Sink receives every completed span, after it is stored in the ring.
+// Implementations must be safe for concurrent use.
+type Sink interface {
+	Emit(Span)
+}
+
+// DefaultCapacity is the ring size used when Config.Capacity is zero.
+// Under the slow-span floor (see core.DefaultSpanFloor) a cycle at a few
+// hundred bindings completes a few hundred spans, so this holds several
+// cycles. The ring is live heap the garbage collector re-marks on every
+// GC — sizing it generously taxes every allocation in the process, which
+// is exactly the overhead the traceoverhead experiment polices.
+const DefaultCapacity = 1024
+
+// Config parameterizes a Recorder.
+type Config struct {
+	// Capacity bounds the in-memory span ring (0 selects DefaultCapacity).
+	Capacity int
+	// Process is stamped on every span this recorder emits.
+	Process string
+	// Seed initializes ID generation; 0 derives a seed from the clock so
+	// two processes do not mint colliding span IDs.
+	Seed uint64
+	// Clock supplies wall time for span durations (nil = time.Now).
+	Clock func() time.Time
+	// Sink, when non-nil, receives every completed span (e.g. a JSONLSink).
+	Sink Sink
+}
+
+// ringShards stripes the span ring (power of two). A decision cycle at a
+// few hundred bindings completes >1000 spans across dozens of phase
+// workers; one mutex would serialize them all.
+const ringShards = 8
+
+// ringShard is one stripe: a bounded ring of completed spans plus their
+// global sequence stamps (for merge ordering in Snapshot).
+type ringShard struct {
+	mu    sync.Mutex
+	spans []Span
+	seqs  []uint64
+	next  int
+	count int
+}
+
+// Recorder mints span IDs and keeps the most recent spans in a bounded
+// sharded ring. All methods are safe for concurrent use; all methods on
+// a nil *Recorder are no-ops, so callers can instrument unconditionally.
+type Recorder struct {
+	capacity int
+	shardCap int
+	process  string
+	clock    func() time.Time
+	sink     Sink
+	seed     uint64
+	ids      atomic.Uint64
+	total    atomic.Int64
+
+	seq       atomic.Uint64
+	shards    [ringShards]ringShard
+	lastTrace atomic.Pointer[string]
+}
+
+// New builds a Recorder from cfg.
+func New(cfg Config) *Recorder {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = uint64(cfg.Clock().UnixNano()) ^ uint64(os.Getpid())<<32
+	}
+	r := &Recorder{
+		capacity: cfg.Capacity,
+		shardCap: (cfg.Capacity + ringShards - 1) / ringShards,
+		process:  cfg.Process,
+		clock:    cfg.Clock,
+		sink:     cfg.Sink,
+		// Avalanche the seed before use: raw seeds s and s+1 would
+		// otherwise yield the same ID stream shifted by one (nextID strides
+		// by the SplitMix64 gamma), and nearby seeds are exactly what
+		// multiple recorders in one test or one host tend to get.
+		seed: splitmix64(cfg.Seed),
+	}
+	// Allocate the shard rings up front: growing them mid-flight would
+	// put allocation spikes inside the cycles being traced.
+	for i := range r.shards {
+		r.shards[i].spans = make([]Span, r.shardCap)
+		r.shards[i].seqs = make([]uint64, r.shardCap)
+	}
+	return r
+}
+
+// splitmix64 is the ID-generation mix (public-domain SplitMix64 step):
+// deterministic per (seed, counter), well spread across the 64-bit space.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// hex16 renders v as 16 lowercase hex digits.
+func hex16(v uint64) string {
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// nextID returns a fresh 64-bit identifier: SplitMix64 over a stream
+// whose starting state is the recorder's avalanched seed. Two recorders
+// collide only if their mixed seeds land a small gamma-multiple apart —
+// a ~2^-64 accident rather than a property of adjacent seeds.
+func (r *Recorder) nextID() uint64 {
+	n := r.ids.Add(1)
+	return splitmix64(r.seed + n*0x9e3779b97f4a7c15)
+}
+
+// activeInlineAttrs is the attr count an Active holds without allocating
+// (no instrumentation site sets more than three today).
+const activeInlineAttrs = 4
+
+// Active is an in-flight span. Methods on a nil *Active are no-ops.
+// Context stays readable after End; a second End is a no-op.
+type Active struct {
+	r     *Recorder
+	sp    Span
+	t0    time.Time
+	ended bool
+	nattr int
+	attrs [activeInlineAttrs]Attr
+}
+
+// StartRoot opens a new trace: a root span with a fresh trace ID. now is
+// the caller's virtual step time.
+func (r *Recorder) StartRoot(now time.Duration, name string) *Active {
+	if r == nil {
+		return nil
+	}
+	trace := hex16(r.nextID()) + hex16(r.nextID())
+	a := &Active{r: r, t0: r.clock(), sp: Span{
+		Trace: trace, ID: hex16(r.nextID()), Name: name,
+		Process: r.process, At: now,
+	}}
+	r.lastTrace.Store(&trace)
+	return a
+}
+
+// StartChild opens a span under parent. An invalid (zero) parent context
+// degrades to a new root, so broken propagation loses linkage, never data.
+func (r *Recorder) StartChild(parent Context, now time.Duration, name string) *Active {
+	if r == nil {
+		return nil
+	}
+	if !parent.Valid() {
+		return r.StartRoot(now, name)
+	}
+	return &Active{r: r, t0: r.clock(), sp: Span{
+		Trace: parent.Trace, ID: hex16(r.nextID()), Parent: parent.Span,
+		Name: name, Process: r.process, At: now,
+	}}
+}
+
+// SetAttr annotates the span with a key=value pair. The first
+// activeInlineAttrs attrs are stored inline; later ones spill to a slice.
+func (a *Active) SetAttr(key, value string) {
+	if a == nil || a.ended {
+		return
+	}
+	if a.nattr < activeInlineAttrs {
+		a.attrs[a.nattr] = Attr{K: key, V: value}
+		a.nattr++
+		return
+	}
+	a.sp.Attrs = append(a.sp.Attrs, Attr{K: key, V: value})
+}
+
+// Context returns the span's propagation context (zero for a nil span),
+// for linking children or crossing a process boundary.
+func (a *Active) Context() Context {
+	if a == nil || a.r == nil {
+		return Context{}
+	}
+	return Context{Trace: a.sp.Trace, Span: a.sp.ID}
+}
+
+// End completes the span, stamping its wall duration and the error (nil
+// err = success), and records it in the ring and the sink. A second End
+// is a no-op; Context stays readable.
+func (a *Active) End(err error) {
+	if a == nil || a.ended {
+		return
+	}
+	a.ended = true
+	sp := a.sp
+	sp.Wall = a.r.clock().Sub(a.t0)
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	if a.nattr > 0 {
+		attrs := make(Attrs, 0, a.nattr+len(sp.Attrs))
+		attrs = append(attrs, a.attrs[:a.nattr]...)
+		attrs = append(attrs, sp.Attrs...) // spilled tail, if any
+		sp.Attrs = attrs
+	}
+	a.r.record(sp)
+}
+
+// ChildContext mints the identity a child span under parent would get,
+// without opening or recording anything: one ID draw, no allocation
+// beyond the 16-byte hex string. Hot paths use it to give a prospective
+// span an identity that children can parent under, deciding only later
+// (via EmitSpan) whether the span itself is worth recording. Returns the
+// zero Context on a nil recorder or invalid parent.
+func (r *Recorder) ChildContext(parent Context) Context {
+	if r == nil || !parent.Valid() {
+		return Context{}
+	}
+	return Context{Trace: parent.Trace, Span: hex16(r.nextID())}
+}
+
+// Emit records an already-timed leaf span under parent in one call,
+// bypassing the Active machinery. Instrumentation hot paths that
+// already measure a phase for stats use it to emit a span only when the
+// phase is slow or failed (see core's slow-span floor): the skip path
+// then costs a duration compare instead of an allocation. An invalid
+// parent or nil recorder drops the span.
+func (r *Recorder) Emit(parent Context, at time.Duration, name string, wall time.Duration, err error) {
+	if r == nil || !parent.Valid() {
+		return
+	}
+	r.EmitSpan(Span{
+		Trace: parent.Trace, ID: hex16(r.nextID()), Parent: parent.Span,
+		Name: name, Process: r.process, At: at, Wall: wall,
+		Err: errText(err),
+	})
+}
+
+// EmitSpan records a fully-built span — the low-level primitive under
+// Emit for callers that pre-minted the span's identity with ChildContext.
+// The span's Trace and ID must be set; Process is stamped if empty.
+// Nil-safe; a span without a trace is dropped.
+func (r *Recorder) EmitSpan(sp Span) {
+	if r == nil || sp.Trace == "" || sp.ID == "" {
+		return
+	}
+	if sp.Process == "" {
+		sp.Process = r.process
+	}
+	r.record(sp)
+}
+
+// errText renders err for a Span's Err field ("" for nil).
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// record appends a completed span to its sequence-selected ring shard
+// and forwards it to the sink. Round-robin by sequence keeps neighboring
+// completions on different shard mutexes and makes the merged snapshot
+// order the true completion order.
+func (r *Recorder) record(sp Span) {
+	s := r.seq.Add(1)
+	sh := &r.shards[s&(ringShards-1)]
+	sh.mu.Lock()
+	sh.spans[sh.next] = sp
+	sh.seqs[sh.next] = s
+	sh.next = (sh.next + 1) % r.shardCap
+	if sh.count < r.shardCap {
+		sh.count++
+	}
+	sh.mu.Unlock()
+	r.total.Add(1)
+	if r.sink != nil {
+		r.sink.Emit(sp)
+	}
+}
+
+// Total returns the lifetime number of completed spans (nil-safe).
+func (r *Recorder) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.total.Load()
+}
+
+// LastTrace returns the trace ID of the most recently started root span
+// ("" before the first). The flight recorder uses it to name the
+// offending cycle when a trigger site has no context of its own.
+func (r *Recorder) LastTrace() string {
+	if r == nil {
+		return ""
+	}
+	if p := r.lastTrace.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// Last returns up to k of the most recent completed spans, oldest first.
+func (r *Recorder) Last(k int) []Span {
+	if r == nil || k <= 0 {
+		return nil
+	}
+	all := r.Snapshot()
+	if k >= len(all) {
+		return all
+	}
+	return all[len(all)-k:]
+}
+
+// Snapshot returns every span currently in the ring, in completion
+// order (oldest first), merged across the shards by sequence stamp.
+func (r *Recorder) Snapshot() []Span {
+	if r == nil {
+		return nil
+	}
+	type stamped struct {
+		seq uint64
+		sp  Span
+	}
+	var all []stamped
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for j := 0; j < sh.count; j++ {
+			all = append(all, stamped{seq: sh.seqs[j], sp: sh.spans[j]})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	// The shards jointly retain up to shardCap*ringShards spans — a little
+	// more than the configured capacity when it doesn't divide evenly.
+	// Clamp to the promised bound, keeping the newest.
+	if len(all) > r.capacity {
+		all = all[len(all)-r.capacity:]
+	}
+	out := make([]Span, len(all))
+	for i, s := range all {
+		out[i] = s.sp
+	}
+	return out
+}
+
+// TraceSpans returns the ring's spans belonging to one trace, oldest
+// first (spans evicted from the ring are only in the sink).
+func (r *Recorder) TraceSpans(trace string) []Span {
+	all := r.Snapshot()
+	out := make([]Span, 0, 16)
+	for _, sp := range all {
+		if sp.Trace == trace {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// JSONLSink writes one JSON object per span to w. Writes are serialized;
+// the first write error is latched and reported by Err.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink wraps w as a span sink.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(sp Span) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(sp)
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// MemorySink collects spans in memory, for tests.
+type MemorySink struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Emit implements Sink.
+func (s *MemorySink) Emit(sp Span) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spans = append(s.spans, sp)
+}
+
+// Spans returns a copy of everything emitted so far.
+func (s *MemorySink) Spans() []Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Span, len(s.spans))
+	copy(out, s.spans)
+	return out
+}
+
+// ReadSpans parses a span JSONL stream (a Sink file or a flight-recorder
+// bundle), returning the spans and any embedded trigger records. Blank
+// lines are skipped; a malformed line aborts with an error.
+func ReadSpans(r io.Reader) ([]Span, []Trigger, error) {
+	dec := json.NewDecoder(r)
+	var spans []Span
+	var triggers []Trigger
+	for {
+		var line struct {
+			Trigger *Trigger `json:"trigger"`
+			Span
+		}
+		if err := dec.Decode(&line); err != nil {
+			if errors.Is(err, io.EOF) {
+				return spans, triggers, nil
+			}
+			return spans, triggers, err
+		}
+		if line.Trigger != nil {
+			triggers = append(triggers, *line.Trigger)
+			continue
+		}
+		spans = append(spans, line.Span)
+	}
+}

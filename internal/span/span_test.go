@@ -1,0 +1,359 @@
+package span
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testClock is a deterministic wall clock advancing 1ms per call.
+func testClock() func() time.Time {
+	var mu sync.Mutex
+	t := time.Unix(0, 0)
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		t = t.Add(time.Millisecond)
+		return t
+	}
+}
+
+func newTestRecorder(capacity int, sink Sink) *Recorder {
+	return New(Config{Capacity: capacity, Process: "test", Seed: 42, Clock: testClock(), Sink: sink})
+}
+
+func TestRootAndChildLinkage(t *testing.T) {
+	r := newTestRecorder(0, nil)
+	root := r.StartRoot(time.Second, "cycle")
+	child := r.StartChild(root.Context(), time.Second, "fetch")
+	child.SetAttr("driver", "node")
+	child.End(nil)
+	root.End(errors.New("boom"))
+
+	spans := r.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	c, ro := spans[0], spans[1]
+	if c.Trace != ro.Trace {
+		t.Fatalf("child trace %q != root trace %q", c.Trace, ro.Trace)
+	}
+	if c.Parent != ro.ID {
+		t.Fatalf("child parent %q, want root id %q", c.Parent, ro.ID)
+	}
+	if len(c.Trace) != 32 || len(c.ID) != 16 {
+		t.Fatalf("malformed ids: trace %q id %q", c.Trace, c.ID)
+	}
+	if c.Attrs.Get("driver") != "node" {
+		t.Fatalf("attrs = %v", c.Attrs)
+	}
+	if ro.Err != "boom" {
+		t.Fatalf("root err = %q", ro.Err)
+	}
+	if c.Wall <= 0 || ro.Wall <= 0 {
+		t.Fatalf("non-positive walls: %v %v", c.Wall, ro.Wall)
+	}
+	if ro.Process != "test" {
+		t.Fatalf("process = %q", ro.Process)
+	}
+	if r.LastTrace() != ro.Trace {
+		t.Fatalf("LastTrace = %q, want %q", r.LastTrace(), ro.Trace)
+	}
+}
+
+func TestChildOfInvalidContextStartsFreshTrace(t *testing.T) {
+	r := newTestRecorder(0, nil)
+	a := r.StartChild(Context{}, 0, "orphan")
+	a.End(nil)
+	sp := r.Snapshot()[0]
+	if sp.Parent != "" || len(sp.Trace) != 32 {
+		t.Fatalf("orphan span = %+v", sp)
+	}
+}
+
+func TestRingBoundsAndOrder(t *testing.T) {
+	r := newTestRecorder(4, nil)
+	for i := 0; i < 10; i++ {
+		a := r.StartRoot(time.Duration(i), fmt.Sprintf("s%d", i))
+		a.End(nil)
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	spans := r.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(spans))
+	}
+	for i, sp := range spans {
+		if want := fmt.Sprintf("s%d", 6+i); sp.Name != want {
+			t.Fatalf("span %d = %q, want %q", i, sp.Name, want)
+		}
+	}
+	last := r.Last(2)
+	if len(last) != 2 || last[0].Name != "s8" || last[1].Name != "s9" {
+		t.Fatalf("Last(2) = %v", last)
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	r := newTestRecorder(0, nil)
+	a := r.StartRoot(0, "a")
+	b := r.StartRoot(0, "b")
+	r.StartChild(a.Context(), 0, "a.child").End(nil)
+	a.End(nil)
+	b.End(nil)
+	got := r.TraceSpans(a.Context().Trace)
+	if len(got) != 2 {
+		t.Fatalf("got %d spans for trace a, want 2", len(got))
+	}
+	for _, sp := range got {
+		if sp.Trace != a.Context().Trace {
+			t.Fatalf("wrong trace on %+v", sp)
+		}
+	}
+}
+
+func TestIDUniqueness(t *testing.T) {
+	r := newTestRecorder(0, nil)
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		a := r.StartRoot(0, "s")
+		ctx := a.Context()
+		if seen[ctx.Trace] || seen[ctx.Span] {
+			t.Fatalf("duplicate id at %d", i)
+		}
+		seen[ctx.Trace] = true
+		seen[ctx.Span] = true
+	}
+}
+
+func TestNilRecorderAndActiveAreInert(t *testing.T) {
+	var r *Recorder
+	a := r.StartRoot(0, "x")
+	if a != nil {
+		t.Fatal("nil recorder minted a span")
+	}
+	a.SetAttr("k", "v")
+	a.End(nil)
+	if a.Context().Valid() {
+		t.Fatal("nil active has a valid context")
+	}
+	if r.Total() != 0 || r.LastTrace() != "" || r.Snapshot() != nil || r.Last(5) != nil {
+		t.Fatal("nil recorder not inert")
+	}
+	c := r.StartChild(Context{}, 0, "y")
+	if c != nil {
+		t.Fatal("nil recorder minted a child")
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	r := newTestRecorder(0, nil)
+	a := r.StartRoot(0, "x")
+	tp := a.Context().Traceparent()
+	if !strings.HasPrefix(tp, "00-") || !strings.HasSuffix(tp, "-01") {
+		t.Fatalf("traceparent = %q", tp)
+	}
+	got, ok := ParseTraceparent(tp)
+	if !ok || got != a.Context() {
+		t.Fatalf("round trip: %v %v, want %v", got, ok, a.Context())
+	}
+	for _, bad := range []string{
+		"", "00-zz-xx-01", "01-" + a.Context().Trace + "-" + a.Context().Span + "-01",
+		"00-" + strings.Repeat("0", 32) + "-" + a.Context().Span + "-01",
+		"00-" + a.Context().Trace + "-" + a.Context().Span,
+	} {
+		if _, ok := ParseTraceparent(bad); ok {
+			t.Fatalf("accepted malformed traceparent %q", bad)
+		}
+	}
+	if (Context{}).Traceparent() != "" {
+		t.Fatal("invalid context rendered a traceparent")
+	}
+}
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	r := newTestRecorder(0, sink)
+	root := r.StartRoot(time.Second, "cycle")
+	r.StartChild(root.Context(), time.Second, "apply").End(nil)
+	root.End(nil)
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	spans, triggers, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 || len(triggers) != 0 {
+		t.Fatalf("read %d spans %d triggers", len(spans), len(triggers))
+	}
+	if spans[0].Name != "apply" || spans[1].Name != "cycle" {
+		t.Fatalf("spans = %v", spans)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := newTestRecorder(256, &MemorySink{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				root := r.StartRoot(time.Duration(i), "cycle")
+				c := r.StartChild(root.Context(), time.Duration(i), "child")
+				c.SetAttr("g", fmt.Sprint(g))
+				c.End(nil)
+				root.End(nil)
+				_ = r.Last(8)
+				_ = r.LastTrace()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != 1600 {
+		t.Fatalf("total = %d, want 1600", r.Total())
+	}
+}
+
+func TestFlightRecorderDumpAndCap(t *testing.T) {
+	dir := t.TempDir()
+	r := newTestRecorder(0, nil)
+	root := r.StartRoot(5*time.Second, "cycle")
+	r.StartChild(root.Context(), 5*time.Second, "apply").End(errors.New("blocked"))
+	root.End(nil)
+
+	f := NewFlightRecorder(r, filepath.Join(dir, "dumps"), 2)
+	path, err := f.Trip(Trigger{At: 5 * time.Second, Kind: TriggerGuardBlock, Detail: "nice out of bounds"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path == "" || f.LastDump() != path {
+		t.Fatalf("path = %q lastDump = %q", path, f.LastDump())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, triggers, err := ReadSpans(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triggers) != 1 || triggers[0].Kind != TriggerGuardBlock {
+		t.Fatalf("triggers = %v", triggers)
+	}
+	if triggers[0].Trace != root.Context().Trace {
+		t.Fatalf("trigger trace = %q, want last root %q", triggers[0].Trace, root.Context().Trace)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("bundle holds %d spans, want 2", len(spans))
+	}
+
+	// The cap: dump 2 is written, dump 3 is counted but dropped.
+	if p, err := f.Trip(Trigger{Kind: TriggerWatchdog}); err != nil || p == "" {
+		t.Fatalf("second dump: %q %v", p, err)
+	}
+	if p, err := f.Trip(Trigger{Kind: TriggerWatchdog}); err != nil || p != "" {
+		t.Fatalf("capped dump: %q %v", p, err)
+	}
+	if f.Trips() != 3 {
+		t.Fatalf("trips = %d", f.Trips())
+	}
+	entries, _ := os.ReadDir(filepath.Join(dir, "dumps"))
+	if len(entries) != 2 {
+		t.Fatalf("%d bundle files, want 2", len(entries))
+	}
+
+	// Nil flight recorder is inert.
+	var nilF *FlightRecorder
+	if p, err := nilF.Trip(Trigger{}); p != "" || err != nil || nilF.Trips() != 0 || nilF.LastDump() != "" {
+		t.Fatal("nil flight recorder not inert")
+	}
+}
+
+func TestBuildTreesAndCriticalPath(t *testing.T) {
+	r := newTestRecorder(0, nil)
+	root := r.StartRoot(0, "cycle")
+	fast := r.StartChild(root.Context(), 0, "fetch")
+	fast.End(nil) // 1ms by the test clock
+	slow := r.StartChild(root.Context(), 0, "binding")
+	leaf := r.StartChild(slow.Context(), 0, "apply")
+	leaf.End(nil)
+	// Make the binding span clearly the slowest child: its window spans
+	// the leaf's plus the clock ticks around it.
+	slow.End(nil)
+	root.End(nil)
+	other := r.StartRoot(0, "reconcile")
+	other.End(nil)
+
+	trees := BuildTrees(r.Snapshot())
+	if len(trees) != 2 {
+		t.Fatalf("got %d trees, want 2", len(trees))
+	}
+	sel := FilterTrace(trees, root.Context().Trace)
+	if len(sel) != 1 || sel[0].Name != "cycle" {
+		t.Fatalf("FilterTrace = %v", sel)
+	}
+	cy := sel[0]
+	if len(cy.Children) != 2 {
+		t.Fatalf("cycle has %d children", len(cy.Children))
+	}
+	path := CriticalPath(cy)
+	if len(path) != 3 || path[0].Name != "cycle" || path[1].Name != "binding" || path[2].Name != "apply" {
+		names := make([]string, len(path))
+		for i, n := range path {
+			names[i] = n.Name
+		}
+		t.Fatalf("critical path = %v", names)
+	}
+	attr := Attribution(path)
+	if len(attr) != 3 {
+		t.Fatalf("attribution = %v", attr)
+	}
+	for i, pc := range attr[:2] {
+		if pc.Self != path[i].Wall-path[i+1].Wall {
+			t.Fatalf("self[%d] = %v", i, pc.Self)
+		}
+	}
+	if attr[2].Self != path[2].Wall {
+		t.Fatalf("leaf self = %v, want full wall %v", attr[2].Self, path[2].Wall)
+	}
+}
+
+func TestBuildTreesOrphanBecomesRoot(t *testing.T) {
+	spans := []Span{
+		{Trace: strings.Repeat("a", 32), ID: strings.Repeat("1", 16), Parent: strings.Repeat("9", 16), Name: "orphan"},
+	}
+	trees := BuildTrees(spans)
+	if len(trees) != 1 || trees[0].Name != "orphan" {
+		t.Fatalf("trees = %v", trees)
+	}
+}
+
+// TestSequentialSeedsDoNotCollide: recorders seeded 1..N (the natural
+// thing for a test or a host numbering its processes) must not mint
+// overlapping ID streams — the raw SplitMix64 counter stream shifted by
+// one seed unit is the same stream, so the seed must be avalanched.
+func TestSequentialSeedsDoNotCollide(t *testing.T) {
+	seen := map[string]int{}
+	for seed := uint64(1); seed <= 8; seed++ {
+		rec := New(Config{Process: "p", Seed: seed, Clock: func() time.Time { return time.Unix(0, 0) }})
+		for i := 0; i < 64; i++ {
+			sp := rec.StartRoot(0, "s")
+			id := sp.Context().Span
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("seed %d re-minted span ID %s first seen from seed %d", seed, id, prev)
+			}
+			seen[id] = int(seed)
+			sp.End(nil)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package span
+
+import (
+	"sort"
+	"time"
+)
+
+// Node is one span with its resolved children, as reconstructed from a
+// flat span list (a recorder snapshot or merged JSONL sinks from several
+// processes).
+type Node struct {
+	Span
+	// Children are the span's resolved child nodes, ordered by start
+	// time, then ID.
+	Children []*Node
+}
+
+// BuildTrees links a flat span list into trees by (trace, parent). A
+// span whose parent is absent from the list becomes a root of its own —
+// partial traces (ring eviction, a process that never flushed) degrade
+// to forests instead of disappearing. Roots are ordered by trace, then
+// start time.
+func BuildTrees(spans []Span) []*Node {
+	nodes := make(map[string]*Node, len(spans))
+	for _, sp := range spans {
+		// Trace-qualify IDs so two processes with colliding span IDs
+		// cannot cross-link.
+		nodes[sp.Trace+"/"+sp.ID] = &Node{Span: sp}
+	}
+	var roots []*Node
+	for _, sp := range spans {
+		n := nodes[sp.Trace+"/"+sp.ID]
+		if sp.Parent != "" {
+			if p, ok := nodes[sp.Trace+"/"+sp.Parent]; ok && p != n {
+				p.Children = append(p.Children, n)
+				continue
+			}
+		}
+		roots = append(roots, n)
+	}
+	order := func(a, b *Node) bool {
+		if a.Trace != b.Trace {
+			return a.Trace < b.Trace
+		}
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		return a.ID < b.ID
+	}
+	sort.Slice(roots, func(i, j int) bool { return order(roots[i], roots[j]) })
+	var sortChildren func(n *Node)
+	sortChildren = func(n *Node) {
+		sort.Slice(n.Children, func(i, j int) bool { return order(n.Children[i], n.Children[j]) })
+		for _, c := range n.Children {
+			sortChildren(c)
+		}
+	}
+	for _, r := range roots {
+		sortChildren(r)
+	}
+	return roots
+}
+
+// FilterTrace keeps only the trees belonging to one trace ID.
+func FilterTrace(roots []*Node, trace string) []*Node {
+	var out []*Node
+	for _, r := range roots {
+		if r.Trace == trace {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// CriticalPath walks from root to leaf, at each level descending into
+// the child with the largest wall duration: the chain that bounded the
+// operation's latency. The returned path starts at root.
+func CriticalPath(root *Node) []*Node {
+	var path []*Node
+	for n := root; n != nil; {
+		path = append(path, n)
+		var next *Node
+		for _, c := range n.Children {
+			if next == nil || c.Wall > next.Wall {
+				next = c
+			}
+		}
+		n = next
+	}
+	return path
+}
+
+// PhaseCost is one critical-path step's latency attribution.
+type PhaseCost struct {
+	// Name is the span name (the phase).
+	Name string
+	// Wall is the span's full wall duration.
+	Wall time.Duration
+	// Self is the span's exclusive share along the path: its wall
+	// duration minus the next path step's (what this phase itself cost,
+	// not what it waited on).
+	Self time.Duration
+}
+
+// Attribution converts a critical path into per-phase costs.
+func Attribution(path []*Node) []PhaseCost {
+	out := make([]PhaseCost, 0, len(path))
+	for i, n := range path {
+		self := n.Wall
+		if i+1 < len(path) && path[i+1].Wall < self {
+			self -= path[i+1].Wall
+		} else if i+1 < len(path) {
+			self = 0
+		}
+		out = append(out, PhaseCost{Name: n.Name, Wall: n.Wall, Self: self})
+	}
+	return out
+}

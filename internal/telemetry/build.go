@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Process-level metric names shared by the daemons.
+const (
+	// MetricBuildInfo is the constant-1 gauge carrying build metadata as
+	// labels (the Prometheus build_info convention).
+	MetricBuildInfo = "lachesis_build_info"
+	// MetricUptimeSeconds is the daemon's uptime, refreshed at scrape
+	// time by TouchUptime.
+	MetricUptimeSeconds = "lachesis_uptime_seconds"
+)
+
+// RegisterBuildInfo registers lachesis_build_info{component, version,
+// go_version} = 1 for a daemon. The version comes from the module build
+// info when available ("dev" otherwise).
+func RegisterBuildInfo(reg *Registry, component string) {
+	version := "dev"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		version = bi.Main.Version
+	}
+	reg.Gauge(MetricBuildInfo,
+		L("component", component),
+		L("version", version),
+		L("go_version", runtime.Version()),
+	).Set(1)
+}
+
+// TouchUptime refreshes lachesis_uptime_seconds from the process start
+// time; daemons call it just before exporting the registry so the gauge
+// is current at every scrape.
+func TouchUptime(reg *Registry, start time.Time) {
+	reg.Gauge(MetricUptimeSeconds).Set(time.Since(start).Seconds())
+}

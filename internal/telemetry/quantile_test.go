@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQuantileEmpty: an empty histogram answers 0 for every q.
+func TestQuantileEmpty(t *testing.T) {
+	h := &Histogram{}
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %v, want 0", q, got)
+		}
+	}
+	if _, ok := h.Exemplar(0.99); ok {
+		t.Error("empty histogram produced an exemplar")
+	}
+}
+
+// TestQuantileSingleObservation: one observation of 5ns (bucket [4, 8))
+// must answer with a value the bucket can actually hold — the old
+// interpolation returned the exclusive bound 8, a duration that cannot
+// have been observed — and must answer the same for every q.
+func TestQuantileSingleObservation(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(5)
+	want := h.Quantile(0.5)
+	if want < 4 || want > 7 {
+		t.Fatalf("single-observation quantile = %v, want within the bucket's representable range [4, 7]", want)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != want {
+			t.Errorf("Quantile(%g) = %v, want %v (one observation: every q is the same estimate)", q, got, want)
+		}
+	}
+}
+
+// TestQuantileEdgeQs: q=0 stays at the low edge of the data and q=1 at
+// the high edge, never outside the observed buckets' representable
+// ranges, and out-of-range q clamps.
+func TestQuantileEdgeQs(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 100; i++ {
+		h.Observe(100) // bucket [64, 128)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(1000) // bucket [512, 1024)
+	}
+	q0, q1 := h.Quantile(0), h.Quantile(1)
+	if q0 < 64 || q0 > 127 {
+		t.Errorf("Quantile(0) = %v, want inside the low bucket [64, 127]", q0)
+	}
+	if q1 < 512 || q1 > 1023 {
+		t.Errorf("Quantile(1) = %v, want inside the high bucket [512, 1023]", q1)
+	}
+	if q0 > h.Quantile(0.5) || h.Quantile(0.5) > q1 {
+		t.Error("quantiles not monotonic in q")
+	}
+	if h.Quantile(-3) != q0 || h.Quantile(7) != q1 {
+		t.Error("out-of-range q did not clamp to [0, 1]")
+	}
+	// Within a bucket, larger q means a larger (or equal) estimate.
+	if h.Quantile(0.05) > h.Quantile(0.45) {
+		t.Error("interpolation not monotonic inside a bucket")
+	}
+}
+
+// TestQuantileNeverExceedsBucketMax: across several shapes, no quantile
+// escapes the highest observed bucket's representable range.
+func TestQuantileNeverExceedsBucketMax(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Millisecond) // bucket [2^19, 2^20) ns
+	}
+	hi := time.Duration(1)<<20 - 1
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got > hi {
+			t.Errorf("Quantile(%g) = %v, exceeds bucket max %v", q, got, hi)
+		}
+	}
+}
+
+// TestExemplarLinksQuantileBucket: the exemplar attached to the slow
+// mode's bucket is what Exemplar(0.99) returns, and the fast mode keeps
+// its own.
+func TestExemplarLinksQuantileBucket(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 99; i++ {
+		h.ObserveExemplar(100*time.Microsecond, fmt.Sprintf("fast-%d", i))
+	}
+	h.ObserveExemplar(50*time.Millisecond, "slow-trace")
+	if ex, ok := h.Exemplar(0.999); !ok || ex != "slow-trace" {
+		t.Errorf("Exemplar(0.999) = %q %v, want the slow trace", ex, ok)
+	}
+	if ex, ok := h.Exemplar(0.5); !ok || ex != "fast-98" {
+		t.Errorf("Exemplar(0.5) = %q %v, want the last fast trace", ex, ok)
+	}
+	// Empty exemplars record the observation but attach nothing.
+	h2 := &Histogram{}
+	h2.ObserveExemplar(time.Second, "")
+	if h2.Count() != 1 {
+		t.Fatal("empty exemplar lost the observation")
+	}
+	if _, ok := h2.Exemplar(0.5); ok {
+		t.Error("empty exemplar string was stored")
+	}
+}
+
+// TestRegistryCreateVsExportRace hammers instrument *creation* (fresh
+// names and label sets every iteration, exercising the write-locked slow
+// path) concurrently with WritePrometheus snapshots and build-info
+// registration. Run under -race in CI.
+func TestRegistryCreateVsExportRace(t *testing.T) {
+	r := NewRegistry()
+	var creators sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		creators.Add(1)
+		go func(g int) {
+			defer creators.Done()
+			for i := 0; i < 300; i++ {
+				r.Counter(fmt.Sprintf("race_ctr_%d_%d", g, i), L("g", fmt.Sprint(g))).Inc()
+				r.Histogram(fmt.Sprintf("race_hist_%d", g), L("i", fmt.Sprint(i))).
+					ObserveExemplar(time.Duration(i)*time.Microsecond, fmt.Sprintf("t%d", i))
+				_ = r.Histogram(fmt.Sprintf("race_hist_%d", g), L("i", fmt.Sprint(i))).Quantile(0.95)
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	go func() { creators.Wait(); close(stop) }()
+	RegisterBuildInfo(r, "race-test")
+	for running := true; running; {
+		select {
+		case <-stop:
+			running = false
+		default:
+		}
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		TouchUptime(r, time.Now().Add(-time.Minute))
+	}
+	// Every created counter must survive in the final export.
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for g := 0; g < 6; g++ {
+		if !strings.Contains(out, fmt.Sprintf("race_ctr_%d_299", g)) {
+			t.Errorf("worker %d's last counter missing from export", g)
+		}
+	}
+	if !strings.Contains(out, MetricBuildInfo) || !strings.Contains(out, MetricUptimeSeconds) {
+		t.Error("build info / uptime missing from export")
+	}
+}

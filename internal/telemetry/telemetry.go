@@ -73,10 +73,35 @@ type Histogram struct {
 	buckets [histBuckets]atomic.Int64
 	count   atomic.Int64
 	sum     atomic.Int64 // nanoseconds
+	// exemplars[i] holds the most recent exemplar (e.g. a trace ID)
+	// attached to an observation in bucket i, linking an outlier bucket
+	// back to the trace that produced it.
+	exemplars [histBuckets]atomic.Pointer[string]
 }
 
 // Observe records one duration (negative durations count as zero).
 func (h *Histogram) Observe(d time.Duration) {
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	if d < 0 {
+		d = 0
+	}
+	h.sum.Add(int64(d))
+}
+
+// ObserveExemplar records d like Observe and attaches exemplar to d's
+// bucket (an empty exemplar records nothing extra), so Exemplar can name
+// the trace behind a quantile.
+func (h *Histogram) ObserveExemplar(d time.Duration, exemplar string) {
+	h.Observe(d)
+	if exemplar != "" {
+		e := exemplar
+		h.exemplars[bucketIndex(d)].Store(&e)
+	}
+}
+
+// bucketIndex maps a duration to its log2 bucket (negatives map to 0).
+func bucketIndex(d time.Duration) int {
 	if d < 0 {
 		d = 0
 	}
@@ -84,9 +109,7 @@ func (h *Histogram) Observe(d time.Duration) {
 	if idx >= histBuckets {
 		idx = histBuckets - 1
 	}
-	h.buckets[idx].Add(1)
-	h.count.Add(1)
-	h.sum.Add(int64(d))
+	return idx
 }
 
 // Count returns the number of observations.
@@ -104,12 +127,52 @@ func (h *Histogram) Mean() time.Duration {
 	return time.Duration(h.sum.Load() / n)
 }
 
-// Quantile estimates the q-quantile (0 <= q <= 1) of the observations. It
-// returns 0 for an empty histogram.
+// Quantile estimates the q-quantile (0 <= q <= 1; out-of-range values
+// are clamped) of the observations. It returns 0 for an empty histogram.
+// Within the matching bucket the observation ranks are treated as
+// uniformly spread over the bucket's representable values [lo, hi-1], so
+// the estimate never exceeds the largest duration the bucket can hold —
+// in particular a single observation yields the bucket midpoint for
+// every q, instead of the old behavior of returning the exclusive upper
+// bound hi (a value that cannot have been observed).
 func (h *Histogram) Quantile(q float64) time.Duration {
+	idx, frac, ok := h.locate(q)
+	if !ok {
+		return 0
+	}
+	lo, hi := bucketBounds(idx)
+	upper := hi
+	if hi > lo {
+		// hi is exclusive: the largest value bucket idx can hold is hi-1.
+		upper = hi - 1
+	}
+	return lo + time.Duration(frac*float64(upper-lo))
+}
+
+// Exemplar returns the most recent exemplar attached to the bucket
+// containing the q-quantile (ok is false when the histogram is empty or
+// that bucket never carried an exemplar).
+func (h *Histogram) Exemplar(q float64) (string, bool) {
+	idx, _, ok := h.locate(q)
+	if !ok {
+		return "", false
+	}
+	p := h.exemplars[idx].Load()
+	if p == nil {
+		return "", false
+	}
+	return *p, true
+}
+
+// locate finds the bucket holding the q-quantile and the interpolation
+// fraction within it. Rank r of n in-bucket observations sits at
+// fractional position (r - 0.5) / n — rank centers, clamped to [0, 1] —
+// which keeps q=0 at the low edge and q=1 at the high edge of the data
+// rather than overshooting the bucket.
+func (h *Histogram) locate(q float64) (idx int, frac float64, ok bool) {
 	total := h.count.Load()
 	if total == 0 {
-		return 0
+		return 0, 0, false
 	}
 	if q < 0 {
 		q = 0
@@ -128,14 +191,18 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 			continue
 		}
 		if cum+n >= target {
-			lo, hi := bucketBounds(i)
-			frac := (target - cum) / n
-			return lo + time.Duration(frac*float64(hi-lo))
+			frac = (target - cum - 0.5) / n
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return i, frac, true
 		}
 		cum += n
 	}
-	_, hi := bucketBounds(histBuckets - 1)
-	return hi
+	return histBuckets - 1, 1, true
 }
 
 // bucketBounds returns the [lo, hi) duration range of bucket i.
