@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -41,6 +42,10 @@ func run(args []string, stdout, stderr io.Writer, sigs chan os.Signal) error {
 	fs := flag.NewFlagSet("lachesis-fleet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	listen := fs.String("listen", "127.0.0.1:9600", "coordinator HTTP address")
+	id := fs.String("id", "", "coordinator HA identity (lease holder name; default: the listen address)")
+	peers := fs.String("peers", "", "comma-separated peer coordinator addresses for HA (lease observation + checkpoint replication)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "leader-lease TTL standbys wait out before promoting (default 3x tick)")
+	standbyMode := fs.Bool("standby", false, "start as a standby: apply replicated checkpoints and promote only when the leader's lease expires")
 	statePath := fs.String("state", "", "state directory for crash-safe registry/rollout persistence (empty: in-memory)")
 	tick := fs.Duration("tick", time.Second, "coordinator cycle period (sweep + rollout advance)")
 	heartbeat := fs.Duration("heartbeat", time.Second, "heartbeat interval expected from agents")
@@ -77,6 +82,24 @@ func run(args []string, stdout, stderr io.Writer, sigs chan os.Signal) error {
 		return fmt.Errorf("-evict-after (%d) must exceed -suspect-after (%d)", *evictAfter, *suspectAfter)
 	case *waves <= 0 || *window <= 0 || *pushTicks <= 0:
 		return errors.New("-waves, -window and -push-ticks must be positive")
+	case *leaseTTL < 0:
+		return fmt.Errorf("-lease-ttl must not be negative, got %v", *leaseTTL)
+	case *standbyMode && *peers == "":
+		return errors.New("-standby needs -peers (a standby with nobody to observe would never promote)")
+	}
+	if *leaseTTL == 0 {
+		*leaseTTL = 3 * *tick
+	}
+	if *id == "" {
+		*id = *listen
+	}
+	peerClients := map[string]fleet.PeerClient{}
+	for _, addr := range strings.Split(*peers, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		peerClients[addr] = fleet.NewHTTPPeer(addr, addr, *agentTimeout)
 	}
 
 	// Audit trail, optionally mirrored to a JSONL file.
@@ -121,6 +144,10 @@ func run(args []string, stdout, stderr io.Writer, sigs chan os.Signal) error {
 		sink:         trailSink,
 		flightDir:    *flightDir,
 		pprofEnabled: *pprofEnabled,
+		id:           *id,
+		peers:        peerClients,
+		leaseTTL:     *leaseTTL,
+		standby:      *standbyMode,
 	}
 	if spanSink != nil {
 		opts.spanSink = spanSink
@@ -152,8 +179,12 @@ func run(args []string, stdout, stderr io.Writer, sigs chan os.Signal) error {
 	srv := &http.Server{Handler: d.handler(), ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	defer srv.Close()
-	fmt.Fprintf(stderr, "lachesis-fleet: listening on %s (tick %v, heartbeat %v)\n",
-		ln.Addr(), *tick, *heartbeat)
+	role := "leading"
+	if *standbyMode {
+		role = "standby"
+	}
+	fmt.Fprintf(stderr, "lachesis-fleet: %s listening on %s (%s, tick %v, heartbeat %v, lease ttl %v, %d peers)\n",
+		*id, ln.Addr(), role, *tick, *heartbeat, *leaseTTL, len(peerClients))
 
 	ticker := time.NewTicker(*tick)
 	defer ticker.Stop()
@@ -161,7 +192,11 @@ func run(args []string, stdout, stderr io.Writer, sigs chan os.Signal) error {
 	for {
 		select {
 		case sig := <-sigs:
+			// Graceful shutdown: release the lease (standbys promote without
+			// waiting out the TTL) and take a final state checkpoint.
 			fmt.Fprintf(stderr, "lachesis-fleet: %v, shutting down\n", sig)
+			d.shutdown()
+			fmt.Fprintln(stderr, "lachesis-fleet: final state checkpoint taken")
 			return nil
 		case <-ticker.C:
 			d.tick()

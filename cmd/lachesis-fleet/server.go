@@ -43,6 +43,30 @@ type fleetOptions struct {
 	flightDir string
 	// pprofEnabled mounts net/http/pprof under /debug/pprof/.
 	pprofEnabled bool
+	// id is this coordinator's HA identity (lease holder name). Empty
+	// defaults to "coordinator".
+	id string
+	// peers are the other coordinators (name -> client) for lease
+	// observation and checkpoint replication.
+	peers map[string]fleet.PeerClient
+	// leaseTTL is the leader-lease lifetime (default 3s).
+	leaseTTL time.Duration
+	// standby starts the daemon as a follower: it serves reads, applies
+	// checkpoints, and promotes itself only when the observed leader
+	// lease expires or is released. Default (false) acquires the lease at
+	// startup.
+	standby bool
+}
+
+// leaseView is the JSON shape of GET /lease. The embedded lease
+// marshals flat, so a peer's HTTPPeer client can decode it straight
+// into a fleet.LeaseInfo.
+type leaseView struct {
+	fleet.LeaseInfo
+	// Leading reports whether this coordinator currently holds the lease.
+	Leading bool `json:"leading"`
+	// ID is this coordinator's HA identity.
+	ID string `json:"id"`
 }
 
 // fleetDaemon owns the coordinator's moving parts and their HTTP
@@ -51,12 +75,18 @@ type fleetOptions struct {
 type fleetDaemon struct {
 	reg    *fleet.Registry
 	co     *fleet.Coordinator
+	lm     *fleet.LeaseManager
+	repl   *fleet.Replicator
+	fol    *fleet.Follower
+	fstore *fleet.Store
 	tel    *telemetry.Registry
 	trail  *core.AuditTrail
 	spans  *span.Recorder
 	flight *span.FlightRecorder
 	pprof  bool
 	start  time.Time
+
+	ctrFailovers *telemetry.Counter
 
 	mu sync.Mutex
 	// lastGood is the fleet-level stable payload: the last promoted
@@ -86,6 +116,30 @@ func newFleetDaemon(opts fleetOptions) *fleetDaemon {
 	d.co = fleet.NewCoordinator(opts.rollout, d.reg, opts.conns)
 	d.co.SetAudit(d.trail)
 	d.co.SetTelemetry(d.tel)
+	id := opts.id
+	if id == "" {
+		id = "coordinator"
+	}
+	d.lm = fleet.NewLeaseManager(fleet.LeaseConfig{ID: id, TTL: opts.leaseTTL})
+	d.lm.SetAudit(d.trail)
+	d.lm.SetTelemetry(d.tel)
+	d.repl = fleet.NewReplicator()
+	d.repl.SetAudit(d.trail)
+	d.repl.SetTelemetry(d.tel)
+	for name, pc := range opts.peers {
+		d.repl.AddPeer(name, pc)
+	}
+	d.fol = fleet.NewFollower(nil)
+	d.ctrFailovers = d.tel.Counter(fleet.MetricFleetFailoversTotal)
+	// Fencing: every push carries our lease epoch, and an agent rejecting
+	// it (it has seen a newer leader) deposes us on the spot.
+	d.co.SetEpoch(d.lm.FenceEpoch)
+	d.co.SetFencedHook(func(now time.Duration, agent string) {
+		d.lm.Deposed(now, agent)
+	})
+	if !opts.standby {
+		d.lm.Acquire(d.now())
+	}
 	// Tracing is always on: each rollout opens a "rollout" root span whose
 	// context parents every per-agent "push" and rides each HTTP hop as a
 	// Traceparent header, so one trace ID spans coordinator -> agent ->
@@ -111,6 +165,8 @@ func (d *fleetDaemon) now() time.Duration { return time.Since(d.start) }
 // reloaded.
 func (d *fleetDaemon) attachState(fs *fleet.Store, ps guard.PolicyStore) error {
 	now := d.now()
+	d.fstore = fs
+	d.fol = fleet.NewFollower(fs)
 	d.reg.SetStore(fs)
 	if err := d.reg.Restore(now); err != nil {
 		return fmt.Errorf("restore registry: %w", err)
@@ -118,6 +174,17 @@ func (d *fleetDaemon) attachState(fs *fleet.Store, ps guard.PolicyStore) error {
 	d.co.SetStore(fs)
 	if _, err := d.co.Resume(now); err != nil {
 		return fmt.Errorf("resume rollout: %w", err)
+	}
+	// Epochs must stay monotonic across restarts: fold in the persisted
+	// lease, then (if we came up leading) re-acquire above it — the lease
+	// file proves what epoch a previous incarnation reached, never that
+	// the lease is still ours.
+	d.lm.SetStore(fs)
+	if err := d.lm.Restore(now); err != nil {
+		return fmt.Errorf("restore lease: %w", err)
+	}
+	if d.lm.Leading() {
+		d.lm.Acquire(now)
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -133,16 +200,26 @@ func (d *fleetDaemon) attachState(fs *fleet.Store, ps guard.PolicyStore) error {
 	return nil
 }
 
-// tick runs one coordinator cycle: lease sweep, rollout advance, and
-// promotion bookkeeping (a freshly promoted candidate becomes the new
-// fleet-level last-good, persisted when a store is attached).
+// tick runs one coordinator cycle. Leading: lease renewal, sweep,
+// rollout advance, promotion bookkeeping (a freshly promoted candidate
+// becomes the new fleet-level last-good), and a replication checkpoint
+// to every standby. Standing by: observe the leader's lease (the
+// checkpoints it pushes plus a GET /lease poll as fallback) and promote
+// when it expires or is released.
 func (d *fleetDaemon) tick() {
 	now := d.now()
+	if !d.lm.Leading() {
+		d.observePeers(now)
+		if d.lm.Expired(now) {
+			d.promote(now)
+		}
+		return
+	}
+	d.lm.Renew(now)
 	d.reg.Sweep(now)
 	d.co.Tick(now)
 	st := d.co.Status()
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if st.Promotions > d.promotionsSeen && d.pending != nil {
 		d.promotionsSeen = st.Promotions
 		d.lastGood = d.pending
@@ -154,6 +231,118 @@ func (d *fleetDaemon) tick() {
 			}
 		}
 	}
+	d.mu.Unlock()
+	// A push fenced mid-tick deposed us: don't publish a checkpoint for a
+	// lease we no longer hold.
+	if d.lm.Leading() {
+		d.replicate(now)
+	}
+}
+
+// observePeers polls every peer's lease view into the lease manager.
+func (d *fleetDaemon) observePeers(now time.Duration) {
+	for _, name := range d.repl.Peers() {
+		pc := d.peer(name)
+		if pc == nil {
+			continue
+		}
+		if info, err := pc.Lease(); err == nil {
+			d.lm.Observe(info, now)
+		}
+	}
+}
+
+// peer resolves a registered peer client by name.
+func (d *fleetDaemon) peer(name string) fleet.PeerClient {
+	// The replicator owns the peer map; re-resolving through it keeps one
+	// source of truth.
+	return d.repl.Peer(name)
+}
+
+// replicate publishes a full-state checkpoint to every standby.
+func (d *fleetDaemon) replicate(now time.Duration) {
+	if len(d.repl.Peers()) == 0 {
+		return
+	}
+	d.mu.Lock()
+	lastGood := d.lastGood
+	d.mu.Unlock()
+	d.repl.Publish(now, fleet.Checkpoint{
+		Lease:    d.lm.Info(),
+		Registry: d.reg.Agents(),
+		Rollout:  d.co.State(),
+		LastGood: lastGood,
+	})
+}
+
+// promote is the standby takeover: acquire the lease with a bumped
+// epoch, adopt the last replicated checkpoint (registry leases
+// re-anchored, rollout resumed exactly where the dead leader left it —
+// Pushed flags plus the agents' idempotent 409 handshake guarantee no
+// double pushes), and start leading. Without any checkpoint the warm
+// state from the store (if attached) already loaded at startup.
+func (d *fleetDaemon) promote(now time.Duration) {
+	info := d.lm.Acquire(now)
+	if d.ctrFailovers != nil {
+		d.ctrFailovers.Inc()
+	}
+	active := false
+	if cp, ok := d.fol.Last(); ok {
+		d.reg.Adopt(now, cp.Registry)
+		active = d.co.Adopt(now, cp.Rollout)
+		d.mu.Lock()
+		if cp.LastGood != nil {
+			d.lastGood = cp.LastGood
+		}
+		if active {
+			d.pending = cp.Rollout.Payload
+		}
+		d.promotionsSeen = cp.Rollout.Promotions
+		d.mu.Unlock()
+	}
+	d.trail.Record(core.AuditEvent{At: now, Kind: fleet.AuditKindFleet,
+		Outcome: fmt.Sprintf("standby promoted to leader (epoch %d, rollout active: %v)", info.Epoch, active)})
+}
+
+// shutdown takes the final state checkpoint on SIGTERM/SIGINT: release
+// the lease (published to standbys so one promotes immediately instead
+// of waiting out the TTL) and persist registry, rollout, and last-good
+// through the attached stores.
+func (d *fleetDaemon) shutdown() {
+	now := d.now()
+	if d.lm.Leading() {
+		released := d.lm.Release(now)
+		d.mu.Lock()
+		lastGood := d.lastGood
+		d.mu.Unlock()
+		if len(d.repl.Peers()) > 0 {
+			d.repl.Publish(now, fleet.Checkpoint{
+				Lease:    released,
+				Registry: d.reg.Agents(),
+				Rollout:  d.co.State(),
+				LastGood: lastGood,
+			})
+		}
+	}
+	if d.fstore != nil {
+		if err := d.fstore.SaveRegistry(d.reg.Agents()); err != nil {
+			d.trail.Record(core.AuditEvent{At: now, Kind: fleet.AuditKindFleet,
+				Outcome: "WARNING: final registry checkpoint failed: " + err.Error()})
+		}
+		if err := d.fstore.SaveRollout(d.co.State()); err != nil {
+			d.trail.Record(core.AuditEvent{At: now, Kind: fleet.AuditKindFleet,
+				Outcome: "WARNING: final rollout checkpoint failed: " + err.Error()})
+		}
+	}
+	d.mu.Lock()
+	if d.policyStore != nil && d.lastGood != nil {
+		if err := d.policyStore.SaveLastGoodPolicy(d.lastGood); err != nil {
+			d.trail.Record(core.AuditEvent{At: now, Kind: fleet.AuditKindFleet,
+				Outcome: "WARNING: final last-good checkpoint failed: " + err.Error()})
+		}
+	}
+	d.mu.Unlock()
+	d.trail.Record(core.AuditEvent{At: now, Kind: fleet.AuditKindFleet, Outcome: "shutdown: final state checkpoint taken"})
 }
 
 // propose stages a candidate payload fleet-wide. The rollback target is
@@ -199,6 +388,24 @@ type fleetHealth struct {
 	Status  string            `json:"status"` // "ok" or "degraded"
 	Agents  map[string]int    `json:"agents"` // count per lease state
 	Rollout fleet.FleetStatus `json:"rollout"`
+	// Leading / Epoch / Holder summarize the HA lease view.
+	Leading bool   `json:"leading"`
+	Epoch   int64  `json:"epoch"`
+	Holder  string `json:"holder,omitempty"`
+}
+
+// standby answers a write on a non-leading coordinator: 503 plus a
+// leader hint, so beacons and operators fail over instead of mutating
+// follower state.
+func (d *fleetDaemon) standby(w http.ResponseWriter) bool {
+	if d.lm.Leading() {
+		return false
+	}
+	info := d.lm.Info()
+	w.Header().Set(fleet.EpochHeader, strconv.FormatInt(info.Epoch, 10))
+	http.Error(w, fmt.Sprintf("standby: not leading (leader %s, epoch %d)", info.Holder, info.Epoch),
+		http.StatusServiceUnavailable)
+	return true
 }
 
 // handler builds the coordinator HTTP mux.
@@ -208,6 +415,9 @@ func (d *fleetDaemon) handler() http.Handler {
 	mux.HandleFunc("/register", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if d.standby(w) {
 			return
 		}
 		var req fleet.RegisterRequest
@@ -220,9 +430,13 @@ func (d *fleetDaemon) handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		// The epoch in the response ratchets the agent's fencing gate, so
+		// the whole fleet learns about a new leader within one
+		// registration round — not only the agents it pushes to.
 		writeJSON(w, http.StatusOK, fleet.RegisterResponse{
 			Generation: rec.Generation,
 			IntervalMs: d.reg.Config().HeartbeatInterval.Milliseconds(),
+			Epoch:      d.lm.FenceEpoch(),
 		})
 	})
 
@@ -231,11 +445,15 @@ func (d *fleetDaemon) handler() http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		if d.standby(w) {
+			return
+		}
 		var req fleet.HeartbeatRequest
 		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		w.Header().Set(fleet.EpochHeader, strconv.FormatInt(d.lm.FenceEpoch(), 10))
 		switch err := d.reg.Heartbeat(d.now(), req.ID); {
 		case errors.Is(err, fleet.ErrUnknownAgent):
 			// 404 tells the beacon to re-register (new lease, new generation).
@@ -245,6 +463,57 @@ func (d *fleetDaemon) handler() http.Handler {
 		default:
 			w.WriteHeader(http.StatusNoContent)
 		}
+	})
+
+	mux.HandleFunc("/lease", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, leaseView{LeaseInfo: d.lm.Info(), Leading: d.lm.Leading(), ID: d.lm.Holder()})
+	})
+
+	mux.HandleFunc("/replicate", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var cp fleet.Checkpoint
+		if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&cp); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		now := d.now()
+		// Observing the checkpoint's lease heals split brain from either
+		// side: a newer epoch deposes us if we were leading...
+		d.lm.Observe(cp.Lease, now)
+		if d.lm.Leading() {
+			// ...and if we still lead, the SENDER is the stale leader: fence
+			// its replication stream exactly like a stale push.
+			info := d.lm.Info()
+			w.Header().Set(fleet.EpochHeader, strconv.FormatInt(info.Epoch, 10))
+			http.Error(w, fmt.Sprintf("fenced: checkpoint epoch %d < leader epoch %d", cp.Lease.Epoch, info.Epoch),
+				http.StatusForbidden)
+			return
+		}
+		if err := d.fol.Apply(cp); err != nil {
+			if fleet.IsFenced(err) {
+				http.Error(w, err.Error(), http.StatusForbidden)
+			} else {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		// Mirror the leader's last-good so a promotion (or a standby
+		// restart) rolls back to the right payload.
+		d.mu.Lock()
+		if cp.LastGood != nil {
+			d.lastGood = cp.LastGood
+			if d.policyStore != nil {
+				if err := d.policyStore.SaveLastGoodPolicy(cp.LastGood); err != nil {
+					d.trail.Record(core.AuditEvent{At: now, Kind: fleet.AuditKindFleet,
+						Outcome: "WARNING: persisting replicated last-good failed: " + err.Error()})
+				}
+			}
+		}
+		d.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
 	})
 
 	mux.HandleFunc("/fleet/agents", func(w http.ResponseWriter, r *http.Request) {
@@ -258,6 +527,9 @@ func (d *fleetDaemon) handler() http.Handler {
 		case http.MethodGet:
 			writeJSON(w, http.StatusOK, d.co.Status())
 		case http.MethodPost:
+			if d.standby(w) {
+				return
+			}
 			body, err := io.ReadAll(io.LimitReader(r.Body, maxPolicyPayload))
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusBadRequest)
@@ -285,7 +557,9 @@ func (d *fleetDaemon) handler() http.Handler {
 				active++
 			}
 		}
-		h := fleetHealth{Status: "ok", Agents: agents, Rollout: d.co.Status()}
+		info := d.lm.Info()
+		h := fleetHealth{Status: "ok", Agents: agents, Rollout: d.co.Status(),
+			Leading: d.lm.Leading(), Epoch: info.Epoch, Holder: info.Holder}
 		code := http.StatusOK
 		if active == 0 && len(d.reg.Agents()) > 0 {
 			h.Status = "degraded" // a fleet with zero reachable agents is not ok

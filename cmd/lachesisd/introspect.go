@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"lachesis/internal/core"
+	"lachesis/internal/fleet"
 	"lachesis/internal/guard"
 	"lachesis/internal/reconcile"
 	"lachesis/internal/span"
@@ -180,6 +182,11 @@ type introspectionDeps struct {
 	// trace context (zero when the caller sent no Traceparent header).
 	// nil disables the endpoint.
 	propose func(raw []byte, parent span.Context) error
+	// fence admits or rejects a push's fencing epoch (the
+	// X-Lachesis-Epoch header) BEFORE propose runs: a *fleet.FencedError
+	// means a deposed coordinator is pushing and the request gets a 403.
+	// Called with mu held; nil admits everything (unfenced agent).
+	fence func(epoch int64) error
 	// spans backs GET /debug/trace (recent spans, ?trace=<id>). nil
 	// hides the endpoint.
 	spans *span.Recorder
@@ -267,6 +274,20 @@ func newIntrospectionHandler(d introspectionDeps) http.Handler {
 				http.Error(w, err.Error(), http.StatusBadRequest)
 				return
 			}
+			// A fleet push carries its coordinator's fencing epoch as an
+			// X-Lachesis-Epoch header. The gate rejects epochs below the
+			// highest this agent has witnessed BEFORE the payload is
+			// staged: a deposed leader's stale push gets a 403, never a
+			// rollout. Absent header (epoch 0) means a local, unfenced
+			// proposal and is always admitted.
+			var epoch int64
+			if h := r.Header.Get(fleet.EpochHeader); h != "" {
+				epoch, err = strconv.ParseInt(h, 10, 64)
+				if err != nil {
+					http.Error(w, fmt.Sprintf("bad %s header: %v", fleet.EpochHeader, err), http.StatusBadRequest)
+					return
+				}
+			}
 			// A fleet push carries its rollout's trace context out-of-band
 			// as a Traceparent header; the staged canary joins that trace,
 			// so one trace ID follows coordinator -> agent -> verdict. An
@@ -274,9 +295,18 @@ func newIntrospectionHandler(d introspectionDeps) http.Handler {
 			// rollout opens a local trace instead.
 			parent, _ := span.ParseTraceparent(r.Header.Get(span.TraceparentHeader))
 			mu.Lock()
-			err = d.propose(body, parent)
+			if d.fence != nil {
+				err = d.fence(epoch)
+			}
+			if err == nil {
+				err = d.propose(body, parent)
+			}
 			st := d.canary.Status()
 			mu.Unlock()
+			if fleet.IsFenced(err) {
+				http.Error(w, err.Error(), http.StatusForbidden)
+				return
+			}
 			if err != nil {
 				// 409: a rollout already in flight (or a bad payload)
 				// must not silently displace the running candidate.

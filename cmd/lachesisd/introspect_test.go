@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"lachesis/internal/core"
+	"lachesis/internal/fleet"
 	"lachesis/internal/guard"
 	"lachesis/internal/oslinux"
 	"lachesis/internal/reconcile"
@@ -571,5 +572,84 @@ func TestMetricsBuildInfoAndUptime(t *testing.T) {
 				t.Errorf("uptime %q, want >= 3s", line)
 			}
 		}
+	}
+}
+
+func TestPolicyEndpointFencesStaleCoordinatorEpochs(t *testing.T) {
+	mw, trail, _ := newTestDaemon(t, nil)
+	gate, err := fleet.NewEpochGate("n1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate.Observe(5) // this agent has already seen epoch 5
+
+	var mu sync.Mutex
+	proposals := 0
+	canary := guard.NewCanary(guard.Config{Window: 2})
+	srv := httptest.NewServer(newIntrospectionHandler(introspectionDeps{
+		mu: &mu, mw: mw, trail: trail, canary: canary,
+		propose: func([]byte, span.Context) error { proposals++; return nil },
+		fence:   gate.Admit,
+	}))
+	defer srv.Close()
+
+	post := func(epochHeader string) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/policy",
+			strings.NewReader(`{"priorities":{"count":5}}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epochHeader != "" {
+			req.Header.Set(fleet.EpochHeader, epochHeader)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// A deposed coordinator's stale epoch is fenced before the payload
+	// is ever staged.
+	if code := post("4"); code != http.StatusForbidden {
+		t.Fatalf("stale epoch POST = %d, want 403", code)
+	}
+	if proposals != 0 {
+		t.Fatalf("proposals = %d after fenced push, want 0", proposals)
+	}
+	if gate.Rejected() != 1 {
+		t.Fatalf("gate rejected = %d, want 1", gate.Rejected())
+	}
+
+	// A malformed header is a client error, not a fence.
+	if code := post("not-a-number"); code != http.StatusBadRequest {
+		t.Fatalf("bad header POST = %d, want 400", code)
+	}
+	if proposals != 0 {
+		t.Fatalf("proposals = %d after bad header, want 0", proposals)
+	}
+
+	// The current epoch and unfenced local pushes are admitted.
+	if code := post("5"); code != http.StatusAccepted {
+		t.Fatalf("current epoch POST = %d, want 202", code)
+	}
+	if code := post(""); code != http.StatusAccepted {
+		t.Fatalf("unfenced POST = %d, want 202", code)
+	}
+	if proposals != 2 {
+		t.Fatalf("proposals = %d, want 2", proposals)
+	}
+
+	// A newer epoch ratchets the gate: the old leader is now fenced.
+	if code := post("9"); code != http.StatusAccepted {
+		t.Fatalf("newer epoch POST = %d, want 202", code)
+	}
+	if gate.Epoch() != 9 {
+		t.Fatalf("gate epoch = %d, want 9", gate.Epoch())
+	}
+	if code := post("5"); code != http.StatusForbidden {
+		t.Fatalf("previously-valid epoch POST = %d, want 403 after ratchet", code)
 	}
 }

@@ -46,6 +46,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -189,7 +190,9 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 			"reconcile actual OS state against desired state this often (0 disables; needs a non-dry-run system)")
 		fleetAddr = fs.String("fleet", "",
 			"fleet coordinator base URL to register with and heartbeat (empty = standalone)")
-		agentID   = fs.String("agent-id", "", "agent id reported to the fleet coordinator (default: hostname)")
+		coordinators = fs.String("coordinators", "",
+			"comma-separated additional coordinator addresses the beacon fails over to when the primary dies")
+		agentID = fs.String("agent-id", "", "agent id reported to the fleet coordinator (default: hostname)")
 		advertise = fs.String("advertise", "",
 			"address the coordinator should reach this agent's policy API on (default: the -introspect address)")
 		pprofEnabled = fs.Bool("pprof", false,
@@ -222,6 +225,9 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	}
 	if *fleetAddr != "" && *advertise == "" && *introspect == "" {
 		return errors.New("-fleet needs -introspect (or -advertise): the coordinator drives this agent through its policy API")
+	}
+	if *coordinators != "" && *fleetAddr == "" {
+		return errors.New("-coordinators needs -fleet: the failover list extends the primary, it does not replace it")
 	}
 	raw, err := os.ReadFile(*configPath)
 	if err != nil {
@@ -339,6 +345,29 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	ctl.SetTelemetry(mw.Telemetry())
 	co.SetTelemetry(mw.Telemetry(), "static")
 	telemetry.RegisterBuildInfo(mw.Telemetry(), "lachesisd")
+
+	// The agent's identity, needed both by the fleet beacon and by the
+	// fencing gate's audit records.
+	id := *agentID
+	if id == "" {
+		if id, _ = os.Hostname(); id == "" {
+			id = fmt.Sprintf("lachesisd-%d", os.Getpid())
+		}
+	}
+
+	// The fencing gate ratchets the highest coordinator epoch this agent
+	// has witnessed (persisted with -state, so a restart cannot be
+	// clobbered by a deposed leader) and rejects pushes from below it.
+	var egateStore fleet.EpochStore
+	if store != nil {
+		egateStore = store
+	}
+	egate, err := fleet.NewEpochGate(id, egateStore)
+	if err != nil {
+		return fmt.Errorf("fencing epoch: %w", err)
+	}
+	egate.SetAudit(trail)
+	egate.SetTelemetry(mw.Telemetry())
 
 	// Causal tracing is always on: the bounded span ring backs GET
 	// /debug/trace and the flight recorder, at the production policy
@@ -549,6 +578,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 			propose: func(raw []byte, parent span.Context) error {
 				return propose(time.Since(start), raw, parent)
 			},
+			fence: egate.Admit,
 		})
 		if err != nil {
 			return fmt.Errorf("introspection: %w", err)
@@ -564,18 +594,22 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	// the local decision cycle, which keeps enforcing the last-good
 	// policy on its own.
 	if *fleetAddr != "" {
-		id := *agentID
-		if id == "" {
-			if id, _ = os.Hostname(); id == "" {
-				id = fmt.Sprintf("lachesisd-%d", os.Getpid())
-			}
-		}
 		adv := *advertise
 		if adv == "" {
 			adv = introspectAddr
 		}
+		var backups []string
+		for _, addr := range strings.Split(*coordinators, ",") {
+			if addr = strings.TrimSpace(addr); addr != "" {
+				backups = append(backups, addr)
+			}
+		}
 		beacon, err := fleet.StartBeacon(fleet.BeaconConfig{
-			Coordinator: *fleetAddr, ID: id, Addr: adv,
+			Coordinator: *fleetAddr, Coordinators: backups, ID: id, Addr: adv,
+			// Register/heartbeat responses carry the coordinator's fencing
+			// epoch, so the whole fleet ratchets within one heartbeat round
+			// of a failover — not only the agents a new leader pushes to.
+			ObserveEpoch: egate.Observe,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(stderr, "lachesisd: fleet: "+format+"\n", args...)
 			},
@@ -584,7 +618,8 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 			return fmt.Errorf("fleet beacon: %w", err)
 		}
 		defer beacon.Close()
-		fmt.Fprintf(stderr, "lachesisd: fleet: joining %s as %q (policy API on %s)\n", *fleetAddr, id, adv)
+		fmt.Fprintf(stderr, "lachesisd: fleet: joining %s as %q (policy API on %s, %d failover coordinators)\n",
+			*fleetAddr, id, adv, len(backups))
 	}
 
 	// Warm restart: desired state loaded from a previous life is

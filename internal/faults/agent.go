@@ -52,7 +52,11 @@ type Agent struct {
 	injected int
 }
 
-var _ fleet.AgentClient = (*Agent)(nil)
+var (
+	_ fleet.AgentClient = (*Agent)(nil)
+	_ fleet.TracedAgent = (*Agent)(nil)
+	_ fleet.FencedAgent = (*Agent)(nil)
+)
 
 // WrapAgent wraps an agent client with a fault plan.
 func WrapAgent(inner fleet.AgentClient, plan AgentPlan) *Agent {
@@ -63,6 +67,38 @@ func WrapAgent(inner fleet.AgentClient, plan AgentPlan) *Agent {
 func (a *Agent) Propose(payload []byte) (guard.Status, error) {
 	if err := a.gate("propose"); err != nil {
 		return guard.Status{}, err
+	}
+	return a.inner.Propose(payload)
+}
+
+// ProposeTraced implements fleet.TracedAgent, delegating to the inner
+// client's traced path when it has one (plain Propose otherwise, which
+// drops only the trace, never the payload).
+func (a *Agent) ProposeTraced(payload []byte, traceparent string) (guard.Status, error) {
+	if err := a.gate("propose"); err != nil {
+		return guard.Status{}, err
+	}
+	if t, ok := a.inner.(fleet.TracedAgent); ok {
+		return t.ProposeTraced(payload, traceparent)
+	}
+	return a.inner.Propose(payload)
+}
+
+// ProposeFenced implements fleet.FencedAgent, delegating to the inner
+// client's fenced path when it has one. An inner client without fencing
+// falls back to the traced path — the fault wrapper must never let an
+// epoch bypass a gate the real client would have enforced, and the
+// in-process harness nodes as well as HTTPAgent all implement
+// fleet.FencedAgent.
+func (a *Agent) ProposeFenced(payload []byte, traceparent string, epoch int64) (guard.Status, error) {
+	if err := a.gate("propose"); err != nil {
+		return guard.Status{}, err
+	}
+	if f, ok := a.inner.(fleet.FencedAgent); ok {
+		return f.ProposeFenced(payload, traceparent, epoch)
+	}
+	if t, ok := a.inner.(fleet.TracedAgent); ok {
+		return t.ProposeTraced(payload, traceparent)
 	}
 	return a.inner.Propose(payload)
 }

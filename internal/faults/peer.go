@@ -1,0 +1,116 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"lachesis/internal/driver"
+	"lachesis/internal/fleet"
+)
+
+// PeerPlan configures a fault-injecting wrapper around a
+// fleet.PeerClient: one coordinator's flaky view of another. It drives
+// the HA failure modes the failover experiment needs — a dead or
+// partitioned leader (Partitions), a standby that loses only lease
+// observation (LeaseLoss: GET /lease fails while replication still
+// flows), and replication lag (ReplicationLag: checkpoints dropped
+// while the lease stays observable, so a promoting standby resumes
+// from slightly stale state and must rely on the idempotent 409
+// handshake). Windows run on virtual time, so failover chaos replays
+// deterministically.
+type PeerPlan struct {
+	// Seed drives all probabilistic faults (0 is a valid seed).
+	Seed int64
+	// FailRate is the probability in [0,1] that any one call fails with
+	// a transient transport error.
+	FailRate float64
+	// Partitions are virtual-time windows during which every call fails —
+	// the inter-coordinator link is down.
+	Partitions Windows
+	// LeaseLoss are windows during which only Lease() fails: the standby
+	// goes blind on leader liveness while checkpoints still arrive.
+	LeaseLoss Windows
+	// ReplicationLag are windows during which only Replicate() fails:
+	// checkpoints are dropped, the standby's state falls behind while the
+	// lease stays fresh.
+	ReplicationLag Windows
+	// Clock supplies virtual time for window checks (nil = all windows
+	// inactive unless they contain 0).
+	Clock func() time.Duration
+}
+
+// Peer wraps a fleet.PeerClient with the faults of a PeerPlan.
+type Peer struct {
+	inner fleet.PeerClient
+	plan  PeerPlan
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	calls    int
+	injected int
+}
+
+var _ fleet.PeerClient = (*Peer)(nil)
+
+// WrapPeer wraps a peer client with a fault plan.
+func WrapPeer(inner fleet.PeerClient, plan PeerPlan) *Peer {
+	return &Peer{inner: inner, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// Lease implements fleet.PeerClient.
+func (p *Peer) Lease() (fleet.LeaseInfo, error) {
+	if err := p.gate("lease", p.plan.LeaseLoss); err != nil {
+		return fleet.LeaseInfo{}, err
+	}
+	return p.inner.Lease()
+}
+
+// Replicate implements fleet.PeerClient.
+func (p *Peer) Replicate(cp fleet.Checkpoint) error {
+	if err := p.gate("replicate", p.plan.ReplicationLag); err != nil {
+		return err
+	}
+	return p.inner.Replicate(cp)
+}
+
+// Injected returns how many calls this wrapper failed.
+func (p *Peer) Injected() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected
+}
+
+// Calls returns how many calls the wrapper saw.
+func (p *Peer) Calls() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.calls
+}
+
+// gate applies the plan to one call: a partition, the call-specific
+// window, or a probabilistic failure returns a transient error.
+func (p *Peer) gate(op string, specific Windows) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls++
+	var now time.Duration
+	if p.plan.Clock != nil {
+		now = p.plan.Clock()
+	}
+	kind := ""
+	switch {
+	case p.plan.Partitions.Contains(now):
+		kind = "partitioned"
+	case specific.Contains(now):
+		kind = op + "-window"
+	case p.plan.FailRate > 0 && p.rng.Float64() < p.plan.FailRate:
+		kind = "flaky"
+	}
+	if kind == "" {
+		return nil
+	}
+	p.injected++
+	return driver.MarkTransient(fmt.Errorf("%w: peer %s (%s)", ErrInjected, kind, op))
+}

@@ -1,0 +1,124 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"lachesis/internal/core"
+	"lachesis/internal/fleet"
+)
+
+// stubPeer is a healthy fleet.PeerClient for wrapping.
+type stubPeer struct {
+	leases     int
+	replicates int
+}
+
+func (s *stubPeer) Lease() (fleet.LeaseInfo, error) {
+	s.leases++
+	return fleet.LeaseInfo{Epoch: 1, Holder: "a", RenewedSeq: int64(s.leases)}, nil
+}
+
+func (s *stubPeer) Replicate(fleet.Checkpoint) error {
+	s.replicates++
+	return nil
+}
+
+func TestPeerPartitionGatesBothCalls(t *testing.T) {
+	now := time.Duration(0)
+	inner := &stubPeer{}
+	p := WrapPeer(inner, PeerPlan{
+		Partitions: Windows{{From: 10 * time.Second, To: 20 * time.Second}},
+		Clock:      func() time.Duration { return now },
+	})
+
+	if _, err := p.Lease(); err != nil {
+		t.Fatalf("Lease outside partition = %v", err)
+	}
+	if err := p.Replicate(fleet.Checkpoint{Seq: 1}); err != nil {
+		t.Fatalf("Replicate outside partition = %v", err)
+	}
+
+	now = 15 * time.Second
+	if _, err := p.Lease(); !errors.Is(err, ErrInjected) || !core.IsTransient(err) {
+		t.Fatalf("Lease inside partition = %v, want injected transient", err)
+	}
+	if err := p.Replicate(fleet.Checkpoint{Seq: 2}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Replicate inside partition = %v, want injected", err)
+	}
+	if inner.leases != 1 || inner.replicates != 1 {
+		t.Fatalf("inner saw %d/%d calls, want 1/1 (partition must not leak through)", inner.leases, inner.replicates)
+	}
+
+	now = 25 * time.Second
+	if _, err := p.Lease(); err != nil {
+		t.Fatalf("Lease after partition = %v", err)
+	}
+	if p.Calls() != 5 || p.Injected() != 2 {
+		t.Fatalf("calls=%d injected=%d, want 5/2", p.Calls(), p.Injected())
+	}
+}
+
+func TestPeerLeaseLossBlindsOnlyLeaseObservation(t *testing.T) {
+	// The standby goes blind on leader liveness while checkpoints still
+	// arrive — the failure mode where a standby must NOT promote just
+	// because GET /lease fails (replication receipt doubles as liveness).
+	now := 5 * time.Second
+	inner := &stubPeer{}
+	p := WrapPeer(inner, PeerPlan{
+		LeaseLoss: Windows{{From: 0, To: 10 * time.Second}},
+		Clock:     func() time.Duration { return now },
+	})
+	if _, err := p.Lease(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Lease inside loss window = %v, want injected", err)
+	}
+	if err := p.Replicate(fleet.Checkpoint{Seq: 1}); err != nil {
+		t.Fatalf("Replicate must still flow during lease loss: %v", err)
+	}
+	if inner.replicates != 1 || inner.leases != 0 {
+		t.Fatalf("inner saw leases=%d replicates=%d, want 0/1", inner.leases, inner.replicates)
+	}
+}
+
+func TestPeerReplicationLagDropsOnlyCheckpoints(t *testing.T) {
+	// Checkpoints are dropped while the lease stays observable: the
+	// standby's state falls behind, so a later promotion resumes from
+	// stale state and leans on the idempotent re-push handshake.
+	now := 5 * time.Second
+	inner := &stubPeer{}
+	p := WrapPeer(inner, PeerPlan{
+		ReplicationLag: Windows{{From: 0, To: 10 * time.Second}},
+		Clock:          func() time.Duration { return now },
+	})
+	if err := p.Replicate(fleet.Checkpoint{Seq: 1}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Replicate inside lag window = %v, want injected", err)
+	}
+	if _, err := p.Lease(); err != nil {
+		t.Fatalf("Lease must still flow during replication lag: %v", err)
+	}
+	now = 12 * time.Second
+	if err := p.Replicate(fleet.Checkpoint{Seq: 2}); err != nil {
+		t.Fatalf("Replicate after lag window = %v", err)
+	}
+	if inner.replicates != 1 {
+		t.Fatalf("inner replicates = %d, want 1 (only the post-window checkpoint)", inner.replicates)
+	}
+}
+
+func TestPeerFailRateIsSeededAndDeterministic(t *testing.T) {
+	run := func() (injected int) {
+		p := WrapPeer(&stubPeer{}, PeerPlan{Seed: 42, FailRate: 0.5})
+		for i := 0; i < 100; i++ {
+			_, _ = p.Lease()
+		}
+		return p.Injected()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed injected %d then %d faults, want deterministic", a, b)
+	}
+	if a == 0 || a == 100 {
+		t.Fatalf("injected %d/100 at rate 0.5, want a mix", a)
+	}
+}

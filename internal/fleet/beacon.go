@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -27,6 +29,10 @@ type RegisterResponse struct {
 	Generation int `json:"generation"`
 	// IntervalMs is the heartbeat period the coordinator expects.
 	IntervalMs int64 `json:"interval_ms"`
+	// Epoch is the coordinator's current fencing epoch; the beacon feeds
+	// it to the agent's EpochGate so every agent learns about a new
+	// leader within one registration round, not only when pushed to.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // HeartbeatRequest is the body of POST /heartbeat.
@@ -37,7 +43,12 @@ type HeartbeatRequest struct {
 // BeaconConfig tunes an agent's registration/heartbeat loop.
 type BeaconConfig struct {
 	// Coordinator is the fleet coordinator's base URL or "host:port".
+	// With Coordinators set it is simply tried first.
 	Coordinator string
+	// Coordinators is the full failover list: the beacon registers with
+	// the first coordinator that accepts (standbys answer 503) and
+	// rotates to the next on registration or repeated heartbeat failure.
+	Coordinators []string
 	// ID is this agent's stable identity; Addr the introspection address
 	// it advertises (where the coordinator reaches its /policy).
 	ID   string
@@ -47,34 +58,77 @@ type BeaconConfig struct {
 	Interval time.Duration
 	// Timeout bounds each HTTP call (default 2s).
 	Timeout time.Duration
+	// MaxBackoff caps the exponential retry backoff after consecutive
+	// failures (default 30s). The base is Interval; jitter spreads a
+	// whole fleet's retries so a restarted coordinator does not get a
+	// synchronized re-registration stampede.
+	MaxBackoff time.Duration
+	// Jitter is the ± fraction applied to every backoff delay
+	// (default 0.2).
+	Jitter float64
+	// FailoverAfter is how many consecutive heartbeat failures to
+	// tolerate before abandoning the current coordinator and rotating to
+	// the next (default 3). Registration failures rotate immediately.
+	FailoverAfter int
+	// Rand is the jitter source, injectable for tests (nil: math/rand).
+	Rand func() float64
+	// ObserveEpoch receives the coordinator's fencing epoch from
+	// register/heartbeat responses (typically EpochGate.Observe). nil
+	// discards.
+	ObserveEpoch func(epoch int64)
 	// Logf receives beacon lifecycle messages (nil discards).
 	Logf func(format string, args ...any)
 }
 
-// Beacon keeps one agent registered with the fleet coordinator: it
+// Beacon keeps one agent registered with a fleet coordinator: it
 // registers, then heartbeats every Interval, and re-registers whenever
 // the coordinator stops recognizing it (coordinator restart, lease
-// eviction after a partition). Losing the coordinator entirely is
-// logged and retried forever — never fatal, the daemon keeps enforcing
-// its policy autonomously and the fleet reattaches when the coordinator
-// returns.
+// eviction after a partition). Consecutive failures back off
+// exponentially with jitter up to MaxBackoff, and with a coordinator
+// list the beacon fails over to the next coordinator — so a fleet
+// survives its leader by reattaching to the promoted standby. Losing
+// every coordinator is logged and retried forever — never fatal, the
+// daemon keeps enforcing its policy autonomously.
 type Beacon struct {
-	cfg  BeaconConfig
-	c    *http.Client
-	base string
+	cfg   BeaconConfig
+	c     *http.Client
+	bases []string
 
 	stop chan struct{}
 	wg   sync.WaitGroup
 
+	cur         atomic.Int64
 	beats       atomic.Int64
 	registers   atomic.Int64
 	reRegisters atomic.Int64
+	failovers   atomic.Int64
 }
 
 // StartBeacon launches the loop. Close stops it.
 func StartBeacon(cfg BeaconConfig) (*Beacon, error) {
-	if cfg.Coordinator == "" || cfg.ID == "" {
-		return nil, fmt.Errorf("fleet: beacon needs a coordinator URL and an agent id")
+	var bases []string
+	for _, c := range append([]string{cfg.Coordinator}, cfg.Coordinators...) {
+		c = strings.TrimSpace(c)
+		if c == "" {
+			continue
+		}
+		if !strings.Contains(c, "://") {
+			c = "http://" + c
+		}
+		c = strings.TrimRight(c, "/")
+		dup := false
+		for _, have := range bases {
+			if have == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			bases = append(bases, c)
+		}
+	}
+	if len(bases) == 0 || cfg.ID == "" {
+		return nil, fmt.Errorf("fleet: beacon needs at least one coordinator URL and an agent id")
 	}
 	if cfg.Interval <= 0 {
 		cfg.Interval = time.Second
@@ -82,18 +136,26 @@ func StartBeacon(cfg BeaconConfig) (*Beacon, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 2 * time.Second
 	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 30 * time.Second
+	}
+	if cfg.Jitter <= 0 {
+		cfg.Jitter = 0.2
+	}
+	if cfg.FailoverAfter <= 0 {
+		cfg.FailoverAfter = 3
+	}
+	if cfg.Rand == nil {
+		cfg.Rand = rand.Float64
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	base := cfg.Coordinator
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
-	}
 	b := &Beacon{
-		cfg:  cfg,
-		c:    &http.Client{Timeout: cfg.Timeout},
-		base: strings.TrimRight(base, "/"),
-		stop: make(chan struct{}),
+		cfg:   cfg,
+		c:     &http.Client{Timeout: cfg.Timeout},
+		bases: bases,
+		stop:  make(chan struct{}),
 	}
 	b.wg.Add(1)
 	go b.loop()
@@ -116,11 +178,24 @@ func (b *Beacon) Registers() int64 { return b.registers.Load() }
 // eviction) and the beacon had to re-register.
 func (b *Beacon) ReRegisters() int64 { return b.reRegisters.Load() }
 
-// loop drives register → heartbeat…, re-registering on 404.
+// Failovers returns how often the beacon rotated to another
+// coordinator after the current one failed or stood by.
+func (b *Beacon) Failovers() int64 { return b.failovers.Load() }
+
+// Coordinator returns the coordinator base URL the beacon currently
+// targets.
+func (b *Beacon) Coordinator() string {
+	return b.bases[int(b.cur.Load())%len(b.bases)]
+}
+
+// loop drives register → heartbeat…, re-registering on 404, backing
+// off exponentially on failure, and rotating coordinators on
+// registration errors or FailoverAfter consecutive heartbeat failures.
 func (b *Beacon) loop() {
 	defer b.wg.Done()
 	interval := b.cfg.Interval
 	registered := false
+	failures := 0
 	t := time.NewTimer(0) // fire immediately for the first registration
 	defer t.Stop()
 	for {
@@ -129,40 +204,93 @@ func (b *Beacon) loop() {
 			return
 		case <-t.C:
 		}
+		base := b.Coordinator()
 		if !registered {
-			if iv, err := b.register(); err != nil {
-				b.cfg.Logf("fleet beacon: register with %s failed (will retry): %v", b.base, err)
+			if iv, err := b.register(base); err != nil {
+				failures++
+				b.rotate(base, fmt.Sprintf("register failed: %v", err))
 			} else {
 				registered = true
+				failures = 0
 				if iv > 0 {
 					interval = iv
 				}
 				if b.registers.Add(1) > 1 {
 					b.reRegisters.Add(1)
 				}
-				b.cfg.Logf("fleet beacon: registered as %s (heartbeat %v)", b.cfg.ID, interval)
+				b.cfg.Logf("fleet beacon: registered as %s with %s (heartbeat %v)", b.cfg.ID, base, interval)
 			}
-		} else if err := b.heartbeat(); err != nil {
+		} else if err := b.heartbeat(base); err != nil {
 			if isUnknownAgent(err) {
 				// The coordinator no longer knows us (restart without state,
-				// or our lease was evicted during a partition): re-register.
+				// or our lease was evicted during a partition): re-register
+				// there — the coordinator itself is healthy.
 				registered = false
 				b.cfg.Logf("fleet beacon: lease lost, re-registering: %v", err)
 			} else {
-				b.cfg.Logf("fleet beacon: heartbeat failed: %v", err)
+				failures++
+				b.cfg.Logf("fleet beacon: heartbeat failed (%d consecutive): %v", failures, err)
+				if failures >= b.cfg.FailoverAfter {
+					registered = false
+					failures = 0
+					b.rotate(base, "heartbeats exhausted")
+				}
 			}
 		} else {
+			failures = 0
 			b.beats.Add(1)
 		}
-		t.Reset(interval)
+		t.Reset(b.delay(interval, failures))
+	}
+}
+
+// rotate advances to the next coordinator in the list.
+func (b *Beacon) rotate(from, why string) {
+	if len(b.bases) > 1 {
+		b.cur.Add(1)
+		b.failovers.Add(1)
+		b.cfg.Logf("fleet beacon: failing over from %s to %s: %s", from, b.Coordinator(), why)
+	} else {
+		b.cfg.Logf("fleet beacon: %s unavailable (will retry): %s", from, why)
+	}
+}
+
+// delay returns the next wait: the heartbeat interval while healthy, a
+// jittered capped exponential backoff after n consecutive failures.
+func (b *Beacon) delay(interval time.Duration, n int) time.Duration {
+	d := interval
+	if n > 0 {
+		shift := n - 1
+		if shift > 16 {
+			shift = 16
+		}
+		d = interval << shift
+		if d > b.cfg.MaxBackoff || d <= 0 {
+			d = b.cfg.MaxBackoff
+		}
+	}
+	// Jitter every delay (not just backoffs): fleets whose beacons all
+	// started together must not beat in lockstep.
+	f := 1 + b.cfg.Jitter*(2*b.cfg.Rand()-1)
+	d = time.Duration(float64(d) * f)
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// observeEpoch forwards a coordinator-reported epoch to the gate.
+func (b *Beacon) observeEpoch(epoch int64) {
+	if epoch > 0 && b.cfg.ObserveEpoch != nil {
+		b.cfg.ObserveEpoch(epoch)
 	}
 }
 
 // register POSTs /register and returns the coordinator's heartbeat
 // interval (0 keeps the configured one).
-func (b *Beacon) register() (time.Duration, error) {
+func (b *Beacon) register(base string) (time.Duration, error) {
 	body, _ := json.Marshal(RegisterRequest{ID: b.cfg.ID, Addr: b.cfg.Addr})
-	resp, err := b.c.Post(b.base+"/register", "application/json", bytes.NewReader(body))
+	resp, err := b.c.Post(base+"/register", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return 0, err
 	}
@@ -175,18 +303,23 @@ func (b *Beacon) register() (time.Duration, error) {
 	if err := json.Unmarshal(raw, &rr); err != nil {
 		return 0, nil // tolerate a bodyless 200: keep the configured interval
 	}
+	b.observeEpoch(rr.Epoch)
 	return time.Duration(rr.IntervalMs) * time.Millisecond, nil
 }
 
 // heartbeat POSTs /heartbeat; a 404 means the coordinator forgot us.
-func (b *Beacon) heartbeat() error {
+// The response's EpochHeader (if any) feeds the agent's epoch gate.
+func (b *Beacon) heartbeat(base string) error {
 	body, _ := json.Marshal(HeartbeatRequest{ID: b.cfg.ID})
-	resp, err := b.c.Post(b.base+"/heartbeat", "application/json", bytes.NewReader(body))
+	resp, err := b.c.Post(base+"/heartbeat", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	if e, err := strconv.ParseInt(resp.Header.Get(EpochHeader), 10, 64); err == nil {
+		b.observeEpoch(e)
+	}
 	switch {
 	case resp.StatusCode < 300:
 		return nil

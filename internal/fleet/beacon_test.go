@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -98,5 +99,157 @@ func TestBeaconValidatesConfig(t *testing.T) {
 	}
 	if _, err := StartBeacon(BeaconConfig{Coordinator: "c:1"}); err == nil {
 		t.Fatal("missing agent id must fail")
+	}
+}
+
+// haCoordinator is a scriptable coordinator for failover tests: it can
+// stand by (503 everything) or serve, and stamps an epoch on responses.
+type haCoordinator struct {
+	mu        sync.Mutex
+	standby   bool
+	epoch     int64
+	known     map[string]bool
+	registers int
+	srv       *httptest.Server
+}
+
+func newHACoordinator(standby bool, epoch int64) *haCoordinator {
+	c := &haCoordinator{standby: standby, epoch: epoch, known: map[string]bool{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/register", func(w http.ResponseWriter, r *http.Request) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.standby {
+			http.Error(w, "standby", http.StatusServiceUnavailable)
+			return
+		}
+		var req RegisterRequest
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		c.known[req.ID] = true
+		c.registers++
+		_ = json.NewEncoder(w).Encode(RegisterResponse{Generation: c.registers, IntervalMs: 5, Epoch: c.epoch})
+	})
+	mux.HandleFunc("/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.standby {
+			http.Error(w, "standby", http.StatusServiceUnavailable)
+			return
+		}
+		var req HeartbeatRequest
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		if !c.known[req.ID] {
+			http.Error(w, "unknown agent", http.StatusNotFound)
+			return
+		}
+		w.Header().Set(EpochHeader, strconv.FormatInt(c.epoch, 10))
+		w.WriteHeader(http.StatusNoContent)
+	})
+	c.srv = httptest.NewServer(mux)
+	return c
+}
+
+func (c *haCoordinator) setStandby(s bool) { c.mu.Lock(); c.standby = s; c.mu.Unlock() }
+func (c *haCoordinator) registrations() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.registers
+}
+
+func TestBeaconFailsOverToStandbyCoordinator(t *testing.T) {
+	leader := newHACoordinator(false, 1)
+	standby := newHACoordinator(true, 0)
+	defer leader.srv.Close()
+	defer standby.srv.Close()
+
+	var mu sync.Mutex
+	var epochs []int64
+	b, err := StartBeacon(BeaconConfig{
+		Coordinator:   leader.srv.URL,
+		Coordinators:  []string{standby.srv.URL},
+		ID:            "node-a",
+		Interval:      5 * time.Millisecond,
+		Timeout:       50 * time.Millisecond,
+		FailoverAfter: 2,
+		ObserveEpoch: func(e int64) {
+			mu.Lock()
+			epochs = append(epochs, e)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("StartBeacon: %v", err)
+	}
+	defer b.Close()
+
+	waitFor(t, "heartbeats against the leader", func() bool { return b.Beats() >= 2 })
+	if b.Coordinator() != leader.srv.URL {
+		t.Fatalf("coordinator = %s, want the leader first", b.Coordinator())
+	}
+
+	// The leader steps down to standby; the old standby is promoted (it
+	// bumps the epoch, like a real promotion). After FailoverAfter failed
+	// heartbeats the beacon must rotate and re-register there.
+	leader.setStandby(true)
+	standby.setStandby(false)
+	standby.mu.Lock()
+	standby.epoch = 2
+	standby.mu.Unlock()
+
+	waitFor(t, "failover to the standby", func() bool {
+		return b.Failovers() >= 1 && standby.registrations() >= 1
+	})
+	waitFor(t, "heartbeats against the promoted standby", func() bool {
+		return b.Coordinator() == standby.srv.URL && b.Beats() >= 4
+	})
+
+	// The promoted coordinator's epoch reached the gate hook via the
+	// register response (or heartbeat header).
+	waitFor(t, "epoch observation", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, e := range epochs {
+			if e == 2 {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+func TestBeaconBackoffIsExponentialJitteredAndCapped(t *testing.T) {
+	b := &Beacon{cfg: BeaconConfig{
+		MaxBackoff: 8 * time.Second,
+		Jitter:     0.2,
+		Rand:       func() float64 { return 0.5 }, // jitter factor exactly 1.0
+	}}
+	iv := time.Second
+	cases := []struct {
+		failures int
+		want     time.Duration
+	}{
+		{0, time.Second}, // healthy: plain interval
+		{1, time.Second},
+		{2, 2 * time.Second},
+		{3, 4 * time.Second},
+		{4, 8 * time.Second},
+		{5, 8 * time.Second},  // capped
+		{60, 8 * time.Second}, // shift clamp: no overflow to negative
+	}
+	for _, c := range cases {
+		if got := b.delay(iv, c.failures); got != c.want {
+			t.Errorf("delay(%d failures) = %v, want %v", c.failures, got, c.want)
+		}
+	}
+
+	// Jitter spreads delays across the fleet: the extremes of the Rand
+	// range land at ±Jitter around the base.
+	b.cfg.Rand = func() float64 { return 0 }
+	if got := b.delay(iv, 0); got != 800*time.Millisecond {
+		t.Errorf("low-jitter delay = %v, want 800ms", got)
+	}
+	b.cfg.Rand = func() float64 { return 1 }
+	if got := b.delay(iv, 0); got != 1200*time.Millisecond {
+		t.Errorf("high-jitter delay = %v, want 1200ms", got)
 	}
 }

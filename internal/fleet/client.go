@@ -37,6 +37,7 @@ type HTTPAgent struct {
 var (
 	_ AgentClient = (*HTTPAgent)(nil)
 	_ TracedAgent = (*HTTPAgent)(nil)
+	_ FencedAgent = (*HTTPAgent)(nil)
 )
 
 // NewHTTPAgent builds a client for one agent's introspection address
@@ -60,12 +61,20 @@ func HTTPConnFactory(timeout time.Duration) ConnFactory {
 
 // Propose implements AgentClient (POST /policy).
 func (h *HTTPAgent) Propose(payload []byte) (guard.Status, error) {
-	return h.ProposeTraced(payload, "")
+	return h.ProposeFenced(payload, "", 0)
 }
 
 // ProposeTraced implements TracedAgent: the traceparent crosses the hop
 // as a request header, never inside the payload.
 func (h *HTTPAgent) ProposeTraced(payload []byte, traceparent string) (guard.Status, error) {
+	return h.ProposeFenced(payload, traceparent, 0)
+}
+
+// ProposeFenced implements FencedAgent: the fencing epoch crosses the
+// hop as the EpochHeader request header (epoch 0 omits it). An agent
+// that has observed a newer leader answers 403, surfaced as
+// *FencedError — not transient, never retried.
+func (h *HTTPAgent) ProposeFenced(payload []byte, traceparent string, epoch int64) (guard.Status, error) {
 	req, err := http.NewRequest(http.MethodPost, h.base+"/policy", bytes.NewReader(payload))
 	if err != nil {
 		return guard.Status{}, err
@@ -73,6 +82,9 @@ func (h *HTTPAgent) ProposeTraced(payload []byte, traceparent string) (guard.Sta
 	req.Header.Set("Content-Type", "application/json")
 	if traceparent != "" {
 		req.Header.Set(span.TraceparentHeader, traceparent)
+	}
+	if epoch > 0 {
+		req.Header.Set(EpochHeader, strconv.FormatInt(epoch, 10))
 	}
 	resp, err := h.c.Do(req)
 	if err != nil {
@@ -89,6 +101,8 @@ func (h *HTTPAgent) ProposeTraced(payload []byte, traceparent string) (guard.Sta
 		return st, nil
 	case http.StatusConflict:
 		return guard.Status{}, &ConflictError{Agent: h.id, Body: strings.TrimSpace(string(body))}
+	case http.StatusForbidden:
+		return guard.Status{}, &FencedError{Agent: h.id, Got: epoch, Body: strings.TrimSpace(string(body))}
 	default:
 		err := fmt.Errorf("fleet: agent %s: POST /policy: %s: %s", h.id, resp.Status, strings.TrimSpace(string(body)))
 		if resp.StatusCode >= 500 {

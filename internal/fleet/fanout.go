@@ -16,6 +16,7 @@ const (
 	PushConflict = "conflict"
 	PushSkipped  = "skipped"
 	PushError    = "error"
+	PushFenced   = "fenced"
 )
 
 // FanoutConfig tunes the push engine. Zero values select defaults.
@@ -81,6 +82,10 @@ type PushOutcome struct {
 	Conflict bool `json:"conflict,omitempty"`
 	// Skipped: the agent's circuit breaker was open; no network calls.
 	Skipped bool `json:"skipped,omitempty"`
+	// Fenced: the agent rejected the push's fencing epoch because it has
+	// observed a newer leader. Not retried — the pushing coordinator is
+	// deposed and must step down.
+	Fenced bool `json:"fenced,omitempty"`
 	// Attempts actually made (0 when skipped).
 	Attempts int `json:"attempts"`
 	// Status is the agent's rollout status after an accepted push.
@@ -105,12 +110,13 @@ type Fanout struct {
 	mu       sync.Mutex
 	breakers map[string]*breaker
 
-	ctrPushOK   *telemetry.Counter
-	ctrPushConf *telemetry.Counter
-	ctrPushSkip *telemetry.Counter
-	ctrPushErr  *telemetry.Counter
-	ctrRetries  *telemetry.Counter
-	ctrOpens    *telemetry.Counter
+	ctrPushOK     *telemetry.Counter
+	ctrPushConf   *telemetry.Counter
+	ctrPushSkip   *telemetry.Counter
+	ctrPushErr    *telemetry.Counter
+	ctrPushFenced *telemetry.Counter
+	ctrRetries    *telemetry.Counter
+	ctrOpens      *telemetry.Counter
 
 	spans       *span.Recorder
 	breakerHook func(now time.Duration, agent string)
@@ -129,6 +135,7 @@ func (f *Fanout) SetTelemetry(reg *telemetry.Registry) {
 	f.ctrPushConf = reg.Counter(MetricFleetPushesTotal, telemetry.L("outcome", PushConflict))
 	f.ctrPushSkip = reg.Counter(MetricFleetPushesTotal, telemetry.L("outcome", PushSkipped))
 	f.ctrPushErr = reg.Counter(MetricFleetPushesTotal, telemetry.L("outcome", PushError))
+	f.ctrPushFenced = reg.Counter(MetricFleetPushesTotal, telemetry.L("outcome", PushFenced))
 	f.ctrRetries = reg.Counter(MetricFleetPushRetriesTotal)
 	f.ctrOpens = reg.Counter(MetricFleetBreakerOpensTotal)
 }
@@ -167,7 +174,7 @@ func (f *Fanout) BreakerOpen(now time.Duration, id string) bool {
 // reports our version already in flight counts as an idempotent success
 // (the earlier push worked, its response was lost).
 func (f *Fanout) Push(now time.Duration, agents []AgentRecord, conns ConnFactory, version string, payload []byte) []PushOutcome {
-	return f.PushCtx(now, agents, conns, version, payload, span.Context{})
+	return f.PushEpoch(now, agents, conns, version, payload, span.Context{}, 0)
 }
 
 // PushCtx is Push under a rollout trace context: each agent's push
@@ -175,6 +182,14 @@ func (f *Fanout) Push(now time.Duration, agents []AgentRecord, conns ConnFactory
 // to TracedAgent clients as a traceparent. A zero parent (or no
 // recorder) behaves exactly like Push.
 func (f *Fanout) PushCtx(now time.Duration, agents []AgentRecord, conns ConnFactory, version string, payload []byte, parent span.Context) []PushOutcome {
+	return f.PushEpoch(now, agents, conns, version, payload, parent, 0)
+}
+
+// PushEpoch is PushCtx under a fencing epoch: clients implementing
+// FencedAgent carry the epoch across the hop (the HTTPAgent as the
+// EpochHeader request header) so agents can reject a deposed leader's
+// stale pushes. Epoch 0 behaves exactly like PushCtx (unfenced).
+func (f *Fanout) PushEpoch(now time.Duration, agents []AgentRecord, conns ConnFactory, version string, payload []byte, parent span.Context, epoch int64) []PushOutcome {
 	out := make([]PushOutcome, len(agents))
 	sem := make(chan struct{}, f.cfg.Parallel)
 	var wg sync.WaitGroup
@@ -184,7 +199,7 @@ func (f *Fanout) PushCtx(now time.Duration, agents []AgentRecord, conns ConnFact
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			out[i] = f.pushOne(now, agents[i], conns, version, payload, parent)
+			out[i] = f.pushOne(now, agents[i], conns, version, payload, parent, epoch)
 		}(i)
 	}
 	wg.Wait()
@@ -193,7 +208,7 @@ func (f *Fanout) PushCtx(now time.Duration, agents []AgentRecord, conns ConnFact
 
 // pushOne runs the breaker check, the retry loop, and the idempotency
 // probe for a single agent.
-func (f *Fanout) pushOne(now time.Duration, a AgentRecord, conns ConnFactory, version string, payload []byte, parent span.Context) PushOutcome {
+func (f *Fanout) pushOne(now time.Duration, a AgentRecord, conns ConnFactory, version string, payload []byte, parent span.Context, epoch int64) PushOutcome {
 	o := PushOutcome{Agent: a.ID}
 	if f.BreakerOpen(now, a.ID) {
 		o.Skipped = true
@@ -209,6 +224,7 @@ func (f *Fanout) pushOne(now time.Duration, a AgentRecord, conns ConnFactory, ve
 	}
 	conn := conns(a)
 	traced, isTraced := conn.(TracedAgent)
+	fenced, isFencer := conn.(FencedAgent)
 	var st guard.Status
 	err := driver.RetryPolicy{
 		Attempts:  f.cfg.Attempts,
@@ -223,9 +239,12 @@ func (f *Fanout) pushOne(now time.Duration, a AgentRecord, conns ConnFactory, ve
 	}.Do(func() error {
 		o.Attempts++
 		var perr error
-		if isTraced && tp != "" {
+		switch {
+		case epoch > 0 && isFencer:
+			st, perr = fenced.ProposeFenced(payload, tp, epoch)
+		case isTraced && tp != "":
 			st, perr = traced.ProposeTraced(payload, tp)
-		} else {
+		default:
 			st, perr = conn.Propose(payload)
 		}
 		return perr
@@ -234,6 +253,9 @@ func (f *Fanout) pushOne(now time.Duration, a AgentRecord, conns ConnFactory, ve
 	case err == nil:
 		o.OK = true
 		o.Status = st
+	case IsFenced(err):
+		o.Fenced = true
+		o.Err = err.Error()
 	case IsConflict(err):
 		// The agent refused because a rollout is in flight. If that
 		// rollout is OUR candidate, an earlier push (this round's lost
@@ -254,12 +276,15 @@ func (f *Fanout) pushOne(now time.Duration, a AgentRecord, conns ConnFactory, ve
 	default:
 		act.End(err)
 	}
-	// A conflict is a healthy agent saying no — it closes the breaker
-	// like a success; only transport-level failure counts toward opening.
-	f.settle(now, a.ID, o.OK || o.Conflict)
+	// A conflict or fenced rejection is a healthy agent saying no — it
+	// closes the breaker like a success; only transport-level failure
+	// counts toward opening.
+	f.settle(now, a.ID, o.OK || o.Conflict || o.Fenced)
 	switch {
 	case o.OK:
 		f.count(f.ctrPushOK)
+	case o.Fenced:
+		f.count(f.ctrPushFenced)
 	case o.Conflict:
 		f.count(f.ctrPushConf)
 	default:

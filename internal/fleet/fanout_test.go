@@ -8,6 +8,7 @@ import (
 
 	"lachesis/internal/driver"
 	"lachesis/internal/guard"
+	"lachesis/internal/span"
 )
 
 // flakyAgent fails transiently a set number of times before succeeding.
@@ -119,5 +120,103 @@ func TestFanoutPushesAgentsInParallelOrderPreserved(t *testing.T) {
 		if o.Agent != recs[i].ID || !o.OK {
 			t.Fatalf("outcome %d = %+v, want OK for %s (input order)", i, o, recs[i].ID)
 		}
+	}
+}
+
+// fencedFakeAgent runs pushes through an EpochGate before its embedded
+// fakeAgent, like a real daemon's /policy handler.
+type fencedFakeAgent struct {
+	fakeAgent
+	gate *EpochGate
+}
+
+func (f *fencedFakeAgent) ProposeFenced(payload []byte, _ string, epoch int64) (guard.Status, error) {
+	if err := f.gate.Admit(epoch); err != nil {
+		return guard.Status{}, err
+	}
+	return f.Propose(payload)
+}
+
+func TestFanoutFencedPushIsTerminalAndKeepsBreakerClosed(t *testing.T) {
+	gate, err := NewEpochGate("a", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate.Observe(5)
+	ag := &fencedFakeAgent{gate: gate}
+	f := NewFanout(noSleep(FanoutConfig{Attempts: 3, BreakerThreshold: 1}))
+	recs := []AgentRecord{{ID: "a"}}
+
+	outs := f.PushEpoch(0, recs, oneAgent(ag), "v1", []byte("{}"), span.Context{}, 3)
+	if !outs[0].Fenced || outs[0].OK {
+		t.Fatalf("stale-epoch push = %+v, want fenced", outs[0])
+	}
+	// FencedError is not transient: retrying the same epoch can never
+	// succeed, so no attempts are burned on a lost cause.
+	if outs[0].Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (fenced is terminal)", outs[0].Attempts)
+	}
+	// A fenced rejection is a healthy agent saying no: even at threshold
+	// 1 the breaker stays closed, so the promoted leader's pushes are not
+	// skipped later.
+	if f.BreakerOpen(time.Millisecond, "a") {
+		t.Fatal("breaker must stay closed after a fenced rejection")
+	}
+
+	// Epoch 0 degrades to an unfenced push (local operator path).
+	if outs := f.PushEpoch(0, recs, oneAgent(ag), "v1", []byte("{}"), span.Context{}, 0); !outs[0].OK {
+		t.Fatalf("unfenced push = %+v, want OK", outs[0])
+	}
+	// The current epoch is admitted.
+	if outs := f.PushEpoch(0, recs, oneAgent(ag), "v1", []byte("{}"), span.Context{}, 5); !outs[0].OK {
+		t.Fatalf("current-epoch push = %+v, want OK", outs[0])
+	}
+}
+
+func TestFanoutBreakerHalfOpenConcurrentProbes(t *testing.T) {
+	// Many concurrent pushes hit the same agent exactly when its breaker
+	// cooldown lapses: the half-open window must stay consistent under
+	// the race detector — no OK outcomes while the agent is down, and
+	// the breaker re-opens afterwards.
+	ag := &fakeAgent{down: true}
+	f := NewFanout(noSleep(FanoutConfig{
+		Attempts: 1, BreakerThreshold: 1, BreakerCooldown: 5 * time.Second, Parallel: 8,
+	}))
+	recs := make([]AgentRecord, 16)
+	for i := range recs {
+		recs[i] = AgentRecord{ID: "a"}
+	}
+
+	f.Push(0, recs[:1], oneAgent(ag), "v1", []byte("{}"))
+	if !f.BreakerOpen(time.Second, "a") {
+		t.Fatal("breaker must open after the threshold failure")
+	}
+
+	now := 6 * time.Second // past the cooldown: probes race through
+	outs := f.Push(now, recs, oneAgent(ag), "v1", []byte("{}"))
+	for i, o := range outs {
+		if o.OK {
+			t.Fatalf("probe %d = %+v, want failure or skip while agent is down", i, o)
+		}
+	}
+	if !f.BreakerOpen(now+time.Millisecond, "a") {
+		t.Fatal("breaker must re-open after failed probes")
+	}
+
+	// The agent recovers; the next probe wave closes the breaker.
+	ag.setDown(false)
+	now = 12 * time.Second
+	outs = f.Push(now, recs, oneAgent(ag), "v1", []byte("{}"))
+	ok := 0
+	for _, o := range outs {
+		if o.OK {
+			ok++
+		}
+	}
+	if ok == 0 {
+		t.Fatalf("no probe reached the recovered agent: %+v", outs)
+	}
+	if f.BreakerOpen(now, "a") {
+		t.Fatal("breaker must close after successful probes")
 	}
 }

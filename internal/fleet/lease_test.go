@@ -1,0 +1,224 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"lachesis/internal/reconcile"
+)
+
+func TestLeaseAcquireRenewExpire(t *testing.T) {
+	leader := NewLeaseManager(LeaseConfig{ID: "a", TTL: 3 * time.Second})
+	standby := NewLeaseManager(LeaseConfig{ID: "b", TTL: 3 * time.Second})
+
+	info := leader.Acquire(0)
+	if info.Epoch != 1 || info.Holder != "a" || !leader.Leading() {
+		t.Fatalf("acquire = %+v leading=%v", info, leader.Leading())
+	}
+	if leader.FenceEpoch() != 1 {
+		t.Fatalf("FenceEpoch = %d, want 1", leader.FenceEpoch())
+	}
+	if standby.FenceEpoch() != 0 {
+		t.Fatalf("standby FenceEpoch = %d, want 0 (standbys never push)", standby.FenceEpoch())
+	}
+
+	// Renewals observed in time keep the standby waiting.
+	now := time.Duration(0)
+	for i := 0; i < 5; i++ {
+		now += time.Second
+		leader.Renew(now)
+		standby.Observe(leader.Info(), now)
+		if standby.Expired(now) {
+			t.Fatalf("lease expired at %v despite live renewals", now)
+		}
+	}
+
+	// A leader is never expired from its own point of view.
+	if leader.Expired(now + time.Hour) {
+		t.Fatal("a leading manager must never report its own lease expired")
+	}
+
+	// Silence past the TTL (on the OBSERVER's clock) expires the lease;
+	// the standby's acquisition bumps the epoch past the dead leader's.
+	if standby.Expired(now + 3*time.Second) {
+		t.Fatal("expired exactly at TTL boundary; must be strictly after")
+	}
+	if !standby.Expired(now + 3*time.Second + time.Millisecond) {
+		t.Fatal("lease must expire once the TTL passes without renewal")
+	}
+	promoted := standby.Acquire(now + 4*time.Second)
+	if promoted.Epoch != 2 {
+		t.Fatalf("promoted epoch = %d, want 2 (above the observed lease)", promoted.Epoch)
+	}
+}
+
+func TestLeaseReleasePromotesImmediately(t *testing.T) {
+	leader := NewLeaseManager(LeaseConfig{ID: "a", TTL: time.Minute})
+	standby := NewLeaseManager(LeaseConfig{ID: "b", TTL: time.Minute})
+	leader.Acquire(0)
+	standby.Observe(leader.Info(), 0)
+	if standby.Expired(time.Second) {
+		t.Fatal("fresh lease must not be expired")
+	}
+	released := leader.Release(time.Second)
+	if !released.Released || leader.Leading() {
+		t.Fatalf("release = %+v leading=%v", released, leader.Leading())
+	}
+	standby.Observe(released, time.Second)
+	// No TTL wait: a released lease is immediately expired.
+	if !standby.Expired(time.Second) {
+		t.Fatal("a released lease must expire immediately for observers")
+	}
+}
+
+func TestLeaseObserveNewerEpochDeposesLeader(t *testing.T) {
+	old := NewLeaseManager(LeaseConfig{ID: "a"})
+	old.Acquire(0)
+	deposed := old.Observe(LeaseInfo{Epoch: 2, Holder: "b", RenewedSeq: 1}, time.Second)
+	if !deposed || old.Leading() {
+		t.Fatalf("deposed=%v leading=%v, want stepped down", deposed, old.Leading())
+	}
+	if old.Depositions() != 1 {
+		t.Fatalf("depositions = %d, want 1", old.Depositions())
+	}
+	// The next acquisition must outbid the lease that deposed us.
+	if info := old.Acquire(2 * time.Second); info.Epoch != 3 {
+		t.Fatalf("re-acquired epoch = %d, want 3", info.Epoch)
+	}
+}
+
+func TestLeaseDeposedByFencedPush(t *testing.T) {
+	m := NewLeaseManager(LeaseConfig{ID: "a"})
+	m.Acquire(0)
+	if !m.Deposed(time.Second, "n3") {
+		t.Fatal("fencing feedback while leading must depose")
+	}
+	if m.Leading() {
+		t.Fatal("must not lead after fencing feedback")
+	}
+	if m.Deposed(2*time.Second, "n3") {
+		t.Fatal("Deposed is a no-op for a standby")
+	}
+}
+
+func TestLeasePersistenceKeepsEpochsMonotonic(t *testing.T) {
+	fs := reconcile.NewMemFS()
+	m := NewLeaseManager(LeaseConfig{ID: "a"})
+	m.SetStore(NewStore(fs, nil))
+	if err := m.Restore(0); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	m.Acquire(0)
+	m.Observe(LeaseInfo{Epoch: 7, Holder: "b", RenewedSeq: 1}, time.Second)
+
+	// A new incarnation over the same store must acquire above epoch 7
+	// even though it never itself held more than epoch 1.
+	m2 := NewLeaseManager(LeaseConfig{ID: "a"})
+	m2.SetStore(NewStore(fs, nil))
+	if err := m2.Restore(0); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if m2.Leading() {
+		t.Fatal("a restart must never resume leadership directly")
+	}
+	if info := m2.Acquire(0); info.Epoch != 8 {
+		t.Fatalf("post-restart epoch = %d, want 8 (above persisted 7)", info.Epoch)
+	}
+}
+
+func TestLeaseRestoreToleratesCorruptFile(t *testing.T) {
+	fs := reconcile.NewMemFS()
+	fs.SetFile(LeaseFile, []byte("{not json"))
+	m := NewLeaseManager(LeaseConfig{ID: "a"})
+	m.SetStore(NewStore(fs, nil))
+	if err := m.Restore(0); err != nil {
+		t.Fatalf("Restore over corrupt lease file: %v", err)
+	}
+	if info := m.Acquire(0); info.Epoch != 1 {
+		t.Fatalf("epoch = %d, want cold-start 1", info.Epoch)
+	}
+}
+
+func TestLeaseInfoNewer(t *testing.T) {
+	base := LeaseInfo{Epoch: 2, RenewedSeq: 5}
+	cases := []struct {
+		name string
+		o    LeaseInfo
+		want bool
+	}{
+		{"higher epoch", LeaseInfo{Epoch: 3, RenewedSeq: 1}, true},
+		{"lower epoch high seq", LeaseInfo{Epoch: 1, RenewedSeq: 99}, false},
+		{"same epoch higher seq", LeaseInfo{Epoch: 2, RenewedSeq: 6}, true},
+		{"same epoch same seq", LeaseInfo{Epoch: 2, RenewedSeq: 5}, false},
+		{"same epoch released", LeaseInfo{Epoch: 2, RenewedSeq: 5, Released: true}, true},
+	}
+	for _, c := range cases {
+		if got := base.newer(c.o); got != c.want {
+			t.Errorf("%s: newer = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestEpochGateAdmitRatchetsAndFences(t *testing.T) {
+	g, err := NewEpochGate("n1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unfenced local proposals are always admitted.
+	if err := g.Admit(0); err != nil {
+		t.Fatalf("Admit(0): %v", err)
+	}
+	if err := g.Admit(2); err != nil {
+		t.Fatalf("Admit(2): %v", err)
+	}
+	if g.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", g.Epoch())
+	}
+	// Same epoch is fine (the current leader keeps pushing).
+	if err := g.Admit(2); err != nil {
+		t.Fatalf("Admit(2) again: %v", err)
+	}
+	// A stale epoch is fenced with a typed, non-transient error.
+	err = g.Admit(1)
+	if !IsFenced(err) {
+		t.Fatalf("Admit(1) = %v, want FencedError", err)
+	}
+	fe := err.(*FencedError)
+	if fe.Agent != "n1" || fe.Have != 2 || fe.Got != 1 {
+		t.Fatalf("FencedError = %+v", fe)
+	}
+	if g.Rejected() != 1 {
+		t.Fatalf("rejected = %d, want 1", g.Rejected())
+	}
+	// Unfenced proposals still pass after a fence.
+	if err := g.Admit(0); err != nil {
+		t.Fatalf("Admit(0) after fence: %v", err)
+	}
+}
+
+func TestEpochGateObservePersistsAcrossRestart(t *testing.T) {
+	fs := reconcile.NewMemFS()
+	st := reconcile.NewStore(fs, nil)
+	g, err := NewEpochGate("n1", st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Observe(5)
+	g.Observe(3) // stale observation is ignored
+	if g.Epoch() != 5 {
+		t.Fatalf("epoch = %d, want 5", g.Epoch())
+	}
+
+	// A restarted agent still fences the deposed leader: the epoch came
+	// back from disk.
+	g2, err := NewEpochGate("n1", reconcile.NewStore(fs, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Epoch() != 5 {
+		t.Fatalf("restored epoch = %d, want 5", g2.Epoch())
+	}
+	if err := g2.Admit(4); !IsFenced(err) {
+		t.Fatalf("Admit(4) after restart = %v, want fenced", err)
+	}
+}

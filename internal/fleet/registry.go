@@ -265,6 +265,24 @@ func (r *Registry) Restore(now time.Duration) error {
 	if !ok {
 		return nil
 	}
+	r.adoptLocked(now, recs, "restored")
+	return nil
+}
+
+// Adopt installs a replicated registry snapshot, with the same fresh
+// leases as Restore — the promotion path for a standby taking over from
+// its last applied checkpoint: the agents were heartbeating the old
+// leader, so the failover window must not count as missed beats.
+func (r *Registry) Adopt(now time.Duration, recs []AgentRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.adoptLocked(now, recs, "adopted")
+	r.persistLocked()
+}
+
+// adoptLocked replaces the agent map with recs, re-anchoring every
+// non-evicted lease at now (caller holds r.mu).
+func (r *Registry) adoptLocked(now time.Duration, recs []AgentRecord, how string) {
 	r.agents = map[string]*AgentRecord{}
 	for i := range recs {
 		a := recs[i]
@@ -274,9 +292,8 @@ func (r *Registry) Restore(now time.Duration) error {
 		}
 		r.agents[a.ID] = &a
 	}
-	r.record(now, fmt.Sprintf("registry restored: %d agents (leases re-anchored)", len(recs)))
+	r.record(now, fmt.Sprintf("registry %s: %d agents (leases re-anchored)", how, len(recs)))
 	r.exportLocked()
-	return nil
 }
 
 // persistLocked saves the registry through the store (caller holds r.mu).

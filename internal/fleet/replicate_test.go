@@ -1,0 +1,108 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"lachesis/internal/reconcile"
+)
+
+// memPeer is an in-memory PeerClient capturing delivered checkpoints.
+type memPeer struct {
+	mu    sync.Mutex
+	cps   []Checkpoint
+	fail  bool
+	lease LeaseInfo
+}
+
+func (p *memPeer) Lease() (LeaseInfo, error) { return p.lease, nil }
+func (p *memPeer) Replicate(cp Checkpoint) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fail {
+		return errors.New("down")
+	}
+	p.cps = append(p.cps, cp)
+	return nil
+}
+func (p *memPeer) setFail(f bool) { p.mu.Lock(); p.fail = f; p.mu.Unlock() }
+func (p *memPeer) received() int  { p.mu.Lock(); defer p.mu.Unlock(); return len(p.cps) }
+
+func TestReplicatorPublishStampsSeqAndTracksLag(t *testing.T) {
+	r := NewReplicator()
+	good, bad := &memPeer{}, &memPeer{}
+	r.AddPeer("good", good)
+	r.AddPeer("bad", bad)
+	bad.setFail(true)
+
+	for i := 0; i < 3; i++ {
+		acked := r.Publish(time.Duration(i)*time.Second, Checkpoint{Lease: LeaseInfo{Epoch: 1}})
+		if acked != 1 {
+			t.Fatalf("acked = %d, want 1 (one peer down)", acked)
+		}
+	}
+	if good.received() != 3 || good.cps[2].Seq != 3 {
+		t.Fatalf("good peer got %d checkpoints, last seq %d; want 3/3", good.received(), good.cps[len(good.cps)-1].Seq)
+	}
+	if r.Lag("good") != 0 || r.Lag("bad") != 3 || r.MaxLag() != 3 {
+		t.Fatalf("lag good=%d bad=%d max=%d, want 0/3/3", r.Lag("good"), r.Lag("bad"), r.MaxLag())
+	}
+
+	// The lagging peer catches up from the next full-state checkpoint.
+	bad.setFail(false)
+	r.Publish(4*time.Second, Checkpoint{Lease: LeaseInfo{Epoch: 1}})
+	if r.Lag("bad") != 0 || r.MaxLag() != 0 {
+		t.Fatalf("lag after recovery = %d/%d, want 0", r.Lag("bad"), r.MaxLag())
+	}
+}
+
+func TestFollowerAppliesAndPersists(t *testing.T) {
+	fs := reconcile.NewMemFS()
+	f := NewFollower(NewStore(fs, nil))
+	cp := Checkpoint{
+		Seq:      1,
+		Lease:    LeaseInfo{Epoch: 1, Holder: "a", RenewedSeq: 4},
+		Registry: []AgentRecord{{ID: "n1", Addr: "n1:1", State: LeaseActive}},
+		Rollout:  RolloutState{Active: true, Version: "v2", Phase: PhasePushing},
+	}
+	if err := f.Apply(cp); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	last, ok := f.Last()
+	if !ok || last.Seq != 1 || last.Lease.Epoch != 1 {
+		t.Fatalf("Last = %+v ok=%v", last, ok)
+	}
+	// A standby crash resumes warm: registry and rollout are on disk.
+	st := NewStore(fs, nil)
+	if recs, ok, _ := st.LoadRegistry(); !ok || len(recs) != 1 || recs[0].ID != "n1" {
+		t.Fatalf("persisted registry = %+v ok=%v", recs, ok)
+	}
+	if ro, ok, _ := st.LoadRollout(); !ok || !ro.Active || ro.Version != "v2" {
+		t.Fatalf("persisted rollout = %+v ok=%v", ro, ok)
+	}
+}
+
+func TestFollowerFencesStaleEpochAndSeqRegression(t *testing.T) {
+	f := NewFollower(nil)
+	if err := f.Apply(Checkpoint{Seq: 5, Lease: LeaseInfo{Epoch: 2}}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	// A deposed leader cannot roll the standby's state backwards.
+	err := f.Apply(Checkpoint{Seq: 9, Lease: LeaseInfo{Epoch: 1}})
+	if !IsFenced(err) {
+		t.Fatalf("stale-epoch Apply = %v, want fenced", err)
+	}
+	// Same epoch must not regress in sequence.
+	if err := f.Apply(Checkpoint{Seq: 4, Lease: LeaseInfo{Epoch: 2}}); err == nil || IsFenced(err) {
+		t.Fatalf("seq-regression Apply = %v, want plain error", err)
+	}
+	// A new epoch restarts the sequence space.
+	if err := f.Apply(Checkpoint{Seq: 1, Lease: LeaseInfo{Epoch: 3}}); err != nil {
+		t.Fatalf("new-epoch Apply: %v", err)
+	}
+	if f.Applied() != 2 {
+		t.Fatalf("applied = %d, want 2", f.Applied())
+	}
+}

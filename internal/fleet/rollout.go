@@ -128,6 +128,32 @@ type RolloutState struct {
 	Rollbacks    int64  `json:"rollbacks"`
 }
 
+// clone deep-copies the state so replication checkpoints and Status
+// snapshots never alias the coordinator's live maps.
+func (st RolloutState) clone() RolloutState {
+	out := st
+	if st.Payload != nil {
+		out.Payload = append([]byte(nil), st.Payload...)
+	}
+	if st.StablePayload != nil {
+		out.StablePayload = append([]byte(nil), st.StablePayload...)
+	}
+	if st.Cohorts != nil {
+		out.Cohorts = make([][]string, len(st.Cohorts))
+		for i, c := range st.Cohorts {
+			out.Cohorts[i] = append([]string(nil), c...)
+		}
+	}
+	if st.Agents != nil {
+		out.Agents = make(map[string]*AgentRollout, len(st.Agents))
+		for id, a := range st.Agents {
+			cp := *a
+			out.Agents[id] = &cp
+		}
+	}
+	return out
+}
+
 // FleetStatus is the rollout state exposed on /fleet/policy and
 // /fleet/health.
 type FleetStatus struct {
@@ -144,6 +170,9 @@ type FleetStatus struct {
 	LastReason   string `json:"last_reason,omitempty"`
 	Promotions   int64  `json:"promotions"`
 	Rollbacks    int64  `json:"rollbacks"`
+	// FencedPushes counts pushes agents rejected for a stale epoch — any
+	// nonzero value means this coordinator was deposed.
+	FencedPushes int64 `json:"fenced_pushes,omitempty"`
 }
 
 // Coordinator runs fleet-wide canary rollouts: Propose stages a
@@ -161,6 +190,13 @@ type Coordinator struct {
 	st      RolloutState
 	store   *Store
 	trail   *core.AuditTrail
+
+	// epoch supplies the fencing token stamped on every push (nil or 0:
+	// unfenced); fencedHook fires once per fenced outcome so the daemon
+	// can step down; fenced counts fenced outcomes for Status.
+	epoch      func() int64
+	fencedHook func(now time.Duration, agent string)
+	fenced     int64
 
 	gPhase    *telemetry.Gauge
 	ctrPromo  *telemetry.Counter
@@ -205,6 +241,21 @@ func (c *Coordinator) Cohort(wave int) []string {
 
 // SetStore attaches crash-safe rollout persistence. nil disables.
 func (c *Coordinator) SetStore(s *Store) { c.mu.Lock(); c.store = s; c.mu.Unlock() }
+
+// SetEpoch installs the fencing-epoch source (typically
+// LeaseManager.FenceEpoch): every push and rollback then carries the
+// returned epoch so agents can reject a deposed leader. nil (or a
+// source returning 0) pushes unfenced.
+func (c *Coordinator) SetEpoch(src func() int64) { c.mu.Lock(); c.epoch = src; c.mu.Unlock() }
+
+// SetFencedHook installs a callback fired for every push an agent
+// fenced off (stale epoch) — typically the daemon's step-down path.
+// The hook runs without the coordinator's lock. nil disables.
+func (c *Coordinator) SetFencedHook(hook func(now time.Duration, agent string)) {
+	c.mu.Lock()
+	c.fencedHook = hook
+	c.mu.Unlock()
+}
 
 // SetAudit installs an audit trail for rollout decisions. nil disables.
 func (c *Coordinator) SetAudit(trail *core.AuditTrail) { c.mu.Lock(); c.trail = trail; c.mu.Unlock() }
@@ -255,6 +306,35 @@ func (c *Coordinator) Resume(now time.Duration) (bool, error) {
 			st.Version, st.Phase, st.Wave+1, len(st.Cohorts)))
 	}
 	return st.Active, nil
+}
+
+// State deep-copies the full rollout state machine — the replication
+// checkpoint payload. Unlike Status it includes cohorts, per-agent
+// Pushed/Restored flags, and both payloads, which is exactly what a
+// promoting standby needs to resume the wave without double pushes.
+func (c *Coordinator) State() RolloutState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.clone()
+}
+
+// Adopt installs a replicated rollout state, replacing the current one
+// — the promotion path for a standby resuming from its last applied
+// checkpoint (Resume is the same operation from the store instead).
+// Returns whether the adopted rollout is active.
+func (c *Coordinator) Adopt(now time.Duration, st RolloutState) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.st = st.clone()
+	if c.gPhase != nil {
+		c.gPhase.Set(phaseGauge(c.st.Phase))
+	}
+	if c.st.Active {
+		c.record(now, fmt.Sprintf("rollout %q adopted in phase %s (wave %d/%d)",
+			c.st.Version, c.st.Phase, c.st.Wave+1, len(c.st.Cohorts)))
+	}
+	c.persistLocked()
+	return c.st.Active
 }
 
 // Propose stages a versioned candidate payload on the fleet: the active
@@ -555,6 +635,7 @@ func (c *Coordinator) Status() FleetStatus {
 		Cohorts: len(c.st.Cohorts), Ticks: c.st.Ticks,
 		LastDecision: c.st.LastDecision, LastReason: c.st.LastReason,
 		Promotions: c.st.Promotions, Rollbacks: c.st.Rollbacks,
+		FencedPushes: c.fenced,
 	}
 	if c.st.Active {
 		st.Version = c.st.Version
@@ -576,7 +657,10 @@ func (c *Coordinator) Status() FleetStatus {
 // --- helpers (all hold c.mu) ---
 
 // pushLocked runs a fan-out round without holding the lock across the
-// network calls.
+// network calls. Every push carries the current fencing epoch; fenced
+// outcomes are counted and reported through the fenced hook — the
+// rollout never treats them as success, so a deposed coordinator
+// cannot mark agents Pushed or Restored it no longer owns.
 func (c *Coordinator) pushLocked(now time.Duration, targets []AgentRecord, version string, payload []byte) []PushOutcome {
 	if len(targets) == 0 {
 		return nil
@@ -584,9 +668,25 @@ func (c *Coordinator) pushLocked(now time.Duration, targets []AgentRecord, versi
 	conns := c.conns
 	fan := c.fanout
 	parent := c.rolloutCtx
+	var epoch int64
+	if c.epoch != nil {
+		epoch = c.epoch()
+	}
+	hook := c.fencedHook
 	c.mu.Unlock()
-	outs := fan.PushCtx(now, targets, conns, version, payload, parent)
+	outs := fan.PushEpoch(now, targets, conns, version, payload, parent, epoch)
+	for _, o := range outs {
+		if o.Fenced && hook != nil {
+			hook(now, o.Agent)
+		}
+	}
 	c.mu.Lock()
+	for _, o := range outs {
+		if o.Fenced {
+			c.fenced++
+			c.record(now, fmt.Sprintf("push of %q to %s fenced (stale epoch %d): %s", version, o.Agent, epoch, o.Err))
+		}
+	}
 	return outs
 }
 

@@ -17,6 +17,10 @@ const (
 	// RolloutFile holds the fleet rollout state machine.
 	RolloutFile    = "fleet-rollout.json"
 	rolloutTmpFile = RolloutFile + ".tmp"
+	// LeaseFile holds the coordinator's leader-lease view (highest epoch
+	// held or observed), keeping fencing epochs monotonic across restarts.
+	LeaseFile    = "fleet-lease.json"
+	leaseTmpFile = LeaseFile + ".tmp"
 )
 
 // storeFormat versions the fleet state files.
@@ -32,6 +36,12 @@ type registryDoc struct {
 type rolloutDoc struct {
 	Format  int          `json:"format"`
 	Rollout RolloutState `json:"rollout"`
+}
+
+// leaseDoc is the on-disk shape of LeaseFile.
+type leaseDoc struct {
+	Format int       `json:"format"`
+	Lease  LeaseInfo `json:"lease"`
 }
 
 // Store persists fleet state (registry + rollout) through the same FS
@@ -99,6 +109,34 @@ func (s *Store) LoadRollout() (RolloutState, bool, error) {
 		return RolloutState{}, false, nil
 	}
 	return doc.Rollout, true, nil
+}
+
+// SaveLease atomically persists the leader-lease view (same fsync'd
+// rename ritual as the registry). The lease manager calls it on every
+// acquisition and renewal, so a restarted coordinator can never reuse
+// an epoch it already burned.
+func (s *Store) SaveLease(info LeaseInfo) error {
+	return s.save(leaseTmpFile, LeaseFile, leaseDoc{Format: storeFormat, Lease: info})
+}
+
+// LoadLease reads the persisted lease view. ok is false when the file
+// is missing or unreadable (warned, not fatal — a lost lease file only
+// costs epoch headroom, fencing stays safe because acquisition bumps
+// past whatever peers report).
+func (s *Store) LoadLease() (LeaseInfo, bool, error) {
+	raw, err := s.fs.ReadFile(LeaseFile)
+	if os.IsNotExist(err) {
+		return LeaseInfo{}, false, nil
+	}
+	if err != nil {
+		return LeaseInfo{}, false, fmt.Errorf("read fleet lease: %w", err)
+	}
+	var doc leaseDoc
+	if err := json.Unmarshal(raw, &doc); err != nil || doc.Format != storeFormat {
+		s.warnf("fleet: lease file corrupt, starting at epoch 0: %v", err)
+		return LeaseInfo{}, false, nil
+	}
+	return doc.Lease, true, nil
 }
 
 // save writes doc to tmp, syncs, renames over dst.

@@ -86,3 +86,66 @@ func TestStoreMissingAndCorruptDegradeGracefully(t *testing.T) {
 		t.Fatalf("warned %d times, want 2", warned)
 	}
 }
+
+func TestStoreLeaseRoundTrip(t *testing.T) {
+	fs := reconcile.NewMemFS()
+	s := NewStore(fs, nil)
+	in := LeaseInfo{Epoch: 4, Holder: "coord-a", RenewedSeq: 17, TTLMs: 3000, Released: true}
+	if err := s.SaveLease(in); err != nil {
+		t.Fatalf("SaveLease: %v", err)
+	}
+	if fs.Syncs == 0 {
+		t.Error("SaveLease must sync before rename")
+	}
+	if len(fs.FileBytes(leaseTmpFile)) != 0 {
+		t.Error("tmp file must be renamed away")
+	}
+	out, ok, err := s.LoadLease()
+	if err != nil || !ok {
+		t.Fatalf("LoadLease = ok=%v err=%v", ok, err)
+	}
+	if out != in {
+		t.Fatalf("LoadLease = %+v, want %+v", out, in)
+	}
+}
+
+func TestStoreTruncatedTailDegradesToColdStart(t *testing.T) {
+	// A crash mid-write (no atomic rename available, torn page, short
+	// copy during disaster recovery) leaves a prefix of valid JSON. Every
+	// loader must treat it as corruption — warn and cold-start — never
+	// error out or half-parse.
+	fs := reconcile.NewMemFS()
+	s := NewStore(fs, nil)
+	if err := s.SaveRegistry([]AgentRecord{{ID: "a", Addr: "a:1"}, {ID: "b", Addr: "b:1"}}); err != nil {
+		t.Fatalf("SaveRegistry: %v", err)
+	}
+	if err := s.SaveRollout(RolloutState{Active: true, Version: "v2"}); err != nil {
+		t.Fatalf("SaveRollout: %v", err)
+	}
+	if err := s.SaveLease(LeaseInfo{Epoch: 9, Holder: "coord-a"}); err != nil {
+		t.Fatalf("SaveLease: %v", err)
+	}
+
+	for _, name := range []string{RegistryFile, RolloutFile, LeaseFile} {
+		whole := fs.FileBytes(name)
+		if len(whole) == 0 {
+			t.Fatalf("%s: no bytes persisted", name)
+		}
+		fs.SetFile(name, whole[:len(whole)/2])
+	}
+
+	warned := 0
+	s = NewStore(fs, func(string, ...any) { warned++ })
+	if _, ok, err := s.LoadRegistry(); ok || err != nil {
+		t.Fatalf("truncated registry = ok=%v err=%v, want cold start", ok, err)
+	}
+	if _, ok, err := s.LoadRollout(); ok || err != nil {
+		t.Fatalf("truncated rollout = ok=%v err=%v, want cold start", ok, err)
+	}
+	if _, ok, err := s.LoadLease(); ok || err != nil {
+		t.Fatalf("truncated lease = ok=%v err=%v, want cold start", ok, err)
+	}
+	if warned != 3 {
+		t.Fatalf("warned %d times, want 3 (one per truncated file)", warned)
+	}
+}

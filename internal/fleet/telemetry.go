@@ -24,4 +24,20 @@ const (
 	// MetricFleetRolloutsTotal counts finished rollouts by decision
 	// (label "decision": promoted/rolled-back).
 	MetricFleetRolloutsTotal = "lachesis_fleet_rollouts_total"
+	// MetricFleetLeaderState gauges HA leadership (1 leading, 0 standby).
+	MetricFleetLeaderState = "lachesis_fleet_leader"
+	// MetricFleetLeaseEpoch gauges the current fencing epoch (held while
+	// leading, newest observed while standing by).
+	MetricFleetLeaseEpoch = "lachesis_fleet_lease_epoch"
+	// MetricFleetFailoversTotal counts standby self-promotions (lease
+	// expiry or graceful release observed).
+	MetricFleetFailoversTotal = "lachesis_fleet_failovers_total"
+	// MetricFleetCheckpointsTotal counts replication checkpoints by
+	// outcome (label "outcome": sent/failed).
+	MetricFleetCheckpointsTotal = "lachesis_fleet_checkpoints_total"
+	// MetricFleetReplicationLag gauges the worst per-peer checkpoint lag.
+	MetricFleetReplicationLag = "lachesis_fleet_replication_lag"
+	// MetricFleetFencedRejectsTotal counts stale-epoch pushes an agent's
+	// EpochGate rejected (agent-side metric).
+	MetricFleetFencedRejectsTotal = "lachesis_fleet_fenced_rejects_total"
 )

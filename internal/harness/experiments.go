@@ -85,6 +85,7 @@ func All() []Experiment {
 		{"rollout", "Rollout: adversarial policy vs guarded (canary+invariants+watchdog) and unguarded stacks", rolloutExp},
 		{"scale", "Scale: parallel decision pipeline vs sequential, 16-512 bindings", scaleExp},
 		{"fleet", "Fleet: coordinated rollout across simulated lachesisd agents — cohort containment, coordinator crash", fleetExp},
+		{"failover", "Failover: coordinator HA — leader kill mid-wave, standby promotion, split-brain fencing", failoverExp},
 		{"traceoverhead", "Trace overhead: decision-cycle cost with and without the span recorder, 256 bindings", traceOverheadExp},
 	}
 }

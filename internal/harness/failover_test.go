@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFailoverAcceptance runs the failover experiment and asserts the
+// HA claims straight from BENCH_failover.json: a standby resumes an
+// in-flight rollout exactly once, and a partitioned stale leader's
+// writes are all fenced.
+func TestFailoverAcceptance(t *testing.T) {
+	dir := t.TempDir()
+	sc := QuickScale
+	sc.ArtifactDir = dir
+
+	var out bytes.Buffer
+	if err := failoverExp(&out, sc); err != nil {
+		t.Fatalf("failover experiment: %v\n%s", err, out.String())
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_failover.json"))
+	if err != nil {
+		t.Fatalf("missing artifact: %v", err)
+	}
+	var rep FailoverReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("parse BENCH_failover.json: %v", err)
+	}
+
+	f := rep.Failover
+	if !f.Promoted {
+		t.Error("standby did not finish the rollout to promotion after the leader kill")
+	}
+	if f.PromotedEpoch <= 1 {
+		t.Errorf("promoted epoch = %d, want > 1 (fencing token must advance)", f.PromotedEpoch)
+	}
+	if f.LaggedCheckpoints == 0 {
+		t.Error("no checkpoints lagged before the kill — the run did not exercise stale-state promotion")
+	}
+	if f.DoublePushes != 0 {
+		t.Errorf("%d agents staged the candidate twice across the failover, want 0", f.DoublePushes)
+	}
+	if f.ClobberedAgents != 0 {
+		t.Errorf("%d agents did not converge on the candidate as last-good, want 0", f.ClobberedAgents)
+	}
+	if f.ConvergenceHeartbeats > f.ConvergenceBound {
+		t.Errorf("converged in %d heartbeats, bound %d", f.ConvergenceHeartbeats, f.ConvergenceBound)
+	}
+	if !f.Converged {
+		t.Errorf("failover run not accepted: %+v", f)
+	}
+
+	sb := rep.SplitBrain
+	if sb.FencedWritesRejected == 0 {
+		t.Error("no stale writes were fenced — the old leader never tried, or the gates let one through")
+	}
+	if !sb.OldLeaderSteppedDown {
+		t.Error("the deposed leader did not step down after fencing feedback")
+	}
+	if sb.LeadersAtEnd != 1 {
+		t.Errorf("%d leaders at end, want exactly 1", sb.LeadersAtEnd)
+	}
+	if sb.DoublePushes != 0 || sb.ClobberedAgents != 0 {
+		t.Errorf("split brain: double pushes %d clobbered %d, want 0/0", sb.DoublePushes, sb.ClobberedAgents)
+	}
+	if !sb.Fenced {
+		t.Errorf("split-brain run not accepted: %+v", sb)
+	}
+
+	if !rep.Accepted {
+		t.Error("BENCH_failover.json not accepted")
+	}
+}

@@ -161,6 +161,7 @@ type simNode struct {
 	canary    *guard.Canary
 	store     *memPolicyStore
 	osi       *memOS
+	gate      *fleet.EpochGate
 	pairs     [][2]int // per binding: heavy tid, light tid
 	now       time.Duration
 	backlog   float64
@@ -172,12 +173,22 @@ type simNode struct {
 var (
 	_ fleet.AgentClient = (*simNode)(nil)
 	_ fleet.TracedAgent = (*simNode)(nil)
+	_ fleet.FencedAgent = (*simNode)(nil)
 )
 
 func newSimNode(id string, bindings int) (*simNode, error) {
+	return newSimNodeWindow(id, bindings, fleetLocalWindow)
+}
+
+// newSimNodeWindow builds a node with a custom local canary window (the
+// failover experiment needs local rollouts to outlive a coordinator
+// failover, so the standby's stale re-push meets the idempotent 409
+// handshake instead of restaging a finished candidate).
+func newSimNodeWindow(id string, bindings, window int) (*simNode, error) {
 	n := &simNode{id: id, osi: newMemOS(), store: &memPolicyStore{}, peak: 1}
+	n.gate, _ = fleet.NewEpochGate(id, nil)
 	n.mw = core.NewMiddleware(nil)
-	n.canary = guard.NewCanary(guard.Config{Fraction: 0.5, Window: fleetLocalWindow})
+	n.canary = guard.NewCanary(guard.Config{Fraction: 0.5, Window: window})
 	n.canary.SetSampler(func([]string) guard.SLOSample { return n.sloLocked() })
 	n.canary.SetPolicyStore(n.store)
 	drv := &fleetNodeDriver{}
@@ -283,6 +294,18 @@ func (n *simNode) ProposeTraced(payload []byte, traceparent string) (guard.Statu
 	}
 	n.proposals = append(n.proposals, string(payload))
 	return n.canary.Status(), nil
+}
+
+// ProposeFenced implements fleet.FencedAgent: the agent-side fencing
+// check lachesisd runs on POST /policy's X-Lachesis-Epoch header. An
+// epoch below the highest this node has witnessed is rejected with
+// *fleet.FencedError before the payload is even parsed — a deposed
+// coordinator's stale push never stages anything.
+func (n *simNode) ProposeFenced(payload []byte, traceparent string, epoch int64) (guard.Status, error) {
+	if err := n.gate.Admit(epoch); err != nil {
+		return guard.Status{}, err
+	}
+	return n.ProposeTraced(payload, traceparent)
 }
 
 // Status implements fleet.AgentClient.

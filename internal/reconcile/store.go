@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -39,6 +40,11 @@ const (
 	// (see internal/guard's canary controller).
 	PolicyFile    = "policy-lastgood.json"
 	policyTmpFile = PolicyFile + ".tmp"
+	// EpochFile holds the highest fleet fencing epoch this agent has
+	// observed, so fencing against deposed coordinators survives agent
+	// restarts (see internal/fleet's EpochGate).
+	EpochFile    = "fleet-epoch.json"
+	epochTmpFile = EpochFile + ".tmp"
 )
 
 // storeFormat is the on-disk format version in the snapshot header.
@@ -469,6 +475,51 @@ func (s *Store) LoadLastGoodPolicy() ([]byte, bool, error) {
 		return nil, false, fmt.Errorf("read policy file: %w", err)
 	}
 	return raw, true, nil
+}
+
+// SaveFleetEpoch atomically persists the highest fleet fencing epoch
+// this agent has observed (same temp-write/sync/rename ritual as the
+// policy file). It implements the fleet EpochGate's EpochStore, so a
+// restarted agent still rejects a deposed coordinator's stale pushes.
+func (s *Store) SaveFleetEpoch(epoch int64) error {
+	f, err := s.fs.Create(epochTmpFile)
+	if err != nil {
+		return fmt.Errorf("create epoch file: %w", err)
+	}
+	if _, err := fmt.Fprintf(f, "%d\n", epoch); err != nil {
+		f.Close()
+		return fmt.Errorf("write epoch file: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("sync epoch file: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := s.fs.Rename(epochTmpFile, EpochFile); err != nil {
+		return fmt.Errorf("install epoch file: %w", err)
+	}
+	return nil
+}
+
+// LoadFleetEpoch reads the persisted fleet fencing epoch. A missing or
+// unparsable file is not an error: ok is false and fencing starts from
+// epoch 0 (degrades open — a damaged file must never lock a node out of
+// accepting policy).
+func (s *Store) LoadFleetEpoch() (int64, bool, error) {
+	raw, err := s.fs.ReadFile(EpochFile)
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("read epoch file: %w", err)
+	}
+	e, perr := strconv.ParseInt(strings.TrimSpace(string(raw)), 10, 64)
+	if perr != nil || e < 0 {
+		return 0, false, nil
+	}
+	return e, true, nil
 }
 
 // Close releases the append handle (the files themselves need no
