@@ -14,15 +14,18 @@ type Finding struct {
 	File string
 	// Line is the 1-based line of the declaration.
 	Line int
-	// Kind is the declaration kind: "func", "method", "type", "var",
-	// "const", or "field".
+	// Kind is the declaration kind: "package", "func", "method", "type",
+	// "var", "const", or "field".
 	Kind string
-	// Symbol is the exported identifier (methods as Type.Method).
+	// Symbol is the exported identifier (methods as Type.Method; for
+	// kind "package", the package name).
 	Symbol string
 }
 
 // LintDir parses the package in dir (test files excluded) and returns a
-// finding for every exported top-level declaration without a doc comment.
+// finding for every exported top-level declaration without a doc comment,
+// plus a "package" finding when no file carries a package-level doc
+// comment — every package must open with a comment saying what it is for.
 //
 // The rules match what godoc renders: a documented const/var/type block
 // covers its members, an individual spec's own comment also counts, and
@@ -43,6 +46,25 @@ func LintDir(dir string) ([]Finding, error) {
 		out = append(out, Finding{File: p.Filename, Line: p.Line, Kind: kind, Symbol: symbol})
 	}
 	for _, pkg := range pkgs {
+		// Package-level doc: godoc accepts the doc comment on any one
+		// file's package clause, so require at least one across the
+		// package. Anchor the finding to the lexically first file, the
+		// conventional home for it.
+		hasPkgDoc := false
+		firstFile := ""
+		var firstPos token.Pos
+		for name, file := range pkg.Files {
+			if file.Doc.Text() != "" {
+				hasPkgDoc = true
+			}
+			if firstFile == "" || name < firstFile {
+				firstFile = name
+				firstPos = file.Package
+			}
+		}
+		if !hasPkgDoc && firstFile != "" {
+			add(firstPos, "package", pkg.Name)
+		}
 		for _, file := range pkg.Files {
 			for _, decl := range file.Decls {
 				lintDecl(decl, add)

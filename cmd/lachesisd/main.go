@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"lachesis/internal/core"
+	"lachesis/internal/driver"
 	"lachesis/internal/fleet"
 	"lachesis/internal/guard"
 	"lachesis/internal/oslinux"
@@ -199,6 +200,9 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 			"expose net/http/pprof under /debug/pprof/ on the introspection server")
 		spanLog = fs.String("span-log", "",
 			"append completed trace spans as JSONL to this file (the in-memory ring behind /debug/trace is always on)")
+		writeQueue = fs.Bool("write-queue", false,
+			"funnel all kernel-facing control writes through a single writer goroutine (submission queue); "+
+				"concurrent appliers and the reconciler submit batches instead of issuing syscalls themselves")
 		flightDir = fs.String("flight-dir", "",
 			"write flight-recorder trace bundles into this directory on watchdog trips, guard blocks and canary rollbacks")
 	)
@@ -335,7 +339,18 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	if willReconcile && state.Len() > 0 {
 		seed = state.CoalescerSeed()
 	}
-	co := core.NewCoalescer(reconcile.RecordOS(core.AuditOS(ctl, trail), state, ident, entityOf), seed)
+	// With -write-queue the raw backend is fronted by a submission queue:
+	// every layer above (audit, intent recording, coalescing, the
+	// reconciler's exclusive repairs) composes unchanged, but the syscalls
+	// themselves are issued by exactly one writer goroutine.
+	var backend core.OSInterface = ctl
+	var qos *driver.QueuedOS
+	if *writeQueue {
+		qos = ctl.Queued(0)
+		defer qos.Close()
+		backend = qos
+	}
+	co := core.NewCoalescer(reconcile.RecordOS(core.AuditOS(backend, trail), state, ident, entityOf), seed)
 	var osIface core.OSInterface = co
 	gate := core.NewDriverGate()
 
@@ -344,6 +359,9 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	mw.SetWriteGate(gate)
 	ctl.SetTelemetry(mw.Telemetry())
 	co.SetTelemetry(mw.Telemetry(), "static")
+	if qos != nil {
+		qos.Queue().SetTelemetry(mw.Telemetry(), "oslinux")
+	}
 	telemetry.RegisterBuildInfo(mw.Telemetry(), "lachesisd")
 
 	// The agent's identity, needed both by the fleet beacon and by the

@@ -1,0 +1,108 @@
+package core
+
+// Batched control writes. A translator apply produces a burst of small
+// control ops (renices, share updates, thread moves). Issuing them one
+// interface call at a time costs a lock acquisition (or, behind a
+// submission queue, a goroutine handoff) per op; BatchApplier lets the
+// layer that already has the whole burst in hand — the Coalescer's Flush —
+// hand it down as one contiguous batch. internal/driver.SubmitQueue turns
+// a batch into a single submission to a per-driver writer goroutine.
+
+// OpKind identifies one control-plane operation in a batch.
+type OpKind uint8
+
+const (
+	// OpEnsureCgroup creates Cgroup if needed (idempotent).
+	OpEnsureCgroup OpKind = iota + 1
+	// OpSetShares sets Cgroup's cpu.shares to Value.
+	OpSetShares
+	// OpMoveThread places Thread into Cgroup.
+	OpMoveThread
+	// OpSetNice sets Thread's nice to Value.
+	OpSetNice
+	// OpRemoveCgroup removes Cgroup (no-op when the backing interface
+	// lacks the CgroupRemover capability).
+	OpRemoveCgroup
+	// OpRestoreThread returns Thread to its pre-Lachesis placement (no-op
+	// without the PlacementRestorer capability).
+	OpRestoreThread
+)
+
+// String names the op kind for diagnostics.
+func (k OpKind) String() string {
+	switch k {
+	case OpEnsureCgroup:
+		return "ensure"
+	case OpSetShares:
+		return "shares"
+	case OpMoveThread:
+		return "move"
+	case OpSetNice:
+		return "nice"
+	case OpRemoveCgroup:
+		return "remove"
+	case OpRestoreThread:
+		return "restore"
+	default:
+		return "unknown"
+	}
+}
+
+// ControlOp is one control-plane write. Which fields are meaningful
+// depends on Kind: Thread for nice/move/restore, Cgroup for
+// ensure/shares/move/remove, Value for nice and shares.
+type ControlOp struct {
+	Kind   OpKind
+	Thread int
+	Cgroup string
+	Value  int
+}
+
+// BatchApplier is the optional OS-chain capability to apply a burst of
+// control ops as one submission. Ops are applied strictly in slice order;
+// errs must have len(ops) entries and receives the per-op outcome (nil on
+// success) at the matching index, so callers can keep per-knob mirrors
+// exact. Implementations must not retain ops or errs after returning.
+type BatchApplier interface {
+	ApplyBatch(ops []ControlOp, errs []error)
+}
+
+// ApplyOp executes one ControlOp against a plain OSInterface, resolving
+// the optional capabilities the same way the rest of the chain does
+// (missing capability = benign no-op). It is the shared interpreter for
+// BatchApplier implementations.
+func ApplyOp(os OSInterface, op ControlOp) error {
+	switch op.Kind {
+	case OpEnsureCgroup:
+		return os.EnsureCgroup(op.Cgroup)
+	case OpSetShares:
+		return os.SetShares(op.Cgroup, op.Value)
+	case OpMoveThread:
+		return os.MoveThread(op.Thread, op.Cgroup)
+	case OpSetNice:
+		return os.SetNice(op.Thread, op.Value)
+	case OpRemoveCgroup:
+		if r, ok := os.(CgroupRemover); ok {
+			return r.RemoveCgroup(op.Cgroup)
+		}
+		return nil
+	case OpRestoreThread:
+		if r, ok := os.(PlacementRestorer); ok {
+			return r.RestoreThread(op.Thread)
+		}
+		return nil
+	default:
+		return &UnknownOpError{Kind: op.Kind}
+	}
+}
+
+// UnknownOpError reports a ControlOp whose Kind no interpreter understands
+// (a version skew between batch producer and consumer).
+type UnknownOpError struct {
+	Kind OpKind
+}
+
+// Error implements the error interface.
+func (e *UnknownOpError) Error() string {
+	return "core: unknown control op kind " + e.Kind.String()
+}

@@ -75,6 +75,13 @@ type Coalescer struct {
 
 	batching bool
 	buf      *coalesceBatch
+	// flush holds the Flush ordering scratch (group set, per-group move
+	// lists, sorted keys), reused across flushes.
+	flush coalesceFlushScratch
+	// batchOps/batchErrs are the reused batch-submission scratch used when
+	// the wrapped chain implements BatchApplier.
+	batchOps  []ControlOp
+	batchErrs []error
 
 	suppressed atomic.Int64
 	issued     atomic.Int64
@@ -111,6 +118,26 @@ func newCoalesceBatch() *coalesceBatch {
 		removes:  make(map[string]bool),
 		restores: make(map[int]bool),
 	}
+}
+
+// reset clears the batch for reuse, retaining map buckets.
+func (b *coalesceBatch) reset() {
+	clear(b.ensures)
+	clear(b.shares)
+	clear(b.moves)
+	clear(b.nices)
+	clear(b.removes)
+	clear(b.restores)
+}
+
+// coalesceFlushScratch is Flush's reusable ordering scratch. movesInto
+// retains historical group keys with truncated slices (bounded by the
+// group universe), so a stable group set refills without allocating.
+type coalesceFlushScratch struct {
+	groupSet  map[string]bool
+	movesInto map[string][]int
+	tids      []int
+	keys      []string
 }
 
 // NewCoalescer wraps inner with write coalescing. seed may be nil (cold
@@ -188,7 +215,11 @@ func (c *Coalescer) Begin() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.batching = true
-	c.buf = newCoalesceBatch()
+	if c.buf == nil {
+		c.buf = newCoalesceBatch()
+	} else {
+		c.buf.reset()
+	}
 }
 
 // Flush applies the buffered batch through the wrapped chain — grouped per
@@ -196,6 +227,10 @@ func (c *Coalescer) Begin() {
 // restores — and closes the batch. Ops whose value already matches the
 // mirror are dropped here. Vanished-entity errors are benign skips,
 // matching translator semantics.
+//
+// When the wrapped chain implements BatchApplier (e.g. a
+// driver.SubmitQueue), the surviving ops descend as one contiguous batch —
+// one submission to the per-driver writer instead of one handoff per op.
 func (c *Coalescer) Flush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -204,78 +239,215 @@ func (c *Coalescer) Flush() error {
 	}
 	buf := c.buf
 	c.batching = false
-	c.buf = nil
+	// buf stays allocated; the next Begin resets it for reuse.
 	c.flushes.Add(1)
 	if ctr := c.ctrFlushes; ctr != nil {
 		ctr.Inc()
 	}
 
-	var errs []error
-	fail := func(op string, key any, err error) {
-		if err != nil && !IsVanished(err) {
-			errs = append(errs, fmt.Errorf("coalesce %s %v: %w", op, key, err))
-		}
-	}
-
 	// Per-cgroup groups of surviving ops: ensure, shares, then moves.
-	groupSet := make(map[string]bool, len(buf.ensures)+len(buf.shares))
+	sc := &c.flush
+	if sc.groupSet == nil {
+		sc.groupSet = make(map[string]bool, len(buf.ensures)+len(buf.shares))
+		sc.movesInto = make(map[string][]int)
+	}
+	clear(sc.groupSet)
+	for g, tids := range sc.movesInto {
+		sc.movesInto[g] = tids[:0]
+	}
 	for g := range buf.ensures {
-		groupSet[g] = true
+		sc.groupSet[g] = true
 	}
 	for g := range buf.shares {
-		groupSet[g] = true
+		sc.groupSet[g] = true
 	}
-	movesInto := make(map[string][]int)
 	for tid, g := range buf.moves {
-		groupSet[g] = true
-		movesInto[g] = append(movesInto[g], tid)
+		sc.groupSet[g] = true
+		sc.movesInto[g] = append(sc.movesInto[g], tid)
 	}
-	for _, g := range sortedKeys(groupSet) {
+	sc.keys = appendSortedKeys(sc.keys, sc.groupSet)
+
+	if ba, ok := c.inner.(BatchApplier); ok {
+		return c.flushBatchLocked(buf, sc, ba)
+	}
+
+	var errs []error
+	for _, g := range sc.keys {
 		if buf.ensures[g] {
-			fail("ensure", g, c.ensureLocked(g))
+			errs = coalesceErr(errs, "ensure", g, c.ensureLocked(g))
 		}
 		if s, ok := buf.shares[g]; ok {
-			fail("shares", g, c.setSharesLocked(g, s))
+			errs = coalesceErr(errs, "shares", g, c.setSharesLocked(g, s))
 		}
-		tids := movesInto[g]
+		tids := sc.movesInto[g]
 		sort.Ints(tids)
 		for _, tid := range tids {
-			fail("move", tid, c.moveLocked(tid, g))
+			errs = coalesceErrTID(errs, "move", tid, c.moveLocked(tid, g))
 		}
 	}
-	nices := make([]int, 0, len(buf.nices))
+	sc.tids = sc.tids[:0]
 	for tid := range buf.nices {
-		nices = append(nices, tid)
+		sc.tids = append(sc.tids, tid)
 	}
-	sort.Ints(nices)
-	for _, tid := range nices {
-		fail("nice", tid, c.setNiceLocked(tid, buf.nices[tid]))
+	sort.Ints(sc.tids)
+	for _, tid := range sc.tids {
+		errs = coalesceErrTID(errs, "nice", tid, c.setNiceLocked(tid, buf.nices[tid]))
 	}
-	for _, g := range sortedKeys(buf.removes) {
-		fail("remove", g, c.removeLocked(g))
+	sc.keys = appendSortedKeys(sc.keys, buf.removes)
+	for _, g := range sc.keys {
+		errs = coalesceErr(errs, "remove", g, c.removeLocked(g))
 	}
-	restores := make([]int, 0, len(buf.restores))
+	sc.tids = sc.tids[:0]
 	for tid := range buf.restores {
-		restores = append(restores, tid)
+		sc.tids = append(sc.tids, tid)
 	}
-	sort.Ints(restores)
-	for _, tid := range restores {
-		fail("restore", tid, c.restoreLocked(tid))
+	sort.Ints(sc.tids)
+	for _, tid := range sc.tids {
+		errs = coalesceErrTID(errs, "restore", tid, c.restoreLocked(tid))
 	}
 	return errors.Join(errs...)
 }
 
-// --- locked single-op paths (suppression + mirror update) ---
-
-func (c *Coalescer) setNiceLocked(tid, nice int) error {
-	if !c.dirtyNice[tid] {
-		if have, ok := c.nices[tid]; ok && have == nice {
-			c.countSuppressed()
-			return nil
+// flushBatchLocked is the BatchApplier flush path: the suppression diff
+// runs up front, survivors are assembled into one ControlOp batch in the
+// same order the sequential path issues them, the whole batch descends in
+// one ApplyBatch call, and the per-op results drive the same mirror
+// updates afterwards.
+func (c *Coalescer) flushBatchLocked(buf *coalesceBatch, sc *coalesceFlushScratch, ba BatchApplier) error {
+	ops := c.batchOps[:0]
+	for _, g := range sc.keys {
+		if buf.ensures[g] {
+			if c.ensureNeeded(g) {
+				ops = append(ops, ControlOp{Kind: OpEnsureCgroup, Cgroup: g})
+			} else {
+				c.countSuppressed()
+			}
+		}
+		if s, ok := buf.shares[g]; ok {
+			if c.sharesNeeded(g, s) {
+				ops = append(ops, ControlOp{Kind: OpSetShares, Cgroup: g, Value: s})
+			} else {
+				c.countSuppressed()
+			}
+		}
+		tids := sc.movesInto[g]
+		sort.Ints(tids)
+		for _, tid := range tids {
+			if c.moveNeeded(tid, g) {
+				ops = append(ops, ControlOp{Kind: OpMoveThread, Thread: tid, Cgroup: g})
+			} else {
+				c.countSuppressed()
+			}
 		}
 	}
-	c.countIssued()
-	err := c.inner.SetNice(tid, nice)
+	sc.tids = sc.tids[:0]
+	for tid := range buf.nices {
+		sc.tids = append(sc.tids, tid)
+	}
+	sort.Ints(sc.tids)
+	for _, tid := range sc.tids {
+		if c.niceNeeded(tid, buf.nices[tid]) {
+			ops = append(ops, ControlOp{Kind: OpSetNice, Thread: tid, Value: buf.nices[tid]})
+		} else {
+			c.countSuppressed()
+		}
+	}
+	sc.keys = appendSortedKeys(sc.keys, buf.removes)
+	for _, g := range sc.keys {
+		ops = append(ops, ControlOp{Kind: OpRemoveCgroup, Cgroup: g})
+	}
+	sc.tids = sc.tids[:0]
+	for tid := range buf.restores {
+		sc.tids = append(sc.tids, tid)
+	}
+	sort.Ints(sc.tids)
+	for _, tid := range sc.tids {
+		ops = append(ops, ControlOp{Kind: OpRestoreThread, Thread: tid})
+	}
+	c.batchOps = ops
+	if len(ops) == 0 {
+		return nil
+	}
+
+	if cap(c.batchErrs) < len(ops) {
+		c.batchErrs = make([]error, len(ops))
+	}
+	results := c.batchErrs[:len(ops)]
+	for i := range results {
+		results[i] = nil
+	}
+	for range ops {
+		c.countIssued()
+	}
+	ba.ApplyBatch(ops, results)
+
+	var errs []error
+	for i, op := range ops {
+		err := results[i]
+		results[i] = nil // don't retain the error past this flush
+		switch op.Kind {
+		case OpEnsureCgroup:
+			if err == nil {
+				c.groups[op.Cgroup] = true
+			}
+			errs = coalesceErr(errs, "ensure", op.Cgroup, err)
+		case OpSetShares:
+			c.sharesApplied(op.Cgroup, op.Value, err)
+			errs = coalesceErr(errs, "shares", op.Cgroup, err)
+		case OpMoveThread:
+			c.moveApplied(op.Thread, op.Cgroup, err)
+			errs = coalesceErrTID(errs, "move", op.Thread, err)
+		case OpSetNice:
+			c.niceApplied(op.Thread, op.Value, err)
+			errs = coalesceErrTID(errs, "nice", op.Thread, err)
+		case OpRemoveCgroup:
+			if err == nil || IsVanished(err) {
+				delete(c.shares, op.Cgroup)
+				delete(c.groups, op.Cgroup)
+				delete(c.dirtyGroup, op.Cgroup)
+			}
+			errs = coalesceErr(errs, "remove", op.Cgroup, err)
+		case OpRestoreThread:
+			if err == nil || IsVanished(err) {
+				delete(c.placed, op.Thread)
+				delete(c.dirtyPlace, op.Thread)
+			}
+			errs = coalesceErrTID(errs, "restore", op.Thread, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// coalesceErr appends a wrapped non-benign error for a string-keyed op.
+// Typed key parameters (vs a closure over `any`) keep the healthy flush
+// path free of interface boxing and closure allocations.
+func coalesceErr(errs []error, op, key string, err error) []error {
+	if err != nil && !IsVanished(err) {
+		errs = append(errs, fmt.Errorf("coalesce %s %s: %w", op, key, err))
+	}
+	return errs
+}
+
+// coalesceErrTID is coalesceErr for thread-keyed ops.
+func coalesceErrTID(errs []error, op string, tid int, err error) []error {
+	if err != nil && !IsVanished(err) {
+		errs = append(errs, fmt.Errorf("coalesce %s %d: %w", op, tid, err))
+	}
+	return errs
+}
+
+// --- suppression predicates and mirror updates (shared by the single-op
+// and batch flush paths) ---
+
+func (c *Coalescer) niceNeeded(tid, nice int) bool {
+	if c.dirtyNice[tid] {
+		return true
+	}
+	have, ok := c.nices[tid]
+	return !ok || have != nice
+}
+
+func (c *Coalescer) niceApplied(tid, nice int, err error) {
 	if err == nil {
 		c.nices[tid] = nice
 		delete(c.dirtyNice, tid)
@@ -283,11 +455,64 @@ func (c *Coalescer) setNiceLocked(tid, nice int) error {
 		delete(c.nices, tid)
 		delete(c.placed, tid)
 	}
+}
+
+func (c *Coalescer) ensureNeeded(name string) bool {
+	return c.dirtyGroup[name] || !c.groups[name]
+}
+
+func (c *Coalescer) sharesNeeded(name string, shares int) bool {
+	if c.dirtyGroup[name] {
+		return true
+	}
+	have, ok := c.shares[name]
+	return !ok || have != shares
+}
+
+func (c *Coalescer) sharesApplied(name string, shares int, err error) {
+	if err == nil {
+		c.shares[name] = shares
+		c.groups[name] = true
+		delete(c.dirtyGroup, name)
+	} else if IsVanished(err) {
+		delete(c.shares, name)
+		delete(c.groups, name)
+	}
+}
+
+func (c *Coalescer) moveNeeded(tid int, name string) bool {
+	if c.dirtyPlace[tid] {
+		return true
+	}
+	have, ok := c.placed[tid]
+	return !ok || have != name
+}
+
+func (c *Coalescer) moveApplied(tid int, name string, err error) {
+	if err == nil {
+		c.placed[tid] = name
+		delete(c.dirtyPlace, tid)
+	} else if IsVanished(err) {
+		delete(c.nices, tid)
+		delete(c.placed, tid)
+	}
+}
+
+// --- locked single-op paths ---
+
+func (c *Coalescer) setNiceLocked(tid, nice int) error {
+	if !c.niceNeeded(tid, nice) {
+		c.countSuppressed()
+		return nil
+	}
+	c.countIssued()
+	err := c.inner.SetNice(tid, nice)
+	c.niceApplied(tid, nice, err)
 	return err
 }
 
 func (c *Coalescer) ensureLocked(name string) error {
-	if !c.dirtyGroup[name] && c.groups[name] {
+	if !c.ensureNeeded(name) {
 		c.countSuppressed()
 		return nil
 	}
@@ -300,41 +525,24 @@ func (c *Coalescer) ensureLocked(name string) error {
 }
 
 func (c *Coalescer) setSharesLocked(name string, shares int) error {
-	if !c.dirtyGroup[name] {
-		if have, ok := c.shares[name]; ok && have == shares {
-			c.countSuppressed()
-			return nil
-		}
+	if !c.sharesNeeded(name, shares) {
+		c.countSuppressed()
+		return nil
 	}
 	c.countIssued()
 	err := c.inner.SetShares(name, shares)
-	if err == nil {
-		c.shares[name] = shares
-		c.groups[name] = true
-		delete(c.dirtyGroup, name)
-	} else if IsVanished(err) {
-		delete(c.shares, name)
-		delete(c.groups, name)
-	}
+	c.sharesApplied(name, shares, err)
 	return err
 }
 
 func (c *Coalescer) moveLocked(tid int, name string) error {
-	if !c.dirtyPlace[tid] {
-		if have, ok := c.placed[tid]; ok && have == name {
-			c.countSuppressed()
-			return nil
-		}
+	if !c.moveNeeded(tid, name) {
+		c.countSuppressed()
+		return nil
 	}
 	c.countIssued()
 	err := c.inner.MoveThread(tid, name)
-	if err == nil {
-		c.placed[tid] = name
-		delete(c.dirtyPlace, tid)
-	} else if IsVanished(err) {
-		delete(c.nices, tid)
-		delete(c.placed, tid)
-	}
+	c.moveApplied(tid, name, err)
 	return err
 }
 

@@ -104,7 +104,9 @@ func (m *Middleware) overrun(now time.Duration, bp *boundPolicy, phase string, d
 // refuses new runs until it drains.
 func (m *Middleware) scheduleBounded(now time.Duration, bp *boundPolicy, view *View, deadline time.Duration) (Schedule, error) {
 	if deadline <= 0 {
-		return m.safeSchedule(bp.Policy, view)
+		// The unbounded path is the hot one: route through the binding so
+		// in-place policies reuse their schedule buffers.
+		return m.safeScheduleBP(bp, view)
 	}
 	type schedOut struct {
 		sched Schedule

@@ -143,12 +143,16 @@ func (m *Middleware) auditRecord(e AuditEvent) {
 	}
 }
 
+// auditNoop is the shared no-op apply bracket: returning a package-level
+// func keeps the audit-off hot path from allocating a closure per apply.
+var auditNoop = func() {}
+
 // auditApplyCtx brackets one translator apply with the audit binding
 // context; the returned func must be called when the apply finishes.
 func (m *Middleware) auditApplyCtx(now time.Duration, bp *boundPolicy, entities map[string]Entity) func() {
 	if m.audit == nil {
-		return func() {}
+		return auditNoop
 	}
-	tok := m.audit.beginApply(now, bp.Policy.Name(), bp.Translator.Name(), entities)
+	tok := m.audit.beginApply(now, bp.policyName, bp.translatorName, entities)
 	return func() { m.audit.endApply(tok) }
 }

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// memoDriver is a benchDriver whose values the test mutates explicitly.
+type memoDriver struct {
+	name string
+	ents []Entity
+	vals map[string]EntityValues
+}
+
+func (d *memoDriver) Name() string                { return d.name }
+func (d *memoDriver) Entities() []Entity          { return d.ents }
+func (d *memoDriver) Provides(metric string) bool { return metric == MetricQueueSize }
+func (d *memoDriver) Fetch(metric string, window time.Duration) (EntityValues, error) {
+	return d.vals[metric], nil
+}
+
+func memoFixture(t *testing.T, memoize bool) (*Middleware, *memoDriver, *nopOS) {
+	t.Helper()
+	d := &memoDriver{
+		name: "spe",
+		ents: []Entity{
+			{Name: "op-a", Driver: "spe", Query: "q1", Thread: 101},
+			{Name: "op-b", Driver: "spe", Query: "q1", Thread: 102},
+		},
+		vals: map[string]EntityValues{
+			MetricQueueSize: {"op-a": 10, "op-b": 20},
+		},
+	}
+	os := &nopOS{}
+	m := NewMiddleware(nil)
+	t.Cleanup(m.Close)
+	if err := m.Bind(Binding{
+		Policy:     GroupPerQuery(NewQSPolicy()),
+		Translator: NewCombinedTranslator(os, 0, 0),
+		Drivers:    []Driver{d},
+		Period:     time.Second,
+		Memoize:    memoize,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return m, d, os
+}
+
+// TestMemoizeSkipsUnchangedCycles: identical inputs after a successful
+// apply are served from the memo (no policy run, no OS traffic), and any
+// input change — a value, an entity — runs the full pipeline again.
+func TestMemoizeSkipsUnchangedCycles(t *testing.T) {
+	m, d, os := memoFixture(t, true)
+
+	st, err := m.Step(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PoliciesRun != 1 || st.Memoized != 0 {
+		t.Fatalf("first cycle: run=%d memoized=%d, want 1/0", st.PoliciesRun, st.Memoized)
+	}
+	calls := os.calls()
+
+	// Unchanged inputs: memo hit, zero backend traffic, entity count and
+	// label preserved in the stats entry.
+	st, err = m.Step(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PoliciesRun != 0 || st.Memoized != 1 {
+		t.Fatalf("steady cycle: run=%d memoized=%d, want 0/1", st.PoliciesRun, st.Memoized)
+	}
+	if os.calls() != calls {
+		t.Fatalf("memoized cycle reached the backend: %d -> %d calls", calls, os.calls())
+	}
+	if len(st.Bindings) != 1 || !st.Bindings[0].Memoized || st.Bindings[0].Entities != 2 {
+		t.Fatalf("memoized stats entry wrong: %+v", st.Bindings[0])
+	}
+	if st.Entities != 2 {
+		t.Fatalf("memoized entities = %d, want 2", st.Entities)
+	}
+
+	// A value change must break the memo.
+	d.vals[MetricQueueSize]["op-a"] = 99
+	st, _ = m.Step(3 * time.Second)
+	if st.PoliciesRun != 1 || st.Memoized != 0 {
+		t.Fatalf("after value change: run=%d memoized=%d, want 1/0", st.PoliciesRun, st.Memoized)
+	}
+
+	// Back to steady, then an entity change must break it too.
+	if st, _ = m.Step(4 * time.Second); st.Memoized != 1 {
+		t.Fatalf("expected memo hit before entity change, got %+v", st)
+	}
+	d.ents = append(d.ents, Entity{Name: "op-c", Driver: "spe", Query: "q1", Thread: 103})
+	d.vals[MetricQueueSize]["op-c"] = 5
+	st, _ = m.Step(5 * time.Second)
+	if st.PoliciesRun != 1 || st.Memoized != 0 {
+		t.Fatalf("after entity change: run=%d memoized=%d, want 1/0", st.PoliciesRun, st.Memoized)
+	}
+	if st.Entities != 3 {
+		t.Fatalf("entities after growth = %d, want 3", st.Entities)
+	}
+}
+
+// TestMemoizeInvalidatedByFailure: a failed apply clears the memo, so the
+// next cycle — even with unchanged inputs — executes the full pipeline
+// (half-open probes must never be answered from the memo).
+func TestMemoizeInvalidatedByFailure(t *testing.T) {
+	m, d, os := memoFixture(t, true)
+	m.SetResilience(Resilience{FailureThreshold: 100}) // keep the breaker shut
+
+	if _, err := m.Step(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := m.Step(2 * time.Second); st.Memoized != 1 {
+		t.Fatalf("expected steady memo hit, got %+v", st)
+	}
+
+	// Change an input so the cycle leaves the memo and hits the (now
+	// failing) backend.
+	os.fail = errors.New("backend down")
+	d.vals[MetricQueueSize]["op-a"] = 42
+	if _, err := m.Step(3 * time.Second); err == nil {
+		t.Fatal("expected apply failure")
+	}
+	os.fail = nil
+
+	// Inputs are unchanged, but the last apply failed: the schedule on
+	// the OS cannot be trusted, so the pipeline must run in full.
+	st, err := m.Step(4 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PoliciesRun != 1 || st.Memoized != 0 {
+		t.Fatalf("post-failure cycle: run=%d memoized=%d, want 1/0", st.PoliciesRun, st.Memoized)
+	}
+	if st, _ = m.Step(5 * time.Second); st.Memoized != 1 {
+		t.Fatalf("memo did not re-arm after recovery: %+v", st)
+	}
+}
+
+// TestMemoizeOffByDefault: without the opt-in, identical inputs still run
+// the policy every cycle.
+func TestMemoizeOffByDefault(t *testing.T) {
+	m, _, _ := memoFixture(t, false)
+	for i := 1; i <= 3; i++ {
+		st, err := m.Step(time.Duration(i) * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.PoliciesRun != 1 || st.Memoized != 0 {
+			t.Fatalf("cycle %d: run=%d memoized=%d, want 1/0", i, st.PoliciesRun, st.Memoized)
+		}
+	}
+}

@@ -42,6 +42,16 @@ type Binding struct {
 	// Translator writes through, and sits above the Coalescer:
 	// translator -> guard -> coalescer -> backend. One Guard per binding.
 	Guard ApplyGuard
+	// Memoize opts this binding into decision memoization: when every
+	// bound driver's metric values and entity list are unchanged since
+	// the binding's last successful apply, the whole
+	// schedule -> translate -> apply pipeline is skipped for that cycle
+	// (see memo.go). Only sound for value-deterministic policies — the
+	// schedule must be a pure function of the view's entities and values
+	// (no View.Now dependence, internal state, or randomness). Failures
+	// and quarantine resets invalidate the memo, so probes and recovery
+	// always run the full pipeline.
+	Memoize bool
 }
 
 // DegradedAction selects what a binding does when its circuit breaker
@@ -227,6 +237,20 @@ type Middleware struct {
 	// step time never measures the middleware's own cost). Tests may
 	// replace it.
 	nowFn func() time.Time
+
+	// Hot-path machinery (hotpath.go): persistent phase worker pool,
+	// per-cycle scratch buffers, and the pool job functions bound once so
+	// dispatching a phase never allocates a closure.
+	pool    *indexPool
+	scratch stepScratch
+	fetchFn func(int)
+	applyFn func(int)
+	// labelTaken caches the set of assigned binding labels, making Bind's
+	// collision dedup O(1) amortized instead of a scan over all bindings
+	// (which is quadratic when binding thousands of policies).
+	labelTaken map[string]bool
+	// labelNext is the per-base dedup-suffix cursor (see bindingLabel).
+	labelNext map[string]int
 }
 
 type boundPolicy struct {
@@ -234,10 +258,30 @@ type boundPolicy struct {
 	ticker  *Ticker
 	queries map[string]bool
 	label   string // "policy/translator", the telemetry binding label
+	// policyName/translatorName cache Policy.Name()/Translator.Name() at
+	// Bind time: stats assembly and audit attribution run every cycle and
+	// must not call user code (whose Name may allocate) per step.
+	policyName     string
+	translatorName string
+	// names caches the binding's driver names for the gate lock set.
+	names []string
+	// inPlace is non-nil when the policy supports allocation-free
+	// in-place scheduling (see InPlaceScheduler in hotpath.go).
+	inPlace InPlaceScheduler
 	// execMu serializes bindings sharing a stateful Policy or Translator
 	// instance in the parallel apply pool; bindings with private
 	// instances each get their own (uncontended) mutex.
 	execMu *sync.Mutex
+
+	// Reusable per-binding cycle scratch (hotpath.go): the view's entity
+	// and merged-metric maps, the in-place schedule buffers, and the
+	// cached driver lock set for the current write gate.
+	view         View
+	viewEntities map[string]Entity
+	viewMerged   map[string]EntityValues
+	sched        Schedule
+	lockGate     *DriverGate
+	lockSet      *DriverLockSet
 
 	// Circuit-breaker state.
 	fails     int           // consecutive failures
@@ -249,6 +293,14 @@ type boundPolicy struct {
 	haveSuccess  bool
 	lastErr      error
 	lastEntities map[string]Entity // last successfully scheduled entities
+
+	// Decision-memoization snapshot (memo.go): deep copies of the last
+	// successfully applied inputs, per driver name. memoValid gates the
+	// fast path and is cleared on any failure or quarantine reset.
+	memoValid    bool
+	memoVals     map[string]map[string]EntityValues
+	memoEnts     map[string][]Entity
+	memoEntities int
 
 	// inflight marks a deadline-cancelled phase whose goroutine has not
 	// returned yet; runs are refused until it drains (see guardhook.go).
@@ -323,9 +375,21 @@ func (m *Middleware) Bind(b Binding) error {
 		return fmt.Errorf("bind %s: %w", b.Policy.Name(), err)
 	}
 	bp := &boundPolicy{
-		Binding: b,
-		ticker:  NewTicker(b.Period),
-		label:   m.bindingLabel(b.Policy.Name() + "/" + b.Translator.Name()),
+		Binding:        b,
+		ticker:         NewTicker(b.Period),
+		label:          m.bindingLabel(b.Policy.Name() + "/" + b.Translator.Name()),
+		policyName:     b.Policy.Name(),
+		translatorName: b.Translator.Name(),
+	}
+	// The in-place fast path only engages when the policy itself is the
+	// in-place implementation (see InPlaceTarget): a wrapper embedding an
+	// in-place policy but overriding Schedule must keep its override.
+	if ip, ok := b.Policy.(InPlaceScheduler); ok && sameInstance(ip.InPlaceTarget(), b.Policy) {
+		bp.inPlace = ip
+	}
+	bp.names = make([]string, 0, len(b.Drivers))
+	for _, d := range b.Drivers {
+		bp.names = append(bp.names, d.Name())
 	}
 	// Bindings reusing a Policy or Translator instance (which may hold
 	// unsynchronized state: rngs, previous-group maps) share one
@@ -356,22 +420,24 @@ func (m *Middleware) Bind(b Binding) error {
 
 // bindingLabel makes the telemetry label unique across bindings: a second
 // binding of the same policy/translator pair gets a "#2" suffix so their
-// per-binding series don't merge.
+// per-binding series don't merge. The assigned-label set is cached in
+// labelTaken, so dedup is one map probe per candidate instead of a scan
+// over all bindings (quadratic at 10k bindings).
 func (m *Middleware) bindingLabel(base string) string {
-	label := base
-	for i := 2; ; i++ {
-		taken := false
-		for _, other := range m.bindings {
-			if other.label == label {
-				taken = true
-				break
-			}
-		}
-		if !taken {
-			return label
-		}
-		label = fmt.Sprintf("%s#%d", base, i)
+	if m.labelTaken == nil {
+		m.labelTaken = make(map[string]bool)
+		m.labelNext = make(map[string]int)
 	}
+	label := base
+	// Resume probing from the last suffix handed out for this base:
+	// without the cursor, the nth duplicate binding re-probes #2..#n and
+	// Bind degenerates quadratically at 10k identical pairs.
+	for i := max(2, m.labelNext[base]); m.labelTaken[label]; i++ {
+		label = fmt.Sprintf("%s#%d", base, i)
+		m.labelNext[base] = i + 1
+	}
+	m.labelTaken[label] = true
+	return label
 }
 
 // driverState returns (creating if needed) the tracked state of a driver.
@@ -427,7 +493,11 @@ type BindingStepStats struct {
 	// Quarantined marks a binding skipped by an open breaker (no phases
 	// ran).
 	Quarantined bool
-	Err         string
+	// Memoized marks a cycle served from the decision memo: inputs were
+	// unchanged since the last successful apply, so no phase ran and the
+	// OS keeps enforcing the previous schedule (see Binding.Memoize).
+	Memoized bool
+	Err      string
 }
 
 // StepStats reports what one Step did, letting callers model the
@@ -438,6 +508,10 @@ type BindingStepStats struct {
 // Labels are the plain "policy/translator" name and are only suffixed
 // with "#N" when two bindings would otherwise collide — a unique binding
 // never carries a dedup suffix.
+//
+// The Bindings and Drivers slices are backed by middleware-owned scratch
+// arrays reused across cycles: they are valid until the next Step on the
+// same Middleware. Callers that retain them across steps must copy.
 type StepStats struct {
 	// PoliciesRun is the number of due policies executed.
 	PoliciesRun int
@@ -446,6 +520,10 @@ type StepStats struct {
 	// Quarantined is the number of due bindings skipped by an open
 	// circuit breaker.
 	Quarantined int
+	// Memoized is the number of due bindings served from the decision
+	// memo this step (unchanged inputs, pipeline skipped; not counted in
+	// PoliciesRun because no policy executed).
+	Memoized int
 	// Next is the earliest time any policy is due again. It is always in
 	// the future, even when every driver failed, so callers honoring it
 	// never busy-loop.
@@ -473,22 +551,31 @@ func (m *Middleware) Step(now time.Duration) (StepStats, error) {
 	}
 	// Collect due bindings and advance their tickers up front: a failed
 	// cycle must never leave stats.Next in the past (ticker-stall bug).
-	var due []*boundPolicy
+	// The due slice and the stats backing arrays are middleware-owned
+	// scratch, reused across cycles (see StepStats doc).
+	due := m.scratch.due[:0]
 	for _, bp := range m.bindings {
 		if bp.ticker.Due(now) {
 			bp.ticker.Advance(now)
 			due = append(due, bp)
 		}
 	}
+	m.scratch.due = due
 	if len(due) == 0 {
 		stats.Next = m.nextDue()
 		return stats, nil
 	}
+	stats.Bindings = m.scratch.bindingStats[:0]
+	stats.Drivers = m.scratch.driverStats[:0]
 
 	start := m.nowFn()
 	m.cycleSpans.Store(0)
 	cycle := m.spans.StartRoot(now, "cycle")
-	cycle.SetAttr("due", fmt.Sprint(len(due)))
+	if cycle != nil {
+		// Gated: fmt.Sprint allocates, and the attribute is useless when
+		// tracing is off.
+		cycle.SetAttr("due", fmt.Sprint(len(due)))
+	}
 	m.cycleCtx = cycle.Context()
 	var errs []error
 	if m.res.Disabled {
@@ -511,6 +598,9 @@ func (m *Middleware) Step(now time.Duration) (StepStats, error) {
 		m.ins.stepSeconds.Observe(stats.Wall)
 	}
 	stats.Next = m.nextDue()
+	// Keep the (possibly grown) backing arrays for the next cycle.
+	m.scratch.bindingStats = stats.Bindings
+	m.scratch.driverStats = stats.Drivers
 	return stats, err
 }
 
@@ -585,24 +675,25 @@ func (m *Middleware) stepResilient(now time.Duration, due []*boundPolicy, stats 
 	var errs []error
 	// Run breaker gating first so quarantined-only drivers are not
 	// scraped.
-	var runnable []*boundPolicy
+	runnable := m.scratch.runnable[:0]
 	for _, bp := range due {
 		if bp.open && now < bp.openUntil {
 			stats.Quarantined++
 			bp.ctrQuarantined.Inc()
 			stats.Bindings = append(stats.Bindings, BindingStepStats{
 				Label:  bp.label,
-				Policy: bp.Policy.Name(), Translator: bp.Translator.Name(), Quarantined: true,
+				Policy: bp.policyName, Translator: bp.translatorName, Quarantined: true,
 			})
 			m.auditRecord(AuditEvent{
 				At: now, Kind: AuditKindQuarantine,
-				Policy: bp.Policy.Name(), Translator: bp.Translator.Name(),
+				Policy: bp.policyName, Translator: bp.translatorName,
 				Outcome: fmt.Sprintf("open until %v", bp.openUntil),
 			})
 			continue
 		}
 		runnable = append(runnable, bp)
 	}
+	m.scratch.runnable = runnable
 
 	values, unavailable := m.fetchPhase(now, runnable, stats, &errs)
 	m.applyPhase(now, runnable, values, unavailable, stats, &errs)
@@ -613,6 +704,7 @@ func (m *Middleware) stepResilient(now time.Duration, due []*boundPolicy, stats 
 func (m *Middleware) recordFailure(bp *boundPolicy, now time.Duration, err error) {
 	bp.fails++
 	bp.lastErr = err
+	bp.memoValid = false // a failed cycle must never be served from the memo
 	if bp.open {
 		// Failed half-open probe: re-quarantine with doubled backoff.
 		bp.opens++
@@ -663,6 +755,7 @@ func (m *Middleware) backoff(bp *boundPolicy) time.Duration {
 // scheduling, best-effort: through the translator's Resetter capability
 // when available, otherwise by applying a neutral (all-equal) schedule.
 func (m *Middleware) resetBinding(now time.Duration, bp *boundPolicy) {
+	bp.memoValid = false // the applied schedule is being replaced by neutral
 	if len(bp.lastEntities) == 0 {
 		return
 	}
@@ -698,6 +791,28 @@ func (m *Middleware) safeSchedule(p Policy, v *View) (sched Schedule, err error)
 		}
 	}()
 	return p.Schedule(v)
+}
+
+// safeScheduleBP is safeSchedule routed through the binding: a policy
+// implementing InPlaceScheduler writes into the binding's reusable
+// schedule buffers instead of allocating a fresh Schedule per cycle. The
+// returned Schedule aliases those buffers and is valid until the
+// binding's next run — runBinding consumes it synchronously.
+func (m *Middleware) safeScheduleBP(bp *boundPolicy, v *View) (sched Schedule, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.ins.panics.Inc()
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	if bp.inPlace != nil {
+		bp.resetSched()
+		if err := bp.inPlace.ScheduleInto(v, &bp.sched); err != nil {
+			return Schedule{}, err
+		}
+		return bp.sched, nil
+	}
+	return bp.Policy.Schedule(v)
 }
 
 // safeApply runs a translator with panic isolation.
@@ -774,13 +889,39 @@ func distinctDrivers(bps []*boundPolicy) []Driver {
 	return out
 }
 
+// distinctDriversScratch is distinctDrivers over the middleware's reused
+// scratch buffers: the returned slice is valid until the next cycle.
+func (m *Middleware) distinctDriversScratch(bps []*boundPolicy) []Driver {
+	sc := &m.scratch
+	if sc.driverSeen == nil {
+		sc.driverSeen = make(map[string]bool)
+	}
+	clear(sc.driverSeen)
+	sc.drivers = sc.drivers[:0]
+	for _, bp := range bps {
+		for _, d := range bp.Drivers {
+			if !sc.driverSeen[d.Name()] {
+				sc.driverSeen[d.Name()] = true
+				sc.drivers = append(sc.drivers, d)
+			}
+		}
+	}
+	return sc.drivers
+}
+
 // buildView assembles the policy's view: entities of its drivers (filtered
 // by query scope) and the merged metric values. Drivers absent from values
 // (unavailable this cycle) contribute neither entities nor metrics — their
 // operators are quarantined until the driver recovers.
+//
+// The view and its maps are binding-owned scratch, cleared and refilled in
+// place each cycle — with a stable entity set, a steady-state build does
+// not touch the allocator. The returned *View is valid until the binding's
+// next run; nothing downstream retains it (lastEntities is a copy).
 func (m *Middleware) buildView(now time.Duration, bp *boundPolicy, values Values) *View {
-	entities := make(map[string]Entity)
-	merged := make(map[string]EntityValues)
+	bp.resetViewScratch()
+	entities := bp.viewEntities
+	merged := bp.viewMerged
 	for _, d := range bp.Drivers {
 		vals, ok := values[d.Name()]
 		if !ok {
@@ -805,7 +946,8 @@ func (m *Middleware) buildView(now time.Duration, bp *boundPolicy, values Values
 			}
 		}
 	}
-	return NewView(now, entities, merged)
+	bp.view = View{Now: now, Entities: entities, values: merged}
+	return &bp.view
 }
 
 // nextDue returns the earliest next fire time across bindings.

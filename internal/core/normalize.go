@@ -41,39 +41,75 @@ type ClampObserver func(entity string, raw float64, clamped int)
 // NaN/Inf garbage, which clamps to the weakest nice) is reported to obs.
 func NormalizeToNiceObserved(priorities map[string]float64, scale Scale, obs ClampObserver) map[string]int {
 	out := make(map[string]int, len(priorities))
-	if len(priorities) == 0 {
-		return out
+	var sc normScratch
+	normalizeToNiceInto(priorities, scale, obs, out, &sc)
+	return out
+}
+
+// normScratch holds the intermediate maps of one normalization, reused
+// across cycles by translators so a steady-state normalization does not
+// touch the allocator.
+type normScratch struct {
+	a, b map[string]float64
+}
+
+// maps returns the two cleared scratch maps, creating them on first use.
+func (sc *normScratch) maps() (a, b map[string]float64) {
+	if sc.a == nil {
+		sc.a = make(map[string]float64)
+		sc.b = make(map[string]float64)
 	}
+	clear(sc.a)
+	clear(sc.b)
+	return sc.a, sc.b
+}
+
+// normalizeToNiceInto is NormalizeToNiceObserved writing into out (which
+// it clears), with intermediates in sc instead of fresh maps.
+func normalizeToNiceInto(priorities map[string]float64, scale Scale, obs ClampObserver, out map[string]int, sc *normScratch) {
+	clear(out)
+	if len(priorities) == 0 {
+		return
+	}
+	a, b := sc.maps()
 	switch scale {
 	case ScaleLog:
-		shifted := shiftPositive(priorities)
+		shifted := shiftPositiveInto(priorities, a)
 		pmax := math.Inf(-1)
 		for _, v := range shifted {
 			pmax = math.Max(pmax, v)
 		}
 		logPmax := math.Log(pmax)
-		raw := make(map[string]float64, len(shifted))
 		fits := true
 		for e, v := range shifted {
 			f := float64(niceMin) + (logPmax-math.Log(v))/log125
-			raw[e] = f
+			b[e] = f
 			if f > float64(niceMax) {
 				fits = false
 			}
 		}
 		if fits {
-			for e, f := range raw {
+			for e, f := range b {
 				out[e] = clampNiceObserved(e, f, obs)
 			}
-			return out
+			return
 		}
 		// Spread too large for 40 nice values: min-max the log-domain
 		// values into the range (the paper's "additional min-max
-		// normalization might still be required").
-		return clampRange(minMaxToRangeF(raw, float64(niceMin), float64(niceMax), false), obs)
+		// normalization might still be required"). a's contents (the
+		// shifted values) are no longer needed — reuse it as the min-max
+		// destination.
+		clear(a)
+		minMaxToRangeFInto(b, float64(niceMin), float64(niceMax), false, a)
+		for e, f := range a {
+			out[e] = clampNiceObserved(e, f, obs)
+		}
 	default: // ScaleLinear
 		// Higher priority -> lower nice: invert during min-max.
-		return clampRange(minMaxToRangeF(priorities, float64(niceMin), float64(niceMax), true), obs)
+		minMaxToRangeFInto(priorities, float64(niceMin), float64(niceMax), true, a)
+		for e, f := range a {
+			out[e] = clampNiceObserved(e, f, obs)
+		}
 	}
 }
 
@@ -108,23 +144,45 @@ func clampNiceObserved(entity string, f float64, obs ClampObserver) int {
 // [lo, hi], min-max (optionally on logarithms) with higher priority
 // getting more shares.
 func NormalizeToShares(priorities map[string]float64, scale Scale, lo, hi int) map[string]int {
+	out := make(map[string]int, len(priorities))
+	var sc normScratch
+	normalizeToSharesInto(priorities, scale, lo, hi, out, &sc)
+	return out
+}
+
+// normalizeToSharesInto is NormalizeToShares writing into out (which it
+// clears), with intermediates in sc.
+func normalizeToSharesInto(priorities map[string]float64, scale Scale, lo, hi int, out map[string]int, sc *normScratch) {
+	clear(out)
 	if len(priorities) == 0 {
-		return map[string]int{}
+		return
 	}
+	a, b := sc.maps()
 	vals := priorities
 	if scale == ScaleLog {
-		shifted := shiftPositive(priorities)
-		vals = make(map[string]float64, len(shifted))
+		shifted := shiftPositiveInto(priorities, a)
 		for e, v := range shifted {
-			vals[e] = math.Log(v)
+			b[e] = math.Log(v)
 		}
+		vals = b
+		clear(a)
 	}
-	return minMaxToRange(vals, float64(lo), float64(hi), false)
+	minMaxToRangeFInto(vals, float64(lo), float64(hi), false, a)
+	for e, v := range a {
+		out[e] = int(math.Round(v))
+	}
 }
 
 // shiftPositive returns values shifted so the minimum is strictly
 // positive, preserving order (log normalization needs positive inputs).
 func shiftPositive(in map[string]float64) map[string]float64 {
+	return shiftPositiveInto(in, make(map[string]float64, len(in)))
+}
+
+// shiftPositiveInto is shiftPositive with a caller-supplied destination:
+// when no shift is needed it returns in untouched (dst unused), otherwise
+// it fills and returns dst.
+func shiftPositiveInto(in, dst map[string]float64) map[string]float64 {
 	min := math.Inf(1)
 	for _, v := range in {
 		min = math.Min(min, v)
@@ -132,12 +190,11 @@ func shiftPositive(in map[string]float64) map[string]float64 {
 	if min > 0 {
 		return in
 	}
-	out := make(map[string]float64, len(in))
 	shift := -min + 1e-9
 	for e, v := range in {
-		out[e] = v + shift
+		dst[e] = v + shift
 	}
-	return out
+	return dst
 }
 
 // minMaxToRange maps values onto integer [lo, hi]. With invert=true the
@@ -156,6 +213,12 @@ func minMaxToRange(in map[string]float64, lo, hi float64, invert bool) map[strin
 // values before discretizing.
 func minMaxToRangeF(in map[string]float64, lo, hi float64, invert bool) map[string]float64 {
 	out := make(map[string]float64, len(in))
+	minMaxToRangeFInto(in, lo, hi, invert, out)
+	return out
+}
+
+// minMaxToRangeFInto is minMaxToRangeF into a caller-supplied map.
+func minMaxToRangeFInto(in map[string]float64, lo, hi float64, invert bool, out map[string]float64) {
 	// NaN inputs are excluded from the min/max so one garbage value
 	// cannot poison the span; they propagate as NaN outputs for the
 	// clamp observer to attribute.
@@ -185,7 +248,6 @@ func minMaxToRangeF(in map[string]float64, lo, hi float64, invert bool) map[stri
 			out[e] = lo + frac*(hi-lo)
 		}
 	}
-	return out
 }
 
 func clampNice(n int) int {

@@ -3,7 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync"
+	"maps"
 	"time"
 
 	"lachesis/internal/span"
@@ -102,14 +102,6 @@ func sameInstance(a, b any) (eq bool) {
 	return a == b
 }
 
-// driverNames returns a binding's driver names.
-func (bp *boundPolicy) driverNames() []string {
-	out := make([]string, 0, len(bp.Drivers))
-	for _, d := range bp.Drivers {
-		out = append(out, d.Name())
-	}
-	return out
-}
 
 // fetchOut is one driver's raw fetch result before bookkeeping.
 type fetchOut struct {
@@ -154,8 +146,12 @@ func (m *Middleware) fetchOne(now time.Duration, d Driver) (map[string]EntityVal
 // driver state, telemetry, and stats in deterministic driver order.
 // It returns the merged values and the set of drivers unusable this cycle.
 func (m *Middleware) fetchPhase(now time.Duration, runnable []*boundPolicy, stats *StepStats, errs *[]error) (Values, map[string]error) {
-	drivers := distinctDrivers(runnable)
-	results := make([]fetchOut, len(drivers))
+	sc := &m.scratch
+	drivers := m.distinctDriversScratch(runnable)
+	if cap(sc.results) < len(drivers) {
+		sc.results = make([]fetchOut, len(drivers))
+	}
+	results := sc.results[:len(drivers)]
 
 	workers := m.par.FetchWorkers
 	if workers > len(drivers) {
@@ -166,29 +162,25 @@ func (m *Middleware) fetchPhase(now time.Duration, runnable []*boundPolicy, stat
 			results[i] = m.tracedFetch(now, d)
 		}
 	} else {
-		jobs := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range jobs {
-					results[i] = m.tracedFetch(now, drivers[i])
-				}
-			}()
-		}
-		for i := range drivers {
-			jobs <- i
-		}
-		close(jobs)
-		wg.Wait()
+		// Fetches are latency-bound round trips: dispatch one driver per
+		// job so a slow driver never serializes behind a fast one in the
+		// same chunk.
+		sc.now = now
+		m.bindPhaseJobs()
+		m.phasePool().run(workers, len(drivers), 1, m.fetchFn)
 	}
 
 	// Bookkeeping stays on the stepping goroutine, in driver order, so
 	// stats, health state, and audit events are deterministic regardless
 	// of fetch completion order.
-	values := make(Values)
-	unavailable := make(map[string]error)
+	if sc.values == nil {
+		sc.values = make(Values)
+		sc.unavail = make(map[string]error)
+	}
+	clear(sc.values)
+	clear(sc.unavail)
+	values := sc.values
+	unavailable := sc.unavail
 	for i, d := range drivers {
 		name := d.Name()
 		ds := m.driverState(name)
@@ -235,6 +227,31 @@ func (m *Middleware) fetchPhase(now time.Duration, runnable []*boundPolicy, stat
 	return values, unavailable
 }
 
+// fetchJob is the fetch phase's pool job: update driver i of the cycle's
+// distinct-driver scratch. Bound once as m.fetchFn (see bindPhaseJobs).
+func (m *Middleware) fetchJob(i int) {
+	m.scratch.results[i] = m.tracedFetch(m.scratch.now, m.scratch.drivers[i])
+}
+
+// applyJob is the apply phase's pool job: run binding i of the cycle's
+// toRun scratch under its driver locks. Bound once as m.applyFn.
+func (m *Middleware) applyJob(i int) {
+	sc := &m.scratch
+	bp := sc.toRun[i]
+	if m.gate != nil {
+		ls := bp.lockSetFor(m.gate)
+		ls.Lock()
+		defer ls.Unlock()
+	}
+	if sc.applyParallel && bp.execMu != nil {
+		// Bindings sharing a Policy or Translator instance (stateful:
+		// rngs, previous-group maps) never run concurrently.
+		bp.execMu.Lock()
+		defer bp.execMu.Unlock()
+	}
+	sc.outcomes[i] = m.runBinding(sc.now, bp, sc.values)
+}
+
 // bindingOutcome is one binding's slice of the apply phase, produced by a
 // worker and folded into stats on the stepping goroutine.
 type bindingOutcome struct {
@@ -253,9 +270,10 @@ func (m *Middleware) applyPhase(now time.Duration, runnable []*boundPolicy, valu
 	// Availability gating first (cheap, and recordFailure may reset a
 	// binding through the OS chain, which must not interleave with apply
 	// workers).
-	var toRun []*boundPolicy
+	sc := &m.scratch
+	toRun := sc.toRun[:0]
 	for _, bp := range runnable {
-		var blocked []error
+		blocked := sc.blocked[:0]
 		available := false
 		for _, d := range bp.Drivers {
 			if err, bad := unavailable[d.Name()]; bad {
@@ -264,64 +282,55 @@ func (m *Middleware) applyPhase(now time.Duration, runnable []*boundPolicy, valu
 				available = true
 			}
 		}
+		sc.blocked = blocked
 		if !available {
 			// Every driver of this binding is down past the staleness
 			// bound: the binding cannot run this period.
 			m.recordFailure(bp, now, fmt.Errorf("binding %s/%s: no usable drivers: %w",
-				bp.Policy.Name(), bp.Translator.Name(), errors.Join(blocked...)))
+				bp.policyName, bp.translatorName, errors.Join(blocked...)))
 			continue
 		}
 		toRun = append(toRun, bp)
 	}
 
-	outcomes := make([]bindingOutcome, len(toRun))
+	sc.toRun = toRun
+	if cap(sc.outcomes) < len(toRun) {
+		sc.outcomes = make([]bindingOutcome, len(toRun))
+	}
+	outcomes := sc.outcomes[:len(toRun)]
 	workers := m.par.ApplyWorkers
 	if workers > len(toRun) {
 		workers = len(toRun)
 	}
 	parallel := !m.par.Disabled && m.gate != nil && workers > 1
 
-	runOne := func(i int) {
-		bp := toRun[i]
-		if m.gate != nil {
-			unlock := m.gate.LockDrivers(bp.driverNames())
-			defer unlock()
-		}
-		if parallel && bp.execMu != nil {
-			// Bindings sharing a Policy or Translator instance (stateful:
-			// rngs, previous-group maps) never run concurrently.
-			bp.execMu.Lock()
-			defer bp.execMu.Unlock()
-		}
-		outcomes[i] = m.runBinding(now, bp, values)
-	}
-
+	sc.now = now
+	sc.values = values
 	if !parallel {
+		sc.applyParallel = false
 		for i := range toRun {
-			runOne(i)
+			m.applyJob(i)
 		}
 	} else {
-		jobs := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range jobs {
-					runOne(i)
-				}
-			}()
+		// Applies are CPU/syscall-bound and short: chunk indices so the
+		// pool pays a channel handoff per chunk, not per binding.
+		sc.applyParallel = true
+		m.bindPhaseJobs()
+		chunk := len(toRun) / (workers * 8)
+		if chunk < 1 {
+			chunk = 1
 		}
-		for i := range toRun {
-			jobs <- i
-		}
-		close(jobs)
-		wg.Wait()
+		m.phasePool().run(workers, len(toRun), chunk, m.applyFn)
+		sc.applyParallel = false
 	}
 
 	for _, out := range outcomes {
 		if out.ran {
-			stats.PoliciesRun++
+			if out.bst.Memoized {
+				stats.Memoized++
+			} else {
+				stats.PoliciesRun++
+			}
 			stats.Entities += out.entities
 		}
 		stats.Bindings = append(stats.Bindings, out.bst)
@@ -335,15 +344,19 @@ func (m *Middleware) applyPhase(now time.Duration, runnable []*boundPolicy, valu
 // internally synchronized (telemetry, audit trail, the OS chain), or its
 // own outcome slot.
 func (m *Middleware) runBinding(now time.Duration, bp *boundPolicy, values Values) bindingOutcome {
+	// Decision memo (memo.go): unchanged inputs since the last successful
+	// apply mean the OS is already enforcing the desired schedule — skip
+	// the cycle. The inflight guard still applies: a cancelled phase that
+	// has not drained must be handled by the full path below.
+	if bp.Memoize && bp.memoValid && !bp.inflight.Load() && m.memoHit(bp, values) {
+		return m.memoSkip(bp, now)
+	}
 	out := bindingOutcome{}
-	view := m.buildView(now, bp, values)
 	out.ran = true
-	out.entities = len(view.Entities)
 	bst := BindingStepStats{
 		Label:      bp.label,
-		Policy:     bp.Policy.Name(),
-		Translator: bp.Translator.Name(),
-		Entities:   len(view.Entities),
+		Policy:     bp.policyName,
+		Translator: bp.translatorName,
 	}
 	// The binding span's identity (bctx) starts zero and is minted by the
 	// first phase that emits; the span itself is recorded only on failure,
@@ -354,7 +367,11 @@ func (m *Middleware) runBinding(now time.Duration, bp *boundPolicy, values Value
 	childEmitted := false
 	if bp.inflight.Load() {
 		// A previous deadline-cancelled phase is still executing; refuse
-		// this run rather than pile a second execution on top of it.
+		// this run rather than pile a second execution on top of it. The
+		// check must precede buildView: the view scratch is reused across
+		// cycles and the abandoned goroutine is still reading it — only
+		// the inflight handshake (cleared after the zombie drains) makes
+		// rewriting it safe.
 		err := fmt.Errorf("binding %s: %w", bp.label, ErrRunInFlight)
 		m.ins.applyErrors.Inc()
 		bst.Err = err.Error()
@@ -364,6 +381,9 @@ func (m *Middleware) runBinding(now time.Duration, bp *boundPolicy, values Value
 		m.emitBinding(bctx, now, bp.label, m.nowFn().Sub(b0), err, childEmitted)
 		return out
 	}
+	view := m.buildView(now, bp, values)
+	out.entities = len(view.Entities)
+	bst.Entities = len(view.Entities)
 	t0 := m.nowFn()
 	sched, err := m.scheduleBounded(now, bp, view, m.phaseDeadline(PhaseSchedule))
 	bst.Schedule = m.nowFn().Sub(t0)
@@ -373,7 +393,7 @@ func (m *Middleware) runBinding(now time.Duration, bp *boundPolicy, values Value
 	bp.hSchedule.Observe(bst.Schedule)
 	if err != nil {
 		m.ins.applyErrors.Inc()
-		err = fmt.Errorf("policy %s: %w", bp.Policy.Name(), err)
+		err = fmt.Errorf("policy %s: %w", bp.policyName, err)
 		bst.Err = err.Error()
 		out.bst = bst
 		m.auditRecord(AuditEvent{
@@ -432,7 +452,7 @@ func (m *Middleware) runBinding(now time.Duration, bp *boundPolicy, values Value
 	})
 	if aerr != nil {
 		m.ins.applyErrors.Inc()
-		aerr = fmt.Errorf("translate %s/%s: %w", bp.Policy.Name(), bp.Translator.Name(), aerr)
+		aerr = fmt.Errorf("translate %s/%s: %w", bp.policyName, bp.translatorName, aerr)
 		bst.Err = aerr.Error()
 		out.bst = bst
 		out.errs = append(out.errs, aerr)
@@ -457,6 +477,16 @@ func (m *Middleware) runBinding(now time.Duration, bp *boundPolicy, values Value
 	bp.lastErr = nil
 	bp.lastSuccess = now
 	bp.haveSuccess = true
-	bp.lastEntities = view.Entities
+	// Copy, don't alias: view.Entities is per-cycle scratch cleared on the
+	// binding's next run, while lastEntities must survive quarantine
+	// resets that happen cycles later.
+	if bp.lastEntities == nil {
+		bp.lastEntities = make(map[string]Entity, len(view.Entities))
+	}
+	clear(bp.lastEntities)
+	maps.Copy(bp.lastEntities, view.Entities)
+	if bp.Memoize {
+		m.memoStore(bp, values, len(view.Entities))
+	}
 	return out
 }

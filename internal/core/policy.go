@@ -79,6 +79,20 @@ func (QSPolicy) Schedule(view *View) (Schedule, error) {
 	return Schedule{Scale: ScaleLinear, Single: single}, nil
 }
 
+// ScheduleInto implements InPlaceScheduler: same priorities as Schedule,
+// written into the caller's reusable buffers.
+func (QSPolicy) ScheduleInto(view *View, out *Schedule) error {
+	qs := view.Metric(MetricQueueSize)
+	for name := range view.Entities {
+		out.Single[name] = qs[name]
+	}
+	out.Scale = ScaleLinear
+	return nil
+}
+
+// InPlaceTarget implements InPlaceScheduler.
+func (p QSPolicy) InPlaceTarget() Policy { return p }
+
 // --- First-Come-First-Serve (FCFS) ---
 
 // FCFSPolicy prioritizes operators whose head input tuple has waited
@@ -105,6 +119,19 @@ func (FCFSPolicy) Schedule(view *View) (Schedule, error) {
 	}
 	return Schedule{Scale: ScaleLinear, Single: single}, nil
 }
+
+// ScheduleInto implements InPlaceScheduler.
+func (FCFSPolicy) ScheduleInto(view *View, out *Schedule) error {
+	waits := view.Metric(MetricHeadWaitMs)
+	for name := range view.Entities {
+		out.Single[name] = waits[name]
+	}
+	out.Scale = ScaleLinear
+	return nil
+}
+
+// InPlaceTarget implements InPlaceScheduler.
+func (p FCFSPolicy) InPlaceTarget() Policy { return p }
 
 // --- Highest Rate (HR) ---
 

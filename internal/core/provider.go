@@ -39,6 +39,17 @@ type Provider struct {
 	// inflight serializes same-driver updates without blocking: an
 	// abandoned (timed-out) fetch keeps the lock until it returns.
 	inflight map[string]*sync.Mutex
+
+	// Hot-path reuse: metricsList caches the registered metric names
+	// (invalidated by Register); spare double-buffers each driver's
+	// retired value cache (rotated with prev on success, so a steady-state
+	// update clears and refills a map instead of allocating one); ctxs
+	// holds each driver's reusable ComputeCtx. All three are guarded by mu
+	// for map access; a driver's spare cache and ctx are only used while
+	// its in-flight lock is held.
+	metricsList []string
+	spare       map[string]map[string]EntityValues
+	ctxs        map[string]*ComputeCtx
 }
 
 // NewProvider creates a provider over a metric registry (nil selects
@@ -53,6 +64,8 @@ func NewProvider(registry Registry) *Provider {
 		prev:       make(map[string]map[string]EntityValues),
 		lastUpdate: make(map[string]time.Duration),
 		inflight:   make(map[string]*sync.Mutex),
+		spare:      make(map[string]map[string]EntityValues),
+		ctxs:       make(map[string]*ComputeCtx),
 	}
 }
 
@@ -67,6 +80,7 @@ func (p *Provider) Register(metricNames ...string) error {
 		}
 		p.registered[m] = true
 	}
+	p.metricsList = nil // invalidate the cached name list
 	return nil
 }
 
@@ -131,32 +145,55 @@ func (p *Provider) UpdateOne(now time.Duration, d Driver) (map[string]EntityValu
 	if last, ok := p.lastUpdate[d.Name()]; ok {
 		elapsed = now - last
 	}
-	ctx := &ComputeCtx{Now: now, Elapsed: elapsed, Prev: p.prev[d.Name()]}
-	metrics := make([]string, 0, len(p.registered))
-	for m := range p.registered {
-		metrics = append(metrics, m)
+	ctx := p.ctxs[d.Name()]
+	if ctx == nil {
+		ctx = &ComputeCtx{}
+		p.ctxs[d.Name()] = ctx
 	}
+	*ctx = ComputeCtx{Now: now, Elapsed: elapsed, Prev: p.prev[d.Name()]}
+	if p.metricsList == nil {
+		p.metricsList = make([]string, 0, len(p.registered))
+		for m := range p.registered {
+			p.metricsList = append(p.metricsList, m)
+		}
+	}
+	metrics := p.metricsList
+	// cache is the driver's retired (double-buffered) value map: cleared
+	// and refilled, rotated with prev only on success so a failed update
+	// leaves prev and the rate window intact.
+	cache := p.spare[d.Name()]
 	p.mu.Unlock()
 
 	if ctx.Prev == nil {
-		ctx.Prev = make(map[string]EntityValues)
+		ctx.Prev = emptyPrevValues
 	}
+	if cache == nil {
+		cache = make(map[string]EntityValues)
+	}
+	clear(cache)
 	// The driver fetches (potentially slow: a network round trip on a real
 	// deployment) run outside the provider mutex; only the bookkeeping
 	// above and below holds it.
-	cache := make(map[string]EntityValues)
 	for _, m := range metrics {
 		if _, err := p.compute(m, d, ctx, cache, nil); err != nil {
+			p.mu.Lock()
+			p.spare[d.Name()] = cache
+			p.mu.Unlock()
 			return nil, err
 		}
 	}
 
 	p.mu.Lock()
+	p.spare[d.Name()] = p.prev[d.Name()]
 	p.prev[d.Name()] = cache
 	p.lastUpdate[d.Name()] = now
 	p.mu.Unlock()
 	return cache, nil
 }
+
+// emptyPrevValues is the shared read-only Prev for a driver's first
+// update, so first cycles don't allocate a placeholder map per driver.
+var emptyPrevValues = map[string]EntityValues{}
 
 // compute resolves one metric for one driver (Algorithm 3, compute):
 // cache hit, then direct fetch, then recursive derivation.

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// clockPolicy records every View.Now it is scheduled with — the probe for
+// shard-clock isolation. It deliberately does NOT embed QSPolicy: the
+// promoted ScheduleInto would route the in-place fast path around the
+// Schedule override and the probe would record nothing.
+type clockPolicy struct {
+	inner QSPolicy
+	mu    sync.Mutex
+	nows  []time.Duration
+}
+
+func (p *clockPolicy) Name() string      { return "clock-probe" }
+func (p *clockPolicy) Metrics() []string { return p.inner.Metrics() }
+
+func (p *clockPolicy) Schedule(v *View) (Schedule, error) {
+	p.mu.Lock()
+	p.nows = append(p.nows, v.Now)
+	p.mu.Unlock()
+	return p.inner.Schedule(v)
+}
+
+func shardedFixture(t *testing.T, shards, bindings int) (*ShardedMiddleware, []*memoDriver) {
+	t.Helper()
+	s := NewShardedMiddleware(nil, shards)
+	t.Cleanup(s.Close)
+	drivers := make([]*memoDriver, bindings)
+	for i := range drivers {
+		drivers[i] = &memoDriver{
+			name: "spe" + strconv.Itoa(i),
+			ents: []Entity{{Name: "op" + strconv.Itoa(i), Driver: "spe" + strconv.Itoa(i), Query: "q" + strconv.Itoa(i), Thread: 100 + i}},
+			vals: map[string]EntityValues{MetricQueueSize: {"op" + strconv.Itoa(i): float64(i)}},
+		}
+		if err := s.Bind(Binding{
+			Policy:     GroupPerQuery(NewQSPolicy()),
+			Translator: NewCombinedTranslator(&nopOS{}, 0, 0),
+			Drivers:    []Driver{drivers[i]},
+			Period:     time.Second,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, drivers
+}
+
+// TestShardedBindRouting: drivers are claimed by the shard of their first
+// binding, later bindings on the same driver follow it, disjoint bindings
+// spread least-loaded, and a binding spanning two shards' drivers is
+// rejected.
+func TestShardedBindRouting(t *testing.T) {
+	s, drivers := shardedFixture(t, 4, 8)
+	// 8 disjoint bindings over 4 shards: least-loaded placement must
+	// spread them 2/2/2/2.
+	for i := 0; i < 4; i++ {
+		if got := s.load[i]; got != 2 {
+			t.Fatalf("shard %d load = %d, want 2 (least-loaded spread)", i, got)
+		}
+	}
+	// A second binding naming an already-claimed driver lands on the
+	// claiming shard regardless of load.
+	home := s.ShardOf("spe0")
+	if home < 0 {
+		t.Fatal("spe0 unclaimed after Bind")
+	}
+	if err := s.Bind(Binding{
+		Policy:     GroupPerQuery(NewQSPolicy()),
+		Translator: NewCombinedTranslator(&nopOS{}, 0, 0),
+		Drivers:    []Driver{drivers[0]},
+		Period:     time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ShardOf("spe0"); got != home {
+		t.Fatalf("spe0 moved shard %d -> %d", home, got)
+	}
+	// A binding spanning drivers owned by two different shards must be
+	// rejected, not silently entangle their clocks.
+	d0, d1 := drivers[0], drivers[1]
+	if s.ShardOf(d0.name) == s.ShardOf(d1.name) {
+		t.Fatalf("fixture drivers landed on one shard; cannot test span rejection")
+	}
+	err := s.Bind(Binding{
+		Policy:     GroupPerQuery(NewQSPolicy()),
+		Translator: NewCombinedTranslator(&nopOS{}, 0, 0),
+		Drivers:    []Driver{d0, d1},
+		Period:     time.Second,
+	})
+	if err == nil || !strings.Contains(err.Error(), "spans shards") {
+		t.Fatalf("cross-shard binding error = %v, want spans-shards rejection", err)
+	}
+	if got := s.ShardOf("unknown"); got != -1 {
+		t.Fatalf("ShardOf(unknown) = %d, want -1", got)
+	}
+}
+
+// TestShardBoundaryClocks: a binding only ever observes its own shard's
+// clock. Two shards step on deliberately different timelines; the probe
+// policy on shard A must never see a time from shard B's schedule.
+func TestShardBoundaryClocks(t *testing.T) {
+	s := NewShardedMiddleware(nil, 2)
+	defer s.Close()
+	probes := [2]*clockPolicy{{}, {}}
+	for i := 0; i < 2; i++ {
+		d := &memoDriver{
+			name: "spe" + strconv.Itoa(i),
+			ents: []Entity{{Name: "op", Driver: "spe" + strconv.Itoa(i), Query: "q", Thread: 100 + i}},
+			vals: map[string]EntityValues{MetricQueueSize: {"op": 1}},
+		}
+		if err := s.Bind(Binding{
+			Policy:     GroupPerQuery(probes[i]),
+			Translator: NewCombinedTranslator(&nopOS{}, 0, 0),
+			Drivers:    []Driver{d},
+			Period:     time.Second,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := s.ShardOf("spe0"), s.ShardOf("spe1")
+	if a == b {
+		t.Fatalf("fixture bindings landed on one shard (%d)", a)
+	}
+	// Shard A runs a fast 1s-step timeline; shard B a slow, offset one.
+	// The timelines are disjoint sets, so any leak is detectable.
+	timesA := []time.Duration{1 * time.Second, 2 * time.Second, 3 * time.Second}
+	timesB := []time.Duration{100 * time.Second, 200 * time.Second}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for _, now := range timesA {
+			if _, err := s.StepShard(a, now); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for _, now := range timesB {
+			if _, err := s.StepShard(b, now); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	wg.Wait()
+	want := [2][]time.Duration{timesA, timesB}
+	for i, p := range probes {
+		p.mu.Lock()
+		got := p.nows
+		p.mu.Unlock()
+		if len(got) != len(want[i]) {
+			t.Fatalf("probe %d saw %d schedules (%v), want %v", i, len(got), got, want[i])
+		}
+		for j, now := range got {
+			if now != want[i][j] {
+				t.Fatalf("probe %d observed foreign clock: step %d = %v, want %v", i, j, now, want[i][j])
+			}
+		}
+	}
+}
+
+// TestShardedStepMerges: Step fans out to every shard and the merged
+// stats sum counts, concatenate breakdowns, and take the earliest Next.
+func TestShardedStepMerges(t *testing.T) {
+	s, _ := shardedFixture(t, 4, 8)
+	st, err := s.Step(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PoliciesRun != 8 {
+		t.Fatalf("merged PoliciesRun = %d, want 8", st.PoliciesRun)
+	}
+	if st.Entities != 8 {
+		t.Fatalf("merged Entities = %d, want 8", st.Entities)
+	}
+	if len(st.Bindings) != 8 {
+		t.Fatalf("merged Bindings = %d entries, want 8", len(st.Bindings))
+	}
+	if st.Next != 2*time.Second {
+		t.Fatalf("merged Next = %v, want 2s", st.Next)
+	}
+	h := s.Health()
+	if len(h.Bindings) != 8 || len(h.Drivers) != 8 {
+		t.Fatalf("merged health = %d bindings / %d drivers, want 8/8", len(h.Bindings), len(h.Drivers))
+	}
+}
+
+// stateOS folds control writes into a final desired state — the
+// equivalence oracle for sequential vs sharded runs.
+type stateOS struct {
+	mu     sync.Mutex
+	nices  map[int]int
+	shares map[string]int
+	placed map[int]string
+	writes int
+}
+
+func newStateOS() *stateOS {
+	return &stateOS{nices: map[int]int{}, shares: map[string]int{}, placed: map[int]string{}}
+}
+
+func (o *stateOS) SetNice(tid, nice int) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.nices[tid] = nice
+	o.writes++
+	return nil
+}
+func (o *stateOS) EnsureCgroup(name string) error { return nil }
+func (o *stateOS) SetShares(name string, shares int) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.shares[name] = shares
+	o.writes++
+	return nil
+}
+func (o *stateOS) MoveThread(tid int, name string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.placed[tid] = name
+	o.writes++
+	return nil
+}
+
+func (o *stateOS) equal(p *stateOS) bool {
+	if len(o.nices) != len(p.nices) || len(o.shares) != len(p.shares) || len(o.placed) != len(p.placed) {
+		return false
+	}
+	for k, v := range o.nices {
+		if p.nices[k] != v {
+			return false
+		}
+	}
+	for k, v := range o.shares {
+		if p.shares[k] != v {
+			return false
+		}
+	}
+	for k, v := range o.placed {
+		if p.placed[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardedDecisionEquivalence: the same workload (changing values,
+// memoized bindings) driven through a sequential Middleware and a
+// 4-shard ShardedMiddleware converges to the identical final OS state —
+// sharding (and memoization on both sides) must not change a single
+// decision, only the clock partitioning.
+func TestShardedDecisionEquivalence(t *testing.T) {
+	const bindings = 16
+	mkDrivers := func() []*memoDriver {
+		ds := make([]*memoDriver, bindings)
+		for i := range ds {
+			name := "spe" + strconv.Itoa(i)
+			ds[i] = &memoDriver{
+				name: name,
+				ents: []Entity{
+					{Name: name + "-a", Driver: name, Query: "q" + strconv.Itoa(i), Thread: 1000 + 2*i},
+					{Name: name + "-b", Driver: name, Query: "q" + strconv.Itoa(i), Thread: 1001 + 2*i},
+				},
+				vals: map[string]EntityValues{MetricQueueSize: {name + "-a": 1, name + "-b": 2}},
+			}
+		}
+		return ds
+	}
+	evolve := func(ds []*memoDriver, step int) {
+		// Plateau with a phased burst, like the scale workload: only some
+		// bindings change each step, so memoization engages on both runs.
+		for i, d := range ds {
+			if (step+i)%4 == 0 {
+				d.vals[MetricQueueSize][d.name+"-a"] = float64(10 + step + i)
+			}
+		}
+	}
+
+	run := func(sharded bool) *stateOS {
+		os := newStateOS()
+		ds := mkDrivers()
+		bind := func(b func(Binding) error) {
+			for _, d := range ds {
+				if err := b(Binding{
+					Policy:     GroupPerQuery(NewQSPolicy()),
+					Translator: NewCombinedTranslator(NewCoalescer(os, nil), 0, 0),
+					Drivers:    []Driver{d},
+					Period:     time.Second,
+					Memoize:    true,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		var step func(now time.Duration) error
+		if sharded {
+			s := NewShardedMiddleware(nil, 4)
+			defer s.Close()
+			bind(s.Bind)
+			step = func(now time.Duration) error { _, err := s.Step(now); return err }
+		} else {
+			m := NewMiddleware(nil)
+			defer m.Close()
+			m.SetParallelism(Parallelism{Disabled: true})
+			bind(m.Bind)
+			step = func(now time.Duration) error { _, err := m.Step(now); return err }
+		}
+		for i := 1; i <= 12; i++ {
+			evolve(ds, i)
+			if err := step(time.Duration(i) * time.Second); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return os
+	}
+
+	seq := run(false)
+	shd := run(true)
+	if seq.writes == 0 {
+		t.Fatal("workload issued no control writes; oracle is vacuous")
+	}
+	if !seq.equal(shd) {
+		t.Fatalf("sharded final OS state diverged from sequential baseline:\nseq: nices=%v shares=%v placed=%v\nshd: nices=%v shares=%v placed=%v",
+			seq.nices, seq.shares, seq.placed, shd.nices, shd.shares, shd.placed)
+	}
+}

@@ -134,6 +134,11 @@ func GroupPerQuery(inner Policy) Policy { return &groupPerQuery{inner: inner} }
 
 type groupPerQuery struct {
 	inner Policy
+	// intern deduplicates derived "query-<name>" group ids so the in-place
+	// path does not rebuild the concatenation every cycle. Lazily created;
+	// access is serialized by the binding's execMu (shared instances share
+	// one mutex).
+	intern *Interner
 }
 
 var _ Policy = (*groupPerQuery)(nil)
@@ -161,6 +166,51 @@ func (g *groupPerQuery) Schedule(view *View) (Schedule, error) {
 	sched.Groups = groups
 	return sched, nil
 }
+
+// ScheduleInto implements InPlaceScheduler: the inner schedule and the
+// per-query groups are written into the caller's reusable buffers (group
+// ids interned, op slices re-appended within capacity). Falls back to the
+// inner policy's allocating Schedule when it has no in-place path.
+func (g *groupPerQuery) ScheduleInto(view *View, out *Schedule) error {
+	if ip, ok := g.inner.(InPlaceScheduler); ok {
+		if err := ip.ScheduleInto(view, out); err != nil {
+			return err
+		}
+	} else {
+		sched, err := g.inner.Schedule(view)
+		if err != nil {
+			return err
+		}
+		out.Scale = sched.Scale
+		for k, v := range sched.Single {
+			out.Single[k] = v
+		}
+	}
+	if g.intern == nil {
+		g.intern = NewInterner()
+	}
+	if out.Groups == nil {
+		out.Groups = make(map[string]Group)
+	}
+	for name, ent := range view.Entities {
+		gid := g.intern.Join("query-", ent.Query)
+		grp := out.Groups[gid]
+		grp.Priority = 1 // equal share per query
+		grp.Ops = append(grp.Ops, name)
+		out.Groups[gid] = grp
+	}
+	// Drop stale group buckets that gathered no ops this cycle (the caller
+	// only truncated them) so translators never ensure empty cgroups.
+	for gid, grp := range out.Groups {
+		if len(grp.Ops) == 0 {
+			delete(out.Groups, gid)
+		}
+	}
+	return nil
+}
+
+// InPlaceTarget implements InPlaceScheduler.
+func (g *groupPerQuery) InPlaceTarget() Policy { return g }
 
 // Ticker is a small helper tracking a policy's next due time (Algorithm 1
 // uses per-policy periods; the middleware sleeps until the earliest one).

@@ -59,6 +59,13 @@ const (
 type NiceTranslator struct {
 	os    OSInterface
 	clamp ClampObserver
+
+	// Reused per-apply scratch (a translator belongs to one binding, or
+	// shares its binding's execMu): normalization output, sorted keys,
+	// and normalization intermediates.
+	nices map[string]int
+	keys  []string
+	norm  normScratch
 }
 
 var _ Translator = (*NiceTranslator)(nil)
@@ -85,14 +92,18 @@ func (t *NiceTranslator) Apply(sched Schedule, entities map[string]Entity) error
 	if len(sched.Single) == 0 {
 		return errors.New("core: nice translator needs a single-priority schedule")
 	}
-	nices := NormalizeToNiceObserved(sched.Single, sched.Scale, t.clamp)
+	if t.nices == nil {
+		t.nices = make(map[string]int, len(sched.Single))
+	}
+	normalizeToNiceInto(sched.Single, sched.Scale, t.clamp, t.nices, &t.norm)
 	var errs []error
-	for _, name := range sortedKeys(nices) {
+	t.keys = appendSortedKeys(t.keys, t.nices)
+	for _, name := range t.keys {
 		ent, ok := entities[name]
 		if !ok || ent.Thread == 0 {
 			continue // no dedicated thread (e.g. worker-pool engines)
 		}
-		if err := t.os.SetNice(ent.Thread, nices[name]); err != nil && !IsVanished(err) {
+		if err := t.os.SetNice(ent.Thread, t.nices[name]); err != nil && !IsVanished(err) {
 			errs = append(errs, fmt.Errorf("renice %s: %w", name, err))
 		}
 	}
@@ -133,6 +144,15 @@ type SharesTranslator struct {
 	os     OSInterface
 	lo, hi int
 	prev   map[string]bool
+
+	// Reused per-apply scratch (see NiceTranslator): group priorities,
+	// normalized shares, sorted keys, normalization intermediates, and the
+	// spare current-group set swapped with prev each apply.
+	prios  map[string]float64
+	shares map[string]int
+	keys   []string
+	norm   normScratch
+	cur    map[string]bool
 }
 
 var _ Translator = (*SharesTranslator)(nil)
@@ -161,18 +181,23 @@ func (t *SharesTranslator) Apply(sched Schedule, entities map[string]Entity) err
 		}
 		groups = perOpGroups(sched.Single)
 	}
-	prios := make(map[string]float64, len(groups))
-	for gid, g := range groups {
-		prios[gid] = g.Priority
+	if t.prios == nil {
+		t.prios = make(map[string]float64, len(groups))
+		t.shares = make(map[string]int, len(groups))
 	}
-	shares := NormalizeToShares(prios, sched.Scale, t.lo, t.hi)
+	clear(t.prios)
+	for gid, g := range groups {
+		t.prios[gid] = g.Priority
+	}
+	normalizeToSharesInto(t.prios, sched.Scale, t.lo, t.hi, t.shares, &t.norm)
 	var errs []error
-	for _, gid := range sortedKeys(shares) {
+	t.keys = appendSortedKeys(t.keys, t.shares)
+	for _, gid := range t.keys {
 		if err := t.os.EnsureCgroup(gid); err != nil {
 			errs = append(errs, fmt.Errorf("cgroup %s: %w", gid, err))
 			continue
 		}
-		if err := t.os.SetShares(gid, shares[gid]); err != nil && !IsVanished(err) {
+		if err := t.os.SetShares(gid, t.shares[gid]); err != nil && !IsVanished(err) {
 			errs = append(errs, fmt.Errorf("shares %s: %w", gid, err))
 		}
 		for _, opName := range groups[gid].Ops {
@@ -198,10 +223,17 @@ func (t *SharesTranslator) Apply(sched Schedule, entities map[string]Entity) err
 			}
 		}
 	}
-	cur := make(map[string]bool, len(groups))
+	// Swap prev and the scratch set instead of allocating a fresh map: the
+	// outgoing prev becomes next apply's scratch.
+	cur := t.cur
+	if cur == nil {
+		cur = make(map[string]bool, len(groups))
+	}
+	clear(cur)
 	for gid := range groups {
 		cur[gid] = true
 	}
+	t.cur = t.prev
 	t.prev = cur
 	return errors.Join(errs...)
 }
@@ -293,10 +325,16 @@ func (t *CombinedTranslator) Reset(entities map[string]Entity) error {
 }
 
 func sortedKeys[V any](m map[string]V) []string {
-	out := make([]string, 0, len(m))
+	return appendSortedKeys(nil, m)
+}
+
+// appendSortedKeys is sortedKeys into a reused buffer: dst is truncated,
+// refilled, sorted, and returned (possibly regrown).
+func appendSortedKeys[V any](dst []string, m map[string]V) []string {
+	dst = dst[:0]
 	for k := range m {
-		out = append(out, k)
+		dst = append(dst, k)
 	}
-	sort.Strings(out)
-	return out
+	sort.Strings(dst)
+	return dst
 }

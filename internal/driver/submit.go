@@ -1,0 +1,273 @@
+package driver
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"lachesis/internal/core"
+	"lachesis/internal/telemetry"
+)
+
+// Submission-queue telemetry metric names.
+const (
+	// MetricSubmitBatches counts batches drained by the writer goroutine.
+	MetricSubmitBatches = "lachesis_submit_batches_total"
+	// MetricSubmitOps counts individual control ops applied by the writer.
+	MetricSubmitOps = "lachesis_submit_ops_total"
+	// MetricSubmitInline counts submissions applied inline because the
+	// queue was closed (shutdown stragglers).
+	MetricSubmitInline = "lachesis_submit_inline_total"
+)
+
+// ErrQueueClosed reports a submission to a closed queue (it was still
+// applied, inline, so callers treat it as informational).
+var ErrQueueClosed = errors.New("driver: submit queue closed")
+
+// SubmitQueue serializes control-plane writes for one OS backend through a
+// single writer goroutine. Concurrent appliers (parallel binding applies,
+// the reconciler's repair path, operator tooling) hand their op batches to
+// the writer and block until their batch has been applied; the writer
+// drains submissions strictly in arrival order, so a batch is applied
+// contiguously — no interleaving at op granularity — and the backend sees
+// exactly one writer thread. This replaces per-op lock acquisition with
+// one queue handoff per batch.
+//
+// Ordering note: SubmitQueue provides whole-batch atomicity relative to
+// other submitters on the same queue. Cross-binding ordering policy (which
+// binding's batch goes first) stays where it was — the DriverGate above.
+type SubmitQueue struct {
+	os   core.OSInterface
+	subs chan *submission
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{} // closed when the writer goroutine exits
+
+	batches atomic.Int64
+	ops     atomic.Int64
+	inline  atomic.Int64
+
+	ctrBatches *telemetry.Counter
+	ctrOps     *telemetry.Counter
+	ctrInline  *telemetry.Counter
+}
+
+// submission is one blocking hand-off: the writer applies ops, writes
+// per-op outcomes into errs (same indexing), then signals ack.
+type submission struct {
+	ops  []core.ControlOp
+	errs []error
+	ack  chan struct{}
+}
+
+// NewSubmitQueue starts a submission queue over an OS backend. depth
+// bounds how many submissions may be parked waiting for the writer
+// (<= 0 selects a small default); each submitter blocks until its own
+// batch is applied regardless.
+func NewSubmitQueue(os core.OSInterface, depth int) *SubmitQueue {
+	if depth <= 0 {
+		depth = 16
+	}
+	q := &SubmitQueue{
+		os:   os,
+		subs: make(chan *submission, depth),
+		done: make(chan struct{}),
+	}
+	go q.writer()
+	return q
+}
+
+// SetTelemetry mirrors the queue counters into a registry under the given
+// backend label. nil disables.
+func (q *SubmitQueue) SetTelemetry(reg *telemetry.Registry, backend string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if reg == nil {
+		q.ctrBatches, q.ctrOps, q.ctrInline = nil, nil, nil
+		return
+	}
+	l := telemetry.L("backend", backend)
+	q.ctrBatches = reg.Counter(MetricSubmitBatches, l)
+	q.ctrOps = reg.Counter(MetricSubmitOps, l)
+	q.ctrInline = reg.Counter(MetricSubmitInline, l)
+}
+
+// Batches returns how many batches the writer has drained.
+func (q *SubmitQueue) Batches() int64 { return q.batches.Load() }
+
+// Ops returns how many individual ops the writer has applied.
+func (q *SubmitQueue) Ops() int64 { return q.ops.Load() }
+
+// writer is the single goroutine that owns all writes to q.os.
+func (q *SubmitQueue) writer() {
+	defer close(q.done)
+	for sub := range q.subs {
+		q.apply(sub.ops, sub.errs)
+		sub.ack <- struct{}{}
+	}
+}
+
+// apply runs one batch against the backend, recording telemetry.
+func (q *SubmitQueue) apply(ops []core.ControlOp, errs []error) {
+	for i, op := range ops {
+		errs[i] = core.ApplyOp(q.os, op)
+	}
+	q.batches.Add(1)
+	q.ops.Add(int64(len(ops)))
+	if ctr := q.ctrBatches; ctr != nil {
+		ctr.Inc()
+	}
+	if ctr := q.ctrOps; ctr != nil {
+		ctr.Add(int64(len(ops)))
+	}
+}
+
+// tokenPool recycles submission tokens (the ack channel in particular)
+// across Submit calls.
+var tokenPool = sync.Pool{
+	New: func() any { return &submission{ack: make(chan struct{}, 1)} },
+}
+
+// Submit hands a batch to the writer and blocks until it has been
+// applied. errs must have len(ops) entries and receives the per-op
+// outcomes. After the queue is closed, stragglers are applied inline by
+// the submitting goroutine (correct, just unserialised) — shutdown must
+// not lose control writes that repair paths still issue.
+func (q *SubmitQueue) Submit(ops []core.ControlOp, errs []error) {
+	if len(ops) == 0 {
+		return
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.inline.Add(1)
+		if ctr := q.ctrInline; ctr != nil {
+			ctr.Inc()
+		}
+		q.apply(ops, errs)
+		return
+	}
+	sub := tokenPool.Get().(*submission)
+	sub.ops, sub.errs = ops, errs
+	// Enqueue under mu so Close cannot close q.subs between the closed
+	// check and the send.
+	q.subs <- sub
+	q.mu.Unlock()
+	<-sub.ack
+	sub.ops, sub.errs = nil, nil
+	tokenPool.Put(sub)
+}
+
+// ApplyBatch implements core.BatchApplier: the Coalescer's batched flush
+// descends here as one submission.
+func (q *SubmitQueue) ApplyBatch(ops []core.ControlOp, errs []error) {
+	q.Submit(ops, errs)
+}
+
+// Close stops the writer after draining parked submissions. Further
+// Submits apply inline. Close is idempotent.
+func (q *SubmitQueue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		<-q.done
+		return
+	}
+	q.closed = true
+	close(q.subs)
+	q.mu.Unlock()
+	<-q.done
+}
+
+// QueuedOS adapts a SubmitQueue to the core.OSInterface contract plus the
+// optional capabilities the OS chain composes over, so any existing chain
+// layer (Coalescer, DriverGate, audit) can sit on top of a queued backend
+// unchanged. Single-op calls travel as one-op batches; batch-aware layers
+// use ApplyBatch and pay one handoff for the whole burst.
+type QueuedOS struct {
+	q *SubmitQueue
+	// inner is the wrapped backend, kept for capability-preserving
+	// passthroughs that must not funnel through the writer (cache
+	// invalidation, which is lock-protected in the backends themselves).
+	inner core.OSInterface
+}
+
+var (
+	_ core.OSInterface       = (*QueuedOS)(nil)
+	_ core.BatchApplier      = (*QueuedOS)(nil)
+	_ core.CgroupRemover     = (*QueuedOS)(nil)
+	_ core.PlacementRestorer = (*QueuedOS)(nil)
+	_ core.CacheInvalidator  = (*QueuedOS)(nil)
+)
+
+// NewQueuedOS wraps an OS backend with a submission queue. Close releases
+// the writer goroutine.
+func NewQueuedOS(os core.OSInterface, depth int) *QueuedOS {
+	return &QueuedOS{q: NewSubmitQueue(os, depth), inner: os}
+}
+
+// Queue exposes the underlying submission queue (telemetry, counters).
+func (o *QueuedOS) Queue() *SubmitQueue { return o.q }
+
+// Close stops the writer goroutine; see SubmitQueue.Close.
+func (o *QueuedOS) Close() { o.q.Close() }
+
+// one routes a single op through the queue as a one-op batch.
+func (o *QueuedOS) one(op core.ControlOp) error {
+	var errs [1]error
+	ops := [1]core.ControlOp{op}
+	o.q.Submit(ops[:], errs[:])
+	return errs[0]
+}
+
+// SetNice implements core.OSInterface.
+func (o *QueuedOS) SetNice(tid, nice int) error {
+	return o.one(core.ControlOp{Kind: core.OpSetNice, Thread: tid, Value: nice})
+}
+
+// EnsureCgroup implements core.OSInterface.
+func (o *QueuedOS) EnsureCgroup(name string) error {
+	return o.one(core.ControlOp{Kind: core.OpEnsureCgroup, Cgroup: name})
+}
+
+// SetShares implements core.OSInterface.
+func (o *QueuedOS) SetShares(name string, shares int) error {
+	return o.one(core.ControlOp{Kind: core.OpSetShares, Cgroup: name, Value: shares})
+}
+
+// MoveThread implements core.OSInterface.
+func (o *QueuedOS) MoveThread(tid int, name string) error {
+	return o.one(core.ControlOp{Kind: core.OpMoveThread, Thread: tid, Cgroup: name})
+}
+
+// RemoveCgroup implements core.CgroupRemover; a no-op when the wrapped
+// backend lacks the capability (matching the rest of the chain).
+func (o *QueuedOS) RemoveCgroup(name string) error {
+	return o.one(core.ControlOp{Kind: core.OpRemoveCgroup, Cgroup: name})
+}
+
+// RestoreThread implements core.PlacementRestorer; a no-op when the
+// wrapped backend lacks the capability.
+func (o *QueuedOS) RestoreThread(tid int) error {
+	return o.one(core.ControlOp{Kind: core.OpRestoreThread, Thread: tid})
+}
+
+// ApplyBatch implements core.BatchApplier.
+func (o *QueuedOS) ApplyBatch(ops []core.ControlOp, errs []error) {
+	o.q.Submit(ops, errs)
+}
+
+// InvalidateThread implements core.CacheInvalidator. Invalidations
+// deliberately bypass the queue: they mutate backend-local caches (which
+// the backends lock themselves) and must not block behind parked write
+// batches — the reconciler invalidates before re-applying, and the
+// re-apply is what needs write ordering.
+func (o *QueuedOS) InvalidateThread(tid int) {
+	core.InvalidateThreadState(o.inner, tid)
+}
+
+// InvalidateCgroup implements core.CacheInvalidator.
+func (o *QueuedOS) InvalidateCgroup(name string) {
+	core.InvalidateCgroupState(o.inner, name)
+}

@@ -1,0 +1,316 @@
+package driver
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lachesis/internal/core"
+	"lachesis/internal/telemetry"
+)
+
+// serialOS fails the test if two control calls ever overlap: the
+// submission queue's core guarantee is that the backend sees exactly one
+// writer. It also records the op order so batch contiguity is checkable.
+type serialOS struct {
+	t      *testing.T
+	inside atomic.Int32
+	mu     sync.Mutex
+	order  []core.ControlOp
+	failOn func(op core.ControlOp) error
+}
+
+func (s *serialOS) enter(op core.ControlOp) error {
+	if s.inside.Add(1) != 1 {
+		s.t.Error("concurrent entry into backend: single-writer guarantee violated")
+	}
+	defer s.inside.Add(-1)
+	s.mu.Lock()
+	s.order = append(s.order, op)
+	fail := s.failOn
+	s.mu.Unlock()
+	if fail != nil {
+		return fail(op)
+	}
+	return nil
+}
+
+func (s *serialOS) SetNice(tid, nice int) error {
+	return s.enter(core.ControlOp{Kind: core.OpSetNice, Thread: tid, Value: nice})
+}
+func (s *serialOS) EnsureCgroup(name string) error {
+	return s.enter(core.ControlOp{Kind: core.OpEnsureCgroup, Cgroup: name})
+}
+func (s *serialOS) SetShares(name string, shares int) error {
+	return s.enter(core.ControlOp{Kind: core.OpSetShares, Cgroup: name, Value: shares})
+}
+func (s *serialOS) MoveThread(tid int, name string) error {
+	return s.enter(core.ControlOp{Kind: core.OpMoveThread, Thread: tid, Cgroup: name})
+}
+
+// removerOS adds the optional capabilities.
+type removerOS struct {
+	serialOS
+	removed  atomic.Int64
+	restored atomic.Int64
+}
+
+func (s *removerOS) RemoveCgroup(name string) error {
+	s.removed.Add(1)
+	return s.enter(core.ControlOp{Kind: core.OpRemoveCgroup, Cgroup: name})
+}
+func (s *removerOS) RestoreThread(tid int) error {
+	s.restored.Add(1)
+	return s.enter(core.ControlOp{Kind: core.OpRestoreThread, Thread: tid})
+}
+
+// TestSubmitQueueSingleWriterUnderContention hammers one queue from many
+// goroutines mixing whole batches (binding applies) with single ops (a
+// reconciler repairing drift) — run under -race in CI. Each batch must be
+// applied contiguously and no two ops may enter the backend concurrently.
+func TestSubmitQueueSingleWriterUnderContention(t *testing.T) {
+	backend := &serialOS{t: t}
+	q := NewSubmitQueue(backend, 4)
+	defer q.Close()
+
+	const (
+		appliers = 8
+		batches  = 50
+		perBatch = 6
+	)
+	var wg sync.WaitGroup
+	for a := 0; a < appliers; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			ops := make([]core.ControlOp, perBatch)
+			errs := make([]error, perBatch)
+			for b := 0; b < batches; b++ {
+				for i := range ops {
+					// Thread encodes (applier, batch) so contiguity is
+					// checkable from the backend's op order.
+					ops[i] = core.ControlOp{Kind: core.OpSetNice, Thread: a*1000 + b, Value: i}
+				}
+				q.Submit(ops, errs)
+				for i, err := range errs {
+					if err != nil {
+						t.Errorf("op %d: %v", i, err)
+					}
+				}
+			}
+		}(a)
+	}
+	// A concurrent "repair" path issuing single ops through QueuedOS-style
+	// one-op batches.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var errs [1]error
+		var ops [1]core.ControlOp
+		for i := 0; i < 200; i++ {
+			ops[0] = core.ControlOp{Kind: core.OpSetShares, Cgroup: "repair", Value: i}
+			q.Submit(ops[:], errs[:])
+		}
+	}()
+	wg.Wait()
+
+	// Contiguity: within the backend's order, the perBatch ops of one
+	// (applier, batch) submission must be adjacent.
+	backend.mu.Lock()
+	defer backend.mu.Unlock()
+	for i := 0; i < len(backend.order); {
+		op := backend.order[i]
+		if op.Kind != core.OpSetNice {
+			i++
+			continue
+		}
+		for j := 0; j < perBatch; j++ {
+			got := backend.order[i+j]
+			if got.Kind != core.OpSetNice || got.Thread != op.Thread || got.Value != j {
+				t.Fatalf("batch for thread %d interleaved at backend index %d: got %+v", op.Thread, i+j, got)
+			}
+		}
+		i += perBatch
+	}
+	if got := q.Batches(); got != appliers*batches+200 {
+		t.Fatalf("batches drained = %d, want %d", got, appliers*batches+200)
+	}
+}
+
+// TestSubmitQueuePerOpErrors checks error routing: a failing op lands at
+// its own index and leaves its neighbours applied.
+func TestSubmitQueuePerOpErrors(t *testing.T) {
+	boom := errors.New("boom")
+	backend := &serialOS{t: t, failOn: func(op core.ControlOp) error {
+		if op.Kind == core.OpSetShares {
+			return boom
+		}
+		return nil
+	}}
+	q := NewSubmitQueue(backend, 0)
+	defer q.Close()
+	ops := []core.ControlOp{
+		{Kind: core.OpEnsureCgroup, Cgroup: "g"},
+		{Kind: core.OpSetShares, Cgroup: "g", Value: 100},
+		{Kind: core.OpSetNice, Thread: 7, Value: -5},
+	}
+	errs := make([]error, len(ops))
+	q.Submit(ops, errs)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("healthy ops got errors: %v / %v", errs[0], errs[2])
+	}
+	if !errors.Is(errs[1], boom) {
+		t.Fatalf("failing op error = %v, want boom", errs[1])
+	}
+	if len(backend.order) != 3 {
+		t.Fatalf("backend saw %d ops, want 3 (failure must not stop the batch)", len(backend.order))
+	}
+}
+
+// TestQueuedOSCapabilities checks the optional-capability contract: with
+// a capable backend the ops forward; without, they are benign no-ops.
+func TestQueuedOSCapabilities(t *testing.T) {
+	capable := &removerOS{serialOS: serialOS{t: t}}
+	o := NewQueuedOS(capable, 0)
+	if err := o.RemoveCgroup("g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.RestoreThread(5); err != nil {
+		t.Fatal(err)
+	}
+	o.Close()
+	if capable.removed.Load() != 1 || capable.restored.Load() != 1 {
+		t.Fatalf("capability ops not forwarded: removed=%d restored=%d",
+			capable.removed.Load(), capable.restored.Load())
+	}
+
+	plain := &serialOS{t: t}
+	o2 := NewQueuedOS(plain, 0)
+	defer o2.Close()
+	if err := o2.RemoveCgroup("g"); err != nil {
+		t.Fatalf("remove on incapable backend: %v (want nil no-op)", err)
+	}
+	if err := o2.RestoreThread(5); err != nil {
+		t.Fatalf("restore on incapable backend: %v (want nil no-op)", err)
+	}
+}
+
+// TestSubmitQueueClosedInline checks shutdown semantics: stragglers after
+// Close still apply, inline, instead of being dropped or deadlocking.
+func TestSubmitQueueClosedInline(t *testing.T) {
+	backend := &serialOS{t: t}
+	q := NewSubmitQueue(backend, 0)
+	q.Close()
+	q.Close() // idempotent
+	ops := []core.ControlOp{{Kind: core.OpSetNice, Thread: 1, Value: 3}}
+	errs := make([]error, 1)
+	q.Submit(ops, errs)
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	if len(backend.order) != 1 {
+		t.Fatalf("closed-queue submit not applied inline: %d ops", len(backend.order))
+	}
+	if q.inline.Load() != 1 {
+		t.Fatalf("inline counter = %d, want 1", q.inline.Load())
+	}
+}
+
+// TestCoalescerBatchesThroughQueue wires the real Coalescer over a
+// QueuedOS and checks the batched flush path: one apply burst becomes one
+// submission, suppression still works, and the mirror stays exact — the
+// end-to-end shape a binding uses in production. Also exercised
+// concurrently with reconciler-style invalidations for the -race run.
+func TestCoalescerBatchesThroughQueue(t *testing.T) {
+	backend := &removerOS{serialOS: serialOS{t: t}}
+	o := NewQueuedOS(backend, 0)
+	defer o.Close()
+	c := core.NewCoalescer(o, nil)
+
+	apply := func() {
+		c.Begin()
+		if err := c.EnsureCgroup("q1"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SetShares("q1", 512); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.MoveThread(11, "q1"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SetNice(11, -3); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	apply()
+	if got := o.Queue().Batches(); got != 1 {
+		t.Fatalf("first apply made %d submissions, want 1 (batched flush)", got)
+	}
+	if got := o.Queue().Ops(); got != 4 {
+		t.Fatalf("first apply submitted %d ops, want 4", got)
+	}
+	// Second identical apply: fully suppressed, no submission at all.
+	apply()
+	if got := o.Queue().Batches(); got != 1 {
+		t.Fatalf("identical re-apply reached the queue (%d batches); suppression broken", got)
+	}
+
+	// Concurrent applies + invalidation (reconciler repair) under -race:
+	// each invalidation forces the next write through, so the queue keeps
+	// seeing work while applies race the repairs.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.InvalidateThread(11)
+			c.InvalidateCgroup("q1")
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		apply()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSubmitQueueTelemetry checks counters reach the registry.
+func TestSubmitQueueTelemetry(t *testing.T) {
+	backend := &serialOS{t: t}
+	q := NewSubmitQueue(backend, 0)
+	defer q.Close()
+	reg := telemetry.NewRegistry()
+	q.SetTelemetry(reg, "test")
+	ops := []core.ControlOp{{Kind: core.OpSetNice, Thread: 1, Value: 1}, {Kind: core.OpSetNice, Thread: 2, Value: 2}}
+	errs := make([]error, 2)
+	q.Submit(ops, errs)
+	var buf sbuf
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`lachesis_submit_batches_total{backend="test"} 1`,
+		`lachesis_submit_ops_total{backend="test"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("telemetry output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+type sbuf struct{ b []byte }
+
+func (s *sbuf) Write(p []byte) (int, error) { s.b = append(s.b, p...); return len(p), nil }
+func (s *sbuf) String() string              { return string(s.b) }

@@ -2,12 +2,15 @@ package harness
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"maps"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -44,8 +47,46 @@ const (
 	scaleApplyWorkers = 8
 )
 
-// scaleBindingCounts is the swept axis (16 -> 512 bindings).
+// scaleBindingCounts is the classic swept axis (16 -> 512 bindings),
+// measured exactly as the original sweep: sequential vs parallel, audit
+// on, no memoization, churn every 4 periods.
 var scaleBindingCounts = []int{16, 64, 256, 512}
+
+// scaleChurnEvery is the classic sweep's burst period (op0 bursts every 4
+// decision periods, phased per driver).
+const scaleChurnEvery = 4
+
+// scaleBigChurnEvery is the extended sweep's burst period: at thousands
+// of queries, load shifts hit any one query far less often than every 4s,
+// so the extended rows model a ~16-period plateau per query. The value is
+// recorded in the row (ChurnEvery) — the scale claim is explicitly "cycle
+// cost tracks the changing subset", not "cost is flat under any churn".
+const scaleBigChurnEvery = 16
+
+// bigCount parameterizes one extended-scale row: binding count and shard
+// fan-out for the sharded timing run.
+//
+// Extended timing runs set the modeled fetch latency to zero. This is a
+// deliberate measurement decision, not an optimization: n independent
+// 150µs sleeps serialize through the host's kernel timer path at a few
+// microseconds per expiry, so at 2k+ drivers a "cycle" would mostly
+// measure the measurement host's timer throughput (~10ms at 2k on a
+// single-core box) rather than the middleware. The classic 16-512 rows
+// keep the full IO model and already prove fetch-latency overlap; the
+// extended rows isolate what this sweep is about — the decision-loop
+// ceiling itself.
+type bigCount struct {
+	n      int
+	shards int
+}
+
+// scaleBigConfigs maps the supported extended counts to their shard
+// fan-out.
+var scaleBigConfigs = map[int]bigCount{
+	2000:  {n: 2000, shards: 8},
+	4000:  {n: 4000, shards: 8},
+	10000: {n: 10000, shards: 16},
+}
 
 // scaleDriver is a synthetic core.Driver standing in for one SPE's metric
 // endpoint: Fetch sleeps the modeled round trip, then returns
@@ -53,18 +94,22 @@ var scaleBindingCounts = []int{16, 64, 256, 512}
 // change and writes happen), constant afterwards (so steady state is
 // reached and no-op suppression becomes measurable).
 type scaleDriver struct {
-	name    string
-	idx     int
-	ents    []core.Entity
-	latency time.Duration
-	warmup  time.Duration
+	name       string
+	idx        int
+	ents       []core.Entity
+	latency    time.Duration
+	warmup     time.Duration
+	churnEvery int
+	vals       core.EntityValues // reused fetch map (provider copies out)
 }
 
 var _ core.Driver = (*scaleDriver)(nil)
 
 // newScaleDriver builds binding i's driver with scaleEntities operators on
-// unique fake tids belonging to query q<i>.
-func newScaleDriver(i int, warmup time.Duration) *scaleDriver {
+// unique fake tids belonging to query q<i>. latency 0 disables the
+// modeled round-trip sleep (equivalence runs: latency shifts timing,
+// never decisions, so the decision-identity check need not pay it).
+func newScaleDriver(i int, warmup, latency time.Duration, churnEvery int) *scaleDriver {
 	name := fmt.Sprintf("spe-%03d", i)
 	query := fmt.Sprintf("q%03d", i)
 	ents := make([]core.Entity, scaleEntities)
@@ -76,24 +121,27 @@ func newScaleDriver(i int, warmup time.Duration) *scaleDriver {
 			Thread: 100000 + i*scaleEntities + j,
 		}
 	}
+	if latency > 0 {
+		latency += time.Duration(i%7) * scaleLatencySpan / 7
+	}
 	return &scaleDriver{
-		name:    name,
-		idx:     i,
-		ents:    ents,
-		latency: scaleFetchLatency + time.Duration(i%7)*scaleLatencySpan/7,
-		warmup:  warmup,
+		name:       name,
+		idx:        i,
+		ents:       ents,
+		latency:    latency,
+		warmup:     warmup,
+		churnEvery: churnEvery,
+		vals:       make(core.EntityValues, scaleEntities),
 	}
 }
 
 // Name implements core.Driver.
 func (d *scaleDriver) Name() string { return d.name }
 
-// Entities implements core.Driver.
-func (d *scaleDriver) Entities() []core.Entity {
-	out := make([]core.Entity, len(d.ents))
-	copy(out, d.ents)
-	return out
-}
+// Entities implements core.Driver. The cached slice is returned directly:
+// the middleware only iterates it, and a stable slice keeps both the
+// steady-state cycle and the memo comparison allocation-free.
+func (d *scaleDriver) Entities() []core.Entity { return d.ents }
 
 // Provides implements core.Driver.
 func (d *scaleDriver) Provides(metric string) bool {
@@ -109,11 +157,14 @@ func (d *scaleDriver) Fetch(metric string, now time.Duration) (core.EntityValues
 	if d.latency > 0 {
 		time.Sleep(d.latency)
 	}
-	vals := make(core.EntityValues, len(d.ents))
+	// Refilling one owned map is safe here for the same reasons as the
+	// core hot-path bench: sweep drivers never fail (so last-good values
+	// are never served from an aliased stale map) and no derived metrics
+	// read a previous fetch's map.
 	for j, e := range d.ents {
-		vals[e.Name] = d.queue(j, now)
+		d.vals[e.Name] = d.queue(j, now)
 	}
-	return vals, nil
+	return d.vals, nil
 }
 
 // queue is the deterministic queue-size trajectory of operator j: a ramp
@@ -122,12 +173,11 @@ func (d *scaleDriver) Fetch(metric string, now time.Duration) (core.EntityValues
 // real workloads keep shifting occasionally, so the coalescer must let
 // genuinely changed decisions through while absorbing the unchanged bulk.
 func (d *scaleDriver) queue(j int, now time.Duration) float64 {
-	const churnEvery = 4
 	base := float64(10 * (j + 1))
 	if now < d.warmup {
 		return base + float64(now/scalePeriod)*float64(j+1)*3
 	}
-	if j == 0 && (int(now/scalePeriod)+d.idx)%churnEvery == 0 {
+	if j == 0 && (int(now/scalePeriod)+d.idx)%d.churnEvery == 0 {
 		return base * 8 // op0 bursts: this period's schedule differs
 	}
 	return base * 4
@@ -154,49 +204,172 @@ type scaleRun struct {
 	opsPerStep  float64 // control ops per decision interval, post-warmup
 	suppressed  int64   // coalescer-suppressed ops, post-warmup
 	issued      int64   // coalescer-passed ops, post-warmup
+	memoPerStep float64 // memo-served bindings per decision interval
 	auditEvents []core.AuditEvent
 }
 
-// runScale steps n bindings through warmupSteps+measureSteps virtual
-// periods on the host clock, sequentially or through the parallel
-// pipeline, and measures the post-warmup cycles.
-func runScale(n, warmupSteps, measureSteps int, parallel bool) (scaleRun, error) {
-	sink := &core.MemorySink{}
-	trail := core.NewAuditTrail(0, sink)
-	mw := core.NewMiddleware(nil)
-	mw.SetAudit(trail)
-	cnt := &scaleCountingOS{}
-	warmup := time.Duration(warmupSteps) * scalePeriod
+// scaleConfig selects one measured cell: binding count, pipeline shape
+// (sequential loop, parallel pipeline, or sharded fan-out), whether the
+// audit trail records (timing runs at extended counts turn it off; the
+// separate equivalence runs turn it on with latency 0), decision
+// memoization, the modeled fetch latency, the workload's churn period,
+// and the pool widths.
+type scaleConfig struct {
+	n            int
+	warmupSteps  int
+	measureSteps int
+	mode         string // "seq", "par", or "shard"
+	shards       int    // shard count for mode "shard"
+	audited      bool
+	memoize      bool
+	latency      time.Duration
+	churnEvery   int
+	fetchWorkers int
+	applyWorkers int
+}
 
-	if parallel {
-		mw.SetParallelism(core.Parallelism{
-			FetchWorkers: scaleFetchWorkers,
-			ApplyWorkers: scaleApplyWorkers,
-		})
-		mw.SetWriteGate(core.NewDriverGate())
-	} else {
-		mw.SetParallelism(core.Parallelism{Disabled: true})
+// classicSeq/classicPar are the original sweep's two cells, unchanged.
+func classicSeq(n, warmup, measure int) scaleConfig {
+	return scaleConfig{
+		n: n, warmupSteps: warmup, measureSteps: measure,
+		mode: "seq", audited: true,
+		latency: scaleFetchLatency, churnEvery: scaleChurnEvery,
 	}
+}
 
-	coalescers := make([]*core.Coalescer, 0, n)
-	for i := 0; i < n; i++ {
-		drv := newScaleDriver(i, warmup)
-		var chain core.OSInterface = core.AuditOS(cnt, trail)
+func classicPar(n, warmup, measure int) scaleConfig {
+	return scaleConfig{
+		n: n, warmupSteps: warmup, measureSteps: measure,
+		mode: "par", audited: true,
+		latency: scaleFetchLatency, churnEvery: scaleChurnEvery,
+		fetchWorkers: scaleFetchWorkers, applyWorkers: scaleApplyWorkers,
+	}
+}
+
+// runScale steps cfg.n bindings through warmup+measure virtual periods on
+// the host clock and measures the post-warmup cycles. For mode "shard"
+// every shard is stepped concurrently from its own goroutine at the same
+// virtual time — the deployment shape where each shard runs its own clock
+// loop — and one "cycle" lasts until the slowest shard finishes.
+func runScale(cfg scaleConfig) (scaleRun, error) {
+	var sink *core.MemorySink
+	var trail *core.AuditTrail
+	if cfg.audited {
+		sink = &core.MemorySink{}
+		trail = core.NewAuditTrail(0, sink)
+	}
+	cnt := &scaleCountingOS{}
+	warmup := time.Duration(cfg.warmupSteps) * scalePeriod
+
+	coalescers := make([]*core.Coalescer, 0, cfg.n)
+	bindOne := func(bindFn func(core.Binding) error, i int) error {
+		drv := newScaleDriver(i, warmup, cfg.latency, cfg.churnEvery)
+		var chain core.OSInterface = cnt
+		if cfg.audited {
+			chain = core.AuditOS(cnt, trail)
+		}
 		var co *core.Coalescer
-		if parallel {
+		if cfg.mode != "seq" {
 			co = core.NewCoalescer(chain, nil)
 			chain = co
 			coalescers = append(coalescers, co)
 		}
-		if err := mw.Bind(core.Binding{
+		if err := bindFn(core.Binding{
 			Policy:     core.GroupPerQuery(core.NewQSPolicy()),
 			Translator: core.NewCombinedTranslator(chain, 0, 0),
 			Drivers:    []core.Driver{drv},
 			Coalescer:  co,
 			Period:     scalePeriod,
+			Memoize:    cfg.memoize,
 		}); err != nil {
-			return scaleRun{}, fmt.Errorf("bind %s: %w", drv.name, err)
+			return fmt.Errorf("bind %s: %w", drv.name, err)
 		}
+		return nil
+	}
+
+	// step runs one virtual period and returns the step's memoized count.
+	var step func(now time.Duration) (int, error)
+	switch cfg.mode {
+	case "seq":
+		mw := core.NewMiddleware(nil)
+		defer mw.Close()
+		if trail != nil {
+			mw.SetAudit(trail)
+		}
+		mw.SetParallelism(core.Parallelism{Disabled: true})
+		for i := 0; i < cfg.n; i++ {
+			if err := bindOne(mw.Bind, i); err != nil {
+				return scaleRun{}, err
+			}
+		}
+		step = func(now time.Duration) (int, error) {
+			st, err := mw.Step(now)
+			return st.Memoized, err
+		}
+	case "par":
+		mw := core.NewMiddleware(nil)
+		defer mw.Close()
+		if trail != nil {
+			mw.SetAudit(trail)
+		}
+		mw.SetParallelism(core.Parallelism{
+			FetchWorkers: cfg.fetchWorkers,
+			ApplyWorkers: cfg.applyWorkers,
+		})
+		mw.SetWriteGate(core.NewDriverGate())
+		for i := 0; i < cfg.n; i++ {
+			if err := bindOne(mw.Bind, i); err != nil {
+				return scaleRun{}, err
+			}
+		}
+		step = func(now time.Duration) (int, error) {
+			st, err := mw.Step(now)
+			return st.Memoized, err
+		}
+	case "shard":
+		sh := core.NewShardedMiddleware(nil, cfg.shards)
+		defer sh.Close()
+		if trail != nil {
+			sh.SetAudit(trail)
+		}
+		perShardFetch := cfg.fetchWorkers / cfg.shards
+		if perShardFetch < 1 {
+			perShardFetch = 1
+		}
+		perShardApply := cfg.applyWorkers / cfg.shards
+		if perShardApply < 2 {
+			perShardApply = 2
+		}
+		sh.SetParallelism(core.Parallelism{
+			FetchWorkers: perShardFetch,
+			ApplyWorkers: perShardApply,
+		})
+		for i := 0; i < cfg.n; i++ {
+			if err := bindOne(sh.Bind, i); err != nil {
+				return scaleRun{}, err
+			}
+		}
+		step = func(now time.Duration) (int, error) {
+			var wg sync.WaitGroup
+			memos := make([]int, cfg.shards)
+			errs := make([]error, cfg.shards)
+			for i := 0; i < cfg.shards; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					st, err := sh.StepShard(i, now)
+					memos[i], errs[i] = st.Memoized, err
+				}(i)
+			}
+			wg.Wait()
+			memo := 0
+			for _, m := range memos {
+				memo += m
+			}
+			return memo, errors.Join(errs...)
+		}
+	default:
+		return scaleRun{}, fmt.Errorf("unknown scale mode %q", cfg.mode)
 	}
 
 	coalesceTotals := func() (sup, iss int64) {
@@ -208,26 +381,34 @@ func runScale(n, warmupSteps, measureSteps int, parallel bool) (scaleRun, error)
 	}
 
 	// Warmup cycles: reach steady state, unmeasured.
-	for s := 0; s < warmupSteps; s++ {
-		if _, err := mw.Step(time.Duration(s) * scalePeriod); err != nil {
+	for s := 0; s < cfg.warmupSteps; s++ {
+		if _, err := step(time.Duration(s) * scalePeriod); err != nil {
 			return scaleRun{}, fmt.Errorf("warmup step %d: %w", s, err)
 		}
 	}
 	opsWarm := cnt.ops.Load()
 	supWarm, issWarm := coalesceTotals()
 
+	// Warmup (Bind + ramp) allocates; the steady cycle does not. Collect
+	// that garbage now so a stray GC pause from setup debt doesn't land
+	// inside the measured window.
+	runtime.GC()
+
 	// Measured cycles.
-	durs := make([]time.Duration, 0, measureSteps)
-	for s := 0; s < measureSteps; s++ {
-		now := time.Duration(warmupSteps+s) * scalePeriod
+	durs := make([]time.Duration, 0, cfg.measureSteps)
+	var memoTotal int64
+	for s := 0; s < cfg.measureSteps; s++ {
+		now := time.Duration(cfg.warmupSteps+s) * scalePeriod
 		t0 := time.Now()
-		if _, err := mw.Step(now); err != nil {
-			return scaleRun{}, fmt.Errorf("step %d: %w", warmupSteps+s, err)
+		memo, err := step(now)
+		if err != nil {
+			return scaleRun{}, fmt.Errorf("step %d: %w", cfg.warmupSteps+s, err)
 		}
 		durs = append(durs, time.Since(t0))
+		memoTotal += int64(memo)
 	}
 
-	run := scaleRun{steps: int64(measureSteps)}
+	run := scaleRun{steps: int64(cfg.measureSteps)}
 	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
 	run.p50 = durs[len(durs)/2]
 	run.p95 = durs[(len(durs)-1)*95/100]
@@ -236,11 +417,14 @@ func runScale(n, warmupSteps, measureSteps int, parallel bool) (scaleRun, error)
 		total += d
 	}
 	run.mean = total / time.Duration(len(durs))
-	run.opsPerStep = float64(cnt.ops.Load()-opsWarm) / float64(measureSteps)
+	run.opsPerStep = float64(cnt.ops.Load()-opsWarm) / float64(cfg.measureSteps)
 	sup, iss := coalesceTotals()
 	run.suppressed = sup - supWarm
 	run.issued = iss - issWarm
-	run.auditEvents = sink.Events()
+	run.memoPerStep = float64(memoTotal) / float64(cfg.measureSteps)
+	if sink != nil {
+		run.auditEvents = sink.Events()
+	}
 	return run, nil
 }
 
@@ -345,6 +529,32 @@ type ScaleRow struct {
 	SuppressedFraction float64 `json:"suppressed_fraction"`
 	// DecisionsMatch reports the order-insensitive audit replay check.
 	DecisionsMatch bool `json:"decisions_match"`
+
+	// Extended-scale fields (2k/4k/10k rows only).
+	//
+	// Extended marks a row measured under the extended protocol: timing
+	// runs are audit-off and memoized (the production hot-path shape),
+	// the sequential pipeline is not timed (serialized 150µs round trips
+	// alone would cost n*~1ms per cycle — there is nothing left to
+	// learn), and decision equivalence is instead proved by a separate
+	// latency-0, audit-on pair (sequential baseline vs sharded run):
+	// fetch latency shifts timing, never decisions.
+	Extended bool `json:"extended,omitempty"`
+	// ChurnEvery is the workload's burst period (one op bursts every
+	// ChurnEvery decision periods per binding, phased): 4 on classic
+	// rows, 16 on extended rows.
+	ChurnEvery int `json:"churn_every,omitempty"`
+	// Shards is the shard fan-out of the sharded timing run.
+	Shards int `json:"shards,omitempty"`
+	// Sharded decision-cycle cost (ns): every shard stepped concurrently
+	// from its own clock loop; a cycle lasts until the slowest shard
+	// finishes.
+	ShardP50Ns  int64 `json:"shard_p50_ns,omitempty"`
+	ShardP95Ns  int64 `json:"shard_p95_ns,omitempty"`
+	ShardMeanNs int64 `json:"shard_mean_ns,omitempty"`
+	// MemoizedPerInterval is how many bindings per decision interval the
+	// parallel timing run served from the decision memo.
+	MemoizedPerInterval float64 `json:"memoized_per_interval,omitempty"`
 }
 
 // ScaleReport is the BENCH_scale.json document.
@@ -371,14 +581,14 @@ func scaleSteps(sc Scale) (warmup, measure int) {
 	return warmup, measure
 }
 
-// runScalePair measures one binding count on both pipelines.
+// runScalePair measures one classic binding count on both pipelines.
 func runScalePair(n, warmup, measure int) (ScaleRow, error) {
 	row := ScaleRow{Bindings: n, Entities: n * scaleEntities}
-	seq, err := runScale(n, warmup, measure, false)
+	seq, err := runScale(classicSeq(n, warmup, measure))
 	if err != nil {
 		return row, fmt.Errorf("sequential %d: %w", n, err)
 	}
-	par, err := runScale(n, warmup, measure, true)
+	par, err := runScale(classicPar(n, warmup, measure))
 	if err != nil {
 		return row, fmt.Errorf("parallel %d: %w", n, err)
 	}
@@ -396,6 +606,91 @@ func runScalePair(n, warmup, measure int) (ScaleRow, error) {
 		row.SuppressedFraction = float64(par.suppressed) / float64(total)
 	}
 	row.DecisionsMatch = decisionsMatch(seq.auditEvents, par.auditEvents)
+	return row, nil
+}
+
+// runScaleExtended measures one extended binding count (2k/4k/10k).
+//
+// Four runs per row:
+//
+//  1. parallel timing — audit off, memoized, fetch latency 0 (see the
+//     bigCount doc for why modeled sleeps are omitted at this scale);
+//     the production hot-path shape. Par* fields.
+//  2. sharded timing — same, partitioned over bc.shards shards stepped
+//     concurrently on independent clock loops. Shard* fields.
+//  3. + 4. equivalence pair — latency 0, audit on, memoized: sequential
+//     baseline vs the sharded run. DecisionsMatch proves that shard
+//     partitioning plus pooled parallel applies plus memoization change
+//     no scheduling decision, only where and when the cycles execute.
+func runScaleExtended(bc bigCount, warmup, measure int) (ScaleRow, error) {
+	row := ScaleRow{
+		Bindings:   bc.n,
+		Entities:   bc.n * scaleEntities,
+		Extended:   true,
+		ChurnEvery: scaleBigChurnEvery,
+		Shards:     bc.shards,
+	}
+	// Extended warmup: every binding must pass its first post-ramp burst
+	// before measurement, or lazily-allocated first-burst paths and
+	// unsettled memos leak into the measured window.
+	if warmup < scaleBigChurnEvery+2 {
+		warmup = scaleBigChurnEvery + 2
+	}
+
+	// fetchWorkers 1 inlines the fetch phase: with no modeled latency
+	// there is nothing to overlap, and on a small host dispatching n
+	// trivial fetch jobs through the pool costs more than the fetches.
+	timing := scaleConfig{
+		n: bc.n, warmupSteps: warmup, measureSteps: measure,
+		mode: "par", audited: false, memoize: true,
+		latency: 0, churnEvery: scaleBigChurnEvery,
+		fetchWorkers: 1, applyWorkers: scaleApplyWorkers,
+	}
+	par, err := runScale(timing)
+	if err != nil {
+		return row, fmt.Errorf("extended parallel %d: %w", bc.n, err)
+	}
+
+	shardTiming := timing
+	shardTiming.mode = "shard"
+	shardTiming.shards = bc.shards
+	shardTiming.applyWorkers = 2 * bc.shards
+	shd, err := runScale(shardTiming)
+	if err != nil {
+		return row, fmt.Errorf("extended sharded %d: %w", bc.n, err)
+	}
+
+	// Equivalence pair: identical virtual workload, no modeled latency.
+	equiv := scaleConfig{
+		n: bc.n, warmupSteps: warmup, measureSteps: measure,
+		mode: "seq", audited: true, memoize: true,
+		latency: 0, churnEvery: scaleBigChurnEvery,
+	}
+	seqE, err := runScale(equiv)
+	if err != nil {
+		return row, fmt.Errorf("equivalence sequential %d: %w", bc.n, err)
+	}
+	equiv.mode = "shard"
+	equiv.shards = bc.shards
+	equiv.fetchWorkers = bc.shards // one inline fetcher per shard
+	equiv.applyWorkers = 2 * bc.shards
+	shdE, err := runScale(equiv)
+	if err != nil {
+		return row, fmt.Errorf("equivalence sharded %d: %w", bc.n, err)
+	}
+
+	row.Steps = par.steps
+	row.ParP50Ns, row.ParP95Ns, row.ParMeanNs = par.p50.Nanoseconds(), par.p95.Nanoseconds(), par.mean.Nanoseconds()
+	row.ShardP50Ns, row.ShardP95Ns, row.ShardMeanNs = shd.p50.Nanoseconds(), shd.p95.Nanoseconds(), shd.mean.Nanoseconds()
+	row.MemoizedPerInterval = par.memoPerStep
+	row.SeqOpsPerInterval = seqE.opsPerStep
+	row.ParOpsPerInterval = par.opsPerStep
+	row.Suppressed = par.suppressed
+	row.Issued = par.issued
+	if total := par.suppressed + par.issued; total > 0 {
+		row.SuppressedFraction = float64(par.suppressed) / float64(total)
+	}
+	row.DecisionsMatch = decisionsMatch(seqE.auditEvents, shdE.auditEvents)
 	return row, nil
 }
 
@@ -420,17 +715,48 @@ func scaleExp(w io.Writer, sc Scale) error {
 		}
 		report.Rows = append(report.Rows, row)
 	}
+	for _, n := range sc.BigCounts {
+		bc, ok := scaleBigConfigs[n]
+		if !ok {
+			return fmt.Errorf("scale: unsupported extended binding count %d", n)
+		}
+		if sc.Progress != nil {
+			sc.Progress(fmt.Sprintf("scale: %d binding(s), extended (parallel vs %d shards + equivalence)", n, bc.shards))
+		}
+		row, err := runScaleExtended(bc, warmup, measure)
+		if err != nil {
+			return err
+		}
+		report.Rows = append(report.Rows, row)
+	}
 
 	fmt.Fprintln(w, "# Scale: sequential vs parallel decision pipeline (write coalescing on)")
 	fmt.Fprintf(w, "%9s %11s %11s %9s %10s %10s %7s %6s\n",
 		"bindings", "seq-p95", "par-p95", "speedup", "seq-ops/i", "par-ops/i", "suppr", "match")
 	for _, r := range report.Rows {
+		if r.Extended {
+			continue
+		}
 		fmt.Fprintf(w, "%9d %11v %11v %8.1fx %10.0f %10.0f %6.0f%% %6v\n",
 			r.Bindings, time.Duration(r.SeqP95Ns), time.Duration(r.ParP95Ns),
 			r.SpeedupP95, r.SeqOpsPerInterval, r.ParOpsPerInterval,
 			r.SuppressedFraction*100, r.DecisionsMatch)
 	}
 	fmt.Fprintln(w)
+	if len(sc.BigCounts) > 0 {
+		fmt.Fprintln(w, "# Extended scale: memoized hot path, audit-off timing; equivalence via latency-0 audit pair")
+		fmt.Fprintf(w, "%9s %7s %11s %11s %8s %7s %6s\n",
+			"bindings", "shards", "par-p95", "shard-p95", "memo/i", "suppr", "match")
+		for _, r := range report.Rows {
+			if !r.Extended {
+				continue
+			}
+			fmt.Fprintf(w, "%9d %7d %11v %11v %8.0f %6.0f%% %6v\n",
+				r.Bindings, r.Shards, time.Duration(r.ParP95Ns), time.Duration(r.ShardP95Ns),
+				r.MemoizedPerInterval, r.SuppressedFraction*100, r.DecisionsMatch)
+		}
+		fmt.Fprintln(w)
+	}
 
 	if sc.ArtifactDir != "" {
 		data, err := json.MarshalIndent(report, "", "  ")

@@ -80,8 +80,8 @@ func TestDecisionsMatchDiscriminates(t *testing.T) {
 // The synthetic drivers must be deterministic in virtual time — the
 // property the sequential/parallel comparison rests on.
 func TestScaleDriverDeterminism(t *testing.T) {
-	a := newScaleDriver(3, 4*time.Second)
-	b := newScaleDriver(3, 4*time.Second)
+	a := newScaleDriver(3, 4*time.Second, 0, scaleChurnEvery)
+	b := newScaleDriver(3, 4*time.Second, 0, scaleChurnEvery)
 	for _, now := range []time.Duration{0, time.Second, 4 * time.Second, 10 * time.Second} {
 		va, err := a.Fetch(core.MetricQueueSize, now)
 		if err != nil {
@@ -100,8 +100,13 @@ func TestScaleDriverDeterminism(t *testing.T) {
 			}
 		}
 	}
-	// Steady state: values stop changing after warmup.
-	v1, _ := a.Fetch(core.MetricQueueSize, 5*time.Second)
+	// Steady state: values stop changing after warmup. Fetch reuses one
+	// owned map, so the first result must be copied before re-fetching.
+	fetched, _ := a.Fetch(core.MetricQueueSize, 5*time.Second)
+	v1 := make(core.EntityValues, len(fetched))
+	for k, v := range fetched {
+		v1[k] = v
+	}
 	v2, _ := a.Fetch(core.MetricQueueSize, 9*time.Second)
 	for k := range v1 {
 		if v1[k] != v2[k] {

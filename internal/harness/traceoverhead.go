@@ -105,7 +105,7 @@ func buildTraceStack(n, warmupSteps int, traced bool, seed uint64) (traceRun, er
 	})
 	mw.SetWriteGate(core.NewDriverGate())
 	for i := 0; i < n; i++ {
-		drv := newScaleDriver(i, warmup)
+		drv := newScaleDriver(i, warmup, scaleFetchLatency, scaleChurnEvery)
 		co := core.NewCoalescer(cnt, nil)
 		if err := mw.Bind(core.Binding{
 			Policy:     core.GroupPerQuery(core.NewQSPolicy()),

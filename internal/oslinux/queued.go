@@ -1,0 +1,13 @@
+package oslinux
+
+import "lachesis/internal/driver"
+
+// Queued wraps the Control in a per-backend submission queue: all control
+// writes funnel through one writer goroutine (see driver.SubmitQueue), so
+// the kernel-facing syscalls are issued by a single thread regardless of
+// how many binding applies run concurrently above. depth bounds parked
+// submissions (<= 0 selects the default). The caller owns Close on the
+// returned wrapper.
+func (c *Control) Queued(depth int) *driver.QueuedOS {
+	return driver.NewQueuedOS(c, depth)
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"lachesis/internal/core"
+	"lachesis/internal/driver"
 )
 
 // raceDriver exposes fixed entities; it provides no metrics.
@@ -27,6 +28,23 @@ func (d *raceDriver) Fetch(metric string, _ time.Duration) (core.EntityValues, e
 // state. Run with -race; correctness check: once interference stops, one
 // final pass converges kernel state onto desired state.
 func TestMiddlewareReconcilerRace(t *testing.T) {
+	runMiddlewareReconcilerRace(t, nil)
+}
+
+// TestMiddlewareReconcilerRaceQueued is the same scenario with the
+// backend fronted by a submission queue: concurrent binding applies and
+// reconciler repairs must funnel through the queue's single writer
+// goroutine without deadlock or lost writes, and cache invalidations
+// (which bypass the queue by design) must stay race-free against it.
+func TestMiddlewareReconcilerRaceQueued(t *testing.T) {
+	runMiddlewareReconcilerRace(t, func(os core.OSInterface) core.OSInterface {
+		q := driver.NewQueuedOS(os, 8)
+		t.Cleanup(q.Close)
+		return q
+	})
+}
+
+func runMiddlewareReconcilerRace(t *testing.T, wrap func(core.OSInterface) core.OSInterface) {
 	kernel := newFakeKernel()
 	cached := newCachedOS(kernel)
 	state, err := NewDesiredState(nil)
@@ -41,7 +59,11 @@ func TestMiddlewareReconcilerRace(t *testing.T) {
 		}
 		return id
 	}
-	gate := core.NewApplyGate(RecordOS(core.AuditOS(cached, trail), state, ident, nil))
+	var backend core.OSInterface = cached
+	if wrap != nil {
+		backend = wrap(backend)
+	}
+	gate := core.NewApplyGate(RecordOS(core.AuditOS(backend, trail), state, ident, nil))
 
 	drv := &raceDriver{}
 	prios := core.LogicalSchedule{}

@@ -1,0 +1,13 @@
+package simctl
+
+import "lachesis/internal/driver"
+
+// Queued wraps the adapter in a per-backend submission queue (see
+// driver.SubmitQueue): control writes from concurrent binding applies
+// reach the single-threaded simulated kernel through one writer
+// goroutine, in whole-batch arrival order. depth bounds parked
+// submissions (<= 0 selects the default). The caller owns Close on the
+// returned wrapper.
+func (a *OSAdapter) Queued(depth int) *driver.QueuedOS {
+	return driver.NewQueuedOS(a, depth)
+}

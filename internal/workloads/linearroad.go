@@ -23,6 +23,8 @@ const (
 	lrCongestionThreshold = 9
 )
 
+// LinearRoad builds the Linear Road tolling query described at the top of
+// this file at the given per-operator fission degree.
 func LinearRoad(parallelism int) *spe.LogicalQuery {
 	if parallelism < 1 {
 		parallelism = 1
