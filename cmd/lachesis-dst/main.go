@@ -1,0 +1,208 @@
+// Command lachesis-dst drives the deterministic simulation harness in
+// internal/dst: randomized, seed-reproducible full-stack fault schedules
+// over the Lachesis control plane, with invariant checking and
+// failing-seed shrinking.
+//
+//	lachesis-dst run -seeds 200            # explore a seed corpus
+//	lachesis-dst replay -seed 42 -verify   # re-run one seed, prove byte-identical logs
+//	lachesis-dst shrink -seed 42 -out dir  # minimize a failing seed to a reproducer
+//
+// The -fence-off flag injects the reference regression (agents skip
+// their epoch-gate admission check) the harness is required to catch;
+// it exists so the teeth of the invariant stack stay testable.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"lachesis/internal/dst"
+)
+
+// SeedsEnv overrides the default corpus size of `run` (the CI knob: a
+// nightly or local sweep can widen the budget without editing flags).
+const SeedsEnv = dst.SeedsEnv
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "shrink":
+		err = cmdShrink(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "lachesis-dst: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lachesis-dst:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  lachesis-dst run    [-seeds N] [-start S] [-fence-off] [-json FILE]
+  lachesis-dst replay [-seed S] [-fence-off] [-verify] [-schedule] [-log FILE]
+  lachesis-dst shrink [-seed S] [-fence-off] [-budget N] [-out DIR]`)
+}
+
+// defaultSeeds resolves the corpus size: LACHESIS_DST_SEEDS, else 200.
+func defaultSeeds() int {
+	if v := os.Getenv(SeedsEnv); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 200
+}
+
+// cmdRun explores a seed corpus and fails on any invariant violation.
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	seeds := fs.Int("seeds", defaultSeeds(), "number of seeds to explore (env "+SeedsEnv+" overrides the default)")
+	start := fs.Int64("start", 1, "first seed")
+	fenceOff := fs.Bool("fence-off", false, "inject the fencing regression (agents skip epoch-gate admission)")
+	jsonOut := fs.String("json", "", "write the corpus report as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := dst.Options{DisableFencing: *fenceOff}
+	rep, err := dst.RunCorpus(*start, *seeds, opts, func(done int) {
+		if done%50 == 0 {
+			fmt.Fprintf(os.Stderr, "  %d/%d seeds\n", done, *seeds)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("corpus: %d seeds from %d: %d violations, %d failovers, %d fenced rejects, %d adversarial (%d promoted / %d rolled back)\n",
+		rep.Seeds, rep.Start, len(rep.Violations), rep.Failovers, rep.GateRejects,
+		rep.Adversarial, rep.Promoted, rep.RolledBack)
+	for _, v := range rep.Violations {
+		fmt.Printf("  seed %d: tick %d %s: %s\n", v.Seed, v.Violation.Tick, v.Violation.Invariant, v.Violation.Detail)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if len(rep.Violations) > 0 {
+		s := rep.Violations[0].Seed
+		return fmt.Errorf("%d failing seeds; reproduce with `lachesis-dst replay -seed %d`, minimize with `lachesis-dst shrink -seed %d`",
+			len(rep.Violations), s, s)
+	}
+	return nil
+}
+
+// cmdReplay re-runs one seed and emits its event log.
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "seed to replay")
+	fenceOff := fs.Bool("fence-off", false, "inject the fencing regression")
+	verify := fs.Bool("verify", false, "run the seed twice and fail unless the logs are byte-identical")
+	schedOnly := fs.Bool("schedule", false, "print the generated schedule JSON instead of running it")
+	logOut := fs.String("log", "", "write the event log (JSONL) to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *schedOnly {
+		data, err := dst.Generate(*seed).EncodeJSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	opts := dst.Options{DisableFencing: *fenceOff}
+	res, err := dst.RunSeed(*seed, opts)
+	if err != nil {
+		return err
+	}
+	logBytes := res.Log.EncodeJSONL()
+	if *verify {
+		again, err := dst.RunSeed(*seed, opts)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(logBytes, again.Log.EncodeJSONL()) {
+			return fmt.Errorf("seed %d replay diverged: %d vs %d events — determinism broken",
+				*seed, res.Events, again.Events)
+		}
+		fmt.Fprintf(os.Stderr, "seed %d: replay byte-identical (%d events)\n", *seed, res.Events)
+	}
+	if *logOut != "" {
+		if err := os.WriteFile(*logOut, logBytes, 0o644); err != nil {
+			return err
+		}
+	} else {
+		os.Stdout.Write(logBytes)
+	}
+	fmt.Fprintf(os.Stderr, "seed %d: %d ticks, %d events, %d failovers, %d fenced rejects, decision %q\n",
+		*seed, res.Ticks, res.Events, res.Failovers, res.GateRejects, res.Decision)
+	if res.Violation != nil {
+		return fmt.Errorf("seed %d violates %s at tick %d: %s",
+			*seed, res.Violation.Invariant, res.Violation.Tick, res.Violation.Detail)
+	}
+	return nil
+}
+
+// cmdShrink minimizes a failing seed into an on-disk reproducer bundle.
+func cmdShrink(args []string) error {
+	fs := flag.NewFlagSet("shrink", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "failing seed to minimize")
+	fenceOff := fs.Bool("fence-off", false, "inject the fencing regression")
+	budget := fs.Int("budget", dst.DefaultShrinkBudget, "max candidate simulations")
+	outDir := fs.String("out", "dst-repro", "directory for the reproducer bundle")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := dst.Options{DisableFencing: *fenceOff, Spans: true}
+	sr, err := dst.Shrink(dst.Generate(*seed), opts, *budget)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	schedJSON, err := sr.Minimal.EncodeJSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(*outDir, "schedule.json"), append(schedJSON, '\n'), 0o644); err != nil {
+		return err
+	}
+	res, err := dst.RunSchedule(sr.Minimal, opts)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(*outDir, "events.jsonl"), res.Log.EncodeJSONL(), 0o644); err != nil {
+		return err
+	}
+	if dump, err := dst.DumpViolation(res, *outDir); err == nil && dump != "" {
+		fmt.Fprintf(os.Stderr, "flight-recorder dump: %s\n", dump)
+	}
+	fmt.Printf("seed %d: %s reproduced with %d events (was %d, ratio %.2f) after %d candidate runs\n",
+		*seed, sr.Invariant, sr.MinimalEvents, sr.OriginalEvents, sr.Ratio(), sr.Runs)
+	fmt.Printf("reproducer: %s (schedule.json + events.jsonl)\n", *outDir)
+	return nil
+}

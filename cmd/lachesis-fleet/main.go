@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -24,6 +23,7 @@ import (
 
 	"lachesis/internal/core"
 	"lachesis/internal/fleet"
+	"lachesis/internal/httpx"
 	"lachesis/internal/reconcile"
 	"lachesis/internal/span"
 )
@@ -176,7 +176,7 @@ func run(args []string, stdout, stderr io.Writer, sigs chan os.Signal) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: d.handler(), ReadHeaderTimeout: 5 * time.Second}
+	srv := httpx.NewServer(d.handler())
 	go func() { _ = srv.Serve(ln) }()
 	defer srv.Close()
 	role := "leading"

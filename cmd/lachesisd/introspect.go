@@ -15,6 +15,7 @@ import (
 	"lachesis/internal/core"
 	"lachesis/internal/fleet"
 	"lachesis/internal/guard"
+	"lachesis/internal/httpx"
 	"lachesis/internal/reconcile"
 	"lachesis/internal/span"
 	"lachesis/internal/telemetry"
@@ -409,7 +410,7 @@ func startIntrospection(addr string, d introspectionDeps) (*introspectionServer,
 		return nil, err
 	}
 	s := &introspectionServer{
-		srv:  &http.Server{Handler: newIntrospectionHandler(d), ReadHeaderTimeout: 5 * time.Second},
+		srv:  httpx.NewServer(newIntrospectionHandler(d)),
 		addr: ln.Addr().String(),
 	}
 	go func() { _ = s.srv.Serve(ln) }()

@@ -321,6 +321,22 @@ func (s *MemorySink) Events() []AuditEvent {
 	return out
 }
 
+// ReplayNice folds an audit stream back into the kernel nice state it
+// described: the final nice per thread, considering only successful
+// nice writes. If the audit trail is complete, the result must equal
+// the kernel's actual state exactly — the audit-replay equivalence the
+// dst harness checks as an invariant, and the cross-check any external
+// consumer of the decision-audit JSONL can run offline.
+func ReplayNice(events []AuditEvent) map[int]int {
+	out := make(map[int]int)
+	for _, e := range events {
+		if e.Kind == AuditKindNice && e.Outcome == AuditOutcomeOK && e.NewNice != nil {
+			out[e.Thread] = *e.NewNice
+		}
+	}
+	return out
+}
+
 // --- audited OS wrapper ---
 
 // auditedOS records every effective control-state change flowing through

@@ -1,0 +1,246 @@
+package dst
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+// corpusSize resolves the randomized-corpus budget: LACHESIS_DST_SEEDS
+// (the CI/nightly knob), else a quick local default.
+func corpusSize(t *testing.T, def int) int {
+	t.Helper()
+	if v := os.Getenv("LACHESIS_DST_SEEDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad LACHESIS_DST_SEEDS=%q", v)
+		}
+		return n
+	}
+	return def
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	s := Generate(12345)
+	data, err := s.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSchedule(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("schedule did not survive the JSON round trip")
+	}
+}
+
+func TestCloneDoesNotAlias(t *testing.T) {
+	s := Generate(6) // any seed; aliasing is structural
+	c := s.clone()
+	for ri := range c.Replicas {
+		c.Replicas[ri].PeerPartitions = append(c.Replicas[ri].PeerPartitions, Window{1, 2})
+		c.Replicas[ri].Crashes = append(c.Replicas[ri].Crashes, Crash{1, 2})
+	}
+	for ai := range c.AgentFaults {
+		c.AgentFaults[ai].OSOutages = append(c.AgentFaults[ai].OSOutages, Window{1, 2})
+	}
+	if !reflect.DeepEqual(s, Generate(6)) {
+		t.Fatal("mutating the clone changed the original")
+	}
+}
+
+// TestReplayByteIdentical is the determinism contract: the same seed
+// must produce a byte-identical event log on every run, with and
+// without the injected regression.
+func TestReplayByteIdentical(t *testing.T) {
+	cases := []struct {
+		seed int64
+		opts Options
+	}{
+		{3, Options{}},
+		{5, Options{}},
+		{42, Options{Spans: true}},
+		{1, Options{DisableFencing: true}},
+	}
+	for _, tc := range cases {
+		a, err := RunSeed(tc.seed, tc.opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", tc.seed, err)
+		}
+		b, err := RunSeed(tc.seed, tc.opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", tc.seed, err)
+		}
+		if !bytes.Equal(a.Log.EncodeJSONL(), b.Log.EncodeJSONL()) {
+			t.Fatalf("seed %d (opts %+v): replay diverged (%d vs %d events)",
+				tc.seed, tc.opts, a.Events, b.Events)
+		}
+		if a.Events == 0 {
+			t.Fatalf("seed %d: empty event log", tc.seed)
+		}
+	}
+}
+
+// TestCorpusClean runs the randomized corpus on the real stack: zero
+// invariant violations, and the corpus must actually exercise the
+// failure space (failovers and fenced pushes happen).
+func TestCorpusClean(t *testing.T) {
+	n := corpusSize(t, 50)
+	if testing.Short() {
+		n = 10
+	}
+	rep, err := RunCorpus(1, n, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("seed %d: %s at tick %d: %s",
+			v.Seed, v.Violation.Invariant, v.Violation.Tick, v.Violation.Detail)
+	}
+	if len(rep.Violations) > 0 {
+		t.Fatalf("%d violating seeds; reproduce with `lachesis-dst replay -seed N`", len(rep.Violations))
+	}
+	if n >= 50 && (rep.Failovers == 0 || rep.GateRejects == 0) {
+		t.Fatalf("corpus exercised no failovers (%d) or fenced rejects (%d) — generator regressed",
+			rep.Failovers, rep.GateRejects)
+	}
+}
+
+// TestTeethFencingRegression proves the harness catches a real injected
+// bug within the quick budget, and that the shrinker reduces the
+// failing schedule to a small deterministic reproducer.
+func TestTeethFencingRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("teeth run skipped in -short")
+	}
+	opts := Options{DisableFencing: true}
+	budget := corpusSize(t, 200)
+	var failing *Result
+	for seed := int64(1); seed <= int64(budget); seed++ {
+		r, err := RunSeed(seed, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Violation != nil {
+			failing = r
+			break
+		}
+	}
+	if failing == nil {
+		t.Fatalf("fencing regression not caught within %d seeds", budget)
+	}
+	t.Logf("seed %d: %s at tick %d (%d events)",
+		failing.Seed, failing.Violation.Invariant, failing.Violation.Tick, failing.Events)
+
+	sr, err := Shrink(Generate(failing.Seed), opts, DefaultShrinkBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Invariant != failing.Violation.Invariant {
+		t.Fatalf("shrink drifted to invariant %s, original %s", sr.Invariant, failing.Violation.Invariant)
+	}
+	if r := sr.Ratio(); r > 0.25 {
+		t.Fatalf("shrink ratio %.2f (%d -> %d events), want <= 0.25",
+			r, sr.OriginalEvents, sr.MinimalEvents)
+	}
+	// The minimal reproducer must fail the same way, deterministically.
+	a, err := RunSchedule(sr.Minimal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSchedule(sr.Minimal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Violation == nil || a.Violation.Invariant != sr.Invariant {
+		t.Fatalf("minimal reproducer does not fail %s", sr.Invariant)
+	}
+	if !bytes.Equal(a.Log.EncodeJSONL(), b.Log.EncodeJSONL()) {
+		t.Fatal("minimal reproducer replay diverged")
+	}
+	t.Logf("shrunk to %d events (ratio %.2f) in %d runs", sr.MinimalEvents, sr.Ratio(), sr.Runs)
+}
+
+// TestViolationFlightDump wires a failing run into the flight recorder:
+// the reproducer bundle ships with its causal trace.
+func TestViolationFlightDump(t *testing.T) {
+	opts := Options{DisableFencing: true, Spans: true}
+	res, err := RunSeed(1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Skip("seed 1 no longer fails under the regression; dump covered elsewhere")
+	}
+	dir := t.TempDir()
+	path, err := DumpViolation(res, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path == "" {
+		t.Fatal("no flight-recorder dump written")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte("invariant-violation")) {
+		t.Fatalf("dump %s does not carry the trigger kind", path)
+	}
+}
+
+func TestInvariantsTable(t *testing.T) {
+	inv := Invariants()
+	if len(inv) < 6 {
+		t.Fatalf("expected >= 6 invariants, got %d", len(inv))
+	}
+	seen := map[string]bool{}
+	for _, i := range inv {
+		if i.Name == "" || i.Layer == "" || i.Desc == "" {
+			t.Fatalf("incomplete invariant entry %+v", i)
+		}
+		if seen[i.Name] {
+			t.Fatalf("duplicate invariant %s", i.Name)
+		}
+		seen[i.Name] = true
+	}
+}
+
+// TestAdversarialContained pins the containment path: a seed whose
+// schedule injects the adversarial candidate must end rolled back with
+// no agent keeping it as last-good. (The corpus covers this too; the
+// explicit case keeps a fast regression signal.)
+func TestAdversarialContained(t *testing.T) {
+	var seed int64
+	for s := int64(1); s <= 500; s++ {
+		if Generate(s).Proposal.Adversarial {
+			seed = s
+			break
+		}
+	}
+	if seed == 0 {
+		t.Fatal("no adversarial schedule in 500 seeds — generator regressed")
+	}
+	res, err := RunSeed(seed, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("seed %d: %s: %s", seed, res.Violation.Invariant, res.Violation.Detail)
+	}
+	if res.Decision != "rolled-back" {
+		t.Fatalf("adversarial rollout ended %q, want rolled-back", res.Decision)
+	}
+}

@@ -1,0 +1,362 @@
+package dst
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lachesis/internal/faults"
+	"lachesis/internal/fleet"
+	"lachesis/internal/guard"
+	"lachesis/internal/reconcile"
+	"lachesis/internal/span"
+)
+
+// agentConn is one replica->agent link: the fault injector for the union
+// of the replica's agent-partition windows and the agent's own partition
+// windows, plus push-outcome logging. Each conn owns its event buffer so
+// the fan-out's concurrent push goroutines never interleave writes into
+// a shared buffer (each goroutine targets one agent, so per-conn order
+// is deterministic).
+type agentConn struct {
+	replica string
+	agent   string
+	inner   *faults.Agent
+	buf     *eventBuffer
+	// tickNo is written by the owning replica before co.Tick spawns the
+	// fan-out goroutines (happens-before via goroutine start).
+	tickNo int
+}
+
+var (
+	_ fleet.AgentClient = (*agentConn)(nil)
+	_ fleet.TracedAgent = (*agentConn)(nil)
+	_ fleet.FencedAgent = (*agentConn)(nil)
+)
+
+func (c *agentConn) logPush(err error) {
+	if err == nil {
+		c.buf.add(c.tickNo, c.replica, EvPushOK, c.agent)
+		return
+	}
+	var fe *fleet.FencedError
+	var ce *fleet.ConflictError
+	switch {
+	case errors.As(err, &fe):
+		c.buf.add(c.tickNo, c.replica, EvPushFenced,
+			fmt.Sprintf("%s: epoch %d < %d", c.agent, fe.Got, fe.Have))
+	case errors.As(err, &ce):
+		c.buf.add(c.tickNo, c.replica, EvPushConflict, c.agent)
+	default:
+		c.buf.add(c.tickNo, c.replica, EvPushFail, fmt.Sprintf("%s: %v", c.agent, err))
+	}
+}
+
+func (c *agentConn) Propose(payload []byte) (guard.Status, error) {
+	st, err := c.inner.Propose(payload)
+	c.logPush(err)
+	return st, err
+}
+
+func (c *agentConn) ProposeTraced(payload []byte, traceparent string) (guard.Status, error) {
+	st, err := c.inner.ProposeTraced(payload, traceparent)
+	c.logPush(err)
+	return st, err
+}
+
+func (c *agentConn) ProposeFenced(payload []byte, traceparent string, epoch int64) (guard.Status, error) {
+	st, err := c.inner.ProposeFenced(payload, traceparent, epoch)
+	c.logPush(err)
+	return st, err
+}
+
+func (c *agentConn) Status() (guard.Status, error) { return c.inner.Status() }
+func (c *agentConn) SLO() (guard.SLOSample, error) { return c.inner.SLO() }
+
+// replica is one in-process lachesis-fleet coordinator under test: the
+// daemon's full wiring (lease manager, registry, rollout coordinator,
+// follower, replicator) over a MemFS-backed fleet.Store that survives
+// crashes, ticked on a per-replica drifted clock.
+type replica struct {
+	id string
+	w  *world
+	rf ReplicaFaults
+
+	fs    *reconcile.MemFS
+	store *fleet.Store
+	lm    *fleet.LeaseManager
+	reg   *fleet.Registry
+	co    *fleet.Coordinator
+	fol   *fleet.Follower
+	repl  *fleet.Replicator
+	conns map[string]*agentConn
+	spans *span.Recorder
+
+	// alive=false is a crashed replica: no ticks, peer calls fail.
+	alive bool
+
+	lastGood       []byte
+	pending        []byte
+	promotionsSeen int64
+	deposSeen      int64
+	failovers      int
+	prevActive     bool
+
+	buf    *eventBuffer
+	tickNo int
+}
+
+// local maps global virtual time onto this replica's drifted clock. All
+// replica-internal staleness judgements (lease expiry, registry sweeps,
+// rollout deadlines) run on it; fault windows stay on global time.
+func (r *replica) local(now time.Duration) time.Duration {
+	return time.Duration(float64(now) * r.rf.DriftRate)
+}
+
+func (r *replica) leaseConfig() fleet.LeaseConfig {
+	return fleet.LeaseConfig{ID: r.id, TTL: time.Duration(r.w.sched.TTLTicks) * time.Second}
+}
+
+func (r *replica) registryConfig() fleet.RegistryConfig {
+	return fleet.RegistryConfig{HeartbeatInterval: time.Second, SuspectAfter: 2, EvictAfter: 5}
+}
+
+func (r *replica) rolloutConfig() fleet.RolloutConfig {
+	s := r.w.sched
+	return fleet.RolloutConfig{
+		CanaryFraction: 0.25, Waves: s.Waves,
+		WindowTicks: s.WindowTicks, PushTicks: s.PushTicks,
+		Fanout: fleet.FanoutConfig{
+			Attempts: 2, BreakerThreshold: 100, BreakerCooldown: 30 * time.Second,
+			Sleep: func(time.Duration) {},
+		},
+	}
+}
+
+// wire builds fresh daemon components over the persistent store. Used at
+// construction and again on warm restart after a crash.
+func (r *replica) wire(localNow time.Duration, restore bool) {
+	r.lm = fleet.NewLeaseManager(r.leaseConfig())
+	r.lm.SetStore(r.store)
+	r.reg = fleet.NewRegistry(r.registryConfig())
+	r.reg.SetStore(r.store)
+	r.co = fleet.NewCoordinator(r.rolloutConfig(), r.reg, func(a fleet.AgentRecord) fleet.AgentClient {
+		if c, ok := r.conns[a.ID]; ok {
+			return c
+		}
+		return nil
+	})
+	r.co.SetStore(r.store)
+	r.co.SetEpoch(func() int64 { return r.lm.FenceEpoch() })
+	r.co.SetFencedHook(func(now time.Duration, agent string) { r.lm.Deposed(now, agent) })
+	if r.spans != nil {
+		r.co.SetSpans(r.spans)
+	}
+	r.fol = fleet.NewFollower(r.store)
+	if restore {
+		_ = r.lm.Restore(localNow)
+		_ = r.reg.Restore(localNow)
+		if resumed, err := r.co.Resume(localNow); err == nil && resumed {
+			r.pending = r.co.State().Payload
+		}
+	}
+	st := r.co.Status()
+	r.promotionsSeen = st.Promotions
+	r.prevActive = st.Active
+	r.deposSeen = r.lm.Depositions()
+}
+
+// newReplica builds replica idx over the world's agent fleet. Replica 0
+// starts as leader.
+func newReplica(w *world, idx int, spans *span.Recorder) *replica {
+	r := &replica{
+		id: fmt.Sprintf("r%d", idx), w: w, rf: w.sched.Replicas[idx],
+		alive: true, lastGood: stablePayload, spans: spans,
+		conns: map[string]*agentConn{}, buf: &eventBuffer{},
+	}
+	r.fs = reconcile.NewMemFS()
+	r.store = fleet.NewStore(r.fs, nil)
+	for ai, id := range w.order {
+		parts := append(append([]Window(nil), r.rf.AgentPartitions...), w.sched.AgentFaults[ai].Partitions...)
+		r.conns[id] = &agentConn{
+			replica: r.id, agent: id, buf: &eventBuffer{},
+			inner: faults.WrapAgent(w.nodes[id], faults.AgentPlan{
+				Partitions: faultWindows(parts),
+				Clock:      w.clock,
+			}),
+		}
+	}
+	r.repl = fleet.NewReplicator()
+	r.wire(0, false)
+	if idx == 0 {
+		info := r.lm.Acquire(0)
+		r.buf.add(0, r.id, EvAcquire, fmt.Sprintf("epoch %d", info.Epoch))
+	}
+	return r
+}
+
+// crash takes the replica dark. Everything in memory is lost; the store
+// (lease epochs seen, registry, rollout) survives for the warm restart.
+func (r *replica) crash(tickNo int) {
+	r.alive = false
+	r.pending = nil
+	r.lastGood = stablePayload
+	// Power-loss semantics: only fsynced bytes survive. Both persistent
+	// stores follow write→fsync→rename, so a crash here must lose
+	// nothing — if one ever skips the fsync, the restored replica
+	// regresses its epoch or registry and the invariants catch it.
+	r.fs.DropUnsynced()
+	r.buf.add(tickNo, r.id, EvCrash, "")
+}
+
+// restart is the warm restart: fresh components restored from the
+// persistent store, staleness clocks re-anchored at the local now.
+func (r *replica) restart(tickNo int, now time.Duration) {
+	r.wire(r.local(now), true)
+	r.alive = true
+	r.buf.add(tickNo, r.id, EvRestart, "")
+}
+
+// reachableFrom reports whether this replica can currently talk to the
+// given agent (the heartbeat routing check — the same windows its
+// push conns enforce).
+func (r *replica) agentReachable(tick, agentIdx int) bool {
+	for _, w := range r.rf.AgentPartitions {
+		if w.Contains(tick) {
+			return false
+		}
+	}
+	for _, w := range r.w.sched.AgentFaults[agentIdx].Partitions {
+		if w.Contains(tick) {
+			return false
+		}
+	}
+	return true
+}
+
+// promote is the standby takeover: bumped-epoch lease, registry leases
+// re-anchored, rollout resumed from the last applied checkpoint.
+func (r *replica) promote(tickNo int, localNow time.Duration) {
+	info := r.lm.Acquire(localNow)
+	r.failovers++
+	r.buf.add(tickNo, r.id, EvAcquire, fmt.Sprintf("epoch %d", info.Epoch))
+	if cp, ok := r.fol.Last(); ok {
+		r.reg.Adopt(localNow, cp.Registry)
+		if r.co.Adopt(localNow, cp.Rollout) {
+			r.pending = cp.Rollout.Payload
+		}
+		if cp.LastGood != nil {
+			r.lastGood = cp.LastGood
+		}
+		r.promotionsSeen = cp.Rollout.Promotions
+		r.prevActive = r.co.Status().Active
+	}
+}
+
+// tick is the daemon tick: a standby observes its peer's lease and
+// promotes on expiry; a leader renews, sweeps, advances the rollout and
+// publishes a checkpoint — unless a fenced push deposed it mid-tick.
+func (r *replica) tick(tickNo int, now time.Duration) {
+	if !r.alive {
+		return
+	}
+	r.tickNo = tickNo
+	for _, c := range r.conns {
+		c.tickNo = tickNo
+	}
+	localNow := r.local(now)
+	if !r.lm.Leading() {
+		for _, name := range r.repl.Peers() {
+			if pc := r.repl.Peer(name); pc != nil {
+				if info, err := pc.Lease(); err == nil {
+					r.lm.Observe(info, localNow)
+				}
+			}
+		}
+		if r.lm.Expired(localNow) {
+			r.promote(tickNo, localNow)
+		}
+		return
+	}
+	r.lm.Renew(localNow)
+	suspected, evicted := r.reg.Sweep(localNow)
+	for _, id := range suspected {
+		r.buf.add(tickNo, r.id, EvSuspect, id)
+	}
+	for _, id := range evicted {
+		r.buf.add(tickNo, r.id, EvEvict, id)
+	}
+	r.co.Tick(localNow)
+	if d := r.lm.Depositions(); d > r.deposSeen {
+		r.deposSeen = d
+		r.buf.add(tickNo, r.id, EvDepose, "fenced push feedback")
+	}
+	st := r.co.Status()
+	if st.Promotions > r.promotionsSeen && r.pending != nil {
+		r.promotionsSeen = st.Promotions
+		r.lastGood = r.pending
+		r.pending = nil
+	}
+	if r.prevActive && !st.Active {
+		r.buf.add(tickNo, r.id, EvRolloutEnd, st.LastDecision+": "+st.LastReason)
+	}
+	r.prevActive = st.Active
+	if r.lm.Leading() {
+		r.repl.Publish(localNow, fleet.Checkpoint{
+			Lease:    r.lm.Info(),
+			Registry: r.reg.Agents(),
+			Rollout:  r.co.State(),
+			LastGood: r.lastGood,
+		})
+	}
+}
+
+// wrapPeerPlan builds one replica's fault-wrapped view of the other:
+// the bidirectional partition union plus the sender's own lease-loss and
+// replication-lag windows.
+func wrapPeerPlan(inner fleet.PeerClient, partitionUnion []Window, rf ReplicaFaults, clock func() time.Duration) fleet.PeerClient {
+	return faults.WrapPeer(inner, faults.PeerPlan{
+		Partitions:     faultWindows(partitionUnion),
+		LeaseLoss:      faultWindows(rf.LeaseLoss),
+		ReplicationLag: faultWindows(rf.ReplicationLag),
+		Clock:          clock,
+	})
+}
+
+// simPeer is one replica's in-process view of the other: the PeerClient
+// the HTTP layer would provide, mirroring the daemon's GET /lease and
+// POST /replicate handlers (including the fenced replication check and
+// the split-brain healing Observe).
+type simPeer struct {
+	w  *world
+	to *replica
+}
+
+var _ fleet.PeerClient = (*simPeer)(nil)
+
+func (p *simPeer) Lease() (fleet.LeaseInfo, error) {
+	if !p.to.alive {
+		return fleet.LeaseInfo{}, transientf("peer %s down", p.to.id)
+	}
+	return p.to.lm.Info(), nil
+}
+
+func (p *simPeer) Replicate(cp fleet.Checkpoint) error {
+	if !p.to.alive {
+		return transientf("peer %s down", p.to.id)
+	}
+	localNow := p.to.local(p.w.now)
+	p.to.lm.Observe(cp.Lease, localNow)
+	if p.to.lm.Leading() {
+		// Still leading after observing the sender's lease: the sender is
+		// the stale one. Fence it (the daemon's 403).
+		return &fleet.FencedError{Agent: p.to.id, Have: p.to.lm.Info().Epoch, Got: cp.Lease.Epoch}
+	}
+	if err := p.to.fol.Apply(cp); err != nil {
+		return err
+	}
+	if cp.LastGood != nil {
+		p.to.lastGood = cp.LastGood
+	}
+	return nil
+}

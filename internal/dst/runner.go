@@ -1,0 +1,104 @@
+package dst
+
+import (
+	"runtime"
+	"sync"
+
+	"lachesis/internal/guard"
+)
+
+// SeedOutcome is one corpus seed's summary.
+type SeedOutcome struct {
+	Seed      int64      `json:"seed"`
+	Events    int        `json:"events"`
+	Violation *Violation `json:"violation,omitempty"`
+}
+
+// CorpusReport aggregates a randomized corpus run.
+type CorpusReport struct {
+	Start int64 `json:"start"`
+	Seeds int   `json:"seeds"`
+	// Violations holds every failing seed, ascending.
+	Violations []SeedOutcome `json:"violations,omitempty"`
+	// Aggregate behavior counters: how much of the state space the
+	// corpus actually exercised.
+	Failovers   int   `json:"failovers"`
+	GateRejects int64 `json:"gate_rejects"`
+	Adversarial int   `json:"adversarial"`
+	Promoted    int   `json:"promoted"`
+	RolledBack  int   `json:"rolled_back"`
+	Events      int   `json:"events"`
+}
+
+// RunCorpus simulates seeds start..start+n-1. Seeds are independent
+// universes, so they run in parallel across CPUs; each individual run
+// stays fully deterministic. progress (optional) is called after each
+// completed seed with the done count.
+func RunCorpus(start int64, n int, opts Options, progress func(done int)) (*CorpusReport, error) {
+	rep := &CorpusReport{Start: start, Seeds: n}
+	results := make([]*Result, n)
+	errs := make([]error, n)
+
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		done int
+	)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				results[i], errs[i] = RunSeed(start+int64(i), opts)
+				mu.Lock()
+				done++
+				d := done
+				mu.Unlock()
+				if progress != nil {
+					progress(d)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+		r := results[i]
+		rep.Failovers += r.Failovers
+		rep.GateRejects += r.GateRejects
+		rep.Events += r.Events
+		if r.Adversarial {
+			rep.Adversarial++
+		}
+		switch r.Decision {
+		case guard.DecisionPromoted:
+			rep.Promoted++
+		case guard.DecisionRolledBack:
+			rep.RolledBack++
+		}
+		if r.Violation != nil {
+			rep.Violations = append(rep.Violations, SeedOutcome{
+				Seed: r.Seed, Events: r.Events, Violation: r.Violation,
+			})
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,349 @@
+package dst
+
+import (
+	"encoding/json"
+	"math/rand"
+	"time"
+
+	"lachesis/internal/faults"
+)
+
+// Window is a half-open virtual-time interval [From, To) in ticks (one
+// tick = one virtual second).
+type Window struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// Contains reports whether tick falls inside the window.
+func (w Window) Contains(tick int) bool { return tick >= w.From && tick < w.To }
+
+// overlaps reports whether the window intersects [from, to).
+func (w Window) overlaps(from, to int) bool { return w.From < to && from < w.To }
+
+// faultWindows converts tick windows to the duration windows the
+// internal/faults injectors check against the virtual clock.
+func faultWindows(ws []Window) faults.Windows {
+	out := make(faults.Windows, 0, len(ws))
+	for _, w := range ws {
+		out = append(out, faults.Window{
+			From: time.Duration(w.From) * time.Second,
+			To:   time.Duration(w.To) * time.Second,
+		})
+	}
+	return out
+}
+
+// Crash schedules one coordinator replica crash: the replica goes dark
+// at tick At and restarts (warm, from its persisted state) at RestartAt.
+type Crash struct {
+	At        int `json:"at"`
+	RestartAt int `json:"restart_at"`
+}
+
+// ReplicaFaults is one coordinator replica's slice of the schedule.
+type ReplicaFaults struct {
+	// Crashes are crash/warm-restart points.
+	Crashes []Crash `json:"crashes,omitempty"`
+	// AgentPartitions cut this replica off from every agent (pushes fail
+	// transiently, heartbeats go dark) for each window.
+	AgentPartitions []Window `json:"agent_partitions,omitempty"`
+	// PeerPartitions cut the replica<->replica link in both directions.
+	PeerPartitions []Window `json:"peer_partitions,omitempty"`
+	// LeaseLoss drops only this replica's GET /lease polls of its peer:
+	// it goes blind on leader liveness while replication still flows.
+	LeaseLoss []Window `json:"lease_loss,omitempty"`
+	// ReplicationLag drops only checkpoints this replica publishes, so
+	// its standby falls behind while the lease stays observable.
+	ReplicationLag []Window `json:"replication_lag,omitempty"`
+	// DriftRate skews the replica's local clock: local = rate * global.
+	// Staleness judgements (lease expiry, registry sweeps) run on the
+	// drifted clock, so a fast standby promotes early and a slow leader
+	// renews late — the fencing stack must absorb both.
+	DriftRate float64 `json:"drift_rate"`
+}
+
+// AgentFaults is one agent node's slice of the schedule.
+type AgentFaults struct {
+	// Partitions make the agent unreachable from every replica (and its
+	// heartbeats are lost) for each window.
+	Partitions []Window `json:"partitions,omitempty"`
+	// OSOutages fail the agent's kernel-control operations transiently
+	// (cgroupfs remounted read-only) for each window; the decision cycle
+	// must retry its way back to the desired schedule afterwards.
+	OSOutages []Window `json:"os_outages,omitempty"`
+}
+
+// Proposal is the policy rollout the schedule injects.
+type Proposal struct {
+	// Tick is the earliest tick the proposal is handed to the current
+	// leader (retried next tick while no leader is reachable).
+	Tick int `json:"tick"`
+	// Version names the candidate (the idempotency handshake key).
+	Version string `json:"version"`
+	// Adversarial selects the inverted-priority payload the guard stack
+	// must contain and roll back instead of the sane re-tuning.
+	Adversarial bool `json:"adversarial"`
+}
+
+// Schedule is a complete, explicit simulation scenario. Generate derives
+// one deterministically from a seed; the shrinker edits copies of it
+// directly, which is why every intervention is plain data rather than a
+// closure.
+type Schedule struct {
+	// Seed is the generator seed this schedule was derived from (kept
+	// for provenance; running a hand-edited schedule ignores it).
+	Seed int64 `json:"seed"`
+	// Agents and Bindings size the simulated fleet.
+	Agents   int `json:"agents"`
+	Bindings int `json:"bindings"`
+	// LocalWindow is each agent's local canary observation window in
+	// decision cycles. It is generated long enough that a re-push after
+	// the worst-case failover still meets an in-flight local rollout
+	// (the idempotent 409 handshake) instead of a finished one.
+	LocalWindow int `json:"local_window"`
+	// TTLTicks is the coordinator lease TTL in ticks.
+	TTLTicks int `json:"ttl_ticks"`
+	// WindowTicks/PushTicks/Waves shape the fleet rollout.
+	WindowTicks int `json:"window_ticks"`
+	PushTicks   int `json:"push_ticks"`
+	Waves       int `json:"waves"`
+	// Ticks is the fault horizon: every fault window and crash resolves
+	// before it, so the run is quiescent afterwards.
+	Ticks int `json:"ticks"`
+	// MaxTicks bounds the driven run (rollout completion past the fault
+	// horizon).
+	MaxTicks int `json:"max_ticks"`
+	// Settle is the post-rollout tail that lets the last wave's local
+	// canaries promote before the end-state invariants run.
+	Settle int `json:"settle"`
+	// Proposal is the injected rollout.
+	Proposal Proposal `json:"proposal"`
+	// Replicas holds the two coordinator replicas' fault plans.
+	Replicas []ReplicaFaults `json:"replicas"`
+	// AgentFaults holds one plan per agent (index-aligned).
+	AgentFaults []AgentFaults `json:"agent_faults"`
+}
+
+// MarshalJSON-friendly round-trip helpers.
+
+// EncodeJSON renders the schedule as indented JSON (the minimal-repro
+// artifact format).
+func (s Schedule) EncodeJSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// DecodeSchedule parses a schedule previously written by EncodeJSON.
+func DecodeSchedule(data []byte) (Schedule, error) {
+	var s Schedule
+	err := json.Unmarshal(data, &s)
+	return s, err
+}
+
+// Interventions counts the schedule's scheduled fault interventions
+// (crashes plus fault windows) — the knob count the shrinker reduces.
+func (s Schedule) Interventions() int {
+	n := 0
+	for _, r := range s.Replicas {
+		n += len(r.Crashes) + len(r.AgentPartitions) + len(r.PeerPartitions) +
+			len(r.LeaseLoss) + len(r.ReplicationLag)
+	}
+	for _, a := range s.AgentFaults {
+		n += len(a.Partitions) + len(a.OSOutages)
+	}
+	return n
+}
+
+// clone deep-copies the schedule so shrink candidates never alias.
+func (s Schedule) clone() Schedule {
+	out := s
+	out.Replicas = make([]ReplicaFaults, len(s.Replicas))
+	for i, r := range s.Replicas {
+		cp := r
+		cp.Crashes = append([]Crash(nil), r.Crashes...)
+		cp.AgentPartitions = append([]Window(nil), r.AgentPartitions...)
+		cp.PeerPartitions = append([]Window(nil), r.PeerPartitions...)
+		cp.LeaseLoss = append([]Window(nil), r.LeaseLoss...)
+		cp.ReplicationLag = append([]Window(nil), r.ReplicationLag...)
+		out.Replicas[i] = cp
+	}
+	out.AgentFaults = make([]AgentFaults, len(s.AgentFaults))
+	for i, a := range s.AgentFaults {
+		cp := a
+		cp.Partitions = append([]Window(nil), a.Partitions...)
+		cp.OSOutages = append([]Window(nil), a.OSOutages...)
+		out.AgentFaults[i] = cp
+	}
+	return out
+}
+
+// Generation bounds. The constants encode the contract under which the
+// invariants are theorems rather than hopes — see ARCHITECTURE.md
+// "Deterministic simulation" for the reasoning behind each bound.
+const (
+	genMinAgents = 3
+	genMaxAgents = 6
+	// genCrashGuard separates consecutive crash episodes so the fleet
+	// always has one replica whose lease view is anchored (two blind
+	// standbys racing a promotion could mint the same epoch twice).
+	genCrashGuard = 3
+	// genMaxLag bounds a replication-lag window so a standby promoting
+	// from a stale checkpoint re-pushes while the agents' local canary
+	// (LocalWindow >= 16) is still in flight — the 409 handshake absorbs
+	// the duplicate instead of restaging a finished candidate.
+	genMaxLag = 6
+	// genFaultMargin keeps every fault window clear of the horizon.
+	genFaultMargin = 5
+)
+
+// Generate derives a Schedule from a 64-bit seed. The same seed always
+// produces the identical schedule; all randomness is consumed here, so a
+// run of the result is deterministic by construction.
+func Generate(seed int64) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := Schedule{Seed: seed}
+	s.Agents = genMinAgents + rng.Intn(genMaxAgents-genMinAgents+1)
+	s.Bindings = 2 + rng.Intn(4)
+	s.LocalWindow = 16 + rng.Intn(5)
+	s.TTLTicks = 3 + rng.Intn(2)
+	s.WindowTicks = 4 + rng.Intn(3)
+	// PushTicks must outlast a local rollout plus a lease TTL: a leader
+	// partitioned mid-wave has to still be retrying that wave when the
+	// partition heals AFTER the agents' local canaries finished — the
+	// moment a fencing regression turns into a double push. Shorter
+	// deadlines would make the stale leader give up before the overlap.
+	s.PushTicks = s.LocalWindow + s.TTLTicks + 10 + rng.Intn(3)
+	s.Waves = 2
+	s.Ticks = 100 + rng.Intn(31)
+	s.Settle = s.LocalWindow + 8
+	s.MaxTicks = s.Ticks + 90
+	s.Proposal = Proposal{Tick: 3 + rng.Intn(6), Version: "v2"}
+	s.Replicas = make([]ReplicaFaults, 2)
+	for i := range s.Replicas {
+		s.Replicas[i].DriftRate = 0.9 + 0.2*rng.Float64()
+	}
+	s.AgentFaults = make([]AgentFaults, s.Agents)
+
+	horizon := s.Ticks - genFaultMargin
+	// busy tracks replica crash episodes (with guard gaps) so the two
+	// replicas are never blind simultaneously.
+	var busy []Window
+
+	overlapsBusy := func(from, to int) bool {
+		for _, b := range busy {
+			if b.overlaps(from, to) {
+				return true
+			}
+		}
+		return false
+	}
+
+	interventions := 1 + rng.Intn(3)
+	for i := 0; i < interventions; i++ {
+		switch rng.Intn(6) {
+		case 0: // leader (or standby) crash + warm restart
+			ri := rng.Intn(2)
+			at := s.Proposal.Tick + 2 + rng.Intn(40)
+			dur := s.TTLTicks + 2 + rng.Intn(8)
+			if at+dur >= horizon {
+				continue
+			}
+			if overlapsBusy(at-genCrashGuard, at+dur+s.TTLTicks+genCrashGuard) {
+				continue
+			}
+			busy = append(busy, Window{at - genCrashGuard, at + dur + s.TTLTicks + genCrashGuard})
+			s.Replicas[ri].Crashes = append(s.Replicas[ri].Crashes, Crash{At: at, RestartAt: at + dur})
+		case 1: // split brain: live leader partitioned from peer AND agents
+			// The cut must start before the wave-1 push (which lands at
+			// Proposal.Tick + WindowTicks + 1) so the push is trapped
+			// inside the partition and retried against the deadline.
+			at := s.Proposal.Tick + s.WindowTicks - 1 + rng.Intn(2)
+			dur := s.TTLTicks + s.LocalWindow + 3 + rng.Intn(5)
+			if at+dur >= horizon || overlapsBusy(at, at+dur+s.TTLTicks) {
+				continue
+			}
+			busy = append(busy, Window{at, at + dur + s.TTLTicks})
+			w := Window{at, at + dur}
+			s.Replicas[0].PeerPartitions = append(s.Replicas[0].PeerPartitions, w)
+			s.Replicas[0].AgentPartitions = append(s.Replicas[0].AgentPartitions, w)
+		case 2: // replication lag (standby resumes from a stale checkpoint)
+			ri := rng.Intn(2)
+			at := s.Proposal.Tick + rng.Intn(40)
+			dur := 2 + rng.Intn(genMaxLag-1)
+			if at+dur >= horizon {
+				continue
+			}
+			// At most one lag window per replica: chained windows could
+			// stack a staleness gap past what the 409 handshake absorbs.
+			if len(s.Replicas[ri].ReplicationLag) > 0 {
+				continue
+			}
+			s.Replicas[ri].ReplicationLag = append(s.Replicas[ri].ReplicationLag,
+				Window{at, at + dur})
+		case 3: // lease-observation loss (standby goes blind on liveness)
+			ri := rng.Intn(2)
+			at := 2 + rng.Intn(60)
+			dur := 2 + rng.Intn(8)
+			if at+dur >= horizon {
+				continue
+			}
+			s.Replicas[ri].LeaseLoss = append(s.Replicas[ri].LeaseLoss,
+				Window{at, at + dur})
+		case 4: // single-agent partition
+			ai := rng.Intn(s.Agents)
+			at := 2 + rng.Intn(60)
+			dur := 3 + rng.Intn(12)
+			if at+dur >= horizon {
+				continue
+			}
+			s.AgentFaults[ai].Partitions = append(s.AgentFaults[ai].Partitions, Window{at, at + dur})
+		case 5: // single-agent OS-control outage
+			ai := rng.Intn(s.Agents)
+			at := 2 + rng.Intn(70)
+			dur := 2 + rng.Intn(5)
+			if at+dur >= horizon {
+				continue
+			}
+			s.AgentFaults[ai].OSOutages = append(s.AgentFaults[ai].OSOutages, Window{at, at + dur})
+		}
+	}
+
+	// An adversarial candidate is only injected when the schedule keeps
+	// every agent reachable and replication intact for the rollout's
+	// lifetime: canary containment is promised to agents the rollback
+	// can reach, and a rollout whose state is lost mid-flight (lagged
+	// checkpoint across a failover) legitimately strands the canary
+	// cohort on the candidate. Those are documented contract boundaries,
+	// not bugs, so the generator does not cross them.
+	if rng.Float64() < 0.35 && s.adversarialSafe() {
+		s.Proposal.Adversarial = true
+	}
+	return s
+}
+
+// adversarialSafe reports whether the schedule's faults stay inside the
+// containment contract (see Generate).
+func (s Schedule) adversarialSafe() bool {
+	from, to := s.Proposal.Tick, s.MaxTicks
+	for _, r := range s.Replicas {
+		if len(r.Crashes) > 0 || len(r.ReplicationLag) > 0 {
+			return false
+		}
+		for _, w := range r.AgentPartitions {
+			if w.overlaps(from, to) {
+				return false
+			}
+		}
+		for _, w := range r.PeerPartitions {
+			if w.overlaps(from, to) {
+				return false
+			}
+		}
+	}
+	for _, a := range s.AgentFaults {
+		for _, w := range a.Partitions {
+			if w.overlaps(from, to) {
+				return false
+			}
+		}
+	}
+	return true
+}

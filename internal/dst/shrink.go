@@ -1,0 +1,222 @@
+package dst
+
+import "fmt"
+
+// DefaultShrinkBudget caps how many candidate runs one Shrink spends.
+const DefaultShrinkBudget = 500
+
+// ShrinkResult is a minimization outcome: the smallest schedule found
+// that still fails the same invariant as the original.
+type ShrinkResult struct {
+	Invariant      string   `json:"invariant"`
+	Original       Schedule `json:"original"`
+	Minimal        Schedule `json:"minimal"`
+	OriginalEvents int      `json:"original_events"`
+	MinimalEvents  int      `json:"minimal_events"`
+	// Runs is the number of candidate simulations spent.
+	Runs int `json:"runs"`
+}
+
+// Ratio is the minimized event count as a fraction of the original.
+func (r *ShrinkResult) Ratio() float64 {
+	if r.OriginalEvents == 0 {
+		return 1
+	}
+	return float64(r.MinimalEvents) / float64(r.OriginalEvents)
+}
+
+// Shrink minimizes a failing schedule: it greedily applies structural
+// reductions (drop fault windows and crashes, remove agents and
+// bindings, shorten every phase and window) and keeps a candidate iff
+// the run still fails the SAME invariant with a log no larger than the
+// best so far. Every accepted candidate strictly shrinks a structural
+// quantity, so the loop terminates; budget caps the candidate runs.
+func Shrink(s Schedule, opts Options, budget int) (*ShrinkResult, error) {
+	if budget <= 0 {
+		budget = DefaultShrinkBudget
+	}
+	base, err := RunSchedule(s, opts)
+	if err != nil {
+		return nil, err
+	}
+	if base.Violation == nil {
+		return nil, fmt.Errorf("shrink: schedule (seed %d) does not fail", s.Seed)
+	}
+	out := &ShrinkResult{
+		Invariant: base.Violation.Invariant,
+		Original:  s, Minimal: s.clone(),
+		OriginalEvents: base.Events, MinimalEvents: base.Events,
+	}
+
+	improved := true
+	for improved && out.Runs < budget {
+		improved = false
+		for _, cand := range shrinkCandidates(out.Minimal) {
+			if out.Runs >= budget {
+				break
+			}
+			out.Runs++
+			r, err := RunSchedule(cand, opts)
+			if err != nil {
+				continue
+			}
+			if r.Violation != nil && r.Violation.Invariant == out.Invariant &&
+				r.Events <= out.MinimalEvents {
+				out.Minimal = cand
+				out.MinimalEvents = r.Events
+				improved = true
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// shrinkCandidates derives the next round of reduction candidates from
+// cur, most aggressive first.
+func shrinkCandidates(cur Schedule) []Schedule {
+	var out []Schedule
+	add := func(c Schedule) { out = append(out, c) }
+
+	// Truncate the horizon (with the derived budgets).
+	if cur.Ticks > 24 {
+		c := cur.clone()
+		c.Ticks -= c.Ticks / 4
+		if c.MaxTicks > c.Ticks+30 {
+			c.MaxTicks -= (c.MaxTicks - c.Ticks - 30) / 2
+		}
+		add(c)
+	}
+	if cur.Settle > 4 {
+		c := cur.clone()
+		c.Settle -= (c.Settle-3)/2 + 1
+		add(c)
+	}
+
+	// Drop whole interventions.
+	for ri := range cur.Replicas {
+		for i := range cur.Replicas[ri].Crashes {
+			c := cur.clone()
+			c.Replicas[ri].Crashes = dropCrash(c.Replicas[ri].Crashes, i)
+			add(c)
+		}
+		lists := []func(*ReplicaFaults) *[]Window{
+			func(r *ReplicaFaults) *[]Window { return &r.AgentPartitions },
+			func(r *ReplicaFaults) *[]Window { return &r.PeerPartitions },
+			func(r *ReplicaFaults) *[]Window { return &r.LeaseLoss },
+			func(r *ReplicaFaults) *[]Window { return &r.ReplicationLag },
+		}
+		for _, get := range lists {
+			for i := range *get(&cur.Replicas[ri]) {
+				c := cur.clone()
+				l := get(&c.Replicas[ri])
+				*l = dropWindow(*l, i)
+				add(c)
+			}
+		}
+	}
+	for ai := range cur.AgentFaults {
+		for i := range cur.AgentFaults[ai].Partitions {
+			c := cur.clone()
+			c.AgentFaults[ai].Partitions = dropWindow(c.AgentFaults[ai].Partitions, i)
+			add(c)
+		}
+		for i := range cur.AgentFaults[ai].OSOutages {
+			c := cur.clone()
+			c.AgentFaults[ai].OSOutages = dropWindow(c.AgentFaults[ai].OSOutages, i)
+			add(c)
+		}
+	}
+
+	// Shrink the fleet.
+	if cur.Agents > 1 {
+		c := cur.clone()
+		c.Agents--
+		c.AgentFaults = c.AgentFaults[:c.Agents]
+		add(c)
+	}
+	if cur.Bindings > 1 {
+		c := cur.clone()
+		c.Bindings--
+		add(c)
+	}
+
+	// Neutralize clock drift.
+	for ri := range cur.Replicas {
+		if cur.Replicas[ri].DriftRate != 1.0 {
+			c := cur.clone()
+			c.Replicas[ri].DriftRate = 1.0
+			add(c)
+		}
+	}
+
+	// Shorten phases.
+	if cur.LocalWindow > 2 {
+		c := cur.clone()
+		c.LocalWindow--
+		add(c)
+	}
+	if cur.TTLTicks > 1 {
+		c := cur.clone()
+		c.TTLTicks--
+		add(c)
+	}
+	if cur.WindowTicks > 1 {
+		c := cur.clone()
+		c.WindowTicks--
+		add(c)
+	}
+	if cur.PushTicks > 1 {
+		c := cur.clone()
+		c.PushTicks--
+		add(c)
+	}
+	if cur.Proposal.Tick > 1 {
+		c := cur.clone()
+		c.Proposal.Tick--
+		add(c)
+	}
+
+	// Shorten remaining windows and crash outages.
+	for ri := range cur.Replicas {
+		for i, cr := range cur.Replicas[ri].Crashes {
+			if cr.RestartAt > cr.At+1 {
+				c := cur.clone()
+				c.Replicas[ri].Crashes[i].RestartAt--
+				add(c)
+			}
+		}
+	}
+	shortenAll := func(ws []Window, edit func(Schedule) []Window) {
+		for i, w := range ws {
+			if w.To > w.From+1 {
+				c := cur.clone()
+				edit(c)[i].To--
+				add(c)
+			}
+		}
+	}
+	for ri := range cur.Replicas {
+		ri := ri
+		shortenAll(cur.Replicas[ri].AgentPartitions, func(c Schedule) []Window { return c.Replicas[ri].AgentPartitions })
+		shortenAll(cur.Replicas[ri].PeerPartitions, func(c Schedule) []Window { return c.Replicas[ri].PeerPartitions })
+		shortenAll(cur.Replicas[ri].LeaseLoss, func(c Schedule) []Window { return c.Replicas[ri].LeaseLoss })
+		shortenAll(cur.Replicas[ri].ReplicationLag, func(c Schedule) []Window { return c.Replicas[ri].ReplicationLag })
+	}
+	for ai := range cur.AgentFaults {
+		ai := ai
+		shortenAll(cur.AgentFaults[ai].Partitions, func(c Schedule) []Window { return c.AgentFaults[ai].Partitions })
+		shortenAll(cur.AgentFaults[ai].OSOutages, func(c Schedule) []Window { return c.AgentFaults[ai].OSOutages })
+	}
+	return out
+}
+
+func dropCrash(cs []Crash, i int) []Crash {
+	out := append([]Crash(nil), cs[:i]...)
+	return append(out, cs[i+1:]...)
+}
+
+func dropWindow(ws []Window, i int) []Window {
+	out := append([]Window(nil), ws[:i]...)
+	return append(out, ws[i+1:]...)
+}

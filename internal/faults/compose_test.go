@@ -1,0 +1,83 @@
+package faults
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"lachesis/internal/fleet"
+)
+
+// composedRun drives one fixed op sequence through an AgentPlan and a
+// PeerPlan composed on the same component (shared virtual clock), and
+// returns a transcript of every outcome. Both wrappers draw from their
+// own seeded stream, so interleaving them must not perturb either.
+func composedRun(agentSeed, peerSeed int64) []string {
+	now := time.Duration(0)
+	clock := func() time.Duration { return now }
+
+	agent := WrapAgent(&stubAgent{}, AgentPlan{
+		Seed:       agentSeed,
+		FailRate:   0.3,
+		Partitions: Windows{{From: 20 * time.Second, To: 28 * time.Second}},
+		Clock:      clock,
+	})
+	peer := WrapPeer(&stubPeer{}, PeerPlan{
+		Seed:           peerSeed,
+		FailRate:       0.3,
+		Partitions:     Windows{{From: 24 * time.Second, To: 31 * time.Second}},
+		LeaseLoss:      Windows{{From: 5 * time.Second, To: 9 * time.Second}},
+		ReplicationLag: Windows{{From: 40 * time.Second, To: 46 * time.Second}},
+		Clock:          clock,
+	})
+
+	var out []string
+	rec := func(op string, err error) {
+		out = append(out, fmt.Sprintf("t=%ds %s err=%v", int(now/time.Second), op, err))
+	}
+	for tick := 0; tick < 60; tick++ {
+		now = time.Duration(tick) * time.Second
+		// The interleaving a live replica produces: control-plane pushes
+		// and status polls mixed with peer lease checks and checkpoints.
+		_, err := agent.Propose([]byte("p"))
+		rec("agent.propose", err)
+		if tick%2 == 0 {
+			_, err = agent.Status()
+			rec("agent.status", err)
+		}
+		_, err = peer.Lease()
+		rec("peer.lease", err)
+		if tick%3 == 0 {
+			rec("peer.replicate", peer.Replicate(fleet.Checkpoint{}))
+		}
+	}
+	out = append(out,
+		fmt.Sprintf("agent injected=%d calls=%d", agent.Injected(), agent.Calls()),
+		fmt.Sprintf("peer injected=%d", peer.Injected()))
+	return out
+}
+
+// TestComposedPlansDeterministic is the contract the simulation harness
+// leans on: fault plans composed on one component stay byte-for-byte
+// reproducible for a fixed seed pair — same op sequence, same injected
+// outcomes, every time.
+func TestComposedPlansDeterministic(t *testing.T) {
+	seeds := [][2]int64{{0, 0}, {1, 2}, {42, 7}, {7, 42}}
+	for _, sp := range seeds {
+		a := composedRun(sp[0], sp[1])
+		b := composedRun(sp[0], sp[1])
+		if len(a) != len(b) {
+			t.Fatalf("seeds %v: transcript lengths differ: %d vs %d", sp, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seeds %v: transcripts diverge at op %d:\n  %s\n  %s", sp, i, a[i], b[i])
+			}
+		}
+	}
+	// Different seeds must actually change the injected stream, or the
+	// determinism above is vacuous.
+	if a, b := composedRun(1, 2), composedRun(3, 4); fmt.Sprint(a) == fmt.Sprint(b) {
+		t.Fatal("distinct seed pairs produced identical transcripts — FailRate stream not seeded")
+	}
+}

@@ -351,6 +351,24 @@ func (m *LeaseManager) FenceEpoch() int64 {
 	return 0
 }
 
+// HighWaterEpoch returns the newest epoch this manager has ever held
+// or observed. Unlike FenceEpoch — which deliberately reads 0 on a
+// standby, because a non-leader must never stamp a push — this
+// quantity only ratchets: within a process because observations fold
+// in through newer() and acquisitions advance past it, and across a
+// restart because every ratchet is persisted and re-anchors the next
+// acquisition. Monotonicity checkers (the dst harness's
+// epoch-monotonic invariant) should watch this, not FenceEpoch, or a
+// legitimate deposition looks like an epoch decrease.
+func (m *LeaseManager) HighWaterEpoch() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cur.Epoch > m.seen.Epoch {
+		return m.cur.Epoch
+	}
+	return m.seen.Epoch
+}
+
 // Acquisitions returns how often this manager took the lease.
 func (m *LeaseManager) Acquisitions() int64 {
 	m.mu.Lock()

@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lachesis/internal/dst"
+)
+
+// TestDSTAcceptance runs the dst experiment at a reduced corpus size and
+// asserts the simulation claims straight from BENCH_dst.json: a clean
+// corpus, byte-identical replay, and a caught-and-shrunk fencing
+// regression.
+func TestDSTAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dst experiment skipped in -short")
+	}
+	t.Setenv(dst.SeedsEnv, "40")
+	dir := t.TempDir()
+	sc := QuickScale
+	sc.ArtifactDir = dir
+
+	var out bytes.Buffer
+	if err := dstExp(&out, sc); err != nil {
+		t.Fatalf("dst experiment: %v\n%s", err, out.String())
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_dst.json"))
+	if err != nil {
+		t.Fatalf("missing artifact: %v", err)
+	}
+	var rep DSTReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("parse BENCH_dst.json: %v", err)
+	}
+
+	if rep.Corpus == nil || rep.Corpus.Seeds != 40 {
+		t.Fatalf("corpus did not honor %s: %+v", dst.SeedsEnv, rep.Corpus)
+	}
+	if len(rep.Corpus.Violations) != 0 {
+		t.Errorf("corpus violations on the unmodified stack: %+v", rep.Corpus.Violations)
+	}
+	if !rep.ReplayVerified {
+		t.Error("seed replay was not byte-identical")
+	}
+	te := rep.Teeth
+	if !te.Caught {
+		t.Errorf("fencing regression not caught and reproduced: %+v", te)
+	}
+	if te.ShrinkRatio > 0.25 {
+		t.Errorf("shrink ratio %.2f (%d -> %d events), want <= 0.25",
+			te.ShrinkRatio, te.OriginalEvents, te.MinimalEvents)
+	}
+	if !rep.Accepted {
+		t.Errorf("dst report not accepted: %s", out.String())
+	}
+}

@@ -94,6 +94,7 @@ func All() []Experiment {
 		{"fleet", "Fleet: coordinated rollout across simulated lachesisd agents — cohort containment, coordinator crash", fleetExp},
 		{"failover", "Failover: coordinator HA — leader kill mid-wave, standby promotion, split-brain fencing", failoverExp},
 		{"traceoverhead", "Trace overhead: decision-cycle cost with and without the span recorder, 256 bindings", traceOverheadExp},
+		{"dst", "DST: deterministic simulation — randomized fault schedules, invariant checks, failing-seed shrinking", dstExp},
 	}
 }
 

@@ -1,0 +1,38 @@
+// Package httpx carries the hardened http.Server construction shared by
+// the Lachesis daemons. Every listener a daemon opens faces untrusted
+// peers (agents, operators, sometimes a misbehaving load balancer), so
+// a server with only ReadHeaderTimeout set is not enough: a client that
+// sends its headers promptly and then stalls mid-body pins a handler
+// goroutine forever. NewServer closes every slow-client gap at once.
+package httpx
+
+import (
+	"net/http"
+	"time"
+)
+
+// Default timeouts and limits for daemon listeners. They bound every
+// phase of a connection's life: header read, full-request read,
+// response write, keep-alive idle, and header size.
+const (
+	ReadHeaderTimeout = 5 * time.Second
+	ReadTimeout       = 15 * time.Second
+	WriteTimeout      = 15 * time.Second
+	IdleTimeout       = 2 * time.Minute
+	MaxHeaderBytes    = 64 << 10
+)
+
+// NewServer returns an http.Server for h with the full set of slow-client
+// protections. Callers needing different bounds (tests, long-poll
+// endpoints) may override individual fields on the returned server
+// before serving.
+func NewServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: ReadHeaderTimeout,
+		ReadTimeout:       ReadTimeout,
+		WriteTimeout:      WriteTimeout,
+		IdleTimeout:       IdleTimeout,
+		MaxHeaderBytes:    MaxHeaderBytes,
+	}
+}

@@ -1,0 +1,74 @@
+package httpx
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestNewServerSetsEveryBound(t *testing.T) {
+	srv := NewServer(http.NotFoundHandler())
+	if srv.ReadHeaderTimeout <= 0 || srv.ReadTimeout <= 0 ||
+		srv.WriteTimeout <= 0 || srv.IdleTimeout <= 0 || srv.MaxHeaderBytes <= 0 {
+		t.Fatalf("unbounded server field: %+v", srv)
+	}
+	if srv.ReadHeaderTimeout > srv.ReadTimeout {
+		t.Fatalf("header timeout %v exceeds full-read timeout %v",
+			srv.ReadHeaderTimeout, srv.ReadTimeout)
+	}
+}
+
+// TestSlowBodyCutOff is the attack the old ReadHeaderTimeout-only
+// servers were open to: a client POSTs /policy, sends headers and a
+// partial body, then stalls. The hardened server must cut the
+// connection instead of pinning the handler goroutine forever.
+func TestSlowBodyCutOff(t *testing.T) {
+	handled := make(chan error, 1)
+	srv := NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, err := io.ReadAll(r.Body)
+		handled <- err
+		w.WriteHeader(http.StatusOK)
+	}))
+	// Same construction path as the daemons; only the scale differs so
+	// the test finishes in milliseconds instead of the production 15s.
+	srv.ReadTimeout = 250 * time.Millisecond
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_, err = conn.Write([]byte("POST /policy HTTP/1.1\r\nHost: test\r\nContent-Length: 4096\r\n\r\npartial"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stall. The server's read deadline must fire: the handler's body
+	// read errors and our connection dies, well before any slowloris
+	// could hold the goroutine.
+	select {
+	case err := <-handled:
+		if err == nil {
+			t.Fatal("handler read the full body from a stalled client")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled POST /policy was not cut off")
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1024)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			break // server closed (or reset) the connection — success
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package reconcile
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestMemFSDropUnsynced pins the page-cache model behind the dst
+// harness's crash semantics: reads see every write immediately, but a
+// simulated power loss keeps only fsynced bytes.
+func TestMemFSDropUnsynced(t *testing.T) {
+	fs := NewMemFS()
+
+	// Disciplined writer: write → fsync → rename. Survives intact.
+	f, _ := fs.Create("durable.tmp")
+	_, _ = f.Write([]byte("kept"))
+	_ = f.Sync()
+	_ = f.Close()
+	if err := fs.Rename("durable.tmp", "durable"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sloppy writer: syncs once, then keeps appending without syncing.
+	g, _ := fs.Create("tail")
+	_, _ = g.Write([]byte("synced-"))
+	_ = g.Sync()
+	_, _ = g.Write([]byte("lost"))
+	_ = g.Close()
+
+	// Never-synced writer: the whole file is page cache.
+	h, _ := fs.Create("ghost")
+	_, _ = h.Write([]byte("gone"))
+	_ = h.Close()
+
+	// Before the crash, reads see everything.
+	if b, _ := fs.ReadFile("tail"); !bytes.Equal(b, []byte("synced-lost")) {
+		t.Fatalf("pre-crash read = %q, want synced-lost", b)
+	}
+
+	fs.DropUnsynced()
+
+	if b, err := fs.ReadFile("durable"); err != nil || !bytes.Equal(b, []byte("kept")) {
+		t.Fatalf("durable file after crash = %q, %v", b, err)
+	}
+	if b, _ := fs.ReadFile("tail"); !bytes.Equal(b, []byte("synced-")) {
+		t.Fatalf("partially synced file after crash = %q, want synced-", b)
+	}
+	if _, err := fs.ReadFile("ghost"); err == nil {
+		t.Fatal("never-synced file survived the crash")
+	}
+
+	// SetFile injections count as durable (tests corrupt at-rest bytes).
+	fs.SetFile("corrupt", []byte("{broken"))
+	fs.DropUnsynced()
+	if b, err := fs.ReadFile("corrupt"); err != nil || !bytes.Equal(b, []byte("{broken")) {
+		t.Fatalf("injected file after crash = %q, %v", b, err)
+	}
+}

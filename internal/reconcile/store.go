@@ -110,19 +110,25 @@ func (f OSFS) Rename(oldname, newname string) error {
 
 // --- in-memory filesystem (tests) ---
 
-// MemFS is an in-memory FS for tests. Files are plain byte slices that
-// tests may inspect or corrupt directly. Syncs counts fsync calls so
-// durability ordering is assertable.
+// MemFS is an in-memory FS for tests and simulation. Files are plain
+// byte slices that tests may inspect or corrupt directly. Syncs counts
+// fsync calls so durability ordering is assertable, and each file
+// tracks how many of its bytes have been synced so a simulated crash
+// (DropUnsynced) can model the kernel page cache: reads see every
+// write immediately, but only fsynced bytes survive power loss.
 type MemFS struct {
-	mu    sync.Mutex
-	files map[string][]byte
-	Syncs int
+	mu     sync.Mutex
+	files  map[string][]byte
+	synced map[string]int
+	Syncs  int
 }
 
 var _ FS = (*MemFS)(nil)
 
 // NewMemFS returns an empty in-memory FS.
-func NewMemFS() *MemFS { return &MemFS{files: make(map[string][]byte)} }
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string][]byte), synced: make(map[string]int)}
+}
 
 // ReadFile implements FS.
 func (m *MemFS) ReadFile(name string) ([]byte, error) {
@@ -141,6 +147,7 @@ func (m *MemFS) ReadFile(name string) ([]byte, error) {
 func (m *MemFS) Create(name string) (File, error) {
 	m.mu.Lock()
 	m.files[name] = nil
+	m.synced[name] = 0
 	m.mu.Unlock()
 	return &memFile{fs: m, name: name}, nil
 }
@@ -164,15 +171,41 @@ func (m *MemFS) Rename(oldname, newname string) error {
 		return &os.PathError{Op: "rename", Path: oldname, Err: os.ErrNotExist}
 	}
 	m.files[newname] = b
+	m.synced[newname] = m.synced[oldname]
 	delete(m.files, oldname)
+	delete(m.synced, oldname)
 	return nil
 }
 
+// DropUnsynced simulates a crash: every file is truncated to its last
+// fsynced length, and files that were never synced vanish — exactly
+// what an OS page cache loses on power failure. A writer following the
+// write→fsync→rename discipline (both persistent stores do) loses
+// nothing; one that skips the fsync loses its tail, which is the bug
+// this hook exists to surface.
+func (m *MemFS) DropUnsynced() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, b := range m.files {
+		n := m.synced[name]
+		if n <= 0 {
+			delete(m.files, name)
+			delete(m.synced, name)
+			continue
+		}
+		if n < len(b) {
+			m.files[name] = b[:n]
+			m.synced[name] = n
+		}
+	}
+}
+
 // SetFile overwrites a file's raw contents — the corruption-injection
-// hook for tests.
+// hook for tests. The injected bytes count as durable.
 func (m *MemFS) SetFile(name string, b []byte) {
 	m.mu.Lock()
 	m.files[name] = append([]byte(nil), b...)
+	m.synced[name] = len(b)
 	m.mu.Unlock()
 }
 
@@ -197,6 +230,7 @@ func (f *memFile) Write(p []byte) (int, error) {
 func (f *memFile) Sync() error {
 	f.fs.mu.Lock()
 	f.fs.Syncs++
+	f.fs.synced[f.name] = len(f.fs.files[f.name])
 	f.fs.mu.Unlock()
 	return nil
 }

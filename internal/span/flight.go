@@ -22,6 +22,10 @@ const (
 	TriggerCanaryRollback = "canary-rollback"
 	// TriggerBreakerOpen: a fleet fan-out breaker opened on an agent.
 	TriggerBreakerOpen = "breaker-open"
+	// TriggerInvariant: a deterministic-simulation invariant checker
+	// found a violation; the dump lands next to the failing seed so the
+	// minimal reproducer ships with its causal trace.
+	TriggerInvariant = "invariant-violation"
 )
 
 // Trigger describes the anomaly that caused a flight-recorder dump.
